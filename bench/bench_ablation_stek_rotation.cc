@@ -1,0 +1,112 @@
+// Ablation: STEK rotation interval vs. retrospective decryption exposure.
+//
+// §8.2's first recommendation is "rotate STEKs frequently". This bench
+// quantifies the knob: record one connection per hour for 28 days against
+// servers differing only in rotation policy, steal each server's current
+// key(s) once at the end, and count how much recorded traffic decrypts.
+// Resumption performance is identical across rows — rotation is free.
+#include <cstdio>
+#include <vector>
+
+#include "attack/decrypt.h"
+#include "common.h"
+#include "crypto/drbg.h"
+#include "pki/ca.h"
+#include "server/terminator.h"
+#include "tls/client.h"
+
+using namespace tlsharm;
+
+namespace {
+
+struct Policy {
+  const char* name;
+  server::StekPolicy stek;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: STEK rotation interval vs. exposure ==\n");
+  std::printf("28 days of hourly recorded connections; one key theft at the"
+              " end (+ acceptance-window keys)\n\n");
+
+  crypto::Drbg drbg(ToBytes("ablation"));
+  pki::CertificateAuthority root("Root", pki::SignatureScheme::kSchnorrSim61,
+                                 drbg);
+  pki::CertificateAuthority ca("CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const pki::CertificateChain chain = {
+      root.IssueCaCertificate(ca, 0, 3650 * kDay, drbg)};
+
+  const Policy policies[] = {
+      {"static (never rotated)", {server::StekRotation::kStatic, 0, 0}},
+      {"weekly rotation", {server::StekRotation::kInterval, 7 * kDay, 0}},
+      {"daily rotation", {server::StekRotation::kInterval, kDay, 0}},
+      {"14h roll + 14h acceptance (Google)",
+       {server::StekRotation::kInterval, 14 * kHour, 14 * kHour}},
+      {"hourly rotation", {server::StekRotation::kInterval, kHour, 0}},
+  };
+
+  const int days = 28;
+  std::printf("%-38s %-22s %s\n", "policy", "decryptable connections",
+              "exposure window");
+  for (const Policy& policy : policies) {
+    server::ServerConfig config;
+    config.stek = policy.stek;
+    config.tickets.acceptance_window = 28 * kHour;
+    server::SslTerminator term("ablation", config,
+                               StableHash64(policy.name));
+    server::Credential cred = server::MakeCredential(
+        ca, {"site.example"}, pki::SignatureScheme::kSchnorrSim61, 0,
+        3650 * kDay, chain, drbg);
+    term.MapDomain("site.example", term.AddCredential(std::move(cred)));
+
+    crypto::Drbg client_drbg(ToBytes("client"));
+    std::vector<attack::ParsedCapture> tape;
+    for (int hour = 0; hour < days * 24; ++hour) {
+      const SimTime when = hour * kHour;
+      auto conn = term.NewConnection(when);
+      attack::PassiveCapture capture;
+      tls::TappedConnection tapped(*conn, capture);
+      tls::ClientConfig client_config;
+      client_config.server_name = "site.example";
+      tls::TlsClient client(client_config);
+      const auto hs = client.Handshake(tapped, when, client_drbg);
+      if (hs.ok) {
+        tls::RecordChannel channel(hs.keys, tls::Direction::kClientToServer);
+        (void)tls::TlsClient::Roundtrip(tapped, hs, channel,
+                                        ToBytes("GET /private"), client_drbg);
+      }
+      tape.push_back(attack::ParseCapture(capture.Log()));
+    }
+
+    // Theft at the end of day 28: every currently-acceptable key leaks
+    // (the realistic memory-scrape outcome).
+    const SimTime theft = days * kDay;
+    std::vector<attack::StekDecryptor> decryptors;
+    for (const tls::Stek* stek : term.Steks().AcceptableSteks(theft)) {
+      decryptors.emplace_back(config.tickets.codec, *stek);
+    }
+    int decrypted = 0;
+    for (const auto& capture : tape) {
+      for (const auto& decryptor : decryptors) {
+        if (decryptor.Decrypt(capture).ok) {
+          ++decrypted;
+          break;
+        }
+      }
+    }
+    const double fraction =
+        static_cast<double>(decrypted) / static_cast<double>(tape.size());
+    std::printf("%-38s %4d / %zu  (%5.1f%%)     ~%s\n", policy.name,
+                decrypted, tape.size(), fraction * 100.0,
+                FormatDuration(static_cast<SimTime>(
+                                   fraction * days * kDay))
+                    .c_str());
+  }
+  std::printf("\nEvery row has identical handshake/resumption performance —"
+              " the exposure is pure\nconfiguration debt, which is the"
+              " paper's §8 argument.\n");
+  return 0;
+}

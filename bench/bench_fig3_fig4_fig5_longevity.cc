@@ -1,0 +1,174 @@
+// Figures 3–5 and Tables 2–4: secret-state longevity from daily scans.
+//
+// One scan per simulated day over the whole study: a default-cipher
+// connection records the issued ticket's STEK id and the server's ECDHE
+// value; a DHE-only connection records the DHE value. Spans are
+// first-seen/last-seen per (domain, id), tolerant of load-balancer jitter.
+#include <algorithm>
+
+#include "common.h"
+#include "scanner/experiments.h"
+
+using namespace tlsharm;
+using namespace tlsharm::bench;
+
+namespace {
+
+void PrintSpanCdf(const char* title, const analysis::SpanTracker& spans,
+                  const std::vector<simnet::DomainId>& core,
+                  double paper_1d, double paper_7d, double paper_30d,
+                  std::size_t denominator) {
+  std::size_t ge1 = 0, ge7 = 0, ge30 = 0, observed = 0;
+  for (const auto id : core) {
+    const int span = spans.MaxSpanDays(id);
+    if (span == 0) continue;
+    ++observed;
+    // "Reused for at least N days" == an id recurred across >= N scan days,
+    // i.e. span > N (span 1 means never recurred).
+    if (span >= 2) ++ge1;
+    if (span >= 7) ++ge7;
+    if (span >= 30) ++ge30;
+  }
+  std::printf("%s (observed on %s domains)\n", title,
+              FormatCount(observed).c_str());
+  const double denom = static_cast<double>(denominator);
+  PrintRow("  reused >= 1 day", Pct(paper_1d),
+           Pct(static_cast<double>(ge1) / denom));
+  PrintRow("  reused >= 7 days", Pct(paper_7d),
+           Pct(static_cast<double>(ge7) / denom));
+  PrintRow("  reused >= 30 days", Pct(paper_30d),
+           Pct(static_cast<double>(ge30) / denom));
+}
+
+void PrintTopTable(const char* title, simnet::Internet& net,
+                   const analysis::SpanTracker& spans,
+                   const std::vector<simnet::DomainId>& core,
+                   int min_days) {
+  struct Row {
+    int rank;
+    std::string domain;
+    int days;
+  };
+  std::vector<Row> rows;
+  for (const auto id : core) {
+    const int span = spans.MaxSpanDays(id);
+    if (span < min_days) continue;
+    const auto& info = net.GetDomain(id);
+    rows.push_back(Row{info.rank, info.name, span});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.rank < b.rank; });
+  std::printf("\n%s (top 10 by rank, >= %d days)\n", title, min_days);
+  TextTable table({"Rank", "Domain", "# Days"});
+  for (std::size_t i = 0; i < rows.size() && i < 10; ++i) {
+    table.AddRow({std::to_string(rows[i].rank), rows[i].domain,
+                  std::to_string(rows[i].days)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  World world = BuildWorld(
+      "Figures 3-5 / Tables 2-4: STEK and (EC)DHE value longevity");
+  simnet::Internet& net = *world.net;
+  const auto scan = scanner::RunDailyScans(net, world.days, 301);
+  const auto& core = scan.core_domains;
+  const std::size_t n_core = core.size();
+  std::printf("core (always-listed, trusted) domains: %s (paper 291,643%s)\n\n",
+              FormatCount(n_core).c_str(),
+              (" -> " + Count(291643 * world.scale) + "@scale").c_str());
+
+  // --- Figure 3: STEK lifetime ------------------------------------------------
+  std::size_t never_issued = 0, daily = 0, ge7 = 0, ge30 = 0;
+  for (const auto id : core) {
+    const int span = scan.stek_spans.MaxSpanDays(id);
+    if (span == 0) {
+      ++never_issued;
+    } else if (span <= 1) {
+      ++daily;
+    }
+    if (span >= 7) ++ge7;
+    if (span >= 30) ++ge30;
+  }
+  std::printf("Figure 3: STEK lifetime (fractions of core domains)\n");
+  PrintRow("never issued a session ticket", "23%",
+           Pct(static_cast<double>(never_issued) / n_core, 0));
+  PrintRow("different issuing STEK each day", "41%",
+           Pct(static_cast<double>(daily) / n_core, 0));
+  PrintRow("same STEK >= 7 days", "22%",
+           Pct(static_cast<double>(ge7) / n_core, 0));
+  PrintRow("same STEK >= 30 days", "10%",
+           Pct(static_cast<double>(ge30) / n_core, 0));
+
+  // CDF series for the figure.
+  EmpiricalDistribution stek_cdf;
+  for (const auto id : core) {
+    const int span = scan.stek_spans.MaxSpanDays(id);
+    if (span > 0) stek_cdf.Add(span);
+  }
+  std::printf("\nFigure 3 series (span days -> CDF over ticket issuers):\n  ");
+  for (const int d : {1, 2, 3, 7, 14, 30, 45, 63}) {
+    std::printf("%dd:%.3f  ", d, stek_cdf.CdfAt(d));
+  }
+  std::printf("\n");
+
+  // --- Figure 4: STEK lifetime by Alexa rank tier -----------------------------
+  std::printf("\nFigure 4: STEK lifetime by Alexa rank tier\n");
+  const double tier_bounds[] = {100, 1000, 10000, 100000, 1e9};
+  const char* tier_names[] = {"Top 100", "Top 1K", "Top 10K", "Top 100K",
+                              "Top 1M"};
+  for (int tier = 0; tier < 5; ++tier) {
+    std::size_t issuers = 0, tier_ge30 = 0, tier_ge7 = 0;
+    const double scaled_bound = tier_bounds[tier];
+    for (const auto id : core) {
+      const auto& info = net.GetDomain(id);
+      if (info.rank > scaled_bound) continue;
+      const int span = scan.stek_spans.MaxSpanDays(id);
+      if (span == 0) continue;
+      ++issuers;
+      if (span >= 7) ++tier_ge7;
+      if (span >= 30) ++tier_ge30;
+    }
+    std::printf("  %-9s issuers=%-7s >=7d=%-6s >=30d=%s\n", tier_names[tier],
+                FormatCount(issuers).c_str(), FormatCount(tier_ge7).c_str(),
+                FormatCount(tier_ge30).c_str());
+  }
+  std::printf("  (paper: 56 issuers in Top 100, of which 12 persisted a STEK"
+              " >= 30 days)\n");
+
+  // --- Table 2: top domains with prolonged STEK reuse -------------------------
+  PrintTopTable("Table 2: Top domains with prolonged STEK reuse", net,
+                scan.stek_spans, core, 7);
+  std::printf("  (paper: yahoo.com 63 | qq.com 56 | taobao.com 63 |"
+              " pinterest.com 63 | yandex.ru 63 |\n   netflix.com 54 |"
+              " imgur.com 63 | tmall.com 63 | fc2.com 18 | pornhub.com 29)\n");
+
+  // --- Figure 5 / Tables 3-4: (EC)DHE value reuse -----------------------------
+  std::printf("\nFigure 5: ephemeral exchange value reuse\n");
+  std::printf("DHE-only connections ever succeeded: %s (paper 57%% of core)\n",
+              Pct(static_cast<double>(scan.core_ever_dhe_connect) / n_core, 0)
+                  .c_str());
+  PrintSpanCdf("DHE value spans", scan.dhe_spans, core, 0.013, 0.012, 0.0052,
+               n_core);
+  std::printf("ECDHE handshakes ever completed: %s (paper 80%% of core)\n",
+              Pct(static_cast<double>(scan.core_ever_ecdhe) / n_core, 0)
+                  .c_str());
+  PrintSpanCdf("ECDHE value spans", scan.ecdhe_spans, core, 0.034, 0.030,
+               0.014, n_core);
+
+  PrintTopTable("Table 3: Top domains with prolonged DHE reuse", net,
+                scan.dhe_spans, core, 7);
+  std::printf("  (paper: netflix.com 59 | fc2.com 18 | ebay.in 7 | ebay.it 8 |"
+              " bleacherreport.com 24 |\n   kayak.com 13 | cbssports.com 60 |"
+              " gamefaqs.com 12 | overstock.com 17 | cookpad.com 63)\n");
+
+  PrintTopTable("Table 4: Top domains with prolonged ECDHE reuse", net,
+                scan.ecdhe_spans, core, 7);
+  std::printf("  (paper: netflix.com 59 | whatsapp.com 62 | vice.com 26 |"
+              " 9gag.com 31 | liputan6.com 28 |\n   paytm.com 27 |"
+              " playstation.com 11 | woot.com 62 | bleacherreport.com 24 |"
+              " leagueoflegends.com 27)\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figures 6 & 7: sharing × longevity. Each service group is sized by its
+// domain count and coloured by the group's median secret longevity; we
+// print the treemap's underlying rows (size, median longevity) for the
+// largest groups of each mechanism.
+#include <algorithm>
+#include <functional>
+
+#include "common.h"
+#include "scanner/experiments.h"
+
+using namespace tlsharm;
+using namespace tlsharm::bench;
+
+namespace {
+
+// Prints the largest groups with their median per-domain longevity drawn
+// from `spans` (in days) or from a per-domain seconds metric.
+void PrintTreemap(const char* title, simnet::Internet& net,
+                  const std::vector<std::vector<simnet::DomainId>>& groups,
+                  const std::function<double(simnet::DomainId)>& longevity,
+                  const char* unit, double red_threshold) {
+  std::printf("%s\n", title);
+  TextTable table({"Operator", "# domains", std::string("median ") + unit,
+                   "red (>=30d)?"});
+  std::size_t shown = 0;
+  for (const auto& group : groups) {
+    if (group.size() < 2 || shown >= 12) break;
+    EmpiricalDistribution dist;
+    for (const auto id : group) {
+      const double v = longevity(id);
+      if (v > 0) dist.Add(v);
+    }
+    const double median = dist.Empty() ? 0 : dist.Median();
+    table.AddRow({net.GetDomain(group.front()).operator_name,
+                  FormatCount(group.size()), FormatDouble(median, 1),
+                  median >= red_threshold ? "RED" : ""});
+    ++shown;
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  World world = BuildWorld("Figures 6-7: secret sharing x longevity treemaps");
+  simnet::Internet& net = *world.net;
+
+  // Longevity inputs: spans from daily scans; cache windows from the
+  // session-ID lifetime experiment.
+  const auto scan = scanner::RunDailyScans(net, world.days, 301);
+  const auto cache_result = scanner::MeasureSessionIdLifetime(
+      net, 0, 601, 24 * kHour, 15 * kMinute);
+  std::vector<double> cache_minutes(net.DomainCount(), 0);
+  for (const auto& m : cache_result.lifetimes) {
+    cache_minutes[m.domain] = static_cast<double>(m.max_delay) / kMinute;
+  }
+
+  // --- Figure 6: STEK groups coloured by median STEK span --------------------
+  const auto stek_groups =
+      scanner::MeasureStekGroups(net, 0, 602, 6, 6 * kHour);
+  PrintTreemap(
+      "Figure 6: STEK service groups (size x median STEK span)", net,
+      stek_groups.groups,
+      [&](simnet::DomainId id) {
+        return static_cast<double>(scan.stek_spans.MaxSpanDays(id));
+      },
+      "span (days)", 30.0);
+  std::printf("  paper: CloudFlare + Google (20%% of Top-1M HTTPS) rotate"
+              " < 24h; TMall + Fastly (1,208 domains)\n  never rotated;"
+              " Jack Henry's 79 banks used one STEK 59 days then rotated"
+              " to another shared key.\n\n");
+
+  // --- Figure 7 left: session-cache groups coloured by honoured window -------
+  const auto cache_groups = scanner::MeasureSessionCacheGroups(net, 0, 603);
+  PrintTreemap(
+      "Figure 7 (left): session-cache groups (size x median honoured window)",
+      net, cache_groups.groups,
+      [&](simnet::DomainId id) { return cache_minutes[id]; },
+      "window (min)", 30.0 * 24 * 60);
+  std::printf("  paper: ten largest cache groups = 15%% of Top-1M domains,"
+              " median windows 5 and 1,440 minutes;\n  the five longest-lived"
+              " all Blogspot (4.5h-24h).\n\n");
+
+  // --- Figure 7 right: DH groups coloured by median value span ---------------
+  const auto kex_groups = scanner::MeasureKexGroups(net, 0, 604, 6,
+                                                    5 * kHour);
+  PrintTreemap(
+      "Figure 7 (right): Diffie-Hellman groups (size x median value span)",
+      net, kex_groups.groups,
+      [&](simnet::DomainId id) {
+        return static_cast<double>(std::max(
+            scan.dhe_spans.MaxSpanDays(id), scan.ecdhe_spans.MaxSpanDays(id)));
+      },
+      "span (days)", 30.0);
+  std::printf("  paper: Affinity Internet shared one DH value across 91"
+              " domains for 62 days; Jimdo one value\n  19 days x 64 domains"
+              " and another 17 days x 60 domains.\n");
+  return 0;
+}

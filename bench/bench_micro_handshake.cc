@@ -1,0 +1,180 @@
+// Micro-benchmarks (google-benchmark): the performance economics behind the
+// paper's crypto shortcuts — what servers save by reusing (EC)DHE values
+// and by resuming sessions, plus the primitive costs.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ffdh.h"
+#include "crypto/kex.h"
+#include "crypto/prf.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "crypto/simec61.h"
+#include "crypto/x25519.h"
+#include "pki/ca.h"
+#include "pki/root_store.h"
+#include "server/terminator.h"
+#include "tls/client.h"
+#include "tls/ticket.h"
+
+namespace {
+
+using namespace tlsharm;
+
+// Shared PKI + terminator fixtures (built once).
+struct Fixture {
+  Fixture()
+      : drbg(ToBytes("bench")),
+        root("Bench Root", pki::SignatureScheme::kSchnorrSim61, drbg),
+        intermediate("Bench Intermediate", pki::SignatureScheme::kSchnorrSim61,
+                     drbg) {
+    store.AddRoot(root.Name(), root.Scheme(), root.PublicKey());
+    chain.push_back(root.IssueCaCertificate(intermediate, 0, 365 * kDay, drbg));
+  }
+  crypto::Drbg drbg;
+  pki::CertificateAuthority root;
+  pki::CertificateAuthority intermediate;
+  pki::CertificateChain chain;
+  pki::RootStore store;
+};
+
+Fixture& F() {
+  static auto* fixture = new Fixture();
+  return *fixture;
+}
+
+std::unique_ptr<server::SslTerminator> MakeServer(server::ServerConfig config) {
+  auto term = std::make_unique<server::SslTerminator>("bench", config, 1);
+  server::Credential cred = server::MakeCredential(
+      F().intermediate, {"bench.example"}, pki::SignatureScheme::kSchnorrSim61,
+      0, 365 * kDay, F().chain, F().drbg);
+  term->MapDomain("bench.example", term->AddCredential(std::move(cred)));
+  return term;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Tls12Prf_KeyBlock(benchmark::State& state) {
+  const Bytes secret(48, 0x11), seed(64, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Tls12Prf(secret, "key expansion", seed, 96));
+  }
+}
+BENCHMARK(BM_Tls12Prf_KeyBlock);
+
+template <crypto::NamedGroup G>
+void BM_KexKeygen(benchmark::State& state) {
+  crypto::Drbg drbg(ToBytes("kex"));
+  const auto& group = crypto::GetKexGroup(G);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.GenerateKeyPair(drbg));
+  }
+}
+BENCHMARK(BM_KexKeygen<crypto::NamedGroup::kSimEc61>);
+BENCHMARK(BM_KexKeygen<crypto::NamedGroup::kFfdheSim61>);
+BENCHMARK(BM_KexKeygen<crypto::NamedGroup::kFfdheSim256>);
+BENCHMARK(BM_KexKeygen<crypto::NamedGroup::kX25519>);
+
+void BM_TicketSealOpen(benchmark::State& state) {
+  crypto::Drbg drbg(ToBytes("ticket"));
+  const tls::Stek stek = tls::Stek::Generate(drbg);
+  tls::TicketState ticket_state;
+  ticket_state.cipher_suite = 0xc027;
+  ticket_state.master_secret = Bytes(48, 0x42);
+  const auto& codec = tls::Rfc5077Codec();
+  for (auto _ : state) {
+    const Bytes ticket = codec.Seal(stek, ticket_state, drbg);
+    benchmark::DoNotOptimize(codec.Open(stek, ticket));
+  }
+}
+BENCHMARK(BM_TicketSealOpen);
+
+// Full handshake with fresh ECDHE values every time (no shortcuts).
+void BM_FullHandshake_FreshKex(benchmark::State& state) {
+  auto term = MakeServer(server::ServerConfig{});
+  crypto::Drbg drbg(ToBytes("client"));
+  tls::ClientConfig config;
+  config.server_name = "bench.example";
+  config.root_store = &F().store;
+  for (auto _ : state) {
+    auto conn = term->NewConnection(100);
+    tls::TlsClient client(config);
+    benchmark::DoNotOptimize(client.Handshake(*conn, 100, drbg));
+  }
+}
+BENCHMARK(BM_FullHandshake_FreshKex);
+
+// Full handshake with a reused server ECDHE value (§4.4's saving).
+void BM_FullHandshake_ReusedKex(benchmark::State& state) {
+  server::ServerConfig server_config;
+  server_config.ecdhe_reuse = {.reuse = true, .ttl = 0};
+  auto term = MakeServer(server_config);
+  crypto::Drbg drbg(ToBytes("client"));
+  tls::ClientConfig config;
+  config.server_name = "bench.example";
+  config.root_store = &F().store;
+  for (auto _ : state) {
+    auto conn = term->NewConnection(100);
+    tls::TlsClient client(config);
+    benchmark::DoNotOptimize(client.Handshake(*conn, 100, drbg));
+  }
+}
+BENCHMARK(BM_FullHandshake_ReusedKex);
+
+// Abbreviated handshake via session ticket (what resumption saves).
+void BM_AbbreviatedHandshake_Ticket(benchmark::State& state) {
+  auto term = MakeServer(server::ServerConfig{});
+  crypto::Drbg drbg(ToBytes("client"));
+  tls::ClientConfig config;
+  config.server_name = "bench.example";
+  auto conn0 = term->NewConnection(0);
+  tls::TlsClient first(config);
+  const auto hs = first.Handshake(*conn0, 0, drbg);
+  tls::ClientConfig resume = config;
+  resume.resume_ticket = hs.ticket;
+  resume.resume_master_secret = hs.master_secret;
+  for (auto _ : state) {
+    auto conn = term->NewConnection(60);
+    tls::TlsClient client(resume);
+    benchmark::DoNotOptimize(client.Handshake(*conn, 60, drbg));
+  }
+}
+BENCHMARK(BM_AbbreviatedHandshake_Ticket);
+
+// Full-strength groups for comparison.
+void BM_FullHandshake_X25519(benchmark::State& state) {
+  server::ServerConfig server_config;
+  server_config.ecdhe_group = crypto::NamedGroup::kX25519;
+  auto term = MakeServer(server_config);
+  crypto::Drbg drbg(ToBytes("client"));
+  tls::ClientConfig config;
+  config.server_name = "bench.example";
+  for (auto _ : state) {
+    auto conn = term->NewConnection(100);
+    tls::TlsClient client(config);
+    benchmark::DoNotOptimize(client.Handshake(*conn, 100, drbg));
+  }
+}
+BENCHMARK(BM_FullHandshake_X25519);
+
+void BM_SchnorrSignVerify(benchmark::State& state) {
+  crypto::Drbg drbg(ToBytes("sig"));
+  const auto& scheme = crypto::SchnorrSim61();
+  const auto kp = scheme.GenerateKeyPair(drbg);
+  const Bytes msg = ToBytes("server key exchange params");
+  for (auto _ : state) {
+    const auto sig = scheme.Sign(kp.private_key, msg, drbg);
+    benchmark::DoNotOptimize(scheme.Verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrSignVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 1: Support for Forward Secrecy and Resumption.
+//
+// Ten TLS connections in quick succession to each listed domain, once
+// offering only DHE, once only ECDHE, once the default suites (for session
+// tickets); counts domains that ever repeated a server key-exchange value /
+// STEK identifier, and those that repeated it on every connection.
+#include "common.h"
+#include "scanner/experiments.h"
+
+using namespace tlsharm;
+using namespace tlsharm::bench;
+
+namespace {
+
+void PrintBlock(const char* title, const scanner::SupportCounts& counts,
+                double scale, std::uint64_t paper_list,
+                std::uint64_t paper_trusted, std::uint64_t paper_support,
+                std::uint64_t paper_2x, std::uint64_t paper_all) {
+  std::printf("%s\n", title);
+  PrintRow("Alexa list domains scanned", PaperCountAtScale(paper_list, scale),
+           FormatCount(counts.list_size));
+  PrintRow("Browser-trusted TLS domains",
+           PaperCountAtScale(paper_trusted, scale),
+           FormatCount(counts.trusted) + " (" +
+               Pct(static_cast<double>(counts.trusted) / counts.list_size) +
+               " of list; paper " +
+               Pct(static_cast<double>(paper_trusted) / paper_list) + ")");
+  PrintRow("Support (completed handshake / issued ticket)",
+           PaperCountAtScale(paper_support, scale),
+           FormatCount(counts.supported) + " (" +
+               Pct(static_cast<double>(counts.supported) / counts.trusted) +
+               " of trusted; paper " +
+               Pct(static_cast<double>(paper_support) / paper_trusted) + ")");
+  PrintRow(">=2x same server value",
+           PaperCountAtScale(paper_2x, scale),
+           FormatCount(counts.reuse_twice) + " (" +
+               Pct(counts.supported
+                       ? static_cast<double>(counts.reuse_twice) /
+                             counts.supported
+                       : 0) +
+               " of supporters; paper " +
+               Pct(static_cast<double>(paper_2x) / paper_support) + ")");
+  PrintRow("All connections same value",
+           PaperCountAtScale(paper_all, scale),
+           FormatCount(counts.reuse_all));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  World world = BuildWorld("Table 1: Support for Forward Secrecy and Resumption");
+  const int day = 0;
+
+  const auto dhe = scanner::MeasureKexSupport(
+      *world.net, day, scanner::CipherSelection::kDheOnly, 10, 101);
+  PrintBlock("DHE (paper: 14 Apr 2016 scan)", dhe, world.scale, 957116,
+             427313, 252340, 18113, 12461);
+
+  const auto ecdhe = scanner::MeasureKexSupport(
+      *world.net, day, scanner::CipherSelection::kEcdheOnly, 10, 102);
+  PrintBlock("ECDHE (paper: 15 Apr 2016 scan)", ecdhe, world.scale, 958470,
+             438383, 390120, 60370, 41683);
+
+  const auto tickets =
+      scanner::MeasureTicketSupport(*world.net, day, 10, 103);
+  PrintBlock("Session tickets (paper: 17 Apr 2016 scan)", tickets,
+             world.scale, 956094, 435150, 354697, 353124, 334404);
+  return 0;
+}

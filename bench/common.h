@@ -1,0 +1,82 @@
+// Shared infrastructure for the experiment benches: world construction,
+// paper-vs-measured row printing, and scaling helpers.
+//
+// Every bench accepts two environment knobs:
+//   TLSHARM_POPULATION — simulated Top-N list size (default 60,000)
+//   TLSHARM_DAYS       — study length in days (default 63, the paper's 9
+//                        weeks)
+// Absolute paper counts are compared after scaling by population/1M.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "simnet/internet.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tlsharm::bench {
+
+inline int StudyDays() {
+  if (const char* env = std::getenv("TLSHARM_DAYS")) {
+    const int days = std::atoi(env);
+    if (days >= 2 && days <= 63) return days;
+  }
+  return 63;
+}
+
+inline std::uint64_t StudySeed() { return 20160302; }
+
+struct World {
+  std::unique_ptr<simnet::Internet> net;
+  std::size_t population;
+  double scale;  // population / 1,000,000 (for count comparisons)
+  int days;
+};
+
+inline World BuildWorld(const char* bench_name) {
+  World world;
+  world.population = simnet::DefaultPopulationSize();
+  world.days = StudyDays();
+  world.scale = static_cast<double>(world.population) / 1'000'000.0;
+  std::printf("== %s ==\n", bench_name);
+  std::printf("population=%zu (Top-1M scale factor %.4f), days=%d\n",
+              world.population, world.scale, world.days);
+  const auto start = std::chrono::steady_clock::now();
+  world.net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), StudySeed());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::printf("world: %zu domains, %zu terminators (built in %lld ms)\n\n",
+              world.net->DomainCount(), world.net->TerminatorCount(),
+              static_cast<long long>(elapsed.count()));
+  return world;
+}
+
+// One "paper vs measured" comparison row.
+inline void PrintRow(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-58s paper=%-14s measured=%s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline std::string Pct(double fraction, int decimals = 1) {
+  return FormatPercent(fraction, decimals);
+}
+
+inline std::string Count(double scaled) {
+  return FormatCount(static_cast<std::uint64_t>(scaled + 0.5));
+}
+
+// Renders a paper count alongside what it would be at our scale.
+inline std::string PaperCountAtScale(std::uint64_t paper_count,
+                                     double scale) {
+  return FormatCount(paper_count) + "(" +
+         FormatCount(static_cast<std::uint64_t>(paper_count * scale + 0.5)) +
+         "@scale)";
+}
+
+}  // namespace tlsharm::bench

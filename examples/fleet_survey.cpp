@@ -1,0 +1,85 @@
+// fleet_survey: the paper's measurement pipeline as a reusable tool.
+//
+// Builds a small simulated Top-N population, runs a one-week daily scan plus
+// the service-group probes, and prints a survey report: secret longevity
+// distributions, the largest shared-secret groups, and the domains with the
+// worst combined vulnerability windows.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/vuln.h"
+#include "scanner/experiments.h"
+#include "simnet/internet.h"
+#include "util/table.h"
+
+using namespace tlsharm;
+
+int main() {
+  std::printf("== fleet_survey: one-week HTTPS crypto-shortcut survey ==\n");
+  simnet::Internet net(simnet::PaperPopulationSpec(6000), 424242);
+  const int days = 7;
+  std::printf("population: %zu domains, %zu terminators\n\n",
+              net.DomainCount(), net.TerminatorCount());
+
+  // --- longevity scan.
+  const auto scan = scanner::RunDailyScans(net, days, 1);
+  std::size_t issuers = 0, week_long = 0;
+  for (const auto id : scan.core_domains) {
+    const int span = scan.stek_spans.MaxSpanDays(id);
+    issuers += span > 0;
+    week_long += span >= days;
+  }
+  std::printf("STEK longevity: %zu/%zu core domains issue tickets; %zu kept"
+              " one STEK all week\n", issuers, scan.core_domains.size(),
+              week_long);
+
+  // --- groups.
+  const auto stek_groups = scanner::MeasureStekGroups(net, 0, 2, 4, 2 * kHour);
+  const auto cache_groups = scanner::MeasureSessionCacheGroups(net, 0, 3);
+  std::printf("\nLargest shared-secret groups:\n");
+  TextTable table({"Kind", "Operator", "# domains"});
+  for (std::size_t i = 0; i < 3 && i < stek_groups.groups.size(); ++i) {
+    if (stek_groups.groups[i].size() < 2) break;
+    table.AddRow({"STEK",
+                  net.GetDomain(stek_groups.groups[i].front()).operator_name,
+                  FormatCount(stek_groups.groups[i].size())});
+  }
+  for (std::size_t i = 0; i < 3 && i < cache_groups.groups.size(); ++i) {
+    if (cache_groups.groups[i].size() < 2) break;
+    table.AddRow({"cache",
+                  net.GetDomain(cache_groups.groups[i].front()).operator_name,
+                  FormatCount(cache_groups.groups[i].size())});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // --- worst offenders.
+  struct Offender {
+    simnet::DomainId id;
+    int stek_span;
+    int dh_span;
+  };
+  std::vector<Offender> offenders;
+  for (const auto id : scan.core_domains) {
+    const int stek = scan.stek_spans.MaxSpanDays(id);
+    const int dh = std::max(scan.dhe_spans.MaxSpanDays(id),
+                            scan.ecdhe_spans.MaxSpanDays(id));
+    if (stek >= days || dh >= days) offenders.push_back({id, stek, dh});
+  }
+  std::sort(offenders.begin(), offenders.end(),
+            [&net](const Offender& a, const Offender& b) {
+              return net.GetDomain(a.id).rank < net.GetDomain(b.id).rank;
+            });
+  std::printf("\nDomains holding a secret the entire week (by rank):\n");
+  TextTable worst({"Rank", "Domain", "STEK span", "DH span"});
+  for (std::size_t i = 0; i < 12 && i < offenders.size(); ++i) {
+    const auto& info = net.GetDomain(offenders[i].id);
+    worst.AddRow({std::to_string(info.rank), info.name,
+                  std::to_string(offenders[i].stek_span) + "d",
+                  std::to_string(offenders[i].dh_span) + "d"});
+  }
+  std::printf("%s", worst.Render().c_str());
+  std::printf("\nEvery row above is a domain whose recorded traffic stays"
+              " decryptable for at least a week\nafter the fact — exactly"
+              " the exposure the paper quantifies at Internet scale.\n");
+  return 0;
+}

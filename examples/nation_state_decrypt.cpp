@@ -1,0 +1,136 @@
+// nation_state_decrypt: the paper's §7 threat, end to end.
+//
+// A passive adversary records TLS connections to a bank that never rotates
+// its STEK (and to a well-run site that rotates every 14 hours). Weeks
+// later the adversary compromises each server once. The static-STEK site's
+// entire recorded history decrypts; the rotating site's does not.
+#include <cstdio>
+
+#include "attack/decrypt.h"
+#include "crypto/drbg.h"
+#include "pki/ca.h"
+#include "pki/root_store.h"
+#include "server/terminator.h"
+#include "tls/client.h"
+#include "util/rng.h"
+
+using namespace tlsharm;
+
+namespace {
+
+struct Site {
+  std::unique_ptr<server::SslTerminator> terminator;
+  std::string domain;
+};
+
+Site MakeSite(pki::CertificateAuthority& ca,
+              const pki::CertificateChain& chain, crypto::Drbg& drbg,
+              const std::string& domain, server::ServerConfig config) {
+  Site site;
+  site.domain = domain;
+  site.terminator =
+      std::make_unique<server::SslTerminator>("term-" + domain, config,
+                                              StableHash64(domain));
+  server::Credential cred = server::MakeCredential(
+      ca, {domain}, pki::SignatureScheme::kSchnorrSim61, 0, 365 * kDay, chain,
+      drbg);
+  site.terminator->MapDomain(domain,
+                             site.terminator->AddCredential(std::move(cred)));
+  return site;
+}
+
+// One recorded browsing session: handshake + request, all captured.
+attack::ParsedCapture RecordSession(Site& site, SimTime when,
+                                    const std::string& request,
+                                    crypto::Drbg& drbg) {
+  auto conn = site.terminator->NewConnection(when);
+  attack::PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  tls::ClientConfig config;
+  config.server_name = site.domain;
+  tls::TlsClient client(config);
+  const auto hs = client.Handshake(tapped, when, drbg);
+  if (hs.ok) {
+    tls::RecordChannel channel(hs.keys, tls::Direction::kClientToServer);
+    (void)tls::TlsClient::Roundtrip(tapped, hs, channel, ToBytes(request),
+                                    drbg);
+  }
+  return attack::ParseCapture(capture.Log());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== nation_state_decrypt: retrospective decryption after STEK"
+              " theft ==\n\n");
+  crypto::Drbg drbg(ToBytes("example"));
+  pki::CertificateAuthority root("Root", pki::SignatureScheme::kSchnorrSim61,
+                                 drbg);
+  pki::CertificateAuthority ca("CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const pki::CertificateChain chain = {
+      root.IssueCaCertificate(ca, 0, 365 * kDay, drbg)};
+
+  server::ServerConfig lazy;
+  lazy.stek.rotation = server::StekRotation::kStatic;  // never rotated
+  Site bank = MakeSite(ca, chain, drbg, "bank.example", lazy);
+
+  server::ServerConfig diligent;
+  diligent.stek.rotation = server::StekRotation::kInterval;
+  diligent.stek.rotation_interval = 14 * kHour;  // Google-style
+  Site mail = MakeSite(ca, chain, drbg, "mail.example", diligent);
+
+  // --- Phase 1: weeks of passive collection.
+  crypto::Drbg user_drbg(ToBytes("victim"));
+  std::vector<attack::ParsedCapture> bank_tape, mail_tape;
+  for (int day = 0; day < 21; ++day) {
+    bank_tape.push_back(RecordSession(
+        bank, day * kDay + 12 * kHour,
+        "POST /transfer to=ACC-" + std::to_string(1000 + day), user_drbg));
+    mail_tape.push_back(RecordSession(
+        mail, day * kDay + 13 * kHour,
+        "GET /inbox/message-" + std::to_string(day), user_drbg));
+  }
+  std::printf("recorded %zu connections to each site over 21 days"
+              " (ciphertext only)\n\n", bank_tape.size());
+
+  // --- Phase 2: one-time compromise on day 21.
+  const SimTime theft_time = 21 * kDay;
+  const tls::Stek bank_stek = bank.terminator->Steks().StealCurrentKey(theft_time);
+  const tls::Stek mail_stek = mail.terminator->Steks().StealCurrentKey(theft_time);
+  std::printf("day 21: STEKs exfiltrated from both servers (16-byte keys)\n\n");
+
+  // --- Phase 3: retroactive decryption.
+  auto tally = [](const std::vector<attack::ParsedCapture>& tape,
+                  const attack::StekDecryptor& decryptor, const char* label) {
+    int decrypted = 0;
+    std::string sample;
+    for (const auto& capture : tape) {
+      const auto session = decryptor.Decrypt(capture);
+      if (session.ok) {
+        ++decrypted;
+        if (sample.empty() && !session.client_plaintext.empty()) {
+          sample = ToString(session.client_plaintext.front());
+        }
+      }
+    }
+    std::printf("%-14s %2d/%zu recorded days decrypted%s%s\n", label,
+                decrypted, tape.size(),
+                sample.empty() ? "" : " — e.g. \"",
+                sample.empty() ? "" : (sample + "\"").c_str());
+    return decrypted;
+  };
+
+  const attack::StekDecryptor bank_attack(lazy.tickets.codec, bank_stek);
+  const attack::StekDecryptor mail_attack(diligent.tickets.codec, mail_stek);
+  const int bank_hits = tally(bank_tape, bank_attack, "bank.example");
+  const int mail_hits = tally(mail_tape, mail_attack, "mail.example");
+
+  std::printf(
+      "\nThe static STEK exposed %d days of history to a single theft;\n"
+      "14-hour rotation left %d recorded days decryptable. This asymmetry\n"
+      "is the paper's central finding (38%% of Top-1M HTTPS sites kept\n"
+      "windows over 24 hours; 10%% over 30 days).\n",
+      bank_hits, mail_hits);
+  return 0;
+}

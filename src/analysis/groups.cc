@@ -1,0 +1,74 @@
+#include "analysis/groups.h"
+
+#include <algorithm>
+
+namespace tlsharm::analysis {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  for (std::size_t i = 0; i < n; ++i) {
+    parent_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint32_t UnionFind::Find(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::Union(std::uint32_t a, std::uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+}
+
+ServiceGroupBuilder::ServiceGroupBuilder(std::size_t domain_count)
+    : uf_(domain_count), is_member_(domain_count, false) {}
+
+void ServiceGroupBuilder::ObserveMember(scanner::DomainIndex domain) {
+  if (!is_member_[domain]) {
+    is_member_[domain] = true;
+    members_.push_back(domain);
+  }
+}
+
+void ServiceGroupBuilder::ObserveSecret(scanner::SecretId id,
+                                        scanner::DomainIndex domain) {
+  if (id == scanner::kNoSecret) return;
+  ObserveMember(domain);
+  const auto [it, inserted] = first_holder_.try_emplace(id, domain);
+  if (!inserted) uf_.Union(it->second, domain);
+}
+
+void ServiceGroupBuilder::ObserveLink(scanner::DomainIndex a,
+                                      scanner::DomainIndex b) {
+  ObserveMember(a);
+  ObserveMember(b);
+  uf_.Union(a, b);
+}
+
+std::vector<std::vector<scanner::DomainIndex>> ServiceGroupBuilder::Groups() {
+  std::unordered_map<std::uint32_t, std::vector<scanner::DomainIndex>> by_root;
+  for (const scanner::DomainIndex member : members_) {
+    by_root[uf_.Find(member)].push_back(member);
+  }
+  std::vector<std::vector<scanner::DomainIndex>> groups;
+  groups.reserve(by_root.size());
+  for (auto& [root, domains] : by_root) {
+    std::sort(domains.begin(), domains.end());
+    groups.push_back(std::move(domains));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();  // deterministic tie-break
+            });
+  return groups;
+}
+
+}  // namespace tlsharm::analysis

@@ -1,0 +1,56 @@
+// Service-group clustering (§5): domains sharing any secret value are
+// transitively grouped, exactly as the paper grows its graph.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "scanner/observation.h"
+
+namespace tlsharm::analysis {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::uint32_t Find(std::uint32_t x);
+  void Union(std::uint32_t a, std::uint32_t b);
+  bool Connected(std::uint32_t a, std::uint32_t b) {
+    return Find(a) == Find(b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+// Builds service groups from shared-secret observations.
+class ServiceGroupBuilder {
+ public:
+  explicit ServiceGroupBuilder(std::size_t domain_count);
+
+  // Declares that `domain` presented secret `id` (kNoSecret ignored):
+  // domains presenting equal ids are unioned.
+  void ObserveSecret(scanner::SecretId id, scanner::DomainIndex domain);
+
+  // Direct edge (used by the cross-domain resumption experiment, where
+  // success of resuming a's session on b is the sharing signal).
+  void ObserveLink(scanner::DomainIndex a, scanner::DomainIndex b);
+
+  // Marks a domain as participating (so single-member groups count).
+  void ObserveMember(scanner::DomainIndex domain);
+
+  // All groups among observed members, largest first.
+  std::vector<std::vector<scanner::DomainIndex>> Groups();
+
+  std::size_t MemberCount() const { return members_.size(); }
+
+ private:
+  UnionFind uf_;
+  std::unordered_map<scanner::SecretId, scanner::DomainIndex> first_holder_;
+  std::vector<scanner::DomainIndex> members_;
+  std::vector<bool> is_member_;
+};
+
+}  // namespace tlsharm::analysis

@@ -1,0 +1,69 @@
+#include "analysis/spans.h"
+
+#include <algorithm>
+
+namespace tlsharm::analysis {
+
+void SpanTracker::Fold(DomainState& state, int day) const {
+  // Retire entries that can no longer recur (outside the horizon).
+  auto it = state.live.begin();
+  while (it != state.live.end()) {
+    if (static_cast<int>(it->last) + horizon_ < day) {
+      state.best = std::max(state.best,
+                            static_cast<int>(it->last) -
+                                static_cast<int>(it->first) + 1);
+      it = state.live.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SpanTracker::Observe(DomainIndex domain, SecretId id, int day) {
+  if (id == scanner::kNoSecret) return;
+  DomainState& state = domains_[domain];
+  if (day != state.last_day_counted) {
+    state.last_day_counted = day;
+    ++state.days_observed;
+    Fold(state, day);
+  }
+  for (Entry& entry : state.live) {
+    if (entry.id == id) {
+      entry.last = static_cast<std::uint16_t>(day);
+      return;
+    }
+  }
+  state.live.push_back(Entry{id, static_cast<std::uint16_t>(day),
+                             static_cast<std::uint16_t>(day)});
+}
+
+bool SpanTracker::EverObserved(DomainIndex domain) const {
+  return domains_.count(domain) != 0;
+}
+
+int SpanTracker::MaxSpanDays(DomainIndex domain) const {
+  const auto it = domains_.find(domain);
+  if (it == domains_.end()) return 0;
+  int best = it->second.best;
+  for (const Entry& entry : it->second.live) {
+    best = std::max(best, static_cast<int>(entry.last) -
+                              static_cast<int>(entry.first) + 1);
+  }
+  return best;
+}
+
+int SpanTracker::DaysObserved(DomainIndex domain) const {
+  const auto it = domains_.find(domain);
+  return it == domains_.end() ? 0 : it->second.days_observed;
+}
+
+std::vector<std::pair<DomainIndex, int>> SpanTracker::AllSpans() const {
+  std::vector<std::pair<DomainIndex, int>> out;
+  out.reserve(domains_.size());
+  for (const auto& [domain, state] : domains_) {
+    out.emplace_back(domain, MaxSpanDays(domain));
+  }
+  return out;
+}
+
+}  // namespace tlsharm::analysis

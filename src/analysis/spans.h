@@ -1,0 +1,63 @@
+// Secret-lifetime estimation from daily observations (§4.3's method).
+//
+// A secret's span for a domain is last-seen − first-seen + 1 days for the
+// same (domain, secret-id) pair. Intermediate days where a different id was
+// observed do not break the span — that is exactly the paper's tolerance
+// for load-balancer and A-record jitter. Memory is bounded by folding
+// entries that cannot reappear (outside the reappearance horizon) into a
+// per-domain running maximum.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "scanner/observation.h"
+
+namespace tlsharm::analysis {
+
+using scanner::DomainIndex;
+using scanner::SecretId;
+
+class SpanTracker {
+ public:
+  explicit SpanTracker(int reappearance_horizon_days = 8)
+      : horizon_(reappearance_horizon_days) {}
+
+  // Records that `domain` presented secret `id` on `day` (non-decreasing
+  // across calls). kNoSecret observations are ignored.
+  void Observe(DomainIndex domain, SecretId id, int day);
+
+  // True if the domain ever presented any secret.
+  bool EverObserved(DomainIndex domain) const;
+
+  // Longest span (inclusive days) of any single secret for this domain;
+  // 0 when never observed. A value of 1 means no id ever recurred across
+  // days ("used different STEKs each day").
+  int MaxSpanDays(DomainIndex domain) const;
+
+  // Number of days on which the domain presented any secret.
+  int DaysObserved(DomainIndex domain) const;
+
+  // The per-domain maximum spans for every observed domain.
+  std::vector<std::pair<DomainIndex, int>> AllSpans() const;
+
+ private:
+  struct Entry {
+    SecretId id;
+    std::uint16_t first;
+    std::uint16_t last;
+  };
+  struct DomainState {
+    std::vector<Entry> live;
+    int best = 0;
+    int days_observed = 0;
+    int last_day_counted = -1;
+  };
+
+  void Fold(DomainState& state, int day) const;
+
+  int horizon_;
+  std::unordered_map<DomainIndex, DomainState> domains_;
+};
+
+}  // namespace tlsharm::analysis

@@ -1,0 +1,15 @@
+#include "analysis/vuln.h"
+
+namespace tlsharm::analysis {
+
+EmpiricalDistribution CombinedWindowDistribution(
+    const std::vector<DomainExposure>& exposures) {
+  EmpiricalDistribution dist;
+  for (const DomainExposure& exposure : exposures) {
+    if (!exposure.AnyMechanism()) continue;
+    dist.Add(static_cast<double>(exposure.MaxWindow()));
+  }
+  return dist;
+}
+
+}  // namespace tlsharm::analysis

@@ -1,0 +1,42 @@
+// Combined vulnerability windows (§6.4, Figure 8).
+//
+// A domain's overall exposure is the longest window any single shortcut
+// creates: the measured STEK span, the honoured session-cache window, and
+// the (EC)DHE value-reuse span. Windows are expressed in seconds.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/sim_clock.h"
+#include "util/stats.h"
+
+namespace tlsharm::analysis {
+
+struct DomainExposure {
+  // 0 when the mechanism was never observed for this domain.
+  SimTime stek_window = 0;        // STEK span
+  SimTime cache_window = 0;       // max honoured session-ID resumption delay
+  SimTime ticket_window = 0;      // max honoured ticket resumption delay
+  SimTime dh_window = 0;          // (EC)DHE value reuse span
+
+  bool AnyMechanism() const {
+    return stek_window > 0 || cache_window > 0 || ticket_window > 0 ||
+           dh_window > 0;
+  }
+
+  SimTime MaxWindow() const {
+    SimTime best = stek_window;
+    if (cache_window > best) best = cache_window;
+    if (ticket_window > best) best = ticket_window;
+    if (dh_window > best) best = dh_window;
+    return best;
+  }
+};
+
+// Builds the Figure 8 CDF over the max windows of domains that exhibited at
+// least one mechanism.
+EmpiricalDistribution CombinedWindowDistribution(
+    const std::vector<DomainExposure>& exposures);
+
+}  // namespace tlsharm::analysis

@@ -1,0 +1,73 @@
+#include "attack/capture.h"
+
+namespace tlsharm::attack {
+
+ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log) {
+  ParsedCapture out;
+  bool client_finished = false;
+  bool server_finished = false;
+  bool saw_client_hello = false;
+  bool saw_server_hello = false;
+  bool saw_certificate = false;
+
+  for (const CapturedExchange& exchange : log) {
+    const bool handshake_done = client_finished && server_finished;
+    if (handshake_done) {
+      (exchange.from_client ? out.client_records : out.server_records)
+          .push_back(exchange.bytes);
+      continue;
+    }
+    const auto msgs = tls::ParseFlight(exchange.bytes);
+    if (!msgs) return out;  // malformed mid-handshake: give up
+    for (const tls::HandshakeMessage& msg : *msgs) {
+      switch (msg.type) {
+        case tls::HandshakeType::kClientHello: {
+          const auto ch = tls::ClientHello::Parse(msg.body);
+          if (!ch) return out;
+          out.client_hello = *ch;
+          saw_client_hello = true;
+          break;
+        }
+        case tls::HandshakeType::kServerHello: {
+          const auto sh = tls::ServerHello::Parse(msg.body);
+          if (!sh) return out;
+          out.server_hello = *sh;
+          saw_server_hello = true;
+          break;
+        }
+        case tls::HandshakeType::kCertificate:
+          saw_certificate = true;
+          break;
+        case tls::HandshakeType::kServerKeyExchange: {
+          const auto ske = tls::ServerKeyExchange::Parse(msg.body);
+          if (!ske) return out;
+          out.server_kex = *ske;
+          break;
+        }
+        case tls::HandshakeType::kServerHelloDone:
+          break;
+        case tls::HandshakeType::kClientKeyExchange: {
+          const auto cke = tls::ClientKeyExchange::Parse(msg.body);
+          if (!cke) return out;
+          out.client_kex = *cke;
+          break;
+        }
+        case tls::HandshakeType::kNewSessionTicket: {
+          const auto nst = tls::NewSessionTicket::Parse(msg.body);
+          if (!nst) return out;
+          out.new_session_ticket = *nst;
+          break;
+        }
+        case tls::HandshakeType::kFinished:
+          (exchange.from_client ? client_finished : server_finished) = true;
+          break;
+      }
+    }
+  }
+  out.abbreviated = !saw_certificate;
+  out.valid = saw_client_hello && saw_server_hello && client_finished &&
+              server_finished;
+  return out;
+}
+
+}  // namespace tlsharm::attack

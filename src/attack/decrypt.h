@@ -1,0 +1,83 @@
+// Retrospective decryption of captured TLS connections after a server-side
+// secret compromise — the attack whose feasibility the paper measures.
+//
+// Three compromise vectors, matching §6.1–§6.3:
+//   StekDecryptor   — a stolen session-ticket encryption key opens the
+//                     captured ticket, yielding the master secret;
+//   CacheDecryptor  — a dumped server session cache maps a captured session
+//                     ID to its master secret;
+//   DhDecryptor     — a stolen reused (EC)DHE private value recomputes the
+//                     premaster from the captured client public value.
+// All three end the same way: master secret + captured hello randoms →
+// session keys → plaintext of every recorded application record.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/capture.h"
+#include "crypto/kex.h"
+#include "server/session_cache.h"
+#include "tls/keys.h"
+#include "tls/ticket.h"
+
+namespace tlsharm::attack {
+
+struct DecryptedSession {
+  bool ok = false;
+  std::string failure;  // why decryption was not possible
+
+  Bytes master_secret;
+  tls::SessionKeys keys;
+  std::vector<Bytes> client_plaintext;
+  std::vector<Bytes> server_plaintext;
+};
+
+// Shared tail of every vector: derive keys from a recovered master secret
+// and open the captured records.
+DecryptedSession DecryptWithMasterSecret(const ParsedCapture& capture,
+                                         ByteView master_secret);
+
+class StekDecryptor {
+ public:
+  StekDecryptor(tls::TicketCodecKind codec, tls::Stek stolen_stek)
+      : codec_(codec), stek_(std::move(stolen_stek)) {}
+
+  DecryptedSession Decrypt(const ParsedCapture& capture) const;
+
+ private:
+  tls::TicketCodecKind codec_;
+  tls::Stek stek_;
+};
+
+class CacheDecryptor {
+ public:
+  // `dump` is the compromised server-side session cache contents.
+  explicit CacheDecryptor(
+      const std::map<Bytes, server::CachedSession>& dump);
+
+  DecryptedSession Decrypt(const ParsedCapture& capture) const;
+
+ private:
+  std::map<Bytes, Bytes> master_by_session_id_;
+};
+
+class DhDecryptor {
+ public:
+  // The stolen reused server (EC)DHE private value and its public value.
+  DhDecryptor(crypto::NamedGroup group, Bytes stolen_private,
+              Bytes server_public)
+      : group_(group),
+        private_(std::move(stolen_private)),
+        public_(std::move(server_public)) {}
+
+  DecryptedSession Decrypt(const ParsedCapture& capture) const;
+
+ private:
+  crypto::NamedGroup group_;
+  Bytes private_;
+  Bytes public_;
+};
+
+}  // namespace tlsharm::attack

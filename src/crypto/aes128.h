@@ -1,0 +1,49 @@
+// AES-128 (FIPS 197) block cipher plus CBC mode with PKCS#7 padding
+// (NIST SP 800-38A), from scratch.
+//
+// RFC 5077's recommended ticket construction encrypts the serialized session
+// state with AES-128-CBC; the simulated record layer uses the same primitive
+// for application data so that stolen STEKs genuinely decrypt captured
+// traffic in the attack benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAes128KeySize = 16;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+using Aes128Key = std::array<std::uint8_t, kAes128KeySize>;
+
+// Expanded-key AES-128 context.
+class Aes128 {
+ public:
+  explicit Aes128(const Aes128Key& key);
+
+  void EncryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
+  void DecryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
+
+ private:
+  std::array<std::uint32_t, 44> round_keys_;
+};
+
+// CBC with PKCS#7 padding. The IV is prepended by callers (the ticket codec
+// and record layer carry the IV explicitly per their formats).
+Bytes Aes128CbcEncrypt(const Aes128Key& key, const AesBlock& iv,
+                       ByteView plaintext);
+
+// Returns nullopt on malformed length or bad padding.
+std::optional<Bytes> Aes128CbcDecrypt(const Aes128Key& key, const AesBlock& iv,
+                                      ByteView ciphertext);
+
+// Helpers to adapt Bytes-typed key/IV material (asserts on size mismatch).
+Aes128Key ToAesKey(ByteView b);
+AesBlock ToAesBlock(ByteView b);
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,107 @@
+// Arbitrary-precision unsigned integers and Montgomery modular arithmetic,
+// from scratch.
+//
+// This backs the finite-field Diffie-Hellman groups and the Schnorr
+// signatures used for certificate authentication. Division is avoided
+// entirely: all modular work goes through Montgomery multiplication (CIOS)
+// plus shift-and-conditionally-subtract reduction, which keeps the code
+// small and auditable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+class BigUInt {
+ public:
+  BigUInt() = default;  // zero
+  static BigUInt FromU64(std::uint64_t v);
+  static BigUInt FromHex(std::string_view hex);      // aborts on bad input
+  static BigUInt FromBytes(ByteView big_endian);
+
+  // Big-endian byte serialization, left-padded to `width` (0 = minimal).
+  Bytes ToBytes(std::size_t width = 0) const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t BitLength() const;
+  std::size_t LimbCount() const { return limbs_.size(); }
+  std::uint64_t Limb(std::size_t i) const {
+    return i < limbs_.size() ? limbs_[i] : 0;
+  }
+  bool Bit(std::size_t i) const;
+
+  // -1 / 0 / +1
+  static int Compare(const BigUInt& a, const BigUInt& b);
+  bool operator==(const BigUInt& o) const { return Compare(*this, o) == 0; }
+  bool operator<(const BigUInt& o) const { return Compare(*this, o) < 0; }
+
+  static BigUInt Add(const BigUInt& a, const BigUInt& b);
+  // Precondition: a >= b.
+  static BigUInt Sub(const BigUInt& a, const BigUInt& b);
+  static BigUInt Mul(const BigUInt& a, const BigUInt& b);
+  BigUInt ShiftLeft1() const;
+  BigUInt ShiftRight1() const;
+
+ private:
+  void Normalize();
+
+  // Little-endian limbs; empty means zero.
+  std::vector<std::uint64_t> limbs_;
+
+  friend class Montgomery;
+};
+
+// Montgomery context over an odd modulus n. All public operations take and
+// return values in the ordinary (non-Montgomery) domain.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigUInt& modulus);
+
+  const BigUInt& Modulus() const { return n_; }
+
+  // (a * b) mod n; a, b < n.
+  BigUInt MulMod(const BigUInt& a, const BigUInt& b) const;
+  // (a + b) mod n; a, b < n.
+  BigUInt AddMod(const BigUInt& a, const BigUInt& b) const;
+  // (a - b) mod n; a, b < n.
+  BigUInt SubMod(const BigUInt& a, const BigUInt& b) const;
+  // base^exp mod n; base < n.
+  BigUInt PowMod(const BigUInt& base, const BigUInt& exp) const;
+  // Reduces an arbitrary-size value mod n by processing 64-bit digits.
+  BigUInt Reduce(const BigUInt& a) const;
+  // Reduces a big-endian byte string mod n (hash-to-scalar).
+  BigUInt ReduceBytes(ByteView b) const;
+
+ private:
+  // Single-limb fast paths (the 61-bit simulation groups): native
+  // __int128 arithmetic, no allocation.
+  std::uint64_t PowModU64(std::uint64_t base, const BigUInt& exp) const;
+
+  // Core CIOS Montgomery multiply of two k-limb mont-domain values.
+  void MontMul(const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* out) const;
+  // Montgomery multiply with BigUInt operands (padded to k limbs).
+  BigUInt MontMulBig(const BigUInt& a, const BigUInt& b) const;
+  BigUInt ToMont(const BigUInt& a) const;
+  BigUInt FromMont(const BigUInt& a) const;
+  BigUInt CondSub(BigUInt a) const;  // a in [0, 2n) -> a mod n
+
+  BigUInt n_;
+  std::size_t k_ = 0;          // limb count of n
+  std::uint64_t n0inv_ = 0;    // -n^{-1} mod 2^64
+  BigUInt r_mod_n_;            // R mod n, R = 2^(64k)
+  BigUInt rr_;                 // R^2 mod n
+  BigUInt t64_;                // 2^64 mod n (for digitwise reduction)
+};
+
+// Miller-Rabin probabilistic primality test with fixed deterministic bases;
+// sufficient for validating embedded group parameters in tests.
+bool ProbablyPrime(const BigUInt& n);
+
+}  // namespace tlsharm::crypto

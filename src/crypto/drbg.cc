@@ -1,0 +1,48 @@
+#include "crypto/drbg.h"
+
+#include <cassert>
+
+namespace tlsharm::crypto {
+
+Drbg::Drbg(ByteView seed_material)
+    : key_(kSha256DigestSize, 0x00), v_(kSha256DigestSize, 0x01) {
+  Update(seed_material);
+}
+
+void Drbg::Update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes data = Concat({v_, Bytes{0x00}, provided});
+  key_ = HmacSha256Bytes(key_, data);
+  v_ = HmacSha256Bytes(key_, v_);
+  if (!provided.empty()) {
+    data = Concat({v_, Bytes{0x01}, provided});
+    key_ = HmacSha256Bytes(key_, data);
+    v_ = HmacSha256Bytes(key_, v_);
+  }
+}
+
+void Drbg::Reseed(ByteView seed_material) { Update(seed_material); }
+
+Bytes Drbg::Generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = HmacSha256Bytes(key_, v_);
+    const std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  Update({});
+  return out;
+}
+
+std::uint64_t Drbg::UniformInt(std::uint64_t bound) {
+  assert(bound > 0);
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const Bytes b = Generate(8);
+    const std::uint64_t r = ReadUint(b, 0, 8);
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,35 @@
+// HMAC-DRBG (NIST SP 800-90A, HMAC-SHA-256 instantiation), from scratch.
+//
+// All "cryptographic" randomness in the TLS stack (hello randoms, session
+// IDs, STEKs, ephemeral exponents, IVs) is drawn from a Drbg. Simulation
+// runs seed it deterministically so studies replay; nothing in the stack
+// depends on the seed source.
+#pragma once
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+class Drbg {
+ public:
+  // Instantiates from seed material (entropy || nonce || personalization).
+  explicit Drbg(ByteView seed_material);
+
+  // Generates `n` pseudorandom bytes.
+  Bytes Generate(std::size_t n);
+
+  // Mixes additional entropy into the state.
+  void Reseed(ByteView seed_material);
+
+  // Uniform integer in [0, bound), bound > 0; rejection-sampled.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+ private:
+  void Update(ByteView provided);
+
+  Bytes key_;  // K, 32 bytes
+  Bytes v_;    // V, 32 bytes
+};
+
+}  // namespace tlsharm::crypto

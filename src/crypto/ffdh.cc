@@ -1,0 +1,67 @@
+#include "crypto/ffdh.h"
+
+namespace tlsharm::crypto {
+
+const FfdhParams& FfdhSim61Params() {
+  static const FfdhParams params{
+      .name = "ffdhe-sim61",
+      .id = NamedGroup::kFfdheSim61,
+      .p_hex = "11c575d30bfa78ff",
+      .q_hex = "8e2bae985fd3c7f",
+      .g = 2,
+  };
+  return params;
+}
+
+const FfdhParams& FfdhSim256Params() {
+  static const FfdhParams params{
+      .name = "ffdhe-sim256",
+      .id = NamedGroup::kFfdheSim256,
+      .p_hex = "fbb557b1a3b5cdd3ef0adacabd9ae4fddaf1cae7f02e4e3b5bd727d58524cfe7",
+      .q_hex = "7ddaabd8d1dae6e9f7856d655ecd727eed78e573f817271dadeb93eac29267f3",
+      .g = 2,
+  };
+  return params;
+}
+
+FfdhGroup::FfdhGroup(const FfdhParams& params)
+    : params_(params),
+      p_(BigUInt::FromHex(params.p_hex)),
+      q_(BigUInt::FromHex(params.q_hex)),
+      g_(BigUInt::FromU64(params.g)),
+      mont_p_(p_),
+      value_width_((p_.BitLength() + 7) / 8) {}
+
+KexKeyPair FfdhGroup::GenerateKeyPair(Drbg& drbg) const {
+  // x uniform in [2, q): rejection-sample q's bit width (mask the top byte
+  // so the acceptance rate stays >= 50%).
+  const std::size_t q_width = (q_.BitLength() + 7) / 8;
+  const std::uint8_t top_mask = static_cast<std::uint8_t>(
+      0xff >> (8 * q_width - q_.BitLength()));
+  BigUInt x;
+  const BigUInt two = BigUInt::FromU64(2);
+  for (;;) {
+    Bytes raw = drbg.Generate(q_width);
+    raw[0] &= top_mask;
+    x = BigUInt::FromBytes(raw);
+    if (BigUInt::Compare(x, two) >= 0 && BigUInt::Compare(x, q_) < 0) break;
+  }
+  const BigUInt pub = mont_p_.PowMod(g_, x);
+  return KexKeyPair{.private_key = x.ToBytes(q_width),
+                    .public_value = pub.ToBytes(value_width_)};
+}
+
+std::optional<Bytes> FfdhGroup::SharedSecret(ByteView private_key,
+                                             ByteView peer_public) const {
+  if (peer_public.size() != value_width_) return std::nullopt;
+  const BigUInt peer = BigUInt::FromBytes(peer_public);
+  const BigUInt one = BigUInt::FromU64(1);
+  // Reject degenerate values: y <= 1 or y >= p - 1.
+  if (BigUInt::Compare(peer, one) <= 0) return std::nullopt;
+  if (BigUInt::Compare(peer, BigUInt::Sub(p_, one)) >= 0) return std::nullopt;
+  const BigUInt x = BigUInt::FromBytes(private_key);
+  const BigUInt shared = mont_p_.PowMod(peer, x);
+  return shared.ToBytes(value_width_);
+}
+
+}  // namespace tlsharm::crypto

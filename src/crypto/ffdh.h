@@ -1,0 +1,51 @@
+// Finite-field Diffie-Hellman over safe-prime groups (the "DHE" in TLS).
+//
+// Groups are safe primes p = 2q + 1 with generator g = 2; private keys are
+// sampled in [2, q). The 256-bit group's prime was generated offline with a
+// deterministic Miller-Rabin search (seeded with the study's start date) and
+// both groups' parameters are re-validated by tests via ProbablyPrime().
+#pragma once
+
+#include "crypto/biguint.h"
+#include "crypto/kex.h"
+
+namespace tlsharm::crypto {
+
+struct FfdhParams {
+  std::string_view name;
+  NamedGroup id;
+  std::string_view p_hex;  // safe prime
+  std::string_view q_hex;  // (p-1)/2, prime
+  std::uint64_t g;         // generator of the full group
+};
+
+// The embedded parameter sets.
+const FfdhParams& FfdhSim61Params();
+const FfdhParams& FfdhSim256Params();
+
+class FfdhGroup final : public KexGroup {
+ public:
+  explicit FfdhGroup(const FfdhParams& params);
+
+  std::string_view Name() const override { return params_.name; }
+  NamedGroup Id() const override { return params_.id; }
+  KexKind Kind() const override { return KexKind::kDhe; }
+  std::size_t PublicValueSize() const override { return value_width_; }
+
+  KexKeyPair GenerateKeyPair(Drbg& drbg) const override;
+  std::optional<Bytes> SharedSecret(ByteView private_key,
+                                    ByteView peer_public) const override;
+
+  const BigUInt& Prime() const { return p_; }
+  const BigUInt& SubgroupOrder() const { return q_; }
+
+ private:
+  FfdhParams params_;
+  BigUInt p_;
+  BigUInt q_;
+  BigUInt g_;
+  Montgomery mont_p_;
+  std::size_t value_width_;
+};
+
+}  // namespace tlsharm::crypto

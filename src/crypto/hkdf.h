@@ -1,0 +1,26 @@
+// HKDF (RFC 5869) with HMAC-SHA-256, plus the TLS 1.3 HKDF-Expand-Label
+// construction (RFC 8446 §7.1) used by the TLS 1.3 PSK extension module.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+// HKDF-Extract(salt, IKM) -> PRK (32 bytes).
+Bytes HkdfExtract(ByteView salt, ByteView ikm);
+
+// HKDF-Expand(PRK, info, L).
+Bytes HkdfExpand(ByteView prk, ByteView info, std::size_t length);
+
+// HKDF-Expand-Label(secret, label, context, L) with the "tls13 " prefix.
+Bytes HkdfExpandLabel(ByteView secret, std::string_view label,
+                      ByteView context, std::size_t length);
+
+// Derive-Secret(secret, label, transcript) = Expand-Label over the
+// transcript hash.
+Bytes DeriveSecret(ByteView secret, std::string_view label,
+                   ByteView transcript_hash);
+
+}  // namespace tlsharm::crypto

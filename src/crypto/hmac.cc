@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace tlsharm::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<std::uint8_t, kSha256BlockSize> block_key{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest hashed = Sha256Hash(key);
+    std::memcpy(block_key.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad_key_[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+  Reset();
+}
+
+void HmacSha256::Reset() {
+  inner_.Reset();
+  inner_.Update(ByteView(ipad_key_.data(), ipad_key_.size()));
+}
+
+void HmacSha256::Update(ByteView data) { inner_.Update(data); }
+
+Sha256Digest HmacSha256::Finish() {
+  const Sha256Digest inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(ByteView(opad_key_.data(), opad_key_.size()));
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256Mac(ByteView key, ByteView data) {
+  HmacSha256 ctx(key);
+  ctx.Update(data);
+  return ctx.Finish();
+}
+
+Bytes HmacSha256Bytes(ByteView key, ByteView data) {
+  const Sha256Digest d = HmacSha256Mac(key, data);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace tlsharm::crypto

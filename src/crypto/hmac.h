@@ -1,0 +1,32 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1), from scratch.
+//
+// Used for session-ticket integrity (RFC 5077 recommends HMAC-SHA-256 with a
+// 256-bit key), record MACs, the TLS 1.2 PRF and the HMAC-DRBG.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void Update(ByteView data);
+  Sha256Digest Finish();
+
+  // Restarts with the same key.
+  void Reset();
+
+ private:
+  std::array<std::uint8_t, kSha256BlockSize> ipad_key_;
+  std::array<std::uint8_t, kSha256BlockSize> opad_key_;
+  Sha256 inner_;
+};
+
+// One-shot convenience.
+Sha256Digest HmacSha256Mac(ByteView key, ByteView data);
+Bytes HmacSha256Bytes(ByteView key, ByteView data);
+
+}  // namespace tlsharm::crypto

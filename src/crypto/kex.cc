@@ -1,0 +1,40 @@
+#include "crypto/kex.h"
+
+#include <cstdlib>
+
+#include "crypto/ffdh.h"
+#include "crypto/simec61.h"
+#include "crypto/x25519.h"
+
+namespace tlsharm::crypto {
+
+const KexGroup& GetKexGroup(NamedGroup id) {
+  static const FfdhGroup* sim61 = new FfdhGroup(FfdhSim61Params());
+  static const FfdhGroup* sim256 = new FfdhGroup(FfdhSim256Params());
+  static const SimEc61Group* simec = new SimEc61Group();
+  static const X25519Group* x25519 = new X25519Group();
+  switch (id) {
+    case NamedGroup::kFfdheSim61:
+      return *sim61;
+    case NamedGroup::kFfdheSim256:
+      return *sim256;
+    case NamedGroup::kSimEc61:
+      return *simec;
+    case NamedGroup::kX25519:
+      return *x25519;
+  }
+  std::abort();
+}
+
+bool IsKnownGroup(std::uint16_t id) {
+  switch (static_cast<NamedGroup>(id)) {
+    case NamedGroup::kFfdheSim61:
+    case NamedGroup::kFfdheSim256:
+    case NamedGroup::kSimEc61:
+    case NamedGroup::kX25519:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace tlsharm::crypto

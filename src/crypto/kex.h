@@ -1,0 +1,63 @@
+// Key-exchange group abstraction.
+//
+// TLS cipher suites in this stack negotiate one of these named groups. Two
+// "full-strength" groups (a 256-bit safe-prime FFDH group and RFC 7748
+// X25519) are provided for tests, examples and micro-benchmarks, and two
+// "sim-grade" 61-bit groups provide the identical code path at the speed
+// needed to replay nine weeks of Top-Million scanning in-process. The
+// distinction is a simulation-scale parameter (see DESIGN.md): every group
+// performs a real Diffie-Hellman computation, and reuse of the server's
+// private value has exactly the paper's consequence — anyone holding it can
+// recompute the premaster secret of any recorded handshake that used it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+enum class KexKind : std::uint8_t {
+  kDhe,    // finite-field ephemeral Diffie-Hellman
+  kEcdhe,  // elliptic-curve ephemeral Diffie-Hellman
+};
+
+enum class NamedGroup : std::uint16_t {
+  kFfdheSim61 = 0x01f0,   // 61-bit safe-prime FFDH (simulation grade)
+  kFfdheSim256 = 0x01f1,  // 256-bit safe-prime FFDH
+  kSimEc61 = 0x01f2,      // x-only Montgomery-curve ladder over 2^61-1
+  kX25519 = 0x001d,       // RFC 7748
+};
+
+struct KexKeyPair {
+  Bytes private_key;
+  Bytes public_value;
+};
+
+class KexGroup {
+ public:
+  virtual ~KexGroup() = default;
+
+  virtual std::string_view Name() const = 0;
+  virtual NamedGroup Id() const = 0;
+  virtual KexKind Kind() const = 0;
+  virtual std::size_t PublicValueSize() const = 0;
+
+  virtual KexKeyPair GenerateKeyPair(Drbg& drbg) const = 0;
+
+  // Returns nullopt when the peer value is malformed or degenerate.
+  virtual std::optional<Bytes> SharedSecret(ByteView private_key,
+                                            ByteView peer_public) const = 0;
+};
+
+// Returns the singleton implementation for a named group; aborts on an
+// unknown id (the handshake layer validates ids before lookup).
+const KexGroup& GetKexGroup(NamedGroup id);
+
+// True if this process knows the group id.
+bool IsKnownGroup(std::uint16_t id);
+
+}  // namespace tlsharm::crypto

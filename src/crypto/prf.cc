@@ -1,0 +1,44 @@
+#include "crypto/prf.h"
+
+#include "crypto/hmac.h"
+
+namespace tlsharm::crypto {
+
+Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
+               std::size_t out_len) {
+  // P_SHA256(secret, label || seed): A(0) = label||seed,
+  // A(i) = HMAC(secret, A(i-1)), output = HMAC(secret, A(i) || label||seed).
+  const Bytes label_seed = Concat({ByteView(
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size()),
+      seed});
+  Bytes out;
+  out.reserve(out_len);
+  Bytes a = HmacSha256Bytes(secret, label_seed);
+  while (out.size() < out_len) {
+    const Bytes chunk = HmacSha256Bytes(secret, Concat({a, label_seed}));
+    const std::size_t take = std::min(chunk.size(), out_len - out.size());
+    out.insert(out.end(), chunk.begin(), chunk.begin() + take);
+    a = HmacSha256Bytes(secret, a);
+  }
+  return out;
+}
+
+Bytes DeriveMasterSecret(ByteView premaster, ByteView client_random,
+                         ByteView server_random) {
+  return Tls12Prf(premaster, "master secret",
+                  Concat({client_random, server_random}), 48);
+}
+
+Bytes DeriveKeyBlock(ByteView master_secret, ByteView server_random,
+                     ByteView client_random, std::size_t out_len) {
+  // Note RFC 5246 orders the seed server_random || client_random here.
+  return Tls12Prf(master_secret, "key expansion",
+                  Concat({server_random, client_random}), out_len);
+}
+
+Bytes ComputeVerifyData(ByteView master_secret, std::string_view label,
+                        ByteView transcript_hash) {
+  return Tls12Prf(master_secret, label, transcript_hash, 12);
+}
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,28 @@
+// TLS 1.2 pseudo-random function (RFC 5246 §5), P_SHA256 only.
+//
+// Derives the master secret from the premaster secret and the key block from
+// the master secret — both for full handshakes and for abbreviated
+// (resumption) handshakes, which rerun the key-block derivation with fresh
+// randoms over the *original* master secret.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tlsharm::crypto {
+
+// PRF(secret, label, seed)[0..out_len)
+Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
+               std::size_t out_len);
+
+// Standard derivations, kept here so client/server/attacker share one code
+// path (the attacker must derive exactly what the endpoints derived).
+Bytes DeriveMasterSecret(ByteView premaster, ByteView client_random,
+                         ByteView server_random);
+Bytes DeriveKeyBlock(ByteView master_secret, ByteView server_random,
+                     ByteView client_random, std::size_t out_len);
+Bytes ComputeVerifyData(ByteView master_secret, std::string_view label,
+                        ByteView transcript_hash);
+
+}  // namespace tlsharm::crypto

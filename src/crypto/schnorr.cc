@@ -1,0 +1,126 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/sha256.h"
+
+namespace tlsharm::crypto {
+
+SchnorrScheme::SchnorrScheme(const FfdhParams& params)
+    : p_(BigUInt::FromHex(params.p_hex)),
+      q_(BigUInt::FromHex(params.q_hex)),
+      h_(BigUInt::FromU64(params.g * params.g)),
+      mont_p_(p_),
+      mont_q_(q_),
+      p_width_((p_.BitLength() + 7) / 8),
+      q_width_((q_.BitLength() + 7) / 8) {}
+
+BigUInt SchnorrScheme::HashToScalar(ByteView r_bytes, ByteView message) const {
+  Sha256 hash;
+  hash.Update(r_bytes);
+  hash.Update(message);
+  const Sha256Digest digest = hash.Finish();
+  return mont_q_.ReduceBytes(ByteView(digest.data(), digest.size()));
+}
+
+SchnorrKeyPair SchnorrScheme::GenerateKeyPair(Drbg& drbg) const {
+  BigUInt x;
+  const BigUInt one = BigUInt::FromU64(1);
+  do {
+    x = BigUInt::FromBytes(drbg.Generate(q_width_));
+    x = mont_q_.Reduce(x);
+  } while (BigUInt::Compare(x, one) <= 0);
+  const BigUInt y = mont_p_.PowMod(h_, x);
+  return SchnorrKeyPair{.private_key = x.ToBytes(q_width_),
+                        .public_key = y.ToBytes(p_width_)};
+}
+
+SchnorrSignature SchnorrScheme::Sign(ByteView private_key, ByteView message,
+                                     Drbg& drbg) const {
+  const BigUInt x = BigUInt::FromBytes(private_key);
+  BigUInt k, e;
+  const BigUInt zero;
+  do {
+    do {
+      k = mont_q_.Reduce(BigUInt::FromBytes(drbg.Generate(q_width_)));
+    } while (k.IsZero());
+    const BigUInt r = mont_p_.PowMod(h_, k);
+    e = HashToScalar(r.ToBytes(p_width_), message);
+  } while (e.IsZero());
+  // s = k + e*x mod q
+  const BigUInt s = mont_q_.AddMod(k, mont_q_.MulMod(e, mont_q_.Reduce(x)));
+  return SchnorrSignature{.e = e.ToBytes(q_width_), .s = s.ToBytes(q_width_)};
+}
+
+bool SchnorrScheme::Verify(ByteView public_key, ByteView message,
+                           const SchnorrSignature& sig) const {
+  if (public_key.size() != p_width_ || sig.e.size() != q_width_ ||
+      sig.s.size() != q_width_) {
+    return false;
+  }
+  const BigUInt y = BigUInt::FromBytes(public_key);
+  const BigUInt one = BigUInt::FromU64(1);
+  if (BigUInt::Compare(y, one) <= 0 || BigUInt::Compare(y, p_) >= 0) {
+    return false;
+  }
+  const BigUInt e = BigUInt::FromBytes(sig.e);
+  const BigUInt s = BigUInt::FromBytes(sig.s);
+  if (e.IsZero() || BigUInt::Compare(e, q_) >= 0) return false;
+  if (BigUInt::Compare(s, q_) >= 0) return false;
+  // r' = h^s * y^(q - e) mod p  (y has order q, so y^(q-e) = y^{-e}).
+  const BigUInt r1 = mont_p_.PowMod(h_, s);
+  const BigUInt r2 = mont_p_.PowMod(y, BigUInt::Sub(q_, e));
+  const BigUInt r = mont_p_.MulMod(r1, r2);
+  const BigUInt e_check = HashToScalar(r.ToBytes(p_width_), message);
+  return e_check == e;
+}
+
+Bytes SchnorrScheme::SerializeSignature(const SchnorrSignature& sig) const {
+  return Concat({sig.e, sig.s});
+}
+
+std::optional<SchnorrSignature> SchnorrScheme::ParseSignature(
+    ByteView data) const {
+  if (data.size() != 2 * q_width_) return std::nullopt;
+  return SchnorrSignature{
+      .e = Bytes(data.begin(), data.begin() + q_width_),
+      .s = Bytes(data.begin() + q_width_, data.end()),
+  };
+}
+
+Bytes SchnorrScheme::DhPublic(ByteView private_scalar) const {
+  const BigUInt b = BigUInt::FromBytes(private_scalar);
+  return mont_p_.PowMod(h_, b).ToBytes(p_width_);
+}
+
+std::optional<Bytes> SchnorrScheme::DhShared(ByteView private_scalar,
+                                             ByteView peer_public) const {
+  if (peer_public.size() != p_width_) return std::nullopt;
+  const BigUInt peer = BigUInt::FromBytes(peer_public);
+  const BigUInt one = BigUInt::FromU64(1);
+  if (BigUInt::Compare(peer, one) <= 0 ||
+      BigUInt::Compare(peer, BigUInt::Sub(p_, one)) >= 0) {
+    return std::nullopt;
+  }
+  const BigUInt b = BigUInt::FromBytes(private_scalar);
+  return mont_p_.PowMod(peer, b).ToBytes(p_width_);
+}
+
+Bytes SchnorrScheme::GenerateDhScalar(Drbg& drbg) const {
+  BigUInt b;
+  const BigUInt one = BigUInt::FromU64(1);
+  do {
+    b = mont_q_.Reduce(BigUInt::FromBytes(drbg.Generate(q_width_)));
+  } while (BigUInt::Compare(b, one) <= 0);
+  return b.ToBytes(q_width_);
+}
+
+const SchnorrScheme& SchnorrSim61() {
+  static const SchnorrScheme* scheme = new SchnorrScheme(FfdhSim61Params());
+  return *scheme;
+}
+
+const SchnorrScheme& SchnorrSim256() {
+  static const SchnorrScheme* scheme = new SchnorrScheme(FfdhSim256Params());
+  return *scheme;
+}
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,73 @@
+// Schnorr signatures over the prime-order subgroup of a safe-prime field
+// group, from scratch.
+//
+// These authenticate servers: the simulated PKI signs certificates with
+// them, standing in for the RSA/ECDSA signatures of the real web (see the
+// substitution table in DESIGN.md — the study needs *a* real signature, not
+// a particular algorithm). Generator h = g^2 = 4 has order q = (p-1)/2.
+//
+// Signature form: (e, s) with r = h^k, e = H(r || m) mod q, s = k + e*x
+// mod q. Verification recomputes r' = h^s * y^(q-e) and checks
+// H(r' || m) mod q == e.
+#pragma once
+
+#include "crypto/biguint.h"
+#include "crypto/drbg.h"
+#include "crypto/ffdh.h"
+
+namespace tlsharm::crypto {
+
+struct SchnorrKeyPair {
+  Bytes private_key;  // x, big-endian
+  Bytes public_key;   // y = h^x mod p, big-endian (p-width)
+};
+
+struct SchnorrSignature {
+  Bytes e;  // challenge, q-width
+  Bytes s;  // response, q-width
+};
+
+class SchnorrScheme {
+ public:
+  // `params` names the underlying safe-prime group (sim61 or sim256).
+  explicit SchnorrScheme(const FfdhParams& params);
+
+  SchnorrKeyPair GenerateKeyPair(Drbg& drbg) const;
+  SchnorrSignature Sign(ByteView private_key, ByteView message,
+                        Drbg& drbg) const;
+  bool Verify(ByteView public_key, ByteView message,
+              const SchnorrSignature& sig) const;
+
+  std::size_t PublicKeySize() const { return p_width_; }
+  std::size_t ScalarSize() const { return q_width_; }
+
+  // Static Diffie-Hellman against a Schnorr key: the certificate public key
+  // y = h^x doubles as a DH value in the same group. This backs the
+  // non-forward-secret "static" cipher suite (the RSA-key-transport
+  // stand-in): anyone who later obtains x recomputes every premaster.
+  Bytes DhPublic(ByteView private_scalar) const;          // h^b mod p
+  std::optional<Bytes> DhShared(ByteView private_scalar,
+                                ByteView peer_public) const;  // peer^b mod p
+  Bytes GenerateDhScalar(Drbg& drbg) const;
+
+  // Serialized signature is e || s.
+  Bytes SerializeSignature(const SchnorrSignature& sig) const;
+  std::optional<SchnorrSignature> ParseSignature(ByteView data) const;
+
+ private:
+  BigUInt HashToScalar(ByteView r_bytes, ByteView message) const;
+
+  BigUInt p_;
+  BigUInt q_;
+  BigUInt h_;  // subgroup generator
+  Montgomery mont_p_;
+  Montgomery mont_q_;
+  std::size_t p_width_;
+  std::size_t q_width_;
+};
+
+// Process-wide scheme instances.
+const SchnorrScheme& SchnorrSim61();
+const SchnorrScheme& SchnorrSim256();
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,110 @@
+#include "crypto/simec61.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr std::uint64_t kP = (1ULL << 61) - 1;  // Mersenne prime
+constexpr std::uint64_t kA24 = 121666;          // (A + 2) / 4 for A = 486662
+constexpr std::uint64_t kBaseX = 9;
+
+std::uint64_t Reduce(std::uint64_t x) {
+  x = (x & kP) + (x >> 61);
+  if (x >= kP) x -= kP;
+  return x;
+}
+
+std::uint64_t FAdd(std::uint64_t a, std::uint64_t b) { return Reduce(a + b); }
+
+std::uint64_t FSub(std::uint64_t a, std::uint64_t b) {
+  return Reduce(a + kP - b);
+}
+
+std::uint64_t FMul(std::uint64_t a, std::uint64_t b) {
+  const u128 t = static_cast<u128>(a) * b;
+  // Fold twice: values below 2^122 reduce to < 2^62 after one fold.
+  std::uint64_t lo = static_cast<std::uint64_t>(t & kP);
+  std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+  return Reduce(lo + Reduce(hi));
+}
+
+std::uint64_t FInv(std::uint64_t a) {
+  // a^(p-2) by square-and-multiply.
+  std::uint64_t result = 1;
+  std::uint64_t base = Reduce(a);
+  std::uint64_t e = kP - 2;
+  while (e != 0) {
+    if (e & 1) result = FMul(result, base);
+    base = FMul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t SimEc61Group::Ladder(std::uint64_t scalar, std::uint64_t x1) {
+  x1 = Reduce(x1);
+  std::uint64_t x2 = 1, z2 = 0, x3 = x1, z3 = 1;
+  bool swap = false;
+  for (int i = 60; i >= 0; --i) {
+    const bool bit = (scalar >> i) & 1;
+    if (swap != bit) {
+      std::swap(x2, x3);
+      std::swap(z2, z3);
+    }
+    swap = bit;
+    const std::uint64_t a = FAdd(x2, z2);
+    const std::uint64_t aa = FMul(a, a);
+    const std::uint64_t b = FSub(x2, z2);
+    const std::uint64_t bb = FMul(b, b);
+    const std::uint64_t e = FSub(aa, bb);
+    const std::uint64_t c = FAdd(x3, z3);
+    const std::uint64_t d = FSub(x3, z3);
+    const std::uint64_t da = FMul(d, a);
+    const std::uint64_t cb = FMul(c, b);
+    const std::uint64_t t0 = FAdd(da, cb);
+    x3 = FMul(t0, t0);
+    const std::uint64_t t1 = FSub(da, cb);
+    z3 = FMul(x1, FMul(t1, t1));
+    x2 = FMul(aa, bb);
+    z2 = FMul(e, FAdd(bb, FMul(kA24, e)));
+  }
+  if (swap) {
+    std::swap(x2, x3);
+    std::swap(z2, z3);
+  }
+  if (z2 == 0) return 0;
+  return FMul(x2, FInv(z2));
+}
+
+KexKeyPair SimEc61Group::GenerateKeyPair(Drbg& drbg) const {
+  // Scalars in [2, 2^61).
+  std::uint64_t scalar;
+  do {
+    const Bytes b = drbg.Generate(8);
+    scalar = ReadUint(b, 0, 8) & ((1ULL << 61) - 1);
+  } while (scalar < 2);
+  const std::uint64_t pub = Ladder(scalar, kBaseX);
+  Bytes priv, pub_bytes;
+  AppendUint(priv, scalar, 8);
+  AppendUint(pub_bytes, pub, 8);
+  return KexKeyPair{.private_key = std::move(priv),
+                    .public_value = std::move(pub_bytes)};
+}
+
+std::optional<Bytes> SimEc61Group::SharedSecret(ByteView private_key,
+                                                ByteView peer_public) const {
+  if (private_key.size() != 8 || peer_public.size() != 8) return std::nullopt;
+  const std::uint64_t scalar = ReadUint(private_key, 0, 8);
+  const std::uint64_t peer_x = ReadUint(peer_public, 0, 8);
+  if (peer_x == 0 || peer_x >= kP) return std::nullopt;
+  const std::uint64_t shared = Ladder(scalar, peer_x);
+  if (shared == 0) return std::nullopt;
+  Bytes out;
+  AppendUint(out, shared, 8);
+  return out;
+}
+
+}  // namespace tlsharm::crypto

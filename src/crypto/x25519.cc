@@ -1,0 +1,104 @@
+#include "crypto/x25519.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/biguint.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+const Montgomery& FieldCtx() {
+  static const Montgomery* ctx = new Montgomery(BigUInt::FromHex(
+      "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"));
+  return *ctx;
+}
+
+BigUInt DecodeLittleEndian(ByteView b, bool mask_high_bit) {
+  Bytes be(b.begin(), b.end());
+  std::reverse(be.begin(), be.end());
+  if (mask_high_bit && !be.empty()) be[0] &= 0x7f;
+  return BigUInt::FromBytes(be);
+}
+
+Bytes EncodeLittleEndian(const BigUInt& v) {
+  Bytes be = v.ToBytes(kX25519KeySize);
+  std::reverse(be.begin(), be.end());
+  return be;
+}
+
+}  // namespace
+
+Bytes X25519ScalarMult(ByteView scalar, ByteView u_coordinate) {
+  assert(scalar.size() == kX25519KeySize);
+  assert(u_coordinate.size() == kX25519KeySize);
+  const Montgomery& f = FieldCtx();
+  const BigUInt one = BigUInt::FromU64(1);
+  const BigUInt a24 = BigUInt::FromU64(121665);
+
+  Bytes k(scalar.begin(), scalar.end());
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const BigUInt x1 = f.Reduce(DecodeLittleEndian(u_coordinate, true));
+  BigUInt x2 = one, z2, x3 = x1, z3 = one;
+  bool swap = false;
+  for (int i = 254; i >= 0; --i) {
+    const bool bit = (k[static_cast<std::size_t>(i) / 8] >> (i % 8)) & 1;
+    if (swap != bit) {
+      std::swap(x2, x3);
+      std::swap(z2, z3);
+    }
+    swap = bit;
+    const BigUInt a = f.AddMod(x2, z2);
+    const BigUInt aa = f.MulMod(a, a);
+    const BigUInt b = f.SubMod(x2, z2);
+    const BigUInt bb = f.MulMod(b, b);
+    const BigUInt e = f.SubMod(aa, bb);
+    const BigUInt c = f.AddMod(x3, z3);
+    const BigUInt d = f.SubMod(x3, z3);
+    const BigUInt da = f.MulMod(d, a);
+    const BigUInt cb = f.MulMod(c, b);
+    const BigUInt t0 = f.AddMod(da, cb);
+    x3 = f.MulMod(t0, t0);
+    const BigUInt t1 = f.SubMod(da, cb);
+    z3 = f.MulMod(x1, f.MulMod(t1, t1));
+    x2 = f.MulMod(aa, bb);
+    // RFC 7748: z2 = E * (AA + a24 * E), a24 = (486662 - 2) / 4.
+    z2 = f.MulMod(e, f.AddMod(aa, f.MulMod(a24, e)));
+  }
+  if (swap) {
+    std::swap(x2, x3);
+    std::swap(z2, z3);
+  }
+  // x2 / z2 = x2 * z2^(p-2).
+  const BigUInt p_minus_2 = BigUInt::Sub(f.Modulus(), BigUInt::FromU64(2));
+  const BigUInt result = f.MulMod(x2, f.PowMod(z2, p_minus_2));
+  return EncodeLittleEndian(result);
+}
+
+KexKeyPair X25519Group::GenerateKeyPair(Drbg& drbg) const {
+  Bytes priv = drbg.Generate(kX25519KeySize);
+  Bytes base(kX25519KeySize, 0);
+  base[0] = 9;
+  Bytes pub = X25519ScalarMult(priv, base);
+  return KexKeyPair{.private_key = std::move(priv),
+                    .public_value = std::move(pub)};
+}
+
+std::optional<Bytes> X25519Group::SharedSecret(ByteView private_key,
+                                               ByteView peer_public) const {
+  if (private_key.size() != kX25519KeySize ||
+      peer_public.size() != kX25519KeySize) {
+    return std::nullopt;
+  }
+  Bytes shared = X25519ScalarMult(private_key, peer_public);
+  // RFC 7748 §6.1: reject all-zero shared secrets (low-order inputs).
+  bool all_zero = true;
+  for (std::uint8_t b : shared) all_zero &= (b == 0);
+  if (all_zero) return std::nullopt;
+  return shared;
+}
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,30 @@
+// X25519 (RFC 7748), the full-strength ECDHE group.
+//
+// Built on the project's Montgomery bignum arithmetic rather than a
+// hand-tuned field implementation: correctness and auditability matter more
+// than speed here, since the bulk simulation path uses SimEc61. Verified
+// against the RFC 7748 test vectors in tests/crypto/x25519_test.cc.
+#pragma once
+
+#include "crypto/kex.h"
+
+namespace tlsharm::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+class X25519Group final : public KexGroup {
+ public:
+  std::string_view Name() const override { return "x25519"; }
+  NamedGroup Id() const override { return NamedGroup::kX25519; }
+  KexKind Kind() const override { return KexKind::kEcdhe; }
+  std::size_t PublicValueSize() const override { return kX25519KeySize; }
+
+  KexKeyPair GenerateKeyPair(Drbg& drbg) const override;
+  std::optional<Bytes> SharedSecret(ByteView private_key,
+                                    ByteView peer_public) const override;
+};
+
+// RFC 7748 scalar multiplication: X25519(k, u), both 32-byte little-endian.
+Bytes X25519ScalarMult(ByteView scalar, ByteView u_coordinate);
+
+}  // namespace tlsharm::crypto

@@ -1,0 +1,67 @@
+#include "pki/ca.h"
+
+namespace tlsharm::pki {
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           SignatureScheme scheme,
+                                           crypto::Drbg& drbg)
+    : name_(std::move(name)),
+      scheme_(scheme),
+      key_pair_(GetScheme(scheme).GenerateKeyPair(drbg)) {}
+
+Certificate CertificateAuthority::Issue(CertificateData data,
+                                        crypto::Drbg& drbg) const {
+  data.issuer = name_;
+  data.serial = next_serial_++;
+  Certificate cert;
+  cert.data = std::move(data);
+  const Bytes tbs = SerializeTbs(cert.data);
+  cert.signature = GetScheme(scheme_).SerializeSignature(
+      GetScheme(scheme_).Sign(key_pair_.private_key, tbs, drbg));
+  return cert;
+}
+
+Certificate CertificateAuthority::SelfSigned(SimTime not_before,
+                                             SimTime not_after,
+                                             crypto::Drbg& drbg) const {
+  CertificateData data;
+  data.subject_cn = name_;
+  data.not_before = not_before;
+  data.not_after = not_after;
+  data.scheme = scheme_;
+  data.public_key = key_pair_.public_key;
+  data.is_ca = true;
+  return Issue(std::move(data), drbg);
+}
+
+Certificate CertificateAuthority::IssueLeaf(const std::string& subject_cn,
+                                            std::vector<std::string> sans,
+                                            ByteView public_key,
+                                            SimTime not_before,
+                                            SimTime not_after,
+                                            crypto::Drbg& drbg) const {
+  CertificateData data;
+  data.subject_cn = subject_cn;
+  data.sans = std::move(sans);
+  data.not_before = not_before;
+  data.not_after = not_after;
+  data.scheme = scheme_;
+  data.public_key = Bytes(public_key.begin(), public_key.end());
+  data.is_ca = false;
+  return Issue(std::move(data), drbg);
+}
+
+Certificate CertificateAuthority::IssueCaCertificate(
+    const CertificateAuthority& subordinate, SimTime not_before,
+    SimTime not_after, crypto::Drbg& drbg) const {
+  CertificateData data;
+  data.subject_cn = subordinate.Name();
+  data.not_before = not_before;
+  data.not_after = not_after;
+  data.scheme = subordinate.Scheme();
+  data.public_key = subordinate.PublicKey();
+  data.is_ca = true;
+  return Issue(std::move(data), drbg);
+}
+
+}  // namespace tlsharm::pki

@@ -1,0 +1,53 @@
+// Certificate authorities and issuance.
+//
+// The simulation uses a two-tier hierarchy: trusted roots (in the simulated
+// NSS store), intermediates operated by "issuers" (standing in for the DV
+// CAs of 2016), and an untrusted CA for the self-signed / invalid-cert share
+// of the population.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "pki/certificate.h"
+
+namespace tlsharm::pki {
+
+class CertificateAuthority {
+ public:
+  // Creates a CA with a fresh keypair; `scheme` selects the Schnorr group.
+  CertificateAuthority(std::string name, SignatureScheme scheme,
+                       crypto::Drbg& drbg);
+
+  const std::string& Name() const { return name_; }
+  SignatureScheme Scheme() const { return scheme_; }
+  const Bytes& PublicKey() const { return key_pair_.public_key; }
+
+  // Self-signed CA certificate (for roots, and for presenting intermediates
+  // within chains; intermediates should instead use the cert issued by
+  // their parent via IssueCaCertificate).
+  Certificate SelfSigned(SimTime not_before, SimTime not_after,
+                         crypto::Drbg& drbg) const;
+
+  // Issues a leaf certificate binding `public_key` to the given names.
+  Certificate IssueLeaf(const std::string& subject_cn,
+                        std::vector<std::string> sans, ByteView public_key,
+                        SimTime not_before, SimTime not_after,
+                        crypto::Drbg& drbg) const;
+
+  // Issues a CA certificate to a subordinate authority.
+  Certificate IssueCaCertificate(const CertificateAuthority& subordinate,
+                                 SimTime not_before, SimTime not_after,
+                                 crypto::Drbg& drbg) const;
+
+ private:
+  Certificate Issue(CertificateData data, crypto::Drbg& drbg) const;
+
+  std::string name_;
+  SignatureScheme scheme_;
+  crypto::SchnorrKeyPair key_pair_;
+  mutable std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace tlsharm::pki

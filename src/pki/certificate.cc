@@ -1,0 +1,141 @@
+#include "pki/certificate.h"
+
+#include <cstdlib>
+
+#include "crypto/sha256.h"
+
+namespace tlsharm::pki {
+namespace {
+
+void AppendString(Bytes& out, const std::string& s) {
+  AppendUint(out, s.size(), 2);
+  Append(out, ToBytes(s));
+}
+
+void AppendBlob(Bytes& out, ByteView b) {
+  AppendUint(out, b.size(), 2);
+  Append(out, b);
+}
+
+// Sequential reader with failure latching, mirroring the TLS wire reader.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint64_t ReadInt(int width) {
+    if (failed_ || off_ + static_cast<std::size_t>(width) > data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    const std::uint64_t v = ReadUint(data_, off_, width);
+    off_ += static_cast<std::size_t>(width);
+    return v;
+  }
+
+  Bytes ReadBlob() {
+    const std::size_t len = static_cast<std::size_t>(ReadInt(2));
+    if (failed_ || off_ + len > data_.size()) {
+      failed_ = true;
+      return {};
+    }
+    Bytes out(data_.begin() + off_, data_.begin() + off_ + len);
+    off_ += len;
+    return out;
+  }
+
+  std::string ReadString() { return ToString(ReadBlob()); }
+
+  bool Failed() const { return failed_; }
+  bool AtEnd() const { return off_ == data_.size(); }
+
+ private:
+  ByteView data_;
+  std::size_t off_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+const crypto::SchnorrScheme& GetScheme(SignatureScheme scheme) {
+  switch (scheme) {
+    case SignatureScheme::kSchnorrSim61:
+      return crypto::SchnorrSim61();
+    case SignatureScheme::kSchnorrSim256:
+      return crypto::SchnorrSim256();
+  }
+  std::abort();
+}
+
+Bytes SerializeTbs(const CertificateData& data) {
+  Bytes out;
+  AppendString(out, data.subject_cn);
+  AppendUint(out, data.sans.size(), 2);
+  for (const auto& san : data.sans) AppendString(out, san);
+  AppendString(out, data.issuer);
+  AppendUint(out, data.serial, 8);
+  AppendUint(out, static_cast<std::uint64_t>(data.not_before), 8);
+  AppendUint(out, static_cast<std::uint64_t>(data.not_after), 8);
+  AppendUint(out, static_cast<std::uint64_t>(data.scheme), 1);
+  AppendBlob(out, data.public_key);
+  AppendUint(out, data.is_ca ? 1 : 0, 1);
+  return out;
+}
+
+Bytes SerializeCertificate(const Certificate& cert) {
+  Bytes out = SerializeTbs(cert.data);
+  AppendBlob(out, cert.signature);
+  return out;
+}
+
+std::optional<Certificate> ParseCertificate(ByteView wire) {
+  Reader r(wire);
+  Certificate cert;
+  cert.data.subject_cn = r.ReadString();
+  const std::size_t n_sans = static_cast<std::size_t>(r.ReadInt(2));
+  if (n_sans > 10000) return std::nullopt;
+  for (std::size_t i = 0; i < n_sans && !r.Failed(); ++i) {
+    cert.data.sans.push_back(r.ReadString());
+  }
+  cert.data.issuer = r.ReadString();
+  cert.data.serial = r.ReadInt(8);
+  cert.data.not_before = static_cast<SimTime>(r.ReadInt(8));
+  cert.data.not_after = static_cast<SimTime>(r.ReadInt(8));
+  const std::uint64_t scheme = r.ReadInt(1);
+  if (scheme != 1 && scheme != 2) return std::nullopt;
+  cert.data.scheme = static_cast<SignatureScheme>(scheme);
+  cert.data.public_key = r.ReadBlob();
+  cert.data.is_ca = r.ReadInt(1) != 0;
+  cert.signature = r.ReadBlob();
+  if (r.Failed() || !r.AtEnd()) return std::nullopt;
+  return cert;
+}
+
+Bytes Certificate::Fingerprint() const {
+  return crypto::Sha256HashBytes(SerializeCertificate(*this));
+}
+
+bool NameMatches(const std::string& pattern, const std::string& host) {
+  if (pattern == host) return true;
+  if (pattern.size() > 2 && pattern[0] == '*' && pattern[1] == '.') {
+    const std::string_view suffix(pattern.data() + 1, pattern.size() - 1);
+    if (host.size() <= suffix.size()) return false;
+    if (host.compare(host.size() - suffix.size(), suffix.size(),
+                     suffix.data(), suffix.size()) != 0) {
+      return false;
+    }
+    // The wildcard must cover exactly one label.
+    const std::string_view label(host.data(), host.size() - suffix.size());
+    return !label.empty() && label.find('.') == std::string_view::npos;
+  }
+  return false;
+}
+
+bool CertificateCoversHost(const Certificate& cert, const std::string& host) {
+  if (NameMatches(cert.data.subject_cn, host)) return true;
+  for (const auto& san : cert.data.sans) {
+    if (NameMatches(san, host)) return true;
+  }
+  return false;
+}
+
+}  // namespace tlsharm::pki

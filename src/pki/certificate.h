@@ -1,0 +1,70 @@
+// Structural certificates.
+//
+// The study classifies domains by whether they present a browser-trusted
+// certificate chaining to the NSS root store. We model exactly the fields
+// that classification needs — subject, SANs (with wildcards), issuer,
+// validity window, subject public key, and an issuer signature over the
+// to-be-signed serialization — and sign with the project's Schnorr scheme
+// (see the substitution table in DESIGN.md). DER is deliberately not
+// reproduced; the serialization is a simple deterministic length-prefixed
+// format, since no experiment depends on ASN.1 itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.h"
+#include "util/bytes.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::pki {
+
+// Which Schnorr parameter set signed/keys this certificate.
+enum class SignatureScheme : std::uint8_t {
+  kSchnorrSim61 = 1,
+  kSchnorrSim256 = 2,
+};
+
+const crypto::SchnorrScheme& GetScheme(SignatureScheme scheme);
+
+struct CertificateData {
+  std::string subject_cn;          // primary domain, may be a wildcard
+  std::vector<std::string> sans;   // additional names (each may be wildcard)
+  std::string issuer;              // issuing CA's name
+  std::uint64_t serial = 0;
+  SimTime not_before = 0;
+  SimTime not_after = 0;
+  SignatureScheme scheme = SignatureScheme::kSchnorrSim61;
+  Bytes public_key;                // subject's Schnorr public key
+  bool is_ca = false;              // may issue further certificates
+};
+
+struct Certificate {
+  CertificateData data;
+  Bytes signature;  // issuer's Schnorr signature over SerializeTbs(data)
+
+  // Stable identifier (hash of the full certificate), used as a wire
+  // stand-in for the DER blob and as a map key.
+  Bytes Fingerprint() const;
+};
+
+// Leaf-first chain, ending at (or just below) a root.
+using CertificateChain = std::vector<Certificate>;
+
+// Deterministic to-be-signed serialization.
+Bytes SerializeTbs(const CertificateData& data);
+
+// Full certificate serialization (TBS || signature) and its inverse.
+Bytes SerializeCertificate(const Certificate& cert);
+std::optional<Certificate> ParseCertificate(ByteView wire);
+
+// RFC 6125-style name matching: exact match, or single-label wildcard
+// ("*.example.com" matches "a.example.com" but not "example.com" nor
+// "a.b.example.com").
+bool NameMatches(const std::string& pattern, const std::string& host);
+
+// True if any of the certificate's names (CN or SAN) covers `host`.
+bool CertificateCoversHost(const Certificate& cert, const std::string& host);
+
+}  // namespace tlsharm::pki

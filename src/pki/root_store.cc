@@ -1,0 +1,71 @@
+#include "pki/root_store.h"
+
+namespace tlsharm::pki {
+
+const char* ToString(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kOk: return "ok";
+    case VerifyStatus::kEmptyChain: return "empty chain";
+    case VerifyStatus::kNameMismatch: return "name mismatch";
+    case VerifyStatus::kExpired: return "expired";
+    case VerifyStatus::kNotYetValid: return "not yet valid";
+    case VerifyStatus::kBadSignature: return "bad signature";
+    case VerifyStatus::kNotCa: return "intermediate is not a CA";
+    case VerifyStatus::kUntrustedRoot: return "untrusted root";
+  }
+  return "unknown";
+}
+
+void RootStore::AddRoot(const std::string& name, SignatureScheme scheme,
+                        ByteView public_key) {
+  roots_[name] = RootEntry{scheme,
+                           Bytes(public_key.begin(), public_key.end())};
+}
+
+bool RootStore::IsTrustedRoot(const std::string& name,
+                              ByteView public_key) const {
+  const auto it = roots_.find(name);
+  return it != roots_.end() &&
+         ConstantTimeEqual(it->second.public_key, public_key);
+}
+
+VerifyStatus RootStore::Verify(const CertificateChain& chain,
+                               const std::string& host, SimTime now) const {
+  if (chain.empty()) return VerifyStatus::kEmptyChain;
+  if (!CertificateCoversHost(chain.front(), host)) {
+    return VerifyStatus::kNameMismatch;
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (now < cert.data.not_before) return VerifyStatus::kNotYetValid;
+    if (now > cert.data.not_after) return VerifyStatus::kExpired;
+    if (i > 0 && !cert.data.is_ca) return VerifyStatus::kNotCa;
+
+    const Bytes tbs = SerializeTbs(cert.data);
+    if (i + 1 < chain.size()) {
+      // Signed by the next certificate in the chain.
+      const Certificate& issuer = chain[i + 1];
+      if (cert.data.issuer != issuer.data.subject_cn) {
+        return VerifyStatus::kBadSignature;
+      }
+      const auto& scheme = GetScheme(issuer.data.scheme);
+      const auto sig = scheme.ParseSignature(cert.signature);
+      if (!sig || !scheme.Verify(issuer.data.public_key, tbs, *sig)) {
+        return VerifyStatus::kBadSignature;
+      }
+    } else {
+      // Chain terminus: must be signed by a trusted root. Either the cert
+      // is itself a self-signed root in the store, or its issuer is.
+      const auto it = roots_.find(cert.data.issuer);
+      if (it == roots_.end()) return VerifyStatus::kUntrustedRoot;
+      const auto& scheme = GetScheme(it->second.scheme);
+      const auto sig = scheme.ParseSignature(cert.signature);
+      if (!sig || !scheme.Verify(it->second.public_key, tbs, *sig)) {
+        return VerifyStatus::kBadSignature;
+      }
+    }
+  }
+  return VerifyStatus::kOk;
+}
+
+}  // namespace tlsharm::pki

@@ -1,0 +1,52 @@
+// Simulated browser root store and chain verification.
+//
+// Mirrors the paper's trust criterion: a domain counts as "browser-trusted"
+// when its presented chain validates to the (simulated) NSS root store at
+// scan time. Verification checks, leaf to root: name coverage (leaf only),
+// validity windows, CA bits on non-leaf certificates, signature of each
+// certificate by its parent, and that the final parent key is in the store.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pki/certificate.h"
+
+namespace tlsharm::pki {
+
+enum class VerifyStatus {
+  kOk,
+  kEmptyChain,
+  kNameMismatch,
+  kExpired,
+  kNotYetValid,
+  kBadSignature,
+  kNotCa,             // an intermediate lacks the CA bit
+  kUntrustedRoot,
+};
+
+const char* ToString(VerifyStatus status);
+
+class RootStore {
+ public:
+  // Registers a trusted root by name and public key.
+  void AddRoot(const std::string& name, SignatureScheme scheme,
+               ByteView public_key);
+
+  bool IsTrustedRoot(const std::string& name, ByteView public_key) const;
+
+  // Verifies `chain` (leaf first) for `host` at time `now`.
+  VerifyStatus Verify(const CertificateChain& chain, const std::string& host,
+                      SimTime now) const;
+
+  std::size_t Size() const { return roots_.size(); }
+
+ private:
+  struct RootEntry {
+    SignatureScheme scheme;
+    Bytes public_key;
+  };
+  std::map<std::string, RootEntry> roots_;
+};
+
+}  // namespace tlsharm::pki

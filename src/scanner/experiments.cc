@@ -1,0 +1,378 @@
+#include "scanner/experiments.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "analysis/groups.h"
+
+namespace tlsharm::scanner {
+namespace {
+
+SimTime DayStart(int day) { return day * kDay + 6 * kHour; }
+
+bool TrustedHttps(const simnet::DomainInfo& info) {
+  return info.https && info.trusted_cert;
+}
+
+}  // namespace
+
+SupportCounts MeasureKexSupport(simnet::Internet& net, int day,
+                                CipherSelection selection, int connections,
+                                std::uint64_t seed) {
+  Prober prober(net, seed);
+  SupportCounts counts;
+  const SimTime base = DayStart(day);
+  ProbeOptions options;
+  options.ciphers = selection;
+  options.kex_only = true;  // the KEX value is all this experiment needs
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    ++counts.list_size;
+    const auto& info = net.GetDomain(id);
+    if (!TrustedHttps(info)) continue;
+    ++counts.trusted;
+
+    std::unordered_set<SecretId> values;
+    std::size_t repeats = 0;
+    std::size_t successes = 0;
+    for (int c = 0; c < connections; ++c) {
+      const auto result =
+          prober.Probe(id, base + c, options);  // back-to-back seconds
+      if (!result.observation.handshake_ok) continue;
+      ++successes;
+      if (result.observation.kex_value == kNoSecret) continue;
+      if (!values.insert(result.observation.kex_value).second) ++repeats;
+    }
+    if (successes > 0) ++counts.supported;
+    if (repeats > 0) ++counts.reuse_twice;
+    if (successes == static_cast<std::size_t>(connections) &&
+        values.size() == 1 && successes > 1) {
+      ++counts.reuse_all;
+    }
+  }
+  return counts;
+}
+
+SupportCounts MeasureTicketSupport(simnet::Internet& net, int day,
+                                   int connections, std::uint64_t seed) {
+  Prober prober(net, seed);
+  SupportCounts counts;
+  const SimTime base = DayStart(day);
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    ++counts.list_size;
+    const auto& info = net.GetDomain(id);
+    if (!TrustedHttps(info)) continue;
+    ++counts.trusted;
+
+    std::unordered_set<SecretId> steks;
+    std::size_t repeats = 0;
+    std::size_t issued = 0;
+    for (int c = 0; c < connections; ++c) {
+      const auto result = prober.Probe(id, base + c);
+      if (!result.observation.ticket_issued ||
+          result.observation.stek_id == kNoSecret) {
+        continue;
+      }
+      ++issued;
+      if (!steks.insert(result.observation.stek_id).second) ++repeats;
+    }
+    if (issued > 0) ++counts.supported;
+    if (repeats > 0) ++counts.reuse_twice;
+    if (issued == static_cast<std::size_t>(connections) &&
+        steks.size() == 1 && issued > 1) {
+      ++counts.reuse_all;
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+// Shared engine for the Figure 1 / Figure 2 experiments.
+ResumptionLifetimeResult MeasureResumptionLifetime(
+    simnet::Internet& net, int day, std::uint64_t seed, SimTime max_delay,
+    SimTime step, double sample_fraction, bool via_ticket) {
+  Prober prober(net, seed);
+  Rng sampler(seed ^ 0x5eed);
+  ResumptionLifetimeResult result;
+  const SimTime base = DayStart(day);
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    const auto& info = net.GetDomain(id);
+    if (!TrustedHttps(info)) continue;
+    if (sample_fraction < 1.0 && !sampler.Bernoulli(sample_fraction)) {
+      continue;
+    }
+    ++result.trusted_https;
+
+    ProbeOptions options;
+    options.want_full_result = true;
+    const ProbeResult initial = prober.Probe(id, base, options);
+    if (!initial.observation.handshake_ok) continue;
+
+    const bool indicated = via_ticket ? initial.observation.ticket_issued
+                                      : initial.observation.session_id_set;
+    if (!indicated) continue;
+    ++result.indicated;
+
+    auto attempt = [&](SimTime delay) {
+      return via_ticket
+                 ? prober.TryResumeTicket(initial.session, id, base + delay)
+                 : prober.TryResumeId(initial.session, id, base + delay);
+    };
+
+    if (!attempt(kSecond)) continue;
+    ++result.resumed_1s;
+
+    // Retry every `step` until failure or the 24-hour cap; record the last
+    // success. (The paper keeps using the ORIGINAL ticket even when the
+    // server reissues — TryResumeTicket always presents initial.session.)
+    SimTime best = kSecond;
+    for (SimTime delay = step; delay <= max_delay; delay += step) {
+      if (!attempt(delay)) break;
+      best = delay;
+    }
+    result.lifetimes.push_back(LifetimeMeasurement{
+        id, best, initial.observation.ticket_lifetime_hint});
+  }
+  return result;
+}
+
+}  // namespace
+
+ResumptionLifetimeResult MeasureSessionIdLifetime(
+    simnet::Internet& net, int day, std::uint64_t seed, SimTime max_delay,
+    SimTime step, double sample_fraction) {
+  return MeasureResumptionLifetime(net, day, seed, max_delay, step,
+                                   sample_fraction, /*via_ticket=*/false);
+}
+
+ResumptionLifetimeResult MeasureTicketLifetime(
+    simnet::Internet& net, int day, std::uint64_t seed, SimTime max_delay,
+    SimTime step, double sample_fraction) {
+  return MeasureResumptionLifetime(net, day, seed, max_delay, step,
+                                   sample_fraction, /*via_ticket=*/true);
+}
+
+DailyScanResult RunDailyScans(simnet::Internet& net, int days,
+                              std::uint64_t seed) {
+  Prober prober(net, seed);
+  DailyScanResult result;
+  std::vector<std::uint8_t> ever_ticket(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_ecdhe(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_dhe(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_trusted(net.DomainCount(), 0);
+
+  ProbeOptions main_options;
+  main_options.ciphers = CipherSelection::kEcdheAndStatic;
+  ProbeOptions dhe_options;
+  dhe_options.ciphers = CipherSelection::kDheOnly;
+  dhe_options.kex_only = true;  // only the DHE value matters here
+
+  for (int day = 0; day < days; ++day) {
+    const SimTime when = DayStart(day);
+    for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+      if (!net.GetDomain(id).https) continue;
+      if (!net.InTopListOnDay(id, day)) continue;
+
+      // Main scan: tickets + ECDHE values (the paper's ticket scan and
+      // Censys-style ECDHE scan folded into one connection).
+      const auto main = prober.Probe(id, when, main_options);
+      if (main.observation.handshake_ok) {
+        if (main.observation.trusted) ever_trusted[id] = 1;
+        if (main.observation.ticket_issued) {
+          ever_ticket[id] = 1;
+          result.stek_spans.Observe(id, main.observation.stek_id, day);
+        }
+        if (main.observation.suite ==
+                tls::CipherSuite::kEcdheWithAes128CbcSha256 &&
+            main.observation.kex_value != kNoSecret) {
+          ever_ecdhe[id] = 1;
+          result.ecdhe_spans.Observe(id, main.observation.kex_value, day);
+        }
+      }
+      // DHE-only scan (the Censys DHE data set).
+      const auto dhe = prober.Probe(id, when + kHour, dhe_options);
+      if (dhe.observation.handshake_ok &&
+          dhe.observation.kex_value != kNoSecret) {
+        ever_dhe[id] = 1;
+        result.dhe_spans.Observe(id, dhe.observation.kex_value, day);
+      }
+    }
+  }
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    const auto& info = net.GetDomain(id);
+    if (!info.stable || !info.https || !ever_trusted[id]) continue;
+    result.core_domains.push_back(id);
+    result.core_ever_ticket += ever_ticket[id];
+    result.core_ever_ecdhe += ever_ecdhe[id];
+    result.core_ever_dhe_connect += ever_dhe[id];
+    if (ever_ticket[id] || ever_ecdhe[id] || ever_dhe[id]) {
+      ++result.core_any_mechanism;
+    }
+  }
+  return result;
+}
+
+GroupsResult MeasureSessionCacheGroups(simnet::Internet& net, int day,
+                                       std::uint64_t seed, int as_candidates,
+                                       int ip_candidates) {
+  Prober prober(net, seed);
+  Rng rng(seed ^ 0xca5e);
+  analysis::ServiceGroupBuilder builder(net.DomainCount());
+  const SimTime base = DayStart(day);
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    const auto& info = net.GetDomain(id);
+    if (!TrustedHttps(info)) continue;
+
+    ProbeOptions options;
+    options.want_full_result = true;
+    const ProbeResult initial = prober.Probe(id, base, options);
+    if (!initial.observation.handshake_ok ||
+        !initial.observation.session_id_set) {
+      continue;
+    }
+    // Domain participates only if it resumes its own sessions.
+    if (!prober.TryResumeId(initial.session, id, base + kSecond)) continue;
+    builder.ObserveMember(id);
+
+    // Sample candidates sharing the AS and the IP.
+    auto sample = [&](std::vector<simnet::DomainId> pool, int want) {
+      std::vector<simnet::DomainId> picked;
+      // Partial Fisher-Yates over the pool.
+      for (int i = 0; i < want && !pool.empty(); ++i) {
+        const std::size_t j = rng.UniformInt(pool.size());
+        const simnet::DomainId candidate = pool[j];
+        pool[j] = pool.back();
+        pool.pop_back();
+        if (candidate != id && net.InTopListOnDay(candidate, day) &&
+            TrustedHttps(net.GetDomain(candidate))) {
+          picked.push_back(candidate);
+        }
+      }
+      return picked;
+    };
+
+    for (const simnet::DomainId candidate :
+         sample(net.DomainsInAs(info.as_number), as_candidates)) {
+      // Transitive growth: skip pairs already known connected.
+      if (prober.TryResumeId(initial.session, candidate, base + 2)) {
+        builder.ObserveLink(id, candidate);
+      }
+    }
+    if (!info.endpoints.empty()) {
+      const auto ip = net.IpOf(net.EndpointFor(id, base));
+      for (const simnet::DomainId candidate :
+           sample(net.DomainsOnIp(ip), ip_candidates)) {
+        if (prober.TryResumeId(initial.session, candidate, base + 3)) {
+          builder.ObserveLink(id, candidate);
+        }
+      }
+    }
+  }
+  GroupsResult result;
+  result.participants = builder.MemberCount();
+  result.groups = builder.Groups();
+  return result;
+}
+
+GroupsResult MeasureStekGroups(simnet::Internet& net, int day,
+                               std::uint64_t seed, int connections,
+                               SimTime window) {
+  Prober prober(net, seed);
+  analysis::ServiceGroupBuilder builder(net.DomainCount());
+  const SimTime base = DayStart(day);
+  const SimTime stride =
+      connections > 1 ? window / (connections - 1) : window;
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    if (!TrustedHttps(net.GetDomain(id))) continue;
+    bool issued = false;
+    for (int c = 0; c < connections; ++c) {
+      const auto probe = prober.Probe(id, base + c * stride);
+      if (probe.observation.ticket_issued &&
+          probe.observation.stek_id != kNoSecret) {
+        issued = true;
+        builder.ObserveSecret(probe.observation.stek_id, id);
+      }
+    }
+    if (issued) builder.ObserveMember(id);
+  }
+  GroupsResult result;
+  result.participants = builder.MemberCount();
+  result.groups = builder.Groups();
+  return result;
+}
+
+GroupsResult MeasureKexGroups(simnet::Internet& net, int day,
+                              std::uint64_t seed, int connections,
+                              SimTime window) {
+  Prober prober(net, seed);
+  analysis::ServiceGroupBuilder builder(net.DomainCount());
+  const SimTime base = DayStart(day);
+  const SimTime stride =
+      connections > 1 ? window / (connections - 1) : window;
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (!net.InTopListOnDay(id, day)) continue;
+    if (!TrustedHttps(net.GetDomain(id))) continue;
+    bool any = false;
+    for (const CipherSelection selection :
+         {CipherSelection::kDheOnly, CipherSelection::kEcdheOnly}) {
+      ProbeOptions options;
+      options.ciphers = selection;
+      options.kex_only = true;
+      for (int c = 0; c < connections; ++c) {
+        const auto probe = prober.Probe(id, base + c * stride, options);
+        if (probe.observation.handshake_ok &&
+            probe.observation.kex_value != kNoSecret) {
+          any = true;
+          builder.ObserveSecret(probe.observation.kex_value, id);
+        }
+      }
+    }
+    if (any) builder.ObserveMember(id);
+  }
+  GroupsResult result;
+  result.participants = builder.MemberCount();
+  result.groups = builder.Groups();
+  return result;
+}
+
+ChurnStats MeasureChurn(simnet::Internet& net, int days) {
+  ChurnStats stats;
+  std::vector<int> days_listed(net.DomainCount(), 0);
+  double total_daily = 0;
+  for (int day = 0; day < days; ++day) {
+    std::size_t today = 0;
+    for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+      if (net.InTopListOnDay(id, day)) {
+        ++days_listed[id];
+        ++today;
+      }
+    }
+    total_daily += static_cast<double>(today);
+  }
+  stats.mean_daily_list = total_daily / days;
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (days_listed[id] == 0) continue;
+    ++stats.unique_domains;
+    if (days_listed[id] <= 7) ++stats.few_polls;
+    if (days_listed[id] == days) {
+      ++stats.always_listed;
+      const auto& info = net.GetDomain(id);
+      if (info.https) ++stats.always_https;
+      if (info.https && info.trusted_cert) ++stats.always_trusted;
+    }
+  }
+  return stats;
+}
+
+}  // namespace tlsharm::scanner

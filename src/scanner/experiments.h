@@ -1,0 +1,120 @@
+// Experiment drivers reproducing the paper's measurements.
+//
+// Each function replays one of the paper's scanning campaigns against the
+// simulated Internet over virtual time and returns the raw material its
+// table or figure is built from. The bench binaries format the results and
+// print paper-vs-measured comparisons.
+#pragma once
+
+#include <vector>
+
+#include "analysis/spans.h"
+#include "scanner/prober.h"
+#include "simnet/internet.h"
+
+namespace tlsharm::scanner {
+
+// --- Table 1: support for forward secrecy and resumption -------------------
+struct SupportCounts {
+  std::size_t list_size = 0;       // domains scanned
+  std::size_t trusted = 0;         // browser-trusted TLS domains
+  std::size_t supported = 0;       // completed the restricted handshake /
+                                   // issued a session ticket
+  std::size_t reuse_twice = 0;     // >= 2 of the connections shared a value
+  std::size_t reuse_all = 0;       // all connections shared one value
+};
+
+// Runs `connections` back-to-back probes per domain on `day`, counting
+// repeated server KEX values (kDheOnly / kEcdheOnly) — the Table 1 rows.
+SupportCounts MeasureKexSupport(simnet::Internet& net, int day,
+                                CipherSelection selection, int connections,
+                                std::uint64_t seed);
+
+// Same, for session tickets: counts repeated STEK identifiers.
+SupportCounts MeasureTicketSupport(simnet::Internet& net, int day,
+                                   int connections, std::uint64_t seed);
+
+// --- Figures 1 & 2: resumption lifetimes ------------------------------------
+struct LifetimeMeasurement {
+  DomainIndex domain = 0;
+  SimTime max_delay = 0;            // longest successful resumption delay
+  std::uint32_t lifetime_hint = 0;  // ticket experiments only
+};
+
+struct ResumptionLifetimeResult {
+  std::size_t trusted_https = 0;  // denominator: trusted HTTPS domains
+  std::size_t indicated = 0;      // set a session ID / issued a ticket
+  std::size_t resumed_1s = 0;     // resumed after one second
+  std::vector<LifetimeMeasurement> lifetimes;  // for resumed_1s domains
+};
+
+// Initial handshake on `day`, resumption at +1s, then every `step` until
+// failure or `max_delay` — §4.1's method. `sample_fraction` scans a random
+// subset (the paper restricted multi-connection experiments to a subset).
+ResumptionLifetimeResult MeasureSessionIdLifetime(
+    simnet::Internet& net, int day, std::uint64_t seed,
+    SimTime max_delay = 24 * kHour, SimTime step = 5 * kMinute,
+    double sample_fraction = 1.0);
+
+ResumptionLifetimeResult MeasureTicketLifetime(
+    simnet::Internet& net, int day, std::uint64_t seed,
+    SimTime max_delay = 24 * kHour, SimTime step = 5 * kMinute,
+    double sample_fraction = 1.0);
+
+// --- Daily scans: Figures 3–5, Tables 2–4 -----------------------------------
+struct DailyScanResult {
+  analysis::SpanTracker stek_spans{8};
+  analysis::SpanTracker ecdhe_spans{8};
+  analysis::SpanTracker dhe_spans{8};
+
+  // Domains that stayed in the Top-N all study and presented a trusted
+  // certificate (the paper's 291,643).
+  std::vector<DomainIndex> core_domains;
+  // Of core domains: ever issued a ticket / completed (EC)DHE / connected
+  // with DHE-only offer.
+  std::size_t core_ever_ticket = 0;
+  std::size_t core_ever_ecdhe = 0;
+  std::size_t core_ever_dhe_connect = 0;
+  std::size_t core_any_mechanism = 0;
+};
+
+DailyScanResult RunDailyScans(simnet::Internet& net, int days,
+                              std::uint64_t seed);
+
+// --- §5: service groups ------------------------------------------------------
+struct GroupsResult {
+  // Groups over participating domains, largest first.
+  std::vector<std::vector<DomainIndex>> groups;
+  std::size_t participants = 0;
+};
+
+// §5.1: cross-domain session-ID resumption with <=5 co-AS and <=5 co-IP
+// candidates per domain, transitively grown.
+GroupsResult MeasureSessionCacheGroups(simnet::Internet& net, int day,
+                                       std::uint64_t seed,
+                                       int as_candidates = 5,
+                                       int ip_candidates = 5);
+
+// §5.2: domains sharing a STEK id across `connections` probes in a window.
+GroupsResult MeasureStekGroups(simnet::Internet& net, int day,
+                               std::uint64_t seed, int connections = 10,
+                               SimTime window = 6 * kHour);
+
+// §5.3: domains sharing a DHE or ECDHE value.
+GroupsResult MeasureKexGroups(simnet::Internet& net, int day,
+                              std::uint64_t seed, int connections = 10,
+                              SimTime window = 5 * kHour);
+
+// --- §3: dataset churn --------------------------------------------------------
+struct ChurnStats {
+  std::size_t unique_domains = 0;    // ever listed during the study
+  std::size_t always_listed = 0;
+  std::size_t few_polls = 0;         // listed on <= 7 days
+  double mean_daily_list = 0;        // average daily list size
+  std::size_t always_https = 0;      // of always_listed: ever HTTPS
+  std::size_t always_trusted = 0;    // ... ever trusted
+};
+
+ChurnStats MeasureChurn(simnet::Internet& net, int days);
+
+}  // namespace tlsharm::scanner

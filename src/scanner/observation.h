@@ -1,0 +1,57 @@
+// What the scanner records per connection — the on-the-wire observables the
+// paper's analysis consumes. Secret-valued fields (session IDs, STEK ids,
+// KEX values) are folded to 64-bit fingerprints for compact storage; all
+// grouping/longevity analysis only ever compares them for equality.
+#pragma once
+
+#include <cstdint>
+
+#include "tls/constants.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::scanner {
+
+using DomainIndex = std::uint32_t;
+
+// 64-bit fingerprint of a secret identifier (STEK id, KEX value, ...).
+using SecretId = std::uint64_t;
+inline constexpr SecretId kNoSecret = 0;
+
+inline SecretId FingerprintSecret(ByteView bytes) {
+  if (bytes.empty()) return kNoSecret;
+  // FNV over bytes finished with splitmix; never returns kNoSecret.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  const std::uint64_t mixed = [](std::uint64_t x) {
+    std::uint64_t s = x;
+    return SplitMix64(s);
+  }(h);
+  return mixed == kNoSecret ? 1 : mixed;
+}
+
+struct HandshakeObservation {
+  DomainIndex domain = 0;
+  SimTime time = 0;
+
+  bool connected = false;      // TCP/443 answered
+  bool handshake_ok = false;
+  bool trusted = false;        // chain validates to the NSS-like store
+
+  tls::CipherSuite suite{};
+  std::uint16_t kex_group = 0;
+  SecretId kex_value = kNoSecret;   // server's (EC)DHE public value
+
+  bool session_id_set = false;      // ServerHello carried a session ID
+  SecretId session_id = kNoSecret;
+
+  bool ticket_issued = false;
+  std::uint32_t ticket_lifetime_hint = 0;
+  SecretId stek_id = kNoSecret;     // extracted from the ticket
+};
+
+}  // namespace tlsharm::scanner

@@ -1,0 +1,124 @@
+#include "scanner/prober.h"
+
+#include "tls/ticket.h"
+
+namespace tlsharm::scanner {
+
+Prober::Prober(simnet::Internet& net, std::uint64_t seed) : net_(net),
+      drbg_([&] {
+        Bytes s = ToBytes("prober");
+        AppendUint(s, seed, 8);
+        return crypto::Drbg(s);
+      }()) {}
+
+std::vector<tls::CipherSuite> Prober::SuitesFor(
+    CipherSelection selection) const {
+  switch (selection) {
+    case CipherSelection::kDefault:
+      return {tls::CipherSuite::kEcdheWithAes128CbcSha256,
+              tls::CipherSuite::kDheWithAes128CbcSha256,
+              tls::CipherSuite::kStaticWithAes128CbcSha256};
+    case CipherSelection::kDheOnly:
+      return {tls::CipherSuite::kDheWithAes128CbcSha256};
+    case CipherSelection::kEcdheOnly:
+      return {tls::CipherSuite::kEcdheWithAes128CbcSha256};
+    case CipherSelection::kEcdheAndStatic:
+      return {tls::CipherSuite::kEcdheWithAes128CbcSha256,
+              tls::CipherSuite::kStaticWithAes128CbcSha256};
+  }
+  return {};
+}
+
+bool Prober::ChainTrusted(const pki::CertificateChain& chain,
+                          const std::string& host, SimTime now) {
+  if (chain.empty()) return false;
+  const Bytes fp = chain.front().Fingerprint();
+  const std::uint64_t key =
+      FingerprintSecret(fp) ^ StableHash64(host);
+  const auto it = trust_cache_.find(key);
+  if (it != trust_cache_.end()) return it->second;
+  const bool trusted =
+      net_.NssRootStore().Verify(chain, host, now) == pki::VerifyStatus::kOk;
+  trust_cache_.emplace(key, trusted);
+  return trusted;
+}
+
+ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
+                          const ProbeOptions& options) {
+  ProbeResult result;
+  HandshakeObservation& obs = result.observation;
+  obs.domain = domain;
+  obs.time = now;
+
+  auto conn = net_.Connect(domain, now);
+  if (conn == nullptr) return result;
+  obs.connected = true;
+
+  tls::ClientConfig config;
+  config.offered_suites = SuitesFor(options.ciphers);
+  config.offer_session_ticket = options.offer_session_ticket;
+  config.server_name = net_.GetDomain(domain).name;
+  config.kex_probe_only = options.kex_only;
+
+  tls::TlsClient client(config);
+  const tls::HandshakeResult hs = client.Handshake(*conn, now, drbg_);
+  if (!hs.ok) return result;
+
+  obs.handshake_ok = true;
+  obs.trusted = ChainTrusted(hs.chain, config.server_name, now);
+  obs.suite = hs.suite;
+  obs.kex_group = hs.kex_group;
+  obs.kex_value = FingerprintSecret(hs.server_kex_public);
+  obs.session_id_set = !hs.session_id.empty();
+  obs.session_id = FingerprintSecret(hs.session_id);
+  obs.ticket_issued = hs.ticket_issued;
+  obs.ticket_lifetime_hint = hs.ticket_lifetime_hint;
+  if (hs.ticket_issued) {
+    const auto stek_id = tls::ExtractStekIdAuto(hs.ticket);
+    if (stek_id) obs.stek_id = FingerprintSecret(*stek_id);
+  }
+
+  if (options.want_full_result) {
+    result.session.domain = domain;
+    result.session.session_id = hs.session_id;
+    result.session.ticket = hs.ticket;
+    result.session.ticket_lifetime_hint = hs.ticket_lifetime_hint;
+    result.session.master_secret = hs.master_secret;
+    result.session.valid = true;
+  }
+  return result;
+}
+
+bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
+                       SimTime now, bool offer_id, bool offer_ticket) {
+  if (!session.valid) return false;
+  auto conn = net_.Connect(domain, now);
+  if (conn == nullptr) return false;
+
+  tls::ClientConfig config;
+  config.server_name = net_.GetDomain(domain).name;
+  config.resume_master_secret = session.master_secret;
+  if (offer_id) config.resume_session_id = session.session_id;
+  if (offer_ticket) config.resume_ticket = session.ticket;
+
+  tls::TlsClient client(config);
+  const tls::HandshakeResult hs = client.Handshake(*conn, now, drbg_);
+  return hs.ok && hs.resumed;
+}
+
+bool Prober::TryResume(const StoredSession& session, simnet::DomainId domain,
+                       SimTime now) {
+  return RunResume(session, domain, now, true, true);
+}
+
+bool Prober::TryResumeId(const StoredSession& session,
+                         simnet::DomainId domain, SimTime now) {
+  return RunResume(session, domain, now, true, false);
+}
+
+bool Prober::TryResumeTicket(const StoredSession& session,
+                             simnet::DomainId domain, SimTime now) {
+  return RunResume(session, domain, now, false, true);
+}
+
+}  // namespace tlsharm::scanner

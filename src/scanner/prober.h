@@ -1,0 +1,84 @@
+// The probe engine — the project's stand-in for the paper's modified
+// ZMap/zgrab tool-chain.
+//
+// A Prober runs single TLS connections against the simulated Internet,
+// classifies certificate trust (memoized: the same chain is not re-verified
+// every day), and performs resumption attempts with stored session state.
+#pragma once
+
+#include <unordered_map>
+
+#include "crypto/drbg.h"
+#include "scanner/observation.h"
+#include "simnet/internet.h"
+#include "tls/client.h"
+
+namespace tlsharm::scanner {
+
+// Which cipher suites a probe offers.
+enum class CipherSelection : std::uint8_t {
+  kDefault,    // ECDHE > DHE > static
+  kDheOnly,
+  kEcdheOnly,
+  kEcdheAndStatic,  // the paper's "ECDHE and RSA" daily scan
+};
+
+struct ProbeOptions {
+  CipherSelection ciphers = CipherSelection::kDefault;
+  bool offer_session_ticket = true;
+  bool want_full_result = false;  // keep ticket/session bytes for resumption
+  // Abort after the server's first flight: enough to record the KEX value,
+  // certificate and session ID, at roughly a third of the handshake cost.
+  // Tickets are NOT observed in this mode (NewSessionTicket comes later).
+  bool kex_only = false;
+};
+
+// Session state kept by the scanner for resumption probes.
+struct StoredSession {
+  simnet::DomainId domain = 0;
+  Bytes session_id;
+  Bytes ticket;
+  std::uint32_t ticket_lifetime_hint = 0;
+  Bytes master_secret;
+  bool valid = false;
+};
+
+struct ProbeResult {
+  HandshakeObservation observation;
+  StoredSession session;  // populated when want_full_result
+};
+
+class Prober {
+ public:
+  Prober(simnet::Internet& net, std::uint64_t seed);
+
+  // One fresh TLS connection to `domain` at time `now`.
+  ProbeResult Probe(simnet::DomainId domain, SimTime now,
+                    const ProbeOptions& options = {});
+
+  // Attempts to resume `session` against `domain` (which may differ from
+  // the session's origin — the §5.1 cross-domain probe). Returns whether
+  // the server accepted the resumption.
+  bool TryResume(const StoredSession& session, simnet::DomainId domain,
+                 SimTime now);
+
+  // As TryResume but via session ID only / ticket only.
+  bool TryResumeId(const StoredSession& session, simnet::DomainId domain,
+                   SimTime now);
+  bool TryResumeTicket(const StoredSession& session, simnet::DomainId domain,
+                       SimTime now);
+
+ private:
+  bool ChainTrusted(const pki::CertificateChain& chain,
+                    const std::string& host, SimTime now);
+  std::vector<tls::CipherSuite> SuitesFor(CipherSelection selection) const;
+  bool RunResume(const StoredSession& session, simnet::DomainId domain,
+                 SimTime now, bool offer_id, bool offer_ticket);
+
+  simnet::Internet& net_;
+  crypto::Drbg drbg_;
+  // Memoized chain verification keyed by (leaf fingerprint, host) hash.
+  std::unordered_map<std::uint64_t, bool> trust_cache_;
+};
+
+}  // namespace tlsharm::scanner

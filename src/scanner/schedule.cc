@@ -1,0 +1,57 @@
+#include "scanner/schedule.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace tlsharm::scanner {
+
+RandomPermutation::RandomPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n) {
+  assert(n > 0);
+  // Smallest even bit-width domain 2^(2k) >= n, at least 2 bits so the
+  // Feistel halves are non-trivial.
+  half_bits_ = 1;
+  while ((1ULL << (2 * half_bits_)) < n) ++half_bits_;
+  half_mask_ = (1ULL << half_bits_) - 1;
+  std::uint64_t state = seed;
+  for (auto& key : round_keys_) key = SplitMix64(state);
+}
+
+std::uint64_t RandomPermutation::Feistel(std::uint64_t x) const {
+  std::uint64_t left = x >> half_bits_;
+  std::uint64_t right = x & half_mask_;
+  for (const std::uint64_t key : round_keys_) {
+    std::uint64_t f = right ^ key;
+    f = SplitMix64(f) & half_mask_;
+    const std::uint64_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t RandomPermutation::At(std::uint64_t i) const {
+  assert(i < n_);
+  // Cycle-walk: a Feistel network permutes the power-of-four domain; keep
+  // applying it until the value lands inside [0, n). Expected < 4 steps
+  // since the domain is < 4n.
+  std::uint64_t x = Feistel(i);
+  while (x >= n_) x = Feistel(x);
+  return x;
+}
+
+void Blacklist::ExcludeDomain(const std::string& name) {
+  domains_.insert(name);
+}
+
+void Blacklist::ExcludeAs(std::uint32_t as_number) {
+  as_numbers_.insert(as_number);
+}
+
+bool Blacklist::Excluded(const simnet::DomainInfo& info) const {
+  if (as_numbers_.count(info.as_number) != 0) return true;
+  return domains_.count(info.name) != 0;
+}
+
+}  // namespace tlsharm::scanner

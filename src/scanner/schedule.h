@@ -1,0 +1,74 @@
+// Scan-order randomization and target exclusion — the operational half of
+// the ZMap tool-chain (§3's "best practices defined by Durumeric et al.").
+//
+// RandomPermutation visits every index in [0, n) exactly once in a
+// pseudorandom order, with O(1) state, the way ZMap iterates the address
+// space: a balanced Feistel network over the smallest power-of-four domain
+// >= n, cycle-walking over out-of-range values. Scanning in permuted order
+// spreads load across operators instead of hammering one AS block — and it
+// is deterministic per (seed, day), which is what lets a study replay.
+//
+// Blacklist holds the institutional exclusion list: domains and AS numbers
+// that asked not to be scanned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "simnet/internet.h"
+
+namespace tlsharm::scanner {
+
+class RandomPermutation {
+ public:
+  // Permutes [0, n). `seed` selects the permutation.
+  RandomPermutation(std::uint64_t n, std::uint64_t seed);
+
+  std::uint64_t Size() const { return n_; }
+
+  // The i-th element of the permutation, i in [0, n).
+  std::uint64_t At(std::uint64_t i) const;
+
+ private:
+  std::uint64_t Feistel(std::uint64_t x) const;
+
+  std::uint64_t n_;
+  int half_bits_;          // bits per Feistel half
+  std::uint64_t half_mask_;
+  std::uint64_t round_keys_[4];
+};
+
+class Blacklist {
+ public:
+  void ExcludeDomain(const std::string& name);
+  void ExcludeAs(std::uint32_t as_number);
+
+  bool Excluded(const simnet::DomainInfo& info) const;
+  std::size_t RuleCount() const {
+    return domains_.size() + as_numbers_.size();
+  }
+
+ private:
+  std::unordered_set<std::string> domains_;
+  std::unordered_set<std::uint32_t> as_numbers_;
+};
+
+// Iterates the day's scan targets in permuted order, honouring the
+// blacklist. Calls `visit(domain_id)` for every included listed domain.
+template <typename Visitor>
+void ForEachScanTarget(const simnet::Internet& net, int day,
+                       std::uint64_t seed, const Blacklist& blacklist,
+                       Visitor&& visit) {
+  const RandomPermutation perm(net.DomainCount(),
+                               seed ^ (0x9e3779b97f4a7c15ULL *
+                                       static_cast<std::uint64_t>(day + 1)));
+  for (std::uint64_t i = 0; i < perm.Size(); ++i) {
+    const auto id = static_cast<simnet::DomainId>(perm.At(i));
+    if (!net.InTopListOnDay(id, day)) continue;
+    if (blacklist.Excluded(net.GetDomain(id))) continue;
+    visit(id);
+  }
+}
+
+}  // namespace tlsharm::scanner

@@ -1,0 +1,101 @@
+#include "scanner/store.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace tlsharm::scanner {
+namespace {
+
+constexpr int kConnected = 1;
+constexpr int kHandshakeOk = 2;
+constexpr int kTrusted = 4;
+constexpr int kSessionIdSet = 8;
+constexpr int kTicketIssued = 16;
+
+int FlagsOf(const HandshakeObservation& obs) {
+  int flags = 0;
+  if (obs.connected) flags |= kConnected;
+  if (obs.handshake_ok) flags |= kHandshakeOk;
+  if (obs.trusted) flags |= kTrusted;
+  if (obs.session_id_set) flags |= kSessionIdSet;
+  if (obs.ticket_issued) flags |= kTicketIssued;
+  return flags;
+}
+
+// Parses one '|'-separated line; false on malformed input.
+bool ParseLine(const std::string& line, StoredObservation& out) {
+  std::uint64_t fields[9];
+  std::size_t field = 0;
+  const char* p = line.data();
+  const char* end = line.data() + line.size();
+  while (field < 9) {
+    std::uint64_t value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc()) return false;
+    fields[field++] = value;
+    p = next;
+    if (field < 9) {
+      if (p == end || *p != '|') return false;
+      ++p;
+    }
+  }
+  if (p != end) return false;
+
+  out.day = static_cast<int>(fields[0]);
+  HandshakeObservation& obs = out.observation;
+  obs.domain = static_cast<DomainIndex>(fields[1]);
+  const int flags = static_cast<int>(fields[2]);
+  obs.connected = flags & kConnected;
+  obs.handshake_ok = flags & kHandshakeOk;
+  obs.trusted = flags & kTrusted;
+  obs.session_id_set = flags & kSessionIdSet;
+  obs.ticket_issued = flags & kTicketIssued;
+  obs.suite = static_cast<tls::CipherSuite>(fields[3]);
+  obs.kex_group = static_cast<std::uint16_t>(fields[4]);
+  obs.kex_value = fields[5];
+  obs.session_id = fields[6];
+  obs.stek_id = fields[7];
+  obs.ticket_lifetime_hint = static_cast<std::uint32_t>(fields[8]);
+  return true;
+}
+
+}  // namespace
+
+void ObservationWriter::Write(int day, const HandshakeObservation& obs) {
+  out_ << day << '|' << obs.domain << '|' << FlagsOf(obs) << '|'
+       << static_cast<std::uint16_t>(obs.suite) << '|' << obs.kex_group
+       << '|' << obs.kex_value << '|' << obs.session_id << '|' << obs.stek_id
+       << '|' << obs.ticket_lifetime_hint << '\n';
+  ++written_;
+}
+
+std::optional<StoredObservation> ObservationReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty()) continue;
+    StoredObservation out;
+    if (ParseLine(line, out)) return out;
+    ++corrupt_;
+  }
+  return std::nullopt;
+}
+
+std::string SerializeObservations(
+    const std::vector<StoredObservation>& observations) {
+  std::ostringstream out;
+  ObservationWriter writer(out);
+  for (const auto& stored : observations) {
+    writer.Write(stored.day, stored.observation);
+  }
+  return out.str();
+}
+
+std::vector<StoredObservation> ParseObservations(const std::string& data) {
+  std::istringstream in(data);
+  ObservationReader reader(in);
+  std::vector<StoredObservation> out;
+  while (auto next = reader.Next()) out.push_back(*next);
+  return out;
+}
+
+}  // namespace tlsharm::scanner

@@ -1,0 +1,57 @@
+// Observation store: serializes daily scan observations to a line-based
+// record format and reloads them, mirroring the paper's publication of its
+// raw scan data on scans.io (§3). Analyses can then run offline against a
+// stored study instead of re-driving the scanner.
+//
+// Format (one observation per line, '|'-separated ASCII):
+//   day|domain|flags|suite|kex_group|kex_value|session_id|stek_id|hint
+// flags bits: 1 connected, 2 handshake_ok, 4 trusted, 8 session_id_set,
+//             16 ticket_issued.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/observation.h"
+
+namespace tlsharm::scanner {
+
+struct StoredObservation {
+  int day = 0;
+  HandshakeObservation observation;
+};
+
+class ObservationWriter {
+ public:
+  explicit ObservationWriter(std::ostream& out) : out_(out) {}
+
+  void Write(int day, const HandshakeObservation& observation);
+  std::size_t Written() const { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t written_ = 0;
+};
+
+class ObservationReader {
+ public:
+  explicit ObservationReader(std::istream& in) : in_(in) {}
+
+  // Reads the next observation; nullopt at end of stream. Malformed lines
+  // are skipped (counted in Corrupt()).
+  std::optional<StoredObservation> Next();
+  std::size_t Corrupt() const { return corrupt_; }
+
+ private:
+  std::istream& in_;
+  std::size_t corrupt_ = 0;
+};
+
+// Convenience round-trip helpers used by tests and tooling.
+std::string SerializeObservations(
+    const std::vector<StoredObservation>& observations);
+std::vector<StoredObservation> ParseObservations(const std::string& data);
+
+}  // namespace tlsharm::scanner

@@ -1,0 +1,90 @@
+// Server-side configuration knobs.
+//
+// These map one-to-one onto the behaviours the paper measures: session-cache
+// lifetime (§4.1), ticket acceptance window and lifetime hint (§4.2), STEK
+// rotation policy (§4.3), and (EC)DHE value reuse (§4.4). The simnet
+// operator profiles are just bundles of these values taken from the paper's
+// observations of Apache, Nginx, IIS, CloudFlare, Google, and others.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/kex.h"
+#include "pki/certificate.h"
+#include "tls/constants.h"
+#include "tls/ticket.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::server {
+
+// How the terminator manages its STEK over time.
+enum class StekRotation : std::uint8_t {
+  // Generated at process start, used until restart (Apache/Nginx without a
+  // key file). Effective lifetime = process lifetime.
+  kPerProcess,
+  // Loaded from a synchronized key file that ops never rotate ("static").
+  kStatic,
+  // Rotated on a fixed interval by custom tooling (Twitter/Google style).
+  kInterval,
+};
+
+struct StekPolicy {
+  StekRotation rotation = StekRotation::kPerProcess;
+  // For kInterval: time between rotations.
+  SimTime rotation_interval = kDay;
+  // Previous keys remain accepted (but no longer issue) for this long after
+  // rotation — Google's 14h roll / 28h acceptance is overlap = 14h.
+  SimTime previous_key_acceptance = 0;
+};
+
+struct SessionCacheConfig {
+  bool enabled = true;
+  // Server drops cached sessions after this long (Apache/Nginx default 5m).
+  SimTime lifetime = 5 * kMinute;
+  std::size_t capacity = 100000;
+  // Nginx quirk: issue a session ID in ServerHello without caching, so
+  // resumption always misses (paper §4.1).
+  bool issue_id_without_cache = false;
+};
+
+struct TicketConfig {
+  bool enabled = true;
+  tls::TicketCodecKind codec = tls::TicketCodecKind::kRfc5077;
+  // Hint sent in NewSessionTicket. 0 = unspecified (client's policy).
+  std::uint32_t lifetime_hint_seconds = 300;
+  // How long after issuance the server still honours a ticket.
+  SimTime acceptance_window = 5 * kMinute;
+  // Reissue a fresh ticket on successful ticket resumption.
+  bool reissue_on_resumption = true;
+};
+
+struct KexReusePolicy {
+  // Fresh value per handshake (OpenSSL post-CVE-2016-0701 for DHE).
+  bool reuse = false;
+  // When reusing: regenerate after this long. 0 = never (process lifetime).
+  SimTime ttl = 0;
+};
+
+struct ServerConfig {
+  std::string implementation = "generic";  // diagnostic label
+
+  // Suite preference, server-chooses.
+  std::vector<tls::CipherSuite> suite_preference = {
+      tls::CipherSuite::kEcdheWithAes128CbcSha256,
+      tls::CipherSuite::kDheWithAes128CbcSha256,
+      tls::CipherSuite::kStaticWithAes128CbcSha256,
+  };
+  crypto::NamedGroup dhe_group = crypto::NamedGroup::kFfdheSim61;
+  crypto::NamedGroup ecdhe_group = crypto::NamedGroup::kSimEc61;
+  pki::SignatureScheme cert_scheme = pki::SignatureScheme::kSchnorrSim61;
+
+  SessionCacheConfig session_cache;
+  TicketConfig tickets;
+  StekPolicy stek;
+  KexReusePolicy dhe_reuse;
+  KexReusePolicy ecdhe_reuse;
+};
+
+}  // namespace tlsharm::server

@@ -1,0 +1,27 @@
+#include "server/kex_cache.h"
+
+namespace tlsharm::server {
+
+const crypto::KexKeyPair& KexCache::GetKeyPair(crypto::NamedGroup group,
+                                               const KexReusePolicy& policy,
+                                               SimTime now,
+                                               crypto::Drbg& drbg) {
+  const crypto::KexGroup& g = crypto::GetKexGroup(group);
+  if (!policy.reuse) {
+    scratch_ = g.GenerateKeyPair(drbg);
+    return scratch_;
+  }
+  auto it = entries_.find(group);
+  const bool expired =
+      it != entries_.end() && policy.ttl > 0 &&
+      it->second.created + policy.ttl <= now;
+  if (it == entries_.end() || expired) {
+    Entry entry{.pair = g.GenerateKeyPair(drbg), .created = now};
+    it = entries_.insert_or_assign(group, std::move(entry)).first;
+  }
+  return it->second.pair;
+}
+
+void KexCache::Clear() { entries_.clear(); }
+
+}  // namespace tlsharm::server

@@ -1,0 +1,40 @@
+// Cached ephemeral key-exchange values — the §4.4 "crypto shortcut".
+//
+// When reuse is enabled the terminator keeps one (private, public) pair per
+// group and serves it to every client until the TTL (or process) expires.
+// The cache can also be shared across terminators (§5.3's SquareSpace /
+// Jimdo style sharing).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "crypto/kex.h"
+#include "server/config.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::server {
+
+class KexCache {
+ public:
+  // Returns the key pair to use for one handshake: a cached pair when the
+  // policy allows reuse and the TTL has not lapsed, otherwise a fresh one
+  // (cached for next time if reusing).
+  const crypto::KexKeyPair& GetKeyPair(crypto::NamedGroup group,
+                                       const KexReusePolicy& policy,
+                                       SimTime now, crypto::Drbg& drbg);
+
+  // Process restart discards all cached values.
+  void Clear();
+
+ private:
+  struct Entry {
+    crypto::KexKeyPair pair;
+    SimTime created = 0;
+  };
+  std::map<crypto::NamedGroup, Entry> entries_;
+  crypto::KexKeyPair scratch_;  // storage for non-reused fresh pairs
+};
+
+}  // namespace tlsharm::server

@@ -1,0 +1,57 @@
+// Server-side session cache for session-ID resumption.
+//
+// Entries expire after the configured lifetime and the cache evicts oldest-
+// first at capacity. A cache instance may be shared by every terminator
+// behind one load balancer — the cross-domain sharing of §5.1. The cache
+// retains the master secrets of past connections for its whole lifetime,
+// which is precisely the §6.2 vulnerability window.
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "tls/constants.h"
+#include "util/bytes.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::server {
+
+struct CachedSession {
+  std::uint16_t cipher_suite = 0;
+  Bytes master_secret;
+  SimTime created = 0;
+};
+
+class SessionCache {
+ public:
+  SessionCache(SimTime lifetime, std::size_t capacity)
+      : lifetime_(lifetime), capacity_(capacity) {}
+
+  // Stores a session; evicts expired entries opportunistically and the
+  // oldest entry when full.
+  void Insert(const Bytes& session_id, CachedSession session, SimTime now);
+
+  // Returns the session if present and unexpired.
+  std::optional<CachedSession> Lookup(const Bytes& session_id, SimTime now);
+
+  // Drops everything (process restart, explicit flush).
+  void Clear();
+
+  std::size_t Size() const { return entries_.size(); }
+  SimTime Lifetime() const { return lifetime_; }
+
+  // Exposes the full contents for the attack module (an attacker who dumps
+  // the cache obtains every stored master secret).
+  const std::map<Bytes, CachedSession>& Dump() const { return entries_; }
+
+ private:
+  void EvictExpired(SimTime now);
+
+  SimTime lifetime_;
+  std::size_t capacity_;
+  std::map<Bytes, CachedSession> entries_;
+  std::list<Bytes> insertion_order_;  // oldest first
+};
+
+}  // namespace tlsharm::server

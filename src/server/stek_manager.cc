@@ -1,0 +1,64 @@
+#include "server/stek_manager.h"
+
+namespace tlsharm::server {
+
+StekManager::StekManager(StekPolicy policy, tls::TicketCodecKind codec,
+                         ByteView seed)
+    : policy_(policy), codec_(codec), drbg_(seed) {
+  Rotate(0);
+}
+
+void StekManager::Rotate(SimTime now) {
+  if (!epochs_.empty() && epochs_.back().retired_at == kNotRetired) {
+    epochs_.back().retired_at = now;
+  }
+  const std::size_t key_name_size =
+      tls::GetTicketCodec(codec_).KeyNameSize();
+  epochs_.push_back(KeyEpoch{
+      .stek = tls::Stek::Generate(drbg_, key_name_size),
+      .issued_from = now,
+      .retired_at = kNotRetired,
+  });
+  // Drop keys that can never be accepted again to bound memory.
+  while (epochs_.size() > 1 &&
+         epochs_.front().retired_at != kNotRetired &&
+         epochs_.front().retired_at + policy_.previous_key_acceptance < now) {
+    epochs_.erase(epochs_.begin());
+  }
+}
+
+void StekManager::MaybeRotate(SimTime now) {
+  if (policy_.rotation != StekRotation::kInterval) return;
+  // Catch up on all rotations due since the last one (scans may jump days).
+  while (epochs_.back().issued_from + policy_.rotation_interval <= now) {
+    Rotate(epochs_.back().issued_from + policy_.rotation_interval);
+  }
+}
+
+const tls::Stek& StekManager::IssuingStek(SimTime now) {
+  MaybeRotate(now);
+  return epochs_.back().stek;
+}
+
+std::vector<const tls::Stek*> StekManager::AcceptableSteks(SimTime now) {
+  MaybeRotate(now);
+  std::vector<const tls::Stek*> out;
+  for (auto it = epochs_.rbegin(); it != epochs_.rend(); ++it) {
+    if (it->retired_at == kNotRetired ||
+        it->retired_at + policy_.previous_key_acceptance >= now) {
+      out.push_back(&it->stek);
+    }
+  }
+  return out;
+}
+
+void StekManager::OnProcessRestart(SimTime now) {
+  if (policy_.rotation == StekRotation::kPerProcess) {
+    Rotate(now);
+  }
+  // kStatic and kInterval keys live outside the process; restart is a no-op.
+}
+
+void StekManager::ForceRotate(SimTime now) { Rotate(now); }
+
+}  // namespace tlsharm::server

@@ -1,0 +1,62 @@
+// Session-ticket encryption key lifecycle.
+//
+// A StekManager owns the issuing key and the set of still-accepted previous
+// keys, driven by the policy in ServerConfig. Multiple SSL terminators may
+// share one manager — that is exactly the synchronized-key-file deployment
+// (§4.3) whose theft compromises every domain in the service group at once.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "server/config.h"
+#include "tls/ticket.h"
+
+namespace tlsharm::server {
+
+class StekManager {
+ public:
+  // `seed` personalizes the key stream (e.g. the operator name).
+  StekManager(StekPolicy policy, tls::TicketCodecKind codec, ByteView seed);
+
+  // The key currently used to issue tickets. Applies any due interval
+  // rotations first.
+  const tls::Stek& IssuingStek(SimTime now);
+
+  // Keys accepted for decryption at `now`: the issuing key plus previous
+  // keys still inside the acceptance overlap.
+  std::vector<const tls::Stek*> AcceptableSteks(SimTime now);
+
+  // Process restart: per-process keys are regenerated; static and
+  // interval-managed keys survive (they live outside the process).
+  void OnProcessRestart(SimTime now);
+
+  // Operator-initiated manual rotation (e.g. the Jack Henry cluster's
+  // switch after 59 days).
+  void ForceRotate(SimTime now);
+
+  tls::TicketCodecKind Codec() const { return codec_; }
+  const StekPolicy& Policy() const { return policy_; }
+
+  // Exposes the raw current key for the attack module ("STEK theft").
+  const tls::Stek& StealCurrentKey(SimTime now) { return IssuingStek(now); }
+
+ private:
+  void Rotate(SimTime now);
+  void MaybeRotate(SimTime now);
+
+  StekPolicy policy_;
+  tls::TicketCodecKind codec_;
+  crypto::Drbg drbg_;
+
+  struct KeyEpoch {
+    tls::Stek stek;
+    SimTime issued_from;
+    SimTime retired_at;  // still issuing if == kNotRetired
+  };
+  static constexpr SimTime kNotRetired = -1;
+  std::vector<KeyEpoch> epochs_;  // newest last
+};
+
+}  // namespace tlsharm::server

@@ -1,0 +1,467 @@
+#include "server/terminator.h"
+
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "tls/keys.h"
+#include "tls/messages.h"
+#include "tls/record.h"
+
+namespace tlsharm::server {
+namespace {
+
+// Server-side transcript (mirrors the client's).
+class Transcript {
+ public:
+  void Add(tls::HandshakeType type, ByteView body) {
+    Bytes framed;
+    tls::AppendHandshake(framed, type, body);
+    hash_.Update(framed);
+  }
+  Bytes CurrentHash() const {
+    crypto::Sha256 copy = hash_;
+    const crypto::Sha256Digest d = copy.Finish();
+    return Bytes(d.begin(), d.end());
+  }
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+}  // namespace
+
+// One in-flight server connection. Owns no secret state: everything long-
+// lived (cache, STEKs, KEX values) belongs to the terminator.
+class TerminatorConnection final : public tls::ServerConnection {
+ public:
+  TerminatorConnection(SslTerminator& server, SimTime now)
+      : server_(server), now_(now) {}
+
+  Bytes OnClientFlight(ByteView flight) override;
+  Bytes OnApplicationRecord(ByteView record) override;
+
+  bool Failed() const override { return state_ == State::kFailed; }
+  std::string_view ErrorDetail() const override { return error_; }
+
+ private:
+  enum class State {
+    kAwaitClientHello,
+    kAwaitClientKex,
+    kAwaitFinished,
+    kEstablished,
+    kFailed,
+  };
+
+  Bytes Abort(std::string_view error) {
+    state_ = State::kFailed;
+    error_ = std::string(error);
+    return {};
+  }
+
+  Bytes HandleClientHello(const tls::HandshakeMessage& msg);
+  Bytes HandleClientKexFlight(const std::vector<tls::HandshakeMessage>& msgs);
+  Bytes HandleClientFinished(const tls::HandshakeMessage& msg);
+
+  // Builds the abbreviated server flight for an accepted resumption.
+  Bytes AcceptResumption(const tls::ClientHello& ch, std::uint16_t suite,
+                         const Bytes& master_secret, bool via_ticket);
+
+  tls::NewSessionTicket IssueTicket(std::uint16_t suite,
+                                    const Bytes& master_secret);
+
+  SslTerminator& server_;
+  SimTime now_;
+  State state_ = State::kAwaitClientHello;
+  std::string error_;
+
+  Transcript transcript_;
+  std::uint16_t suite_ = 0;
+  Bytes client_random_;
+  Bytes server_random_;
+  Bytes session_id_;       // id sent in ServerHello
+  bool cache_session_ = false;
+  bool issue_ticket_ = false;
+  Bytes server_kex_private_;
+  crypto::NamedGroup kex_group_{};
+  const Credential* credential_ = nullptr;
+  Bytes master_secret_;
+  tls::SessionKeys keys_;
+  Bytes expected_client_verify_;
+  std::uint64_t app_recv_seq_ = 0;
+  std::uint64_t app_send_seq_ = 0;
+};
+
+Bytes TerminatorConnection::OnClientFlight(ByteView flight) {
+  const auto msgs = tls::ParseFlight(flight);
+  if (!msgs || msgs->empty()) return Abort("malformed flight");
+  switch (state_) {
+    case State::kAwaitClientHello:
+      if (msgs->size() != 1 ||
+          (*msgs)[0].type != tls::HandshakeType::kClientHello) {
+        return Abort("expected ClientHello");
+      }
+      return HandleClientHello((*msgs)[0]);
+    case State::kAwaitClientKex:
+      return HandleClientKexFlight(*msgs);
+    case State::kAwaitFinished:
+      if (msgs->size() != 1 ||
+          (*msgs)[0].type != tls::HandshakeType::kFinished) {
+        return Abort("expected Finished");
+      }
+      return HandleClientFinished((*msgs)[0]);
+    case State::kEstablished:
+      return Abort("handshake already complete");
+    case State::kFailed:
+      return {};
+  }
+  return Abort("bad state");
+}
+
+tls::NewSessionTicket TerminatorConnection::IssueTicket(
+    std::uint16_t suite, const Bytes& master_secret) {
+  const tls::TicketCodec& codec =
+      tls::GetTicketCodec(server_.stek_manager_->Codec());
+  tls::TicketState state;
+  state.cipher_suite = suite;
+  state.master_secret = master_secret;
+  state.issue_time = now_;
+  tls::NewSessionTicket nst;
+  nst.lifetime_hint_seconds = server_.config_.tickets.lifetime_hint_seconds;
+  nst.ticket = codec.Seal(server_.stek_manager_->IssuingStek(now_), state,
+                          server_.drbg_);
+  return nst;
+}
+
+Bytes TerminatorConnection::AcceptResumption(const tls::ClientHello& ch,
+                                             std::uint16_t suite,
+                                             const Bytes& master_secret,
+                                             bool via_ticket) {
+  suite_ = suite;
+  master_secret_ = master_secret;
+
+  tls::ServerHello sh;
+  sh.random = server_random_ = server_.drbg_.Generate(tls::kRandomSize);
+  sh.session_id = ch.session_id;  // echo = resumption accepted
+  sh.cipher_suite = suite;
+  const bool reissue = via_ticket &&
+                       server_.config_.tickets.reissue_on_resumption &&
+                       ch.offer_session_ticket;
+  sh.session_ticket_ack = reissue;
+  session_id_ = sh.session_id;
+
+  Bytes flight;
+  const Bytes sh_body = sh.Serialize();
+  transcript_.Add(tls::HandshakeType::kServerHello, sh_body);
+  tls::AppendHandshake(flight, tls::HandshakeType::kServerHello, sh_body);
+
+  if (reissue) {
+    const tls::NewSessionTicket nst = IssueTicket(suite, master_secret);
+    const Bytes nst_body = nst.Serialize();
+    transcript_.Add(tls::HandshakeType::kNewSessionTicket, nst_body);
+    tls::AppendHandshake(flight, tls::HandshakeType::kNewSessionTicket,
+                         nst_body);
+  }
+
+  const Bytes server_verify = crypto::ComputeVerifyData(
+      master_secret_, "server finished", transcript_.CurrentHash());
+  transcript_.Add(tls::HandshakeType::kFinished, server_verify);
+  tls::AppendHandshake(flight, tls::HandshakeType::kFinished, server_verify);
+
+  keys_ = tls::DeriveSessionKeys(master_secret_, client_random_,
+                                 server_random_);
+  expected_client_verify_ = crypto::ComputeVerifyData(
+      master_secret_, "client finished", transcript_.CurrentHash());
+  state_ = State::kAwaitFinished;
+  return flight;
+}
+
+Bytes TerminatorConnection::HandleClientHello(
+    const tls::HandshakeMessage& msg) {
+  const auto ch = tls::ClientHello::Parse(msg.body);
+  if (!ch) return Abort("bad ClientHello");
+  if (ch->version != tls::kVersionTls12) return Abort("protocol version");
+  transcript_.Add(tls::HandshakeType::kClientHello, msg.body);
+  client_random_ = ch->random;
+
+  auto client_offered = [&ch](std::uint16_t suite) {
+    for (std::uint16_t s : ch->cipher_suites) {
+      if (s == suite) return true;
+    }
+    return false;
+  };
+
+  const ServerConfig& cfg = server_.config_;
+
+  // --- Session-ID resumption attempt --------------------------------------
+  if (cfg.session_cache.enabled && !ch->session_id.empty()) {
+    const auto cached =
+        server_.session_cache_->Lookup(ch->session_id, now_);
+    if (cached && client_offered(cached->cipher_suite)) {
+      return AcceptResumption(*ch, cached->cipher_suite,
+                              cached->master_secret, /*via_ticket=*/false);
+    }
+  }
+
+  // --- Ticket resumption attempt ------------------------------------------
+  if (cfg.tickets.enabled && !ch->session_ticket.empty()) {
+    const tls::TicketCodec& codec =
+        tls::GetTicketCodec(server_.stek_manager_->Codec());
+    for (const tls::Stek* stek :
+         server_.stek_manager_->AcceptableSteks(now_)) {
+      const auto state = codec.Open(*stek, ch->session_ticket);
+      if (!state) continue;
+      const bool fresh =
+          state->issue_time + cfg.tickets.acceptance_window > now_;
+      if (fresh && client_offered(state->cipher_suite)) {
+        return AcceptResumption(*ch, state->cipher_suite,
+                                state->master_secret, /*via_ticket=*/true);
+      }
+      break;  // ticket was ours but stale/unsuitable: full handshake
+    }
+  }
+
+  // --- Full handshake ------------------------------------------------------
+  std::uint16_t suite = 0;
+  for (tls::CipherSuite s : cfg.suite_preference) {
+    if (client_offered(static_cast<std::uint16_t>(s))) {
+      suite = static_cast<std::uint16_t>(s);
+      break;
+    }
+  }
+  if (suite == 0) return Abort("no shared cipher suite");
+  suite_ = suite;
+
+  credential_ = &server_.CredentialForSni(ch->server_name);
+  if (credential_ == nullptr) return Abort("no credential");
+
+  tls::ServerHello sh;
+  sh.random = server_random_ = server_.drbg_.Generate(tls::kRandomSize);
+  cache_session_ = cfg.session_cache.enabled;
+  if (cfg.session_cache.enabled || cfg.session_cache.issue_id_without_cache) {
+    sh.session_id = server_.drbg_.Generate(tls::kMaxSessionIdSize);
+  }
+  session_id_ = sh.session_id;
+  issue_ticket_ = cfg.tickets.enabled && ch->offer_session_ticket;
+  sh.cipher_suite = suite;
+  sh.session_ticket_ack = issue_ticket_;
+
+  Bytes flight;
+  const Bytes sh_body = sh.Serialize();
+  transcript_.Add(tls::HandshakeType::kServerHello, sh_body);
+  tls::AppendHandshake(flight, tls::HandshakeType::kServerHello, sh_body);
+
+  tls::CertificateMsg cert_msg;
+  cert_msg.chain = credential_->chain;
+  const Bytes cert_body = cert_msg.Serialize();
+  transcript_.Add(tls::HandshakeType::kCertificate, cert_body);
+  tls::AppendHandshake(flight, tls::HandshakeType::kCertificate, cert_body);
+
+  if (tls::IsForwardSecret(static_cast<tls::CipherSuite>(suite))) {
+    kex_group_ =
+        suite == static_cast<std::uint16_t>(
+                     tls::CipherSuite::kEcdheWithAes128CbcSha256)
+            ? cfg.ecdhe_group
+            : cfg.dhe_group;
+    const KexReusePolicy& reuse_policy =
+        suite == static_cast<std::uint16_t>(
+                     tls::CipherSuite::kEcdheWithAes128CbcSha256)
+            ? cfg.ecdhe_reuse
+            : cfg.dhe_reuse;
+    const crypto::KexKeyPair& pair = server_.kex_cache_->GetKeyPair(
+        kex_group_, reuse_policy, now_, server_.drbg_);
+    server_kex_private_ = pair.private_key;
+
+    tls::ServerKeyExchange ske;
+    ske.group = static_cast<std::uint16_t>(kex_group_);
+    ske.public_value = pair.public_value;
+    const auto& scheme =
+        pki::GetScheme(credential_->chain.front().data.scheme);
+    const Bytes signed_blob =
+        Concat({client_random_, server_random_, ske.SignedParams()});
+    ske.signature = scheme.SerializeSignature(
+        scheme.Sign(credential_->private_key, signed_blob, server_.drbg_));
+    const Bytes ske_body = ske.Serialize();
+    transcript_.Add(tls::HandshakeType::kServerKeyExchange, ske_body);
+    tls::AppendHandshake(flight, tls::HandshakeType::kServerKeyExchange,
+                         ske_body);
+  }
+
+  transcript_.Add(tls::HandshakeType::kServerHelloDone, {});
+  tls::AppendHandshake(flight, tls::HandshakeType::kServerHelloDone, {});
+  state_ = State::kAwaitClientKex;
+  return flight;
+}
+
+Bytes TerminatorConnection::HandleClientKexFlight(
+    const std::vector<tls::HandshakeMessage>& msgs) {
+  if (msgs.size() != 2 ||
+      msgs[0].type != tls::HandshakeType::kClientKeyExchange ||
+      msgs[1].type != tls::HandshakeType::kFinished) {
+    return Abort("expected ClientKeyExchange + Finished");
+  }
+  const auto cke = tls::ClientKeyExchange::Parse(msgs[0].body);
+  if (!cke) return Abort("bad ClientKeyExchange");
+  transcript_.Add(tls::HandshakeType::kClientKeyExchange, msgs[0].body);
+
+  Bytes premaster;
+  if (tls::IsForwardSecret(static_cast<tls::CipherSuite>(suite_))) {
+    const auto& group = crypto::GetKexGroup(kex_group_);
+    const auto shared =
+        group.SharedSecret(server_kex_private_, cke->public_value);
+    if (!shared) return Abort("degenerate client key-exchange value");
+    premaster = *shared;
+  } else {
+    const auto& scheme =
+        pki::GetScheme(credential_->chain.front().data.scheme);
+    const auto shared =
+        scheme.DhShared(credential_->private_key, cke->public_value);
+    if (!shared) return Abort("degenerate client key-exchange value");
+    premaster = *shared;
+  }
+  master_secret_ =
+      crypto::DeriveMasterSecret(premaster, client_random_, server_random_);
+  keys_ = tls::DeriveSessionKeys(master_secret_, client_random_,
+                                 server_random_);
+
+  const Bytes expected = crypto::ComputeVerifyData(
+      master_secret_, "client finished", transcript_.CurrentHash());
+  const auto fin = tls::Finished::Parse(msgs[1].body);
+  if (!fin || !ConstantTimeEqual(fin->verify_data, expected)) {
+    return Abort("client Finished verification failed");
+  }
+  transcript_.Add(tls::HandshakeType::kFinished, msgs[1].body);
+
+  // Session becomes resumable state on the server.
+  if (cache_session_ && !session_id_.empty()) {
+    server_.session_cache_->Insert(
+        session_id_,
+        CachedSession{.cipher_suite = suite_,
+                      .master_secret = master_secret_,
+                      .created = now_},
+        now_);
+  }
+
+  Bytes flight;
+  if (issue_ticket_) {
+    const tls::NewSessionTicket nst = IssueTicket(suite_, master_secret_);
+    const Bytes nst_body = nst.Serialize();
+    transcript_.Add(tls::HandshakeType::kNewSessionTicket, nst_body);
+    tls::AppendHandshake(flight, tls::HandshakeType::kNewSessionTicket,
+                         nst_body);
+  }
+  const Bytes server_verify = crypto::ComputeVerifyData(
+      master_secret_, "server finished", transcript_.CurrentHash());
+  tls::AppendHandshake(flight, tls::HandshakeType::kFinished, server_verify);
+  state_ = State::kEstablished;
+  return flight;
+}
+
+Bytes TerminatorConnection::HandleClientFinished(
+    const tls::HandshakeMessage& msg) {
+  const auto fin = tls::Finished::Parse(msg.body);
+  if (!fin || !ConstantTimeEqual(fin->verify_data, expected_client_verify_)) {
+    return Abort("client Finished verification failed");
+  }
+  state_ = State::kEstablished;
+  return {};
+}
+
+Bytes TerminatorConnection::OnApplicationRecord(ByteView record) {
+  if (state_ != State::kEstablished) return Abort("handshake not complete");
+  const auto request = tls::UnprotectRecord(
+      keys_, tls::Direction::kClientToServer, app_recv_seq_, record);
+  if (!request) return Abort("record decryption failed");
+  ++app_recv_seq_;
+  const Bytes response = tls::ProtectRecord(
+      keys_, tls::Direction::kServerToClient, app_send_seq_++,
+      ToBytes(server_.response_body_), server_.drbg_);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+
+SslTerminator::SslTerminator(std::string id, ServerConfig config,
+                             std::uint64_t seed)
+    : id_(std::move(id)),
+      config_(std::move(config)),
+      drbg_([&] {
+        Bytes s = ToBytes(id_);
+        AppendUint(s, seed, 8);
+        return crypto::Drbg(s);
+      }()) {
+  Bytes stek_seed = ToBytes(id_ + "/stek");
+  AppendUint(stek_seed, seed, 8);
+  session_cache_ = std::make_shared<SessionCache>(
+      config_.session_cache.lifetime, config_.session_cache.capacity);
+  stek_manager_ = std::make_shared<StekManager>(
+      config_.stek, config_.tickets.codec, stek_seed);
+  kex_cache_ = std::make_shared<KexCache>();
+}
+
+std::size_t SslTerminator::AddCredential(Credential credential) {
+  credentials_.push_back(std::move(credential));
+  return credentials_.size() - 1;
+}
+
+void SslTerminator::MapDomain(const std::string& domain, std::size_t index) {
+  domain_map_.emplace_back(domain, index);
+}
+
+void SslTerminator::SetSessionCache(std::shared_ptr<SessionCache> cache) {
+  session_cache_ = std::move(cache);
+}
+
+void SslTerminator::SetStekManager(std::shared_ptr<StekManager> steks) {
+  stek_manager_ = std::move(steks);
+}
+
+void SslTerminator::SetKexCache(std::shared_ptr<KexCache> kex_cache) {
+  kex_cache_ = std::move(kex_cache);
+}
+
+const Credential& SslTerminator::CredentialForSni(
+    const std::string& sni) const {
+  if (!sni.empty()) {
+    for (const auto& [domain, index] : domain_map_) {
+      if (domain == sni) return credentials_[index];
+    }
+    // Fall back to any credential whose chain covers the name.
+    for (const auto& credential : credentials_) {
+      if (pki::CertificateCoversHost(credential.chain.front(), sni)) {
+        return credential;
+      }
+    }
+  }
+  return credentials_.front();
+}
+
+void SslTerminator::Restart(SimTime now) {
+  session_cache_->Clear();
+  kex_cache_->Clear();
+  stek_manager_->OnProcessRestart(now);
+}
+
+std::unique_ptr<tls::ServerConnection> SslTerminator::NewConnection(
+    SimTime now) {
+  return std::make_unique<TerminatorConnection>(*this, now);
+}
+
+Credential MakeCredential(const pki::CertificateAuthority& issuer,
+                          const std::vector<std::string>& domains,
+                          pki::SignatureScheme scheme, SimTime not_before,
+                          SimTime not_after,
+                          const pki::CertificateChain& issuer_chain,
+                          crypto::Drbg& drbg) {
+  const auto& sig_scheme = pki::GetScheme(scheme);
+  const crypto::SchnorrKeyPair key = sig_scheme.GenerateKeyPair(drbg);
+  std::vector<std::string> sans(domains.begin() + 1, domains.end());
+  const pki::Certificate leaf =
+      issuer.IssueLeaf(domains.front(), std::move(sans), key.public_key,
+                       not_before, not_after, drbg);
+  Credential credential;
+  credential.chain.push_back(leaf);
+  for (const auto& cert : issuer_chain) credential.chain.push_back(cert);
+  credential.private_key = key.private_key;
+  return credential;
+}
+
+}  // namespace tlsharm::server

@@ -1,0 +1,101 @@
+// SSL terminator: the server-side endpoint that performs TLS on behalf of
+// one or many hosted domains (§5's root cause of cross-domain secret
+// sharing).
+//
+// A terminator owns or shares three pieces of secret state, each of which
+// the paper shows can outlive any single connection:
+//   - a SessionCache (session-ID resumption),
+//   - a StekManager (session tickets),
+//   - a KexCache (reused (EC)DHE values).
+// Sharing any of these objects between terminators — or hosting many
+// domains on one terminator — creates the measured service groups.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/schnorr.h"
+#include "pki/ca.h"
+#include "pki/certificate.h"
+#include "server/config.h"
+#include "server/kex_cache.h"
+#include "server/session_cache.h"
+#include "server/stek_manager.h"
+#include "tls/transport.h"
+
+namespace tlsharm::server {
+
+// A certificate chain plus the private key for its leaf.
+struct Credential {
+  pki::CertificateChain chain;
+  Bytes private_key;  // Schnorr private key matching chain[0]
+};
+
+class SslTerminator {
+ public:
+  // `id` names the terminator (diagnostics, grouping); `seed` derives its
+  // deterministic randomness stream.
+  SslTerminator(std::string id, ServerConfig config, std::uint64_t seed);
+
+  const std::string& Id() const { return id_; }
+  const ServerConfig& Config() const { return config_; }
+
+  // --- provisioning -------------------------------------------------------
+  // Adds a credential; returns its index.
+  std::size_t AddCredential(Credential credential);
+  // Routes SNI `domain` to credential `index`. The first mapped credential
+  // is also the default for unknown/absent SNI.
+  void MapDomain(const std::string& domain, std::size_t index);
+
+  // Secret-state injection. By default each terminator creates private
+  // instances; operators that share state across terminators install the
+  // same shared object on each.
+  void SetSessionCache(std::shared_ptr<SessionCache> cache);
+  void SetStekManager(std::shared_ptr<StekManager> steks);
+  void SetKexCache(std::shared_ptr<KexCache> kex_cache);
+
+  SessionCache& Cache() { return *session_cache_; }
+  StekManager& Steks() { return *stek_manager_; }
+  KexCache& Kex() { return *kex_cache_; }
+  std::shared_ptr<SessionCache> SharedCache() { return session_cache_; }
+  std::shared_ptr<StekManager> SharedSteks() { return stek_manager_; }
+  std::shared_ptr<KexCache> SharedKex() { return kex_cache_; }
+
+  // Simulates a process restart: flushes the session cache and KEX cache,
+  // and regenerates per-process STEKs.
+  void Restart(SimTime now);
+
+  // Opens a new server-side connection at simulated time `now`.
+  std::unique_ptr<tls::ServerConnection> NewConnection(SimTime now);
+
+  // Application payload served to established connections.
+  void SetResponseBody(std::string body) { response_body_ = std::move(body); }
+
+ private:
+  friend class TerminatorConnection;
+
+  const Credential& CredentialForSni(const std::string& sni) const;
+
+  std::string id_;
+  ServerConfig config_;
+  crypto::Drbg drbg_;
+  std::vector<Credential> credentials_;
+  std::vector<std::pair<std::string, std::size_t>> domain_map_;
+  std::shared_ptr<SessionCache> session_cache_;
+  std::shared_ptr<StekManager> stek_manager_;
+  std::shared_ptr<KexCache> kex_cache_;
+  std::string response_body_ = "HTTP/1.1 200 OK\r\n\r\nhello";
+};
+
+// Helper used by simnet and tests: builds a credential for `domains` (leaf
+// with SANs) issued by `issuer`.
+Credential MakeCredential(const pki::CertificateAuthority& issuer,
+                          const std::vector<std::string>& domains,
+                          pki::SignatureScheme scheme, SimTime not_before,
+                          SimTime not_after,
+                          const pki::CertificateChain& issuer_chain,
+                          crypto::Drbg& drbg);
+
+}  // namespace tlsharm::server

@@ -1,0 +1,129 @@
+#include "simnet/clients.h"
+
+#include <cmath>
+
+#include "tls/client.h"
+
+namespace tlsharm::simnet {
+namespace {
+
+// Samples an index in [0, n) with P(i) proportional to 1/(i+1) — the
+// classic Zipf(1) popularity curve of personal browsing.
+std::size_t SampleZipf(Rng& rng, std::size_t n) {
+  // Inverse-CDF over harmonic weights; n is small (working set), so a
+  // linear walk is fine.
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += 1.0 / static_cast<double>(i + 1);
+  double x = rng.UniformDouble() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 1.0 / static_cast<double>(i + 1);
+    if (x < w) return i;
+    x -= w;
+  }
+  return n - 1;
+}
+
+// Exponential inter-visit gap with the configured mean.
+SimTime SampleGap(Rng& rng, SimTime mean) {
+  const double u = rng.UniformDouble();
+  const double gap = -std::log(1.0 - u) * static_cast<double>(mean);
+  return std::max<SimTime>(1, static_cast<SimTime>(gap));
+}
+
+}  // namespace
+
+BrowserPool::BrowserPool(Internet& net, BrowserConfig config, int browsers,
+                         std::uint64_t seed)
+    : net_(net), config_(config), drbg_([&] {
+        Bytes s = ToBytes("browser pool");
+        AppendUint(s, seed, 8);
+        return crypto::Drbg(s);
+      }()) {
+  Rng rng(seed);
+  // Candidate sites: trusted HTTPS stable domains, weighted toward the
+  // head of the ranking (browsers visit popular sites).
+  std::vector<DomainId> candidates;
+  for (DomainId id = 0; id < net.DomainCount(); ++id) {
+    const auto& info = net.GetDomain(id);
+    if (info.stable && info.https && info.trusted_cert) {
+      candidates.push_back(id);
+    }
+  }
+  browsers_.resize(static_cast<std::size_t>(browsers));
+  for (int b = 0; b < browsers; ++b) {
+    Browser& browser = browsers_[static_cast<std::size_t>(b)];
+    browser.rng = rng.Fork("browser-" + std::to_string(b));
+    for (int i = 0; i < config.working_set_size; ++i) {
+      // Rank-biased pick: square the uniform draw to favour the head.
+      const double u = browser.rng.UniformDouble();
+      const auto idx = static_cast<std::size_t>(u * u *
+                                                static_cast<double>(
+                                                    candidates.size()));
+      browser.working_set.push_back(
+          candidates[std::min(idx, candidates.size() - 1)]);
+    }
+    browser.next_visit = SampleGap(browser.rng, config.mean_gap);
+  }
+}
+
+void BrowserPool::Visit(Browser& browser, DomainId domain, SimTime now,
+                        TrafficStats& stats) {
+  auto conn = net_.Connect(domain, now);
+  if (conn == nullptr) return;
+  ++stats.connections;
+
+  tls::ClientConfig config;
+  config.server_name = net_.GetDomain(domain).name;
+  Bytes previous_ticket;
+  auto it = browser.sessions.find(domain);
+  if (it != browser.sessions.end()) {
+    if (it->second.stored_at + config_.client_session_lifetime > now) {
+      config.resume_session_id = it->second.session_id;
+      config.resume_ticket = it->second.ticket;
+      config.resume_master_secret = it->second.master_secret;
+      previous_ticket = it->second.ticket;
+      ++stats.offered_resumption;
+    } else {
+      browser.sessions.erase(it);
+    }
+  }
+
+  tls::TlsClient client(config);
+  const auto hs = client.Handshake(*conn, now, drbg_);
+  if (!hs.ok) return;
+  ++stats.handshake_ok;
+  if (hs.resumed) {
+    ++stats.resumed;
+    if (hs.resumed_via_ticket) ++stats.resumed_via_ticket;
+  }
+  // Store the freshest session state (browsers keep one per host). When no
+  // new ticket was issued, the previous ticket stays valid only if this
+  // session resumed (same master secret); after a fresh full handshake the
+  // old ticket's master no longer matches and must be dropped.
+  StoredClientSession stored;
+  stored.session_id = hs.session_id;
+  stored.ticket = !hs.ticket.empty() ? hs.ticket
+                  : hs.resumed       ? previous_ticket
+                                     : Bytes{};
+  stored.master_secret = hs.master_secret;
+  stored.stored_at = now;
+  browser.sessions[domain] = std::move(stored);
+}
+
+TrafficStats BrowserPool::Browse(SimTime start, SimTime duration) {
+  TrafficStats stats;
+  const SimTime end = start + duration;
+  for (Browser& browser : browsers_) {
+    SimTime now = start + browser.next_visit;
+    while (now < end) {
+      const std::size_t pick =
+          SampleZipf(browser.rng, browser.working_set.size());
+      Visit(browser, browser.working_set[pick], now, stats);
+      now += SampleGap(browser.rng, config_.mean_gap);
+    }
+    browser.next_visit = now - end;  // carry phase into the next window
+  }
+  return stats;
+}
+
+}  // namespace tlsharm::simnet

@@ -1,0 +1,83 @@
+// Browser-population model (§2.2's context statistic).
+//
+// The paper motivates resumption's ubiquity with Mozilla telemetry: 50% of
+// Firefox TLS sessions are resumptions. This module simulates a population
+// of browsers — each with a per-host session store (one ticket/ID per host,
+// like real browsers), a revisit process over a Zipf-ish site popularity
+// distribution, and a session-store lifetime — and measures what fraction
+// of their handshakes end up abbreviated against the simulated Internet.
+//
+// It doubles as the "victim traffic" generator for attack studies: every
+// connection a BrowserPool makes can be tapped like any other.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "simnet/internet.h"
+#include "util/rng.h"
+
+namespace tlsharm::simnet {
+
+struct BrowserConfig {
+  // Hosts a user browses regularly; visits are Zipf(1.0)-distributed over
+  // this personal working set.
+  int working_set_size = 12;
+  // Mean think time between page visits while active.
+  SimTime mean_gap = 10 * kMinute;
+  // Browsers drop stored sessions after this long (client-side policy).
+  SimTime client_session_lifetime = 24 * kHour;
+};
+
+struct TrafficStats {
+  std::size_t connections = 0;
+  std::size_t handshake_ok = 0;
+  std::size_t resumed = 0;
+  std::size_t resumed_via_ticket = 0;
+  std::size_t offered_resumption = 0;  // had client-side state to offer
+
+  double ResumptionRate() const {
+    return handshake_ok == 0
+               ? 0.0
+               : static_cast<double>(resumed) /
+                     static_cast<double>(handshake_ok);
+  }
+};
+
+// A population of simulated browsers visiting the simulated Internet.
+class BrowserPool {
+ public:
+  BrowserPool(Internet& net, BrowserConfig config, int browsers,
+              std::uint64_t seed);
+
+  // Advances all browsers through `duration` of simulated activity
+  // starting at `start`, performing their visits. Returns aggregate stats.
+  TrafficStats Browse(SimTime start, SimTime duration);
+
+ private:
+  struct StoredClientSession {
+    Bytes session_id;
+    Bytes ticket;
+    Bytes master_secret;
+    SimTime stored_at = 0;
+  };
+
+  struct Browser {
+    std::vector<DomainId> working_set;
+    std::map<DomainId, StoredClientSession> sessions;
+    SimTime next_visit = 0;
+    Rng rng{0};
+  };
+
+  // One visit by one browser; updates its session store.
+  void Visit(Browser& browser, DomainId domain, SimTime now,
+             TrafficStats& stats);
+
+  Internet& net_;
+  BrowserConfig config_;
+  std::vector<Browser> browsers_;
+  crypto::Drbg drbg_;
+};
+
+}  // namespace tlsharm::simnet

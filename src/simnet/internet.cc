@@ -1,0 +1,634 @@
+#include "simnet/internet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tlsharm::simnet {
+
+Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
+    : seed_(seed) {
+  Rng rng(seed);
+  crypto::Drbg ca_drbg(ToBytes("simnet ca"));
+
+  // --- PKI ---------------------------------------------------------------
+  pki::CertificateAuthority root("SimNSS Root CA",
+                                 pki::SignatureScheme::kSchnorrSim61,
+                                 ca_drbg);
+  pki::CertificateAuthority trusted_int(
+      "SimDV Intermediate CA", pki::SignatureScheme::kSchnorrSim61, ca_drbg);
+  pki::CertificateAuthority untrusted_ca(
+      "SelfSign CA", pki::SignatureScheme::kSchnorrSim61, ca_drbg);
+  root_store_.AddRoot(root.Name(), root.Scheme(), root.PublicKey());
+  pki::CertificateChain trusted_chain = {
+      root.IssueCaCertificate(trusted_int, -365 * kDay, 3650 * kDay, ca_drbg)};
+  pki::CertificateChain untrusted_chain = {};  // untrusted CA signs directly
+
+  const SimTime cert_not_before = -180 * kDay;
+  const SimTime cert_not_after = 3650 * kDay;
+
+  // --- helpers -------------------------------------------------------------
+  auto new_terminator = [&](const std::string& id,
+                            const server::ServerConfig& config,
+                            SimTime restart_every,
+                            std::uint64_t restart_phase_seed)
+      -> TerminatorId {
+    const TerminatorId tid = static_cast<TerminatorId>(terminators_.size());
+    terminators_.push_back(std::make_unique<server::SslTerminator>(
+        id, config, seed ^ StableHash64(id)));
+    Maintenance m;
+    m.restart_every = restart_every;
+    if (restart_every > 0) {
+      std::uint64_t phase_state = restart_phase_seed;
+      m.next_restart =
+          static_cast<SimTime>(SplitMix64(phase_state) %
+                               static_cast<std::uint64_t>(restart_every));
+    }
+    maintenance_.push_back(std::move(m));
+    terminator_ips_.push_back(static_cast<std::uint32_t>(tid) + 0x0a000000);
+    return tid;
+  };
+
+  auto add_domain = [&](DomainInfo info) -> DomainId {
+    const DomainId id = static_cast<DomainId>(domains_.size());
+    by_name_[info.name] = id;
+    for (const TerminatorId t : info.endpoints) {
+      by_ip_.emplace(terminator_ips_[t], id);
+    }
+    by_as_.emplace(info.as_number, id);
+    domains_.push_back(std::move(info));
+    return id;
+  };
+
+  // Provisions `domain_names` on a group of terminators with the sharing
+  // flags of `op`, and registers the domains.
+  auto provision_group = [&](const std::vector<std::string>& domain_names,
+                             const std::vector<TerminatorId>& fleet,
+                             const server::ServerConfig& config,
+                             bool share_cache, bool share_stek,
+                             bool share_kex, int domains_per_cert,
+                             bool trusted, std::uint32_t as_number,
+                             const std::string& op_name, int& rank_cursor,
+                             const std::vector<int>* explicit_ranks,
+                             bool stable, double presence_prob,
+                             double mx_google_fraction, Rng& local_rng) {
+    (void)config;
+    // Share secret state across the fleet as configured.
+    if (fleet.size() > 1) {
+      auto& first = *terminators_[fleet[0]];
+      for (std::size_t i = 1; i < fleet.size(); ++i) {
+        auto& t = *terminators_[fleet[i]];
+        if (share_cache) t.SetSessionCache(first.SharedCache());
+        if (share_stek) t.SetStekManager(first.SharedSteks());
+        if (share_kex) t.SetKexCache(first.SharedKex());
+      }
+    }
+    // Issue certificates in SAN batches and map domains onto every
+    // terminator in the fleet.
+    for (std::size_t base = 0; base < domain_names.size();
+         base += static_cast<std::size_t>(domains_per_cert)) {
+      const std::size_t end = std::min(
+          domain_names.size(), base + static_cast<std::size_t>(domains_per_cert));
+      const std::vector<std::string> batch(domain_names.begin() + base,
+                                           domain_names.begin() + end);
+      for (const TerminatorId tid : fleet) {
+        server::Credential credential = server::MakeCredential(
+            trusted ? trusted_int : untrusted_ca, batch,
+            pki::SignatureScheme::kSchnorrSim61, cert_not_before,
+            cert_not_after, trusted ? trusted_chain : untrusted_chain,
+            ca_drbg);
+        const std::size_t idx =
+            terminators_[tid]->AddCredential(std::move(credential));
+        for (const auto& name : batch) {
+          terminators_[tid]->MapDomain(name, idx);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < domain_names.size(); ++i) {
+      DomainInfo info;
+      info.name = domain_names[i];
+      // Auto-ranked domains get 0 here; a post-pass spreads them
+      // uniformly over the full rank range (Figure 4 needs realistic
+      // rank tiers), while named domains keep their paper ranks.
+      info.rank = explicit_ranks != nullptr ? (*explicit_ranks)[i] : 0;
+      (void)rank_cursor;
+      info.operator_name = op_name;
+      info.as_number = as_number;
+      info.endpoints.assign(fleet.begin(), fleet.end());
+      info.https = true;
+      info.trusted_cert = trusted;
+      info.stable = stable;
+      info.presence_prob = presence_prob;
+      info.mx_google = local_rng.Bernoulli(mx_google_fraction);
+      add_domain(std::move(info));
+    }
+  };
+
+  // --- sizing --------------------------------------------------------------
+  const std::size_t n = spec.top_list_size;
+  const auto stable_count =
+      static_cast<std::size_t>(static_cast<double>(n) *
+                               spec.churn.stable_fraction);
+  const auto trusted_target = static_cast<std::size_t>(
+      static_cast<double>(stable_count) * spec.trusted_fraction);
+  const auto https_untrusted_target = static_cast<std::size_t>(
+      static_cast<double>(stable_count) *
+      (spec.https_fraction - spec.trusted_fraction));
+  const double scale = static_cast<double>(n) / 1'000'000.0;
+
+  int rank_cursor = 1;
+  std::size_t trusted_used = 0;
+  // Cross-operator STEK pools (see OperatorSpec::stek_pool).
+  std::map<std::string, std::shared_ptr<server::StekManager>> stek_pools;
+
+  // --- named domains -------------------------------------------------------
+  for (const auto& named : spec.named_domains) {
+    const std::string term_id = "term/" + named.domain;
+    const TerminatorId tid = new_terminator(term_id, named.config, 0,
+                                            StableHash64(named.domain));
+    auto& maint = maintenance_[tid];
+    for (const int day : named.stek_rotation_days) {
+      maint.forced_stek_rotations.push_back(day * kDay + 30);
+    }
+    for (const int day : named.dhe_rotation_days) {
+      maint.forced_kex_rotations.push_back(day * kDay + 30);
+    }
+    for (const int day : named.ecdhe_rotation_days) {
+      maint.forced_kex_rotations.push_back(day * kDay + 30);
+    }
+    std::sort(maint.forced_stek_rotations.begin(),
+              maint.forced_stek_rotations.end());
+    std::sort(maint.forced_kex_rotations.begin(),
+              maint.forced_kex_rotations.end());
+    const std::vector<int> ranks = {named.rank};
+    Rng domain_rng = rng.Fork("named/" + named.domain);
+    provision_group({named.domain}, {tid}, named.config,
+                    /*share_cache=*/false, /*share_stek=*/false,
+                    /*share_kex=*/false, /*domains_per_cert=*/1,
+                    /*trusted=*/true,
+                    /*as_number=*/static_cast<std::uint32_t>(
+                        20000 + StableHash64(named.domain) % 40000),
+                    named.domain, rank_cursor, &ranks, /*stable=*/true,
+                    /*presence_prob=*/1.0, /*mx_google=*/0.0, domain_rng);
+    ++trusted_used;
+  }
+  rank_cursor = 1000;  // synthetic domains rank below the named head
+
+  // --- named groups --------------------------------------------------------
+  for (const auto& group : spec.named_groups) {
+    const int count = std::max(
+        group.min_domains,
+        static_cast<int>(group.domains_per_million * scale));
+    const std::string base = group.operator_name;
+    const int n_terms = std::max(1, group.terminators);
+    std::vector<TerminatorId> fleet;
+    for (int t = 0; t < n_terms; ++t) {
+      const TerminatorId tid = new_terminator(
+          "term/" + base + "/" + std::to_string(t), group.config, 0,
+          StableHash64(base) + static_cast<std::uint64_t>(t));
+      auto& maint = maintenance_[tid];
+      for (const int day : group.stek_rotation_days) {
+        maint.forced_stek_rotations.push_back(day * kDay + 30);
+      }
+      std::sort(maint.forced_stek_rotations.begin(),
+                maint.forced_stek_rotations.end());
+      fleet.push_back(tid);
+    }
+    // STEK/KEX sharing spans the whole group; caches are per-terminator
+    // unless share_cache.
+    for (std::size_t t = 1; t < fleet.size(); ++t) {
+      auto& first = *terminators_[fleet[0]];
+      auto& term = *terminators_[fleet[t]];
+      if (group.share_stek) term.SetStekManager(first.SharedSteks());
+      if (group.share_kex) term.SetKexCache(first.SharedKex());
+      if (group.share_cache) term.SetSessionCache(first.SharedCache());
+    }
+    Rng group_rng = rng.Fork("group/" + base);
+    const std::uint32_t as_number =
+        static_cast<std::uint32_t>(30000 + StableHash64(base) % 30000);
+    // Partition domains across the fleet's terminators.
+    for (int t = 0; t < n_terms; ++t) {
+      std::vector<std::string> names;
+      for (int i = t; i < count; i += n_terms) {
+        names.push_back("site" + std::to_string(i) + "." + base + ".sim");
+      }
+      if (names.empty()) continue;
+      provision_group(names, {fleet[static_cast<std::size_t>(t)]},
+                      group.config, false, false, false,
+                      /*domains_per_cert=*/std::max<int>(1, count / 4),
+                      /*trusted=*/true, as_number, base, rank_cursor,
+                      nullptr, /*stable=*/true, /*presence_prob=*/1.0, 0.0,
+                      group_rng);
+    }
+    trusted_used += static_cast<std::size_t>(count);
+    rank_cursor += count;
+  }
+
+  // --- archetype operators ---------------------------------------------------
+  double total_share = 0;
+  for (const auto& op : spec.operators) total_share += op.trusted_share;
+  const std::size_t archetype_budget =
+      trusted_target > trusted_used ? trusted_target - trusted_used : 0;
+
+  for (const auto& op : spec.operators) {
+    const auto op_domains = static_cast<std::size_t>(
+        static_cast<double>(archetype_budget) * op.trusted_share /
+        total_share);
+    if (op_domains == 0) continue;
+    const int instances = std::max(1, op.instances);
+    const std::size_t per_instance =
+        std::max<std::size_t>(1, op_domains / static_cast<std::size_t>(instances));
+    Rng op_rng = rng.Fork("op/" + op.name);
+
+    std::size_t produced = 0;
+    for (int inst = 0; inst < instances && produced < op_domains; ++inst) {
+      const std::size_t want =
+          std::min(per_instance, op_domains - produced);
+      if (want == 0) break;
+      const std::string inst_name =
+          op.name + (instances > 1 ? "-" + std::to_string(inst) : "");
+      // AS: one per instance for big orgs; small archetypes pool into a
+      // bounded set of hosting ASes so co-AS sampling finds candidates.
+      const std::uint32_t as_number =
+          instances == 1
+              ? static_cast<std::uint32_t>(1000 + StableHash64(op.name) % 9000)
+              : static_cast<std::uint32_t>(
+                    50000 + StableHash64(op.name) % 1000 +
+                    static_cast<std::uint32_t>(inst) % 64);
+
+      // Decide ephemeral-value reuse for this instance.
+      server::ServerConfig config = op.config;
+      auto apply_reuse = [&op_rng](const ReuseMix& mix,
+                                   server::KexReusePolicy& policy) {
+        if (mix.reuse_fraction <= 0 || !op_rng.Bernoulli(mix.reuse_fraction)) {
+          return;
+        }
+        policy.reuse = true;
+        policy.ttl = 0;
+        if (!mix.ttl_mix.empty()) {
+          std::vector<double> weights;
+          weights.reserve(mix.ttl_mix.size());
+          for (const auto& [w, ttl] : mix.ttl_mix) weights.push_back(w);
+          policy.ttl = mix.ttl_mix[op_rng.WeightedIndex(weights)].second;
+        }
+      };
+      apply_reuse(op.dhe_reuse, config.dhe_reuse);
+      apply_reuse(op.ecdhe_reuse, config.ecdhe_reuse);
+
+      const int subfleets = std::max(1, op.subfleets);
+      const int per_fleet =
+          std::max(1, op.terminators_per_instance / subfleets);
+      // Restart interval jitter: ±40% per instance.
+      SimTime restart = op.restart_every;
+      if (restart > 0) {
+        const double jitter = 0.6 + 0.8 * op_rng.UniformDouble();
+        restart = static_cast<SimTime>(static_cast<double>(restart) * jitter);
+        restart = std::max<SimTime>(restart, kHour);
+      }
+
+      std::vector<std::vector<TerminatorId>> fleets(
+          static_cast<std::size_t>(subfleets));
+      std::vector<TerminatorId> all_terminators;
+      for (int sf = 0; sf < subfleets; ++sf) {
+        for (int t = 0; t < per_fleet; ++t) {
+          const TerminatorId tid = new_terminator(
+              "term/" + inst_name + "/" + std::to_string(sf) + "." +
+                  std::to_string(t),
+              config, restart,
+              StableHash64(inst_name) + static_cast<std::uint64_t>(sf * 131 + t));
+          fleets[static_cast<std::size_t>(sf)].push_back(tid);
+          all_terminators.push_back(tid);
+        }
+      }
+      // STEK sharing: instance-wide, and optionally via a cross-operator
+      // pool (one synchronized key file for the whole organization).
+      if (!op.stek_pool.empty()) {
+        auto [it, inserted] = stek_pools.try_emplace(
+            op.stek_pool, terminators_[all_terminators[0]]->SharedSteks());
+        for (const TerminatorId tid : all_terminators) {
+          terminators_[tid]->SetStekManager(it->second);
+        }
+      } else if (op.share_stek_across_fleet && all_terminators.size() > 1) {
+        auto shared = terminators_[all_terminators[0]]->SharedSteks();
+        for (std::size_t i = 1; i < all_terminators.size(); ++i) {
+          terminators_[all_terminators[i]]->SetStekManager(shared);
+        }
+      }
+
+      // Domain names for this instance, spread across sub-fleets.
+      std::vector<std::vector<std::string>> names(
+          static_cast<std::size_t>(subfleets));
+      // Optional weighted split (CloudFlare's ~2:1 cache groups).
+      std::vector<double> cumulative;
+      if (!op.subfleet_weights.empty()) {
+        double total = 0;
+        for (double w : op.subfleet_weights) total += w;
+        double acc = 0;
+        for (double w : op.subfleet_weights) {
+          acc += w / total;
+          cumulative.push_back(acc);
+        }
+      }
+      for (std::size_t i = 0; i < want; ++i) {
+        std::size_t sf;
+        if (cumulative.empty()) {
+          sf = i % static_cast<std::size_t>(subfleets);
+        } else {
+          const double f =
+              (static_cast<double>(i) + 0.5) / static_cast<double>(want);
+          sf = 0;
+          while (sf + 1 < cumulative.size() && f > cumulative[sf]) ++sf;
+        }
+        names[sf].push_back("www" + std::to_string(i) + "." + inst_name +
+                            ".sim");
+      }
+      for (int sf = 0; sf < subfleets; ++sf) {
+        if (names[static_cast<std::size_t>(sf)].empty()) continue;
+        // Cache/KEX sharing stays within the sub-fleet; STEK sharing was
+        // handled instance-wide above.
+        provision_group(names[static_cast<std::size_t>(sf)],
+                        fleets[static_cast<std::size_t>(sf)], config,
+                        op.share_cache_across_fleet,
+                        /*share_stek=*/false,
+                        op.share_kex_across_fleet,
+                        std::max(1, op.domains_per_cert), /*trusted=*/true,
+                        as_number, inst_name, rank_cursor, nullptr,
+                        /*stable=*/true, 1.0, op.mx_google_fraction, op_rng);
+      }
+      produced += want;
+    }
+    trusted_used += produced;
+  }
+
+  // --- HTTPS-but-untrusted stable domains ----------------------------------
+  {
+    Rng untrusted_rng = rng.Fork("untrusted");
+    const std::size_t per_term = 16;
+    std::size_t made = 0;
+    int batch = 0;
+    while (made < https_untrusted_target) {
+      const std::size_t count =
+          std::min(per_term, https_untrusted_target - made);
+      server::ServerConfig config;  // defaults; behaviour barely matters
+      config.tickets.enabled = untrusted_rng.Bernoulli(0.7);
+      const TerminatorId tid = new_terminator(
+          "term/untrusted-" + std::to_string(batch), config, 7 * kDay,
+          StableHash64("untrusted") + static_cast<std::uint64_t>(batch));
+      std::vector<std::string> names;
+      for (std::size_t i = 0; i < count; ++i) {
+        names.push_back("self" + std::to_string(made + i) + ".untrusted.sim");
+      }
+      provision_group(names, {tid}, config, false, false, false, 4,
+                      /*trusted=*/false,
+                      static_cast<std::uint32_t>(60000 + batch % 128),
+                      "untrusted-host", rank_cursor, nullptr, true, 1.0, 0.0,
+                      untrusted_rng);
+      made += count;
+      ++batch;
+    }
+  }
+
+  // --- non-HTTPS stable domains ---------------------------------------------
+  {
+    const std::size_t https_total = domains_.size();
+    (void)https_total;
+    const std::size_t no_https = stable_count > trusted_used +
+                                        https_untrusted_target
+                                     ? stable_count - trusted_used -
+                                           https_untrusted_target
+                                     : 0;
+    for (std::size_t i = 0; i < no_https; ++i) {
+      DomainInfo info;
+      info.name = "plain" + std::to_string(i) + ".nohttps.sim";
+      info.rank = 0;
+      info.mx_google = (StableHash64(info.name) % 100) < 9;
+      info.operator_name = "no-https";
+      info.as_number = static_cast<std::uint32_t>(70000 + i % 512);
+      info.https = false;
+      info.stable = true;
+      add_domain(std::move(info));
+    }
+  }
+
+  // --- transient (churning) domains ------------------------------------------
+  {
+    Rng churn_rng = rng.Fork("churn");
+    const auto pool = static_cast<std::size_t>(
+        static_cast<double>(n) * spec.churn.transient_pool_factor);
+    const std::size_t per_term = 32;
+    TerminatorId current_term = 0;
+    std::size_t on_current = per_term;
+    int batch = 0;
+    // Behaviour templates for the churning tail, mirroring the stable
+    // cohort's implementation mix so single-day metrics stay calibrated.
+    std::vector<server::ServerConfig> templates;
+    {
+      server::ServerConfig apache;  // defaults: all suites, 5m cache, 3m t.
+      apache.session_cache.lifetime = 5 * kMinute;
+      apache.tickets.lifetime_hint_seconds = 180;
+      apache.tickets.acceptance_window = 3 * kMinute;
+      templates.push_back(apache);                       // 0: apache (DHE)
+      server::ServerConfig nodhe = apache;
+      nodhe.suite_preference = {tls::CipherSuite::kEcdheWithAes128CbcSha256,
+                                tls::CipherSuite::kStaticWithAes128CbcSha256};
+      templates.push_back(nodhe);                        // 1: no DHE
+      server::ServerConfig old = apache;
+      old.suite_preference = {tls::CipherSuite::kDheWithAes128CbcSha256,
+                              tls::CipherSuite::kStaticWithAes128CbcSha256};
+      templates.push_back(old);                          // 2: no ECDHE
+      server::ServerConfig iis = apache;
+      iis.suite_preference = nodhe.suite_preference;
+      iis.session_cache.lifetime = 10 * kHour;
+      iis.tickets.codec = tls::TicketCodecKind::kSChannel;
+      iis.tickets.acceptance_window = 10 * kHour;
+      templates.push_back(iis);                          // 3: IIS
+      server::ServerConfig no_tickets = apache;
+      no_tickets.tickets.enabled = false;
+      templates.push_back(no_tickets);                   // 4: no tickets
+      server::ServerConfig nginx = apache;
+      nginx.session_cache.enabled = false;
+      nginx.session_cache.issue_id_without_cache = true;
+      nginx.suite_preference = nodhe.suite_preference;
+      templates.push_back(nginx);                        // 5: id, no cache
+      server::ServerConfig smallhost = apache;
+      smallhost.session_cache.lifetime = 30 * kMinute;
+      smallhost.tickets.lifetime_hint_seconds = 1800;
+      smallhost.tickets.acceptance_window = 30 * kMinute;
+      templates.push_back(smallhost);                    // 6: 30m windows
+    }
+    const std::vector<double> template_weights = {0.22, 0.20, 0.10, 0.10,
+                                                  0.12, 0.12, 0.14};
+    for (std::size_t i = 0; i < pool; ++i) {
+      const double u = churn_rng.UniformDouble();
+      const double presence = spec.churn.transient_max_presence * u;
+      const bool https = churn_rng.Bernoulli(0.55);
+      const bool trusted = https && churn_rng.Bernoulli(0.62);
+      DomainInfo info;
+      info.name = "t" + std::to_string(i) + ".transient.sim";
+      info.rank = 0;
+      info.operator_name = "transient-host";
+      info.as_number = static_cast<std::uint32_t>(80000 + i % 1024);
+      info.https = https;
+      info.trusted_cert = trusted;
+      info.stable = false;
+      info.presence_prob = presence;
+      info.mx_google = churn_rng.Bernoulli(0.09);
+      if (https) {
+        if (on_current == per_term) {
+          server::ServerConfig config =
+              templates[churn_rng.WeightedIndex(template_weights)];
+          // A tenth of shared-hosting boxes reuse ECDHE values for hours.
+          if (churn_rng.Bernoulli(0.10)) {
+            config.ecdhe_reuse = {.reuse = true, .ttl = 8 * kHour};
+          }
+          if (churn_rng.Bernoulli(0.02)) {
+            config.dhe_reuse = {.reuse = true, .ttl = 6 * kHour};
+          }
+          current_term = new_terminator(
+              "term/transient-" + std::to_string(batch++), config, 3 * kDay,
+              StableHash64("transient") + i);
+          on_current = 0;
+        }
+        ++on_current;
+        server::Credential credential = server::MakeCredential(
+            trusted ? trusted_int : untrusted_ca, {info.name},
+            pki::SignatureScheme::kSchnorrSim61, cert_not_before,
+            cert_not_after, trusted ? trusted_chain : untrusted_chain,
+            ca_drbg);
+        const std::size_t idx = terminators_[current_term]->AddCredential(
+            std::move(credential));
+        terminators_[current_term]->MapDomain(info.name, idx);
+        info.endpoints = {current_term};
+        by_ip_.emplace(terminator_ips_[current_term],
+                       static_cast<DomainId>(domains_.size()));
+      }
+      by_as_.emplace(info.as_number, static_cast<DomainId>(domains_.size()));
+      by_name_[info.name] = static_cast<DomainId>(domains_.size());
+      domains_.push_back(std::move(info));
+    }
+  }
+
+  // --- rank assignment post-pass ---------------------------------------------
+  // Named domains carry their real Alexa ranks; everything else is spread
+  // uniformly (and deterministically) over the remaining rank space so
+  // rank-tier analyses (Figure 4) see a realistic mix at every tier.
+  {
+    std::unordered_set<int> taken;
+    std::vector<DomainId> unranked;
+    for (DomainId id = 0; id < domains_.size(); ++id) {
+      if (domains_[id].rank > 0) {
+        taken.insert(domains_[id].rank);
+      } else {
+        unranked.push_back(id);
+      }
+    }
+    Rng rank_rng = rng.Fork("ranks");
+    for (std::size_t i = unranked.size(); i > 1; --i) {
+      const std::size_t j = rank_rng.UniformInt(i);
+      std::swap(unranked[i - 1], unranked[j]);
+    }
+    int next_rank = 1;
+    for (const DomainId id : unranked) {
+      while (taken.count(next_rank) != 0) ++next_rank;
+      domains_[id].rank = next_rank++;
+    }
+  }
+}
+
+std::optional<DomainId> Internet::FindDomain(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Internet::InTopListOnDay(DomainId id, int day) const {
+  const DomainInfo& d = domains_[id];
+  if (d.stable) return true;
+  // Deterministic per (domain, day) presence draw.
+  std::uint64_t state = seed_ ^ StableHash64(d.name) ^
+                        (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                     day + 1));
+  const double u =
+      static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  return u < d.presence_prob;
+}
+
+TerminatorId Internet::EndpointFor(DomainId id, SimTime now) const {
+  const DomainInfo& d = domains_[id];
+  assert(!d.endpoints.empty());
+  if (d.endpoints.size() == 1) return d.endpoints[0];
+  const int day = static_cast<int>(now / kDay);
+  std::uint64_t state = seed_ ^ StableHash64(d.name) ^
+                        (0xbf58476d1ce4e5b9ULL *
+                         static_cast<std::uint64_t>(day + 7));
+  std::uint64_t pick = SplitMix64(state);
+  // 5% of connections land off-affinity (poorly configured LB).
+  std::uint64_t conn_state = state ^ static_cast<std::uint64_t>(now);
+  if (SplitMix64(conn_state) % 100 < 5) pick = SplitMix64(conn_state);
+  return d.endpoints[pick % d.endpoints.size()];
+}
+
+void Internet::ApplyMaintenance(TerminatorId id, SimTime now) {
+  Maintenance& m = maintenance_[id];
+  server::SslTerminator& term = *terminators_[id];
+  if (m.restart_every > 0 && m.next_restart <= now) {
+    // Only the most recent missed restart matters for state.
+    const std::uint64_t periods =
+        static_cast<std::uint64_t>(now - m.next_restart) /
+            static_cast<std::uint64_t>(m.restart_every) +
+        1;
+    const SimTime last_restart =
+        m.next_restart +
+        static_cast<SimTime>(periods - 1) * m.restart_every;
+    term.Restart(last_restart);
+    m.next_restart =
+        last_restart + m.restart_every;
+  }
+  while (m.next_forced < m.forced_stek_rotations.size() &&
+         m.forced_stek_rotations[m.next_forced] <= now) {
+    term.Steks().ForceRotate(m.forced_stek_rotations[m.next_forced]);
+    ++m.next_forced;
+  }
+  while (m.next_kex_forced < m.forced_kex_rotations.size() &&
+         m.forced_kex_rotations[m.next_kex_forced] <= now) {
+    term.Kex().Clear();
+    ++m.next_kex_forced;
+  }
+}
+
+std::unique_ptr<tls::ServerConnection> Internet::Connect(DomainId id,
+                                                         SimTime now) {
+  const DomainInfo& d = domains_[id];
+  if (!d.https || d.endpoints.empty()) return nullptr;
+  const TerminatorId tid = EndpointFor(id, now);
+  ApplyMaintenance(tid, now);
+  return terminators_[tid]->NewConnection(now);
+}
+
+server::SslTerminator& Internet::Terminator(TerminatorId id) {
+  return *terminators_[id];
+}
+
+std::uint32_t Internet::IpOf(TerminatorId id) const {
+  return terminator_ips_[id];
+}
+
+std::vector<DomainId> Internet::DomainsOnIp(std::uint32_t ip) const {
+  std::vector<DomainId> out;
+  const auto [lo, hi] = by_ip_.equal_range(ip);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<DomainId> Internet::DomainsInAs(std::uint32_t as_number) const {
+  std::vector<DomainId> out;
+  const auto [lo, hi] = by_as_.equal_range(as_number);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+bool Internet::MxPointsAtGoogle(DomainId id) const {
+  return domains_[id].mx_google;
+}
+
+}  // namespace tlsharm::simnet

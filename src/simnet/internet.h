@@ -1,0 +1,104 @@
+// The simulated HTTPS Internet: domains, DNS, AS/IP topology, SSL
+// terminators, churn, and scheduled maintenance (restarts, manual STEK
+// rotations).
+//
+// Scanners talk to it exactly the way the paper's tool-chain talked to the
+// real Internet: resolve a domain, open a connection, run TLS. Everything
+// the scanner can observe comes out of real handshakes against the
+// terminator fleet.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/ca.h"
+#include "pki/root_store.h"
+#include "server/terminator.h"
+#include "simnet/spec.h"
+#include "tls/transport.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::simnet {
+
+using DomainId = std::uint32_t;
+using TerminatorId = std::uint32_t;
+
+struct DomainInfo {
+  std::string name;
+  int rank = 0;                     // average Alexa rank (1-based)
+  std::string operator_name;
+  std::uint32_t as_number = 0;
+  std::vector<TerminatorId> endpoints;  // A records (terminators)
+  bool https = false;               // listens on 443 at all
+  bool trusted_cert = false;        // chain validates to the root store
+  bool stable = true;               // in the Top-N list every day
+  double presence_prob = 1.0;       // daily presence for transient domains
+  bool mx_google = false;           // MX points at Google's mail servers
+};
+
+class Internet {
+ public:
+  // Builds the world; deterministic in (spec, seed).
+  Internet(const PopulationSpec& spec, std::uint64_t seed);
+
+  // --- population --------------------------------------------------------
+  std::size_t DomainCount() const { return domains_.size(); }
+  const DomainInfo& GetDomain(DomainId id) const { return domains_[id]; }
+  std::optional<DomainId> FindDomain(const std::string& name) const;
+  const pki::RootStore& NssRootStore() const { return root_store_; }
+
+  // Domains present in the simulated Top-N list on `day` (0-based).
+  bool InTopListOnDay(DomainId id, int day) const;
+
+  // --- connectivity ------------------------------------------------------
+  // Opens a TCP/443 connection. Returns nullptr when the domain does not
+  // serve HTTPS. Load-balancer selection of the endpoint is deterministic
+  // per (domain, day) with occasional off-affinity picks — the scan jitter
+  // of §4.3. Applies due maintenance (restarts, manual rotations) lazily.
+  std::unique_ptr<tls::ServerConnection> Connect(DomainId id, SimTime now);
+
+  // The terminator Connect would use at `now` (for topology queries).
+  TerminatorId EndpointFor(DomainId id, SimTime now) const;
+
+  // Direct terminator access (attack module, tests).
+  server::SslTerminator& Terminator(TerminatorId id);
+  std::size_t TerminatorCount() const { return terminators_.size(); }
+
+  // IP address (opaque id) of a terminator; co-located domains share it.
+  std::uint32_t IpOf(TerminatorId id) const;
+
+  // Domains whose A records include an endpoint with this IP.
+  std::vector<DomainId> DomainsOnIp(std::uint32_t ip) const;
+  std::vector<DomainId> DomainsInAs(std::uint32_t as_number) const;
+
+  // MX lookup: true when mail for the domain is handled by Google (§7.2).
+  bool MxPointsAtGoogle(DomainId id) const;
+
+ private:
+  struct Maintenance {
+    SimTime restart_every = 0;
+    SimTime next_restart = 0;
+    std::vector<SimTime> forced_stek_rotations;   // absolute times, sorted
+    std::size_t next_forced = 0;
+    std::vector<SimTime> forced_kex_rotations;
+    std::size_t next_kex_forced = 0;
+  };
+
+  void ApplyMaintenance(TerminatorId id, SimTime now);
+
+  std::vector<DomainInfo> domains_;
+  std::vector<std::unique_ptr<server::SslTerminator>> terminators_;
+  std::vector<Maintenance> maintenance_;
+  std::vector<std::uint32_t> terminator_ips_;
+  std::map<std::string, DomainId> by_name_;
+  std::multimap<std::uint32_t, DomainId> by_ip_;
+  std::multimap<std::uint32_t, DomainId> by_as_;
+  pki::RootStore root_store_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tlsharm::simnet

@@ -1,0 +1,105 @@
+// TLS 1.2 client state machine.
+//
+// Drives a full or abbreviated handshake against a ServerConnection and
+// reports everything the measurement pipeline needs: the negotiated suite,
+// the server's ephemeral key-exchange value, the session ID, any issued
+// ticket (with lifetime hint), whether resumption was accepted, and the
+// certificate chain's trust status. This is the engine underneath every
+// scanner probe — the paper's modified-zgrab equivalent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "pki/root_store.h"
+#include "tls/constants.h"
+#include "tls/keys.h"
+#include "tls/messages.h"
+#include "tls/record.h"
+#include "tls/transport.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::tls {
+
+struct ClientConfig {
+  // Offered cipher suites in preference order.
+  std::vector<CipherSuite> offered_suites = {
+      CipherSuite::kEcdheWithAes128CbcSha256,
+      CipherSuite::kDheWithAes128CbcSha256,
+      CipherSuite::kStaticWithAes128CbcSha256,
+  };
+  // Include the (possibly empty) session-ticket extension.
+  bool offer_session_ticket = true;
+  // SNI to request; also the name certificates are validated against.
+  std::string server_name;
+  // When set, chains are verified against this store and the result is
+  // recorded (the handshake itself is not aborted on failure — the scanner
+  // must observe untrusted sites too; set `require_trusted` to abort).
+  const pki::RootStore* root_store = nullptr;
+  bool require_trusted = false;
+
+  // Resumption state from a previous HandshakeResult.
+  Bytes resume_session_id;     // offer session-ID resumption
+  Bytes resume_ticket;         // offer ticket resumption
+  Bytes resume_master_secret;  // required with either offer
+
+  // Scanner mode: stop after the server's first flight (the key-exchange
+  // value, certificate and session-ID observables are all in hand by then).
+  // The result reports ok=true with kex_probe_aborted set; no keys are
+  // derived and the server connection is abandoned mid-handshake.
+  bool kex_probe_only = false;
+};
+
+struct HandshakeResult {
+  bool ok = false;
+  std::string error;
+
+  bool resumed = false;
+  bool resumed_via_ticket = false;
+  bool kex_probe_aborted = false;  // kex_probe_only cut the handshake short
+
+  CipherSuite suite{};
+  // Ephemeral server key-exchange value (empty for static or resumed).
+  std::uint16_t kex_group = 0;
+  Bytes server_kex_public;
+
+  Bytes client_random;
+  Bytes server_random;
+
+  // Session-ID state: the ID in ServerHello (may be empty).
+  Bytes session_id;
+
+  // Ticket state.
+  bool ticket_issued = false;
+  std::uint32_t ticket_lifetime_hint = 0;
+  Bytes ticket;
+
+  Bytes master_secret;
+  SessionKeys keys;
+
+  pki::CertificateChain chain;
+  pki::VerifyStatus chain_status = pki::VerifyStatus::kEmptyChain;
+  bool chain_trusted = false;
+};
+
+class TlsClient {
+ public:
+  explicit TlsClient(ClientConfig config) : config_(std::move(config)) {}
+
+  // Runs the handshake to completion over `conn`.
+  HandshakeResult Handshake(ServerConnection& conn, SimTime now,
+                            crypto::Drbg& drbg);
+
+  // Post-handshake application exchange helpers.
+  // Sends one request, returns the decrypted response (nullopt on error).
+  static std::optional<Bytes> Roundtrip(ServerConnection& conn,
+                                        const HandshakeResult& hs,
+                                        RecordChannel& channel,
+                                        ByteView request, crypto::Drbg& drbg);
+
+ private:
+  ClientConfig config_;
+};
+
+}  // namespace tlsharm::tls

@@ -1,0 +1,52 @@
+#include "tls/constants.h"
+
+namespace tlsharm::tls {
+
+bool IsForwardSecret(CipherSuite suite) {
+  switch (suite) {
+    case CipherSuite::kStaticWithAes128CbcSha256:
+      return false;
+    case CipherSuite::kDheWithAes128CbcSha256:
+    case CipherSuite::kEcdheWithAes128CbcSha256:
+      return true;
+  }
+  return false;
+}
+
+std::string_view ToString(CipherSuite suite) {
+  switch (suite) {
+    case CipherSuite::kStaticWithAes128CbcSha256:
+      return "TLS_STATIC_WITH_AES_128_CBC_SHA256";
+    case CipherSuite::kDheWithAes128CbcSha256:
+      return "TLS_DHE_WITH_AES_128_CBC_SHA256";
+    case CipherSuite::kEcdheWithAes128CbcSha256:
+      return "TLS_ECDHE_WITH_AES_128_CBC_SHA256";
+  }
+  return "TLS_UNKNOWN";
+}
+
+std::string_view ToString(HandshakeType type) {
+  switch (type) {
+    case HandshakeType::kClientHello: return "ClientHello";
+    case HandshakeType::kServerHello: return "ServerHello";
+    case HandshakeType::kNewSessionTicket: return "NewSessionTicket";
+    case HandshakeType::kCertificate: return "Certificate";
+    case HandshakeType::kServerKeyExchange: return "ServerKeyExchange";
+    case HandshakeType::kServerHelloDone: return "ServerHelloDone";
+    case HandshakeType::kClientKeyExchange: return "ClientKeyExchange";
+    case HandshakeType::kFinished: return "Finished";
+  }
+  return "Unknown";
+}
+
+bool IsKnownCipherSuite(std::uint16_t id) {
+  switch (static_cast<CipherSuite>(id)) {
+    case CipherSuite::kStaticWithAes128CbcSha256:
+    case CipherSuite::kDheWithAes128CbcSha256:
+    case CipherSuite::kEcdheWithAes128CbcSha256:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace tlsharm::tls

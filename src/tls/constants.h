@@ -1,0 +1,65 @@
+// Protocol constants for the simulated TLS 1.2 stack.
+//
+// Cipher suites mirror the three key-exchange families the paper analyzes:
+// a non-forward-secret static key exchange (standing in for RSA key
+// transport — compromise of the certificate key decrypts past traffic), and
+// forward-secret DHE and ECDHE. All suites use AES-128-CBC with
+// HMAC-SHA-256 record protection.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tlsharm::tls {
+
+inline constexpr std::uint16_t kVersionTls12 = 0x0303;
+
+enum class CipherSuite : std::uint16_t {
+  // Stand-in for TLS_RSA_WITH_AES_128_CBC_SHA256: the premaster is agreed
+  // against the server's long-term certificate key, so it is not forward
+  // secret.
+  kStaticWithAes128CbcSha256 = 0x003c,
+  kDheWithAes128CbcSha256 = 0x0067,
+  kEcdheWithAes128CbcSha256 = 0xc027,
+};
+
+enum class HandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kCertificate = 11,
+  kServerKeyExchange = 12,
+  kServerHelloDone = 14,
+  kClientKeyExchange = 16,
+  kFinished = 20,
+};
+
+enum class ExtensionType : std::uint16_t {
+  kServerName = 0,
+  kSessionTicket = 35,
+};
+
+enum class AlertCode : std::uint8_t {
+  kHandshakeFailure = 40,
+  kBadCertificate = 42,
+  kDecryptError = 51,
+  kProtocolVersion = 70,
+  kInternalError = 80,
+  kUnrecognizedName = 112,
+};
+
+// True when the suite's key exchange is ephemeral (forward secret by
+// design, modulo the shortcuts this project measures).
+bool IsForwardSecret(CipherSuite suite);
+
+std::string_view ToString(CipherSuite suite);
+std::string_view ToString(HandshakeType type);
+
+bool IsKnownCipherSuite(std::uint16_t id);
+
+inline constexpr std::size_t kRandomSize = 32;
+inline constexpr std::size_t kMasterSecretSize = 48;
+inline constexpr std::size_t kVerifyDataSize = 12;
+inline constexpr std::size_t kMaxSessionIdSize = 32;
+
+}  // namespace tlsharm::tls

@@ -1,0 +1,22 @@
+#include "tls/keys.h"
+
+#include "crypto/prf.h"
+
+namespace tlsharm::tls {
+
+SessionKeys DeriveSessionKeys(ByteView master_secret, ByteView client_random,
+                              ByteView server_random) {
+  const Bytes block = crypto::DeriveKeyBlock(master_secret, server_random,
+                                             client_random, kKeyBlockSize);
+  SessionKeys keys;
+  auto take = [&block](std::size_t off, std::size_t n) {
+    return Bytes(block.begin() + off, block.begin() + off + n);
+  };
+  keys.client_mac_key = take(0, 32);
+  keys.server_mac_key = take(32, 32);
+  keys.client_write_key = take(64, 16);
+  keys.server_write_key = take(80, 16);
+  return keys;
+}
+
+}  // namespace tlsharm::tls

@@ -1,0 +1,33 @@
+// Session key schedule.
+//
+// Key block layout (RFC 5246 §6.3 for an HMAC-SHA-256 / AES-128-CBC suite):
+// client MAC(32) || server MAC(32) || client key(16) || server key(16).
+// IVs are per-record and explicit, so none are derived here.
+#pragma once
+
+#include "tls/constants.h"
+#include "util/bytes.h"
+
+namespace tlsharm::tls {
+
+struct SessionKeys {
+  Bytes client_mac_key;    // 32
+  Bytes server_mac_key;    // 32
+  Bytes client_write_key;  // 16
+  Bytes server_write_key;  // 16
+
+  bool Valid() const {
+    return client_mac_key.size() == 32 && server_mac_key.size() == 32 &&
+           client_write_key.size() == 16 && server_write_key.size() == 16;
+  }
+};
+
+inline constexpr std::size_t kKeyBlockSize = 32 + 32 + 16 + 16;
+
+// Expands the master secret into directional keys. Both endpoints — and the
+// attack module, which replays this after recovering a master secret — use
+// this single implementation.
+SessionKeys DeriveSessionKeys(ByteView master_secret, ByteView client_random,
+                              ByteView server_random);
+
+}  // namespace tlsharm::tls

@@ -1,0 +1,73 @@
+#include "tls/record.h"
+
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+
+namespace tlsharm::tls {
+namespace {
+
+constexpr std::size_t kSeqSize = 8;
+constexpr std::size_t kIvSize = 16;
+constexpr std::size_t kMacSize = 32;
+
+const Bytes& WriteKey(const SessionKeys& keys, Direction dir) {
+  return dir == Direction::kClientToServer ? keys.client_write_key
+                                           : keys.server_write_key;
+}
+
+const Bytes& MacKey(const SessionKeys& keys, Direction dir) {
+  return dir == Direction::kClientToServer ? keys.client_mac_key
+                                           : keys.server_mac_key;
+}
+
+}  // namespace
+
+Bytes ProtectRecord(const SessionKeys& keys, Direction dir, std::uint64_t seq,
+                    ByteView plaintext, crypto::Drbg& drbg) {
+  Bytes record;
+  AppendUint(record, seq, kSeqSize);
+  const Bytes iv = drbg.Generate(kIvSize);
+  Append(record, iv);
+  const Bytes ct =
+      crypto::Aes128CbcEncrypt(crypto::ToAesKey(WriteKey(keys, dir)),
+                               crypto::ToAesBlock(iv), plaintext);
+  Append(record, ct);
+  Append(record, crypto::HmacSha256Bytes(MacKey(keys, dir), record));
+  return record;
+}
+
+std::optional<Bytes> UnprotectRecord(const SessionKeys& keys, Direction dir,
+                                     std::uint64_t expected_seq,
+                                     ByteView record) {
+  if (record.size() <
+      kSeqSize + kIvSize + crypto::kAesBlockSize + kMacSize) {
+    return std::nullopt;
+  }
+  const std::size_t body_len = record.size() - kMacSize;
+  const Bytes mac = crypto::HmacSha256Bytes(
+      MacKey(keys, dir), ByteView(record.data(), body_len));
+  if (!ConstantTimeEqual(mac, ByteView(record.data() + body_len, kMacSize))) {
+    return std::nullopt;
+  }
+  if (ReadUint(record, 0, kSeqSize) != expected_seq) return std::nullopt;
+  const ByteView iv(record.data() + kSeqSize, kIvSize);
+  const ByteView ct(record.data() + kSeqSize + kIvSize,
+                    body_len - kSeqSize - kIvSize);
+  return crypto::Aes128CbcDecrypt(crypto::ToAesKey(WriteKey(keys, dir)),
+                                  crypto::ToAesBlock(iv), ct);
+}
+
+Bytes RecordChannel::Send(ByteView plaintext, crypto::Drbg& drbg) {
+  return ProtectRecord(keys_, send_dir_, send_seq_++, plaintext, drbg);
+}
+
+std::optional<Bytes> RecordChannel::Receive(ByteView record) {
+  const Direction recv_dir = send_dir_ == Direction::kClientToServer
+                                 ? Direction::kServerToClient
+                                 : Direction::kClientToServer;
+  auto pt = UnprotectRecord(keys_, recv_dir, recv_seq_, record);
+  if (pt) ++recv_seq_;
+  return pt;
+}
+
+}  // namespace tlsharm::tls

@@ -1,0 +1,87 @@
+// Session tickets and session-ticket encryption keys (STEKs).
+//
+// The RFC 5077 recommended construction:
+//     key_name(16) || IV(16) || AES-128-CBC(state) || HMAC-SHA-256(32)
+// where the MAC covers key_name || IV || ciphertext. The key_name is what
+// the paper's scanner records as the "STEK identifier": it changes exactly
+// when the server rotates the encryption key, which is what makes STEK
+// lifetime measurable from the outside.
+//
+// Two variant codecs reproduce the implementation diversity the paper
+// found: mbedTLS uses a 4-byte key name, and SChannel wraps the state in a
+// DPAPI-like structure whose Master Key GUID serves as the identifier
+// (§4.3). The scanner's extractor handles all three.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "tls/constants.h"
+#include "util/bytes.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::tls {
+
+// A session-ticket encryption key set: identifier + AES key + MAC key.
+// Apache/Nginx read exactly 48 bytes from the key file: 16-byte name,
+// 16-byte AES-128 key, 16-byte HMAC key (we use 32 for HMAC-SHA-256, per
+// the RFC 5077 recommendation).
+struct Stek {
+  Bytes key_name;  // codec-specific width (16 for RFC 5077)
+  Bytes aes_key;   // 16 bytes
+  Bytes mac_key;   // 32 bytes
+
+  static Stek Generate(crypto::Drbg& drbg, std::size_t key_name_size = 16);
+};
+
+// Plaintext session state carried inside a ticket.
+struct TicketState {
+  std::uint16_t cipher_suite = 0;
+  Bytes master_secret;   // 48 bytes
+  SimTime issue_time = 0;
+
+  Bytes Serialize() const;
+  static std::optional<TicketState> Parse(ByteView data);
+};
+
+// Codec interface: seals/opens tickets and extracts the externally visible
+// STEK identifier.
+class TicketCodec {
+ public:
+  virtual ~TicketCodec() = default;
+
+  virtual std::string_view Name() const = 0;
+  virtual std::size_t KeyNameSize() const = 0;
+
+  virtual Bytes Seal(const Stek& stek, const TicketState& state,
+                     crypto::Drbg& drbg) const = 0;
+  // Returns nullopt on wrong key name, bad MAC, or malformed layout.
+  virtual std::optional<TicketState> Open(const Stek& stek,
+                                          ByteView ticket) const = 0;
+  // The identifier a scanner can read without any key.
+  virtual std::optional<Bytes> ExtractStekId(ByteView ticket) const = 0;
+};
+
+// The three implementations seen in the wild per §4.3.
+const TicketCodec& Rfc5077Codec();    // 16-byte key_name (OpenSSL et al.)
+const TicketCodec& MbedTlsCodec();    // 4-byte key_name
+const TicketCodec& SChannelCodec();   // GUID inside a DPAPI-like wrapper
+
+enum class TicketCodecKind : std::uint8_t {
+  kRfc5077 = 0,
+  kMbedTls = 1,
+  kSChannel = 2,
+};
+
+const TicketCodec& GetTicketCodec(TicketCodecKind kind);
+
+// Best-effort STEK-id extraction when the codec is unknown (what a scanner
+// does): tries SChannel's structured layout first, falls back to RFC 5077's
+// leading 16 bytes. The mbedTLS 4-byte name is a prefix of that, so
+// grouping by the 16-byte value remains correct for equality comparisons
+// only when tickets come from the same server family; the scanner stores
+// both widths.
+std::optional<Bytes> ExtractStekIdAuto(ByteView ticket);
+
+}  // namespace tlsharm::tls

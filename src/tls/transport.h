@@ -1,0 +1,73 @@
+// Connection-level interfaces between the TLS client, the simulated server
+// endpoints, and passive observers.
+//
+// The transport is synchronous and in-memory: a client pushes a handshake
+// flight (serialized handshake messages) and receives the server's response
+// flight. Application data travels as protected records. A WireTap sees
+// exactly the bytes both sides exchanged — this is the attacker's passive
+// collection vantage point.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tlsharm::tls {
+
+// Server side of one TLS connection. Implementations live in the server
+// module (SSL terminators).
+class ServerConnection {
+ public:
+  virtual ~ServerConnection() = default;
+
+  // Processes one client handshake flight; returns the server's flight.
+  // An empty return with Failed() set means the server aborted (alert).
+  virtual Bytes OnClientFlight(ByteView flight) = 0;
+
+  // Processes one protected application-data record and returns the
+  // server's protected response record (empty + Failed() on error).
+  virtual Bytes OnApplicationRecord(ByteView record) = 0;
+
+  virtual bool Failed() const = 0;
+  virtual std::string_view ErrorDetail() const = 0;
+};
+
+// Passive observer of everything on the wire.
+class WireTap {
+ public:
+  virtual ~WireTap() = default;
+  virtual void OnClientBytes(ByteView bytes) = 0;
+  virtual void OnServerBytes(ByteView bytes) = 0;
+};
+
+// ServerConnection decorator that copies traffic to a WireTap.
+class TappedConnection final : public ServerConnection {
+ public:
+  TappedConnection(ServerConnection& inner, WireTap& tap)
+      : inner_(inner), tap_(tap) {}
+
+  Bytes OnClientFlight(ByteView flight) override {
+    tap_.OnClientBytes(flight);
+    Bytes response = inner_.OnClientFlight(flight);
+    tap_.OnServerBytes(response);
+    return response;
+  }
+
+  Bytes OnApplicationRecord(ByteView record) override {
+    tap_.OnClientBytes(record);
+    Bytes response = inner_.OnApplicationRecord(record);
+    tap_.OnServerBytes(response);
+    return response;
+  }
+
+  bool Failed() const override { return inner_.Failed(); }
+  std::string_view ErrorDetail() const override {
+    return inner_.ErrorDetail();
+  }
+
+ private:
+  ServerConnection& inner_;
+  WireTap& tap_;
+};
+
+}  // namespace tlsharm::tls

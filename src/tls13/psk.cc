@@ -1,0 +1,222 @@
+#include "tls13/psk.h"
+
+#include "crypto/aes128.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "tls/ticket.h"
+#include "tls/wire.h"
+
+namespace tlsharm::tls13 {
+namespace {
+
+const Bytes kZeros(crypto::kSha256DigestSize, 0);
+
+}  // namespace
+
+Bytes DeriveResumptionMasterSecret(ByteView master_secret,
+                                   ByteView transcript_hash) {
+  return crypto::DeriveSecret(master_secret, "res master", transcript_hash);
+}
+
+Bytes DerivePsk(ByteView resumption_master, ByteView ticket_nonce) {
+  return crypto::HkdfExpandLabel(resumption_master, "resumption",
+                                 ticket_nonce, crypto::kSha256DigestSize);
+}
+
+Bytes DeriveEarlySecret(ByteView psk) { return crypto::HkdfExtract({}, psk); }
+
+Bytes DeriveClientEarlyTrafficSecret(ByteView early_secret,
+                                     ByteView client_hello_hash) {
+  return crypto::DeriveSecret(early_secret, "c e traffic", client_hello_hash);
+}
+
+Bytes DeriveResumedTrafficSecret(ByteView psk, ByteView dhe_shared,
+                                 ByteView transcript_hash) {
+  const Bytes early_secret = DeriveEarlySecret(psk);
+  const Bytes derived = crypto::DeriveSecret(early_secret, "derived", {});
+  // psk_ke mixes zeros where psk_dhe_ke mixes the fresh shared secret —
+  // this is precisely why psk_ke inherits the PSK's whole lifetime.
+  const Bytes handshake_secret =
+      crypto::HkdfExtract(derived, dhe_shared.empty() ? kZeros : dhe_shared);
+  const Bytes derived2 =
+      crypto::DeriveSecret(handshake_secret, "derived", {});
+  const Bytes master = crypto::HkdfExtract(derived2, kZeros);
+  return crypto::DeriveSecret(master, "s ap traffic", transcript_hash);
+}
+
+// --- identity sealing ---------------------------------------------------------
+
+Bytes SealPskState(const tls::Stek& stek, ByteView resumption_master,
+                   ByteView nonce, SimTime issued, crypto::Drbg& drbg) {
+  // Reuses the RFC 5077 recommended construction (that's the paper's
+  // point: 1.3's self-encrypted identities ARE session tickets).
+  tls::Writer w;
+  w.WriteVector(resumption_master, 1);
+  w.WriteVector(nonce, 1);
+  w.WriteUint(static_cast<std::uint64_t>(issued), 8);
+  const Bytes plaintext = std::move(w).Result();
+
+  Bytes out = stek.key_name;
+  const Bytes iv = drbg.Generate(16);
+  Append(out, iv);
+  Append(out, crypto::Aes128CbcEncrypt(crypto::ToAesKey(stek.aes_key),
+                                       crypto::ToAesBlock(iv), plaintext));
+  Append(out, crypto::HmacSha256Bytes(stek.mac_key, out));
+  return out;
+}
+
+std::optional<OpenedPskState> OpenPskState(const tls::Stek& stek,
+                                           ByteView identity) {
+  const std::size_t key_name_size = stek.key_name.size();
+  if (identity.size() < key_name_size + 16 + 16 + 32) return std::nullopt;
+  if (!ConstantTimeEqual(ByteView(identity.data(), key_name_size),
+                         stek.key_name)) {
+    return std::nullopt;
+  }
+  const std::size_t body = identity.size() - 32;
+  if (!ConstantTimeEqual(
+          crypto::HmacSha256Bytes(stek.mac_key,
+                                  ByteView(identity.data(), body)),
+          ByteView(identity.data() + body, 32))) {
+    return std::nullopt;
+  }
+  const ByteView iv(identity.data() + key_name_size, 16);
+  const ByteView ct(identity.data() + key_name_size + 16,
+                    body - key_name_size - 16);
+  const auto pt = crypto::Aes128CbcDecrypt(crypto::ToAesKey(stek.aes_key),
+                                           crypto::ToAesBlock(iv), ct);
+  if (!pt) return std::nullopt;
+  tls::Reader r(*pt);
+  OpenedPskState state;
+  state.resumption_master = r.ReadVector(1);
+  state.ticket_nonce = r.ReadVector(1);
+  state.issued = static_cast<SimTime>(r.ReadUint(8));
+  if (r.Failed() || !r.AtEnd()) return std::nullopt;
+  return state;
+}
+
+// --- 0-RTT records --------------------------------------------------------------
+
+Bytes ProtectEarlyData(ByteView early_traffic_secret, ByteView plaintext,
+                       crypto::Drbg& drbg) {
+  const Bytes key =
+      crypto::HkdfExpandLabel(early_traffic_secret, "key", {}, 16);
+  const Bytes mac_key =
+      crypto::HkdfExpandLabel(early_traffic_secret, "mac", {}, 32);
+  Bytes record;
+  const Bytes iv = drbg.Generate(16);
+  Append(record, iv);
+  Append(record, crypto::Aes128CbcEncrypt(crypto::ToAesKey(key),
+                                          crypto::ToAesBlock(iv), plaintext));
+  Append(record, crypto::HmacSha256Bytes(mac_key, record));
+  return record;
+}
+
+std::optional<Bytes> UnprotectEarlyData(ByteView early_traffic_secret,
+                                        ByteView record) {
+  if (record.size() < 16 + 16 + 32) return std::nullopt;
+  const Bytes key =
+      crypto::HkdfExpandLabel(early_traffic_secret, "key", {}, 16);
+  const Bytes mac_key =
+      crypto::HkdfExpandLabel(early_traffic_secret, "mac", {}, 32);
+  const std::size_t body = record.size() - 32;
+  if (!ConstantTimeEqual(
+          crypto::HmacSha256Bytes(mac_key, ByteView(record.data(), body)),
+          ByteView(record.data() + body, 32))) {
+    return std::nullopt;
+  }
+  return crypto::Aes128CbcDecrypt(
+      crypto::ToAesKey(key), crypto::ToAesBlock(ByteView(record.data(), 16)),
+      ByteView(record.data() + 16, body - 16));
+}
+
+// --- server ----------------------------------------------------------------------
+
+Tls13Server::Tls13Server(Tls13ServerConfig config, ByteView seed)
+    : config_(config),
+      drbg_(Concat({seed, ToBytes("/tls13")})),
+      steks_(config.stek, tls::TicketCodecKind::kRfc5077,
+             Concat({seed, ToBytes("/stek13")})) {}
+
+Tls13Ticket Tls13Server::IssueTicket(ByteView resumption_master,
+                                     SimTime now) {
+  Tls13Ticket ticket;
+  ticket.ticket_nonce = drbg_.Generate(8);
+  ticket.lifetime = std::min(config_.psk_lifetime, kDraft15MaxLifetime);
+  ticket.issued = now;
+  if (config_.identity_kind == IdentityKind::kSelfEncrypted) {
+    ticket.identity = SealPskState(steks_.IssuingStek(now), resumption_master,
+                                   ticket.ticket_nonce, now, drbg_);
+  } else {
+    ticket.identity = drbg_.Generate(16);
+    database_[ticket.identity] = StoredPskState{
+        Bytes(resumption_master.begin(), resumption_master.end()),
+        ticket.ticket_nonce, now};
+  }
+  return ticket;
+}
+
+std::optional<Tls13Server::StoredPskState> Tls13Server::OpenIdentity(
+    ByteView identity, SimTime now) {
+  if (config_.identity_kind == IdentityKind::kSelfEncrypted) {
+    for (const tls::Stek* stek : steks_.AcceptableSteks(now)) {
+      const auto opened = OpenPskState(*stek, identity);
+      if (opened) {
+        return StoredPskState{opened->resumption_master,
+                              opened->ticket_nonce, opened->issued};
+      }
+    }
+    return std::nullopt;
+  }
+  const auto it = database_.find(Bytes(identity.begin(), identity.end()));
+  if (it == database_.end()) return std::nullopt;
+  return it->second;
+}
+
+ResumptionOutcome Tls13Server::Resume(const Tls13Ticket& ticket,
+                                      PskMode wanted_mode,
+                                      ByteView client_hello_hash,
+                                      ByteView client_kex_public,
+                                      ByteView early_data_record, SimTime now,
+                                      crypto::Drbg& client_hint_unused) {
+  (void)client_hint_unused;
+  ResumptionOutcome outcome;
+  const auto state = OpenIdentity(ticket.identity, now);
+  if (!state) return outcome;
+  // Lifetime enforcement (the 7-day window §8.1 warns about).
+  if (state->issued + static_cast<SimTime>(ticket.lifetime) <= now) {
+    return outcome;
+  }
+  const Bytes psk = DerivePsk(state->resumption_master, state->ticket_nonce);
+
+  // 0-RTT is keyed from the PSK alone, before any DH happens.
+  if (!early_data_record.empty() && config_.accept_early_data) {
+    const Bytes early_secret = DeriveEarlySecret(psk);
+    const Bytes early_traffic =
+        DeriveClientEarlyTrafficSecret(early_secret, client_hello_hash);
+    outcome.early_data_plaintext =
+        UnprotectEarlyData(early_traffic, early_data_record);
+  }
+
+  Bytes dhe_shared;
+  if (wanted_mode == PskMode::kPskDheKe && !client_kex_public.empty()) {
+    const auto& group = crypto::GetKexGroup(config_.dhe_group);
+    last_kex_ = group.GenerateKeyPair(drbg_);
+    const auto shared =
+        group.SharedSecret(last_kex_.private_key, client_kex_public);
+    if (!shared) return outcome;
+    dhe_shared = *shared;
+    outcome.mode = PskMode::kPskDheKe;
+    outcome.server_kex_public = last_kex_.public_value;
+  } else {
+    if (!config_.allow_psk_ke) return outcome;
+    outcome.mode = PskMode::kPskKe;
+  }
+  outcome.traffic_secret =
+      DeriveResumedTrafficSecret(psk, dhe_shared, client_hello_hash);
+  outcome.accepted = true;
+  return outcome;
+}
+
+}  // namespace tlsharm::tls13

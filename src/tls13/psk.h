@@ -1,0 +1,148 @@
+// TLS 1.3 pre-shared-key resumption (paper §2.4, draft-ietf-tls-tls13-15).
+//
+// TLS 1.3 nominally obsoletes session IDs and tickets, but both survive as
+// PSKs: the server's NewSessionTicket carries an identity that is either a
+// database lookup key (session-cache-like) or a self-encrypted state blob
+// (ticket/STEK-like). The paper's closing argument (§8.1) is that draft 15's
+// 7-day PSK lifetime recreates exactly the vulnerability windows measured
+// for TLS 1.2 — this module exists to make that analysis executable.
+//
+// Three data paths, with distinct exposure:
+//   psk_ke      — resumption keys derive from the PSK alone; a later PSK
+//                 compromise (e.g. STEK theft for self-encrypted identities)
+//                 decrypts the whole resumed connection.
+//   psk_dhe_ke  — a fresh (EC)DHE exchange mixes into the schedule; the
+//                 resumed connection's bulk data stays safe even if the PSK
+//                 later leaks...
+//   0-RTT       — ...but early data is keyed from the PSK alone in BOTH
+//                 modes, so it inherits the full PSK window regardless.
+//
+// The key schedule follows RFC 8446/draft-15 shape with HMAC-SHA-256:
+//   early_secret        = HKDF-Extract(0, PSK)
+//   client_early_secret = Derive-Secret(early_secret, "c e traffic", CH)
+//   handshake_secret    = HKDF-Extract(Derive-Secret(early_secret,
+//                         "derived", ""), (EC)DHE or 0)
+//   master/resumption   = further Derive-Secret steps.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "crypto/kex.h"
+#include "server/stek_manager.h"
+#include "tls/keys.h"
+#include "util/bytes.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::tls13 {
+
+enum class PskMode : std::uint8_t {
+  kPskKe,     // PSK-only resumption
+  kPskDheKe,  // PSK + fresh (EC)DHE
+};
+
+enum class IdentityKind : std::uint8_t {
+  kDatabaseLookup,  // server keeps state (session-cache analogue)
+  kSelfEncrypted,   // state sealed under a STEK (ticket analogue)
+};
+
+// --- key schedule -----------------------------------------------------------
+Bytes DeriveResumptionMasterSecret(ByteView master_secret,
+                                   ByteView transcript_hash);
+// PSK = HKDF-Expand-Label(res_master, "resumption", ticket_nonce, 32).
+Bytes DerivePsk(ByteView resumption_master, ByteView ticket_nonce);
+Bytes DeriveEarlySecret(ByteView psk);
+Bytes DeriveClientEarlyTrafficSecret(ByteView early_secret,
+                                     ByteView client_hello_hash);
+// Application traffic secret of the resumed connection; `dhe_shared` is
+// empty for psk_ke.
+Bytes DeriveResumedTrafficSecret(ByteView psk, ByteView dhe_shared,
+                                 ByteView transcript_hash);
+
+// --- NewSessionTicket (1.3) --------------------------------------------------
+struct Tls13Ticket {
+  Bytes identity;              // lookup key or sealed state
+  Bytes ticket_nonce;          // 8 bytes
+  std::uint32_t lifetime = 0;  // seconds; draft-15 caps at 7 days
+  SimTime issued = 0;
+};
+
+inline constexpr std::uint32_t kDraft15MaxLifetime = 7 * 24 * 3600;
+
+// --- a minimal 1.3 resumption server ------------------------------------------
+struct Tls13ServerConfig {
+  IdentityKind identity_kind = IdentityKind::kSelfEncrypted;
+  std::uint32_t psk_lifetime = kDraft15MaxLifetime;
+  bool allow_psk_ke = true;    // servers SHOULD prefer psk_dhe_ke
+  bool accept_early_data = true;
+  crypto::NamedGroup dhe_group = crypto::NamedGroup::kSimEc61;
+  server::StekPolicy stek;     // rotation of the identity-sealing key
+};
+
+struct ResumptionOutcome {
+  bool accepted = false;
+  PskMode mode = PskMode::kPskDheKe;
+  Bytes server_kex_public;     // psk_dhe_ke only
+  Bytes traffic_secret;        // server-side application traffic secret
+  std::optional<Bytes> early_data_plaintext;  // decrypted 0-RTT, if sent
+};
+
+class Tls13Server {
+ public:
+  Tls13Server(Tls13ServerConfig config, ByteView seed);
+
+  // Completes an initial (full) handshake abstractly: the caller supplies
+  // the agreed master secret and transcript; the server returns a ticket.
+  Tls13Ticket IssueTicket(ByteView resumption_master, SimTime now);
+
+  // Client offers the ticket back. `client_kex_public` enables psk_dhe_ke;
+  // `early_data_record` is optional 0-RTT protected under the early secret.
+  ResumptionOutcome Resume(const Tls13Ticket& ticket, PskMode wanted_mode,
+                           ByteView client_hello_hash,
+                           ByteView client_kex_public,
+                           ByteView early_data_record, SimTime now,
+                           crypto::Drbg& client_hint_unused);
+
+  // The attack surface: the sealing key (self-encrypted identities) at a
+  // point in time, and the lookup database (database identities).
+  const tls::Stek& StealSealingKey(SimTime now) {
+    return steks_.StealCurrentKey(now);
+  }
+
+ private:
+  struct StoredPskState {
+    Bytes resumption_master;
+    Bytes ticket_nonce;
+    SimTime issued = 0;
+  };
+
+  std::optional<StoredPskState> OpenIdentity(ByteView identity, SimTime now);
+
+  Tls13ServerConfig config_;
+  crypto::Drbg drbg_;
+  server::StekManager steks_;
+  std::map<Bytes, StoredPskState> database_;
+  crypto::KexKeyPair last_kex_;  // exposed via outcome for the client side
+};
+
+// --- helpers shared with the attack model -------------------------------------
+// Seals/opens the PSK state for self-encrypted identities (RFC 5077-style
+// under the hood — that is the point).
+Bytes SealPskState(const tls::Stek& stek, ByteView resumption_master,
+                   ByteView nonce, SimTime issued, crypto::Drbg& drbg);
+struct OpenedPskState {
+  Bytes resumption_master;
+  Bytes ticket_nonce;
+  SimTime issued;
+};
+std::optional<OpenedPskState> OpenPskState(const tls::Stek& stek,
+                                           ByteView identity);
+
+// 0-RTT early data protection: seq 0 record under the early traffic secret.
+Bytes ProtectEarlyData(ByteView early_traffic_secret, ByteView plaintext,
+                       crypto::Drbg& drbg);
+std::optional<Bytes> UnprotectEarlyData(ByteView early_traffic_secret,
+                                        ByteView record);
+
+}  // namespace tlsharm::tls13

@@ -1,0 +1,51 @@
+// Byte-buffer utilities shared by every module.
+//
+// `Bytes` is the project-wide owning byte container. Helpers here cover the
+// operations the TLS wire format and crypto code need constantly: big-endian
+// integer packing, constant-time comparison for MAC checks, concatenation and
+// XOR for CBC.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlsharm {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+// Builds a Bytes from a string's raw characters (no encoding applied).
+Bytes ToBytes(std::string_view s);
+
+// Interprets a byte buffer as text. Only used for diagnostics.
+std::string ToString(ByteView b);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, ByteView src);
+
+// Appends `n` in big-endian order using `width` bytes (1..8).
+void AppendUint(Bytes& dst, std::uint64_t n, int width);
+
+// Reads a big-endian integer of `width` bytes (1..8) starting at `b[off]`.
+// Precondition: off + width <= b.size().
+std::uint64_t ReadUint(ByteView b, std::size_t off, int width);
+
+// Concatenates any number of buffers.
+Bytes Concat(std::initializer_list<ByteView> parts);
+
+// XORs `b` into `a` elementwise. Precondition: equal sizes.
+void XorInto(Bytes& a, ByteView b);
+
+// Constant-time equality; used for MAC and finished-message verification so
+// the simulated stack keeps the idioms of a production one.
+bool ConstantTimeEqual(ByteView a, ByteView b);
+
+// Lexicographic ordering helper so Bytes can key std::map deterministically.
+int Compare(ByteView a, ByteView b);
+
+}  // namespace tlsharm

@@ -1,0 +1,48 @@
+#include "util/hex.h"
+
+#include <cstdlib>
+
+namespace tlsharm {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int NibbleValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(ByteView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> HexDecode(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = NibbleValue(s[i]);
+    const int lo = NibbleValue(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes MustHexDecode(std::string_view s) {
+  auto decoded = HexDecode(s);
+  if (!decoded) std::abort();
+  return *std::move(decoded);
+}
+
+}  // namespace tlsharm

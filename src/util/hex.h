@@ -1,0 +1,23 @@
+// Hex encoding/decoding, used for test vectors, STEK identifiers in reports
+// and diagnostic output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tlsharm {
+
+// Lower-case hex encoding of `b`.
+std::string HexEncode(ByteView b);
+
+// Decodes a hex string (case-insensitive). Returns nullopt on odd length or
+// non-hex characters.
+std::optional<Bytes> HexDecode(std::string_view s);
+
+// Decodes a hex string that is known-valid (test vectors); aborts otherwise.
+Bytes MustHexDecode(std::string_view s);
+
+}  // namespace tlsharm

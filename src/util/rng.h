@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the simulation (population synthesis, churn,
+// load-balancer selection, probe sampling) flows through `Rng` so a whole
+// nine-week study replays bit-for-bit from one seed. The core generator is
+// xoshiro256** seeded via splitmix64, which is statistically strong enough
+// for simulation work and trivially portable.
+//
+// Cryptographic randomness for the TLS stack is produced by `crypto::Drbg`
+// (an HMAC-DRBG), which itself is seeded from an Rng in simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tlsharm {
+
+// splitmix64 step; exposed for seeding and for hashing small keys.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// Stable 64-bit hash of a string (FNV-1a finished with splitmix64). Used to
+// derive per-domain substream seeds so adding a domain never perturbs the
+// random choices of another.
+std::uint64_t StableHash64(std::string_view s);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Picks an index in [0, weights.size()) proportional to weights.
+  // Precondition: at least one weight > 0.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fills a buffer of n random bytes.
+  Bytes RandomBytes(std::size_t n);
+
+  // Derives an independent child generator; `label` keeps substreams stable
+  // across code reorderings.
+  Rng Fork(std::string_view label) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace tlsharm

@@ -1,0 +1,51 @@
+#include "util/sim_clock.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tlsharm {
+
+void SimClock::Advance(SimTime delta) {
+  assert(delta >= 0);
+  now_ += delta;
+}
+
+void SimClock::AdvanceTo(SimTime t) {
+  assert(t >= now_);
+  now_ = t;
+}
+
+std::string FormatDuration(SimTime seconds) {
+  if (seconds < 0) return "-" + FormatDuration(-seconds);
+  char buf[64];
+  if (seconds < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(seconds));
+  } else if (seconds < kHour) {
+    std::snprintf(buf, sizeof(buf), "%lldm%llds",
+                  static_cast<long long>(seconds / kMinute),
+                  static_cast<long long>(seconds % kMinute));
+  } else if (seconds < kDay) {
+    std::snprintf(buf, sizeof(buf), "%lldh%lldm",
+                  static_cast<long long>(seconds / kHour),
+                  static_cast<long long>((seconds % kHour) / kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldd%lldh",
+                  static_cast<long long>(seconds / kDay),
+                  static_cast<long long>((seconds % kDay) / kHour));
+  }
+  return buf;
+}
+
+std::string FormatInstant(SimTime t) {
+  const SimTime day = t / kDay;
+  const SimTime rem = t % kDay;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "day %lld +%02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(rem / kHour),
+                static_cast<long long>((rem % kHour) / kMinute),
+                static_cast<long long>(rem % kMinute));
+  return buf;
+}
+
+}  // namespace tlsharm

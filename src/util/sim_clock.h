@@ -1,0 +1,47 @@
+// Virtual time.
+//
+// The nine-week study is replayed over simulated time: every component that
+// cares about "now" (session caches, STEK rotators, churn, scan schedulers)
+// reads a SimClock. Time is a count of seconds since the simulation epoch
+// (chosen to be 2016-03-02 00:00:00 UTC, the paper's first scan day).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tlsharm {
+
+// Simulated instant, seconds since the study epoch.
+using SimTime = std::int64_t;
+
+// Durations, also in seconds.
+constexpr SimTime kSecond = 1;
+constexpr SimTime kMinute = 60;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime Now() const { return now_; }
+
+  // Advances the clock. Time never goes backwards.
+  void Advance(SimTime delta);
+  void AdvanceTo(SimTime t);
+
+  // Day index of the current instant (0 = first study day).
+  int DayIndex() const { return static_cast<int>(now_ / kDay); }
+
+ private:
+  SimTime now_ = 0;
+};
+
+// Renders a duration like "5m", "18h", "63d 4h" for reports.
+std::string FormatDuration(SimTime seconds);
+
+// Renders an instant as "day N +HH:MM:SS".
+std::string FormatInstant(SimTime t);
+
+}  // namespace tlsharm

@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace tlsharm {
+
+void EmpiricalDistribution::Add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::AddN(double v, std::size_t n) {
+  values_.insert(values_.end(), n, v);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::CdfAt(double x) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalDistribution::FractionAtLeast(double x) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::lower_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(values_.end() - it) /
+         static_cast<double>(values_.size());
+}
+
+double EmpiricalDistribution::Quantile(double q) const {
+  assert(!values_.empty());
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t idx = std::min(
+      values_.size() - 1,
+      static_cast<std::size_t>(std::ceil(q * values_.size())) == 0
+          ? 0
+          : static_cast<std::size_t>(std::ceil(q * values_.size())) - 1);
+  return values_[idx];
+}
+
+double EmpiricalDistribution::Min() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return values_.front();
+}
+
+double EmpiricalDistribution::Max() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return values_.back();
+}
+
+double EmpiricalDistribution::Mean() const {
+  assert(!values_.empty());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::CdfPoints(
+    std::size_t n_points) const {
+  std::vector<std::pair<double, double>> pts;
+  if (values_.empty() || n_points == 0) return pts;
+  EnsureSorted();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  pts.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double x =
+        n_points == 1 ? hi
+                      : lo + (hi - lo) * static_cast<double>(i) /
+                                 static_cast<double>(n_points - 1);
+    pts.emplace_back(x, CdfAt(x));
+  }
+  return pts;
+}
+
+const std::vector<double>& EmpiricalDistribution::Sorted() const {
+  EnsureSorted();
+  return values_;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tlsharm

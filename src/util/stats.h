@@ -1,0 +1,53 @@
+// Small statistics helpers used by the analysis layer and benches:
+// empirical CDFs, percentiles, medians, and fraction-at-threshold queries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tlsharm {
+
+// An empirical distribution over doubles (typically durations in seconds or
+// days). Samples are stored and sorted lazily on first query.
+class EmpiricalDistribution {
+ public:
+  void Add(double v);
+  void AddN(double v, std::size_t n);
+
+  std::size_t Count() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+
+  // Fraction of samples <= x (the CDF evaluated at x). Returns 0 for an
+  // empty distribution.
+  double CdfAt(double x) const;
+
+  // Fraction of samples >= x.
+  double FractionAtLeast(double x) const;
+
+  // Smallest sample v such that CdfAt(v) >= q, q in [0,1].
+  // Precondition: non-empty.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  // Evenly spaced CDF points for plotting: pairs of (x, CDF(x)).
+  std::vector<std::pair<double, double>> CdfPoints(std::size_t n_points) const;
+
+  // All samples, sorted ascending.
+  const std::vector<double>& Sorted() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+// Renders "38.2%" style percentages for reports.
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace tlsharm

@@ -1,0 +1,29 @@
+// Plain-text table rendering for the experiment benches. Every bench prints
+// its reproduction of a paper table/figure through this so the output format
+// is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlsharm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and an underline after the header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience numeric formatting for table cells.
+std::string FormatCount(std::uint64_t n);      // 1,234,567
+std::string FormatDouble(double v, int prec);  // fixed precision
+
+}  // namespace tlsharm

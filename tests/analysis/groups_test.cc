@@ -1,0 +1,115 @@
+#include "analysis/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::analysis {
+namespace {
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Connected(2, 2));
+}
+
+TEST(UnionFindTest, UnionConnects) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, TransitivityAcrossManyUnions) {
+  UnionFind uf(100);
+  for (std::uint32_t i = 0; i + 2 < 100; ++i) uf.Union(i, i + 2);
+  EXPECT_TRUE(uf.Connected(0, 98));
+  EXPECT_TRUE(uf.Connected(1, 99));
+  // Stride-2 unions build two disjoint parity chains.
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(ServiceGroupBuilderTest, SharedSecretGroupsDomains) {
+  ServiceGroupBuilder builder(10);
+  builder.ObserveSecret(0xaaa, 1);
+  builder.ObserveSecret(0xaaa, 2);
+  builder.ObserveSecret(0xbbb, 3);
+  const auto groups = builder.Groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<scanner::DomainIndex>{1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<scanner::DomainIndex>{3}));
+}
+
+TEST(ServiceGroupBuilderTest, TransitiveGrowthAcrossSecrets) {
+  // a,b share one secret; b,c share another: one group {a,b,c} — the
+  // paper's transitive methodology.
+  ServiceGroupBuilder builder(10);
+  builder.ObserveSecret(0x1, 1);
+  builder.ObserveSecret(0x1, 2);
+  builder.ObserveSecret(0x2, 2);
+  builder.ObserveSecret(0x2, 3);
+  const auto groups = builder.Groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<scanner::DomainIndex>{1, 2, 3}));
+}
+
+TEST(ServiceGroupBuilderTest, LinksAndSecretsCompose) {
+  ServiceGroupBuilder builder(10);
+  builder.ObserveSecret(0x1, 1);
+  builder.ObserveSecret(0x1, 2);
+  builder.ObserveLink(2, 5);
+  const auto groups = builder.Groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(ServiceGroupBuilderTest, GroupsSortedBySizeDescending) {
+  ServiceGroupBuilder builder(20);
+  for (scanner::DomainIndex d : {1u, 2u, 3u, 4u}) {
+    builder.ObserveSecret(0x1, d);
+  }
+  builder.ObserveSecret(0x2, 10);
+  builder.ObserveSecret(0x2, 11);
+  builder.ObserveMember(15);
+  const auto groups = builder.Groups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 4u);
+  EXPECT_EQ(groups[1].size(), 2u);
+  EXPECT_EQ(groups[2].size(), 1u);
+}
+
+TEST(ServiceGroupBuilderTest, MembersCountedOnce) {
+  ServiceGroupBuilder builder(10);
+  builder.ObserveSecret(0x1, 1);
+  builder.ObserveSecret(0x2, 1);
+  builder.ObserveMember(1);
+  EXPECT_EQ(builder.MemberCount(), 1u);
+}
+
+TEST(ServiceGroupBuilderTest, NoSecretIgnored) {
+  ServiceGroupBuilder builder(10);
+  builder.ObserveSecret(scanner::kNoSecret, 1);
+  builder.ObserveSecret(scanner::kNoSecret, 2);
+  EXPECT_EQ(builder.MemberCount(), 0u);
+  // kNoSecret must never union unrelated domains.
+  EXPECT_TRUE(builder.Groups().empty());
+}
+
+TEST(ServiceGroupBuilderTest, SingleDomainGroupsDominateRealisticInput) {
+  // 86% of session-cache groups were single-domain (§5.1); the builder must
+  // represent singletons faithfully.
+  ServiceGroupBuilder builder(100);
+  for (scanner::DomainIndex d = 0; d < 50; ++d) {
+    builder.ObserveSecret(0x1000 + d, d);  // unique secret each
+  }
+  builder.ObserveSecret(0x9999, 60);
+  builder.ObserveSecret(0x9999, 61);
+  const auto groups = builder.Groups();
+  EXPECT_EQ(groups.size(), 51u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  std::size_t singles = 0;
+  for (const auto& group : groups) singles += group.size() == 1;
+  EXPECT_EQ(singles, 50u);
+}
+
+}  // namespace
+}  // namespace tlsharm::analysis

@@ -1,0 +1,129 @@
+#include "analysis/spans.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::analysis {
+namespace {
+
+TEST(SpanTrackerTest, UnobservedDomainHasZeroSpan) {
+  SpanTracker tracker;
+  EXPECT_EQ(tracker.MaxSpanDays(7), 0);
+  EXPECT_FALSE(tracker.EverObserved(7));
+}
+
+TEST(SpanTrackerTest, SingleObservationSpansOneDay) {
+  SpanTracker tracker;
+  tracker.Observe(1, 0xabc, 5);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 1);
+  EXPECT_TRUE(tracker.EverObserved(1));
+}
+
+TEST(SpanTrackerTest, ContinuousReuseSpans) {
+  SpanTracker tracker;
+  for (int day = 0; day < 63; ++day) tracker.Observe(1, 0xabc, day);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 63);
+}
+
+TEST(SpanTrackerTest, DailyRotationSpansOne) {
+  SpanTracker tracker;
+  for (int day = 0; day < 63; ++day) {
+    tracker.Observe(1, 0x1000 + static_cast<SecretId>(day), day);
+  }
+  EXPECT_EQ(tracker.MaxSpanDays(1), 1);
+  EXPECT_EQ(tracker.DaysObserved(1), 63);
+}
+
+TEST(SpanTrackerTest, JitterGapsDoNotBreakSpan) {
+  // §4.3: intermediate days with a different id (load-balancer flip) must
+  // not reset the first/last computation.
+  SpanTracker tracker;
+  tracker.Observe(1, 0xaaa, 0);
+  tracker.Observe(1, 0xbbb, 1);  // other terminator answered
+  tracker.Observe(1, 0xaaa, 2);
+  tracker.Observe(1, 0xbbb, 3);
+  tracker.Observe(1, 0xaaa, 4);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 5);  // 0xaaa spans day 0..4
+}
+
+TEST(SpanTrackerTest, SpanIsPerSecretNotPerDomain) {
+  SpanTracker tracker;
+  // Rotation at day 10: two secrets, spans 10 and 5.
+  for (int day = 0; day < 10; ++day) tracker.Observe(1, 0x1, day);
+  for (int day = 10; day < 15; ++day) tracker.Observe(1, 0x2, day);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 10);
+}
+
+TEST(SpanTrackerTest, FoldedEntriesStillCountTowardMax) {
+  // An id retired long ago (beyond the horizon) must still contribute.
+  SpanTracker tracker(/*reappearance_horizon_days=*/3);
+  for (int day = 0; day < 20; ++day) tracker.Observe(1, 0x1, day);
+  for (int day = 20; day < 63; ++day) {
+    tracker.Observe(1, 0x100 + static_cast<SecretId>(day), day);
+  }
+  EXPECT_EQ(tracker.MaxSpanDays(1), 20);
+}
+
+TEST(SpanTrackerTest, ReappearanceWithinHorizonExtends) {
+  SpanTracker tracker(/*reappearance_horizon_days=*/8);
+  tracker.Observe(1, 0x1, 0);
+  tracker.Observe(1, 0x2, 1);
+  tracker.Observe(1, 0x2, 2);
+  tracker.Observe(1, 0x2, 3);
+  tracker.Observe(1, 0x1, 6);  // reappears within 8 days
+  EXPECT_EQ(tracker.MaxSpanDays(1), 7);  // 0x1: day 0..6
+}
+
+TEST(SpanTrackerTest, DomainsAreIndependent) {
+  SpanTracker tracker;
+  tracker.Observe(1, 0x1, 0);
+  tracker.Observe(1, 0x1, 7);  // within the default 8-day horizon
+  tracker.Observe(2, 0x1, 5);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 8);
+  EXPECT_EQ(tracker.MaxSpanDays(2), 1);
+}
+
+TEST(SpanTrackerTest, GapBeyondHorizonStartsNewSpan) {
+  // A recurrence after more than the reappearance horizon is treated as a
+  // fresh epoch (the scanner's memory-bounding policy; see spans.h).
+  SpanTracker tracker;  // default horizon 8
+  tracker.Observe(1, 0x1, 0);
+  tracker.Observe(1, 0x1, 9);
+  EXPECT_EQ(tracker.MaxSpanDays(1), 1);
+}
+
+TEST(SpanTrackerTest, NoSecretObservationsIgnored) {
+  SpanTracker tracker;
+  tracker.Observe(1, scanner::kNoSecret, 0);
+  EXPECT_FALSE(tracker.EverObserved(1));
+}
+
+TEST(SpanTrackerTest, AllSpansEnumeratesEveryDomain) {
+  SpanTracker tracker;
+  tracker.Observe(1, 0x1, 0);
+  tracker.Observe(2, 0x2, 0);
+  tracker.Observe(2, 0x2, 4);
+  auto spans = tracker.AllSpans();
+  std::sort(spans.begin(), spans.end());
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (std::pair<DomainIndex, int>{1, 1}));
+  EXPECT_EQ(spans[1], (std::pair<DomainIndex, int>{2, 5}));
+}
+
+// Property sweep: for any rotation period P, measured span == P (except a
+// possibly shorter final epoch).
+class SpanRotationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanRotationTest, MeasuredSpanMatchesRotationPeriod) {
+  const int period = GetParam();
+  SpanTracker tracker;
+  for (int day = 0; day < 63; ++day) {
+    tracker.Observe(42, 0x9000 + static_cast<SecretId>(day / period), day);
+  }
+  EXPECT_EQ(tracker.MaxSpanDays(42), std::min(period, 63));
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SpanRotationTest,
+                         ::testing::Values(1, 2, 3, 7, 14, 30, 63, 100));
+
+}  // namespace
+}  // namespace tlsharm::analysis

@@ -1,0 +1,61 @@
+#include "analysis/vuln.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::analysis {
+namespace {
+
+TEST(DomainExposureTest, MaxWindowPicksLargest) {
+  DomainExposure exposure;
+  exposure.stek_window = 7 * kDay;
+  exposure.cache_window = 5 * kMinute;
+  exposure.ticket_window = 18 * kHour;
+  exposure.dh_window = 2 * kDay;
+  EXPECT_EQ(exposure.MaxWindow(), 7 * kDay);
+}
+
+TEST(DomainExposureTest, AnyMechanismDetectsParticipation) {
+  DomainExposure none;
+  EXPECT_FALSE(none.AnyMechanism());
+  DomainExposure only_cache;
+  only_cache.cache_window = kMinute;
+  EXPECT_TRUE(only_cache.AnyMechanism());
+}
+
+TEST(CombinedWindowTest, ExcludesNonParticipants) {
+  std::vector<DomainExposure> exposures(10);
+  exposures[0].stek_window = kDay;
+  exposures[1].cache_window = kHour;
+  const auto dist = CombinedWindowDistribution(exposures);
+  EXPECT_EQ(dist.Count(), 2u);
+}
+
+TEST(CombinedWindowTest, ReproducesThresholdFractions) {
+  // 10 domains: 4 with >24h windows, 2 of those >7d, 1 of those >30d.
+  std::vector<DomainExposure> exposures;
+  auto add = [&exposures](SimTime window) {
+    DomainExposure e;
+    e.stek_window = window;
+    exposures.push_back(e);
+  };
+  for (int i = 0; i < 6; ++i) add(5 * kMinute);
+  add(2 * kDay);
+  add(3 * kDay);
+  add(10 * kDay);
+  add(40 * kDay);
+  const auto dist = CombinedWindowDistribution(exposures);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(static_cast<double>(kDay) + 1), 0.4);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(static_cast<double>(7 * kDay)), 0.2);
+  EXPECT_DOUBLE_EQ(dist.FractionAtLeast(static_cast<double>(30 * kDay)), 0.1);
+}
+
+TEST(CombinedWindowTest, MaxOfMechanismsNotSum) {
+  std::vector<DomainExposure> exposures(1);
+  exposures[0].stek_window = kDay;
+  exposures[0].dh_window = kDay;
+  const auto dist = CombinedWindowDistribution(exposures);
+  EXPECT_DOUBLE_EQ(dist.Max(), static_cast<double>(kDay));
+}
+
+}  // namespace
+}  // namespace tlsharm::analysis

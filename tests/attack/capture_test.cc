@@ -1,0 +1,114 @@
+#include "attack/capture.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+
+namespace tlsharm::attack {
+namespace {
+
+using testutil::ClientFor;
+using testutil::MakeTerminator;
+using testutil::TestPki;
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  TestPki pki_;
+  crypto::Drbg drbg_{ToBytes("capture client")};
+};
+
+TEST_F(CaptureTest, FullHandshakeCaptureParses) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  auto conn = term->NewConnection(100);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  tls::TlsClient client(ClientFor(pki_, "victim.com"));
+  const auto hs = client.Handshake(tapped, 100, drbg_);
+  ASSERT_TRUE(hs.ok) << hs.error;
+
+  const ParsedCapture parsed = ParseCapture(capture.Log());
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_FALSE(parsed.abbreviated);
+  EXPECT_EQ(parsed.client_hello.random, hs.client_random);
+  EXPECT_EQ(parsed.server_hello.random, hs.server_random);
+  ASSERT_TRUE(parsed.server_kex.has_value());
+  ASSERT_TRUE(parsed.client_kex.has_value());
+  ASSERT_TRUE(parsed.new_session_ticket.has_value());
+  EXPECT_EQ(parsed.new_session_ticket->ticket, hs.ticket);
+  EXPECT_EQ(parsed.RelevantTicket(), hs.ticket);
+}
+
+TEST_F(CaptureTest, ApplicationRecordsAreCaptured) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  auto conn = term->NewConnection(100);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  tls::TlsClient client(ClientFor(pki_, "victim.com"));
+  const auto hs = client.Handshake(tapped, 100, drbg_);
+  ASSERT_TRUE(hs.ok);
+  tls::RecordChannel channel(hs.keys, tls::Direction::kClientToServer);
+  ASSERT_TRUE(tls::TlsClient::Roundtrip(tapped, hs, channel,
+                                        ToBytes("GET /secret"), drbg_)
+                  .has_value());
+
+  const ParsedCapture parsed = ParseCapture(capture.Log());
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_EQ(parsed.client_records.size(), 1u);
+  EXPECT_EQ(parsed.server_records.size(), 1u);
+  // Captured records are ciphertext, not the plaintext request.
+  EXPECT_EQ(std::search(parsed.client_records[0].begin(),
+                        parsed.client_records[0].end(),
+                        ToBytes("GET /secret").begin(),
+                        ToBytes("GET /secret").end()),
+            parsed.client_records[0].end());
+}
+
+TEST_F(CaptureTest, AbbreviatedHandshakeDetected) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  tls::TlsClient first_client(ClientFor(pki_, "victim.com"));
+  auto conn1 = term->NewConnection(0);
+  const auto first = first_client.Handshake(*conn1, 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  tls::ClientConfig resume_config = ClientFor(pki_, "victim.com");
+  resume_config.resume_ticket = first.ticket;
+  resume_config.resume_master_secret = first.master_secret;
+  auto conn2 = term->NewConnection(30);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn2, capture);
+  tls::TlsClient second_client(resume_config);
+  const auto second = second_client.Handshake(tapped, 30, drbg_);
+  ASSERT_TRUE(second.ok);
+  ASSERT_TRUE(second.resumed);
+
+  const ParsedCapture parsed = ParseCapture(capture.Log());
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_TRUE(parsed.abbreviated);
+  // The client-presented ticket is the relevant one for STEK attacks.
+  EXPECT_EQ(parsed.RelevantTicket(), first.ticket);
+  EXPECT_FALSE(parsed.server_kex.has_value());
+}
+
+TEST_F(CaptureTest, EmptyLogIsInvalid) {
+  EXPECT_FALSE(ParseCapture({}).valid);
+}
+
+TEST_F(CaptureTest, TruncatedHandshakeIsInvalid) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  auto conn = term->NewConnection(100);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  // Only the ClientHello flight, then stop.
+  tls::ClientHello ch;
+  ch.random = drbg_.Generate(32);
+  ch.cipher_suites = {
+      static_cast<std::uint16_t>(tls::CipherSuite::kEcdheWithAes128CbcSha256)};
+  Bytes flight;
+  tls::AppendHandshake(flight, tls::HandshakeType::kClientHello,
+                       ch.Serialize());
+  (void)tapped.OnClientFlight(flight);
+  EXPECT_FALSE(ParseCapture(capture.Log()).valid);
+}
+
+}  // namespace
+}  // namespace tlsharm::attack

@@ -1,0 +1,205 @@
+// The retrospective-decryption attacks end to end: capture a connection,
+// compromise a server secret, decrypt recorded traffic.
+#include "attack/decrypt.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+
+namespace tlsharm::attack {
+namespace {
+
+using testutil::ClientFor;
+using testutil::MakeTerminator;
+using testutil::TestPki;
+
+class DecryptTest : public ::testing::Test {
+ protected:
+  // Runs one tapped connection with an app-data exchange.
+  ParsedCapture CaptureConnection(server::SslTerminator& term,
+                                  const tls::ClientConfig& config,
+                                  SimTime now, tls::HandshakeResult* hs_out) {
+    auto conn = term.NewConnection(now);
+    PassiveCapture capture;
+    tls::TappedConnection tapped(*conn, capture);
+    tls::TlsClient client(config);
+    const auto hs = client.Handshake(tapped, now, drbg_);
+    EXPECT_TRUE(hs.ok) << hs.error;
+    if (hs.ok) {
+      tls::RecordChannel channel(hs.keys, tls::Direction::kClientToServer);
+      EXPECT_TRUE(tls::TlsClient::Roundtrip(
+                      tapped, hs, channel,
+                      ToBytes("POST /login user=alice&pw=hunter2"), drbg_)
+                      .has_value());
+    }
+    if (hs_out != nullptr) *hs_out = hs;
+    return ParseCapture(capture.Log());
+  }
+
+  TestPki pki_;
+  crypto::Drbg drbg_{ToBytes("decrypt client")};
+};
+
+TEST_F(DecryptTest, StolenStekDecryptsRecordedConnection) {
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kStatic;
+  auto term = MakeTerminator(pki_, {"bank.com"}, config);
+  term->SetResponseBody("HTTP/1.1 200 OK\r\n\r\naccount balance: $12,345");
+
+  tls::HandshakeResult hs;
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "bank.com"), 100, &hs);
+  ASSERT_TRUE(capture.valid);
+
+  // Weeks later the attacker exfiltrates the STEK.
+  const tls::Stek stolen = term->Steks().StealCurrentKey(30 * kDay);
+  const StekDecryptor decryptor(term->Config().tickets.codec, stolen);
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  ASSERT_TRUE(session.ok) << session.failure;
+  EXPECT_EQ(session.master_secret, hs.master_secret);
+  ASSERT_EQ(session.client_plaintext.size(), 1u);
+  EXPECT_EQ(ToString(session.client_plaintext[0]),
+            "POST /login user=alice&pw=hunter2");
+  ASSERT_EQ(session.server_plaintext.size(), 1u);
+  EXPECT_EQ(ToString(session.server_plaintext[0]),
+            "HTTP/1.1 200 OK\r\n\r\naccount balance: $12,345");
+}
+
+TEST_F(DecryptTest, RotatedStekNoLongerDecrypts) {
+  // Forward secrecy restored: after rotation + erasure the old traffic is
+  // safe even if the NEW key leaks.
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kInterval;
+  config.stek.rotation_interval = kDay;
+  auto term = MakeTerminator(pki_, {"bank.com"}, config);
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "bank.com"), 100, nullptr);
+  ASSERT_TRUE(capture.valid);
+
+  const tls::Stek later_key = term->Steks().StealCurrentKey(10 * kDay);
+  const StekDecryptor decryptor(term->Config().tickets.codec, later_key);
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  EXPECT_FALSE(session.ok);
+}
+
+TEST_F(DecryptTest, StekAlsoOpensTicketResumedConnections) {
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kStatic;
+  config.tickets.acceptance_window = kDay;
+  auto term = MakeTerminator(pki_, {"bank.com"}, config);
+
+  tls::HandshakeResult first;
+  (void)CaptureConnection(*term, ClientFor(pki_, "bank.com"), 0, &first);
+
+  tls::ClientConfig resume_config = ClientFor(pki_, "bank.com");
+  resume_config.resume_ticket = first.ticket;
+  resume_config.resume_master_secret = first.master_secret;
+  tls::HandshakeResult second;
+  const ParsedCapture capture =
+      CaptureConnection(*term, resume_config, kHour, &second);
+  ASSERT_TRUE(capture.valid);
+  ASSERT_TRUE(capture.abbreviated);
+
+  const tls::Stek stolen = term->Steks().StealCurrentKey(30 * kDay);
+  const StekDecryptor decryptor(term->Config().tickets.codec, stolen);
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  ASSERT_TRUE(session.ok) << session.failure;
+  EXPECT_EQ(session.client_plaintext.size(), 1u);
+}
+
+TEST_F(DecryptTest, DumpedSessionCacheDecryptsWhileEntryLives) {
+  server::ServerConfig config;
+  config.session_cache.lifetime = kDay;
+  auto term = MakeTerminator(pki_, {"shop.com"}, config);
+  tls::HandshakeResult hs;
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "shop.com"), 100, &hs);
+  ASSERT_TRUE(capture.valid);
+
+  // Attacker dumps the cache within the lifetime window.
+  const CacheDecryptor decryptor(term->Cache().Dump());
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  ASSERT_TRUE(session.ok) << session.failure;
+  EXPECT_EQ(session.master_secret, hs.master_secret);
+  EXPECT_EQ(session.client_plaintext.size(), 1u);
+}
+
+TEST_F(DecryptTest, ExpiredCacheDumpCannotDecrypt) {
+  server::ServerConfig config;
+  config.session_cache.lifetime = 5 * kMinute;
+  auto term = MakeTerminator(pki_, {"shop.com"}, config);
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "shop.com"), 100, nullptr);
+  ASSERT_TRUE(capture.valid);
+
+  // Force expiry by touching the cache afterwards.
+  (void)term->Cache().Lookup(ToBytes("anything"), 100 + kHour);
+  const CacheDecryptor decryptor(term->Cache().Dump());
+  EXPECT_FALSE(decryptor.Decrypt(capture).ok);
+}
+
+TEST_F(DecryptTest, StolenReusedEcdheValueDecrypts) {
+  server::ServerConfig config;
+  config.ecdhe_reuse = {.reuse = true, .ttl = 0};
+  auto term = MakeTerminator(pki_, {"api.com"}, config);
+  tls::HandshakeResult hs;
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "api.com"), 100, &hs);
+  ASSERT_TRUE(capture.valid);
+
+  // The attacker obtains the cached server key pair.
+  crypto::Drbg scratch(ToBytes("scratch"));
+  const auto& pair = term->Kex().GetKeyPair(
+      config.ecdhe_group, config.ecdhe_reuse, 200, scratch);
+  const DhDecryptor decryptor(config.ecdhe_group, pair.private_key,
+                              pair.public_value);
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  ASSERT_TRUE(session.ok) << session.failure;
+  EXPECT_EQ(session.master_secret, hs.master_secret);
+  EXPECT_EQ(session.client_plaintext.size(), 1u);
+}
+
+TEST_F(DecryptTest, FreshEphemeralValueDefeatsDhTheft) {
+  // No reuse: by the time the attacker steals a value, the recorded
+  // connection used a different one.
+  server::ServerConfig config;  // defaults: fresh values
+  auto term = MakeTerminator(pki_, {"api.com"}, config);
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "api.com"), 100, nullptr);
+  ASSERT_TRUE(capture.valid);
+
+  crypto::Drbg scratch(ToBytes("scratch"));
+  const auto& pair = term->Kex().GetKeyPair(
+      config.ecdhe_group, config.ecdhe_reuse, 200, scratch);
+  const DhDecryptor decryptor(config.ecdhe_group, pair.private_key,
+                              pair.public_value);
+  EXPECT_FALSE(decryptor.Decrypt(capture).ok);
+}
+
+TEST_F(DecryptTest, WrongStekFailsCleanly) {
+  server::ServerConfig config;
+  auto term = MakeTerminator(pki_, {"bank.com"}, config);
+  const ParsedCapture capture =
+      CaptureConnection(*term, ClientFor(pki_, "bank.com"), 100, nullptr);
+  crypto::Drbg other(ToBytes("other"));
+  const StekDecryptor decryptor(tls::TicketCodecKind::kRfc5077,
+                                tls::Stek::Generate(other));
+  const DecryptedSession session = decryptor.Decrypt(capture);
+  EXPECT_FALSE(session.ok);
+  EXPECT_FALSE(session.failure.empty());
+}
+
+TEST_F(DecryptTest, StaticSuiteConnectionHasNoDhToAttackButNoPfsEither) {
+  // Context check for the static (RSA-stand-in) suite: no SKE on the wire.
+  server::ServerConfig config;
+  auto term = MakeTerminator(pki_, {"legacy.com"}, config);
+  tls::ClientConfig client_config = ClientFor(pki_, "legacy.com");
+  client_config.offered_suites = {tls::CipherSuite::kStaticWithAes128CbcSha256};
+  const ParsedCapture capture =
+      CaptureConnection(*term, client_config, 100, nullptr);
+  ASSERT_TRUE(capture.valid);
+  EXPECT_FALSE(capture.server_kex.has_value());
+}
+
+}  // namespace
+}  // namespace tlsharm::attack

@@ -1,0 +1,120 @@
+// AES-128 against FIPS 197 / NIST SP 800-38A vectors, plus CBC/PKCS#7
+// round-trip and tamper properties.
+#include "crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(Aes128Test, Fips197Appendix) {
+  // FIPS 197 Appendix B example.
+  const Bytes key = MustHexDecode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes pt = MustHexDecode("3243f6a8885a308d313198a2e0370734");
+  const Aes128 cipher(ToAesKey(key));
+  std::uint8_t out[16];
+  cipher.EncryptBlock(pt.data(), out);
+  EXPECT_EQ(HexEncode(ByteView(out, 16)), "3925841d02dc09fbdc118597196a0b32");
+  std::uint8_t back[16];
+  cipher.DecryptBlock(out, back);
+  EXPECT_EQ(HexEncode(ByteView(back, 16)), HexEncode(pt));
+}
+
+TEST(Aes128Test, Sp80038aEcbVectors) {
+  const Bytes key = MustHexDecode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes128 cipher(ToAesKey(key));
+  const struct {
+    const char* pt;
+    const char* ct;
+  } cases[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const auto& c : cases) {
+    const Bytes pt = MustHexDecode(c.pt);
+    std::uint8_t out[16];
+    cipher.EncryptBlock(pt.data(), out);
+    EXPECT_EQ(HexEncode(ByteView(out, 16)), c.ct);
+  }
+}
+
+TEST(Aes128Test, Sp80038aCbcFirstBlock) {
+  // SP 800-38A F.2.1 CBC-AES128.Encrypt, first block only (our CBC appends
+  // PKCS#7 padding, so compare the leading 16 bytes).
+  const Bytes key = MustHexDecode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = MustHexDecode("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = MustHexDecode("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes ct = Aes128CbcEncrypt(ToAesKey(key), ToAesBlock(iv), pt);
+  ASSERT_GE(ct.size(), 16u);
+  EXPECT_EQ(HexEncode(ByteView(ct.data(), 16)),
+            "7649abac8119b246cee98e9b12e9197d");
+}
+
+TEST(Aes128Test, CbcRoundTripVariousLengths) {
+  Rng rng(7);
+  const Aes128Key key = ToAesKey(rng.RandomBytes(16));
+  const AesBlock iv = ToAesBlock(rng.RandomBytes(16));
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u, 1000u}) {
+    const Bytes pt = rng.RandomBytes(len);
+    const Bytes ct = Aes128CbcEncrypt(key, iv, pt);
+    EXPECT_EQ(ct.size() % kAesBlockSize, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // padding always added
+    const auto back = Aes128CbcDecrypt(key, iv, ct);
+    ASSERT_TRUE(back.has_value()) << "len " << len;
+    EXPECT_EQ(*back, pt);
+  }
+}
+
+TEST(Aes128Test, CbcDecryptRejectsWrongKey) {
+  Rng rng(8);
+  const Aes128Key key = ToAesKey(rng.RandomBytes(16));
+  const Aes128Key wrong = ToAesKey(rng.RandomBytes(16));
+  const AesBlock iv = ToAesBlock(rng.RandomBytes(16));
+  const Bytes pt = ToBytes("session state that must stay secret");
+  const Bytes ct = Aes128CbcEncrypt(key, iv, pt);
+  const auto back = Aes128CbcDecrypt(wrong, iv, ct);
+  // Wrong key either fails padding or yields different plaintext.
+  if (back.has_value()) EXPECT_NE(*back, pt);
+}
+
+TEST(Aes128Test, CbcDecryptRejectsBadLength) {
+  Rng rng(9);
+  const Aes128Key key = ToAesKey(rng.RandomBytes(16));
+  const AesBlock iv = ToAesBlock(rng.RandomBytes(16));
+  const Bytes short_ct = rng.RandomBytes(15);
+  EXPECT_FALSE(Aes128CbcDecrypt(key, iv, short_ct).has_value());
+  EXPECT_FALSE(Aes128CbcDecrypt(key, iv, Bytes{}).has_value());
+}
+
+TEST(Aes128Test, CbcDifferentIvDifferentCiphertext) {
+  Rng rng(10);
+  const Aes128Key key = ToAesKey(rng.RandomBytes(16));
+  const Bytes pt = ToBytes("identical plaintext");
+  const Bytes ct1 = Aes128CbcEncrypt(key, ToAesBlock(rng.RandomBytes(16)), pt);
+  const Bytes ct2 = Aes128CbcEncrypt(key, ToAesBlock(rng.RandomBytes(16)), pt);
+  EXPECT_NE(ct1, ct2);
+}
+
+// Property sweep: round-trip for every padding remainder.
+class AesCbcPaddingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AesCbcPaddingTest, RoundTrip) {
+  Rng rng(100 + GetParam());
+  const Aes128Key key = ToAesKey(rng.RandomBytes(16));
+  const AesBlock iv = ToAesBlock(rng.RandomBytes(16));
+  const Bytes pt = rng.RandomBytes(static_cast<std::size_t>(GetParam()));
+  const auto back = Aes128CbcDecrypt(key, iv, Aes128CbcEncrypt(key, iv, pt));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRemainders, AesCbcPaddingTest,
+                         ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace tlsharm::crypto

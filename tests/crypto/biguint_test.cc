@@ -1,0 +1,168 @@
+#include "crypto/biguint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(BigUIntTest, HexRoundTrip) {
+  const char* hex = "fbb557b1a3b5cdd3ef0adacabd9ae4fddaf1cae7f02e4e3b5bd727d58524cfe7";
+  EXPECT_EQ(BigUInt::FromHex(hex).ToHex(), hex);
+  EXPECT_EQ(BigUInt::FromHex("0").ToHex(), "0");
+  EXPECT_EQ(BigUInt::FromHex("1").ToHex(), "1");
+  EXPECT_EQ(BigUInt::FromHex("0x10").ToHex(), "10");
+}
+
+TEST(BigUIntTest, BytesRoundTrip) {
+  const Bytes b = MustHexDecode("0123456789abcdef0011");
+  const BigUInt v = BigUInt::FromBytes(b);
+  EXPECT_EQ(v.ToBytes(10), b);
+  EXPECT_EQ(HexEncode(v.ToBytes()), "0123456789abcdef0011");
+}
+
+TEST(BigUIntTest, LeadingZeroBytesNormalize) {
+  const BigUInt v = BigUInt::FromBytes(MustHexDecode("0000000005"));
+  EXPECT_EQ(v, BigUInt::FromU64(5));
+  EXPECT_EQ(v.ToBytes(4), MustHexDecode("00000005"));
+}
+
+TEST(BigUIntTest, AddCarriesAcrossLimbs) {
+  const BigUInt a = BigUInt::FromHex("ffffffffffffffffffffffffffffffff");
+  const BigUInt sum = BigUInt::Add(a, BigUInt::FromU64(1));
+  EXPECT_EQ(sum.ToHex(), "100000000000000000000000000000000");
+}
+
+TEST(BigUIntTest, SubBorrowsAcrossLimbs) {
+  const BigUInt a = BigUInt::FromHex("100000000000000000000000000000000");
+  const BigUInt diff = BigUInt::Sub(a, BigUInt::FromU64(1));
+  EXPECT_EQ(diff.ToHex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigUIntTest, MulMatchesKnownProduct) {
+  const BigUInt a = BigUInt::FromHex("ffffffffffffffff");
+  const BigUInt b = BigUInt::FromHex("ffffffffffffffff");
+  EXPECT_EQ(BigUInt::Mul(a, b).ToHex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigUIntTest, ShiftLeftRightInverse) {
+  const BigUInt a = BigUInt::FromHex("deadbeefcafebabe1234");
+  EXPECT_EQ(a.ShiftLeft1().ShiftRight1(), a);
+}
+
+TEST(BigUIntTest, CompareOrdering) {
+  const BigUInt small = BigUInt::FromU64(5);
+  const BigUInt big = BigUInt::FromHex("10000000000000000");
+  EXPECT_LT(BigUInt::Compare(small, big), 0);
+  EXPECT_GT(BigUInt::Compare(big, small), 0);
+  EXPECT_EQ(BigUInt::Compare(big, big), 0);
+}
+
+TEST(BigUIntTest, BitLength) {
+  EXPECT_EQ(BigUInt().BitLength(), 0u);
+  EXPECT_EQ(BigUInt::FromU64(1).BitLength(), 1u);
+  EXPECT_EQ(BigUInt::FromU64(255).BitLength(), 8u);
+  EXPECT_EQ(BigUInt::FromHex("10000000000000000").BitLength(), 65u);
+}
+
+TEST(MontgomeryTest, MulModSmallNumbers) {
+  const Montgomery m(BigUInt::FromU64(97));
+  EXPECT_EQ(m.MulMod(BigUInt::FromU64(13), BigUInt::FromU64(20)),
+            BigUInt::FromU64(260 % 97));
+  EXPECT_EQ(m.AddMod(BigUInt::FromU64(90), BigUInt::FromU64(20)),
+            BigUInt::FromU64(13));
+  EXPECT_EQ(m.SubMod(BigUInt::FromU64(5), BigUInt::FromU64(20)),
+            BigUInt::FromU64(82));
+}
+
+TEST(MontgomeryTest, PowModFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p.
+  const BigUInt p = BigUInt::FromHex("11c575d30bfa78ff");  // sim61 prime
+  const Montgomery m(p);
+  const BigUInt exp = BigUInt::Sub(p, BigUInt::FromU64(1));
+  for (std::uint64_t base : {2ull, 3ull, 12345ull, 987654321ull}) {
+    EXPECT_EQ(m.PowMod(BigUInt::FromU64(base), exp), BigUInt::FromU64(1))
+        << "base " << base;
+  }
+}
+
+TEST(MontgomeryTest, PowModKnownValue) {
+  // 3^20 = 3486784401; mod 1000003 (odd prime) = computed independently.
+  const Montgomery m(BigUInt::FromU64(1000003));
+  EXPECT_EQ(m.PowMod(BigUInt::FromU64(3), BigUInt::FromU64(20)),
+            BigUInt::FromU64(3486784401ULL % 1000003));
+}
+
+TEST(MontgomeryTest, ReduceBytesMatchesReduce) {
+  const Montgomery m(BigUInt::FromHex("8e2bae985fd3c7f"));
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes b = rng.RandomBytes(32);
+    EXPECT_EQ(m.ReduceBytes(b), m.Reduce(BigUInt::FromBytes(b)));
+  }
+}
+
+TEST(MontgomeryTest, ReduceLargeValue) {
+  const BigUInt p = BigUInt::FromU64(97);
+  const Montgomery m(p);
+  // 10^20 mod 97: compute via PowMod for cross-check.
+  const BigUInt big = BigUInt::Mul(BigUInt::FromHex("ffffffffffffffff"),
+                                   BigUInt::FromHex("123456789"));
+  const BigUInt reduced = m.Reduce(big);
+  EXPECT_LT(BigUInt::Compare(reduced, p), 0);
+  // Verify by reconstructing with MulMod-consistency: (big mod p) should
+  // satisfy big ≡ reduced, so big - reduced divisible by 97. Check via
+  // repeated: (big mod p) == ((big mod p) + p) mod p trivially; instead test
+  // homomorphism: Reduce(a*b) == MulMod(Reduce(a), Reduce(b)).
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const BigUInt a = BigUInt::FromBytes(rng.RandomBytes(16));
+    const BigUInt b = BigUInt::FromBytes(rng.RandomBytes(16));
+    EXPECT_EQ(m.Reduce(BigUInt::Mul(a, b)), m.MulMod(m.Reduce(a), m.Reduce(b)));
+  }
+}
+
+TEST(MontgomeryTest, MulModAgreesWithSchoolbookFor128Bit) {
+  // Cross-check MulMod against Mul+Reduce on random inputs.
+  const Montgomery m(BigUInt::FromHex(
+      "fbb557b1a3b5cdd3ef0adacabd9ae4fddaf1cae7f02e4e3b5bd727d58524cfe7"));
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt a = m.Reduce(BigUInt::FromBytes(rng.RandomBytes(40)));
+    const BigUInt b = m.Reduce(BigUInt::FromBytes(rng.RandomBytes(40)));
+    EXPECT_EQ(m.MulMod(a, b), m.Reduce(BigUInt::Mul(a, b)));
+  }
+}
+
+TEST(PrimalityTest, KnownPrimesAndComposites) {
+  EXPECT_TRUE(ProbablyPrime(BigUInt::FromU64(2)));
+  EXPECT_TRUE(ProbablyPrime(BigUInt::FromU64(3)));
+  EXPECT_TRUE(ProbablyPrime(BigUInt::FromU64(97)));
+  EXPECT_TRUE(ProbablyPrime(BigUInt::FromU64((1ULL << 61) - 1)));  // Mersenne
+  EXPECT_FALSE(ProbablyPrime(BigUInt::FromU64(1)));
+  EXPECT_FALSE(ProbablyPrime(BigUInt::FromU64(0)));
+  EXPECT_FALSE(ProbablyPrime(BigUInt::FromU64(100)));
+  EXPECT_FALSE(ProbablyPrime(BigUInt::FromU64(561)));   // Carmichael
+  EXPECT_FALSE(ProbablyPrime(BigUInt::FromU64(6601)));  // Carmichael
+}
+
+TEST(PrimalityTest, EmbeddedGroupParametersAreSafePrimes) {
+  const BigUInt p61 = BigUInt::FromHex("11c575d30bfa78ff");
+  const BigUInt q61 = BigUInt::FromHex("8e2bae985fd3c7f");
+  EXPECT_TRUE(ProbablyPrime(p61));
+  EXPECT_TRUE(ProbablyPrime(q61));
+  EXPECT_EQ(BigUInt::Add(q61.ShiftLeft1(), BigUInt::FromU64(1)), p61);
+
+  const BigUInt p256 = BigUInt::FromHex(
+      "fbb557b1a3b5cdd3ef0adacabd9ae4fddaf1cae7f02e4e3b5bd727d58524cfe7");
+  const BigUInt q256 = BigUInt::FromHex(
+      "7ddaabd8d1dae6e9f7856d655ecd727eed78e573f817271dadeb93eac29267f3");
+  EXPECT_TRUE(ProbablyPrime(p256));
+  EXPECT_TRUE(ProbablyPrime(q256));
+  EXPECT_EQ(BigUInt::Add(q256.ShiftLeft1(), BigUInt::FromU64(1)), p256);
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

@@ -1,0 +1,62 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(DrbgTest, DeterministicFromSeed) {
+  Drbg a(ToBytes("seed")), b(ToBytes("seed"));
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+}
+
+TEST(DrbgTest, DifferentSeedsDiverge) {
+  Drbg a(ToBytes("seed-1")), b(ToBytes("seed-2"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, SequentialOutputsDiffer) {
+  Drbg d(ToBytes("seed"));
+  EXPECT_NE(d.Generate(32), d.Generate(32));
+}
+
+TEST(DrbgTest, ReseedChangesStream) {
+  Drbg a(ToBytes("seed")), b(ToBytes("seed"));
+  (void)a.Generate(16);
+  (void)b.Generate(16);
+  b.Reseed(ToBytes("extra entropy"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, GenerateExactLengths) {
+  Drbg d(ToBytes("seed"));
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(d.Generate(n).size(), n);
+  }
+}
+
+TEST(DrbgTest, UniformIntInRange) {
+  Drbg d(ToBytes("seed"));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = d.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  // All residues should appear over 200 draws.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(DrbgTest, NoObviousByteBias) {
+  Drbg d(ToBytes("bias test"));
+  const Bytes sample = d.Generate(100000);
+  std::size_t ones = 0;
+  for (std::uint8_t b : sample) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double frac = static_cast<double>(ones) / (sample.size() * 8);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

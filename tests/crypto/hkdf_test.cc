@@ -1,0 +1,68 @@
+// HKDF against RFC 5869 Appendix A test vectors (SHA-256 cases).
+#include "crypto/hkdf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = MustHexDecode("000102030405060708090a0b0c");
+  const Bytes info = MustHexDecode("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+  const Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244");
+  const Bytes okm = HkdfExpand(prk, info, 82);
+  EXPECT_EQ(HexEncode(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes prk = HkdfExtract({}, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+  const Bytes okm = HkdfExpand(prk, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, ExpandLabelShape) {
+  const Bytes secret(32, 0x11);
+  const Bytes out = HkdfExpandLabel(secret, "key", {}, 16);
+  EXPECT_EQ(out.size(), 16u);
+  // Labels separate outputs.
+  EXPECT_NE(HkdfExpandLabel(secret, "key", {}, 16),
+            HkdfExpandLabel(secret, "iv", {}, 16));
+  // Context separates outputs.
+  EXPECT_NE(HkdfExpandLabel(secret, "key", Bytes(32, 1), 16),
+            HkdfExpandLabel(secret, "key", Bytes(32, 2), 16));
+}
+
+TEST(HkdfTest, DeriveSecretIs32Bytes) {
+  EXPECT_EQ(DeriveSecret(Bytes(32, 0x22), "c e traffic", Bytes(32, 3)).size(),
+            32u);
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

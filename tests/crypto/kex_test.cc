@@ -1,0 +1,53 @@
+#include "crypto/kex.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::crypto {
+namespace {
+
+class KexGroupTest : public ::testing::TestWithParam<NamedGroup> {};
+
+TEST_P(KexGroupTest, RegistryRoundTrip) {
+  const KexGroup& group = GetKexGroup(GetParam());
+  EXPECT_EQ(group.Id(), GetParam());
+  EXPECT_TRUE(IsKnownGroup(static_cast<std::uint16_t>(GetParam())));
+}
+
+TEST_P(KexGroupTest, AgreementThroughRegistry) {
+  const KexGroup& group = GetKexGroup(GetParam());
+  Drbg d1(ToBytes("one")), d2(ToBytes("two"));
+  const KexKeyPair a = group.GenerateKeyPair(d1);
+  const KexKeyPair b = group.GenerateKeyPair(d2);
+  const auto s1 = group.SharedSecret(a.private_key, b.public_value);
+  const auto s2 = group.SharedSecret(b.private_key, a.public_value);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST_P(KexGroupTest, KindMatchesFamily) {
+  const KexGroup& group = GetKexGroup(GetParam());
+  switch (GetParam()) {
+    case NamedGroup::kFfdheSim61:
+    case NamedGroup::kFfdheSim256:
+      EXPECT_EQ(group.Kind(), KexKind::kDhe);
+      break;
+    case NamedGroup::kSimEc61:
+    case NamedGroup::kX25519:
+      EXPECT_EQ(group.Kind(), KexKind::kEcdhe);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, KexGroupTest,
+                         ::testing::Values(NamedGroup::kFfdheSim61,
+                                           NamedGroup::kFfdheSim256,
+                                           NamedGroup::kSimEc61,
+                                           NamedGroup::kX25519));
+
+TEST(KexRegistryTest, UnknownIdIsNotKnown) {
+  EXPECT_FALSE(IsKnownGroup(0xdead));
+  EXPECT_FALSE(IsKnownGroup(0x0000));
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

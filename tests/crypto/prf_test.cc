@@ -1,0 +1,77 @@
+// TLS 1.2 PRF (P_SHA256) against a widely used community test vector,
+// plus derivation-shape checks.
+#include "crypto/prf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(PrfTest, KnownVectorP_Sha256) {
+  // Public P_SHA256 vector (from the IETF TLS mailing list, widely used to
+  // validate TLS 1.2 PRF implementations).
+  const Bytes secret = MustHexDecode("9bbe436ba940f017b17652849a71db35");
+  const Bytes seed = MustHexDecode("a0ba9f936cda311827a6f796ffd5198c");
+  const Bytes out = Tls12Prf(secret, "test label", seed, 100);
+  EXPECT_EQ(HexEncode(out),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a"
+            "6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab"
+            "4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701"
+            "87347b66");
+}
+
+TEST(PrfTest, OutputLengthExact) {
+  const Bytes secret = ToBytes("secret");
+  const Bytes seed = ToBytes("seed");
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 48u, 104u, 200u}) {
+    EXPECT_EQ(Tls12Prf(secret, "label", seed, len).size(), len);
+  }
+}
+
+TEST(PrfTest, PrefixConsistency) {
+  // PRF output is a stream: shorter requests are prefixes of longer ones.
+  const Bytes secret = ToBytes("secret");
+  const Bytes seed = ToBytes("seed");
+  const Bytes long_out = Tls12Prf(secret, "label", seed, 100);
+  const Bytes short_out = Tls12Prf(secret, "label", seed, 37);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+TEST(PrfTest, LabelSeparatesOutputs) {
+  const Bytes secret = ToBytes("secret");
+  const Bytes seed = ToBytes("seed");
+  EXPECT_NE(Tls12Prf(secret, "master secret", seed, 48),
+            Tls12Prf(secret, "key expansion", seed, 48));
+}
+
+TEST(PrfTest, MasterSecretIs48Bytes) {
+  const Bytes pm = ToBytes("premaster");
+  const Bytes cr(32, 0x01), sr(32, 0x02);
+  const Bytes ms = DeriveMasterSecret(pm, cr, sr);
+  EXPECT_EQ(ms.size(), 48u);
+  // Randoms are order-sensitive.
+  EXPECT_NE(ms, DeriveMasterSecret(pm, sr, cr));
+}
+
+TEST(PrfTest, KeyBlockDeterministicAndSeedOrderMatters) {
+  const Bytes ms(48, 0x11);
+  const Bytes cr(32, 0x01), sr(32, 0x02);
+  const Bytes kb1 = DeriveKeyBlock(ms, sr, cr, 104);
+  const Bytes kb2 = DeriveKeyBlock(ms, sr, cr, 104);
+  EXPECT_EQ(kb1, kb2);
+  EXPECT_NE(kb1, DeriveKeyBlock(ms, cr, sr, 104));
+}
+
+TEST(PrfTest, VerifyDataIs12Bytes) {
+  const Bytes ms(48, 0x11);
+  const Bytes hash(32, 0x22);
+  EXPECT_EQ(ComputeVerifyData(ms, "client finished", hash).size(), 12u);
+  EXPECT_NE(ComputeVerifyData(ms, "client finished", hash),
+            ComputeVerifyData(ms, "server finished", hash));
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

@@ -1,0 +1,92 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors.
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+std::string HashHex(ByteView data) {
+  const Sha256Digest d = Sha256Hash(data);
+  return HexEncode(ByteView(d.data(), d.size()));
+}
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(HashHex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const Bytes msg = ToBytes("abc");
+  EXPECT_EQ(HashHex(msg),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const Bytes msg =
+      ToBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(HashHex(msg),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  const Sha256Digest d = ctx.Finish();
+  EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = ToBytes("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.Update(ByteView(msg.data(), split));
+    ctx.Update(ByteView(msg.data() + split, msg.size() - split));
+    const Sha256Digest d = ctx.Finish();
+    EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592")
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.Update(ToBytes("garbage"));
+  ctx.Reset();
+  ctx.Update(ToBytes("abc"));
+  const Sha256Digest d = ctx.Finish();
+  EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Exact block-boundary lengths (55/56/64 bytes) exercise the padding logic.
+struct PaddingCase {
+  std::size_t len;
+};
+class Sha256PaddingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256PaddingTest, IncrementalEqualsOneShotAroundBlockBoundary) {
+  const std::size_t len = GetParam();
+  Bytes msg(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const Sha256Digest one_shot = Sha256Hash(msg);
+  Sha256 ctx;
+  for (std::size_t i = 0; i < len; ++i) ctx.Update(ByteView(&msg[i], 1));
+  const Sha256Digest bytewise = ctx.Finish();
+  EXPECT_EQ(HexEncode(ByteView(one_shot.data(), one_shot.size())),
+            HexEncode(ByteView(bytewise.data(), bytewise.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryLengths, Sha256PaddingTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 121, 127, 128, 129, 255,
+                                           256));
+
+}  // namespace
+}  // namespace tlsharm::crypto

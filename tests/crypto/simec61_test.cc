@@ -1,0 +1,78 @@
+#include "crypto/simec61.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(SimEc61Test, LadderScalarOneIsIdentityOnX) {
+  // 1 * P has the same x-coordinate as P.
+  EXPECT_EQ(SimEc61Group::Ladder(1, 9), 9u);
+  EXPECT_EQ(SimEc61Group::Ladder(1, 123456789), 123456789u);
+}
+
+TEST(SimEc61Test, LadderIsCommutativeInScalars) {
+  // x(a * (b * P)) == x(b * (a * P)) — the Diffie-Hellman property.
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = (rng.NextU64() & ((1ULL << 61) - 1)) | 2;
+    const std::uint64_t b = (rng.NextU64() & ((1ULL << 61) - 1)) | 2;
+    const std::uint64_t ap = SimEc61Group::Ladder(a, 9);
+    const std::uint64_t bp = SimEc61Group::Ladder(b, 9);
+    EXPECT_EQ(SimEc61Group::Ladder(a, bp), SimEc61Group::Ladder(b, ap))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(SimEc61Test, LadderScalarMultiplicationComposes) {
+  // x((a*b) * P) == x(a * (b * P)) when a*b fits in the scalar range.
+  const std::uint64_t a = 12345, b = 6789;
+  const std::uint64_t bp = SimEc61Group::Ladder(b, 9);
+  EXPECT_EQ(SimEc61Group::Ladder(a * b, 9), SimEc61Group::Ladder(a, bp));
+}
+
+TEST(SimEc61Test, KeyAgreement) {
+  const SimEc61Group group;
+  Drbg d1(ToBytes("a")), d2(ToBytes("b"));
+  const KexKeyPair a = group.GenerateKeyPair(d1);
+  const KexKeyPair b = group.GenerateKeyPair(d2);
+  const auto s1 = group.SharedSecret(a.private_key, b.public_value);
+  const auto s2 = group.SharedSecret(b.private_key, a.public_value);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(s1->size(), 8u);
+}
+
+TEST(SimEc61Test, DistinctSeedsDistinctKeys) {
+  const SimEc61Group group;
+  Drbg d1(ToBytes("a")), d2(ToBytes("b"));
+  const KexKeyPair a = group.GenerateKeyPair(d1);
+  const KexKeyPair b = group.GenerateKeyPair(d2);
+  EXPECT_NE(a.public_value, b.public_value);
+}
+
+TEST(SimEc61Test, RejectsDegenerateInputs) {
+  const SimEc61Group group;
+  Bytes zero(8, 0);
+  Bytes priv(8, 0);
+  priv[7] = 5;
+  EXPECT_FALSE(group.SharedSecret(priv, zero).has_value());
+  EXPECT_FALSE(group.SharedSecret(priv, Bytes(7, 1)).has_value());
+  // Peer value >= p rejected.
+  Bytes too_big;
+  AppendUint(too_big, (1ULL << 61) - 1, 8);
+  EXPECT_FALSE(group.SharedSecret(priv, too_big).has_value());
+}
+
+TEST(SimEc61Test, DeterministicFromSeed) {
+  const SimEc61Group group;
+  Drbg d1(ToBytes("same")), d2(ToBytes("same"));
+  EXPECT_EQ(group.GenerateKeyPair(d1).public_value,
+            group.GenerateKeyPair(d2).public_value);
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

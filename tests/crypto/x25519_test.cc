@@ -1,0 +1,77 @@
+// X25519 against RFC 7748 §5.2 and §6.1 test vectors.
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace tlsharm::crypto {
+namespace {
+
+TEST(X25519Test, Rfc7748Vector1) {
+  const Bytes scalar = MustHexDecode(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const Bytes u = MustHexDecode(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(HexEncode(X25519ScalarMult(scalar, u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Vector2) {
+  const Bytes scalar = MustHexDecode(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const Bytes u = MustHexDecode(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(HexEncode(X25519ScalarMult(scalar, u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, Rfc7748DiffieHellman) {
+  // §6.1: Alice/Bob key agreement.
+  const Bytes alice_priv = MustHexDecode(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const Bytes bob_priv = MustHexDecode(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  Bytes base(32, 0);
+  base[0] = 9;
+  const Bytes alice_pub = X25519ScalarMult(alice_priv, base);
+  const Bytes bob_pub = X25519ScalarMult(bob_priv, base);
+  EXPECT_EQ(HexEncode(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(HexEncode(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  const Bytes k1 = X25519ScalarMult(alice_priv, bob_pub);
+  const Bytes k2 = X25519ScalarMult(bob_priv, alice_pub);
+  EXPECT_EQ(HexEncode(k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(X25519Test, GroupInterface) {
+  const X25519Group group;
+  Drbg d1(ToBytes("client entropy")), d2(ToBytes("server entropy"));
+  const KexKeyPair a = group.GenerateKeyPair(d1);
+  const KexKeyPair b = group.GenerateKeyPair(d2);
+  EXPECT_EQ(a.public_value.size(), group.PublicValueSize());
+  const auto s1 = group.SharedSecret(a.private_key, b.public_value);
+  const auto s2 = group.SharedSecret(b.private_key, a.public_value);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(X25519Test, RejectsWrongSizeInputs) {
+  const X25519Group group;
+  EXPECT_FALSE(group.SharedSecret(Bytes(31, 1), Bytes(32, 2)).has_value());
+  EXPECT_FALSE(group.SharedSecret(Bytes(32, 1), Bytes(33, 2)).has_value());
+}
+
+TEST(X25519Test, RejectsAllZeroSharedSecret) {
+  const X25519Group group;
+  // u = 0 is a low-order point whose shared secret is all zeros.
+  const Bytes zero_u(32, 0);
+  EXPECT_FALSE(group.SharedSecret(Bytes(32, 0x42), zero_u).has_value());
+}
+
+}  // namespace
+}  // namespace tlsharm::crypto

@@ -1,0 +1,247 @@
+// Session-ID and session-ticket resumption end to end, including the
+// lifetime behaviours the paper measures in §4.1–§4.3.
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+
+namespace tlsharm {
+namespace {
+
+using testutil::ClientFor;
+using testutil::Connect;
+using testutil::MakeTerminator;
+using testutil::TestPki;
+
+class ResumptionTest : public ::testing::Test {
+ protected:
+  tls::ClientConfig ResumeConfig(const tls::HandshakeResult& prev,
+                                 const std::string& domain, bool use_id,
+                                 bool use_ticket) {
+    tls::ClientConfig config = ClientFor(pki_, domain);
+    config.resume_master_secret = prev.master_secret;
+    if (use_id) config.resume_session_id = prev.session_id;
+    if (use_ticket) config.resume_ticket = prev.ticket;
+    return config;
+  }
+
+  TestPki pki_;
+  crypto::Drbg drbg_{ToBytes("resumption client")};
+};
+
+TEST_F(ResumptionTest, SessionIdResumptionWithinLifetime) {
+  auto term = MakeTerminator(pki_, {"example.com"}, server::ServerConfig{});
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  const auto second = Connect(
+      *term, ResumeConfig(first, "example.com", true, false), 60, drbg_);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.resumed);
+  EXPECT_FALSE(second.resumed_via_ticket);
+  EXPECT_EQ(second.session_id, first.session_id);
+  EXPECT_EQ(second.master_secret, first.master_secret);
+  // Fresh randoms mean fresh connection keys despite the shared master.
+  EXPECT_NE(second.keys.client_write_key, first.keys.client_write_key);
+}
+
+TEST_F(ResumptionTest, SessionIdExpiresAfterLifetime) {
+  server::ServerConfig config;
+  config.session_cache.lifetime = 5 * kMinute;
+  auto term = MakeTerminator(pki_, {"example.com"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  const auto late = Connect(
+      *term, ResumeConfig(first, "example.com", true, false),
+      6 * kMinute, drbg_);
+  ASSERT_TRUE(late.ok) << late.error;
+  EXPECT_FALSE(late.resumed);  // full handshake fallback
+  EXPECT_NE(late.session_id, first.session_id);
+}
+
+TEST_F(ResumptionTest, TicketResumptionWithinWindow) {
+  auto term = MakeTerminator(pki_, {"example.com"}, server::ServerConfig{});
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(first.ticket_issued);
+
+  const auto second = Connect(
+      *term, ResumeConfig(first, "example.com", false, true), 60, drbg_);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.resumed);
+  EXPECT_TRUE(second.resumed_via_ticket);
+  EXPECT_EQ(second.master_secret, first.master_secret);
+  // Default config reissues a ticket on resumption.
+  EXPECT_TRUE(second.ticket_issued);
+  EXPECT_NE(second.ticket, first.ticket);
+}
+
+TEST_F(ResumptionTest, TicketRejectedAfterAcceptanceWindow) {
+  server::ServerConfig config;
+  config.tickets.acceptance_window = 5 * kMinute;
+  auto term = MakeTerminator(pki_, {"example.com"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  const auto late = Connect(
+      *term, ResumeConfig(first, "example.com", false, true),
+      6 * kMinute, drbg_);
+  ASSERT_TRUE(late.ok) << late.error;
+  EXPECT_FALSE(late.resumed);
+}
+
+TEST_F(ResumptionTest, TicketSurvivesRestartWhenStekStatic) {
+  // Static STEKs (synchronized key files) survive restarts; session caches
+  // do not. This asymmetry is central to §4.3.
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kStatic;
+  config.tickets.acceptance_window = kDay;
+  auto term = MakeTerminator(pki_, {"example.com"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  term->Restart(kHour);
+
+  const auto by_id = Connect(
+      *term, ResumeConfig(first, "example.com", true, false),
+      kHour + 1, drbg_);
+  ASSERT_TRUE(by_id.ok);
+  EXPECT_FALSE(by_id.resumed);  // cache flushed on restart
+
+  const auto by_ticket = Connect(
+      *term, ResumeConfig(first, "example.com", false, true),
+      kHour + 2, drbg_);
+  ASSERT_TRUE(by_ticket.ok) << by_ticket.error;
+  EXPECT_TRUE(by_ticket.resumed);  // STEK survived
+}
+
+TEST_F(ResumptionTest, TicketDiesOnRestartWhenStekPerProcess) {
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kPerProcess;
+  config.tickets.acceptance_window = kDay;
+  auto term = MakeTerminator(pki_, {"example.com"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  term->Restart(kHour);
+  const auto by_ticket = Connect(
+      *term, ResumeConfig(first, "example.com", false, true),
+      kHour + 1, drbg_);
+  ASSERT_TRUE(by_ticket.ok) << by_ticket.error;
+  EXPECT_FALSE(by_ticket.resumed);
+}
+
+TEST_F(ResumptionTest, IntervalRotationWithOverlapHonoursOldTickets) {
+  // Google-style: roll every 14h, accept previous key for another 14h.
+  server::ServerConfig config;
+  config.stek.rotation = server::StekRotation::kInterval;
+  config.stek.rotation_interval = 14 * kHour;
+  config.stek.previous_key_acceptance = 14 * kHour;
+  config.tickets.acceptance_window = 28 * kHour;
+  auto term = MakeTerminator(pki_, {"google.test"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "google.test"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  // 20h later: issuing key has rotated, but the old key is still accepted.
+  const auto mid = Connect(
+      *term, ResumeConfig(first, "google.test", false, true),
+      20 * kHour, drbg_);
+  ASSERT_TRUE(mid.ok) << mid.error;
+  EXPECT_TRUE(mid.resumed);
+
+  // 30h later: past the acceptance overlap; resumption fails.
+  const auto late = Connect(
+      *term, ResumeConfig(first, "google.test", false, true),
+      30 * kHour, drbg_);
+  ASSERT_TRUE(late.ok) << late.error;
+  EXPECT_FALSE(late.resumed);
+}
+
+TEST_F(ResumptionTest, NginxStyleIdWithoutCacheNeverResumes) {
+  server::ServerConfig config;
+  config.session_cache.enabled = false;
+  config.session_cache.issue_id_without_cache = true;
+  auto term = MakeTerminator(pki_, {"nginx.test"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "nginx.test"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.session_id.empty());  // ID issued...
+
+  const auto second = Connect(
+      *term, ResumeConfig(first, "nginx.test", true, false), 1, drbg_);
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(second.resumed);  // ...but never honoured
+}
+
+TEST_F(ResumptionTest, ForgedTicketRejected) {
+  auto term = MakeTerminator(pki_, {"example.com"}, server::ServerConfig{});
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  tls::ClientConfig config = ClientFor(pki_, "example.com");
+  config.resume_master_secret = first.master_secret;
+  config.resume_ticket = first.ticket;
+  config.resume_ticket[20] ^= 0x01;  // corrupt inside the sealed body
+  const auto second = Connect(*term, config, 1, drbg_);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.resumed);  // falls back to a full handshake
+}
+
+TEST_F(ResumptionTest, TicketFromAnotherServerRejected) {
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  const auto first = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  tls::ClientConfig config = ClientFor(pki_, "b.com");
+  config.resume_master_secret = first.master_secret;
+  config.resume_ticket = first.ticket;
+  const auto cross = Connect(*term_b, config, 1, drbg_);
+  ASSERT_TRUE(cross.ok) << cross.error;
+  EXPECT_FALSE(cross.resumed);
+}
+
+TEST_F(ResumptionTest, ResumedSessionCarriesOriginalSuite) {
+  server::ServerConfig config;
+  config.suite_preference = {tls::CipherSuite::kDheWithAes128CbcSha256,
+                             tls::CipherSuite::kEcdheWithAes128CbcSha256};
+  auto term = MakeTerminator(pki_, {"example.com"}, config);
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.suite, tls::CipherSuite::kDheWithAes128CbcSha256);
+
+  const auto second = Connect(
+      *term, ResumeConfig(first, "example.com", true, false), 10, drbg_);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.suite, tls::CipherSuite::kDheWithAes128CbcSha256);
+}
+
+TEST_F(ResumptionTest, ApplicationDataWorksOnResumedSession) {
+  auto term = MakeTerminator(pki_, {"example.com"}, server::ServerConfig{});
+  const auto first =
+      Connect(*term, ClientFor(pki_, "example.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  auto conn = term->NewConnection(30);
+  tls::TlsClient client(ResumeConfig(first, "example.com", false, true));
+  const auto hs = client.Handshake(*conn, 30, drbg_);
+  ASSERT_TRUE(hs.ok) << hs.error;
+  ASSERT_TRUE(hs.resumed);
+  tls::RecordChannel channel(hs.keys, tls::Direction::kClientToServer);
+  const auto response = tls::TlsClient::Roundtrip(
+      *conn, hs, channel, ToBytes("GET /"), drbg_);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->empty());
+}
+
+}  // namespace
+}  // namespace tlsharm

@@ -1,0 +1,131 @@
+// Cross-domain secret sharing (§5): shared session caches, shared STEKs and
+// shared (EC)DHE values across terminators and domains.
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+
+namespace tlsharm {
+namespace {
+
+using testutil::ClientFor;
+using testutil::Connect;
+using testutil::MakeTerminator;
+using testutil::TestPki;
+
+class SharingTest : public ::testing::Test {
+ protected:
+  TestPki pki_;
+  crypto::Drbg drbg_{ToBytes("sharing client")};
+};
+
+TEST_F(SharingTest, SameTerminatorSharesSessionCacheAcrossDomains) {
+  // Two domains on one terminator (separate certs): a session from a.com
+  // resumes on b.com — the §5.1 cross-domain probe.
+  server::ServerConfig config;
+  auto term = std::make_unique<server::SslTerminator>("shared", config, 3);
+  for (const std::string domain : {"a.com", "b.com"}) {
+    server::Credential cred = server::MakeCredential(
+        pki_.intermediate, {domain}, pki::SignatureScheme::kSchnorrSim61, 0,
+        365 * kDay, pki_.intermediate_chain, pki_.drbg);
+    term->MapDomain(domain, term->AddCredential(std::move(cred)));
+  }
+  const auto on_a = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok);
+
+  tls::ClientConfig cross = ClientFor(pki_, "b.com");
+  cross.resume_session_id = on_a.session_id;
+  cross.resume_master_secret = on_a.master_secret;
+  const auto on_b = Connect(*term, cross, 10, drbg_);
+  ASSERT_TRUE(on_b.ok) << on_b.error;
+  EXPECT_TRUE(on_b.resumed);
+  EXPECT_FALSE(on_b.resumed_via_ticket);
+}
+
+TEST_F(SharingTest, SharedCacheAcrossTerminators) {
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  term_b->SetSessionCache(term_a->SharedCache());
+
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok);
+
+  tls::ClientConfig cross = ClientFor(pki_, "b.com");
+  cross.resume_session_id = on_a.session_id;
+  cross.resume_master_secret = on_a.master_secret;
+  const auto on_b = Connect(*term_b, cross, 10, drbg_);
+  ASSERT_TRUE(on_b.ok) << on_b.error;
+  EXPECT_TRUE(on_b.resumed);
+}
+
+TEST_F(SharingTest, UnsharedCachesDoNotResume) {
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok);
+  tls::ClientConfig cross = ClientFor(pki_, "b.com");
+  cross.resume_session_id = on_a.session_id;
+  cross.resume_master_secret = on_a.master_secret;
+  const auto on_b = Connect(*term_b, cross, 10, drbg_);
+  ASSERT_TRUE(on_b.ok);
+  EXPECT_FALSE(on_b.resumed);
+}
+
+TEST_F(SharingTest, SharedStekAcrossTerminatorsHonoursForeignTickets) {
+  // The synchronized-key-file deployment: one StekManager behind many
+  // terminators in different "data centers".
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  term_b->SetStekManager(term_a->SharedSteks());
+
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok);
+  ASSERT_TRUE(on_a.ticket_issued);
+
+  tls::ClientConfig cross = ClientFor(pki_, "b.com");
+  cross.resume_ticket = on_a.ticket;
+  cross.resume_master_secret = on_a.master_secret;
+  const auto on_b = Connect(*term_b, cross, 10, drbg_);
+  ASSERT_TRUE(on_b.ok) << on_b.error;
+  EXPECT_TRUE(on_b.resumed);
+  EXPECT_TRUE(on_b.resumed_via_ticket);
+}
+
+TEST_F(SharingTest, SharedStekProducesSameStekId) {
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  term_b->SetStekManager(term_a->SharedSteks());
+
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  const auto on_b = Connect(*term_b, ClientFor(pki_, "b.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok && on_b.ok);
+  const auto id_a = tls::ExtractStekIdAuto(on_a.ticket);
+  const auto id_b = tls::ExtractStekIdAuto(on_b.ticket);
+  ASSERT_TRUE(id_a && id_b);
+  EXPECT_EQ(*id_a, *id_b);  // externally observable sharing
+}
+
+TEST_F(SharingTest, SharedKexCacheServesOneValueToAllDomains) {
+  server::ServerConfig config;
+  config.ecdhe_reuse = {.reuse = true, .ttl = 0};
+  auto term_a = MakeTerminator(pki_, {"a.com"}, config, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, config, 2);
+  term_b->SetKexCache(term_a->SharedKex());
+
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  const auto on_b = Connect(*term_b, ClientFor(pki_, "b.com"), 10, drbg_);
+  ASSERT_TRUE(on_a.ok && on_b.ok);
+  EXPECT_EQ(on_a.server_kex_public, on_b.server_kex_public);
+}
+
+TEST_F(SharingTest, DistinctStekManagersProduceDistinctIds) {
+  auto term_a = MakeTerminator(pki_, {"a.com"}, server::ServerConfig{}, 1);
+  auto term_b = MakeTerminator(pki_, {"b.com"}, server::ServerConfig{}, 2);
+  const auto on_a = Connect(*term_a, ClientFor(pki_, "a.com"), 0, drbg_);
+  const auto on_b = Connect(*term_b, ClientFor(pki_, "b.com"), 0, drbg_);
+  ASSERT_TRUE(on_a.ok && on_b.ok);
+  EXPECT_NE(*tls::ExtractStekIdAuto(on_a.ticket),
+            *tls::ExtractStekIdAuto(on_b.ticket));
+}
+
+}  // namespace
+}  // namespace tlsharm

@@ -1,0 +1,111 @@
+#include "pki/certificate.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::pki {
+namespace {
+
+CertificateData SampleData() {
+  CertificateData data;
+  data.subject_cn = "example.com";
+  data.sans = {"www.example.com", "*.cdn.example.com"};
+  data.issuer = "Sim Intermediate CA";
+  data.serial = 42;
+  data.not_before = 0;
+  data.not_after = 90 * kDay;
+  data.scheme = SignatureScheme::kSchnorrSim61;
+  data.public_key = ToBytes("public-key-bytes");
+  return data;
+}
+
+TEST(CertificateTest, TbsSerializationIsDeterministic) {
+  EXPECT_EQ(SerializeTbs(SampleData()), SerializeTbs(SampleData()));
+}
+
+TEST(CertificateTest, TbsChangesWithEveryField) {
+  const Bytes base = SerializeTbs(SampleData());
+  CertificateData d = SampleData();
+  d.subject_cn = "other.com";
+  EXPECT_NE(SerializeTbs(d), base);
+  d = SampleData();
+  d.serial = 43;
+  EXPECT_NE(SerializeTbs(d), base);
+  d = SampleData();
+  d.not_after += 1;
+  EXPECT_NE(SerializeTbs(d), base);
+  d = SampleData();
+  d.is_ca = true;
+  EXPECT_NE(SerializeTbs(d), base);
+  d = SampleData();
+  d.sans.pop_back();
+  EXPECT_NE(SerializeTbs(d), base);
+}
+
+TEST(CertificateTest, ParseRoundTrip) {
+  Certificate cert;
+  cert.data = SampleData();
+  cert.signature = ToBytes("signature-bytes");
+  const Bytes wire = SerializeCertificate(cert);
+  const auto parsed = ParseCertificate(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->data.subject_cn, "example.com");
+  EXPECT_EQ(parsed->data.sans.size(), 2u);
+  EXPECT_EQ(parsed->data.serial, 42u);
+  EXPECT_EQ(parsed->signature, ToBytes("signature-bytes"));
+  EXPECT_EQ(SerializeCertificate(*parsed), wire);
+}
+
+TEST(CertificateTest, ParseRejectsTruncation) {
+  Certificate cert;
+  cert.data = SampleData();
+  cert.signature = ToBytes("sig");
+  Bytes wire = SerializeCertificate(cert);
+  for (std::size_t len = 0; len < wire.size(); len += 7) {
+    EXPECT_FALSE(ParseCertificate(ByteView(wire.data(), len)).has_value())
+        << "truncated to " << len;
+  }
+  wire.push_back(0);  // trailing garbage
+  EXPECT_FALSE(ParseCertificate(wire).has_value());
+}
+
+TEST(CertificateTest, FingerprintDistinguishesCertificates) {
+  Certificate a, b;
+  a.data = SampleData();
+  b.data = SampleData();
+  b.data.serial = 43;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), a.Fingerprint());
+  EXPECT_EQ(a.Fingerprint().size(), 32u);
+}
+
+TEST(NameMatchTest, ExactMatch) {
+  EXPECT_TRUE(NameMatches("example.com", "example.com"));
+  EXPECT_FALSE(NameMatches("example.com", "www.example.com"));
+  EXPECT_FALSE(NameMatches("example.com", "example.org"));
+}
+
+TEST(NameMatchTest, WildcardOneLabel) {
+  EXPECT_TRUE(NameMatches("*.example.com", "www.example.com"));
+  EXPECT_TRUE(NameMatches("*.example.com", "a.example.com"));
+  EXPECT_FALSE(NameMatches("*.example.com", "example.com"));
+  EXPECT_FALSE(NameMatches("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(NameMatches("*.example.com", ".example.com"));
+}
+
+TEST(NameMatchTest, WildcardSuffixMustAlign) {
+  EXPECT_FALSE(NameMatches("*.example.com", "evilexample.com"));
+  EXPECT_FALSE(NameMatches("*.le.com", "examp.le.com.evil"));
+}
+
+TEST(CertificateCoversHostTest, ChecksCnAndSans) {
+  Certificate cert;
+  cert.data = SampleData();
+  EXPECT_TRUE(CertificateCoversHost(cert, "example.com"));
+  EXPECT_TRUE(CertificateCoversHost(cert, "www.example.com"));
+  EXPECT_TRUE(CertificateCoversHost(cert, "img.cdn.example.com"));
+  EXPECT_FALSE(CertificateCoversHost(cert, "cdn.example.com"));
+  EXPECT_FALSE(CertificateCoversHost(cert, "other.com"));
+}
+
+}  // namespace
+}  // namespace tlsharm::pki

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "pki/ca.h"
+#include "pki/root_store.h"
+
+namespace tlsharm::pki {
+namespace {
+
+class ChainTest : public ::testing::Test {
+ protected:
+  ChainTest()
+      : drbg_(ToBytes("chain test")),
+        root_("Sim Root CA", SignatureScheme::kSchnorrSim61, drbg_),
+        intermediate_("Sim Intermediate CA", SignatureScheme::kSchnorrSim61,
+                      drbg_),
+        server_key_(crypto::SchnorrSim61().GenerateKeyPair(drbg_)) {
+    store_.AddRoot(root_.Name(), root_.Scheme(), root_.PublicKey());
+    intermediate_cert_ =
+        root_.IssueCaCertificate(intermediate_, 0, 365 * kDay, drbg_);
+  }
+
+  CertificateChain MakeChain(const std::string& domain,
+                             SimTime not_before = 0,
+                             SimTime not_after = 90 * kDay) {
+    const Certificate leaf = intermediate_.IssueLeaf(
+        domain, {}, server_key_.public_key, not_before, not_after, drbg_);
+    return {leaf, intermediate_cert_};
+  }
+
+  crypto::Drbg drbg_;
+  CertificateAuthority root_;
+  CertificateAuthority intermediate_;
+  crypto::SchnorrKeyPair server_key_;
+  Certificate intermediate_cert_;
+  RootStore store_;
+};
+
+TEST_F(ChainTest, ValidChainVerifies) {
+  EXPECT_EQ(store_.Verify(MakeChain("example.com"), "example.com", kDay),
+            VerifyStatus::kOk);
+}
+
+TEST_F(ChainTest, EmptyChainRejected) {
+  EXPECT_EQ(store_.Verify({}, "example.com", kDay),
+            VerifyStatus::kEmptyChain);
+}
+
+TEST_F(ChainTest, WrongHostRejected) {
+  EXPECT_EQ(store_.Verify(MakeChain("example.com"), "other.com", kDay),
+            VerifyStatus::kNameMismatch);
+}
+
+TEST_F(ChainTest, ExpiredLeafRejected) {
+  const auto chain = MakeChain("example.com", 0, 10 * kDay);
+  EXPECT_EQ(store_.Verify(chain, "example.com", 11 * kDay),
+            VerifyStatus::kExpired);
+}
+
+TEST_F(ChainTest, NotYetValidLeafRejected) {
+  const auto chain = MakeChain("example.com", 5 * kDay, 90 * kDay);
+  EXPECT_EQ(store_.Verify(chain, "example.com", kDay),
+            VerifyStatus::kNotYetValid);
+}
+
+TEST_F(ChainTest, TamperedLeafSignatureRejected) {
+  auto chain = MakeChain("example.com");
+  chain[0].signature[0] ^= 0x01;
+  EXPECT_EQ(store_.Verify(chain, "example.com", kDay),
+            VerifyStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, TamperedLeafContentRejected) {
+  auto chain = MakeChain("example.com");
+  chain[0].data.subject_cn = "victim.com";  // re-point the cert
+  EXPECT_EQ(store_.Verify(chain, "victim.com", kDay),
+            VerifyStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, UntrustedRootRejected) {
+  crypto::Drbg other_drbg(ToBytes("rogue"));
+  CertificateAuthority rogue_root("Rogue Root", SignatureScheme::kSchnorrSim61,
+                                  other_drbg);
+  CertificateAuthority rogue_int("Rogue Intermediate",
+                                 SignatureScheme::kSchnorrSim61, other_drbg);
+  const Certificate rogue_int_cert =
+      rogue_root.IssueCaCertificate(rogue_int, 0, 365 * kDay, other_drbg);
+  const Certificate leaf = rogue_int.IssueLeaf(
+      "example.com", {}, server_key_.public_key, 0, 90 * kDay, other_drbg);
+  EXPECT_EQ(store_.Verify({leaf, rogue_int_cert}, "example.com", kDay),
+            VerifyStatus::kUntrustedRoot);
+}
+
+TEST_F(ChainTest, LeafDirectlySignedByRootVerifies) {
+  const Certificate leaf = root_.IssueLeaf("direct.com", {},
+                                           server_key_.public_key, 0,
+                                           90 * kDay, drbg_);
+  EXPECT_EQ(store_.Verify({leaf}, "direct.com", kDay), VerifyStatus::kOk);
+}
+
+TEST_F(ChainTest, NonCaIntermediateRejected) {
+  // A leaf pretending to be an intermediate must be rejected.
+  const Certificate fake_intermediate = root_.IssueLeaf(
+      "Sim Intermediate CA", {}, intermediate_.PublicKey(), 0, 365 * kDay,
+      drbg_);
+  const Certificate leaf = intermediate_.IssueLeaf(
+      "example.com", {}, server_key_.public_key, 0, 90 * kDay, drbg_);
+  EXPECT_EQ(store_.Verify({leaf, fake_intermediate}, "example.com", kDay),
+            VerifyStatus::kNotCa);
+}
+
+TEST_F(ChainTest, WildcardLeafCoversSubdomains) {
+  const Certificate leaf = intermediate_.IssueLeaf(
+      "*.shops.example", {}, server_key_.public_key, 0, 90 * kDay, drbg_);
+  const CertificateChain chain = {leaf, intermediate_cert_};
+  EXPECT_EQ(store_.Verify(chain, "a.shops.example", kDay), VerifyStatus::kOk);
+  EXPECT_EQ(store_.Verify(chain, "shops.example", kDay),
+            VerifyStatus::kNameMismatch);
+}
+
+TEST_F(ChainTest, RootStoreMembership) {
+  EXPECT_TRUE(store_.IsTrustedRoot(root_.Name(), root_.PublicKey()));
+  EXPECT_FALSE(store_.IsTrustedRoot("Nobody", root_.PublicKey()));
+  EXPECT_FALSE(store_.IsTrustedRoot(root_.Name(), ToBytes("wrong-key")));
+  EXPECT_EQ(store_.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace tlsharm::pki

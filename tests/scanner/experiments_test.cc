@@ -1,0 +1,141 @@
+// Experiment drivers on a small world: shapes and invariants rather than
+// exact paper numbers (the benches check calibration at full scale).
+#include "scanner/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::scanner {
+namespace {
+
+simnet::Internet& World() {
+  static auto* net = new simnet::Internet(
+      simnet::PaperPopulationSpec(2500), 1234);
+  return *net;
+}
+
+TEST(SupportExperimentTest, TicketSupportCountsAreConsistent) {
+  const SupportCounts counts = MeasureTicketSupport(World(), 0, 10, 1);
+  EXPECT_GT(counts.list_size, 0u);
+  EXPECT_LE(counts.trusted, counts.list_size);
+  EXPECT_LE(counts.supported, counts.trusted);
+  EXPECT_LE(counts.reuse_all, counts.reuse_twice);
+  EXPECT_LE(counts.reuse_twice, counts.supported);
+  // Ticket-issuing servers overwhelmingly keep one STEK across ten rapid
+  // connections (Table 1's 353,124 / 354,697).
+  EXPECT_GT(counts.reuse_twice,
+            static_cast<std::size_t>(0.9 * counts.supported));
+}
+
+TEST(SupportExperimentTest, EcdheReuseMinorityOfSupporters) {
+  const SupportCounts counts =
+      MeasureKexSupport(World(), 0, CipherSelection::kEcdheOnly, 10, 2);
+  EXPECT_GT(counts.supported, 0u);
+  EXPECT_LT(counts.reuse_twice, counts.supported / 2);
+  EXPECT_GT(counts.reuse_twice, 0u);
+}
+
+TEST(SupportExperimentTest, DheSupportIsPartial) {
+  const SupportCounts counts =
+      MeasureKexSupport(World(), 0, CipherSelection::kDheOnly, 10, 3);
+  EXPECT_GT(counts.supported, 0u);
+  EXPECT_LT(counts.supported, counts.trusted);  // some servers lack DHE
+}
+
+TEST(LifetimeExperimentTest, SessionIdLifetimesMatchConfigBuckets) {
+  // 2-minute step, 30-minute cap keeps the test fast.
+  const auto result = MeasureSessionIdLifetime(
+      World(), 0, 4, /*max_delay=*/30 * kMinute, /*step=*/2 * kMinute,
+      /*sample_fraction=*/0.4);
+  EXPECT_GT(result.indicated, 0u);
+  EXPECT_GT(result.resumed_1s, 0u);
+  EXPECT_LE(result.resumed_1s, result.indicated);
+  // Apache's 5-minute default dominates: most lifetimes land in [4,6] min.
+  std::size_t five_min = 0;
+  for (const auto& m : result.lifetimes) {
+    EXPECT_GE(m.max_delay, kSecond);
+    five_min += m.max_delay >= 4 * kMinute && m.max_delay <= 6 * kMinute;
+  }
+  EXPECT_GT(five_min, result.lifetimes.size() / 3);
+}
+
+TEST(LifetimeExperimentTest, NginxIndicatesButNeverResumes) {
+  const auto result = MeasureSessionIdLifetime(
+      World(), 0, 5, 10 * kMinute, 5 * kMinute, 0.5);
+  // The paper's 97% indicated vs 83% resumed gap.
+  EXPECT_LT(result.resumed_1s, result.indicated);
+}
+
+TEST(LifetimeExperimentTest, TicketLifetimesIncludeHints) {
+  const auto result = MeasureTicketLifetime(
+      World(), 0, 6, 30 * kMinute, 2 * kMinute, 0.3);
+  EXPECT_GT(result.resumed_1s, 0u);
+  bool any_hint = false;
+  for (const auto& m : result.lifetimes) any_hint |= m.lifetime_hint > 0;
+  EXPECT_TRUE(any_hint);
+}
+
+TEST(DailyScanTest, SpansReflectConfiguredRotations) {
+  simnet::Internet& net = World();
+  // A 10-day window keeps this fast while exercising rotation logic.
+  const DailyScanResult result = RunDailyScans(net, 10, 7);
+  EXPECT_GT(result.core_domains.size(), 0u);
+  EXPECT_GT(result.core_ever_ticket, 0u);
+  EXPECT_GT(result.core_ever_ecdhe, 0u);
+  EXPECT_LE(result.core_any_mechanism, result.core_domains.size());
+
+  // yahoo.com never rotates: span == window length.
+  const auto yahoo = net.FindDomain("yahoo.com");
+  ASSERT_TRUE(yahoo.has_value());
+  EXPECT_EQ(result.stek_spans.MaxSpanDays(*yahoo), 10);
+
+  // google.com rotates every 14h: span <= 2 days.
+  const auto google = net.FindDomain("google.com");
+  ASSERT_TRUE(google.has_value());
+  EXPECT_LE(result.stek_spans.MaxSpanDays(*google), 2);
+  EXPECT_GE(result.stek_spans.MaxSpanDays(*google), 1);
+
+  // netflix.com reuses its ECDHE value throughout the window.
+  const auto netflix = net.FindDomain("netflix.com");
+  ASSERT_TRUE(netflix.has_value());
+  EXPECT_EQ(result.ecdhe_spans.MaxSpanDays(*netflix), 10);
+  EXPECT_EQ(result.dhe_spans.MaxSpanDays(*netflix), 10);
+}
+
+TEST(GroupExperimentTest, CacheGroupsFindCloudflare) {
+  const GroupsResult result = MeasureSessionCacheGroups(World(), 0, 8);
+  ASSERT_FALSE(result.groups.empty());
+  EXPECT_GT(result.participants, 0u);
+  // The largest group must be a genuine multi-domain group.
+  EXPECT_GT(result.groups.front().size(), 10u);
+  // Most groups are singletons (§5.1: 86%).
+  std::size_t singles = 0;
+  for (const auto& group : result.groups) singles += group.size() == 1;
+  EXPECT_GT(singles, result.groups.size() / 2);
+}
+
+TEST(GroupExperimentTest, StekGroupsFindSharedKeyFiles) {
+  const GroupsResult result = MeasureStekGroups(World(), 0, 9, 4, 2 * kHour);
+  ASSERT_FALSE(result.groups.empty());
+  EXPECT_GT(result.groups.front().size(), 10u);
+}
+
+TEST(GroupExperimentTest, KexGroupsSmallerThanStekGroups) {
+  const GroupsResult kex = MeasureKexGroups(World(), 0, 10, 4, 2 * kHour);
+  const GroupsResult stek = MeasureStekGroups(World(), 0, 10, 4, 2 * kHour);
+  ASSERT_FALSE(kex.groups.empty());
+  ASSERT_FALSE(stek.groups.empty());
+  // §5.3: DH values shared in fewer instances and smaller groups.
+  EXPECT_LT(kex.groups.front().size(), stek.groups.front().size());
+}
+
+TEST(ChurnTest, StatsShapeMatchesModel) {
+  const ChurnStats stats = MeasureChurn(World(), 20);
+  EXPECT_GT(stats.unique_domains, stats.always_listed);
+  EXPECT_GT(stats.always_listed, 0u);
+  EXPECT_GT(stats.few_polls, 0u);
+  EXPECT_GT(stats.mean_daily_list, 0.0);
+  EXPECT_GE(stats.always_https, stats.always_trusted);
+}
+
+}  // namespace
+}  // namespace tlsharm::scanner

@@ -1,0 +1,109 @@
+#include "scanner/prober.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::scanner {
+namespace {
+
+simnet::Internet& World() {
+  static auto* net = new simnet::Internet(
+      simnet::PaperPopulationSpec(3000), 99);
+  return *net;
+}
+
+simnet::DomainId TrustedDomain() {
+  simnet::Internet& net = World();
+  const auto id = net.FindDomain("yahoo.com");
+  EXPECT_TRUE(id.has_value());
+  return *id;
+}
+
+TEST(ProberTest, ProbeRecordsObservables) {
+  Prober prober(World(), 1);
+  const auto result = prober.Probe(TrustedDomain(), kHour);
+  const auto& obs = result.observation;
+  EXPECT_TRUE(obs.connected);
+  EXPECT_TRUE(obs.handshake_ok);
+  EXPECT_TRUE(obs.trusted);
+  EXPECT_NE(obs.kex_value, kNoSecret);
+  EXPECT_TRUE(obs.ticket_issued);
+  EXPECT_NE(obs.stek_id, kNoSecret);
+}
+
+TEST(ProberTest, FingerprintSecretStableAndDistinct) {
+  EXPECT_EQ(FingerprintSecret(ToBytes("abc")), FingerprintSecret(ToBytes("abc")));
+  EXPECT_NE(FingerprintSecret(ToBytes("abc")), FingerprintSecret(ToBytes("abd")));
+  EXPECT_EQ(FingerprintSecret({}), kNoSecret);
+  EXPECT_NE(FingerprintSecret(ToBytes("x")), kNoSecret);
+}
+
+TEST(ProberTest, DheOnlyProbeReportsDheOrFails) {
+  Prober prober(World(), 2);
+  ProbeOptions options;
+  options.ciphers = CipherSelection::kDheOnly;
+  std::size_t ok = 0, failed = 0;
+  simnet::Internet& net = World();
+  for (simnet::DomainId id = 0; id < net.DomainCount() && ok + failed < 60;
+       ++id) {
+    const auto& info = net.GetDomain(id);
+    if (!info.https || !info.trusted_cert) continue;
+    const auto result = prober.Probe(id, kHour, options);
+    if (!result.observation.connected) continue;
+    if (result.observation.handshake_ok) {
+      EXPECT_EQ(result.observation.suite,
+                tls::CipherSuite::kDheWithAes128CbcSha256);
+      ++ok;
+    } else {
+      ++failed;  // server without DHE support
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(failed, 0u);  // the ~43% of servers without DHE exist
+}
+
+TEST(ProberTest, SelfResumptionWorks) {
+  Prober prober(World(), 3);
+  ProbeOptions options;
+  options.want_full_result = true;
+  const auto result = prober.Probe(TrustedDomain(), kHour, options);
+  ASSERT_TRUE(result.session.valid);
+  EXPECT_TRUE(prober.TryResume(result.session, TrustedDomain(),
+                               kHour + kSecond));
+  EXPECT_TRUE(prober.TryResumeTicket(result.session, TrustedDomain(),
+                                     kHour + 2));
+  EXPECT_TRUE(prober.TryResumeId(result.session, TrustedDomain(),
+                                 kHour + 3));
+}
+
+TEST(ProberTest, ResumptionFailsOnUnrelatedDomain) {
+  Prober prober(World(), 4);
+  ProbeOptions options;
+  options.want_full_result = true;
+  const auto result = prober.Probe(TrustedDomain(), kHour, options);
+  ASSERT_TRUE(result.session.valid);
+  const auto other = World().FindDomain("netflix.com");
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FALSE(prober.TryResume(result.session, *other, kHour + kSecond));
+}
+
+TEST(ProberTest, InvalidSessionNeverResumes) {
+  Prober prober(World(), 5);
+  StoredSession empty;
+  EXPECT_FALSE(prober.TryResume(empty, TrustedDomain(), kHour));
+}
+
+TEST(ProberTest, NonHttpsDomainNotConnected) {
+  simnet::Internet& net = World();
+  Prober prober(net, 6);
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (net.GetDomain(id).https) continue;
+    const auto result = prober.Probe(id, kHour);
+    EXPECT_FALSE(result.observation.connected);
+    EXPECT_FALSE(result.observation.handshake_ok);
+    return;
+  }
+  FAIL() << "no plain-http domain";
+}
+
+}  // namespace
+}  // namespace tlsharm::scanner

@@ -1,0 +1,111 @@
+#include "scanner/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace tlsharm::scanner {
+namespace {
+
+TEST(RandomPermutationTest, IsABijection) {
+  for (const std::uint64_t n : {1ull, 2ull, 7ull, 64ull, 1000ull, 4097ull}) {
+    RandomPermutation perm(n, 42);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t v = perm.At(i);
+      EXPECT_LT(v, n);
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate at n=" << n;
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(RandomPermutationTest, SeedChangesOrder) {
+  RandomPermutation a(1000, 1), b(1000, 2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) same += a.At(i) == b.At(i);
+  EXPECT_LT(same, 50);  // essentially independent permutations
+}
+
+TEST(RandomPermutationTest, DeterministicPerSeed) {
+  RandomPermutation a(1000, 7), b(1000, 7);
+  for (std::uint64_t i = 0; i < 1000; i += 13) {
+    EXPECT_EQ(a.At(i), b.At(i));
+  }
+}
+
+TEST(RandomPermutationTest, OrderLooksShuffled) {
+  RandomPermutation perm(10000, 3);
+  // Average |perm(i) - i| for a random permutation is ~n/3; a sorted one
+  // is 0. Use a loose threshold.
+  double total = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    total += std::abs(static_cast<double>(perm.At(i)) -
+                      static_cast<double>(i));
+  }
+  EXPECT_GT(total / 10000, 1500);
+}
+
+TEST(BlacklistTest, ExcludesByDomainAndAs) {
+  Blacklist blacklist;
+  blacklist.ExcludeDomain("donotscan.mil");
+  blacklist.ExcludeAs(1234);
+  simnet::DomainInfo by_name;
+  by_name.name = "donotscan.mil";
+  by_name.as_number = 99;
+  simnet::DomainInfo by_as;
+  by_as.name = "fine.com";
+  by_as.as_number = 1234;
+  simnet::DomainInfo neither;
+  neither.name = "fine.com";
+  neither.as_number = 99;
+  EXPECT_TRUE(blacklist.Excluded(by_name));
+  EXPECT_TRUE(blacklist.Excluded(by_as));
+  EXPECT_FALSE(blacklist.Excluded(neither));
+  EXPECT_EQ(blacklist.RuleCount(), 2u);
+}
+
+TEST(ScanTargetTest, VisitsEveryListedDomainOnce) {
+  simnet::Internet net(simnet::PaperPopulationSpec(2000), 5);
+  Blacklist blacklist;
+  std::set<simnet::DomainId> visited;
+  ForEachScanTarget(net, 0, 99, blacklist,
+                    [&](simnet::DomainId id) { visited.insert(id); });
+  std::size_t expected = 0;
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    expected += net.InTopListOnDay(id, 0);
+  }
+  EXPECT_EQ(visited.size(), expected);
+}
+
+TEST(ScanTargetTest, BlacklistHonoured) {
+  simnet::Internet net(simnet::PaperPopulationSpec(2000), 5);
+  const auto google = net.FindDomain("google.com");
+  ASSERT_TRUE(google.has_value());
+  Blacklist blacklist;
+  blacklist.ExcludeDomain("google.com");
+  bool saw_google = false;
+  ForEachScanTarget(net, 0, 99, blacklist, [&](simnet::DomainId id) {
+    saw_google |= id == *google;
+  });
+  EXPECT_FALSE(saw_google);
+}
+
+TEST(ScanTargetTest, OrderDiffersAcrossDays) {
+  simnet::Internet net(simnet::PaperPopulationSpec(2000), 5);
+  Blacklist blacklist;
+  std::vector<simnet::DomainId> day0, day1;
+  ForEachScanTarget(net, 0, 99, blacklist,
+                    [&](simnet::DomainId id) { day0.push_back(id); });
+  ForEachScanTarget(net, 1, 99, blacklist,
+                    [&](simnet::DomainId id) { day1.push_back(id); });
+  ASSERT_GT(day0.size(), 100u);
+  // First hundred targets should differ substantially between days.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += day0[i] == day1[i];
+  EXPECT_LT(same, 20);
+}
+
+}  // namespace
+}  // namespace tlsharm::scanner

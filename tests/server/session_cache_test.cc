@@ -1,0 +1,87 @@
+#include "server/session_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::server {
+namespace {
+
+CachedSession Session(std::uint8_t tag, SimTime created) {
+  return CachedSession{.cipher_suite = 0xc027,
+                       .master_secret = Bytes(48, tag),
+                       .created = created};
+}
+
+TEST(SessionCacheTest, InsertLookupRoundTrip) {
+  SessionCache cache(5 * kMinute, 100);
+  cache.Insert(ToBytes("id-1"), Session(1, 0), 0);
+  const auto hit = cache.Lookup(ToBytes("id-1"), 60);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->master_secret, Bytes(48, 1));
+}
+
+TEST(SessionCacheTest, MissOnUnknownId) {
+  SessionCache cache(5 * kMinute, 100);
+  EXPECT_FALSE(cache.Lookup(ToBytes("nope"), 0).has_value());
+}
+
+TEST(SessionCacheTest, ExpiresAfterLifetime) {
+  SessionCache cache(5 * kMinute, 100);
+  cache.Insert(ToBytes("id-1"), Session(1, 0), 0);
+  EXPECT_TRUE(cache.Lookup(ToBytes("id-1"), 5 * kMinute - 1).has_value());
+  EXPECT_FALSE(cache.Lookup(ToBytes("id-1"), 5 * kMinute).has_value());
+}
+
+TEST(SessionCacheTest, ExpiredEntriesEvictedOnAccess) {
+  SessionCache cache(kMinute, 100);
+  cache.Insert(ToBytes("old"), Session(1, 0), 0);
+  cache.Insert(ToBytes("new"), Session(2, 2 * kMinute), 2 * kMinute);
+  EXPECT_EQ(cache.Size(), 1u);  // "old" evicted during the second insert
+}
+
+TEST(SessionCacheTest, CapacityEvictsOldestFirst) {
+  SessionCache cache(kDay, 3);
+  cache.Insert(ToBytes("a"), Session(1, 0), 0);
+  cache.Insert(ToBytes("b"), Session(2, 1), 1);
+  cache.Insert(ToBytes("c"), Session(3, 2), 2);
+  cache.Insert(ToBytes("d"), Session(4, 3), 3);
+  EXPECT_FALSE(cache.Lookup(ToBytes("a"), 4).has_value());
+  EXPECT_TRUE(cache.Lookup(ToBytes("b"), 4).has_value());
+  EXPECT_TRUE(cache.Lookup(ToBytes("d"), 4).has_value());
+  EXPECT_EQ(cache.Size(), 3u);
+}
+
+TEST(SessionCacheTest, ClearFlushesEverything) {
+  SessionCache cache(kDay, 100);
+  cache.Insert(ToBytes("a"), Session(1, 0), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_FALSE(cache.Lookup(ToBytes("a"), 1).has_value());
+}
+
+TEST(SessionCacheTest, DumpExposesAllMasterSecrets) {
+  // The attacker's view after compromising the cache.
+  SessionCache cache(kDay, 100);
+  cache.Insert(ToBytes("a"), Session(1, 0), 0);
+  cache.Insert(ToBytes("b"), Session(2, 0), 0);
+  EXPECT_EQ(cache.Dump().size(), 2u);
+  EXPECT_EQ(cache.Dump().at(ToBytes("a")).master_secret, Bytes(48, 1));
+}
+
+TEST(SessionCacheTest, LifetimeBoundaryIsExclusive) {
+  SessionCache cache(10, 100);
+  cache.Insert(ToBytes("x"), Session(1, 100), 100);
+  EXPECT_TRUE(cache.Lookup(ToBytes("x"), 109).has_value());
+  EXPECT_FALSE(cache.Lookup(ToBytes("x"), 110).has_value());
+}
+
+TEST(SessionCacheTest, OverwriteSameIdKeepsLatest) {
+  SessionCache cache(kDay, 100);
+  cache.Insert(ToBytes("a"), Session(1, 0), 0);
+  cache.Insert(ToBytes("a"), Session(2, 5), 5);
+  const auto hit = cache.Lookup(ToBytes("a"), 6);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->master_secret, Bytes(48, 2));
+}
+
+}  // namespace
+}  // namespace tlsharm::server

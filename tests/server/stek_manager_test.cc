@@ -1,0 +1,101 @@
+#include "server/stek_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::server {
+namespace {
+
+StekPolicy Interval(SimTime interval, SimTime overlap = 0) {
+  return StekPolicy{.rotation = StekRotation::kInterval,
+                    .rotation_interval = interval,
+                    .previous_key_acceptance = overlap};
+}
+
+TEST(StekManagerTest, StaticKeyNeverChanges) {
+  StekManager mgr({.rotation = StekRotation::kStatic},
+                  tls::TicketCodecKind::kRfc5077, ToBytes("seed"));
+  const Bytes name = mgr.IssuingStek(0).key_name;
+  EXPECT_EQ(mgr.IssuingStek(63 * kDay).key_name, name);
+  mgr.OnProcessRestart(10 * kDay);
+  EXPECT_EQ(mgr.IssuingStek(64 * kDay).key_name, name);
+}
+
+TEST(StekManagerTest, PerProcessKeyChangesOnRestart) {
+  StekManager mgr({.rotation = StekRotation::kPerProcess},
+                  tls::TicketCodecKind::kRfc5077, ToBytes("seed"));
+  const Bytes name = mgr.IssuingStek(0).key_name;
+  EXPECT_EQ(mgr.IssuingStek(kDay).key_name, name);
+  mgr.OnProcessRestart(2 * kDay);
+  EXPECT_NE(mgr.IssuingStek(2 * kDay).key_name, name);
+}
+
+TEST(StekManagerTest, IntervalRotationRollsOnSchedule) {
+  StekManager mgr(Interval(kDay), tls::TicketCodecKind::kRfc5077,
+                  ToBytes("seed"));
+  const Bytes day0 = mgr.IssuingStek(kHour).key_name;
+  EXPECT_EQ(mgr.IssuingStek(23 * kHour).key_name, day0);
+  const Bytes day1 = mgr.IssuingStek(kDay + kHour).key_name;
+  EXPECT_NE(day1, day0);
+}
+
+TEST(StekManagerTest, IntervalRotationCatchesUpAcrossGaps) {
+  StekManager mgr(Interval(kDay), tls::TicketCodecKind::kRfc5077,
+                  ToBytes("seed"));
+  const Bytes day0 = mgr.IssuingStek(0).key_name;
+  // Jump a week; key must have rotated (possibly several times).
+  const Bytes day7 = mgr.IssuingStek(7 * kDay + 1).key_name;
+  EXPECT_NE(day7, day0);
+  // And be stable within the day.
+  EXPECT_EQ(mgr.IssuingStek(7 * kDay + kHour).key_name, day7);
+}
+
+TEST(StekManagerTest, AcceptanceOverlapKeepsPreviousKey) {
+  StekManager mgr(Interval(14 * kHour, 14 * kHour),
+                  tls::TicketCodecKind::kRfc5077, ToBytes("seed"));
+  const Bytes epoch0 = mgr.IssuingStek(0).key_name;
+  // After one rotation, both keys are acceptable.
+  const auto accepted = mgr.AcceptableSteks(15 * kHour);
+  ASSERT_EQ(accepted.size(), 2u);
+  EXPECT_NE(accepted[0]->key_name, accepted[1]->key_name);
+  bool found_old = false;
+  for (const auto* stek : accepted) found_old |= stek->key_name == epoch0;
+  EXPECT_TRUE(found_old);
+  // After the overlap lapses, only the current key remains.
+  const auto later = mgr.AcceptableSteks(30 * kHour);
+  for (const auto* stek : later) EXPECT_NE(stek->key_name, epoch0);
+}
+
+TEST(StekManagerTest, NoOverlapMeansSingleAcceptableKey) {
+  StekManager mgr(Interval(kDay, 0), tls::TicketCodecKind::kRfc5077,
+                  ToBytes("seed"));
+  (void)mgr.IssuingStek(0);
+  EXPECT_EQ(mgr.AcceptableSteks(3 * kDay + kHour).size(), 1u);
+}
+
+TEST(StekManagerTest, ForceRotateChangesKey) {
+  StekManager mgr({.rotation = StekRotation::kStatic},
+                  tls::TicketCodecKind::kRfc5077, ToBytes("seed"));
+  const Bytes before = mgr.IssuingStek(0).key_name;
+  mgr.ForceRotate(59 * kDay);  // the Jack Henry cluster's manual switch
+  EXPECT_NE(mgr.IssuingStek(59 * kDay).key_name, before);
+}
+
+TEST(StekManagerTest, CodecDeterminesKeyNameSize) {
+  StekManager rfc({.rotation = StekRotation::kStatic},
+                  tls::TicketCodecKind::kRfc5077, ToBytes("a"));
+  StekManager mbed({.rotation = StekRotation::kStatic},
+                   tls::TicketCodecKind::kMbedTls, ToBytes("b"));
+  EXPECT_EQ(rfc.IssuingStek(0).key_name.size(), 16u);
+  EXPECT_EQ(mbed.IssuingStek(0).key_name.size(), 4u);
+}
+
+TEST(StekManagerTest, DistinctSeedsDistinctKeys) {
+  StekManager a({.rotation = StekRotation::kStatic},
+                tls::TicketCodecKind::kRfc5077, ToBytes("seed-a"));
+  StekManager b({.rotation = StekRotation::kStatic},
+                tls::TicketCodecKind::kRfc5077, ToBytes("seed-b"));
+  EXPECT_NE(a.IssuingStek(0).key_name, b.IssuingStek(0).key_name);
+}
+
+}  // namespace
+}  // namespace tlsharm::server

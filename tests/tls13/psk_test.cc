@@ -1,0 +1,206 @@
+// TLS 1.3 PSK resumption (§2.4) — windows, modes and the 0-RTT caveat.
+#include "tls13/psk.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm::tls13 {
+namespace {
+
+Bytes TestMaster() { return Bytes(48, 0x42); }
+Bytes TestTranscript() { return Bytes(32, 0x17); }
+Bytes TestChHash() { return Bytes(32, 0x29); }
+
+class Tls13PskTest : public ::testing::Test {
+ protected:
+  Tls13Server MakeServer(Tls13ServerConfig config) {
+    return Tls13Server(config, ToBytes("test server"));
+  }
+  crypto::Drbg drbg_{ToBytes("tls13 client")};
+};
+
+TEST_F(Tls13PskTest, KeyScheduleDeterministic) {
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  EXPECT_EQ(rm.size(), 32u);
+  const Bytes psk = DerivePsk(rm, ToBytes("nonce123"));
+  EXPECT_EQ(psk, DerivePsk(rm, ToBytes("nonce123")));
+  EXPECT_NE(psk, DerivePsk(rm, ToBytes("nonce456")));
+}
+
+TEST_F(Tls13PskTest, PskKeResumptionRoundTrip) {
+  Tls13Server server = MakeServer({});
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  EXPECT_LE(ticket.lifetime, kDraft15MaxLifetime);
+
+  const auto outcome = server.Resume(ticket, PskMode::kPskKe, TestChHash(),
+                                     {}, {}, kHour, drbg_);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.mode, PskMode::kPskKe);
+  // Client derives the same traffic secret from its own copy of the PSK.
+  const Bytes psk = DerivePsk(rm, ticket.ticket_nonce);
+  EXPECT_EQ(outcome.traffic_secret,
+            DeriveResumedTrafficSecret(psk, {}, TestChHash()));
+}
+
+TEST_F(Tls13PskTest, PskDheKeMixesFreshShare) {
+  Tls13Server server = MakeServer({});
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+
+  const auto& group = crypto::GetKexGroup(crypto::NamedGroup::kSimEc61);
+  const auto client_kex = group.GenerateKeyPair(drbg_);
+  const auto outcome =
+      server.Resume(ticket, PskMode::kPskDheKe, TestChHash(),
+                    client_kex.public_value, {}, kHour, drbg_);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.mode, PskMode::kPskDheKe);
+  ASSERT_FALSE(outcome.server_kex_public.empty());
+
+  const auto shared =
+      group.SharedSecret(client_kex.private_key, outcome.server_kex_public);
+  ASSERT_TRUE(shared.has_value());
+  const Bytes psk = DerivePsk(rm, ticket.ticket_nonce);
+  EXPECT_EQ(outcome.traffic_secret,
+            DeriveResumedTrafficSecret(psk, *shared, TestChHash()));
+  // And it differs from what psk_ke would have derived.
+  EXPECT_NE(outcome.traffic_secret,
+            DeriveResumedTrafficSecret(psk, {}, TestChHash()));
+}
+
+TEST_F(Tls13PskTest, LifetimeEnforced) {
+  Tls13ServerConfig config;
+  config.psk_lifetime = kDraft15MaxLifetime;  // 7 days
+  Tls13Server server = MakeServer(config);
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+
+  EXPECT_TRUE(server.Resume(ticket, PskMode::kPskKe, TestChHash(), {}, {},
+                            7 * kDay - 1, drbg_).accepted);
+  EXPECT_FALSE(server.Resume(ticket, PskMode::kPskKe, TestChHash(), {}, {},
+                             7 * kDay, drbg_).accepted);
+}
+
+TEST_F(Tls13PskTest, PskKeRefusedWhenDisallowed) {
+  Tls13ServerConfig config;
+  config.allow_psk_ke = false;
+  Tls13Server server = MakeServer(config);
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  EXPECT_FALSE(server.Resume(ticket, PskMode::kPskKe, TestChHash(), {}, {},
+                             kHour, drbg_).accepted);
+}
+
+TEST_F(Tls13PskTest, DatabaseIdentitiesWork) {
+  Tls13ServerConfig config;
+  config.identity_kind = IdentityKind::kDatabaseLookup;
+  Tls13Server server = MakeServer(config);
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  EXPECT_TRUE(server.Resume(ticket, PskMode::kPskKe, TestChHash(), {}, {},
+                            kHour, drbg_).accepted);
+  // An unknown identity is refused.
+  Tls13Ticket bogus = ticket;
+  bogus.identity = Bytes(16, 0xee);
+  EXPECT_FALSE(server.Resume(bogus, PskMode::kPskKe, TestChHash(), {}, {},
+                             kHour, drbg_).accepted);
+}
+
+TEST_F(Tls13PskTest, EarlyDataRoundTrip) {
+  Tls13Server server = MakeServer({});
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  const Bytes psk = DerivePsk(rm, ticket.ticket_nonce);
+  const Bytes early_traffic = DeriveClientEarlyTrafficSecret(
+      DeriveEarlySecret(psk), TestChHash());
+  const Bytes record =
+      ProtectEarlyData(early_traffic, ToBytes("GET /0rtt"), drbg_);
+
+  const auto outcome = server.Resume(ticket, PskMode::kPskDheKe,
+                                     TestChHash(), {}, record, kHour, drbg_);
+  ASSERT_TRUE(outcome.early_data_plaintext.has_value());
+  EXPECT_EQ(ToString(*outcome.early_data_plaintext), "GET /0rtt");
+}
+
+TEST_F(Tls13PskTest, StolenSealingKeyDecryptsEarlyDataEvenWithDheKe) {
+  // The §8.1 warning, executable: a STEK-style compromise of the identity
+  // sealing key exposes 0-RTT data for the full 7-day window, regardless
+  // of psk_dhe_ke protecting the rest of the connection.
+  Tls13Server server = MakeServer({});
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  const Bytes psk = DerivePsk(rm, ticket.ticket_nonce);
+  const Bytes early_traffic = DeriveClientEarlyTrafficSecret(
+      DeriveEarlySecret(psk), TestChHash());
+  const Bytes captured_0rtt =
+      ProtectEarlyData(early_traffic, ToBytes("secret cookie"), drbg_);
+
+  // Attacker steals the sealing key days later, opens the captured
+  // identity, re-derives the PSK and the early-data keys.
+  const tls::Stek stolen = server.StealSealingKey(6 * kDay);
+  const auto opened = OpenPskState(stolen, ticket.identity);
+  ASSERT_TRUE(opened.has_value());
+  const Bytes attacker_psk =
+      DerivePsk(opened->resumption_master, opened->ticket_nonce);
+  EXPECT_EQ(attacker_psk, psk);
+  const Bytes attacker_early = DeriveClientEarlyTrafficSecret(
+      DeriveEarlySecret(attacker_psk), TestChHash());
+  const auto plaintext = UnprotectEarlyData(attacker_early, captured_0rtt);
+  ASSERT_TRUE(plaintext.has_value());
+  EXPECT_EQ(ToString(*plaintext), "secret cookie");
+
+  // But a psk_dhe_ke connection's traffic secret is NOT recoverable from
+  // the PSK alone (the attacker lacks the fresh DH shared secret).
+  const auto& group = crypto::GetKexGroup(crypto::NamedGroup::kSimEc61);
+  const auto client_kex = group.GenerateKeyPair(drbg_);
+  const auto outcome =
+      server.Resume(ticket, PskMode::kPskDheKe, TestChHash(),
+                    client_kex.public_value, {}, 6 * kDay + kHour, drbg_);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_NE(outcome.traffic_secret,
+            DeriveResumedTrafficSecret(attacker_psk, {}, TestChHash()));
+}
+
+TEST_F(Tls13PskTest, SealingKeyRotationClosesWindow) {
+  Tls13ServerConfig config;
+  config.stek.rotation = server::StekRotation::kInterval;
+  config.stek.rotation_interval = kDay;
+  Tls13Server server = MakeServer(config);
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  const Tls13Ticket ticket = server.IssueTicket(rm, 0);
+
+  const tls::Stek later = server.StealSealingKey(5 * kDay);
+  EXPECT_FALSE(OpenPskState(later, ticket.identity).has_value());
+}
+
+TEST_F(Tls13PskTest, TamperedIdentityRejected) {
+  Tls13Server server = MakeServer({});
+  const Bytes rm =
+      DeriveResumptionMasterSecret(TestMaster(), TestTranscript());
+  Tls13Ticket ticket = server.IssueTicket(rm, 0);
+  ticket.identity[ticket.identity.size() / 2] ^= 0x01;
+  EXPECT_FALSE(server.Resume(ticket, PskMode::kPskKe, TestChHash(), {}, {},
+                             kHour, drbg_).accepted);
+}
+
+TEST_F(Tls13PskTest, EarlyDataTamperRejected) {
+  const Bytes secret(32, 0x55);
+  Bytes record = ProtectEarlyData(secret, ToBytes("data"), drbg_);
+  record[20] ^= 0x01;
+  EXPECT_FALSE(UnprotectEarlyData(secret, record).has_value());
+  EXPECT_FALSE(UnprotectEarlyData(Bytes(32, 0x56),
+                                  ProtectEarlyData(secret, ToBytes("x"),
+                                                   drbg_))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace tlsharm::tls13

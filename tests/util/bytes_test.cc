@@ -1,0 +1,60 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(BytesTest, ToBytesAndBack) {
+  const Bytes b = ToBytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(ToString(b), "hello");
+}
+
+TEST(BytesTest, AppendUintBigEndian) {
+  Bytes b;
+  AppendUint(b, 0x0102, 2);
+  AppendUint(b, 0xaabbccdd, 4);
+  EXPECT_EQ(b, (Bytes{0x01, 0x02, 0xaa, 0xbb, 0xcc, 0xdd}));
+}
+
+TEST(BytesTest, ReadUintRoundTrip) {
+  Bytes b;
+  AppendUint(b, 0x123456789abcdef0ULL, 8);
+  EXPECT_EQ(ReadUint(b, 0, 8), 0x123456789abcdef0ULL);
+  EXPECT_EQ(ReadUint(b, 0, 3), 0x123456ULL);
+  EXPECT_EQ(ReadUint(b, 5, 2), 0xbcdeULL);
+}
+
+TEST(BytesTest, ConcatPreservesOrder) {
+  const Bytes a = ToBytes("ab"), b = ToBytes("cd"), c = ToBytes("e");
+  EXPECT_EQ(ToString(Concat({a, b, c})), "abcde");
+  EXPECT_EQ(Concat({}).size(), 0u);
+}
+
+TEST(BytesTest, XorIntoSelfInverse) {
+  Bytes a = ToBytes("secret!!"), mask = ToBytes("maskmask");
+  const Bytes orig = a;
+  XorInto(a, mask);
+  EXPECT_NE(a, orig);
+  XorInto(a, mask);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abc")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abd")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abcd")));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(BytesTest, CompareOrdering) {
+  EXPECT_EQ(Compare(ToBytes("abc"), ToBytes("abc")), 0);
+  EXPECT_LT(Compare(ToBytes("abb"), ToBytes("abc")), 0);
+  EXPECT_GT(Compare(ToBytes("abd"), ToBytes("abc")), 0);
+  EXPECT_LT(Compare(ToBytes("ab"), ToBytes("abc")), 0);
+  EXPECT_GT(Compare(ToBytes("abc"), ToBytes("ab")), 0);
+}
+
+}  // namespace
+}  // namespace tlsharm

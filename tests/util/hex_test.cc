@@ -1,0 +1,39 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(HexTest, EncodeBasic) {
+  EXPECT_EQ(HexEncode(Bytes{0x00, 0xff, 0x1a}), "00ff1a");
+  EXPECT_EQ(HexEncode({}), "");
+}
+
+TEST(HexTest, DecodeBasic) {
+  const auto d = HexDecode("00ff1a");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, (Bytes{0x00, 0xff, 0x1a}));
+}
+
+TEST(HexTest, DecodeCaseInsensitive) {
+  EXPECT_EQ(*HexDecode("DeadBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+  EXPECT_FALSE(HexDecode("0g").has_value());
+}
+
+TEST(HexTest, RoundTrip) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(*HexDecode(HexEncode(all)), all);
+}
+
+}  // namespace
+}  // namespace tlsharm

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlsharm {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+  EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(12);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, RandomBytesLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.RandomBytes(0).size(), 0u);
+  EXPECT_EQ(rng.RandomBytes(7).size(), 7u);
+  EXPECT_EQ(rng.RandomBytes(32).size(), 32u);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng base(100);
+  Rng f1 = base.Fork("stream-a");
+  Rng f2 = base.Fork("stream-a");
+  Rng f3 = base.Fork("stream-b");
+  EXPECT_EQ(f1.NextU64(), f2.NextU64());   // same label, same stream
+  Rng f1b = base.Fork("stream-a");
+  EXPECT_NE(f1b.NextU64() + 1, 0u);        // usable
+  EXPECT_NE(f3.NextU64(), Rng(100).Fork("stream-a").NextU64());
+}
+
+TEST(StableHashTest, StableAcrossCalls) {
+  EXPECT_EQ(StableHash64("example.com"), StableHash64("example.com"));
+  EXPECT_NE(StableHash64("example.com"), StableHash64("example.org"));
+  EXPECT_NE(StableHash64(""), StableHash64("a"));
+}
+
+}  // namespace
+}  // namespace tlsharm

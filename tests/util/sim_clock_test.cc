@@ -1,0 +1,56 @@
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroOrGivenTime) {
+  EXPECT_EQ(SimClock().Now(), 0);
+  EXPECT_EQ(SimClock(100).Now(), 100);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(10);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 15);
+}
+
+TEST(SimClockTest, AdvanceToJumps) {
+  SimClock clock;
+  clock.AdvanceTo(3 * kDay);
+  EXPECT_EQ(clock.Now(), 3 * kDay);
+  EXPECT_EQ(clock.DayIndex(), 3);
+}
+
+TEST(SimClockTest, DayIndexBoundaries) {
+  SimClock clock;
+  EXPECT_EQ(clock.DayIndex(), 0);
+  clock.AdvanceTo(kDay - 1);
+  EXPECT_EQ(clock.DayIndex(), 0);
+  clock.Advance(1);
+  EXPECT_EQ(clock.DayIndex(), 1);
+}
+
+TEST(SimClockTest, DurationConstants) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 3600);
+  EXPECT_EQ(kDay, 86400);
+}
+
+TEST(FormatDurationTest, HumanReadable) {
+  EXPECT_EQ(FormatDuration(30), "30s");
+  EXPECT_EQ(FormatDuration(5 * kMinute), "5m0s");
+  EXPECT_EQ(FormatDuration(18 * kHour), "18h0m");
+  EXPECT_EQ(FormatDuration(63 * kDay + 4 * kHour), "63d4h");
+  EXPECT_EQ(FormatDuration(-60), "-1m0s");
+}
+
+TEST(FormatInstantTest, DayAndTime) {
+  EXPECT_EQ(FormatInstant(0), "day 0 +00:00:00");
+  EXPECT_EQ(FormatInstant(kDay + kHour + kMinute + 1), "day 1 +01:01:01");
+}
+
+}  // namespace
+}  // namespace tlsharm

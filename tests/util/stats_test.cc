@@ -1,0 +1,87 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(EmpiricalDistributionTest, CdfBasics) {
+  EmpiricalDistribution d;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.Add(v);
+  EXPECT_DOUBLE_EQ(d.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.CdfAt(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(100.0), 1.0);
+}
+
+TEST(EmpiricalDistributionTest, EmptyCdfIsZero) {
+  EmpiricalDistribution d;
+  EXPECT_DOUBLE_EQ(d.CdfAt(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.FractionAtLeast(1.0), 0.0);
+  EXPECT_TRUE(d.Empty());
+}
+
+TEST(EmpiricalDistributionTest, FractionAtLeast) {
+  EmpiricalDistribution d;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.Add(v);
+  EXPECT_DOUBLE_EQ(d.FractionAtLeast(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.FractionAtLeast(4.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.FractionAtLeast(0.0), 1.0);
+}
+
+TEST(EmpiricalDistributionTest, CdfPlusFractionAtLeastIsOne) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 100; ++i) d.Add(static_cast<double>(i % 13));
+  for (double x : {0.5, 3.0, 7.7, 12.0}) {
+    // CdfAt uses <= x, FractionAtLeast uses >= x; they overlap at exactly x,
+    // so the sum is 1 + P(v == x).
+    EXPECT_GE(d.CdfAt(x) + d.FractionAtLeast(x), 1.0 - 1e-12);
+  }
+}
+
+TEST(EmpiricalDistributionTest, QuantilesAndMedian) {
+  EmpiricalDistribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.25), 25.0);
+}
+
+TEST(EmpiricalDistributionTest, MinMaxMean) {
+  EmpiricalDistribution d;
+  for (double v : {5.0, 1.0, 3.0}) d.Add(v);
+  EXPECT_DOUBLE_EQ(d.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 3.0);
+}
+
+TEST(EmpiricalDistributionTest, AddNWeightsSamples) {
+  EmpiricalDistribution d;
+  d.AddN(1.0, 3);
+  d.Add(10.0);
+  EXPECT_EQ(d.Count(), 4u);
+  EXPECT_DOUBLE_EQ(d.CdfAt(1.0), 0.75);
+}
+
+TEST(EmpiricalDistributionTest, CdfPointsMonotonic) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 57; ++i) d.Add(static_cast<double>((i * 37) % 101));
+  const auto pts = d.CdfPoints(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(FormatPercentTest, Formatting) {
+  EXPECT_EQ(FormatPercent(0.382), "38.2%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+  EXPECT_EQ(FormatPercent(0.005, 2), "0.50%");
+}
+
+}  // namespace
+}  // namespace tlsharm

@@ -1,0 +1,39 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Domain", "Days"});
+  t.AddRow({"yahoo.com", "63"});
+  t.AddRow({"qq.com", "56"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Domain"), std::string::npos);
+  EXPECT_NE(out.find("yahoo.com"), std::string::npos);
+  EXPECT_NE(out.find("56"), std::string::npos);
+  // header, underline, two rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  EXPECT_NO_THROW({ (void)t.Render(); });
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tlsharm
