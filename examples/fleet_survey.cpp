@@ -18,11 +18,35 @@ int main() {
   std::printf("== fleet_survey: one-week HTTPS crypto-shortcut survey ==\n");
   simnet::Internet net(simnet::PaperPopulationSpec(6000), 424242);
   const int days = 7;
-  std::printf("population: %zu domains, %zu terminators\n\n",
+  std::printf("population: %zu domains, %zu terminators\n",
               net.DomainCount(), net.TerminatorCount());
 
+  // TLSHARM_FAULTS=<scale> injects deterministic network faults (1 = the
+  // default ~5% refusal/reset/timeout mix); the scan below then runs with
+  // retries plus an end-of-pass requeue, like the real tool-chain had to.
+  // The same scale and seeds replay the identical faulty study.
+  const simnet::FaultSpec faults = simnet::FaultSpecFromEnv();
+  scanner::ScanRobustness robustness;
+  if (faults.enabled) {
+    net.SetFaultSpec(faults);
+    robustness.retry.max_attempts = 3;
+    std::printf("faults: enabled via TLSHARM_FAULTS (retries=3 + requeue)\n");
+  }
+  std::printf("\n");
+
   // --- longevity scan.
-  const auto scan = scanner::RunDailyScans(net, days, 1);
+  const auto scan = scanner::RunDailyScans(net, days, 1, robustness);
+  if (faults.enabled) {
+    std::size_t scheduled = 0, recovered = 0, lost = 0;
+    for (const auto& day : scan.loss) {
+      scheduled += day.scheduled;
+      recovered += day.recovered;
+      lost += day.lost;
+    }
+    std::printf("probe loss over the week: %zu/%zu probes lost "
+                "(%zu recovered by the requeue pass)\n",
+                lost, scheduled, recovered);
+  }
   std::size_t issuers = 0, week_long = 0;
   for (const auto id : scan.core_domains) {
     const int span = scan.stek_spans.MaxSpanDays(id);

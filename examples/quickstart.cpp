@@ -7,6 +7,7 @@
 #include "pki/ca.h"
 #include "pki/root_store.h"
 #include "server/terminator.h"
+#include "simnet/faults.h"
 #include "tls/client.h"
 #include "tls/ticket.h"
 #include "util/hex.h"
@@ -92,6 +93,21 @@ int main() {
                     ? "accepted"
                     : "rejected (full handshake fallback)");
   }
+  // --- 7. A faulty network: the same handshake through a connection that
+  // truncates the server's first flight. The client fails closed and
+  // reports a classified error — what the scanner's failure taxonomy and
+  // retry logic are built on.
+  simnet::FaultyConnection faulty(
+      terminator.NewConnection(30 * kMinute),
+      simnet::FaultDecision{simnet::FaultKind::kTruncate, /*payload_seed=*/41});
+  tls::TlsClient faulted_client(client_config);
+  const auto broken = faulted_client.Handshake(faulty, 30 * kMinute,
+                                               client_drbg);
+  std::printf("truncated server flight: ok=%s class=%s (%s)\n",
+              broken.ok ? "yes" : "no",
+              std::string(tls::ToString(broken.error_class)).c_str(),
+              broken.error.c_str());
+
   std::printf("\nThe 10-minute ticket window above IS the vulnerability "
               "window the paper measures:\nuntil the STEK rotates, anyone "
               "who obtains it can decrypt this session retroactively.\n");

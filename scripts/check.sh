@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full check: build + test the plain configuration, then again with
+# TLSHARM_SANITIZE=ON (ASan + UBSan) to catch memory and UB bugs the plain
+# run can't — in particular in the fault-injection / corrupted-flight paths.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "== ${name}: configure =="
+  cmake -B "${dir}" -S "${repo}" "$@"
+  echo "== ${name}: build =="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "== ${name}: test =="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config "plain" "${repo}/build"
+run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
+
+echo "All checks passed (plain + sanitized)."

@@ -75,6 +75,7 @@ void Sha256::ProcessBlock(const std::uint8_t* block) {
 }
 
 void Sha256::Update(ByteView data) {
+  if (data.empty()) return;  // also: memcpy from a null span is UB
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

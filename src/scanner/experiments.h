@@ -6,6 +6,7 @@
 // print paper-vs-measured comparisons.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "analysis/spans.h"
@@ -13,6 +14,34 @@
 #include "simnet/internet.h"
 
 namespace tlsharm::scanner {
+
+// --- Scan robustness ---------------------------------------------------------
+// How the daily-scan drivers cope with a lossy network: a per-probe retry
+// policy, plus an end-of-pass requeue that gives every transport-failed
+// target one more scan later the same day (the real scans' "retry the
+// unreachable tail" pass).
+struct ScanRobustness {
+  RetryPolicy retry;
+  bool requeue_failures = true;
+  SimTime requeue_delay = 4 * kHour;  // main pass -> requeue pass gap
+};
+
+// Per-day loss accounting. `scheduled` counts probes issued in the main
+// pass; a probe is `lost` only if it still ends in a transport failure
+// after retries and the requeue pass — deliberate answers (alerts,
+// untrusted chains, no HTTPS) are never loss.
+struct DayLoss {
+  std::size_t scheduled = 0;
+  std::size_t recovered = 0;  // failed the main pass, answered on requeue
+  std::size_t lost = 0;
+  std::array<std::size_t, kProbeFailureClasses> lost_by_class{};
+
+  double LossRate() const {
+    return scheduled == 0 ? 0.0
+                          : static_cast<double>(lost) /
+                                static_cast<double>(scheduled);
+  }
+};
 
 // --- Table 1: support for forward secrecy and resumption -------------------
 struct SupportCounts {
@@ -76,10 +105,14 @@ struct DailyScanResult {
   std::size_t core_ever_ecdhe = 0;
   std::size_t core_ever_dhe_connect = 0;
   std::size_t core_any_mechanism = 0;
+
+  // One entry per scanned day (empty classes on a fault-free network).
+  std::vector<DayLoss> loss;
 };
 
 DailyScanResult RunDailyScans(simnet::Internet& net, int days,
-                              std::uint64_t seed);
+                              std::uint64_t seed,
+                              const ScanRobustness& robustness = {});
 
 // --- §5: service groups ------------------------------------------------------
 struct GroupsResult {

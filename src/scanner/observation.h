@@ -34,6 +34,45 @@ inline SecretId FingerprintSecret(ByteView bytes) {
   return mixed == kNoSecret ? 1 : mixed;
 }
 
+// Why a probe failed — the paper's §3 accounting of unreachable hosts made
+// explicit. Every probe outcome maps to exactly one class; kNone means the
+// handshake completed against a browser-trusted chain.
+enum class ProbeFailure : std::uint8_t {
+  kNone = 0,    // completed handshake, trusted chain
+  kNoHttps,     // the domain does not serve HTTPS at all
+  kRefused,     // TCP connect refused
+  kTimeout,     // connect timed out (slow host or transient outage)
+  kReset,       // connection reset mid-handshake
+  kMalformed,   // truncated/corrupted/protocol-violating server flight
+  kAlert,       // the server answered but aborted deliberately
+  kUntrusted,   // handshake completed, chain does not verify
+};
+
+inline constexpr int kProbeFailureClasses = 8;
+
+inline std::string_view ToString(ProbeFailure failure) {
+  switch (failure) {
+    case ProbeFailure::kNone: return "ok";
+    case ProbeFailure::kNoHttps: return "no_https";
+    case ProbeFailure::kRefused: return "refused";
+    case ProbeFailure::kTimeout: return "timeout";
+    case ProbeFailure::kReset: return "reset";
+    case ProbeFailure::kMalformed: return "malformed";
+    case ProbeFailure::kAlert: return "alert";
+    case ProbeFailure::kUntrusted: return "untrusted";
+  }
+  return "?";
+}
+
+// Transport-level failures are the retryable/lossy ones; alerts, untrusted
+// chains and plain-HTTP domains are answers, not loss.
+inline bool IsTransportFailure(ProbeFailure failure) {
+  return failure == ProbeFailure::kRefused ||
+         failure == ProbeFailure::kTimeout ||
+         failure == ProbeFailure::kReset ||
+         failure == ProbeFailure::kMalformed;
+}
+
 struct HandshakeObservation {
   DomainIndex domain = 0;
   SimTime time = 0;
@@ -41,6 +80,10 @@ struct HandshakeObservation {
   bool connected = false;      // TCP/443 answered
   bool handshake_ok = false;
   bool trusted = false;        // chain validates to the NSS-like store
+
+  // Exactly one class per probe outcome; kNoHttps until a prober fills it.
+  ProbeFailure failure = ProbeFailure::kNoHttps;
+  std::uint8_t attempts = 0;   // connection attempts the probe consumed
 
   tls::CipherSuite suite{};
   std::uint16_t kex_group = 0;

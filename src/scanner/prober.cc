@@ -1,15 +1,58 @@
 #include "scanner/prober.h"
 
+#include <algorithm>
+
 #include "tls/ticket.h"
 
 namespace tlsharm::scanner {
+namespace {
+
+ProbeFailure FailureFromConnect(simnet::Internet::ConnectStatus status) {
+  switch (status) {
+    case simnet::Internet::ConnectStatus::kOk:
+      return ProbeFailure::kNone;
+    case simnet::Internet::ConnectStatus::kNoHttps:
+      return ProbeFailure::kNoHttps;
+    case simnet::Internet::ConnectStatus::kRefused:
+      return ProbeFailure::kRefused;
+    case simnet::Internet::ConnectStatus::kTimeout:
+    case simnet::Internet::ConnectStatus::kOutage:
+      return ProbeFailure::kTimeout;
+  }
+  return ProbeFailure::kNoHttps;
+}
+
+ProbeFailure FailureFromHandshake(tls::HandshakeErrorClass error_class) {
+  switch (error_class) {
+    case tls::HandshakeErrorClass::kReset:
+      return ProbeFailure::kReset;
+    case tls::HandshakeErrorClass::kTimeout:
+      return ProbeFailure::kTimeout;
+    case tls::HandshakeErrorClass::kAlert:
+      return ProbeFailure::kAlert;
+    case tls::HandshakeErrorClass::kMalformed:
+    case tls::HandshakeErrorClass::kNone:
+      return ProbeFailure::kMalformed;
+  }
+  return ProbeFailure::kMalformed;
+}
+
+// Virtual-time cost of a failed attempt: a timeout burns the full attempt
+// deadline, everything else fails fast.
+SimTime AttemptCost(ProbeFailure failure, const RetryPolicy& policy) {
+  return failure == ProbeFailure::kTimeout ? policy.attempt_timeout
+                                           : SimTime{1};
+}
+
+}  // namespace
 
 Prober::Prober(simnet::Internet& net, std::uint64_t seed) : net_(net),
       drbg_([&] {
         Bytes s = ToBytes("prober");
         AppendUint(s, seed, 8);
         return crypto::Drbg(s);
-      }()) {}
+      }()),
+      seed_(seed) {}
 
 std::vector<tls::CipherSuite> Prober::SuitesFor(
     CipherSelection selection) const {
@@ -33,25 +76,40 @@ bool Prober::ChainTrusted(const pki::CertificateChain& chain,
                           const std::string& host, SimTime now) {
   if (chain.empty()) return false;
   const Bytes fp = chain.front().Fingerprint();
-  const std::uint64_t key =
-      FingerprintSecret(fp) ^ StableHash64(host);
+  std::string key(fp.begin(), fp.end());
+  key.push_back('\0');
+  key += host;
   const auto it = trust_cache_.find(key);
   if (it != trust_cache_.end()) return it->second;
   const bool trusted =
       net_.NssRootStore().Verify(chain, host, now) == pki::VerifyStatus::kOk;
-  trust_cache_.emplace(key, trusted);
+  trust_cache_.emplace(std::move(key), trusted);
   return trusted;
 }
 
-ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
-                          const ProbeOptions& options) {
+SimTime Prober::Jitter(simnet::DomainId domain, SimTime when,
+                       int attempt) const {
+  std::uint64_t s = seed_ ^ 0x6a17e2b0ff5e77c3ULL;
+  s += static_cast<std::uint64_t>(domain) * 0x9e3779b97f4a7c15ULL;
+  s += static_cast<std::uint64_t>(when) * 0xbf58476d1ce4e5b9ULL;
+  s += static_cast<std::uint64_t>(attempt);
+  const std::uint64_t draw = SplitMix64(s);
+  const SimTime span = retry_.base_backoff + 1;
+  return span <= 0 ? 0 : static_cast<SimTime>(draw % span);
+}
+
+ProbeResult Prober::ProbeOnce(simnet::DomainId domain, SimTime now,
+                              const ProbeOptions& options) {
   ProbeResult result;
   HandshakeObservation& obs = result.observation;
   obs.domain = domain;
   obs.time = now;
 
-  auto conn = net_.Connect(domain, now);
-  if (conn == nullptr) return result;
+  auto outcome = net_.ConnectDetailed(domain, now);
+  if (outcome.connection == nullptr) {
+    obs.failure = FailureFromConnect(outcome.status);
+    return result;
+  }
   obs.connected = true;
 
   tls::ClientConfig config;
@@ -61,11 +119,16 @@ ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
   config.kex_probe_only = options.kex_only;
 
   tls::TlsClient client(config);
-  const tls::HandshakeResult hs = client.Handshake(*conn, now, drbg_);
-  if (!hs.ok) return result;
+  const tls::HandshakeResult hs =
+      client.Handshake(*outcome.connection, now, drbg_);
+  if (!hs.ok) {
+    obs.failure = FailureFromHandshake(hs.error_class);
+    return result;
+  }
 
   obs.handshake_ok = true;
   obs.trusted = ChainTrusted(hs.chain, config.server_name, now);
+  obs.failure = obs.trusted ? ProbeFailure::kNone : ProbeFailure::kUntrusted;
   obs.suite = hs.suite;
   obs.kex_group = hs.kex_group;
   obs.kex_value = FingerprintSecret(hs.server_kex_public);
@@ -89,21 +152,63 @@ ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
   return result;
 }
 
+ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
+                          const ProbeOptions& options) {
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  ProbeResult result;
+  SimTime elapsed = 0;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    result = ProbeOnce(domain, now + elapsed, options);
+    if (!IsTransportFailure(result.observation.failure)) break;
+    if (attempt >= max_attempts) break;
+    const SimTime backoff = std::min(
+        retry_.base_backoff << std::min(attempt - 1, 16), retry_.max_backoff);
+    const SimTime delay = AttemptCost(result.observation.failure, retry_) +
+                          backoff + Jitter(domain, now + elapsed, attempt);
+    if (elapsed + delay > retry_.budget) break;
+    elapsed += delay;
+  }
+  // Report against the scheduled probe time so day attribution is stable.
+  result.observation.time = now;
+  result.observation.attempts = static_cast<std::uint8_t>(
+      std::min(attempt, 255));
+  return result;
+}
+
 bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
                        SimTime now, bool offer_id, bool offer_ticket) {
   if (!session.valid) return false;
-  auto conn = net_.Connect(domain, now);
-  if (conn == nullptr) return false;
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  SimTime elapsed = 0;
+  for (int attempt = 1;; ++attempt) {
+    const SimTime when = now + elapsed;
+    auto outcome = net_.ConnectDetailed(domain, when);
+    ProbeFailure failure = ProbeFailure::kNone;
+    if (outcome.connection == nullptr) {
+      failure = FailureFromConnect(outcome.status);
+    } else {
+      tls::ClientConfig config;
+      config.server_name = net_.GetDomain(domain).name;
+      config.resume_master_secret = session.master_secret;
+      if (offer_id) config.resume_session_id = session.session_id;
+      if (offer_ticket) config.resume_ticket = session.ticket;
 
-  tls::ClientConfig config;
-  config.server_name = net_.GetDomain(domain).name;
-  config.resume_master_secret = session.master_secret;
-  if (offer_id) config.resume_session_id = session.session_id;
-  if (offer_ticket) config.resume_ticket = session.ticket;
-
-  tls::TlsClient client(config);
-  const tls::HandshakeResult hs = client.Handshake(*conn, now, drbg_);
-  return hs.ok && hs.resumed;
+      tls::TlsClient client(config);
+      const tls::HandshakeResult hs =
+          client.Handshake(*outcome.connection, when, drbg_);
+      if (hs.ok) return hs.resumed;
+      failure = FailureFromHandshake(hs.error_class);
+    }
+    if (!IsTransportFailure(failure) || attempt >= max_attempts) return false;
+    const SimTime backoff = std::min(
+        retry_.base_backoff << std::min(attempt - 1, 16), retry_.max_backoff);
+    const SimTime delay =
+        AttemptCost(failure, retry_) + backoff + Jitter(domain, when, attempt);
+    if (elapsed + delay > retry_.budget) return false;
+    elapsed += delay;
+  }
 }
 
 bool Prober::TryResume(const StoredSession& session, simnet::DomainId domain,

@@ -6,6 +6,7 @@
 // every day), and performs resumption attempts with stored session state.
 #pragma once
 
+#include <string>
 #include <unordered_map>
 
 #include "crypto/drbg.h"
@@ -14,6 +15,21 @@
 #include "tls/client.h"
 
 namespace tlsharm::scanner {
+
+// Retry/backoff policy for transport-level probe failures (refused,
+// timeout, reset, malformed). Deliberate server answers — alerts,
+// untrusted chains, no-HTTPS — are never retried. Each failed attempt is
+// charged virtual time (a refused connect is fast, a timeout costs
+// `attempt_timeout`), then the next attempt waits an exponentially growing
+// backoff plus deterministic jitter; the probe gives up when attempts or
+// the virtual-time budget run out.
+struct RetryPolicy {
+  int max_attempts = 1;          // total attempts per probe (1 = no retry)
+  SimTime base_backoff = 2;      // first retry delay, doubled per attempt
+  SimTime max_backoff = 64;      // backoff growth cap
+  SimTime attempt_timeout = 10;  // virtual cost of a timed-out attempt
+  SimTime budget = 120;          // per-probe virtual-time budget
+};
 
 // Which cipher suites a probe offers.
 enum class CipherSelection : std::uint8_t {
@@ -68,17 +84,30 @@ class Prober {
   bool TryResumeTicket(const StoredSession& session, simnet::DomainId domain,
                        SimTime now);
 
+  // Retries apply to Probe and the TryResume* family alike.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
+  ProbeResult ProbeOnce(simnet::DomainId domain, SimTime now,
+                        const ProbeOptions& options);
   bool ChainTrusted(const pki::CertificateChain& chain,
                     const std::string& host, SimTime now);
   std::vector<tls::CipherSuite> SuitesFor(CipherSelection selection) const;
   bool RunResume(const StoredSession& session, simnet::DomainId domain,
                  SimTime now, bool offer_id, bool offer_ticket);
+  // Deterministic backoff jitter in [0, base_backoff], a pure function of
+  // (prober seed, domain, attempt time) so reruns replay exactly.
+  SimTime Jitter(simnet::DomainId domain, SimTime when, int attempt) const;
 
   simnet::Internet& net_;
   crypto::Drbg drbg_;
-  // Memoized chain verification keyed by (leaf fingerprint, host) hash.
-  std::unordered_map<std::uint64_t, bool> trust_cache_;
+  std::uint64_t seed_;
+  RetryPolicy retry_;
+  // Memoized chain verification keyed by the full (leaf fingerprint, host)
+  // pair — fingerprint bytes, a NUL separator, then the host name — so two
+  // distinct pairs can never share a cache slot.
+  std::unordered_map<std::string, bool> trust_cache_;
 };
 
 }  // namespace tlsharm::scanner

@@ -8,7 +8,9 @@ namespace tlsharm::scanner {
 
 RandomPermutation::RandomPermutation(std::uint64_t n, std::uint64_t seed)
     : n_(n) {
-  assert(n > 0);
+  // n == 0 and n == 1 are degenerate but legal (an empty scan list, a
+  // single target); At() short-circuits them so the cycle walk below can
+  // assume the domain has at least two elements.
   // Smallest even bit-width domain 2^(2k) >= n, at least 2 bits so the
   // Feistel halves are non-trivial.
   half_bits_ = 1;
@@ -33,6 +35,10 @@ std::uint64_t RandomPermutation::Feistel(std::uint64_t x) const {
 
 std::uint64_t RandomPermutation::At(std::uint64_t i) const {
   assert(i < n_);
+  // The cycle walk below never terminates for n < 2 (every Feistel output
+  // of a one-element walk can sit outside [0, n) forever when n == 0, and
+  // needlessly wanders for n == 1), so answer the degenerate sizes here.
+  if (n_ <= 1) return 0;
   // Cycle-walk: a Feistel network permutes the power-of-four domain; keep
   // applying it until the value lands inside [0, n). Expected < 4 steps
   // since the domain is < 4n.

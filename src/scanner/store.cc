@@ -22,24 +22,34 @@ int FlagsOf(const HandshakeObservation& obs) {
   return flags;
 }
 
-// Parses one '|'-separated line; false on malformed input.
+// Legacy nine-field lines predate the failure taxonomy; reconstruct the
+// closest class the flags still distinguish.
+ProbeFailure DeriveFailure(const HandshakeObservation& obs) {
+  if (!obs.connected) return ProbeFailure::kNoHttps;
+  if (!obs.handshake_ok) return ProbeFailure::kAlert;
+  if (!obs.trusted) return ProbeFailure::kUntrusted;
+  return ProbeFailure::kNone;
+}
+
+// Parses one '|'-separated line; false on malformed input. Accepts nine
+// (legacy) or ten fields.
 bool ParseLine(const std::string& line, StoredObservation& out) {
-  std::uint64_t fields[9];
+  std::uint64_t fields[10];
   std::size_t field = 0;
   const char* p = line.data();
   const char* end = line.data() + line.size();
-  while (field < 9) {
+  while (field < 10) {
     std::uint64_t value = 0;
     const auto [next, ec] = std::from_chars(p, end, value);
     if (ec != std::errc()) return false;
     fields[field++] = value;
     p = next;
-    if (field < 9) {
-      if (p == end || *p != '|') return false;
-      ++p;
-    }
+    if (p == end) break;
+    if (*p != '|') return false;
+    ++p;
+    if (field == 10) return false;  // trailing separator / extra field
   }
-  if (p != end) return false;
+  if (p != end || field < 9) return false;
 
   out.day = static_cast<int>(fields[0]);
   HandshakeObservation& obs = out.observation;
@@ -56,6 +66,14 @@ bool ParseLine(const std::string& line, StoredObservation& out) {
   obs.session_id = fields[6];
   obs.stek_id = fields[7];
   obs.ticket_lifetime_hint = static_cast<std::uint32_t>(fields[8]);
+  if (field == 10) {
+    if (fields[9] >= static_cast<std::uint64_t>(kProbeFailureClasses)) {
+      return false;
+    }
+    obs.failure = static_cast<ProbeFailure>(fields[9]);
+  } else {
+    obs.failure = DeriveFailure(obs);
+  }
   return true;
 }
 
@@ -65,7 +83,8 @@ void ObservationWriter::Write(int day, const HandshakeObservation& obs) {
   out_ << day << '|' << obs.domain << '|' << FlagsOf(obs) << '|'
        << static_cast<std::uint16_t>(obs.suite) << '|' << obs.kex_group
        << '|' << obs.kex_value << '|' << obs.session_id << '|' << obs.stek_id
-       << '|' << obs.ticket_lifetime_hint << '\n';
+       << '|' << obs.ticket_lifetime_hint << '|'
+       << static_cast<int>(obs.failure) << '\n';
   ++written_;
 }
 

@@ -4,9 +4,11 @@
 // stored study instead of re-driving the scanner.
 //
 // Format (one observation per line, '|'-separated ASCII):
-//   day|domain|flags|suite|kex_group|kex_value|session_id|stek_id|hint
+//   day|domain|flags|suite|kex_group|kex_value|session_id|stek_id|hint|failure
 // flags bits: 1 connected, 2 handshake_ok, 4 trusted, 8 session_id_set,
 //             16 ticket_issued.
+// `failure` is the numeric ProbeFailure class. The reader also accepts the
+// original nine-field lines and derives the class from the flags.
 #pragma once
 
 #include <iosfwd>

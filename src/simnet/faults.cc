@@ -1,0 +1,181 @@
+#include "simnet/faults.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "simnet/internet.h"
+#include "util/rng.h"
+
+namespace tlsharm::simnet {
+namespace {
+
+// Domain separation salts for the independent decision streams.
+constexpr std::uint64_t kConnectSalt = 0xfa17c011ec7e0ULL;
+constexpr std::uint64_t kOutageSalt = 0x07a6e0ff11e5ULL;
+
+std::uint64_t Mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(state);
+}
+
+double UnitDraw(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+FaultProfile Scaled(double refuse, double timeout, double reset,
+                    double truncate, double corrupt, double outage,
+                    double scale) {
+  FaultProfile p;
+  p.refuse_rate = Clamp01(refuse * scale);
+  p.timeout_rate = Clamp01(timeout * scale);
+  p.reset_rate = Clamp01(reset * scale);
+  p.truncate_rate = Clamp01(truncate * scale);
+  p.corrupt_rate = Clamp01(corrupt * scale);
+  p.outage_rate = Clamp01(outage * scale);
+  return p;
+}
+
+}  // namespace
+
+FaultSpec DefaultFaultSpec(double scale) {
+  FaultSpec spec;
+  spec.enabled = scale > 0;
+  // ~5% refusal/reset/timeout mix plus a malformed-flight and outage tail.
+  spec.base = Scaled(0.020, 0.015, 0.012, 0.004, 0.003, 0.010, scale);
+  // Cheap shared hosting is flakier than the big operators.
+  spec.operator_overrides["transient-host"] =
+      Scaled(0.040, 0.030, 0.020, 0.008, 0.006, 0.030, scale);
+  spec.operator_overrides["untrusted-host"] =
+      Scaled(0.030, 0.025, 0.015, 0.006, 0.004, 0.020, scale);
+  return spec;
+}
+
+FaultSpec FaultSpecFromEnv() {
+  const char* env = std::getenv("TLSHARM_FAULTS");
+  if (env == nullptr || *env == '\0') return {};
+  const double scale = std::atof(env);
+  if (scale <= 0) return {};
+  return DefaultFaultSpec(scale);
+}
+
+std::string_view ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kRefused: return "refused";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kOutage: return "outage";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+const FaultProfile& FaultInjector::ProfileFor(const DomainInfo& domain) const {
+  const auto op = spec_.operator_overrides.find(domain.operator_name);
+  if (op != spec_.operator_overrides.end()) return op->second;
+  const auto as = spec_.as_overrides.find(domain.as_number);
+  if (as != spec_.as_overrides.end()) return as->second;
+  return spec_.base;
+}
+
+bool FaultInjector::InOutage(const DomainInfo& domain, SimTime now) const {
+  const FaultProfile& profile = ProfileFor(domain);
+  if (profile.outage_rate <= 0 || profile.outage_period <= 0 ||
+      profile.outage_duration <= 0 || now < 0) {
+    return false;
+  }
+  const auto period = static_cast<std::uint64_t>(profile.outage_period);
+  const std::uint64_t window = static_cast<std::uint64_t>(now) / period;
+  const std::uint64_t h =
+      Mix(seed_ ^ kOutageSalt, StableHash64(domain.name) ^ window);
+  if (UnitDraw(h) >= profile.outage_rate) return false;
+  // The dark interval starts at a deterministic offset inside the period.
+  const auto duration = static_cast<std::uint64_t>(
+      std::min(profile.outage_duration, profile.outage_period));
+  std::uint64_t offset_state = h;
+  const std::uint64_t offset =
+      duration >= period ? 0 : SplitMix64(offset_state) % (period - duration);
+  const std::uint64_t start = window * period + offset;
+  const auto t = static_cast<std::uint64_t>(now);
+  return t >= start && t < start + duration;
+}
+
+FaultDecision FaultInjector::Decide(const DomainInfo& domain,
+                                    SimTime now) const {
+  FaultDecision decision;
+  if (!spec_.enabled) return decision;
+  if (InOutage(domain, now)) {
+    decision.kind = FaultKind::kOutage;
+    return decision;
+  }
+  const FaultProfile& profile = ProfileFor(domain);
+  std::uint64_t h = Mix(seed_ ^ kConnectSalt,
+                        StableHash64(domain.name) ^
+                            static_cast<std::uint64_t>(now));
+  const double u = UnitDraw(h);
+  double threshold = profile.refuse_rate;
+  if (u < threshold) {
+    decision.kind = FaultKind::kRefused;
+  } else if (u < (threshold += profile.timeout_rate)) {
+    decision.kind = FaultKind::kTimeout;
+  } else if (u < (threshold += profile.reset_rate)) {
+    decision.kind = FaultKind::kReset;
+  } else if (u < (threshold += profile.truncate_rate)) {
+    decision.kind = FaultKind::kTruncate;
+  } else if (u < (threshold += profile.corrupt_rate)) {
+    decision.kind = FaultKind::kCorrupt;
+  }
+  decision.payload_seed = SplitMix64(h);
+  return decision;
+}
+
+Bytes FaultyConnection::OnClientFlight(ByteView flight) {
+  if (reset_tripped_) return {};
+  if (fault_.kind == FaultKind::kReset) {
+    // The server never sees the flight; the client sees a torn-down socket.
+    reset_tripped_ = true;
+    return {};
+  }
+  Bytes response = inner_->OnClientFlight(flight);
+  if (fault_spent_ || response.empty()) return response;
+  fault_spent_ = true;  // wire damage afflicts the first server flight only
+  if (fault_.kind == FaultKind::kTruncate) {
+    // Cut anywhere strictly inside the flight (possibly to zero bytes).
+    response.resize(fault_.payload_seed % response.size());
+    if (response.empty()) {
+      // A fully-swallowed flight presents as a reset, not a clean close.
+      reset_tripped_ = true;
+    }
+  } else if (fault_.kind == FaultKind::kCorrupt) {
+    std::uint64_t state = fault_.payload_seed;
+    const int flips = 1 + static_cast<int>(SplitMix64(state) % 8);
+    for (int i = 0; i < flips; ++i) {
+      const std::uint64_t r = SplitMix64(state);
+      response[r % response.size()] ^=
+          static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+    }
+  }
+  return response;
+}
+
+Bytes FaultyConnection::OnApplicationRecord(ByteView record) {
+  if (reset_tripped_) return {};
+  return inner_->OnApplicationRecord(record);
+}
+
+bool FaultyConnection::Failed() const {
+  return reset_tripped_ || inner_->Failed();
+}
+
+std::string_view FaultyConnection::ErrorDetail() const {
+  if (reset_tripped_) return tls::kResetErrorDetail;
+  return inner_->ErrorDetail();
+}
+
+}  // namespace tlsharm::simnet

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the simulated Internet.
+//
+// The paper's nine-week study ran against the real Internet, where
+// connections are refused, reset mid-handshake, time out, and return
+// garbage; §3 explicitly accounts for unreachable hosts when sizing the
+// datasets. This module recreates those failure modes so the scanner
+// pipeline can be exercised — and hardened — against them:
+//
+//   - connection refusal (fast TCP RST at connect time),
+//   - slow-host timeouts (the connect never completes),
+//   - mid-handshake resets,
+//   - truncated or bit-corrupted server flights,
+//   - transient multi-hour outages (a whole domain goes dark).
+//
+// Every decision is a pure function of (seed, domain, time), so a faulty
+// study replays bit-for-bit from its seed — the same property the rest of
+// the simulation guarantees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tls/transport.h"
+#include "util/bytes.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::simnet {
+
+struct DomainInfo;  // internet.h; faults.cc includes the full definition
+
+// Per-cohort fault rates; all rates are per connection attempt except the
+// outage knobs, which describe whole-domain dark windows.
+struct FaultProfile {
+  double refuse_rate = 0.0;    // TCP RST at connect time
+  double timeout_rate = 0.0;   // slow host: the connect never completes
+  double reset_rate = 0.0;     // TCP reset mid-handshake
+  double truncate_rate = 0.0;  // server flight cut short on the wire
+  double corrupt_rate = 0.0;   // server flight with flipped bits
+  // With probability `outage_rate` per (domain, period) the domain is
+  // unreachable for one contiguous `outage_duration` window inside that
+  // period — day-to-day churn's "host went dark for a few hours".
+  double outage_rate = 0.0;
+  SimTime outage_period = 7 * kDay;
+  SimTime outage_duration = 6 * kHour;
+};
+
+// A fault model for a whole population: a base profile plus overrides for
+// specific operators (flaky shared-hosting archetypes) or ASes (a troubled
+// network).
+struct FaultSpec {
+  bool enabled = false;
+  FaultProfile base;
+  std::map<std::string, FaultProfile> operator_overrides;  // by operator_name
+  std::map<std::uint32_t, FaultProfile> as_overrides;      // by AS number
+};
+
+// The acceptance-test mix: roughly 5% of connection attempts hit a
+// refusal/timeout/reset, with a small truncation/corruption and outage
+// tail. `scale` multiplies every rate (clamped to [0,1]).
+FaultSpec DefaultFaultSpec(double scale = 1.0);
+
+// Reads the TLSHARM_FAULTS environment knob: unset, empty or "0" disables
+// faults; any positive number scales DefaultFaultSpec (1 = the ~5% mix).
+FaultSpec FaultSpecFromEnv();
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kRefused,
+  kTimeout,
+  kReset,
+  kTruncate,
+  kCorrupt,
+  kOutage,
+};
+
+std::string_view ToString(FaultKind kind);
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  // Deterministic entropy driving the truncation point / bit flips.
+  std::uint64_t payload_seed = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  bool Enabled() const { return spec_.enabled; }
+
+  // The fault (if any) afflicting a connection to `domain` opened at `now`.
+  // Pure in (seed, domain name, now): two connects to the same domain at
+  // the same instant share one fate, and the whole study replays.
+  FaultDecision Decide(const DomainInfo& domain, SimTime now) const;
+
+  // Whether the domain sits inside one of its dark windows at `now`.
+  bool InOutage(const DomainInfo& domain, SimTime now) const;
+
+  // Profile resolution: operator override > AS override > base.
+  const FaultProfile& ProfileFor(const DomainInfo& domain) const;
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_;
+};
+
+// ServerConnection decorator realizing the mid-handshake faults the
+// injector decided: a reset consumes the client flight and fails with
+// tls::kResetErrorDetail; truncation/corruption mangle the server's first
+// flight so the client's parsers must fail closed.
+class FaultyConnection final : public tls::ServerConnection {
+ public:
+  FaultyConnection(std::unique_ptr<tls::ServerConnection> inner,
+                   FaultDecision fault)
+      : inner_(std::move(inner)), fault_(fault) {}
+
+  Bytes OnClientFlight(ByteView flight) override;
+  Bytes OnApplicationRecord(ByteView record) override;
+  bool Failed() const override;
+  std::string_view ErrorDetail() const override;
+
+ private:
+  std::unique_ptr<tls::ServerConnection> inner_;
+  FaultDecision fault_;
+  bool reset_tripped_ = false;
+  bool fault_spent_ = false;  // truncate/corrupt hit only the first flight
+};
+
+}  // namespace tlsharm::simnet

@@ -596,13 +596,48 @@ void Internet::ApplyMaintenance(TerminatorId id, SimTime now) {
   }
 }
 
-std::unique_ptr<tls::ServerConnection> Internet::Connect(DomainId id,
-                                                         SimTime now) {
+Internet::ConnectOutcome Internet::ConnectDetailed(DomainId id, SimTime now) {
+  ConnectOutcome out;
   const DomainInfo& d = domains_[id];
-  if (!d.https || d.endpoints.empty()) return nullptr;
+  if (!d.https || d.endpoints.empty()) {
+    out.status = ConnectStatus::kNoHttps;
+    return out;
+  }
+  FaultDecision fault;
+  if (FaultsEnabled()) {
+    fault = fault_injector_->Decide(d, now);
+    switch (fault.kind) {
+      case FaultKind::kOutage:
+        out.status = ConnectStatus::kOutage;
+        return out;
+      case FaultKind::kRefused:
+        out.status = ConnectStatus::kRefused;
+        return out;
+      case FaultKind::kTimeout:
+        out.status = ConnectStatus::kTimeout;
+        return out;
+      default:
+        break;  // mid-handshake faults decorate the connection below
+    }
+  }
   const TerminatorId tid = EndpointFor(id, now);
   ApplyMaintenance(tid, now);
-  return terminators_[tid]->NewConnection(now);
+  out.connection = terminators_[tid]->NewConnection(now);
+  if (fault.kind != FaultKind::kNone) {
+    out.connection =
+        std::make_unique<FaultyConnection>(std::move(out.connection), fault);
+  }
+  out.status = ConnectStatus::kOk;
+  return out;
+}
+
+std::unique_ptr<tls::ServerConnection> Internet::Connect(DomainId id,
+                                                         SimTime now) {
+  return ConnectDetailed(id, now).connection;
+}
+
+void Internet::SetFaultSpec(const FaultSpec& spec) {
+  fault_injector_ = std::make_unique<FaultInjector>(spec, seed_);
 }
 
 server::SslTerminator& Internet::Terminator(TerminatorId id) {

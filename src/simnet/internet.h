@@ -17,6 +17,7 @@
 #include "pki/ca.h"
 #include "pki/root_store.h"
 #include "server/terminator.h"
+#include "simnet/faults.h"
 #include "simnet/spec.h"
 #include "tls/transport.h"
 #include "util/rng.h"
@@ -55,11 +56,41 @@ class Internet {
   bool InTopListOnDay(DomainId id, int day) const;
 
   // --- connectivity ------------------------------------------------------
-  // Opens a TCP/443 connection. Returns nullptr when the domain does not
-  // serve HTTPS. Load-balancer selection of the endpoint is deterministic
-  // per (domain, day) with occasional off-affinity picks — the scan jitter
-  // of §4.3. Applies due maintenance (restarts, manual rotations) lazily.
+  // How a connection attempt ended before TLS could start. kOk carries a
+  // live connection (possibly fault-decorated); everything else is a
+  // connect-time failure.
+  enum class ConnectStatus : std::uint8_t {
+    kOk = 0,
+    kNoHttps,  // the domain does not listen on 443 at all
+    kRefused,  // fast TCP RST (injected fault)
+    kTimeout,  // slow host, the connect never completed (injected fault)
+    kOutage,   // the domain is inside a transient dark window
+  };
+
+  struct ConnectOutcome {
+    std::unique_ptr<tls::ServerConnection> connection;  // set iff kOk
+    ConnectStatus status = ConnectStatus::kNoHttps;
+  };
+
+  // Opens a TCP/443 connection. Load-balancer selection of the endpoint is
+  // deterministic per (domain, day) with occasional off-affinity picks —
+  // the scan jitter of §4.3. Applies due maintenance (restarts, manual
+  // rotations) lazily. When a fault spec is installed, connect-time faults
+  // surface in the status and mid-handshake faults ride along inside a
+  // FaultyConnection decorator.
+  ConnectOutcome ConnectDetailed(DomainId id, SimTime now);
+
+  // Legacy binary view of ConnectDetailed: nullptr on any failure.
   std::unique_ptr<tls::ServerConnection> Connect(DomainId id, SimTime now);
+
+  // Installs (or, with spec.enabled == false, removes) a fault model. The
+  // injector derives its randomness from the world seed, so a faulty study
+  // replays bit-for-bit from (spec, seed).
+  void SetFaultSpec(const FaultSpec& spec);
+  bool FaultsEnabled() const {
+    return fault_injector_ != nullptr && fault_injector_->Enabled();
+  }
+  const FaultInjector* Faults() const { return fault_injector_.get(); }
 
   // The terminator Connect would use at `now` (for topology queries).
   TerminatorId EndpointFor(DomainId id, SimTime now) const;
@@ -99,6 +130,7 @@ class Internet {
   std::multimap<std::uint32_t, DomainId> by_as_;
   pki::RootStore root_store_;
   std::uint64_t seed_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace tlsharm::simnet

@@ -7,10 +7,21 @@
 namespace tlsharm::tls {
 namespace {
 
-HandshakeResult Fail(std::string error) {
+HandshakeResult Fail(
+    std::string error,
+    HandshakeErrorClass error_class = HandshakeErrorClass::kMalformed) {
   HandshakeResult r;
   r.error = std::move(error);
+  r.error_class = error_class;
   return r;
+}
+
+// A failed ServerConnection is a reset/timeout only when it reports the
+// canonical transport details; everything else is a deliberate abort.
+HandshakeErrorClass ClassifyTransport(std::string_view detail) {
+  if (detail == kResetErrorDetail) return HandshakeErrorClass::kReset;
+  if (detail == kTimeoutErrorDetail) return HandshakeErrorClass::kTimeout;
+  return HandshakeErrorClass::kAlert;
 }
 
 // Transcript hash over framed handshake messages.
@@ -56,9 +67,11 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
   AppendHandshake(flight1, HandshakeType::kClientHello, ch_body);
 
   const Bytes response = conn.OnClientFlight(flight1);
-  if (conn.Failed() || response.empty()) {
-    return Fail("server aborted: " + std::string(conn.ErrorDetail()));
+  if (conn.Failed()) {
+    return Fail("server aborted: " + std::string(conn.ErrorDetail()),
+                ClassifyTransport(conn.ErrorDetail()));
   }
+  if (response.empty()) return Fail("empty server flight");
   const auto msgs = ParseFlight(response);
   if (!msgs || msgs->empty()) return Fail("malformed server flight");
 
@@ -141,7 +154,8 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
     const Bytes final_response = conn.OnClientFlight(flight2);
     if (conn.Failed()) {
       return Fail("server rejected client Finished: " +
-                  std::string(conn.ErrorDetail()));
+                      std::string(conn.ErrorDetail()),
+                  ClassifyTransport(conn.ErrorDetail()));
     }
     if (!final_response.empty()) return Fail("unexpected data after Finished");
     result.ok = true;
@@ -246,10 +260,12 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
   AppendHandshake(flight2, HandshakeType::kClientKeyExchange, cke_body);
   AppendHandshake(flight2, HandshakeType::kFinished, client_verify);
   const Bytes response2 = conn.OnClientFlight(flight2);
-  if (conn.Failed() || response2.empty()) {
+  if (conn.Failed()) {
     return Fail("server aborted after key exchange: " +
-                std::string(conn.ErrorDetail()));
+                    std::string(conn.ErrorDetail()),
+                ClassifyTransport(conn.ErrorDetail()));
   }
+  if (response2.empty()) return Fail("empty server flight 2");
   const auto msgs2 = ParseFlight(response2);
   if (!msgs2 || msgs2->empty()) return Fail("malformed server flight 2");
 

@@ -51,9 +51,33 @@ struct ClientConfig {
   bool kex_probe_only = false;
 };
 
+// Coarse classification of why a handshake failed, for the scanner's
+// failure taxonomy. kMalformed covers everything that failed to parse or
+// violated the protocol (truncated/corrupted flights, downgrades, forged
+// signatures); kAlert is a server that answered but aborted deliberately.
+enum class HandshakeErrorClass : std::uint8_t {
+  kNone = 0,
+  kReset,      // transport reset mid-handshake
+  kTimeout,    // transport stalled past its deadline
+  kAlert,      // server aborted the handshake deliberately
+  kMalformed,  // response failed to parse or violated the protocol
+};
+
+inline std::string_view ToString(HandshakeErrorClass c) {
+  switch (c) {
+    case HandshakeErrorClass::kNone: return "none";
+    case HandshakeErrorClass::kReset: return "reset";
+    case HandshakeErrorClass::kTimeout: return "timeout";
+    case HandshakeErrorClass::kAlert: return "alert";
+    case HandshakeErrorClass::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
 struct HandshakeResult {
   bool ok = false;
   std::string error;
+  HandshakeErrorClass error_class = HandshakeErrorClass::kNone;
 
   bool resumed = false;
   bool resumed_via_ticket = false;

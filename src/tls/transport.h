@@ -14,6 +14,13 @@
 
 namespace tlsharm::tls {
 
+// Canonical ErrorDetail values for transport-level (not protocol-level)
+// connection failures. The client state machine classifies a failed
+// connection as reset/timeout by exact match on these; anything else a
+// server reports is treated as a deliberate abort (alert).
+inline constexpr std::string_view kResetErrorDetail = "connection reset";
+inline constexpr std::string_view kTimeoutErrorDetail = "connection timed out";
+
 // Server side of one TLS connection. Implementations live in the server
 // module (SSL terminators).
 class ServerConnection {

@@ -52,7 +52,7 @@ Reader Reader::ReadSubReader(int len_width) {
   const std::size_t len = static_cast<std::size_t>(ReadUint(len_width));
   if (failed_ || off_ + len > data_.size()) {
     failed_ = true;
-    return Reader({});
+    return Reader(ByteView{});
   }
   Reader sub(ByteView(data_.data() + off_, len));
   off_ += len;

@@ -28,6 +28,10 @@ class Writer {
 class Reader {
  public:
   explicit Reader(ByteView data) : data_(data) {}
+  // A Reader only views its input; constructing one over a temporary
+  // buffer leaves it dangling after the full expression. Reject that
+  // pattern at compile time.
+  explicit Reader(Bytes&&) = delete;
 
   std::uint64_t ReadUint(int width);
   Bytes ReadBytes(std::size_t n);

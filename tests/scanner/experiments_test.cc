@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace tlsharm::scanner {
 namespace {
 
@@ -126,6 +128,111 @@ TEST(GroupExperimentTest, KexGroupsSmallerThanStekGroups) {
   ASSERT_FALSE(stek.groups.empty());
   // §5.3: DH values shared in fewer instances and smaller groups.
   EXPECT_LT(kex.groups.front().size(), stek.groups.front().size());
+}
+
+TEST(DailyScanRobustnessTest, CleanNetworkHasNoLoss) {
+  const DailyScanResult result = RunDailyScans(World(), 3, 11);
+  ASSERT_EQ(result.loss.size(), 3u);
+  for (const DayLoss& day : result.loss) {
+    EXPECT_GT(day.scheduled, 0u);
+    EXPECT_EQ(day.lost, 0u);
+    EXPECT_EQ(day.recovered, 0u);
+    EXPECT_DOUBLE_EQ(day.LossRate(), 0.0);
+  }
+}
+
+TEST(DailyScanRobustnessTest, RetriesKeepCoreCountsWithinOnePercent) {
+  // The acceptance bar: under the default ~5% fault mix, retries plus the
+  // end-of-pass requeue keep the §3 core-domain numbers within 1% of a
+  // fault-free baseline.
+  const auto spec = simnet::PaperPopulationSpec(1500);
+  simnet::Internet clean(spec, 42);
+  const DailyScanResult baseline = RunDailyScans(clean, 4, 7);
+
+  simnet::Internet faulty(spec, 42);
+  faulty.SetFaultSpec(simnet::DefaultFaultSpec());
+  ScanRobustness robustness;
+  robustness.retry.max_attempts = 4;
+  const DailyScanResult resilient = RunDailyScans(faulty, 4, 7, robustness);
+
+  const auto within_1pct = [](std::size_t a, std::size_t b) {
+    const double hi = std::max<double>(a, b), lo = std::min<double>(a, b);
+    return hi - lo <= 0.01 * hi;
+  };
+  EXPECT_TRUE(within_1pct(baseline.core_domains.size(),
+                          resilient.core_domains.size()))
+      << baseline.core_domains.size() << " vs "
+      << resilient.core_domains.size();
+  EXPECT_TRUE(within_1pct(baseline.core_ever_ticket,
+                          resilient.core_ever_ticket))
+      << baseline.core_ever_ticket << " vs " << resilient.core_ever_ticket;
+  EXPECT_TRUE(within_1pct(baseline.core_ever_ecdhe,
+                          resilient.core_ever_ecdhe))
+      << baseline.core_ever_ecdhe << " vs " << resilient.core_ever_ecdhe;
+  EXPECT_TRUE(within_1pct(baseline.core_any_mechanism,
+                          resilient.core_any_mechanism))
+      << baseline.core_any_mechanism << " vs "
+      << resilient.core_any_mechanism;
+  // Residual per-day loss is well under a percent.
+  for (const DayLoss& day : resilient.loss) {
+    EXPECT_LT(day.LossRate(), 0.01);
+  }
+}
+
+TEST(DailyScanRobustnessTest, WithoutRetriesLossIsVisible) {
+  const auto spec = simnet::PaperPopulationSpec(1500);
+  simnet::Internet faulty(spec, 42);
+  faulty.SetFaultSpec(simnet::DefaultFaultSpec());
+  ScanRobustness fragile;
+  fragile.retry.max_attempts = 1;
+  fragile.requeue_failures = false;
+  const DailyScanResult result = RunDailyScans(faulty, 3, 7, fragile);
+  ASSERT_EQ(result.loss.size(), 3u);
+  for (const DayLoss& day : result.loss) {
+    EXPECT_GT(day.lost, 0u);
+    EXPECT_GT(day.LossRate(), 0.01);  // the ~5% mix shows up undamped
+    EXPECT_LT(day.LossRate(), 0.20);
+    // The per-class histogram accounts for every lost probe, in transport
+    // classes only.
+    std::size_t classed = 0;
+    for (int c = 0; c < kProbeFailureClasses; ++c) {
+      const auto count = day.lost_by_class[c];
+      if (count > 0) {
+        EXPECT_TRUE(IsTransportFailure(static_cast<ProbeFailure>(c)))
+            << ToString(static_cast<ProbeFailure>(c));
+      }
+      classed += count;
+    }
+    EXPECT_EQ(classed, day.lost);
+  }
+}
+
+TEST(DailyScanRobustnessTest, FaultyScanReplaysBitForBit) {
+  // Identically-seeded worlds with the same fault spec and robustness
+  // settings must produce identical studies — the replay property.
+  const auto spec = simnet::PaperPopulationSpec(1200);
+  ScanRobustness robustness;
+  robustness.retry.max_attempts = 3;
+
+  const auto run = [&] {
+    simnet::Internet net(spec, 1337);
+    net.SetFaultSpec(simnet::DefaultFaultSpec(2.0));
+    return RunDailyScans(net, 3, 21, robustness);
+  };
+  const DailyScanResult a = run();
+  const DailyScanResult b = run();
+
+  EXPECT_EQ(a.core_domains, b.core_domains);
+  EXPECT_EQ(a.core_ever_ticket, b.core_ever_ticket);
+  EXPECT_EQ(a.core_ever_ecdhe, b.core_ever_ecdhe);
+  EXPECT_EQ(a.core_ever_dhe_connect, b.core_ever_dhe_connect);
+  ASSERT_EQ(a.loss.size(), b.loss.size());
+  for (std::size_t day = 0; day < a.loss.size(); ++day) {
+    EXPECT_EQ(a.loss[day].scheduled, b.loss[day].scheduled);
+    EXPECT_EQ(a.loss[day].recovered, b.loss[day].recovered);
+    EXPECT_EQ(a.loss[day].lost, b.loss[day].lost);
+    EXPECT_EQ(a.loss[day].lost_by_class, b.loss[day].lost_by_class);
+  }
 }
 
 TEST(ChurnTest, StatsShapeMatchesModel) {

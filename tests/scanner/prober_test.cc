@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace tlsharm::scanner {
 namespace {
 
@@ -100,9 +102,115 @@ TEST(ProberTest, NonHttpsDomainNotConnected) {
     const auto result = prober.Probe(id, kHour);
     EXPECT_FALSE(result.observation.connected);
     EXPECT_FALSE(result.observation.handshake_ok);
+    EXPECT_EQ(result.observation.failure, ProbeFailure::kNoHttps);
     return;
   }
   FAIL() << "no plain-http domain";
+}
+
+TEST(ProberTest, EveryOutcomeMapsToExactlyOneFailureClass) {
+  // On a faulty network every probe lands in exactly one taxonomy class,
+  // and the class agrees with the legacy booleans.
+  simnet::Internet net(simnet::PaperPopulationSpec(1500), 17);
+  net.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+  Prober prober(net, 7);
+  std::array<std::size_t, kProbeFailureClasses> counts{};
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    const auto obs = prober.Probe(id, kHour).observation;
+    ASSERT_LT(static_cast<std::size_t>(obs.failure), counts.size());
+    ++counts[static_cast<std::size_t>(obs.failure)];
+    EXPECT_EQ(obs.failure == ProbeFailure::kNone,
+              obs.handshake_ok && obs.trusted);
+    if (obs.failure == ProbeFailure::kNoHttps ||
+        obs.failure == ProbeFailure::kRefused ||
+        obs.failure == ProbeFailure::kTimeout) {
+      EXPECT_FALSE(obs.connected) << ToString(obs.failure);
+    }
+    if (obs.failure == ProbeFailure::kUntrusted ||
+        obs.failure == ProbeFailure::kAlert ||
+        obs.failure == ProbeFailure::kMalformed ||
+        obs.failure == ProbeFailure::kReset) {
+      EXPECT_TRUE(obs.connected) << ToString(obs.failure);
+    }
+    EXPECT_GE(obs.attempts, 1);
+  }
+  // The inflated fault mix must exercise the transport classes.
+  EXPECT_GT(counts[static_cast<std::size_t>(ProbeFailure::kNone)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(ProbeFailure::kRefused)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(ProbeFailure::kTimeout)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(ProbeFailure::kReset)], 0u);
+}
+
+TEST(ProberTest, RetriesRecoverTransientFaults) {
+  // The same world and domains, probed with and without retries: retries
+  // must strictly reduce transport loss, and never retry deliberate
+  // answers (attempts stays 1 for non-transport outcomes).
+  const auto spec = simnet::PaperPopulationSpec(1500);
+  simnet::Internet flaky(spec, 31), flaky_retry(spec, 31);
+  flaky.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+  flaky_retry.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+
+  Prober plain(flaky, 8), retrying(flaky_retry, 8);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  retrying.SetRetryPolicy(policy);
+
+  std::size_t lost_plain = 0, lost_retry = 0;
+  for (simnet::DomainId id = 0; id < flaky.DomainCount(); ++id) {
+    const auto a = plain.Probe(id, kHour).observation;
+    const auto b = retrying.Probe(id, kHour).observation;
+    lost_plain += IsTransportFailure(a.failure);
+    lost_retry += IsTransportFailure(b.failure);
+    if (!IsTransportFailure(b.failure) && b.attempts > 1) {
+      // A non-transport outcome is either first-try or a recovery; it is
+      // never the product of retrying a deliberate answer.
+      EXPECT_TRUE(IsTransportFailure(a.failure));
+    }
+  }
+  EXPECT_GT(lost_plain, 0u);
+  EXPECT_LT(lost_retry, lost_plain / 2);
+}
+
+TEST(ProberTest, RetryBackoffIsDeterministic) {
+  const auto spec = simnet::PaperPopulationSpec(1000);
+  simnet::Internet a(spec, 55), b(spec, 55);
+  a.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+  b.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+  Prober pa(a, 9), pb(b, 9);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  pa.SetRetryPolicy(policy);
+  pb.SetRetryPolicy(policy);
+  for (simnet::DomainId id = 0; id < a.DomainCount(); ++id) {
+    const auto oa = pa.Probe(id, kHour).observation;
+    const auto ob = pb.Probe(id, kHour).observation;
+    EXPECT_EQ(oa.failure, ob.failure) << "domain " << id;
+    EXPECT_EQ(oa.attempts, ob.attempts) << "domain " << id;
+    EXPECT_EQ(oa.kex_value, ob.kex_value) << "domain " << id;
+  }
+}
+
+TEST(ProberTest, ResumptionRetriesThroughTransientFaults) {
+  const auto spec = simnet::PaperPopulationSpec(1500);
+  simnet::Internet net(spec, 77);
+  Prober prober(net, 10);
+  ProbeOptions options;
+  options.want_full_result = true;
+  const auto id = net.FindDomain("yahoo.com");
+  ASSERT_TRUE(id.has_value());
+  const auto result = prober.Probe(*id, kHour, options);
+  ASSERT_TRUE(result.session.valid);
+
+  net.SetFaultSpec(simnet::DefaultFaultSpec(3.0));
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  prober.SetRetryPolicy(policy);
+  // With generous retries the resumption must get through the fault mix.
+  std::size_t ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    ok += prober.TryResume(result.session, *id, kHour + 2 + i);
+  }
+  EXPECT_GT(ok, 15u);
 }
 
 }  // namespace

@@ -21,6 +21,21 @@ TEST(RandomPermutationTest, IsABijection) {
   }
 }
 
+TEST(RandomPermutationTest, EverySmallSizeIsABijection) {
+  // n = 0 and n = 1 used to hang the cycle walk in release builds; every
+  // size in [0, 64] must construct and permute cleanly.
+  for (std::uint64_t n = 0; n <= 64; ++n) {
+    RandomPermutation perm(n, 20160302 + n);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t v = perm.At(i);
+      ASSERT_LT(v, n) << "out of range at n=" << n;
+      ASSERT_TRUE(seen.insert(v).second) << "duplicate at n=" << n;
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
 TEST(RandomPermutationTest, SeedChangesOrder) {
   RandomPermutation a(1000, 1), b(1000, 2);
   int same = 0;

@@ -89,6 +89,39 @@ TEST(ObservationStoreTest, WriterCounts) {
   EXPECT_EQ(std::count(data.begin(), data.end(), '\n'), 2);
 }
 
+TEST(ObservationStoreTest, FailureClassRoundTrips) {
+  for (int i = 0; i < kProbeFailureClasses; ++i) {
+    StoredObservation stored = Sample(1, 2);
+    stored.observation.failure = static_cast<ProbeFailure>(i);
+    const auto out = ParseObservations(SerializeObservations({stored}));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].observation.failure, stored.observation.failure);
+  }
+}
+
+TEST(ObservationStoreTest, LegacyNineFieldLinesDeriveFailure) {
+  // Lines written before the failure column existed still load; the class
+  // is reconstructed from the flags.
+  const std::string legacy =
+      "3|7|7|49|498|11|22|33|100800\n"   // connected+ok+trusted -> ok
+      "3|8|3|49|498|11|22|33|100800\n"   // connected+ok, untrusted
+      "3|9|1|0|0|0|0|0|0\n"              // connected only -> alert
+      "3|10|0|0|0|0|0|0|0\n";            // nothing -> no_https
+  const auto out = ParseObservations(legacy);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].observation.failure, ProbeFailure::kNone);
+  EXPECT_EQ(out[1].observation.failure, ProbeFailure::kUntrusted);
+  EXPECT_EQ(out[2].observation.failure, ProbeFailure::kAlert);
+  EXPECT_EQ(out[3].observation.failure, ProbeFailure::kNoHttps);
+}
+
+TEST(ObservationStoreTest, OutOfRangeFailureIsCorrupt) {
+  std::istringstream in("1|2|7|49|498|11|22|33|100800|99\n");
+  ObservationReader reader(in);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.Corrupt(), 1u);
+}
+
 TEST(ObservationStoreTest, LargeBatchRoundTrip) {
   std::vector<StoredObservation> in;
   for (int i = 0; i < 1000; ++i) {

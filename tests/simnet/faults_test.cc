@@ -1,0 +1,242 @@
+#include "simnet/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "simnet/internet.h"
+
+namespace tlsharm::simnet {
+namespace {
+
+DomainInfo MakeDomain(const std::string& name, const std::string& op = "",
+                      std::uint32_t as_number = 0) {
+  DomainInfo info;
+  info.name = name;
+  info.operator_name = op;
+  info.as_number = as_number;
+  return info;
+}
+
+FaultSpec FlatSpec(double refuse, double timeout, double reset,
+                   double truncate = 0, double corrupt = 0,
+                   double outage = 0) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.base.refuse_rate = refuse;
+  spec.base.timeout_rate = timeout;
+  spec.base.reset_rate = reset;
+  spec.base.truncate_rate = truncate;
+  spec.base.corrupt_rate = corrupt;
+  spec.base.outage_rate = outage;
+  return spec;
+}
+
+TEST(FaultSpecTest, DefaultMixSumsToRoughlyFivePercentTransport) {
+  const FaultSpec spec = DefaultFaultSpec();
+  EXPECT_TRUE(spec.enabled);
+  const double transport = spec.base.refuse_rate + spec.base.timeout_rate +
+                           spec.base.reset_rate;
+  EXPECT_GT(transport, 0.03);
+  EXPECT_LT(transport, 0.08);
+  EXPECT_FALSE(spec.operator_overrides.empty());
+}
+
+TEST(FaultSpecTest, ScaleMultipliesAndClamps) {
+  const FaultSpec half = DefaultFaultSpec(0.5);
+  const FaultSpec full = DefaultFaultSpec(1.0);
+  EXPECT_NEAR(half.base.refuse_rate, full.base.refuse_rate / 2, 1e-12);
+  const FaultSpec huge = DefaultFaultSpec(1e9);
+  EXPECT_LE(huge.base.refuse_rate, 1.0);
+}
+
+TEST(FaultSpecTest, EnvKnobControlsSpec) {
+  ::unsetenv("TLSHARM_FAULTS");
+  EXPECT_FALSE(FaultSpecFromEnv().enabled);
+  ::setenv("TLSHARM_FAULTS", "0", 1);
+  EXPECT_FALSE(FaultSpecFromEnv().enabled);
+  ::setenv("TLSHARM_FAULTS", "1", 1);
+  const FaultSpec on = FaultSpecFromEnv();
+  EXPECT_TRUE(on.enabled);
+  EXPECT_NEAR(on.base.refuse_rate, DefaultFaultSpec().base.refuse_rate,
+              1e-12);
+  ::setenv("TLSHARM_FAULTS", "2", 1);
+  EXPECT_NEAR(FaultSpecFromEnv().base.refuse_rate,
+              2 * DefaultFaultSpec().base.refuse_rate, 1e-12);
+  ::unsetenv("TLSHARM_FAULTS");
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicInSeedDomainTime) {
+  const FaultSpec spec = FlatSpec(0.1, 0.1, 0.1, 0.05, 0.05, 0.1);
+  const FaultInjector a(spec, 99), b(spec, 99), other(spec, 100);
+  const DomainInfo domain = MakeDomain("example.com");
+  int differs = 0;
+  for (SimTime t = 0; t < 1000 * kMinute; t += kMinute) {
+    const FaultDecision da = a.Decide(domain, t);
+    const FaultDecision db = b.Decide(domain, t);
+    EXPECT_EQ(da.kind, db.kind);
+    EXPECT_EQ(da.payload_seed, db.payload_seed);
+    differs += da.kind != other.Decide(domain, t).kind;
+  }
+  EXPECT_GT(differs, 0);  // a different seed draws different fates
+}
+
+TEST(FaultInjectorTest, RatesComeOutRoughlyAsConfigured) {
+  const FaultSpec spec = FlatSpec(0.10, 0.05, 0.05);
+  const FaultInjector injector(spec, 7);
+  std::map<FaultKind, int> counts;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const DomainInfo domain = MakeDomain("host" + std::to_string(i) + ".com");
+    ++counts[injector.Decide(domain, kHour).kind];
+  }
+  EXPECT_NEAR(counts[FaultKind::kRefused] / double(trials), 0.10, 0.01);
+  EXPECT_NEAR(counts[FaultKind::kTimeout] / double(trials), 0.05, 0.01);
+  EXPECT_NEAR(counts[FaultKind::kReset] / double(trials), 0.05, 0.01);
+  EXPECT_NEAR(counts[FaultKind::kNone] / double(trials), 0.80, 0.02);
+}
+
+TEST(FaultInjectorTest, ProfileResolutionPrefersOperatorThenAs) {
+  FaultSpec spec = FlatSpec(0.01, 0, 0);
+  spec.operator_overrides["flaky-op"].refuse_rate = 0.5;
+  spec.as_overrides[77].refuse_rate = 0.25;
+  const FaultInjector injector(spec, 1);
+  EXPECT_DOUBLE_EQ(
+      injector.ProfileFor(MakeDomain("a.com", "flaky-op", 77)).refuse_rate,
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      injector.ProfileFor(MakeDomain("b.com", "other-op", 77)).refuse_rate,
+      0.25);
+  EXPECT_DOUBLE_EQ(
+      injector.ProfileFor(MakeDomain("c.com", "other-op", 1)).refuse_rate,
+      0.01);
+}
+
+TEST(FaultInjectorTest, OutageIsAContiguousWindowPerPeriod) {
+  FaultSpec spec = FlatSpec(0, 0, 0);
+  spec.base.outage_rate = 1.0;  // every period contains a dark window
+  spec.base.outage_period = 7 * kDay;
+  spec.base.outage_duration = 6 * kHour;
+  const FaultInjector injector(spec, 13);
+  const DomainInfo domain = MakeDomain("dark.com");
+
+  // Sample one period at minute granularity: the dark minutes must form
+  // one contiguous run of outage_duration.
+  int dark = 0, transitions = 0;
+  bool prev = injector.InOutage(domain, 0);
+  for (SimTime t = 0; t < spec.base.outage_period; t += kMinute) {
+    const bool now_dark = injector.InOutage(domain, t);
+    dark += now_dark;
+    transitions += now_dark != prev;
+    prev = now_dark;
+  }
+  EXPECT_EQ(dark, spec.base.outage_duration / kMinute);
+  EXPECT_LE(transitions, 2);
+
+  // Decide() reports the outage for the whole window.
+  for (SimTime t = 0; t < spec.base.outage_period; t += kMinute) {
+    const bool now_dark = injector.InOutage(domain, t);
+    EXPECT_EQ(injector.Decide(domain, t).kind == FaultKind::kOutage,
+              now_dark);
+  }
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFault) {
+  const FaultSpec spec = FlatSpec(0, 0, 0);
+  const FaultInjector injector(spec, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const DomainInfo domain = MakeDomain("h" + std::to_string(i) + ".com");
+    EXPECT_EQ(injector.Decide(domain, i * kMinute).kind, FaultKind::kNone);
+  }
+}
+
+// Minimal inner connection: answers every flight with a fixed payload.
+class FixedConnection final : public tls::ServerConnection {
+ public:
+  explicit FixedConnection(Bytes response)
+      : response_(std::move(response)) {}
+  Bytes OnClientFlight(ByteView) override { return response_; }
+  Bytes OnApplicationRecord(ByteView) override { return response_; }
+  bool Failed() const override { return false; }
+  std::string_view ErrorDetail() const override { return {}; }
+
+ private:
+  Bytes response_;
+};
+
+Bytes SamplePayload() {
+  Bytes payload;
+  for (int i = 0; i < 64; ++i) payload.push_back(static_cast<uint8_t>(i));
+  return payload;
+}
+
+TEST(FaultyConnectionTest, ResetConsumesFlightAndFails) {
+  FaultyConnection conn(std::make_unique<FixedConnection>(SamplePayload()),
+                        FaultDecision{FaultKind::kReset, 1});
+  EXPECT_TRUE(conn.OnClientFlight(SamplePayload()).empty());
+  EXPECT_TRUE(conn.Failed());
+  EXPECT_EQ(conn.ErrorDetail(), tls::kResetErrorDetail);
+}
+
+TEST(FaultyConnectionTest, TruncateShortensFirstFlightOnly) {
+  FaultyConnection conn(std::make_unique<FixedConnection>(SamplePayload()),
+                        FaultDecision{FaultKind::kTruncate, 0x1234});
+  const Bytes first = conn.OnClientFlight(SamplePayload());
+  EXPECT_LT(first.size(), SamplePayload().size());
+  // The fault is spent: later flights pass through untouched.
+  EXPECT_EQ(conn.OnClientFlight(SamplePayload()), SamplePayload());
+}
+
+TEST(FaultyConnectionTest, CorruptFlipsBitsButKeepsLength) {
+  FaultyConnection conn(std::make_unique<FixedConnection>(SamplePayload()),
+                        FaultDecision{FaultKind::kCorrupt, 0x5678});
+  const Bytes first = conn.OnClientFlight(SamplePayload());
+  ASSERT_EQ(first.size(), SamplePayload().size());
+  EXPECT_NE(first, SamplePayload());
+}
+
+TEST(FaultyConnectionTest, NoFaultPassesThrough) {
+  FaultyConnection conn(std::make_unique<FixedConnection>(SamplePayload()),
+                        FaultDecision{});
+  EXPECT_EQ(conn.OnClientFlight(SamplePayload()), SamplePayload());
+  EXPECT_EQ(conn.OnApplicationRecord(SamplePayload()), SamplePayload());
+  EXPECT_FALSE(conn.Failed());
+}
+
+TEST(InternetFaultsTest, ConnectDetailedSurfacesStatusesDeterministically) {
+  const PopulationSpec spec = PaperPopulationSpec(1000);
+  Internet a(spec, 21), b(spec, 21);
+  a.SetFaultSpec(DefaultFaultSpec(2.0));
+  b.SetFaultSpec(DefaultFaultSpec(2.0));
+
+  std::map<Internet::ConnectStatus, int> statuses;
+  for (DomainId id = 0; id < a.DomainCount(); ++id) {
+    const auto oa = a.ConnectDetailed(id, kHour);
+    const auto ob = b.ConnectDetailed(id, kHour);
+    EXPECT_EQ(oa.status, ob.status) << "domain " << id;
+    EXPECT_EQ(oa.connection != nullptr, ob.connection != nullptr);
+    EXPECT_EQ(oa.connection != nullptr,
+              oa.status == Internet::ConnectStatus::kOk);
+    ++statuses[oa.status];
+  }
+  EXPECT_GT(statuses[Internet::ConnectStatus::kOk], 0);
+  EXPECT_GT(statuses[Internet::ConnectStatus::kRefused], 0);
+  EXPECT_GT(statuses[Internet::ConnectStatus::kTimeout], 0);
+}
+
+TEST(InternetFaultsTest, DisabledSpecRestoresCleanNetwork) {
+  Internet net(PaperPopulationSpec(500), 9);
+  net.SetFaultSpec(DefaultFaultSpec());
+  EXPECT_TRUE(net.FaultsEnabled());
+  net.SetFaultSpec(FaultSpec{});  // disabled
+  EXPECT_FALSE(net.FaultsEnabled());
+  for (DomainId id = 0; id < net.DomainCount(); ++id) {
+    const auto outcome = net.ConnectDetailed(id, kHour);
+    EXPECT_TRUE(outcome.status == Internet::ConnectStatus::kOk ||
+                outcome.status == Internet::ConnectStatus::kNoHttps);
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm::simnet

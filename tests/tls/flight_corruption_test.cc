@@ -1,0 +1,152 @@
+// Corpus-style robustness test: take a genuine server flight produced by a
+// real simulated terminator, then feed the client every prefix of it plus
+// hundreds of seeded random corruptions. The client must fail closed with a
+// classified error every time — never crash, never accept the handshake.
+// (scripts/check.sh reruns this under ASan+UBSan, where any parser
+// over-read in these paths becomes a hard failure.)
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "simnet/internet.h"
+#include "tls/client.h"
+#include "util/rng.h"
+
+namespace tlsharm::tls {
+namespace {
+
+// Forwards to a live terminator connection, capturing the first non-empty
+// server flight on the way through.
+class Tap final : public ServerConnection {
+ public:
+  Tap(std::unique_ptr<ServerConnection> inner, Bytes& first_flight)
+      : inner_(std::move(inner)), first_flight_(first_flight) {}
+
+  Bytes OnClientFlight(ByteView flight) override {
+    Bytes response = inner_->OnClientFlight(flight);
+    if (first_flight_.empty() && !response.empty()) first_flight_ = response;
+    return response;
+  }
+  Bytes OnApplicationRecord(ByteView record) override {
+    return inner_->OnApplicationRecord(record);
+  }
+  bool Failed() const override { return inner_->Failed(); }
+  std::string_view ErrorDetail() const override {
+    return inner_->ErrorDetail();
+  }
+
+ private:
+  std::unique_ptr<ServerConnection> inner_;
+  Bytes& first_flight_;
+};
+
+// Replays one fixed server flight, then goes silent.
+class ScriptedServer final : public ServerConnection {
+ public:
+  explicit ScriptedServer(Bytes flight) : flight_(std::move(flight)) {}
+  Bytes OnClientFlight(ByteView) override {
+    if (sent_) return {};
+    sent_ = true;
+    return flight_;
+  }
+  Bytes OnApplicationRecord(ByteView) override { return {}; }
+  bool Failed() const override { return false; }
+  std::string_view ErrorDetail() const override { return "scripted"; }
+
+ private:
+  Bytes flight_;
+  bool sent_ = false;
+};
+
+// One real server flight (ServerHello..ServerHelloDone) captured from a
+// live handshake against the simulated world.
+const Bytes& ValidServerFlight() {
+  static const Bytes* flight = [] {
+    auto* captured = new Bytes;
+    simnet::Internet net(simnet::PaperPopulationSpec(500), 11);
+    for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+      const auto& info = net.GetDomain(id);
+      if (!info.https || !info.trusted_cert) continue;
+      auto conn = net.Connect(id, kHour);
+      if (conn == nullptr) continue;
+      Tap tap(std::move(conn), *captured);
+      ClientConfig config;
+      config.server_name = info.name;
+      crypto::Drbg drbg(ToBytes("capture"));
+      TlsClient client(config);
+      const HandshakeResult hs = client.Handshake(tap, kHour, drbg);
+      if (hs.ok && !captured->empty()) break;
+      captured->clear();
+    }
+    return captured;
+  }();
+  return *flight;
+}
+
+// Runs a fresh client against the (possibly mangled) flight.
+HandshakeResult RunAgainst(Bytes flight, std::uint64_t case_seed) {
+  ScriptedServer server(std::move(flight));
+  Bytes drbg_seed = ToBytes("corruption");
+  AppendUint(drbg_seed, case_seed, 8);
+  crypto::Drbg drbg(drbg_seed);
+  ClientConfig config;
+  config.server_name = "victim.test";
+  TlsClient client(config);
+  return client.Handshake(server, /*now=*/kHour, drbg);
+}
+
+TEST(FlightCorruptionTest, CapturedFlightIsSubstantial) {
+  // Sanity: the corpus seed exists and looks like a full first flight.
+  ASSERT_GT(ValidServerFlight().size(), 64u);
+}
+
+TEST(FlightCorruptionTest, EveryPrefixFailsClosedWithAClass) {
+  const Bytes& flight = ValidServerFlight();
+  for (std::size_t len = 0; len < flight.size(); ++len) {
+    const HandshakeResult result =
+        RunAgainst(Bytes(flight.begin(), flight.begin() + len), len);
+    ASSERT_FALSE(result.ok) << "prefix of " << len << " bytes accepted";
+    ASSERT_NE(result.error_class, HandshakeErrorClass::kNone)
+        << "prefix of " << len << " bytes left unclassified";
+    ASSERT_FALSE(result.error.empty());
+  }
+}
+
+TEST(FlightCorruptionTest, SeededRandomCorruptionsNeverCrashOrSucceed) {
+  const Bytes& flight = ValidServerFlight();
+  std::uint64_t state = 0x5eed;
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes mangled = flight;
+    const int flips = 1 + static_cast<int>(SplitMix64(state) % 32);
+    for (int i = 0; i < flips; ++i) {
+      const std::uint64_t r = SplitMix64(state);
+      mangled[r % mangled.size()] ^=
+          static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+    }
+    if (mangled == flight) continue;  // flips cancelled out
+    const HandshakeResult result = RunAgainst(std::move(mangled), state);
+    ASSERT_FALSE(result.ok) << "corrupted flight accepted, trial " << trial;
+    ASSERT_NE(result.error_class, HandshakeErrorClass::kNone);
+  }
+}
+
+TEST(FlightCorruptionTest, RandomTruncationPlusCorruptionFailsClosed) {
+  // The combined fault: cut the flight short AND flip bits in the stump —
+  // what a FaultyConnection's worst day looks like.
+  const Bytes& flight = ValidServerFlight();
+  std::uint64_t state = 0xdead5eed;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = SplitMix64(state) % flight.size();
+    Bytes mangled(flight.begin(), flight.begin() + len);
+    if (!mangled.empty()) {
+      const std::uint64_t r = SplitMix64(state);
+      mangled[r % mangled.size()] ^=
+          static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+    }
+    const HandshakeResult result = RunAgainst(std::move(mangled), state);
+    ASSERT_FALSE(result.ok);
+    ASSERT_NE(result.error_class, HandshakeErrorClass::kNone);
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm::tls

@@ -33,7 +33,8 @@ TEST(ReaderTest, ReadBackWhatWasWritten) {
 }
 
 TEST(ReaderTest, FailureLatches) {
-  Reader r(Bytes{0x01});
+  const Bytes data{0x01};
+  Reader r(data);
   EXPECT_EQ(r.ReadUint(2), 0u);
   EXPECT_TRUE(r.Failed());
   // Subsequent reads stay failed and return zero values.
@@ -43,7 +44,8 @@ TEST(ReaderTest, FailureLatches) {
 }
 
 TEST(ReaderTest, VectorTruncationFails) {
-  Reader r(Bytes{0x00, 0x05, 'a', 'b'});  // claims 5, has 2
+  const Bytes data{0x00, 0x05, 'a', 'b'};  // claims 5, has 2
+  Reader r(data);
   (void)r.ReadVector(2);
   EXPECT_TRUE(r.Failed());
 }
@@ -66,14 +68,16 @@ TEST(ReaderTest, SubReaderScopesBytes) {
 }
 
 TEST(ReaderTest, SubReaderTruncationFailsOuter) {
-  Reader r(Bytes{0x00, 0x09, 0x01});
+  const Bytes data{0x00, 0x09, 0x01};
+  Reader r(data);
   Reader sub = r.ReadSubReader(2);
   EXPECT_TRUE(r.Failed());
   EXPECT_TRUE(sub.AtEnd());
 }
 
 TEST(ReaderTest, RemainingCounts) {
-  Reader r(Bytes{1, 2, 3, 4});
+  const Bytes data{1, 2, 3, 4};
+  Reader r(data);
   EXPECT_EQ(r.Remaining(), 4u);
   (void)r.ReadUint(1);
   EXPECT_EQ(r.Remaining(), 3u);
