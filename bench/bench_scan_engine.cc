@@ -1,0 +1,100 @@
+// bench_scan_engine: daily-scan throughput, serial vs sharded.
+//
+// Runs the full daily-scan campaign twice on identically constructed
+// worlds — once at one thread (the serial scanner) and once at
+// TLSHARM_THREADS workers (default 8) — reports the speedup, and
+// cross-checks that the two runs produced the same aggregates (the
+// engine's determinism contract; the byte-level version is enforced by
+// ParallelDeterminismTest). Results land in BENCH_scan.json.
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common.h"
+#include "scanner/scan_engine.h"
+
+using namespace tlsharm;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+scanner::DailyScanResult RunOnce(bench::World& world, int threads,
+                                 double& elapsed_ms) {
+  scanner::ScanEngineOptions options;
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  scanner::DailyScanResult result = scanner::RunShardedDailyScans(
+      *world.net, world.days, bench::StudySeed() + 301, options);
+  elapsed_ms = MsSince(start);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::World world = bench::BuildWorld("scan engine throughput");
+  int threads = scanner::ScanThreadsFromEnv();
+  if (threads <= 1) threads = 8;
+
+  double serial_ms = 0;
+  const scanner::DailyScanResult serial = RunOnce(world, 1, serial_ms);
+
+  // Scanning mutates server state; the parallel run needs a fresh,
+  // identically constructed world.
+  world.net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), bench::StudySeed());
+  double parallel_ms = 0;
+  const scanner::DailyScanResult parallel =
+      RunOnce(world, threads, parallel_ms);
+
+  std::uint64_t probes = 0;
+  bool loss_matches = serial.loss.size() == parallel.loss.size();
+  for (std::size_t day = 0; day < serial.loss.size(); ++day) {
+    probes += serial.loss[day].scheduled;
+    loss_matches = loss_matches &&
+                   serial.loss[day].scheduled == parallel.loss[day].scheduled &&
+                   serial.loss[day].lost == parallel.loss[day].lost;
+  }
+  const bool matches =
+      loss_matches && serial.core_domains == parallel.core_domains &&
+      serial.core_ever_ticket == parallel.core_ever_ticket &&
+      serial.core_ever_ecdhe == parallel.core_ever_ecdhe &&
+      serial.core_ever_dhe_connect == parallel.core_ever_dhe_connect;
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("daily scans: %llu probes over %d days (%u hardware threads)\n",
+              static_cast<unsigned long long>(probes), world.days, cores);
+  if (cores < 2) {
+    std::printf("NOTE: single-core machine — the sharded run can only show "
+                "overhead here,\nnot speedup; the speedup field scales with "
+                "available cores.\n");
+  }
+  bench::PrintRow("serial (1 thread)",
+                  "-", std::to_string(static_cast<long long>(serial_ms)) + " ms");
+  bench::PrintRow("sharded (" + std::to_string(threads) + " threads)",
+                  "-", std::to_string(static_cast<long long>(parallel_ms)) + " ms");
+  char speedup_str[32];
+  std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
+  bench::PrintRow("speedup", "-", speedup_str);
+  bench::PrintRow("results identical", "yes", matches ? "yes" : "NO");
+
+  bench::JsonReport report("scan");
+  report.Add("population", static_cast<std::uint64_t>(world.population));
+  report.Add("days", world.days);
+  report.Add("threads", threads);
+  report.Add("hardware_threads", static_cast<std::uint64_t>(cores));
+  report.Add("probes", probes);
+  report.Add("serial_ms", serial_ms);
+  report.Add("parallel_ms", parallel_ms);
+  report.Add("speedup", speedup);
+  report.AddString("deterministic", matches ? "yes" : "no");
+  const std::string path = report.Write();
+  std::printf("\nwrote %s\n", path.c_str());
+  return matches ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simnet/internet.h"
 #include "util/stats.h"
@@ -78,5 +80,48 @@ inline std::string PaperCountAtScale(std::uint64_t paper_count,
          FormatCount(static_cast<std::uint64_t>(paper_count * scale + 0.5)) +
          "@scale)";
 }
+
+// Machine-readable bench results: collects flat key/value pairs and writes
+// them as BENCH_<name>.json in the working directory, so CI can track
+// throughput numbers without parsing the human-readable tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  // Writes BENCH_<name>.json and returns the path ("" on failure).
+  std::string Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return "";
+    std::fputs("{\n", out);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", out);
+    std::fclose(out);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // rendered
+};
 
 }  // namespace tlsharm::bench

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "analysis/vuln.h"
-#include "scanner/experiments.h"
+#include "scanner/scan_engine.h"
 #include "simnet/internet.h"
 #include "util/table.h"
 
@@ -26,16 +26,23 @@ int main() {
   // retries plus an end-of-pass requeue, like the real tool-chain had to.
   // The same scale and seeds replay the identical faulty study.
   const simnet::FaultSpec faults = simnet::FaultSpecFromEnv();
-  scanner::ScanRobustness robustness;
+  scanner::ScanEngineOptions engine;
   if (faults.enabled) {
     net.SetFaultSpec(faults);
-    robustness.retry.max_attempts = 3;
+    engine.robustness.retry.max_attempts = 3;
     std::printf("faults: enabled via TLSHARM_FAULTS (retries=3 + requeue)\n");
+  }
+  // TLSHARM_THREADS shards the daily scan across workers; any value
+  // produces byte-identical results (the engine's determinism contract).
+  engine.threads = scanner::ScanThreadsFromEnv();
+  if (engine.threads > 1) {
+    std::printf("scan engine: %d worker threads via TLSHARM_THREADS\n",
+                engine.threads);
   }
   std::printf("\n");
 
   // --- longevity scan.
-  const auto scan = scanner::RunDailyScans(net, days, 1, robustness);
+  const auto scan = scanner::RunShardedDailyScans(net, days, 1, engine);
   if (faults.enabled) {
     std::size_t scheduled = 0, recovered = 0, lost = 0;
     for (const auto& day : scan.loss) {

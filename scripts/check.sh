@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Full check: build + test the plain configuration, then again with
+# Full check: build + test the plain configuration, again with
 # TLSHARM_SANITIZE=ON (ASan + UBSan) to catch memory and UB bugs the plain
-# run can't — in particular in the fault-injection / corrupted-flight paths.
+# run can't — in particular in the fault-injection / corrupted-flight paths —
+# and once more with TLSHARM_SANITIZE=thread (TSan) running the concurrency
+# battery: the crypto known-answer vectors plus the sharded scan engine's
+# determinism test, which hammers the shared terminators from eight workers.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -10,15 +13,27 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 run_config() {
   local name="$1" dir="$2"
   shift 2
+  local filter=""
+  if [[ "${1:-}" == "--filter" ]]; then
+    filter="$2"
+    shift 2
+  fi
   echo "== ${name}: configure =="
   cmake -B "${dir}" -S "${repo}" "$@"
   echo "== ${name}: build =="
   cmake --build "${dir}" -j "${jobs}"
   echo "== ${name}: test =="
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -R "${filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  fi
 }
 
 run_config "plain" "${repo}/build"
 run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
+run_config "tsan" "${repo}/build-tsan" \
+  --filter 'CryptoVectors|ParallelDeterminism|Sharded' \
+  -DTLSHARM_SANITIZE=thread
 
-echo "All checks passed (plain + sanitized)."
+echo "All checks passed (plain + sanitized + tsan)."

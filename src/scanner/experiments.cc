@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "analysis/groups.h"
+#include "scanner/scan_engine.h"
 
 namespace tlsharm::scanner {
 namespace {
@@ -160,106 +161,12 @@ ResumptionLifetimeResult MeasureTicketLifetime(
 DailyScanResult RunDailyScans(simnet::Internet& net, int days,
                               std::uint64_t seed,
                               const ScanRobustness& robustness) {
-  Prober prober(net, seed);
-  prober.SetRetryPolicy(robustness.retry);
-  DailyScanResult result;
-  std::vector<std::uint8_t> ever_ticket(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_ecdhe(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_dhe(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_trusted(net.DomainCount(), 0);
-
-  ProbeOptions main_options;
-  main_options.ciphers = CipherSelection::kEcdheAndStatic;
-  ProbeOptions dhe_options;
-  dhe_options.ciphers = CipherSelection::kDheOnly;
-  dhe_options.kex_only = true;  // only the DHE value matters here
-
-  // Main scan: tickets + ECDHE values (the paper's ticket scan and
-  // Censys-style ECDHE scan folded into one connection).
-  const auto run_main = [&](simnet::DomainId id, SimTime when, int day) {
-    const auto main = prober.Probe(id, when, main_options);
-    if (main.observation.handshake_ok) {
-      if (main.observation.trusted) ever_trusted[id] = 1;
-      if (main.observation.ticket_issued) {
-        ever_ticket[id] = 1;
-        result.stek_spans.Observe(id, main.observation.stek_id, day);
-      }
-      if (main.observation.suite ==
-              tls::CipherSuite::kEcdheWithAes128CbcSha256 &&
-          main.observation.kex_value != kNoSecret) {
-        ever_ecdhe[id] = 1;
-        result.ecdhe_spans.Observe(id, main.observation.kex_value, day);
-      }
-    }
-    return main.observation.failure;
-  };
-  // DHE-only scan (the Censys DHE data set).
-  const auto run_dhe = [&](simnet::DomainId id, SimTime when, int day) {
-    const auto dhe = prober.Probe(id, when, dhe_options);
-    if (dhe.observation.handshake_ok &&
-        dhe.observation.kex_value != kNoSecret) {
-      ever_dhe[id] = 1;
-      result.dhe_spans.Observe(id, dhe.observation.kex_value, day);
-    }
-    return dhe.observation.failure;
-  };
-
-  struct Pending {
-    simnet::DomainId id;
-    bool dhe;
-    ProbeFailure failure;
-  };
-
-  for (int day = 0; day < days; ++day) {
-    const SimTime when = DayStart(day);
-    DayLoss day_loss;
-    std::vector<Pending> pending;
-    for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
-      if (!net.GetDomain(id).https) continue;
-      if (!net.InTopListOnDay(id, day)) continue;
-
-      day_loss.scheduled += 2;
-      const ProbeFailure main_failure = run_main(id, when, day);
-      if (IsTransportFailure(main_failure)) {
-        pending.push_back({id, false, main_failure});
-      }
-      const ProbeFailure dhe_failure = run_dhe(id, when + kHour, day);
-      if (IsTransportFailure(dhe_failure)) {
-        pending.push_back({id, true, dhe_failure});
-      }
-    }
-
-    // End-of-pass requeue: every transport-failed target gets one more
-    // scan later the same day; what still fails is that day's loss.
-    for (const Pending& p : pending) {
-      ProbeFailure failure = p.failure;
-      if (robustness.requeue_failures) {
-        const SimTime again = when + robustness.requeue_delay;
-        failure = p.dhe ? run_dhe(p.id, again + kHour, day)
-                        : run_main(p.id, again, day);
-      }
-      if (IsTransportFailure(failure)) {
-        ++day_loss.lost;
-        ++day_loss.lost_by_class[static_cast<std::size_t>(failure)];
-      } else {
-        ++day_loss.recovered;
-      }
-    }
-    result.loss.push_back(day_loss);
-  }
-
-  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
-    const auto& info = net.GetDomain(id);
-    if (!info.stable || !info.https || !ever_trusted[id]) continue;
-    result.core_domains.push_back(id);
-    result.core_ever_ticket += ever_ticket[id];
-    result.core_ever_ecdhe += ever_ecdhe[id];
-    result.core_ever_dhe_connect += ever_dhe[id];
-    if (ever_ticket[id] || ever_ecdhe[id] || ever_dhe[id]) {
-      ++result.core_any_mechanism;
-    }
-  }
-  return result;
+  // The serial scanner IS the sharded engine at one thread: same canonical
+  // order, same probe times, same aggregation — just no workers spawned.
+  ScanEngineOptions options;
+  options.threads = 1;
+  options.robustness = robustness;
+  return RunShardedDailyScans(net, days, seed, options);
 }
 
 GroupsResult MeasureSessionCacheGroups(simnet::Internet& net, int day,

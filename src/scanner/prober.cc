@@ -44,15 +44,38 @@ SimTime AttemptCost(ProbeFailure failure, const RetryPolicy& policy) {
                                            : SimTime{1};
 }
 
+// Folds the wire-affecting probe options into a salt for the per-attempt
+// DRBG derivation: same-instant probes with different offers (e.g. the
+// group measurement's DHE and ECDHE connections) get distinct streams.
+std::uint64_t OptionsSalt(const ProbeOptions& options) {
+  std::uint64_t salt = static_cast<std::uint64_t>(options.ciphers);
+  if (options.offer_session_ticket) salt |= 0x10;
+  if (options.kex_only) salt |= 0x20;
+  return salt;
+}
+
+// Distinct salt domain for resumption attempts.
+std::uint64_t ResumeSalt(bool offer_id, bool offer_ticket) {
+  std::uint64_t salt = 0x100;
+  if (offer_id) salt |= 1;
+  if (offer_ticket) salt |= 2;
+  return salt;
+}
+
 }  // namespace
 
-Prober::Prober(simnet::Internet& net, std::uint64_t seed) : net_(net),
-      drbg_([&] {
-        Bytes s = ToBytes("prober");
-        AppendUint(s, seed, 8);
-        return crypto::Drbg(s);
-      }()),
-      seed_(seed) {}
+Prober::Prober(simnet::Internet& net, std::uint64_t seed)
+    : net_(net), seed_(seed) {}
+
+crypto::Drbg Prober::AttemptDrbg(simnet::DomainId domain, SimTime when,
+                                 std::uint64_t salt) const {
+  Bytes s = ToBytes("probe");
+  AppendUint(s, seed_, 8);
+  AppendUint(s, domain, 4);
+  AppendUint(s, static_cast<std::uint64_t>(when), 8);
+  AppendUint(s, salt, 8);
+  return crypto::Drbg(s);
+}
 
 std::vector<tls::CipherSuite> Prober::SuitesFor(
     CipherSelection selection) const {
@@ -119,8 +142,9 @@ ProbeResult Prober::ProbeOnce(simnet::DomainId domain, SimTime now,
   config.kex_probe_only = options.kex_only;
 
   tls::TlsClient client(config);
+  crypto::Drbg drbg = AttemptDrbg(domain, now, OptionsSalt(options));
   const tls::HandshakeResult hs =
-      client.Handshake(*outcome.connection, now, drbg_);
+      client.Handshake(*outcome.connection, now, drbg);
   if (!hs.ok) {
     obs.failure = FailureFromHandshake(hs.error_class);
     return result;
@@ -196,8 +220,10 @@ bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
       if (offer_ticket) config.resume_ticket = session.ticket;
 
       tls::TlsClient client(config);
+      crypto::Drbg drbg =
+          AttemptDrbg(domain, when, ResumeSalt(offer_id, offer_ticket));
       const tls::HandshakeResult hs =
-          client.Handshake(*outcome.connection, when, drbg_);
+          client.Handshake(*outcome.connection, when, drbg);
       if (hs.ok) return hs.resumed;
       failure = FailureFromHandshake(hs.error_class);
     }

@@ -4,6 +4,14 @@
 // A Prober runs single TLS connections against the simulated Internet,
 // classifies certificate trust (memoized: the same chain is not re-verified
 // every day), and performs resumption attempts with stored session state.
+//
+// Purity contract: every probe outcome is a pure function of (prober seed,
+// domain, scheduled time, probe options). The client DRBG is derived per
+// attempt from exactly those inputs — no sequential stream shared between
+// probes — so two Probers with the same seed produce identical observations
+// no matter how the probes are interleaved across them. This is what lets
+// the sharded scan engine split a day across threads and still emit
+// byte-identical output (see scan_engine.h).
 #pragma once
 
 #include <string>
@@ -99,9 +107,14 @@ class Prober {
   // Deterministic backoff jitter in [0, base_backoff], a pure function of
   // (prober seed, domain, attempt time) so reruns replay exactly.
   SimTime Jitter(simnet::DomainId domain, SimTime when, int attempt) const;
+  // The client randomness for one connection attempt, derived from (seed,
+  // domain, attempt time, options salt). Attempts of one probe are at
+  // least a second apart, so the time distinguishes them; the salt
+  // distinguishes same-instant probes with different wire options.
+  crypto::Drbg AttemptDrbg(simnet::DomainId domain, SimTime when,
+                           std::uint64_t salt) const;
 
   simnet::Internet& net_;
-  crypto::Drbg drbg_;
   std::uint64_t seed_;
   RetryPolicy retry_;
   // Memoized chain verification keyed by the full (leaf fingerprint, host)

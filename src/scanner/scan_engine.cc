@@ -1,0 +1,217 @@
+#include "scanner/scan_engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace tlsharm::scanner {
+namespace {
+
+// The pair of observations the main pass produces per target.
+struct Record {
+  HandshakeObservation main;
+  HandshakeObservation dhe;
+};
+
+// A transport-failed probe awaiting the end-of-pass requeue.
+struct PendingProbe {
+  simnet::DomainId id = 0;
+  bool dhe = false;
+  ProbeFailure failure = ProbeFailure::kNone;
+};
+
+// Contiguous shard bounds: shard k of `shards` over n items is
+// [ShardLo(n, shards, k), ShardLo(n, shards, k + 1)).
+std::size_t ShardLo(std::size_t n, int shards, int k) {
+  return n * static_cast<std::size_t>(k) / static_cast<std::size_t>(shards);
+}
+
+// Runs body(0) .. body(shards - 1), one worker thread per shard. The
+// one-shard case runs inline on the calling thread — the serial path
+// allocates no threads at all.
+template <typename Body>
+void RunSharded(int shards, Body&& body) {
+  if (shards <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    workers.emplace_back([&body, k] { body(k); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+int ScanThreadsFromEnv() {
+  if (const char* env = std::getenv("TLSHARM_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads >= 1 && threads <= 64) return threads;
+  }
+  return 1;
+}
+
+DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
+                                     std::uint64_t seed,
+                                     const ScanEngineOptions& options) {
+  const int max_shards = std::max(1, options.threads);
+
+  // One prober per worker, every one seeded IDENTICALLY: outcomes are pure
+  // in (seed, domain, time, options), so it does not matter which worker
+  // runs a probe. Only scratch state — trust-cache memoization, retry
+  // bookkeeping — is thread-local. Probers persist across days so the
+  // memoization keeps paying.
+  std::vector<Prober> probers;
+  probers.reserve(static_cast<std::size_t>(max_shards));
+  for (int k = 0; k < max_shards; ++k) {
+    probers.emplace_back(net, seed);
+    probers.back().SetRetryPolicy(options.robustness.retry);
+  }
+
+  const Blacklist no_rules;
+  const std::vector<std::uint8_t> mask =
+      BuildExclusionMask(net, options.blacklist ? *options.blacklist
+                                                : no_rules);
+  const std::vector<std::uint8_t>* mask_ptr = mask.empty() ? nullptr : &mask;
+
+  DailyScanResult result;
+  std::vector<std::uint8_t> ever_ticket(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_ecdhe(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_dhe(net.DomainCount(), 0);
+  std::vector<std::uint8_t> ever_trusted(net.DomainCount(), 0);
+
+  ProbeOptions main_options;
+  main_options.ciphers = CipherSelection::kEcdheAndStatic;
+  ProbeOptions dhe_options;
+  dhe_options.ciphers = CipherSelection::kDheOnly;
+  dhe_options.kex_only = true;  // only the DHE value matters here
+
+  // Aggregation runs on the merge thread only, in canonical order.
+  const auto aggregate_main = [&](const HandshakeObservation& obs, int day) {
+    if (!obs.handshake_ok) return;
+    if (obs.trusted) ever_trusted[obs.domain] = 1;
+    if (obs.ticket_issued) {
+      ever_ticket[obs.domain] = 1;
+      result.stek_spans.Observe(obs.domain, obs.stek_id, day);
+    }
+    if (obs.suite == tls::CipherSuite::kEcdheWithAes128CbcSha256 &&
+        obs.kex_value != kNoSecret) {
+      ever_ecdhe[obs.domain] = 1;
+      result.ecdhe_spans.Observe(obs.domain, obs.kex_value, day);
+    }
+  };
+  const auto aggregate_dhe = [&](const HandshakeObservation& obs, int day) {
+    if (obs.handshake_ok && obs.kex_value != kNoSecret) {
+      ever_dhe[obs.domain] = 1;
+      result.dhe_spans.Observe(obs.domain, obs.kex_value, day);
+    }
+  };
+
+  for (int day = 0; day < days; ++day) {
+    const SimTime when = ScanDayStart(day);
+    const std::vector<simnet::DomainId> targets =
+        CollectScanTargets(net, day, seed, mask_ptr, /*https_only=*/true);
+    const std::size_t n = targets.size();
+    const int shards = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(max_shards), std::max<std::size_t>(n, 1)));
+
+    // --- main pass: shard the target list, probe into per-index slots ----
+    std::vector<Record> records(n);
+    ShardedObservationBuffer staged(static_cast<std::size_t>(shards));
+    RunSharded(shards, [&](int k) {
+      Prober& prober = probers[static_cast<std::size_t>(k)];
+      const std::size_t hi = ShardLo(n, shards, k + 1);
+      for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
+        const simnet::DomainId id = targets[i];
+        Record& record = records[i];
+        record.main = prober.Probe(id, when, main_options).observation;
+        record.dhe =
+            prober.Probe(id, when + kHour, dhe_options).observation;
+        if (options.sink != nullptr) {
+          staged.Append(static_cast<std::size_t>(k), day, record.main);
+          staged.Append(static_cast<std::size_t>(k), day, record.dhe);
+        }
+      }
+    });
+    if (options.sink != nullptr) staged.Flush(*options.sink);
+
+    // --- canonical merge: aggregate + collect the requeue list -----------
+    DayLoss day_loss;
+    std::vector<PendingProbe> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      day_loss.scheduled += 2;
+      aggregate_main(records[i].main, day);
+      if (IsTransportFailure(records[i].main.failure)) {
+        pending.push_back({targets[i], false, records[i].main.failure});
+      }
+      aggregate_dhe(records[i].dhe, day);
+      if (IsTransportFailure(records[i].dhe.failure)) {
+        pending.push_back({targets[i], true, records[i].dhe.failure});
+      }
+    }
+
+    // --- requeue pass: one more scan for the transport-failed tail -------
+    const std::size_t pending_count = pending.size();
+    std::vector<HandshakeObservation> requeued(pending_count);
+    if (options.robustness.requeue_failures && pending_count > 0) {
+      const SimTime again = when + options.robustness.requeue_delay;
+      const int requeue_shards = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(max_shards), pending_count));
+      ShardedObservationBuffer requeue_staged(
+          static_cast<std::size_t>(requeue_shards));
+      RunSharded(requeue_shards, [&](int k) {
+        Prober& prober = probers[static_cast<std::size_t>(k)];
+        const std::size_t hi = ShardLo(pending_count, requeue_shards, k + 1);
+        for (std::size_t i = ShardLo(pending_count, requeue_shards, k);
+             i < hi; ++i) {
+          const PendingProbe& p = pending[i];
+          requeued[i] =
+              p.dhe
+                  ? prober.Probe(p.id, again + kHour, dhe_options).observation
+                  : prober.Probe(p.id, again, main_options).observation;
+          if (options.sink != nullptr) {
+            requeue_staged.Append(static_cast<std::size_t>(k), day,
+                                  requeued[i]);
+          }
+        }
+      });
+      if (options.sink != nullptr) requeue_staged.Flush(*options.sink);
+    }
+    for (std::size_t i = 0; i < pending_count; ++i) {
+      ProbeFailure failure = pending[i].failure;
+      if (options.robustness.requeue_failures) {
+        if (pending[i].dhe) {
+          aggregate_dhe(requeued[i], day);
+        } else {
+          aggregate_main(requeued[i], day);
+        }
+        failure = requeued[i].failure;
+      }
+      if (IsTransportFailure(failure)) {
+        ++day_loss.lost;
+        ++day_loss.lost_by_class[static_cast<std::size_t>(failure)];
+      } else {
+        ++day_loss.recovered;
+      }
+    }
+    result.loss.push_back(day_loss);
+  }
+
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    const auto& info = net.GetDomain(id);
+    if (!info.stable || !info.https || !ever_trusted[id]) continue;
+    result.core_domains.push_back(id);
+    result.core_ever_ticket += ever_ticket[id];
+    result.core_ever_ecdhe += ever_ecdhe[id];
+    result.core_ever_dhe_connect += ever_dhe[id];
+    if (ever_ticket[id] || ever_ecdhe[id] || ever_dhe[id]) {
+      ++result.core_any_mechanism;
+    }
+  }
+  return result;
+}
+
+}  // namespace tlsharm::scanner

@@ -1,0 +1,64 @@
+// The sharded daily-scan engine — the parallel driver behind the paper's
+// nine-week scanning campaign.
+//
+// Each day's target list (canonical = permuted order, see schedule.h) is
+// partitioned into contiguous shards, one worker thread per shard. Every
+// worker owns a Prober seeded identically to the serial scanner's: probe
+// outcomes are pure functions of (seed, domain, time, options), so WHICH
+// worker runs a probe never changes what it observes. Workers stage their
+// observations in per-shard buffers; after the join, the engine merges the
+// shards back in canonical order before anything reaches the result sink
+// or the aggregates. The output contract:
+//
+//   For a fixed (world, days, seed, robustness), the DailyScanResult and
+//   every byte written to the sink are identical for ANY thread count.
+//   threads == 1 runs inline on the calling thread and reproduces the
+//   serial scanner exactly; RunDailyScans is now a thin wrapper over it.
+//
+// What makes the contract hold (see DESIGN.md "Parallel sharded scanning"):
+//   * client randomness is derived per attempt, not drawn from a shared
+//     sequential stream (prober.h);
+//   * server-side randomness is derived per connection from the
+//     ClientHello, and STEK/KEX state is selected by virtual time, not by
+//     arrival order (server/);
+//   * the merge step re-serializes shard results in permutation-index
+//     order, so buffering hides any real-time interleaving.
+#pragma once
+
+#include <cstddef>
+
+#include "scanner/experiments.h"
+#include "scanner/schedule.h"
+#include "scanner/store.h"
+
+namespace tlsharm::scanner {
+
+// When the daily pass starts: 06:00 virtual on each study day (the same
+// epoch RunDailyScans has used since the serial scanner).
+inline SimTime ScanDayStart(int day) { return day * kDay + 6 * kHour; }
+
+struct ScanEngineOptions {
+  // Worker shards per day. 1 = inline serial (no threads spawned).
+  int threads = 1;
+  ScanRobustness robustness;
+  // Optional exclusion rules; nullptr scans everything listed.
+  const Blacklist* blacklist = nullptr;
+  // Optional raw-observation store. Receives every main-pass and requeue
+  // observation in canonical order (main/DHE interleaved per target, then
+  // the requeue pass in pending order).
+  ObservationWriter* sink = nullptr;
+};
+
+// Worker count from the TLSHARM_THREADS environment knob (1..64,
+// default 1).
+int ScanThreadsFromEnv();
+
+// Runs the paper's daily scans (main ECDHE+static probe plus DHE-only
+// probe per listed HTTPS domain per day, with retries and an end-of-pass
+// requeue) sharded across options.threads workers. See the determinism
+// contract above.
+DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
+                                     std::uint64_t seed,
+                                     const ScanEngineOptions& options = {});
+
+}  // namespace tlsharm::scanner

@@ -60,4 +60,29 @@ bool Blacklist::Excluded(const simnet::DomainInfo& info) const {
   return domains_.count(info.name) != 0;
 }
 
+std::vector<std::uint8_t> BuildExclusionMask(const simnet::Internet& net,
+                                             const Blacklist& blacklist) {
+  if (blacklist.RuleCount() == 0) return {};
+  std::vector<std::uint8_t> mask(net.DomainCount(), 0);
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    if (blacklist.Excluded(net.GetDomain(id))) mask[id] = 1;
+  }
+  return mask;
+}
+
+std::vector<simnet::DomainId> CollectScanTargets(
+    const simnet::Internet& net, int day, std::uint64_t seed,
+    const std::vector<std::uint8_t>* exclusion_mask, bool https_only) {
+  const RandomPermutation perm = DayPermutation(net.DomainCount(), seed, day);
+  std::vector<simnet::DomainId> targets;
+  for (std::uint64_t i = 0; i < perm.Size(); ++i) {
+    const auto id = static_cast<simnet::DomainId>(perm.At(i));
+    if (!net.InTopListOnDay(id, day)) continue;
+    if (exclusion_mask != nullptr && (*exclusion_mask)[id] != 0) continue;
+    if (https_only && !net.GetDomain(id).https) continue;
+    targets.push_back(id);
+  }
+  return targets;
+}
+
 }  // namespace tlsharm::scanner

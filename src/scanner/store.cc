@@ -117,4 +117,27 @@ std::vector<StoredObservation> ParseObservations(const std::string& data) {
   return out;
 }
 
+void ShardedObservationBuffer::Append(std::size_t shard, int day,
+                                      const HandshakeObservation& obs) {
+  shards_[shard].push_back(StoredObservation{day, obs});
+}
+
+std::size_t ShardedObservationBuffer::Flush(ObservationWriter& writer) {
+  std::size_t written = 0;
+  for (auto& shard : shards_) {
+    for (const StoredObservation& stored : shard) {
+      writer.Write(stored.day, stored.observation);
+      ++written;
+    }
+    shard.clear();
+  }
+  return written;
+}
+
+std::size_t ShardedObservationBuffer::Buffered() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
+}
+
 }  // namespace tlsharm::scanner

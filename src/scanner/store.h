@@ -56,4 +56,30 @@ std::string SerializeObservations(
     const std::vector<StoredObservation>& observations);
 std::vector<StoredObservation> ParseObservations(const std::string& data);
 
+// Per-shard observation staging for the parallel scan engine. Each worker
+// appends to its own shard (no locking — one writer per shard); Flush
+// drains the shards in index order, so when shards are contiguous slices
+// of the canonical target list, the flushed stream is in canonical global
+// order no matter how the workers interleaved.
+class ShardedObservationBuffer {
+ public:
+  explicit ShardedObservationBuffer(std::size_t shards) : shards_(shards) {}
+
+  std::size_t ShardCount() const { return shards_.size(); }
+
+  // Appends one observation to `shard`. Callers guarantee a single writer
+  // per shard; distinct shards may append concurrently.
+  void Append(std::size_t shard, int day, const HandshakeObservation& obs);
+
+  // Writes every buffered observation in shard order and clears the
+  // buffers. Returns the number of observations written.
+  std::size_t Flush(ObservationWriter& writer);
+
+  // Observations currently staged across all shards.
+  std::size_t Buffered() const;
+
+ private:
+  std::vector<std::vector<StoredObservation>> shards_;
+};
+
 }  // namespace tlsharm::scanner

@@ -1,27 +1,58 @@
 #include "server/kex_cache.h"
 
-namespace tlsharm::server {
+#include <algorithm>
 
-const crypto::KexKeyPair& KexCache::GetKeyPair(crypto::NamedGroup group,
-                                               const KexReusePolicy& policy,
-                                               SimTime now,
-                                               crypto::Drbg& drbg) {
-  const crypto::KexGroup& g = crypto::GetKexGroup(group);
-  if (!policy.reuse) {
-    scratch_ = g.GenerateKeyPair(drbg);
-    return scratch_;
-  }
-  auto it = entries_.find(group);
-  const bool expired =
-      it != entries_.end() && policy.ttl > 0 &&
-      it->second.created + policy.ttl <= now;
-  if (it == entries_.end() || expired) {
-    Entry entry{.pair = g.GenerateKeyPair(drbg), .created = now};
-    it = entries_.insert_or_assign(group, std::move(entry)).first;
-  }
-  return it->second.pair;
+namespace tlsharm::server {
+namespace {
+
+// Largest multiple of `step` that is <= t (floor, correct for t < 0).
+SimTime FloorTo(SimTime t, SimTime step) {
+  SimTime q = t / step;
+  if (t % step != 0 && t < 0) --q;
+  return q * step;
 }
 
-void KexCache::Clear() { entries_.clear(); }
+}  // namespace
+
+KexCache::KexCache(ByteView seed) : seed_(seed.begin(), seed.end()) {}
+
+void KexCache::ScheduleClearAt(SimTime when) {
+  clears_.insert(std::upper_bound(clears_.begin(), clears_.end(), when),
+                 when);
+}
+
+void KexCache::SchedulePeriodicClear(SimTime first, SimTime every) {
+  if (every <= 0) return;
+  periodic_.push_back(PeriodicClear{first, every});
+}
+
+SimTime KexCache::EpochStart(const KexReusePolicy& policy,
+                             SimTime now) const {
+  SimTime start = policy.ttl > 0 ? FloorTo(now, policy.ttl) : 0;
+  const auto it = std::upper_bound(clears_.begin(), clears_.end(), now);
+  if (it != clears_.begin()) start = std::max(start, *(it - 1));
+  for (const PeriodicClear& p : periodic_) {
+    if (now < p.first) continue;
+    start = std::max(start, p.first + FloorTo(now - p.first, p.every));
+  }
+  return start;
+}
+
+crypto::KexKeyPair KexCache::GetKeyPair(crypto::NamedGroup group,
+                                        const KexReusePolicy& policy,
+                                        SimTime now,
+                                        crypto::Drbg& drbg) const {
+  const crypto::KexGroup& g = crypto::GetKexGroup(group);
+  if (!policy.reuse) return g.GenerateKeyPair(drbg);
+
+  Bytes material = ToBytes("kex-epoch");
+  Append(material, seed_);
+  AppendUint(material, static_cast<std::uint64_t>(group), 2);
+  AppendUint(material, static_cast<std::uint64_t>(EpochStart(policy, now)),
+             8);
+  AppendUint(material, generation_.load(std::memory_order_relaxed), 8);
+  crypto::Drbg epoch_drbg(material);
+  return g.GenerateKeyPair(epoch_drbg);
+}
 
 }  // namespace tlsharm::server

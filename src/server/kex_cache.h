@@ -1,13 +1,24 @@
 // Cached ephemeral key-exchange values — the §4.4 "crypto shortcut".
 //
-// When reuse is enabled the terminator keeps one (private, public) pair per
-// group and serves it to every client until the TTL (or process) expires.
-// The cache can also be shared across terminators (§5.3's SquareSpace /
-// Jimdo style sharing).
+// When reuse is enabled the terminator serves one (private, public) pair per
+// group to every client until the TTL lapses or the process restarts. The
+// cache can also be shared across terminators (§5.3's SquareSpace / Jimdo
+// style sharing).
+//
+// Reused pairs are derived, not stored: the pair for a group is a pure
+// function of (cache seed, group, reuse-epoch start, generation), where the
+// epoch start is the most recent of the TTL quantization boundary and any
+// registered clear event (process restart, forced rotation). Deriving by
+// time instead of caching "whatever was generated first" makes the value a
+// client observes independent of the order in which connections arrive —
+// the property the sharded scan engine's bit-identical replay rests on.
+// Clear schedules are registered once at world construction; after that the
+// cache is immutable apart from an atomic generation counter, so concurrent
+// GetKeyPair calls need no locking.
 #pragma once
 
-#include <map>
-#include <optional>
+#include <atomic>
+#include <vector>
 
 #include "crypto/drbg.h"
 #include "crypto/kex.h"
@@ -18,23 +29,44 @@ namespace tlsharm::server {
 
 class KexCache {
  public:
-  // Returns the key pair to use for one handshake: a cached pair when the
-  // policy allows reuse and the TTL has not lapsed, otherwise a fresh one
-  // (cached for next time if reusing).
-  const crypto::KexKeyPair& GetKeyPair(crypto::NamedGroup group,
-                                       const KexReusePolicy& policy,
-                                       SimTime now, crypto::Drbg& drbg);
+  // `seed` personalizes the derived key stream (terminators that share a
+  // cache share the seed, and therefore the reused values).
+  explicit KexCache(ByteView seed);
 
-  // Process restart discards all cached values.
-  void Clear();
+  // Returns the key pair to use for one handshake: a derived reuse pair
+  // when the policy allows reuse and, otherwise, a fresh pair drawn from
+  // the caller's (per-connection) DRBG. Returned by value: the non-reuse
+  // pair is connection-local, and a reference into shared storage would
+  // race under concurrent handshakes.
+  crypto::KexKeyPair GetKeyPair(crypto::NamedGroup group,
+                                const KexReusePolicy& policy, SimTime now,
+                                crypto::Drbg& drbg) const;
+
+  // --- scheduled maintenance ----------------------------------------------
+  // Registered during world construction, before any concurrent use.
+  // A one-shot clear at `when` (operator-forced rotation).
+  void ScheduleClearAt(SimTime when);
+  // Recurring clears at `first`, `first + every`, ... (process restarts).
+  void SchedulePeriodicClear(SimTime first, SimTime every);
+
+  // Manual clear (explicit restart in tests / the attack module): bumps the
+  // derivation generation so every reused pair changes. Not for use while
+  // scans are running concurrently.
+  void Clear() { generation_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  struct Entry {
-    crypto::KexKeyPair pair;
-    SimTime created = 0;
+  // Start of the reuse epoch containing `now` under `policy`.
+  SimTime EpochStart(const KexReusePolicy& policy, SimTime now) const;
+
+  struct PeriodicClear {
+    SimTime first;
+    SimTime every;
   };
-  std::map<crypto::NamedGroup, Entry> entries_;
-  crypto::KexKeyPair scratch_;  // storage for non-reused fresh pairs
+
+  Bytes seed_;
+  std::vector<SimTime> clears_;  // one-shot clear times, sorted
+  std::vector<PeriodicClear> periodic_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace tlsharm::server

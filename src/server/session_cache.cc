@@ -18,6 +18,7 @@ void SessionCache::EvictExpired(SimTime now) {
 
 void SessionCache::Insert(const Bytes& session_id, CachedSession session,
                           SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   EvictExpired(now);
   while (entries_.size() >= capacity_ && !insertion_order_.empty()) {
     entries_.erase(insertion_order_.front());
@@ -29,6 +30,7 @@ void SessionCache::Insert(const Bytes& session_id, CachedSession session,
 
 std::optional<CachedSession> SessionCache::Lookup(const Bytes& session_id,
                                                   SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   EvictExpired(now);
   const auto it = entries_.find(session_id);
   if (it == entries_.end()) return std::nullopt;
@@ -40,6 +42,7 @@ std::optional<CachedSession> SessionCache::Lookup(const Bytes& session_id,
 }
 
 void SessionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   insertion_order_.clear();
 }

@@ -9,6 +9,7 @@
 
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "tls/constants.h"
@@ -38,18 +39,23 @@ class SessionCache {
   // Drops everything (process restart, explicit flush).
   void Clear();
 
-  std::size_t Size() const { return entries_.size(); }
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   SimTime Lifetime() const { return lifetime_; }
 
   // Exposes the full contents for the attack module (an attacker who dumps
-  // the cache obtains every stored master secret).
+  // the cache obtains every stored master secret). Unsynchronized: only for
+  // serial analysis after scanning, never while handshakes are in flight.
   const std::map<Bytes, CachedSession>& Dump() const { return entries_; }
 
  private:
-  void EvictExpired(SimTime now);
+  void EvictExpired(SimTime now);  // requires mu_ held
 
   SimTime lifetime_;
   std::size_t capacity_;
+  mutable std::mutex mu_;  // guards entries_ and insertion_order_
   std::map<Bytes, CachedSession> entries_;
   std::list<Bytes> insertion_order_;  // oldest first
 };

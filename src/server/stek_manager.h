@@ -4,9 +4,18 @@
 // keys, driven by the policy in ServerConfig. Multiple SSL terminators may
 // share one manager — that is exactly the synchronized-key-file deployment
 // (§4.3) whose theft compromises every domain in the service group at once.
+//
+// Key history is time-indexed: rotations scheduled at world construction
+// (interval rotations, operator-forced rotations, process restarts for
+// per-process keys) are applied in one chronologically merged sweep under a
+// mutex, and queries select the epoch containing the query time rather than
+// "the newest". The set of events at or before any watermark is the same no
+// matter which thread advanced it, so concurrent scan shards observe
+// byte-identical keys regardless of the order their probes arrive in.
 #pragma once
 
-#include <memory>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "crypto/drbg.h"
@@ -20,16 +29,27 @@ class StekManager {
   // `seed` personalizes the key stream (e.g. the operator name).
   StekManager(StekPolicy policy, tls::TicketCodecKind codec, ByteView seed);
 
-  // The key currently used to issue tickets. Applies any due interval
-  // rotations first.
+  // --- scheduled maintenance ----------------------------------------------
+  // Registered during world construction, before any concurrent use.
+  // Operator-forced rotation at an absolute time (applies to any policy).
+  void ScheduleForcedRotation(SimTime when);
+  // Recurring process restarts at `first`, `first + every`, ...; rotates
+  // only under the kPerProcess policy (other keys live outside the
+  // process). Shared managers accumulate one schedule per terminator.
+  void ScheduleRestarts(SimTime first, SimTime every);
+
+  // The key used to issue tickets at `now`. Applies all scheduled events up
+  // to `now` first. The reference stays valid while concurrent callers
+  // advance the manager: epochs live in a deque and are pruned only one
+  // full day behind the newest query time.
   const tls::Stek& IssuingStek(SimTime now);
 
-  // Keys accepted for decryption at `now`: the issuing key plus previous
-  // keys still inside the acceptance overlap.
+  // Keys accepted for decryption at `now` (newest first): the key issuing
+  // at `now` plus previous keys still inside the acceptance overlap.
   std::vector<const tls::Stek*> AcceptableSteks(SimTime now);
 
-  // Process restart: per-process keys are regenerated; static and
-  // interval-managed keys survive (they live outside the process).
+  // Manual process restart (tests, the attack module): per-process keys
+  // are regenerated; static and interval-managed keys survive.
   void OnProcessRestart(SimTime now);
 
   // Operator-initiated manual rotation (e.g. the Jack Henry cluster's
@@ -43,20 +63,34 @@ class StekManager {
   const tls::Stek& StealCurrentKey(SimTime now) { return IssuingStek(now); }
 
  private:
-  void Rotate(SimTime now);
-  void MaybeRotate(SimTime now);
-
-  StekPolicy policy_;
-  tls::TicketCodecKind codec_;
-  crypto::Drbg drbg_;
-
   struct KeyEpoch {
     tls::Stek stek;
     SimTime issued_from;
     SimTime retired_at;  // still issuing if == kNotRetired
   };
+  struct RestartSchedule {
+    SimTime next;
+    SimTime every;
+  };
   static constexpr SimTime kNotRetired = -1;
-  std::vector<KeyEpoch> epochs_;  // newest last
+
+  // All *Locked helpers require mu_ held.
+  void AdvanceToLocked(SimTime now);
+  void RotateLocked(SimTime now);
+  void ForceRotateLocked(SimTime now);
+  void PruneLocked();
+  const KeyEpoch& EpochAtLocked(SimTime now) const;
+
+  StekPolicy policy_;
+  tls::TicketCodecKind codec_;
+  crypto::Drbg drbg_;
+
+  std::mutex mu_;
+  std::vector<SimTime> forced_;  // absolute times, sorted
+  std::size_t next_forced_ = 0;
+  std::vector<RestartSchedule> restarts_;
+  SimTime watermark_ = 0;  // all events <= watermark_ are applied
+  std::deque<KeyEpoch> epochs_;  // newest last; deque: stable references
 };
 
 }  // namespace tlsharm::server

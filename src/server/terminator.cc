@@ -1,5 +1,7 @@
 #include "server/terminator.h"
 
+#include <optional>
+
 #include "crypto/prf.h"
 #include "crypto/sha256.h"
 #include "tls/keys.h"
@@ -36,6 +38,12 @@ class TerminatorConnection final : public tls::ServerConnection {
   TerminatorConnection(SslTerminator& server, SimTime now)
       : server_(server), now_(now) {}
 
+  // The connection's private randomness stream, derived once the
+  // ClientHello is known: a pure function of (terminator identity, time,
+  // client random), so a replayed probe reproduces the handshake
+  // byte-for-byte no matter how many other connections run concurrently.
+  crypto::Drbg& Rand() { return *drbg_; }
+
   Bytes OnClientFlight(ByteView flight) override;
   Bytes OnApplicationRecord(ByteView record) override;
 
@@ -70,6 +78,7 @@ class TerminatorConnection final : public tls::ServerConnection {
 
   SslTerminator& server_;
   SimTime now_;
+  std::optional<crypto::Drbg> drbg_;  // set in HandleClientHello
   State state_ = State::kAwaitClientHello;
   std::string error_;
 
@@ -127,7 +136,7 @@ tls::NewSessionTicket TerminatorConnection::IssueTicket(
   tls::NewSessionTicket nst;
   nst.lifetime_hint_seconds = server_.config_.tickets.lifetime_hint_seconds;
   nst.ticket = codec.Seal(server_.stek_manager_->IssuingStek(now_), state,
-                          server_.drbg_);
+                          Rand());
   return nst;
 }
 
@@ -139,7 +148,7 @@ Bytes TerminatorConnection::AcceptResumption(const tls::ClientHello& ch,
   master_secret_ = master_secret;
 
   tls::ServerHello sh;
-  sh.random = server_random_ = server_.drbg_.Generate(tls::kRandomSize);
+  sh.random = server_random_ = Rand().Generate(tls::kRandomSize);
   sh.session_id = ch.session_id;  // echo = resumption accepted
   sh.cipher_suite = suite;
   const bool reissue = via_ticket &&
@@ -181,6 +190,13 @@ Bytes TerminatorConnection::HandleClientHello(
   if (ch->version != tls::kVersionTls12) return Abort("protocol version");
   transcript_.Add(tls::HandshakeType::kClientHello, msg.body);
   client_random_ = ch->random;
+  {
+    Bytes material = ToBytes(server_.id_);
+    AppendUint(material, server_.seed_, 8);
+    AppendUint(material, static_cast<std::uint64_t>(now_), 8);
+    Append(material, client_random_);
+    drbg_.emplace(material);
+  }
 
   auto client_offered = [&ch](std::uint16_t suite) {
     for (std::uint16_t s : ch->cipher_suites) {
@@ -234,10 +250,10 @@ Bytes TerminatorConnection::HandleClientHello(
   if (credential_ == nullptr) return Abort("no credential");
 
   tls::ServerHello sh;
-  sh.random = server_random_ = server_.drbg_.Generate(tls::kRandomSize);
+  sh.random = server_random_ = Rand().Generate(tls::kRandomSize);
   cache_session_ = cfg.session_cache.enabled;
   if (cfg.session_cache.enabled || cfg.session_cache.issue_id_without_cache) {
-    sh.session_id = server_.drbg_.Generate(tls::kMaxSessionIdSize);
+    sh.session_id = Rand().Generate(tls::kMaxSessionIdSize);
   }
   session_id_ = sh.session_id;
   issue_ticket_ = cfg.tickets.enabled && ch->offer_session_ticket;
@@ -266,8 +282,8 @@ Bytes TerminatorConnection::HandleClientHello(
                      tls::CipherSuite::kEcdheWithAes128CbcSha256)
             ? cfg.ecdhe_reuse
             : cfg.dhe_reuse;
-    const crypto::KexKeyPair& pair = server_.kex_cache_->GetKeyPair(
-        kex_group_, reuse_policy, now_, server_.drbg_);
+    const crypto::KexKeyPair pair = server_.kex_cache_->GetKeyPair(
+        kex_group_, reuse_policy, now_, Rand());
     server_kex_private_ = pair.private_key;
 
     tls::ServerKeyExchange ske;
@@ -278,7 +294,7 @@ Bytes TerminatorConnection::HandleClientHello(
     const Bytes signed_blob =
         Concat({client_random_, server_random_, ske.SignedParams()});
     ske.signature = scheme.SerializeSignature(
-        scheme.Sign(credential_->private_key, signed_blob, server_.drbg_));
+        scheme.Sign(credential_->private_key, signed_blob, Rand()));
     const Bytes ske_body = ske.Serialize();
     transcript_.Add(tls::HandshakeType::kServerKeyExchange, ske_body);
     tls::AppendHandshake(flight, tls::HandshakeType::kServerKeyExchange,
@@ -373,7 +389,7 @@ Bytes TerminatorConnection::OnApplicationRecord(ByteView record) {
   ++app_recv_seq_;
   const Bytes response = tls::ProtectRecord(
       keys_, tls::Direction::kServerToClient, app_send_seq_++,
-      ToBytes(server_.response_body_), server_.drbg_);
+      ToBytes(server_.response_body_), Rand());
   return response;
 }
 
@@ -381,20 +397,16 @@ Bytes TerminatorConnection::OnApplicationRecord(ByteView record) {
 
 SslTerminator::SslTerminator(std::string id, ServerConfig config,
                              std::uint64_t seed)
-    : id_(std::move(id)),
-      config_(std::move(config)),
-      drbg_([&] {
-        Bytes s = ToBytes(id_);
-        AppendUint(s, seed, 8);
-        return crypto::Drbg(s);
-      }()) {
+    : id_(std::move(id)), config_(std::move(config)), seed_(seed) {
   Bytes stek_seed = ToBytes(id_ + "/stek");
   AppendUint(stek_seed, seed, 8);
+  Bytes kex_seed = ToBytes(id_ + "/kex");
+  AppendUint(kex_seed, seed, 8);
   session_cache_ = std::make_shared<SessionCache>(
       config_.session_cache.lifetime, config_.session_cache.capacity);
   stek_manager_ = std::make_shared<StekManager>(
       config_.stek, config_.tickets.codec, stek_seed);
-  kex_cache_ = std::make_shared<KexCache>();
+  kex_cache_ = std::make_shared<KexCache>(kex_seed);
 }
 
 std::size_t SslTerminator::AddCredential(Credential credential) {

@@ -80,7 +80,11 @@ class SslTerminator {
 
   std::string id_;
   ServerConfig config_;
-  crypto::Drbg drbg_;
+  // Connections derive their own DRBG from (id_, seed_, time, client
+  // random) — see TerminatorConnection — so concurrent handshakes never
+  // contend on shared randomness and every handshake's bytes are a pure
+  // function of its inputs, independent of probe ordering.
+  std::uint64_t seed_;
   std::vector<Credential> credentials_;
   std::vector<std::pair<std::string, std::size_t>> domain_map_;
   std::shared_ptr<SessionCache> session_cache_;

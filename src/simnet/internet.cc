@@ -36,7 +36,7 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
     const TerminatorId tid = static_cast<TerminatorId>(terminators_.size());
     terminators_.push_back(std::make_unique<server::SslTerminator>(
         id, config, seed ^ StableHash64(id)));
-    Maintenance m;
+    Maintenance& m = maintenance_.emplace_back();
     m.restart_every = restart_every;
     if (restart_every > 0) {
       std::uint64_t phase_state = restart_phase_seed;
@@ -44,7 +44,6 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
           static_cast<SimTime>(SplitMix64(phase_state) %
                                static_cast<std::uint64_t>(restart_every));
     }
-    maintenance_.push_back(std::move(m));
     terminator_ips_.push_back(static_cast<std::uint32_t>(tid) + 0x0a000000);
     return tid;
   };
@@ -533,6 +532,30 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       domains_[id].rank = next_rank++;
     }
   }
+
+  RegisterSchedules();
+}
+
+void Internet::RegisterSchedules() {
+  // Hand every terminator's maintenance calendar to its (possibly shared)
+  // STEK manager and KEX cache. Shared managers accumulate the schedules of
+  // every sharing terminator, mirroring the old lazy per-terminator
+  // application — but time-indexed, so concurrent probes observe the same
+  // key epochs regardless of arrival order.
+  for (TerminatorId tid = 0; tid < terminators_.size(); ++tid) {
+    const Maintenance& m = maintenance_[tid];
+    server::SslTerminator& term = *terminators_[tid];
+    for (const SimTime t : m.forced_stek_rotations) {
+      term.Steks().ScheduleForcedRotation(t);
+    }
+    for (const SimTime t : m.forced_kex_rotations) {
+      term.Kex().ScheduleClearAt(t);
+    }
+    if (m.restart_every > 0) {
+      term.Steks().ScheduleRestarts(m.next_restart, m.restart_every);
+      term.Kex().SchedulePeriodicClear(m.next_restart, m.restart_every);
+    }
+  }
 }
 
 std::optional<DomainId> Internet::FindDomain(const std::string& name) const {
@@ -569,31 +592,22 @@ TerminatorId Internet::EndpointFor(DomainId id, SimTime now) const {
 }
 
 void Internet::ApplyMaintenance(TerminatorId id, SimTime now) {
+  // STEK rotations and KEX clears are schedule-driven inside the managers;
+  // the only remaining lazy effect of a restart is flushing the session
+  // cache (resumable state does not survive the process).
   Maintenance& m = maintenance_[id];
-  server::SslTerminator& term = *terminators_[id];
-  if (m.restart_every > 0 && m.next_restart <= now) {
-    // Only the most recent missed restart matters for state.
-    const std::uint64_t periods =
-        static_cast<std::uint64_t>(now - m.next_restart) /
-            static_cast<std::uint64_t>(m.restart_every) +
-        1;
-    const SimTime last_restart =
-        m.next_restart +
-        static_cast<SimTime>(periods - 1) * m.restart_every;
-    term.Restart(last_restart);
-    m.next_restart =
-        last_restart + m.restart_every;
-  }
-  while (m.next_forced < m.forced_stek_rotations.size() &&
-         m.forced_stek_rotations[m.next_forced] <= now) {
-    term.Steks().ForceRotate(m.forced_stek_rotations[m.next_forced]);
-    ++m.next_forced;
-  }
-  while (m.next_kex_forced < m.forced_kex_rotations.size() &&
-         m.forced_kex_rotations[m.next_kex_forced] <= now) {
-    term.Kex().Clear();
-    ++m.next_kex_forced;
-  }
+  if (m.restart_every <= 0) return;
+  std::lock_guard<std::mutex> lock(m.mu);
+  if (m.next_restart > now) return;
+  // Only the most recent missed restart matters for the cache flush.
+  const std::uint64_t periods =
+      static_cast<std::uint64_t>(now - m.next_restart) /
+          static_cast<std::uint64_t>(m.restart_every) +
+      1;
+  const SimTime last_restart =
+      m.next_restart + static_cast<SimTime>(periods - 1) * m.restart_every;
+  terminators_[id]->Cache().Clear();
+  m.next_restart = last_restart + m.restart_every;
 }
 
 Internet::ConnectOutcome Internet::ConnectDetailed(DomainId id, SimTime now) {

@@ -8,8 +8,10 @@
 // terminator fleet.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -110,20 +112,30 @@ class Internet {
   bool MxPointsAtGoogle(DomainId id) const;
 
  private:
+  // Maintenance bookkeeping per terminator. STEK rotations, KEX clears and
+  // their restart-driven counterparts are registered as schedules inside
+  // the managers themselves at construction (they apply events
+  // time-indexed, safely under concurrency); what remains here is the lazy
+  // session-cache flush on process restart, guarded by a per-terminator
+  // mutex. Scan observations never depend on cache contents (fresh probes
+  // carry no resumption state), so the flush's lazy timing cannot perturb
+  // the deterministic scan output.
   struct Maintenance {
     SimTime restart_every = 0;
     SimTime next_restart = 0;
     std::vector<SimTime> forced_stek_rotations;   // absolute times, sorted
-    std::size_t next_forced = 0;
     std::vector<SimTime> forced_kex_rotations;
-    std::size_t next_kex_forced = 0;
+    std::mutex mu;  // guards next_restart after construction
   };
 
   void ApplyMaintenance(TerminatorId id, SimTime now);
+  // Installs the collected maintenance schedules into the STEK managers and
+  // KEX caches once every terminator (and shared-state swap) exists.
+  void RegisterSchedules();
 
   std::vector<DomainInfo> domains_;
   std::vector<std::unique_ptr<server::SslTerminator>> terminators_;
-  std::vector<Maintenance> maintenance_;
+  std::deque<Maintenance> maintenance_;  // deque: Maintenance is immovable
   std::vector<std::uint32_t> terminator_ips_;
   std::map<std::string, DomainId> by_name_;
   std::multimap<std::uint32_t, DomainId> by_ip_;

@@ -1,0 +1,118 @@
+// Golden-file coverage for the observation store: a checked-in fixture
+// mixing legacy nine-field lines, current ten-field lines, and malformed
+// garbage must parse into exactly the checked-in canonical serialization —
+// and the canonical form must be a fixpoint of parse -> re-serialize, so
+// stored studies keep round-tripping as the format evolves.
+//
+// Also exercises ShardedObservationBuffer, the staging structure the
+// parallel scan engine drains into the store in canonical shard order.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scanner/store.h"
+
+namespace tlsharm::scanner {
+namespace {
+
+std::string ReadTestdata(const std::string& name) {
+  const std::string path = std::string(TLSHARM_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(ObservationStoreGoldenTest, MixedFixtureParsesToCanonicalForm) {
+  const std::string mixed = ReadTestdata("observations_mixed.txt");
+  ASSERT_FALSE(mixed.empty());
+
+  std::istringstream in(mixed);
+  ObservationReader reader(in);
+  std::vector<StoredObservation> parsed;
+  while (auto next = reader.Next()) parsed.push_back(*next);
+
+  // The fixture carries four deliberately malformed lines (non-numeric,
+  // too few fields, too many fields, out-of-range failure class).
+  EXPECT_EQ(reader.Corrupt(), 4u);
+  EXPECT_EQ(parsed.size(), 7u);
+  EXPECT_EQ(SerializeObservations(parsed),
+            ReadTestdata("observations_canonical.txt"));
+}
+
+TEST(ObservationStoreGoldenTest, LegacyLinesDeriveFailureFromFlags) {
+  const auto parsed = ParseObservations(ReadTestdata("observations_mixed.txt"));
+  ASSERT_EQ(parsed.size(), 7u);
+  // flags 31: full success.   flags 0: never connected.
+  EXPECT_EQ(parsed[0].observation.failure, ProbeFailure::kNone);
+  EXPECT_EQ(parsed[1].observation.failure, ProbeFailure::kNoHttps);
+  // flags 1: connected, handshake failed -> closest class is kAlert.
+  EXPECT_EQ(parsed[2].observation.failure, ProbeFailure::kAlert);
+  // flags 3: handshake ok, chain untrusted.
+  EXPECT_EQ(parsed[3].observation.failure, ProbeFailure::kUntrusted);
+  // Ten-field lines carry their class verbatim.
+  EXPECT_EQ(parsed[4].observation.failure, ProbeFailure::kTimeout);
+}
+
+TEST(ObservationStoreGoldenTest, CanonicalFormIsAFixpoint) {
+  const std::string canonical = ReadTestdata("observations_canonical.txt");
+  ASSERT_FALSE(canonical.empty());
+  const std::string once = SerializeObservations(ParseObservations(canonical));
+  EXPECT_EQ(once, canonical);
+  EXPECT_EQ(SerializeObservations(ParseObservations(once)), once);
+}
+
+TEST(ShardedObservationBufferTest, FlushDrainsInShardOrder) {
+  ShardedObservationBuffer buffer(3);
+  ASSERT_EQ(buffer.ShardCount(), 3u);
+  auto make = [](DomainIndex domain) {
+    HandshakeObservation obs;
+    obs.domain = domain;
+    obs.connected = true;
+    return obs;
+  };
+  // Append out of shard order — arrival order must not matter.
+  buffer.Append(2, 0, make(20));
+  buffer.Append(0, 0, make(1));
+  buffer.Append(1, 0, make(10));
+  buffer.Append(0, 0, make(2));
+  buffer.Append(2, 0, make(21));
+  EXPECT_EQ(buffer.Buffered(), 5u);
+
+  std::ostringstream stream;
+  ObservationWriter writer(stream);
+  EXPECT_EQ(buffer.Flush(writer), 5u);
+  EXPECT_EQ(buffer.Buffered(), 0u);
+
+  const auto drained = ParseObservations(stream.str());
+  ASSERT_EQ(drained.size(), 5u);
+  const DomainIndex expected[] = {1, 2, 10, 20, 21};
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].observation.domain, expected[i]) << "position " << i;
+  }
+}
+
+TEST(ShardedObservationBufferTest, FlushedBufferIsReusable) {
+  ShardedObservationBuffer buffer(2);
+  HandshakeObservation obs;
+  obs.domain = 7;
+  buffer.Append(1, 3, obs);
+
+  std::ostringstream first;
+  ObservationWriter first_writer(first);
+  buffer.Flush(first_writer);
+
+  buffer.Append(0, 4, obs);
+  std::ostringstream second;
+  ObservationWriter second_writer(second);
+  EXPECT_EQ(buffer.Flush(second_writer), 1u);
+  const auto drained = ParseObservations(second.str());
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].day, 4);
+}
+
+}  // namespace
+}  // namespace tlsharm::scanner

@@ -8,7 +8,7 @@ namespace {
 constexpr auto kGroup = crypto::NamedGroup::kSimEc61;
 
 TEST(KexCacheTest, NoReuseGeneratesFreshValues) {
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = false};
   const Bytes pub1 = cache.GetKeyPair(kGroup, policy, 0, drbg).public_value;
@@ -17,7 +17,7 @@ TEST(KexCacheTest, NoReuseGeneratesFreshValues) {
 }
 
 TEST(KexCacheTest, ReuseWithoutTtlPersistsForever) {
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = true, .ttl = 0};
   const Bytes pub1 = cache.GetKeyPair(kGroup, policy, 0, drbg).public_value;
@@ -27,7 +27,7 @@ TEST(KexCacheTest, ReuseWithoutTtlPersistsForever) {
 }
 
 TEST(KexCacheTest, TtlRegeneratesAfterExpiry) {
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = true, .ttl = kHour};
   const Bytes pub1 = cache.GetKeyPair(kGroup, policy, 0, drbg).public_value;
@@ -39,7 +39,7 @@ TEST(KexCacheTest, TtlRegeneratesAfterExpiry) {
 }
 
 TEST(KexCacheTest, GroupsAreIndependent) {
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = true, .ttl = 0};
   const Bytes ec = cache.GetKeyPair(kGroup, policy, 0, drbg).public_value;
@@ -51,7 +51,7 @@ TEST(KexCacheTest, GroupsAreIndependent) {
 }
 
 TEST(KexCacheTest, ClearDropsCachedValues) {
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = true, .ttl = 0};
   const Bytes pub1 = cache.GetKeyPair(kGroup, policy, 0, drbg).public_value;
@@ -63,7 +63,7 @@ TEST(KexCacheTest, ClearDropsCachedValues) {
 TEST(KexCacheTest, GeneratedPairsAreConsistent) {
   // The cached pair must be a valid keypair: shared secrets derived against
   // it agree from both sides.
-  KexCache cache;
+  KexCache cache(ToBytes("test kex"));
   crypto::Drbg drbg(ToBytes("kex"));
   const KexReusePolicy policy{.reuse = true, .ttl = 0};
   const auto& pair = cache.GetKeyPair(kGroup, policy, 0, drbg);
