@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common.h"
+#include "obs/metrics.h"
 #include "scanner/scan_engine.h"
 
 using namespace tlsharm;
@@ -24,9 +25,11 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 }
 
 scanner::DailyScanResult RunOnce(bench::World& world, int threads,
-                                 double& elapsed_ms) {
+                                 double& elapsed_ms,
+                                 obs::MetricsRegistry& metrics) {
   scanner::ScanEngineOptions options;
   options.threads = threads;
+  options.metrics = &metrics;
   const auto start = std::chrono::steady_clock::now();
   scanner::DailyScanResult result = scanner::RunShardedDailyScans(
       *world.net, world.days, bench::StudySeed() + 301, options);
@@ -42,15 +45,22 @@ int main() {
   if (threads <= 1) threads = 8;
 
   double serial_ms = 0;
-  const scanner::DailyScanResult serial = RunOnce(world, 1, serial_ms);
+  obs::MetricsRegistry serial_metrics;
+  const scanner::DailyScanResult serial =
+      RunOnce(world, 1, serial_ms, serial_metrics);
 
   // Scanning mutates server state; the parallel run needs a fresh,
   // identically constructed world.
   world.net = std::make_unique<simnet::Internet>(
       simnet::PaperPopulationSpec(world.population), bench::StudySeed());
   double parallel_ms = 0;
+  obs::MetricsRegistry parallel_metrics;
   const scanner::DailyScanResult parallel =
-      RunOnce(world, threads, parallel_ms);
+      RunOnce(world, threads, parallel_ms, parallel_metrics);
+  // The telemetry shares the scan's determinism contract: the merged
+  // snapshot must not depend on the thread count.
+  const std::string metrics_json = parallel_metrics.SnapshotJson();
+  const bool metrics_match = serial_metrics.SnapshotJson() == metrics_json;
 
   std::uint64_t probes = 0;
   bool loss_matches = serial.loss.size() == parallel.loss.size();
@@ -61,7 +71,8 @@ int main() {
                    serial.loss[day].lost == parallel.loss[day].lost;
   }
   const bool matches =
-      loss_matches && serial.core_domains == parallel.core_domains &&
+      loss_matches && metrics_match &&
+      serial.core_domains == parallel.core_domains &&
       serial.core_ever_ticket == parallel.core_ever_ticket &&
       serial.core_ever_ecdhe == parallel.core_ever_ecdhe &&
       serial.core_ever_dhe_connect == parallel.core_ever_dhe_connect;
@@ -94,6 +105,8 @@ int main() {
   report.Add("parallel_ms", parallel_ms);
   report.Add("speedup", speedup);
   report.AddString("deterministic", matches ? "yes" : "no");
+  report.AddString("metrics_deterministic", metrics_match ? "yes" : "no");
+  report.AddRaw("metrics", metrics_json);
   const std::string path = report.Write();
   std::printf("\nwrote %s\n", path.c_str());
   return matches ? 0 : 1;

@@ -102,6 +102,11 @@ class JsonReport {
   void AddString(const std::string& key, const std::string& value) {
     fields_.emplace_back(key, "\"" + value + "\"");
   }
+  // Embeds an already-rendered JSON value verbatim (e.g. a metrics
+  // snapshot from obs::MetricsRegistry::SnapshotJson()).
+  void AddRaw(const std::string& key, std::string rendered_json) {
+    fields_.emplace_back(key, std::move(rendered_json));
+  }
 
   // Writes BENCH_<name>.json and returns the path ("" on failure).
   std::string Write() const {

@@ -6,8 +6,12 @@
 // worst combined vulnerability windows.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 
 #include "analysis/vuln.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scanner/scan_engine.h"
 #include "simnet/internet.h"
 #include "util/table.h"
@@ -39,10 +43,45 @@ int main() {
     std::printf("scan engine: %d worker threads via TLSHARM_THREADS\n",
                 engine.threads);
   }
+  // TLSHARM_METRICS=<path> / TLSHARM_TRACE=<path> attach the observability
+  // layer (both off by default; the survey's results and stdout are
+  // unchanged either way, and the files are byte-identical at any thread
+  // count).
+  obs::MetricsRegistry metrics;
+  const std::string metrics_path = obs::MetricsPathFromEnv();
+  const std::string trace_path = obs::TracePathFromEnv();
+  if (!metrics_path.empty()) engine.metrics = &metrics;
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path, std::ios::binary);
+    if (trace_file) {
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+      engine.trace = trace_sink.get();
+    } else {
+      std::fprintf(stderr, "cannot open TLSHARM_TRACE path %s\n",
+                   trace_path.c_str());
+    }
+  }
   std::printf("\n");
 
   // --- longevity scan.
   const auto scan = scanner::RunShardedDailyScans(net, days, 1, engine);
+  if (engine.metrics != nullptr) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    if (out) {
+      out << metrics.SnapshotJson() << '\n';
+      std::printf("telemetry: wrote metrics snapshot to %s\n",
+                  metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open TLSHARM_METRICS path %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  if (engine.trace != nullptr) {
+    std::printf("telemetry: wrote %zu probe-trace events to %s\n",
+                trace_sink->Emitted(), trace_path.c_str());
+  }
   if (faults.enabled) {
     std::size_t scheduled = 0, recovered = 0, lost = 0;
     for (const auto& day : scan.loss) {

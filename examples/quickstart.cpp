@@ -2,8 +2,12 @@
 // the session by ID and by ticket, and inspect what an external scanner can
 // observe. This is the five-minute tour of the library's public API.
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "crypto/drbg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pki/ca.h"
 #include "pki/root_store.h"
 #include "server/terminator.h"
@@ -83,10 +87,12 @@ int main() {
   tls::ClientConfig resume_ticket = client_config;
   resume_ticket.resume_ticket = hs.ticket;
   resume_ticket.resume_master_secret = hs.master_secret;
+  std::vector<bool> ticket_accepted;
   for (const SimTime when : {5 * kMinute, 20 * kMinute}) {
     auto connN = terminator.NewConnection(when);
     tls::TlsClient ticket_client(resume_ticket);
     const auto resumed = ticket_client.Handshake(*connN, when, client_drbg);
+    ticket_accepted.push_back(resumed.ok && resumed.resumed);
     std::printf("resume by ticket at +%lldm: %s\n",
                 static_cast<long long>(when / kMinute),
                 resumed.ok && resumed.resumed
@@ -107,6 +113,55 @@ int main() {
               broken.ok ? "yes" : "no",
               std::string(tls::ToString(broken.error_class)).c_str(),
               broken.error.c_str());
+
+  // --- 8. Optional telemetry (TLSHARM_METRICS / TLSHARM_TRACE, both off by
+  // default — with the knobs unset this tour's output is byte-identical to
+  // before the observability layer existed). The metrics snapshot counts
+  // what happened above; the trace replays each connection as one event.
+  const std::string metrics_path = obs::MetricsPathFromEnv();
+  const std::string trace_path = obs::TracePathFromEnv();
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry metrics;
+    metrics.GetCounter("quickstart.handshakes.full").Add(1);
+    metrics.GetCounter("quickstart.handshakes.faulted").Add(1);
+    metrics.GetCounter("quickstart.resume.attempts")
+        .Add(1 + ticket_accepted.size());
+    std::uint64_t accepted = resumed_id.ok && resumed_id.resumed;
+    for (const bool ok : ticket_accepted) accepted += ok;
+    metrics.GetCounter("quickstart.resume.accepted").Add(accepted);
+    metrics.GetGauge("quickstart.stek.acceptance_window")
+        .Set(config.tickets.acceptance_window);
+    std::ofstream out(metrics_path, std::ios::binary);
+    if (out) {
+      out << metrics.SnapshotJson() << '\n';
+      std::printf("\ntelemetry: wrote metrics snapshot to %s\n",
+                  metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (out) {
+      obs::JsonlTraceSink sink(out);
+      const SimTime schedule[] = {0, 2 * kMinute, 5 * kMinute, 20 * kMinute,
+                                  30 * kMinute};
+      const bool outcomes[] = {hs.ok,
+                               resumed_id.ok && resumed_id.resumed,
+                               ticket_accepted[0], ticket_accepted[1],
+                               broken.ok};
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        obs::ProbeTraceEvent event;
+        event.seq = i;
+        event.scheduled = schedule[i];
+        event.start = schedule[i];
+        event.duration = 1;
+        event.failure = outcomes[i] ? "ok" : "malformed";
+        if (i >= 1 && i <= 3) event.resumed = outcomes[i] ? 1 : 0;
+        sink.Emit(event);
+      }
+      std::printf("telemetry: wrote %zu trace events to %s\n",
+                  sink.Emitted(), trace_path.c_str());
+    }
+  }
 
   std::printf("\nThe 10-minute ticket window above IS the vulnerability "
               "window the paper measures:\nuntil the STEK rotates, anyone "

@@ -1,0 +1,319 @@
+// scanstats: the scan pipeline's telemetry, reported.
+//
+// Runs a deterministic fault-injected daily-scan study with the full
+// observability stack attached — metrics registry, JSONL probe trace,
+// observation store — then reports what the telemetry shows: per-day probe
+// loss, the failure taxonomy, retry effort, resumption and KEX-reuse rates,
+// the STEK epoch timeline, and store-corruption counts.
+//
+// Environment knobs:
+//   TLSHARM_THREADS  worker shards (any value: output is byte-identical)
+//   TLSHARM_METRICS  path to also write the metrics snapshot JSON to
+//   TLSHARM_TRACE    path to also write the JSONL probe trace to
+//
+// `scanstats --selftest` instead verifies the observability contract and
+// exits non-zero on any violation: metrics snapshot, trace bytes, and store
+// bytes must be identical at 1, 2, and 8 threads; the snapshot must
+// round-trip through ParseSnapshot/RenderSnapshot byte-for-byte; and every
+// trace line must parse as JSON with the expected schema. scripts/check.sh
+// runs this as its observability gate.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scanner/scan_engine.h"
+#include "simnet/internet.h"
+#include "util/table.h"
+
+using namespace tlsharm;
+
+namespace {
+
+constexpr std::size_t kPopulation = 900;
+constexpr int kDays = 4;
+constexpr std::uint64_t kWorldSeed = 4242;
+constexpr std::uint64_t kScanSeed = 777;
+
+struct RunOutput {
+  scanner::DailyScanResult result;
+  std::string metrics_json;  // canonical one-line snapshot
+  std::string trace;         // JSONL probe trace
+  std::string store;         // raw observation lines
+  std::size_t store_records = 0;
+  std::size_t store_corrupt = 0;
+};
+
+// One instrumented study: fresh world, deterministic fault injection,
+// retries + requeue, telemetry attached. Everything returned is a pure
+// function of the constants above — the thread count must not show.
+RunOutput RunInstrumentedScan(int threads) {
+  simnet::Internet net(simnet::PaperPopulationSpec(kPopulation), kWorldSeed);
+  net.SetFaultSpec(simnet::DefaultFaultSpec(1.0));
+
+  std::ostringstream store_stream;
+  std::ostringstream trace_stream;
+  scanner::ObservationWriter sink(store_stream);
+  obs::JsonlTraceSink trace_sink(trace_stream);
+  obs::MetricsRegistry metrics;
+
+  scanner::ScanEngineOptions options;
+  options.threads = threads;
+  options.robustness.retry.max_attempts = 3;
+  options.sink = &sink;
+  options.trace = &trace_sink;
+  options.metrics = &metrics;
+
+  RunOutput out;
+  out.result = scanner::RunShardedDailyScans(net, kDays, kScanSeed, options);
+  out.store = store_stream.str();
+  out.trace = trace_stream.str();
+
+  // Reload the store we just wrote, surfacing (not skipping) corruption:
+  // malformed lines land in the `store.corrupt` counter and the report.
+  const auto reloaded =
+      scanner::ParseObservations(out.store, &out.store_corrupt);
+  out.store_records = reloaded.size();
+  metrics.GetCounter("store.records").Add(out.store_records);
+  metrics.GetCounter("store.corrupt").Add(out.store_corrupt);
+
+  out.metrics_json = metrics.SnapshotJson();
+  return out;
+}
+
+std::uint64_t CounterOf(const obs::MetricsSnapshot& snapshot,
+                        const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+std::string Rate(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(part) /
+                    static_cast<double>(whole));
+  return buf;
+}
+
+// Renders a histogram bucket's range label from its inclusive upper bounds.
+std::string BucketLabel(const std::vector<std::int64_t>& bounds,
+                        std::size_t i) {
+  if (i == 0) return "<= " + std::to_string(bounds[0]) + "s";
+  if (i == bounds.size()) {
+    return "> " + std::to_string(bounds.back()) + "s";
+  }
+  return std::to_string(bounds[i - 1] + 1) + "-" +
+         std::to_string(bounds[i]) + "s";
+}
+
+void PrintReport(const RunOutput& run, const obs::MetricsSnapshot& snapshot,
+                 int threads) {
+  std::printf("== scanstats: telemetry for a %zu-domain, %d-day faulty "
+              "study ==\n", kPopulation, kDays);
+  std::printf("threads=%d (byte-identical at any TLSHARM_THREADS)\n\n",
+              threads);
+
+  std::printf("Per-day probe loss:\n");
+  TextTable loss({"Day", "Scheduled", "Recovered", "Lost", "Loss rate"});
+  for (std::size_t day = 0; day < run.result.loss.size(); ++day) {
+    const auto& d = run.result.loss[day];
+    loss.AddRow({std::to_string(day), std::to_string(d.scheduled),
+                 std::to_string(d.recovered), std::to_string(d.lost),
+                 Rate(d.lost, d.scheduled)});
+  }
+  std::printf("%s", loss.Render().c_str());
+
+  const std::uint64_t probes = CounterOf(snapshot, "probe.probes");
+  std::printf("\nFailure taxonomy (final probe outcomes):\n");
+  TextTable taxonomy({"Class", "Probes", "Share"});
+  for (int c = 0; c < scanner::kProbeFailureClasses; ++c) {
+    const std::string name(
+        ToString(static_cast<scanner::ProbeFailure>(c)));
+    const std::uint64_t count =
+        CounterOf(snapshot, "probe.failure." + name);
+    if (count == 0) continue;
+    taxonomy.AddRow({name, std::to_string(count), Rate(count, probes)});
+  }
+  std::printf("%s", taxonomy.Render().c_str());
+
+  const std::uint64_t attempts = CounterOf(snapshot, "probe.attempts");
+  const std::uint64_t retries = CounterOf(snapshot, "probe.retries");
+  std::printf("\nRetry effort: %llu connection attempts for %llu probes "
+              "(%llu retries)\n",
+              static_cast<unsigned long long>(attempts),
+              static_cast<unsigned long long>(probes),
+              static_cast<unsigned long long>(retries));
+
+  const std::uint64_t kex_reused = CounterOf(snapshot, "fleet.kex.reused");
+  const std::uint64_t kex_fresh = CounterOf(snapshot, "fleet.kex.fresh");
+  const std::uint64_t lookups = CounterOf(snapshot, "fleet.session.lookups");
+  const std::uint64_t hits = CounterOf(snapshot, "fleet.session.hits");
+  std::printf("\nResumption / crypto-shortcut rates:\n");
+  TextTable rates({"Metric", "Value"});
+  rates.AddRow({"KEX pairs served reused",
+                std::to_string(kex_reused) + " (" +
+                    Rate(kex_reused, kex_reused + kex_fresh) + ")"});
+  rates.AddRow({"session-cache hit rate",
+                std::to_string(hits) + "/" + std::to_string(lookups) + " (" +
+                    Rate(hits, lookups) + ")"});
+  std::printf("%s", rates.Render().c_str());
+
+  std::printf("\nSTEK epoch timeline (issuing-epoch age at end of study):\n");
+  const auto stek = snapshot.histograms.find("fleet.stek.issuing_age");
+  if (stek != snapshot.histograms.end()) {
+    TextTable ages({"Age bucket", "Managers"});
+    for (std::size_t i = 0; i < stek->second.counts.size(); ++i) {
+      if (stek->second.counts[i] == 0) continue;
+      ages.AddRow({BucketLabel(stek->second.bounds, i),
+                   std::to_string(stek->second.counts[i])});
+    }
+    std::printf("%s", ages.Render().c_str());
+  }
+  std::printf("  managers=%llu rotations=%llu live_epochs=%llu\n",
+              static_cast<unsigned long long>(
+                  CounterOf(snapshot, "fleet.stek.managers")),
+              static_cast<unsigned long long>(
+                  CounterOf(snapshot, "fleet.stek.rotations")),
+              static_cast<unsigned long long>(
+                  CounterOf(snapshot, "fleet.stek.live_epochs")));
+
+  std::printf("\nObservation store: %zu records reloaded, %zu corrupt "
+              "lines skipped\n", run.store_records, run.store_corrupt);
+  std::printf("Probe trace: %zu bytes of JSONL (%llu attempt events)\n",
+              run.trace.size(),
+              static_cast<unsigned long long>(attempts));
+}
+
+// Writes `data` to `path`; returns false (with a message) on failure.
+bool WriteFileOrComplain(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "scanstats: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << data;
+  return out.good();
+}
+
+// --- selftest ---------------------------------------------------------------
+
+bool CheckTraceSchema(const std::string& trace, std::string& error) {
+  static const char* kRequired[] = {"day",     "seq",     "pass",
+                                    "kind",    "domain",  "scheduled",
+                                    "attempt", "start",   "dur",
+                                    "backoff", "failure", "final"};
+  std::istringstream in(trace);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    obs::JsonValue value;
+    if (!obs::ParseJson(line, value) ||
+        value.kind != obs::JsonValue::Kind::kObject) {
+      error = "trace line " + std::to_string(line_no) + " is not JSON";
+      return false;
+    }
+    for (const char* key : kRequired) {
+      if (value.Find(key) == nullptr) {
+        error = "trace line " + std::to_string(line_no) +
+                " is missing key \"" + key + "\"";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int SelfTest() {
+  std::printf("== scanstats --selftest: observability determinism gate ==\n");
+  const RunOutput base = RunInstrumentedScan(1);
+  if (base.store.empty() || base.trace.empty()) {
+    std::printf("FAIL: instrumented scan produced no output\n");
+    return 1;
+  }
+  for (const int threads : {2, 8}) {
+    const RunOutput other = RunInstrumentedScan(threads);
+    if (other.metrics_json != base.metrics_json) {
+      std::printf("FAIL: metrics snapshot differs at %d threads\n", threads);
+      return 1;
+    }
+    if (other.trace != base.trace) {
+      std::printf("FAIL: probe trace differs at %d threads\n", threads);
+      return 1;
+    }
+    if (other.store != base.store) {
+      std::printf("FAIL: observation store differs at %d threads\n", threads);
+      return 1;
+    }
+    std::printf("  %d threads: snapshot, trace and store byte-identical\n",
+                threads);
+  }
+
+  obs::MetricsSnapshot snapshot;
+  if (!obs::ParseSnapshot(base.metrics_json, snapshot)) {
+    std::printf("FAIL: metrics snapshot does not parse\n");
+    return 1;
+  }
+  if (obs::RenderSnapshot(snapshot) != base.metrics_json) {
+    std::printf("FAIL: snapshot does not round-trip byte-for-byte\n");
+    return 1;
+  }
+  std::printf("  snapshot round-trips byte-for-byte (%zu bytes)\n",
+              base.metrics_json.size());
+
+  std::string error;
+  if (!CheckTraceSchema(base.trace, error)) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  const std::uint64_t attempts = CounterOf(snapshot, "probe.attempts");
+  std::size_t lines = 0;
+  for (const char c : base.trace) lines += c == '\n';
+  if (lines != attempts) {
+    std::printf("FAIL: %zu trace lines vs %llu recorded attempts\n", lines,
+                static_cast<unsigned long long>(attempts));
+    return 1;
+  }
+  std::printf("  trace schema ok: %zu lines == probe.attempts\n", lines);
+  if (CounterOf(snapshot, "store.corrupt") != 0) {
+    std::printf("FAIL: store reload reported corrupt lines\n");
+    return 1;
+  }
+  std::printf("selftest PASSED\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--selftest") == 0) {
+    return SelfTest();
+  }
+
+  const int threads = scanner::ScanThreadsFromEnv();
+  const RunOutput run = RunInstrumentedScan(threads);
+  obs::MetricsSnapshot snapshot;
+  if (!obs::ParseSnapshot(run.metrics_json, snapshot)) {
+    std::fprintf(stderr, "scanstats: metrics snapshot failed to parse\n");
+    return 1;
+  }
+  PrintReport(run, snapshot, threads);
+
+  const std::string metrics_path = obs::MetricsPathFromEnv();
+  if (!metrics_path.empty()) {
+    if (!WriteFileOrComplain(metrics_path, run.metrics_json + "\n")) return 1;
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
+  const std::string trace_path = obs::TracePathFromEnv();
+  if (!trace_path.empty()) {
+    if (!WriteFileOrComplain(trace_path, run.trace)) return 1;
+    std::printf("wrote probe trace to %s\n", trace_path.c_str());
+  }
+  return 0;
+}

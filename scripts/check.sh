@@ -31,9 +31,17 @@ run_config() {
 }
 
 run_config "plain" "${repo}/build"
+
+# Observability gate: a short instrumented scan through scanstats. Fails on
+# any telemetry-schema or determinism drift — the metrics snapshot, probe
+# trace and observation store must be byte-identical at 1/2/8 threads, and
+# the snapshot must round-trip through its own parser byte-for-byte.
+echo "== observability: scanstats --selftest =="
+"${repo}/build/examples/scanstats" --selftest
+
 run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
 run_config "tsan" "${repo}/build-tsan" \
-  --filter 'CryptoVectors|ParallelDeterminism|Sharded' \
+  --filter 'CryptoVectors|ParallelDeterminism|Sharded|Telemetry' \
   -DTLSHARM_SANITIZE=thread
 
-echo "All checks passed (plain + sanitized + tsan)."
+echo "All checks passed (plain + observability + sanitized + tsan)."

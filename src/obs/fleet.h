@@ -1,0 +1,31 @@
+// Server-fleet and fault-injector metrics collection.
+//
+// Runs on a single thread AFTER a scan's workers have joined, walking the
+// terminator fleet in id order and de-duplicating shared secret stores
+// (session caches, STEK managers, KEX caches shared across terminators are
+// counted once). Everything collected here is a deterministic function of
+// the scan workload: cumulative operation counters (inserts, lookups, key
+// reuses, injected faults) depend only on the multiset of handshakes —
+// which the engine's purity contract fixes — and STEK epoch state is
+// time-indexed. Quantities that DO depend on thread interleaving (live
+// session-cache occupancy under the lazy restart flush) are deliberately
+// not collected; see DESIGN.md "Observability".
+#pragma once
+
+#include "obs/metrics.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::simnet {
+class Internet;
+}
+
+namespace tlsharm::obs {
+
+// Records fleet gauges/counters into `registry` as of virtual time `now`
+// (typically the end of the study). Advances STEK managers' time-indexed
+// state to `now` — safe to interleave with later time-indexed queries, but
+// call it only after concurrent scanning has finished.
+void CollectFleetMetrics(simnet::Internet& net, SimTime now,
+                         MetricsRegistry& registry);
+
+}  // namespace tlsharm::obs

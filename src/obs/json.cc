@@ -1,0 +1,201 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace tlsharm::obs {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonString(std::string& out, std::string_view raw) {
+  out.push_back('"');
+  out += JsonEscape(raw);
+  out.push_back('"');
+}
+
+namespace {
+
+// Recursive-descent parser over the snapshot subset (see json.h).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Parse(JsonValue& out) {
+    SkipSpace();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipSpace();
+    return p_ == end_;  // no trailing garbage
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipSpace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': return ParseString(out);
+      default: return ParseInt(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++p_;  // '{'
+    SkipSpace();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      JsonValue key;
+      if (p_ == end_ || *p_ != '"' || !ParseString(key)) return false;
+      SkipSpace();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      if (!out.object.emplace(std::move(key.string), std::move(value)).second) {
+        return false;  // duplicate key
+      }
+      SkipSpace();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++p_;  // '['
+    SkipSpace();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      SkipSpace();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(JsonValue& out) {
+    out.kind = JsonValue::Kind::kString;
+    ++p_;  // '"'
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': out.string.push_back('"'); break;
+          case '\\': out.string.push_back('\\'); break;
+          case '/': out.string.push_back('/'); break;
+          case 'b': out.string.push_back('\b'); break;
+          case 'f': out.string.push_back('\f'); break;
+          case 'n': out.string.push_back('\n'); break;
+          case 'r': out.string.push_back('\r'); break;
+          case 't': out.string.push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p_[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code > 0x7f) return false;  // snapshot subset: ASCII escapes only
+            out.string.push_back(static_cast<char>(code));
+            p_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p_;
+      } else {
+        out.string.push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing '"'
+    return true;
+  }
+
+  bool ParseInt(JsonValue& out) {
+    out.kind = JsonValue::Kind::kInt;
+    const auto [next, ec] = std::from_chars(p_, end_, out.integer);
+    if (ec != std::errc() || next == p_) return false;
+    if (next != end_ && (*next == '.' || *next == 'e' || *next == 'E')) {
+      return false;  // floats are outside the snapshot subset
+    }
+    p_ = next;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue& out) {
+  Parser parser(text);
+  return parser.Parse(out);
+}
+
+}  // namespace tlsharm::obs

@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace tlsharm::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(std::int64_t value) { ObserveN(value, 1); }
+
+void Histogram::ObserveN(std::int64_t value, std::uint64_t n) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += n;
+  sum_ += value * static_cast<std::int64_t>(n);
+  count_ += n;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  assert(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<std::int64_t> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+      .first->second;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name).Add(counter.Value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name).Max(gauge.Value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name, histogram.Bounds()).MergeFrom(histogram);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter.Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge.Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(
+        name, HistogramSnapshot{histogram.Bounds(), histogram.Counts(),
+                                histogram.Sum(), histogram.Count()});
+  }
+  return snapshot;
+}
+
+namespace {
+
+template <typename Map, typename RenderValue>
+void AppendJsonMap(std::string& out, const char* section, const Map& map,
+                   bool& first_section, RenderValue&& render_value) {
+  if (!first_section) out.push_back(',');
+  first_section = false;
+  AppendJsonString(out, section);
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(out, name);
+    out.push_back(':');
+    render_value(out, value);
+  }
+  out.push_back('}');
+}
+
+template <typename Int>
+void AppendIntArray(std::string& out, const std::vector<Int>& values) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string RenderSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.push_back('{');
+  bool first_section = true;
+  AppendJsonMap(out, "counters", snapshot.counters, first_section,
+                [](std::string& o, std::uint64_t v) { o += std::to_string(v); });
+  AppendJsonMap(out, "gauges", snapshot.gauges, first_section,
+                [](std::string& o, std::int64_t v) { o += std::to_string(v); });
+  AppendJsonMap(out, "histograms", snapshot.histograms, first_section,
+                [](std::string& o, const HistogramSnapshot& h) {
+                  o += "{\"bounds\":";
+                  AppendIntArray(o, h.bounds);
+                  o += ",\"counts\":";
+                  AppendIntArray(o, h.counts);
+                  o += ",\"sum\":" + std::to_string(h.sum);
+                  o += ",\"count\":" + std::to_string(h.count);
+                  o.push_back('}');
+                });
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+bool ReadIntArray(const JsonValue& value, std::vector<std::int64_t>& out) {
+  if (value.kind != JsonValue::Kind::kArray) return false;
+  for (const JsonValue& entry : value.array) {
+    if (entry.kind != JsonValue::Kind::kInt) return false;
+    out.push_back(entry.integer);
+  }
+  return true;
+}
+
+bool ReadHistogram(const JsonValue& value, HistogramSnapshot& out) {
+  if (value.kind != JsonValue::Kind::kObject || value.object.size() != 4) {
+    return false;
+  }
+  const JsonValue* bounds = value.Find("bounds");
+  const JsonValue* counts = value.Find("counts");
+  const JsonValue* sum = value.Find("sum");
+  const JsonValue* count = value.Find("count");
+  if (bounds == nullptr || counts == nullptr || sum == nullptr ||
+      count == nullptr || sum->kind != JsonValue::Kind::kInt ||
+      count->kind != JsonValue::Kind::kInt) {
+    return false;
+  }
+  if (!ReadIntArray(*bounds, out.bounds)) return false;
+  std::vector<std::int64_t> raw_counts;
+  if (!ReadIntArray(*counts, raw_counts)) return false;
+  if (raw_counts.size() != out.bounds.size() + 1) return false;
+  for (const std::int64_t c : raw_counts) {
+    if (c < 0) return false;
+    out.counts.push_back(static_cast<std::uint64_t>(c));
+  }
+  out.sum = sum->integer;
+  out.count = static_cast<std::uint64_t>(count->integer);
+  return true;
+}
+
+}  // namespace
+
+bool ParseSnapshot(std::string_view text, MetricsSnapshot& out) {
+  JsonValue root;
+  if (!ParseJson(text, root) || root.kind != JsonValue::Kind::kObject ||
+      root.object.size() != 3) {
+    return false;
+  }
+  const JsonValue* counters = root.Find("counters");
+  const JsonValue* gauges = root.Find("gauges");
+  const JsonValue* histograms = root.Find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr ||
+      counters->kind != JsonValue::Kind::kObject ||
+      gauges->kind != JsonValue::Kind::kObject ||
+      histograms->kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  for (const auto& [name, value] : counters->object) {
+    if (value.kind != JsonValue::Kind::kInt || value.integer < 0) return false;
+    out.counters.emplace(name, static_cast<std::uint64_t>(value.integer));
+  }
+  for (const auto& [name, value] : gauges->object) {
+    if (value.kind != JsonValue::Kind::kInt) return false;
+    out.gauges.emplace(name, value.integer);
+  }
+  for (const auto& [name, value] : histograms->object) {
+    HistogramSnapshot histogram;
+    if (!ReadHistogram(value, histogram)) return false;
+    out.histograms.emplace(name, std::move(histogram));
+  }
+  return true;
+}
+
+std::string MetricsPathFromEnv() {
+  const char* env = std::getenv("TLSHARM_METRICS");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+}  // namespace tlsharm::obs

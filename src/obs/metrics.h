@@ -1,0 +1,136 @@
+// Deterministic metrics for the scan pipeline: named counters, gauges, and
+// fixed-bucket histograms collected into a MetricsRegistry.
+//
+// The registry is built for the sharded scan engine's determinism contract
+// (scan_engine.h): it is deliberately NOT thread-safe. Each worker shard
+// owns a private registry; after the join, the engine merges the shard
+// registries into the caller's in canonical shard order. Because merging is
+// commutative per metric kind — counters and histogram buckets add, gauges
+// take the maximum — and every value is derived from virtual time or probe
+// outcomes (never wall clock), the merged snapshot is byte-identical for
+// any thread count. Execution-shape quantities (thread count, shard count,
+// wall-clock durations) are intentionally unrepresentable here; benches
+// record those separately in BENCH_*.json.
+//
+// All histogram/gauge values are 64-bit integers (virtual-time seconds or
+// counts): integer accumulation keeps merges exact, with no floating-point
+// order sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlsharm::obs {
+
+// Monotone event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t Value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-known level. Merging takes the maximum, the only order-independent
+// choice; set gauges from the merge thread when the level is global.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_ = v; }
+  void Max(std::int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t Value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+// order, with an implicit +inf overflow bucket (counts has bounds.size()+1
+// entries). Buckets are fixed at creation so shard registries always agree
+// and merges are plain vector adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void Observe(std::int64_t value);
+  void ObserveN(std::int64_t value, std::uint64_t n);
+
+  const std::vector<std::int64_t>& Bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& Counts() const { return counts_; }
+  std::int64_t Sum() const { return sum_; }
+  std::uint64_t Count() const { return count_; }
+
+  // Adds another histogram with identical bounds (asserted).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  std::int64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// A point-in-time, serializable copy of a registry.
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::int64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+// Canonical one-line JSON rendering: keys sorted (std::map order), integers
+// only, no whitespace. Byte-stable: equal snapshots render equal bytes.
+std::string RenderSnapshot(const MetricsSnapshot& snapshot);
+
+// Parses RenderSnapshot output (and any JSON matching its schema). Returns
+// false on syntax or schema mismatch. ParseSnapshot(RenderSnapshot(s)) == s.
+bool ParseSnapshot(std::string_view text, MetricsSnapshot& out);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returned references are stable for the registry's lifetime (node-based
+  // storage), so hot paths resolve a name once and bump the handle.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` apply on first creation; later calls with the same name return
+  // the existing histogram unchanged.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<std::int64_t> bounds);
+
+  // Folds `other` in: counters and histograms add, gauges take the max.
+  // Commutative and associative, so shard merge order cannot matter.
+  void MergeFrom(const MetricsRegistry& other);
+
+  bool Empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  MetricsSnapshot Snapshot() const;
+  std::string SnapshotJson() const { return RenderSnapshot(Snapshot()); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// The TLSHARM_METRICS environment knob: the path a tool should write its
+// metrics snapshot to, or "" when telemetry is off (the default).
+std::string MetricsPathFromEnv();
+
+}  // namespace tlsharm::obs

@@ -67,6 +67,30 @@ std::uint64_t ResumeSalt(bool offer_id, bool offer_ticket) {
 Prober::Prober(simnet::Internet& net, std::uint64_t seed)
     : net_(net), seed_(seed) {}
 
+void Prober::SetMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  m_ = ProberMetricHandles{};
+  if (registry == nullptr) return;
+  m_.probes = &registry->GetCounter("probe.probes");
+  m_.attempts = &registry->GetCounter("probe.attempts");
+  m_.retries = &registry->GetCounter("probe.retries");
+  m_.handshakes_ok = &registry->GetCounter("probe.handshake_ok");
+  m_.trusted = &registry->GetCounter("probe.trusted");
+  m_.resume_attempts = &registry->GetCounter("resume.attempts");
+  m_.resume_accepted = &registry->GetCounter("resume.accepted");
+  m_.resume_rejected = &registry->GetCounter("resume.rejected");
+  // Buckets in seconds; the top bucket catches budget-length waits.
+  m_.backoff_wait = &registry->GetHistogram("probe.backoff_wait",
+                                            {2, 4, 8, 16, 32, 64, 128});
+  m_.attempts_per_probe =
+      &registry->GetHistogram("probe.attempts_per_probe", {1, 2, 3, 4, 6, 8});
+  for (int i = 0; i < kProbeFailureClasses; ++i) {
+    std::string name = "probe.failure.";
+    name += ToString(static_cast<ProbeFailure>(i));
+    m_.failures[static_cast<std::size_t>(i)] = &registry->GetCounter(name);
+  }
+}
+
 crypto::Drbg Prober::AttemptDrbg(simnet::DomainId domain, SimTime when,
                                  std::uint64_t salt) const {
   Bytes s = ToBytes("probe");
@@ -180,24 +204,44 @@ ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
                           const ProbeOptions& options) {
   const int max_attempts = std::max(1, retry_.max_attempts);
   ProbeResult result;
+  std::vector<ProbeAttempt> attempt_log;
   SimTime elapsed = 0;
   int attempt = 0;
   for (;;) {
     ++attempt;
-    result = ProbeOnce(domain, now + elapsed, options);
-    if (!IsTransportFailure(result.observation.failure)) break;
-    if (attempt >= max_attempts) break;
+    const SimTime start = now + elapsed;
+    result = ProbeOnce(domain, start, options);
+    const ProbeFailure failure = result.observation.failure;
+    const SimTime cost = AttemptCost(failure, retry_);
+    if (!IsTransportFailure(failure) || attempt >= max_attempts) {
+      if (log_attempts_) attempt_log.push_back({start, cost, 0, failure});
+      break;
+    }
     const SimTime backoff = std::min(
         retry_.base_backoff << std::min(attempt - 1, 16), retry_.max_backoff);
-    const SimTime delay = AttemptCost(result.observation.failure, retry_) +
-                          backoff + Jitter(domain, now + elapsed, attempt);
-    if (elapsed + delay > retry_.budget) break;
-    elapsed += delay;
+    const SimTime wait = backoff + Jitter(domain, start, attempt);
+    if (elapsed + cost + wait > retry_.budget) {
+      if (log_attempts_) attempt_log.push_back({start, cost, 0, failure});
+      break;
+    }
+    if (log_attempts_) attempt_log.push_back({start, cost, wait, failure});
+    if (metrics_ != nullptr) m_.backoff_wait->Observe(wait);
+    elapsed += cost + wait;
   }
   // Report against the scheduled probe time so day attribution is stable.
   result.observation.time = now;
   result.observation.attempts = static_cast<std::uint8_t>(
       std::min(attempt, 255));
+  result.attempt_log = std::move(attempt_log);
+  if (metrics_ != nullptr) {
+    m_.probes->Add(1);
+    m_.attempts->Add(attempt);
+    m_.retries->Add(attempt - 1);
+    m_.attempts_per_probe->Observe(attempt);
+    m_.failures[static_cast<std::size_t>(result.observation.failure)]->Add(1);
+    if (result.observation.handshake_ok) m_.handshakes_ok->Add(1);
+    if (result.observation.trusted) m_.trusted->Add(1);
+  }
   return result;
 }
 
@@ -208,6 +252,7 @@ bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
   SimTime elapsed = 0;
   for (int attempt = 1;; ++attempt) {
     const SimTime when = now + elapsed;
+    if (metrics_ != nullptr) m_.resume_attempts->Add(1);
     auto outcome = net_.ConnectDetailed(domain, when);
     ProbeFailure failure = ProbeFailure::kNone;
     if (outcome.connection == nullptr) {
@@ -224,7 +269,12 @@ bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
           AttemptDrbg(domain, when, ResumeSalt(offer_id, offer_ticket));
       const tls::HandshakeResult hs =
           client.Handshake(*outcome.connection, when, drbg);
-      if (hs.ok) return hs.resumed;
+      if (hs.ok) {
+        if (metrics_ != nullptr) {
+          (hs.resumed ? m_.resume_accepted : m_.resume_rejected)->Add(1);
+        }
+        return hs.resumed;
+      }
       failure = FailureFromHandshake(hs.error_class);
     }
     if (!IsTransportFailure(failure) || attempt >= max_attempts) return false;

@@ -14,10 +14,13 @@
 // byte-identical output (see scan_engine.h).
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/drbg.h"
+#include "obs/metrics.h"
 #include "scanner/observation.h"
 #include "simnet/internet.h"
 #include "tls/client.h"
@@ -67,9 +70,37 @@ struct StoredSession {
   bool valid = false;
 };
 
+// One connection attempt inside a probe, for the telemetry trace. All
+// fields are virtual time, so the log is as replayable as the probe itself.
+struct ProbeAttempt {
+  SimTime start = 0;     // when the attempt opened its connection
+  SimTime duration = 0;  // virtual time charged (a timeout burns the budget)
+  SimTime backoff = 0;   // wait before the NEXT attempt (0 on the last)
+  ProbeFailure failure = ProbeFailure::kNone;
+};
+
 struct ProbeResult {
   HandshakeObservation observation;
   StoredSession session;  // populated when want_full_result
+  // Per-attempt timeline; filled only when attempt logging is enabled
+  // (SetAttemptLogging), so the hot path pays nothing by default.
+  std::vector<ProbeAttempt> attempt_log;
+};
+
+// Cached handles into a MetricsRegistry so the per-probe hot path bumps
+// counters without any by-name lookups. Resolved once in SetMetrics.
+struct ProberMetricHandles {
+  obs::Counter* probes = nullptr;
+  obs::Counter* attempts = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* handshakes_ok = nullptr;
+  obs::Counter* trusted = nullptr;
+  obs::Counter* resume_attempts = nullptr;
+  obs::Counter* resume_accepted = nullptr;
+  obs::Counter* resume_rejected = nullptr;
+  obs::Histogram* backoff_wait = nullptr;       // per-retry wait, seconds
+  obs::Histogram* attempts_per_probe = nullptr;
+  std::array<obs::Counter*, kProbeFailureClasses> failures{};
 };
 
 class Prober {
@@ -96,6 +127,14 @@ class Prober {
   void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // Attaches a metrics registry (nullptr detaches). The registry is NOT
+  // thread-safe: give each concurrently-used Prober its own and merge them
+  // afterwards (the sharded engine merges in canonical shard order, which
+  // keeps totals thread-count independent because counters add).
+  void SetMetrics(obs::MetricsRegistry* registry);
+  // Fills ProbeResult::attempt_log on every probe (off by default).
+  void SetAttemptLogging(bool enabled) { log_attempts_ = enabled; }
+
  private:
   ProbeResult ProbeOnce(simnet::DomainId domain, SimTime now,
                         const ProbeOptions& options);
@@ -117,6 +156,9 @@ class Prober {
   simnet::Internet& net_;
   std::uint64_t seed_;
   RetryPolicy retry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  ProberMetricHandles m_{};
+  bool log_attempts_ = false;
   // Memoized chain verification keyed by the full (leaf fingerprint, host)
   // pair — fingerprint bytes, a NUL separator, then the host name — so two
   // distinct pairs can never share a cache slot.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/fleet.h"
 
 namespace tlsharm::scanner {
 namespace {
@@ -25,6 +28,33 @@ struct PendingProbe {
 // [ShardLo(n, shards, k), ShardLo(n, shards, k + 1)).
 std::size_t ShardLo(std::size_t n, int shards, int k) {
   return n * static_cast<std::size_t>(k) / static_cast<std::size_t>(shards);
+}
+
+// Stages one trace event per connection attempt of `probe` into the
+// shard's buffer. `seq` is the probe's canonical index within the day —
+// never the shard — so the flushed stream is thread-count independent.
+void StageTrace(obs::ShardedTraceBuffer& buffer, std::size_t shard, int day,
+                std::uint64_t seq, std::string_view pass,
+                std::string_view kind, simnet::DomainId id, SimTime scheduled,
+                const ProbeResult& probe) {
+  const std::size_t attempts = probe.attempt_log.size();
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const ProbeAttempt& att = probe.attempt_log[a];
+    obs::ProbeTraceEvent event;
+    event.day = day;
+    event.seq = seq;
+    event.pass = pass;
+    event.kind = kind;
+    event.domain = id;
+    event.scheduled = scheduled;
+    event.attempt = static_cast<int>(a) + 1;
+    event.start = att.start;
+    event.duration = att.duration;
+    event.backoff = att.backoff;
+    event.failure = ToString(att.failure);
+    event.final_attempt = (a + 1 == attempts);
+    buffer.Append(shard, event);
+  }
 }
 
 // Runs body(0) .. body(shards - 1), one worker thread per shard. The
@@ -58,6 +88,13 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                      std::uint64_t seed,
                                      const ScanEngineOptions& options) {
   const int max_shards = std::max(1, options.threads);
+  const bool tracing = options.trace != nullptr;
+
+  // Per-shard metric registries (single-writer, no locks); merged into
+  // options.metrics in shard order after the last day. Counters add, so
+  // the merged totals do not depend on how targets were sharded.
+  std::vector<obs::MetricsRegistry> shard_metrics(
+      options.metrics != nullptr ? static_cast<std::size_t>(max_shards) : 0);
 
   // One prober per worker, every one seeded IDENTICALLY: outcomes are pure
   // in (seed, domain, time, options), so it does not matter which worker
@@ -69,6 +106,10 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   for (int k = 0; k < max_shards; ++k) {
     probers.emplace_back(net, seed);
     probers.back().SetRetryPolicy(options.robustness.retry);
+    if (options.metrics != nullptr) {
+      probers.back().SetMetrics(&shard_metrics[static_cast<std::size_t>(k)]);
+    }
+    probers.back().SetAttemptLogging(tracing);
   }
 
   const Blacklist no_rules;
@@ -121,15 +162,24 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     // --- main pass: shard the target list, probe into per-index slots ----
     std::vector<Record> records(n);
     ShardedObservationBuffer staged(static_cast<std::size_t>(shards));
+    obs::ShardedTraceBuffer trace_staged(static_cast<std::size_t>(shards));
     RunSharded(shards, [&](int k) {
       Prober& prober = probers[static_cast<std::size_t>(k)];
       const std::size_t hi = ShardLo(n, shards, k + 1);
       for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
         const simnet::DomainId id = targets[i];
         Record& record = records[i];
-        record.main = prober.Probe(id, when, main_options).observation;
-        record.dhe =
-            prober.Probe(id, when + kHour, dhe_options).observation;
+        const ProbeResult main_probe = prober.Probe(id, when, main_options);
+        record.main = main_probe.observation;
+        const ProbeResult dhe_probe =
+            prober.Probe(id, when + kHour, dhe_options);
+        record.dhe = dhe_probe.observation;
+        if (tracing) {
+          StageTrace(trace_staged, static_cast<std::size_t>(k), day, 2 * i,
+                     "main", "main", id, when, main_probe);
+          StageTrace(trace_staged, static_cast<std::size_t>(k), day,
+                     2 * i + 1, "main", "dhe", id, when + kHour, dhe_probe);
+        }
         if (options.sink != nullptr) {
           staged.Append(static_cast<std::size_t>(k), day, record.main);
           staged.Append(static_cast<std::size_t>(k), day, record.dhe);
@@ -137,6 +187,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
       }
     });
     if (options.sink != nullptr) staged.Flush(*options.sink);
+    if (tracing) trace_staged.Flush(*options.trace);
 
     // --- canonical merge: aggregate + collect the requeue list -----------
     DayLoss day_loss;
@@ -162,16 +213,24 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           static_cast<std::size_t>(max_shards), pending_count));
       ShardedObservationBuffer requeue_staged(
           static_cast<std::size_t>(requeue_shards));
+      obs::ShardedTraceBuffer requeue_trace(
+          static_cast<std::size_t>(requeue_shards));
       RunSharded(requeue_shards, [&](int k) {
         Prober& prober = probers[static_cast<std::size_t>(k)];
         const std::size_t hi = ShardLo(pending_count, requeue_shards, k + 1);
         for (std::size_t i = ShardLo(pending_count, requeue_shards, k);
              i < hi; ++i) {
           const PendingProbe& p = pending[i];
-          requeued[i] =
-              p.dhe
-                  ? prober.Probe(p.id, again + kHour, dhe_options).observation
-                  : prober.Probe(p.id, again, main_options).observation;
+          const SimTime at = p.dhe ? again + kHour : again;
+          const ProbeResult probe =
+              prober.Probe(p.id, at, p.dhe ? dhe_options : main_options);
+          requeued[i] = probe.observation;
+          if (tracing) {
+            // Requeue seqs continue after the day's 2n main-pass probes.
+            StageTrace(requeue_trace, static_cast<std::size_t>(k), day,
+                       2 * n + i, "requeue", p.dhe ? "dhe" : "main", p.id,
+                       at, probe);
+          }
           if (options.sink != nullptr) {
             requeue_staged.Append(static_cast<std::size_t>(k), day,
                                   requeued[i]);
@@ -179,6 +238,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
         }
       });
       if (options.sink != nullptr) requeue_staged.Flush(*options.sink);
+      if (tracing) requeue_trace.Flush(*options.trace);
     }
     for (std::size_t i = 0; i < pending_count; ++i) {
       ProbeFailure failure = pending[i].failure;
@@ -198,6 +258,28 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
       }
     }
     result.loss.push_back(day_loss);
+
+    // Engine-level counters, bumped on the merge thread only (canonical
+    // order; no shard involvement, so trivially thread-count independent).
+    if (options.metrics != nullptr) {
+      obs::MetricsRegistry& reg = *options.metrics;
+      reg.GetCounter("scan.days").Add(1);
+      reg.GetCounter("scan.targets").Add(n);
+      reg.GetCounter("scan.probes.scheduled").Add(day_loss.scheduled);
+      reg.GetCounter("scan.requeue.pending").Add(pending_count);
+      reg.GetHistogram("scan.requeue.depth", {0, 10, 100, 1000, 10000})
+          .Observe(static_cast<std::int64_t>(pending_count));
+      reg.GetCounter("scan.lost").Add(day_loss.lost);
+      reg.GetCounter("scan.recovered").Add(day_loss.recovered);
+      for (int c = 0; c < kProbeFailureClasses; ++c) {
+        const std::size_t lost =
+            day_loss.lost_by_class[static_cast<std::size_t>(c)];
+        if (lost == 0) continue;
+        std::string name = "scan.lost.";
+        name += ToString(static_cast<ProbeFailure>(c));
+        reg.GetCounter(name).Add(lost);
+      }
+    }
   }
 
   for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
@@ -210,6 +292,15 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     if (ever_ticket[id] || ever_ecdhe[id] || ever_dhe[id]) {
       ++result.core_any_mechanism;
     }
+  }
+
+  if (options.metrics != nullptr) {
+    // Canonical shard order; merging is commutative anyway (counters and
+    // histogram buckets add), so the totals cannot depend on sharding.
+    for (const obs::MetricsRegistry& shard : shard_metrics) {
+      options.metrics->MergeFrom(shard);
+    }
+    obs::CollectFleetMetrics(net, ScanDayStart(days), *options.metrics);
   }
   return result;
 }

@@ -27,6 +27,8 @@
 
 #include <cstddef>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scanner/experiments.h"
 #include "scanner/schedule.h"
 #include "scanner/store.h"
@@ -47,6 +49,14 @@ struct ScanEngineOptions {
   // observation in canonical order (main/DHE interleaved per target, then
   // the requeue pass in pending order).
   ObservationWriter* sink = nullptr;
+  // Optional telemetry; both default off and neither changes a single byte
+  // of the scan's observations. `metrics` receives the merged per-shard
+  // probe counters, engine-level scan/requeue/loss counters, and an
+  // end-of-study fleet sweep (CollectFleetMetrics). `trace` receives one
+  // event per connection attempt in canonical (day, seq, attempt) order.
+  // Both outputs are byte-identical for any `threads` value.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 // Worker count from the TLSHARM_THREADS environment knob (1..64,

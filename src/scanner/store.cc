@@ -110,10 +110,16 @@ std::string SerializeObservations(
 }
 
 std::vector<StoredObservation> ParseObservations(const std::string& data) {
+  return ParseObservations(data, nullptr);
+}
+
+std::vector<StoredObservation> ParseObservations(const std::string& data,
+                                                 std::size_t* corrupt) {
   std::istringstream in(data);
   ObservationReader reader(in);
   std::vector<StoredObservation> out;
   while (auto next = reader.Next()) out.push_back(*next);
+  if (corrupt != nullptr) *corrupt = reader.Corrupt();
   return out;
 }
 

@@ -55,6 +55,11 @@ class ObservationReader {
 std::string SerializeObservations(
     const std::vector<StoredObservation>& observations);
 std::vector<StoredObservation> ParseObservations(const std::string& data);
+// As above, but also reports the number of malformed lines that were
+// skipped, so loaders can surface corruption instead of silently dropping
+// records (they land in the `store.corrupt` metric / scanstats report).
+std::vector<StoredObservation> ParseObservations(const std::string& data,
+                                                 std::size_t* corrupt);
 
 // Per-shard observation staging for the parallel scan engine. Each worker
 // appends to its own shard (no locking — one writer per shard); Flush

@@ -43,7 +43,11 @@ crypto::KexKeyPair KexCache::GetKeyPair(crypto::NamedGroup group,
                                         SimTime now,
                                         crypto::Drbg& drbg) const {
   const crypto::KexGroup& g = crypto::GetKexGroup(group);
-  if (!policy.reuse) return g.GenerateKeyPair(drbg);
+  if (!policy.reuse) {
+    fresh_.fetch_add(1, std::memory_order_relaxed);
+    return g.GenerateKeyPair(drbg);
+  }
+  reused_.fetch_add(1, std::memory_order_relaxed);
 
   Bytes material = ToBytes("kex-epoch");
   Append(material, seed_);

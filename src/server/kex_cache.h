@@ -54,6 +54,18 @@ class KexCache {
   // scans are running concurrently.
   void Clear() { generation_.fetch_add(1, std::memory_order_relaxed); }
 
+  // --- observability -------------------------------------------------------
+  // Handshakes served a reused (epoch-derived) pair vs a fresh one.
+  // Relaxed atomics: contention-free under concurrent handshakes, and the
+  // totals depend only on the multiset of handshakes, so they are
+  // deterministic for a fixed workload. Read after workers join.
+  std::uint64_t ReusedServed() const {
+    return reused_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t FreshServed() const {
+    return fresh_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Start of the reuse epoch containing `now` under `policy`.
   SimTime EpochStart(const KexReusePolicy& policy, SimTime now) const;
@@ -67,6 +79,8 @@ class KexCache {
   std::vector<SimTime> clears_;  // one-shot clear times, sorted
   std::vector<PeriodicClear> periodic_;
   std::atomic<std::uint64_t> generation_{0};
+  mutable std::atomic<std::uint64_t> reused_{0};
+  mutable std::atomic<std::uint64_t> fresh_{0};
 };
 
 }  // namespace tlsharm::server

@@ -26,18 +26,21 @@ void SessionCache::Insert(const Bytes& session_id, CachedSession session,
   }
   entries_[session_id] = std::move(session);
   insertion_order_.push_back(session_id);
+  ++inserts_;
 }
 
 std::optional<CachedSession> SessionCache::Lookup(const Bytes& session_id,
                                                   SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
   EvictExpired(now);
+  ++lookups_;
   const auto it = entries_.find(session_id);
   if (it == entries_.end()) return std::nullopt;
   // Exclusive expiry: a 5-minute cache no longer honours a session exactly
   // 5 minutes old (so the paper's 5-minute retry fails, landing the domain
   // in the "< 5 minutes" bucket of Figure 1).
   if (it->second.created + lifetime_ <= now) return std::nullopt;
+  ++hits_;
   return it->second;
 }
 

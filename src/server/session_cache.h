@@ -45,6 +45,25 @@ class SessionCache {
   }
   SimTime Lifetime() const { return lifetime_; }
 
+  // --- observability -------------------------------------------------------
+  // Cumulative operation counts. These are deterministic for a fixed scan
+  // workload (each completed handshake inserts exactly once, each
+  // resumption attempt looks up exactly once); live occupancy is NOT
+  // exposed as a metric because the lazy restart flush makes it depend on
+  // thread interleaving (see DESIGN.md "Observability").
+  std::uint64_t Inserts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inserts_;
+  }
+  std::uint64_t Lookups() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lookups_;
+  }
+  std::uint64_t Hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
   // Exposes the full contents for the attack module (an attacker who dumps
   // the cache obtains every stored master secret). Unsynchronized: only for
   // serial analysis after scanning, never while handshakes are in flight.
@@ -55,9 +74,12 @@ class SessionCache {
 
   SimTime lifetime_;
   std::size_t capacity_;
-  mutable std::mutex mu_;  // guards entries_ and insertion_order_
+  mutable std::mutex mu_;  // guards entries_, insertion_order_, counters
   std::map<Bytes, CachedSession> entries_;
   std::list<Bytes> insertion_order_;  // oldest first
+  std::uint64_t inserts_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
 };
 
 }  // namespace tlsharm::server

@@ -36,6 +36,7 @@ void StekManager::RotateLocked(SimTime now) {
       .issued_from = now,
       .retired_at = kNotRetired,
   });
+  ++generations_;
   PruneLocked();
 }
 
@@ -120,6 +121,7 @@ void StekManager::ForceRotateLocked(SimTime now) {
     const std::size_t key_name_size =
         tls::GetTicketCodec(codec_).KeyNameSize();
     epochs_.back().stek = tls::Stek::Generate(drbg_, key_name_size);
+    ++generations_;
     return;
   }
   RotateLocked(now);
@@ -136,6 +138,22 @@ void StekManager::ForceRotate(SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
   AdvanceToLocked(now);
   ForceRotateLocked(now);
+}
+
+std::uint64_t StekManager::Rotations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generations_ - 1;  // the constructor's initial key is not a rotation
+}
+
+std::size_t StekManager::LiveEpochs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_.size();
+}
+
+SimTime StekManager::IssuingEpochStart(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceToLocked(now);
+  return EpochAtLocked(now).issued_from;
 }
 
 }  // namespace tlsharm::server

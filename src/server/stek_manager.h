@@ -59,6 +59,17 @@ class StekManager {
   tls::TicketCodecKind Codec() const { return codec_; }
   const StekPolicy& Policy() const { return policy_; }
 
+  // --- observability -------------------------------------------------------
+  // Issuing-key changes since construction (the initial key generation is
+  // not a rotation). Deterministic for a fixed workload: rotations are
+  // applied up to the maximum queried time, which does not depend on the
+  // order concurrent shards advanced the watermark.
+  std::uint64_t Rotations();
+  // Epochs currently retained (issuing + acceptance overlap + prune slack).
+  std::size_t LiveEpochs();
+  // Start of the epoch issuing at `now` (advances scheduled events first).
+  SimTime IssuingEpochStart(SimTime now);
+
   // Exposes the raw current key for the attack module ("STEK theft").
   const tls::Stek& StealCurrentKey(SimTime now) { return IssuingStek(now); }
 
@@ -91,6 +102,7 @@ class StekManager {
   std::vector<RestartSchedule> restarts_;
   SimTime watermark_ = 0;  // all events <= watermark_ are applied
   std::deque<KeyEpoch> epochs_;  // newest last; deque: stable references
+  std::uint64_t generations_ = 0;  // issuing keys drawn (incl. the first)
 };
 
 }  // namespace tlsharm::server

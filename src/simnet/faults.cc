@@ -112,6 +112,8 @@ FaultDecision FaultInjector::Decide(const DomainInfo& domain,
   if (!spec_.enabled) return decision;
   if (InOutage(domain, now)) {
     decision.kind = FaultKind::kOutage;
+    injected_[static_cast<std::size_t>(decision.kind)].fetch_add(
+        1, std::memory_order_relaxed);
     return decision;
   }
   const FaultProfile& profile = ProfileFor(domain);
@@ -132,6 +134,10 @@ FaultDecision FaultInjector::Decide(const DomainInfo& domain,
     decision.kind = FaultKind::kCorrupt;
   }
   decision.payload_seed = SplitMix64(h);
+  if (decision.kind != FaultKind::kNone) {
+    injected_[static_cast<std::size_t>(decision.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   return decision;
 }
 

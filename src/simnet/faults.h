@@ -17,6 +17,8 @@
 // the simulation guarantees.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -76,6 +78,8 @@ enum class FaultKind : std::uint8_t {
   kOutage,
 };
 
+inline constexpr int kFaultKinds = 7;
+
 std::string_view ToString(FaultKind kind);
 
 struct FaultDecision {
@@ -101,9 +105,21 @@ class FaultInjector {
   // Profile resolution: operator override > AS override > base.
   const FaultProfile& ProfileFor(const DomainInfo& domain) const;
 
+  // Faults of `kind` decided so far (cumulative over the injector's
+  // lifetime). Counted with relaxed atomics so concurrent scan shards never
+  // contend; the TOTAL is still deterministic for a fixed workload, because
+  // the multiset of (domain, time) connection attempts — and Decide is pure
+  // in those — does not depend on thread count. Read only after workers
+  // join (the observability merge step).
+  std::uint64_t InjectedCount(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
   FaultSpec spec_;
   std::uint64_t seed_;
+  mutable std::array<std::atomic<std::uint64_t>, kFaultKinds> injected_{};
 };
 
 // ServerConnection decorator realizing the mid-handshake faults the

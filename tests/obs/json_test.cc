@@ -1,0 +1,73 @@
+// The observability layer's JSON subset: escaping for the JSONL trace and
+// the recursive-descent parser the snapshot/schema gates rely on.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tlsharm::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainAsciiThrough) {
+  EXPECT_EQ(JsonEscape("probe.failure.ok"), "probe.failure.ok");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(JsonEscapeTest, AppendJsonStringWrapsInQuotes) {
+  std::string out = "x:";
+  AppendJsonString(out, "a\"b");
+  EXPECT_EQ(out, "x:\"a\\\"b\"");
+}
+
+TEST(JsonParseTest, ParsesIntegersStringsArraysObjects) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(R"({"a":-42,"b":"hi","c":[1,2,3],"d":{"e":0}})",
+                        value));
+  ASSERT_EQ(value.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(value.Find("a"), nullptr);
+  EXPECT_EQ(value.Find("a")->integer, -42);
+  EXPECT_EQ(value.Find("b")->string, "hi");
+  ASSERT_EQ(value.Find("c")->array.size(), 3u);
+  EXPECT_EQ(value.Find("c")->array[2].integer, 3);
+  ASSERT_NE(value.Find("d")->Find("e"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(R"(["a\"b","c\\d","e\nf","\u0041"])", value));
+  EXPECT_EQ(value.array[0].string, "a\"b");
+  EXPECT_EQ(value.array[1].string, "c\\d");
+  EXPECT_EQ(value.array[2].string, "e\nf");
+  EXPECT_EQ(value.array[3].string, "A");
+}
+
+TEST(JsonParseTest, RejectsOutsideTheSubset) {
+  JsonValue value;
+  EXPECT_FALSE(ParseJson("1.5", value)) << "floats are outside the subset";
+  EXPECT_FALSE(ParseJson("true", value));
+  EXPECT_FALSE(ParseJson("null", value));
+  EXPECT_FALSE(ParseJson(R"({"a":1,"a":2})", value)) << "duplicate key";
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", value));
+  EXPECT_FALSE(ParseJson("{", value));
+  EXPECT_FALSE(ParseJson("", value));
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += '[';
+  for (int i = 0; i < 64; ++i) deep += ']';
+  JsonValue value;
+  EXPECT_FALSE(ParseJson(deep, value));
+}
+
+}  // namespace
+}  // namespace tlsharm::obs

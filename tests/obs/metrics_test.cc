@@ -1,0 +1,151 @@
+// MetricsRegistry semantics the determinism contract leans on: fixed
+// histogram bucketing, commutative merges, and a byte-exact snapshot
+// round-trip.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tlsharm::obs {
+namespace {
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBounds) {
+  Histogram h({10, 20});
+  for (const std::int64_t v : {-5, 0, 10}) h.Observe(v);  // first bucket
+  for (const std::int64_t v : {11, 20}) h.Observe(v);     // second bucket
+  h.Observe(21);                                          // overflow
+  ASSERT_EQ(h.Counts().size(), 3u);
+  EXPECT_EQ(h.Counts()[0], 3u);
+  EXPECT_EQ(h.Counts()[1], 2u);
+  EXPECT_EQ(h.Counts()[2], 1u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_EQ(h.Sum(), -5 + 0 + 10 + 11 + 20 + 21);
+}
+
+TEST(HistogramTest, ObserveNWeightsOneValue) {
+  Histogram h({100});
+  h.ObserveN(7, 5);
+  EXPECT_EQ(h.Counts()[0], 5u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 35);
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a({10});
+  Histogram b({10});
+  a.Observe(5);
+  b.Observe(6);
+  b.Observe(50);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Counts()[0], 2u);
+  EXPECT_EQ(a.Counts()[1], 1u);
+  EXPECT_EQ(a.Sum(), 61);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("a");
+  c.Add(2);
+  reg.GetCounter("b").Add(1);  // later creation must not move `c`
+  EXPECT_EQ(&reg.GetCounter("a"), &c);
+  EXPECT_EQ(reg.GetCounter("a").Value(), 2u);
+}
+
+TEST(RegistryTest, HistogramBoundsFixedAtFirstCreation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("h", {1, 2});
+  Histogram& again = reg.GetHistogram("h", {99});  // bounds ignored
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.Bounds(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(RegistryTest, MergeIsCommutativePerKind) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c").Add(3);
+  b.GetCounter("c").Add(4);
+  b.GetCounter("only_b").Add(1);
+  a.GetGauge("g").Set(7);
+  b.GetGauge("g").Set(5);  // merge takes the max
+  a.GetHistogram("h", {10}).Observe(3);
+  b.GetHistogram("h", {10}).Observe(30);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("c").Value(), 7u);
+  EXPECT_EQ(a.GetCounter("only_b").Value(), 1u);
+  EXPECT_EQ(a.GetGauge("g").Value(), 7);
+  EXPECT_EQ(a.GetHistogram("h", {10}).Counts()[0], 1u);
+  EXPECT_EQ(a.GetHistogram("h", {10}).Counts()[1], 1u);
+
+  // The opposite merge order lands on the same snapshot.
+  MetricsRegistry a2;
+  MetricsRegistry b2;
+  a2.GetCounter("c").Add(4);
+  a2.GetCounter("only_b").Add(1);
+  b2.GetCounter("c").Add(3);
+  a2.GetGauge("g").Set(5);
+  b2.GetGauge("g").Set(7);
+  a2.GetHistogram("h", {10}).Observe(30);
+  b2.GetHistogram("h", {10}).Observe(3);
+  a2.MergeFrom(b2);
+  EXPECT_EQ(a.SnapshotJson(), a2.SnapshotJson());
+}
+
+TEST(SnapshotTest, RendersCanonicallyAndRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta").Add(1);
+  reg.GetCounter("alpha").Add(2);
+  reg.GetGauge("level").Set(-3);
+  reg.GetHistogram("lat", {5, 10}).Observe(7);
+  reg.GetCounter("needs \"escaping\"\n").Add(9);
+
+  const std::string json = reg.SnapshotJson();
+  // Keys render sorted, so equal registries render equal bytes.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseSnapshot(json, parsed));
+  EXPECT_EQ(RenderSnapshot(parsed), json);
+  EXPECT_EQ(parsed.counters.at("alpha"), 2u);
+  EXPECT_EQ(parsed.counters.at("needs \"escaping\"\n"), 9u);
+  EXPECT_EQ(parsed.gauges.at("level"), -3);
+  ASSERT_EQ(parsed.histograms.at("lat").counts.size(), 3u);
+  EXPECT_EQ(parsed.histograms.at("lat").counts[1], 1u);
+  EXPECT_EQ(parsed.histograms.at("lat").sum, 7);
+}
+
+TEST(SnapshotTest, EmptyRegistryRoundTrips) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.Empty());
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseSnapshot(reg.SnapshotJson(), parsed));
+  EXPECT_EQ(RenderSnapshot(parsed), reg.SnapshotJson());
+}
+
+TEST(SnapshotTest, ParseRejectsSchemaDrift) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(ParseSnapshot("{}", out)) << "sections are mandatory";
+  EXPECT_FALSE(ParseSnapshot(R"({"counters":{},"gauges":{}})", out));
+  EXPECT_FALSE(ParseSnapshot(
+      R"({"counters":{"c":-1},"gauges":{},"histograms":{}})", out))
+      << "negative counter";
+  EXPECT_FALSE(ParseSnapshot(
+      R"({"counters":{},"gauges":{},"histograms":)"
+      R"({"h":{"bounds":[1],"counts":[1],"sum":0,"count":1}}})",
+      out))
+      << "counts must have bounds+1 entries";
+  EXPECT_FALSE(ParseSnapshot("not json", out));
+}
+
+TEST(EnvKnobTest, MetricsPathFromEnv) {
+  ASSERT_EQ(unsetenv("TLSHARM_METRICS"), 0);
+  EXPECT_EQ(MetricsPathFromEnv(), "");
+  ASSERT_EQ(setenv("TLSHARM_METRICS", "/tmp/m.json", 1), 0);
+  EXPECT_EQ(MetricsPathFromEnv(), "/tmp/m.json");
+  ASSERT_EQ(unsetenv("TLSHARM_METRICS"), 0);
+}
+
+}  // namespace
+}  // namespace tlsharm::obs

@@ -1,0 +1,173 @@
+// The observability layer's end-to-end contract against the sharded scan
+// engine: for a fixed fault-injected world, the merged metrics snapshot and
+// the probe-trace byte stream are identical at any thread count — and
+// attaching telemetry never changes a byte of the scan's own output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scanner/scan_engine.h"
+
+namespace tlsharm::scanner {
+namespace {
+
+struct TelemetryOutput {
+  std::string observations;
+  std::string metrics_json;
+  std::string trace;
+};
+
+// Identically constructed fault-injected worlds per run, same spec as
+// ParallelDeterminismTest but with the telemetry attached.
+TelemetryOutput RunInstrumentedStudy(int threads, bool telemetry) {
+  simnet::Internet net(simnet::PaperPopulationSpec(500), 4242);
+  net.SetFaultSpec(simnet::DefaultFaultSpec(1.0));
+
+  std::ostringstream stream;
+  std::ostringstream trace_stream;
+  ObservationWriter sink(stream);
+  obs::JsonlTraceSink trace_sink(trace_stream);
+  obs::MetricsRegistry metrics;
+
+  ScanEngineOptions options;
+  options.threads = threads;
+  options.robustness.retry.max_attempts = 3;
+  options.sink = &sink;
+  if (telemetry) {
+    options.metrics = &metrics;
+    options.trace = &trace_sink;
+  }
+
+  RunShardedDailyScans(net, /*days=*/2, /*seed=*/777, options);
+  TelemetryOutput out;
+  out.observations = stream.str();
+  out.metrics_json = metrics.SnapshotJson();
+  out.trace = trace_stream.str();
+  return out;
+}
+
+TEST(TelemetryDeterminismTest, SnapshotAndTraceIdenticalAtAnyThreadCount) {
+  const TelemetryOutput serial = RunInstrumentedStudy(1, true);
+  ASSERT_FALSE(serial.trace.empty());
+
+  obs::MetricsSnapshot snapshot;
+  ASSERT_TRUE(obs::ParseSnapshot(serial.metrics_json, snapshot));
+  ASSERT_GT(snapshot.counters.at("probe.probes"), 0u);
+
+  for (const int threads : {2, 8}) {
+    const TelemetryOutput parallel = RunInstrumentedStudy(threads, true);
+    EXPECT_EQ(parallel.metrics_json, serial.metrics_json)
+        << "metrics snapshot diverged at " << threads << " threads";
+    EXPECT_EQ(parallel.trace, serial.trace)
+        << "probe trace diverged at " << threads << " threads";
+    EXPECT_EQ(parallel.observations, serial.observations);
+  }
+}
+
+TEST(TelemetryDeterminismTest, TelemetryNeverChangesScanOutput) {
+  const TelemetryOutput with = RunInstrumentedStudy(4, true);
+  const TelemetryOutput without = RunInstrumentedStudy(4, false);
+  EXPECT_EQ(with.observations, without.observations);
+  EXPECT_TRUE(without.trace.empty());
+  // A detached registry stays empty (renders the empty snapshot).
+  obs::MetricsSnapshot snapshot;
+  ASSERT_TRUE(obs::ParseSnapshot(without.metrics_json, snapshot));
+  EXPECT_TRUE(snapshot.counters.empty());
+}
+
+TEST(TelemetryDeterminismTest, EngineCountersReconcileWithScanResults) {
+  simnet::Internet net(simnet::PaperPopulationSpec(400), 11);
+  obs::MetricsRegistry metrics;
+  ScanEngineOptions options;
+  options.threads = 3;
+  options.metrics = &metrics;
+  const DailyScanResult result =
+      RunShardedDailyScans(net, /*days=*/2, /*seed=*/5, options);
+
+  std::size_t scheduled = 0;
+  for (const DayLoss& day : result.loss) scheduled += day.scheduled;
+  EXPECT_EQ(metrics.GetCounter("scan.days").Value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("scan.probes.scheduled").Value(), scheduled);
+  // Every scheduled probe ran exactly once in the main pass; the requeue
+  // pass adds probe.probes beyond scheduled only when faults are injected.
+  EXPECT_GE(metrics.GetCounter("probe.probes").Value(), scheduled);
+  // Each probe lands in exactly one failure class.
+  std::uint64_t by_class = 0;
+  for (int c = 0; c < kProbeFailureClasses; ++c) {
+    by_class += metrics
+                    .GetCounter("probe.failure." +
+                                std::string(ToString(
+                                    static_cast<ProbeFailure>(c))))
+                    .Value();
+  }
+  EXPECT_EQ(by_class, metrics.GetCounter("probe.probes").Value());
+  // The fleet sweep ran: terminators exist and every terminator's stores
+  // were visited (deduplicated, so counts are <= the terminator count).
+  EXPECT_GT(metrics.GetGauge("fleet.terminators").Value(), 0);
+  EXPECT_GT(metrics.GetCounter("fleet.stek.managers").Value(), 0u);
+  EXPECT_LE(metrics.GetCounter("fleet.stek.managers").Value(),
+            static_cast<std::uint64_t>(
+                metrics.GetGauge("fleet.terminators").Value()));
+}
+
+TEST(TelemetryDeterminismTest, ProberRecordsAttemptLogAndResumeCounters) {
+  simnet::Internet net(simnet::PaperPopulationSpec(300), 7);
+  obs::MetricsRegistry metrics;
+  Prober prober(net, 1);
+  prober.SetMetrics(&metrics);
+
+  // Attempt logging is off by default: the hot path stays allocation-free.
+  ProbeOptions options;
+  options.want_full_result = true;
+  ProbeResult result = prober.Probe(0, kHour, options);
+  EXPECT_TRUE(result.attempt_log.empty());
+
+  prober.SetAttemptLogging(true);
+  result = prober.Probe(0, kHour, options);
+  ASSERT_FALSE(result.attempt_log.empty());
+  EXPECT_EQ(result.attempt_log.front().start, kHour);
+  EXPECT_EQ(result.attempt_log.back().backoff, 0)
+      << "the final attempt has no next-attempt backoff";
+  EXPECT_EQ(result.attempt_log.size(), result.observation.attempts);
+
+  EXPECT_EQ(metrics.GetCounter("probe.probes").Value(), 2u);
+  EXPECT_GE(metrics.GetCounter("probe.attempts").Value(), 2u);
+
+  if (result.session.valid) {
+    prober.TryResume(result.session, 0, kHour + kMinute);
+    EXPECT_GE(metrics.GetCounter("resume.attempts").Value(), 1u);
+    EXPECT_EQ(metrics.GetCounter("resume.accepted").Value() +
+                  metrics.GetCounter("resume.rejected").Value(),
+              1u);
+  }
+}
+
+TEST(TelemetryDeterminismTest, CorruptStoreLinesAreCounted) {
+  simnet::Internet net(simnet::PaperPopulationSpec(300), 7);
+  std::ostringstream stream;
+  ObservationWriter sink(stream);
+  ScanEngineOptions options;
+  options.sink = &sink;
+  RunShardedDailyScans(net, 1, 13, options);
+
+  std::string data = stream.str();
+  ASSERT_FALSE(data.empty());
+  data += "not|a|valid|line\n";
+  data += "garbage\n";
+
+  std::size_t corrupt = 0;
+  const auto parsed = ParseObservations(data, &corrupt);
+  EXPECT_EQ(corrupt, 2u);
+  EXPECT_FALSE(parsed.empty());
+  // The clean prefix still parses to exactly the records written.
+  std::size_t clean = 0;
+  EXPECT_EQ(ParseObservations(stream.str(), &clean).size(), parsed.size());
+  EXPECT_EQ(clean, 0u);
+}
+
+}  // namespace
+}  // namespace tlsharm::scanner
