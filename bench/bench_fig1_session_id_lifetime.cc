@@ -4,15 +4,17 @@
 // five minutes until failure or 24 hours.
 #include "common.h"
 #include "scanner/experiments.h"
+#include "warehouse_support.h"
 
 using namespace tlsharm;
 using namespace tlsharm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  WarehouseSession session(argc, argv);
   World world = BuildWorld("Figure 1: Session ID Lifetime");
-  const auto result = scanner::MeasureSessionIdLifetime(
-      *world.net, /*day=*/0, /*seed=*/201, /*max_delay=*/24 * kHour,
-      /*step=*/5 * kMinute);
+  const auto result = session.Lifetime(
+      "session_id", *world.net, /*day=*/0, /*seed=*/201,
+      /*max_delay=*/24 * kHour, /*step=*/5 * kMinute);
 
   PrintRow("Trusted HTTPS domains (denominator)",
            PaperCountAtScale(433220, world.scale),

@@ -8,6 +8,7 @@
 
 #include "common.h"
 #include "scanner/experiments.h"
+#include "warehouse_support.h"
 
 using namespace tlsharm;
 using namespace tlsharm::bench;
@@ -69,11 +70,12 @@ void PrintTopTable(const char* title, simnet::Internet& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  WarehouseSession session(argc, argv);
   World world = BuildWorld(
       "Figures 3-5 / Tables 2-4: STEK and (EC)DHE value longevity");
   simnet::Internet& net = *world.net;
-  const auto scan = scanner::RunDailyScans(net, world.days, 301);
+  const auto scan = session.DailyScans(net, world.days, 301);
   const auto& core = scan.core_domains;
   const std::size_t n_core = core.size();
   std::printf("core (always-listed, trusted) domains: %s (paper 291,643%s)\n\n",

@@ -8,19 +8,21 @@
 #include "analysis/vuln.h"
 #include "common.h"
 #include "scanner/experiments.h"
+#include "warehouse_support.h"
 
 using namespace tlsharm;
 using namespace tlsharm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  WarehouseSession session(argc, argv);
   World world = BuildWorld("Figure 8: Overall Vulnerability Windows");
   simnet::Internet& net = *world.net;
 
-  const auto scan = scanner::RunDailyScans(net, world.days, 301);
-  const auto id_result = scanner::MeasureSessionIdLifetime(
-      net, 0, 801, 24 * kHour, 15 * kMinute);
-  const auto ticket_result = scanner::MeasureTicketLifetime(
-      net, 0, 802, 24 * kHour, 15 * kMinute);
+  const auto scan = session.DailyScans(net, world.days, 301);
+  const auto id_result =
+      session.Lifetime("session_id", net, 0, 801, 24 * kHour, 15 * kMinute);
+  const auto ticket_result =
+      session.Lifetime("ticket", net, 0, 802, 24 * kHour, 15 * kMinute);
 
   std::vector<analysis::DomainExposure> exposures(net.DomainCount());
   for (const auto& m : id_result.lifetimes) {

@@ -1,0 +1,401 @@
+// obsq: query a columnar observation warehouse from the command line.
+//
+//   obsq summary <dir>
+//   obsq count <dir> [filters]
+//   obsq group-by <key> <dir> [filters]     key: day | failure | suite |
+//                                                domain | kex_group
+//   obsq spans <dir>                        secret-span CDFs via the fold
+//   obsq --selftest
+//
+// Filters (conjunctive): --day-min N  --day-max N  --domain N
+//                        --failure <class>  --has-secret stek|kex|session_id
+//
+// Output is deterministic: group-by rows are sorted by key, shares and
+// CDFs are computed from exact counts, and day-range filters prune whole
+// segments before any disk read.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scanner/scan_engine.h"
+#include "util/table.h"
+#include "warehouse/fold.h"
+#include "warehouse/query.h"
+
+using namespace tlsharm;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: obsq summary <dir>\n"
+      "       obsq count <dir> [filters]\n"
+      "       obsq group-by <key> <dir> [filters]\n"
+      "       obsq spans <dir>\n"
+      "       obsq --selftest\n"
+      "filters: --day-min N --day-max N --domain N --failure <class>\n"
+      "         --has-secret stek|kex|session_id\n");
+  return 2;
+}
+
+bool ParseFailureClass(const std::string& name,
+                       scanner::ProbeFailure* failure) {
+  for (int c = 0; c < scanner::kProbeFailureClasses; ++c) {
+    const auto candidate = static_cast<scanner::ProbeFailure>(c);
+    if (name == ToString(candidate)) {
+      *failure = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseInt(const char* text, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+// Parses trailing --flag value pairs into `filter`; false on a bad flag.
+bool ParseFilters(int argc, char** argv, int first,
+                  warehouse::ObsFilter* filter) {
+  for (int i = first; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "obsq: %s needs a value\n", argv[i]);
+      return false;
+    }
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    long long number = 0;
+    if (flag == "--day-min" && ParseInt(argv[i + 1], &number)) {
+      filter->day_min = static_cast<int>(number);
+    } else if (flag == "--day-max" && ParseInt(argv[i + 1], &number)) {
+      filter->day_max = static_cast<int>(number);
+    } else if (flag == "--domain" && ParseInt(argv[i + 1], &number)) {
+      filter->domain = static_cast<scanner::DomainIndex>(number);
+    } else if (flag == "--failure") {
+      scanner::ProbeFailure failure;
+      if (!ParseFailureClass(value, &failure)) {
+        std::fprintf(stderr, "obsq: unknown failure class \"%s\"\n",
+                     value.c_str());
+        return false;
+      }
+      filter->failure = failure;
+    } else if (flag == "--has-secret") {
+      const auto kind = warehouse::ParseSecretKind(value);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "obsq: unknown secret kind \"%s\"\n",
+                     value.c_str());
+        return false;
+      }
+      filter->has_secret = *kind;
+    } else {
+      std::fprintf(stderr, "obsq: bad filter \"%s\"\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<warehouse::Warehouse> OpenOrComplain(const std::string& dir) {
+  std::string error;
+  auto wh = warehouse::Warehouse::Open(dir, &error);
+  if (!wh.has_value()) std::fprintf(stderr, "obsq: %s\n", error.c_str());
+  return wh;
+}
+
+int Summary(const std::string& dir) {
+  const auto wh = OpenOrComplain(dir);
+  if (!wh.has_value()) return 1;
+  std::printf("warehouse %s\n", dir.c_str());
+  std::printf("  days: %d (%zu segments)\n", wh->DayCount(),
+              wh->ObservationSegments().size());
+  std::printf("  observations: %llu\n",
+              static_cast<unsigned long long>(wh->TotalRows()));
+  std::printf("  bytes: %llu\n",
+              static_cast<unsigned long long>(wh->TotalBytes()));
+  TextTable days({"Day", "Rows", "Bytes", "File"});
+  for (const auto& info : wh->ObservationSegments()) {
+    days.AddRow({std::to_string(info.day), std::to_string(info.rows),
+                 std::to_string(info.bytes), info.file});
+  }
+  std::printf("%s", days.Render().c_str());
+  if (!wh->Experiments().empty()) {
+    TextTable experiments({"Experiment", "Rows", "Bytes", "File"});
+    for (const auto& info : wh->Experiments()) {
+      experiments.AddRow({info.kind, std::to_string(info.rows),
+                          std::to_string(info.bytes), info.file});
+    }
+    std::printf("%s", experiments.Render().c_str());
+  }
+  return 0;
+}
+
+int Count(const std::string& dir, const warehouse::ObsFilter& filter) {
+  const auto wh = OpenOrComplain(dir);
+  if (!wh.has_value()) return 1;
+  std::uint64_t count = 0;
+  std::string error;
+  if (!warehouse::CountObservations(*wh, filter, &count, &error)) {
+    std::fprintf(stderr, "obsq: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%llu\n", static_cast<unsigned long long>(count));
+  return 0;
+}
+
+// Renders a group key symbolically where the raw number would be opaque.
+std::string RenderKey(warehouse::GroupKey key, std::uint64_t value) {
+  if (key == warehouse::GroupKey::kFailure &&
+      value < scanner::kProbeFailureClasses) {
+    return std::string(
+        ToString(static_cast<scanner::ProbeFailure>(value)));
+  }
+  if (key == warehouse::GroupKey::kSuite) {
+    if (tls::IsKnownCipherSuite(static_cast<std::uint16_t>(value))) {
+      return std::string(
+          tls::ToString(static_cast<tls::CipherSuite>(value)));
+    }
+    if (value == 0) return "none";
+  }
+  return std::to_string(value);
+}
+
+int GroupBy(const std::string& key_name, const std::string& dir,
+            const warehouse::ObsFilter& filter) {
+  const auto key = warehouse::ParseGroupKey(key_name);
+  if (!key.has_value()) {
+    std::fprintf(stderr, "obsq: unknown group key \"%s\"\n",
+                 key_name.c_str());
+    return 2;
+  }
+  const auto wh = OpenOrComplain(dir);
+  if (!wh.has_value()) return 1;
+  std::vector<warehouse::GroupCount> groups;
+  std::string error;
+  if (!warehouse::GroupCountObservations(*wh, filter, *key, &groups,
+                                         &error)) {
+    std::fprintf(stderr, "obsq: %s\n", error.c_str());
+    return 1;
+  }
+  std::uint64_t total = 0;
+  for (const auto& group : groups) total += group.count;
+  TextTable table({std::string(ToString(*key)), "Count", "Share", "CDF"});
+  std::uint64_t running = 0;
+  for (const auto& group : groups) {
+    running += group.count;
+    char share[32], cdf[32];
+    std::snprintf(share, sizeof(share), "%.2f%%",
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(group.count) /
+                                   static_cast<double>(total));
+    std::snprintf(cdf, sizeof(cdf), "%.2f%%",
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(running) /
+                                   static_cast<double>(total));
+    table.AddRow({RenderKey(*key, group.key), std::to_string(group.count),
+                  share, cdf});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("total %llu\n", static_cast<unsigned long long>(total));
+  return 0;
+}
+
+// Span CDF of one tracker: how many domains kept a secret <= N days.
+void PrintSpanCdf(const char* label, const analysis::SpanTracker& tracker,
+                  int day_count) {
+  const auto spans = tracker.AllSpans();
+  std::printf("%s: %zu domains with spans\n", label, spans.size());
+  if (spans.empty()) return;
+  std::vector<std::uint64_t> by_days(
+      static_cast<std::size_t>(day_count) + 1, 0);
+  for (const auto& [domain, days] : spans) {
+    if (days >= 0 && days <= day_count) {
+      ++by_days[static_cast<std::size_t>(days)];
+    }
+  }
+  TextTable table({"Span (days)", "Domains", "CDF"});
+  std::uint64_t running = 0;
+  for (int days = 0; days <= day_count; ++days) {
+    const std::uint64_t count = by_days[static_cast<std::size_t>(days)];
+    if (count == 0) continue;
+    running += count;
+    char cdf[32];
+    std::snprintf(cdf, sizeof(cdf), "%.2f%%",
+                  100.0 * static_cast<double>(running) /
+                      static_cast<double>(spans.size()));
+    table.AddRow({std::to_string(days), std::to_string(count), cdf});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+int Spans(const std::string& dir) {
+  const auto wh = OpenOrComplain(dir);
+  if (!wh.has_value()) return 1;
+  warehouse::ScanFold fold;
+  std::string error;
+  for (const auto& info : wh->ObservationSegments()) {
+    if (!wh->ForEachObservation(
+            info.day, info.day,
+            [&](const scanner::StoredObservation& stored) {
+              fold.Fold(stored.day, stored.observation);
+            },
+            &error)) {
+      std::fprintf(stderr, "obsq: %s\n", error.c_str());
+      return 1;
+    }
+    fold.CompleteDay(info.day);
+  }
+  const int days = wh->DayCount();
+  PrintSpanCdf("stek", fold.StekSpans(), days);
+  PrintSpanCdf("ecdhe", fold.EcdheSpans(), days);
+  PrintSpanCdf("dhe", fold.DheSpans(), days);
+  return 0;
+}
+
+// --- selftest ---------------------------------------------------------------
+
+int SelfTest() {
+  std::printf("== obsq --selftest: query determinism gate ==\n");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "obsq_selftest").string();
+
+  // A small seeded faulty study gives the queries something realistic.
+  simnet::Internet net(simnet::PaperPopulationSpec(400), 4242);
+  net.SetFaultSpec(simnet::DefaultFaultSpec(1.0));
+  std::string error;
+  auto writer = warehouse::WarehouseWriter::Create(dir, &error);
+  if (writer == nullptr) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  scanner::ScanEngineOptions options;
+  options.robustness.retry.max_attempts = 3;
+  options.store = writer.get();
+  scanner::RunShardedDailyScans(net, 3, 777, options);
+  if (!writer->ok()) {
+    std::printf("FAIL: %s\n", writer->error().c_str());
+    return 1;
+  }
+  const auto wh = warehouse::Warehouse::Open(dir, &error);
+  if (!wh.has_value()) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Unfiltered count must equal the manifest's row total.
+  std::uint64_t all = 0;
+  if (!warehouse::CountObservations(*wh, {}, &all, &error)) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  if (all == 0 || all != wh->TotalRows()) {
+    std::printf("FAIL: count %llu != manifest rows %llu\n",
+                static_cast<unsigned long long>(all),
+                static_cast<unsigned long long>(wh->TotalRows()));
+    return 1;
+  }
+  std::printf("  count == manifest rows (%llu)\n",
+              static_cast<unsigned long long>(all));
+
+  // Group-by day must match the per-segment row counts, and both failure
+  // and day groupings must partition the total.
+  std::vector<warehouse::GroupCount> by_day, by_failure;
+  if (!warehouse::GroupCountObservations(*wh, {}, warehouse::GroupKey::kDay,
+                                         &by_day, &error) ||
+      !warehouse::GroupCountObservations(
+          *wh, {}, warehouse::GroupKey::kFailure, &by_failure, &error)) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  if (by_day.size() != wh->ObservationSegments().size()) {
+    std::printf("FAIL: group-by day has %zu groups, expected %zu\n",
+                by_day.size(), wh->ObservationSegments().size());
+    return 1;
+  }
+  std::uint64_t day_total = 0, failure_total = 0;
+  for (std::size_t i = 0; i < by_day.size(); ++i) {
+    if (by_day[i].count != wh->ObservationSegments()[i].rows) {
+      std::printf("FAIL: day %llu count disagrees with its segment\n",
+                  static_cast<unsigned long long>(by_day[i].key));
+      return 1;
+    }
+    day_total += by_day[i].count;
+  }
+  for (const auto& group : by_failure) failure_total += group.count;
+  if (day_total != all || failure_total != all) {
+    std::printf("FAIL: groupings do not partition the total\n");
+    return 1;
+  }
+  std::printf("  group-by day and failure both partition %llu rows\n",
+              static_cast<unsigned long long>(all));
+
+  // A day-pruned count must equal the sum of the pruned groups.
+  warehouse::ObsFilter tail;
+  tail.day_min = 1;
+  std::uint64_t tail_count = 0;
+  if (!warehouse::CountObservations(*wh, tail, &tail_count, &error)) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  std::uint64_t expected_tail = 0;
+  for (const auto& group : by_day) {
+    if (group.key >= 1) expected_tail += group.count;
+  }
+  if (tail_count != expected_tail) {
+    std::printf("FAIL: pruned count %llu != unpruned sum %llu\n",
+                static_cast<unsigned long long>(tail_count),
+                static_cast<unsigned long long>(expected_tail));
+    return 1;
+  }
+  std::printf("  segment pruning preserves counts (days >= 1: %llu)\n",
+              static_cast<unsigned long long>(tail_count));
+
+  // Secret filters nest: every stek-bearing row also bears a session
+  // ticket flag, and filters are stable across repeated evaluation.
+  warehouse::ObsFilter stek;
+  stek.has_secret = warehouse::SecretKind::kStek;
+  std::uint64_t stek_count = 0, stek_again = 0;
+  if (!warehouse::CountObservations(*wh, stek, &stek_count, &error) ||
+      !warehouse::CountObservations(*wh, stek, &stek_again, &error)) {
+    std::printf("FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  if (stek_count == 0 || stek_count != stek_again || stek_count > all) {
+    std::printf("FAIL: stek filter unstable (%llu vs %llu)\n",
+                static_cast<unsigned long long>(stek_count),
+                static_cast<unsigned long long>(stek_again));
+    return 1;
+  }
+  std::printf("  filters deterministic (stek-bearing rows: %llu)\n",
+              static_cast<unsigned long long>(stek_count));
+  std::printf("selftest PASSED\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
+    return SelfTest();
+  }
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "summary" && argc == 3) return Summary(argv[2]);
+  if (command == "count") {
+    warehouse::ObsFilter filter;
+    if (!ParseFilters(argc, argv, 3, &filter)) return 2;
+    return Count(argv[2], filter);
+  }
+  if (command == "group-by" && argc >= 4) {
+    warehouse::ObsFilter filter;
+    if (!ParseFilters(argc, argv, 4, &filter)) return 2;
+    return GroupBy(argv[2], argv[3], filter);
+  }
+  if (command == "spans" && argc == 3) return Spans(argv[2]);
+  return Usage();
+}

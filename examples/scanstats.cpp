@@ -11,6 +11,13 @@
 //   TLSHARM_METRICS  path to also write the metrics snapshot JSON to
 //   TLSHARM_TRACE    path to also write the JSONL probe trace to
 //
+// `scanstats --warehouse <dir>` additionally records the observation
+// stream into a columnar warehouse at <dir> and cross-checks it against
+// the text path: the warehouse's text export must be byte-identical to the
+// live store, and the incremental fold must reproduce the engine's
+// aggregates. Any drift is a hard failure, so the report's store numbers
+// are certified warehouse-backed.
+//
 // `scanstats --selftest` instead verifies the observability contract and
 // exits non-zero on any violation: metrics snapshot, trace bytes, and store
 // bytes must be identical at 1, 2, and 8 threads; the snapshot must
@@ -20,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +38,8 @@
 #include "scanner/scan_engine.h"
 #include "simnet/internet.h"
 #include "util/table.h"
+#include "warehouse/fold.h"
+#include "warehouse/import.h"
 
 using namespace tlsharm;
 
@@ -51,8 +61,10 @@ struct RunOutput {
 
 // One instrumented study: fresh world, deterministic fault injection,
 // retries + requeue, telemetry attached. Everything returned is a pure
-// function of the constants above — the thread count must not show.
-RunOutput RunInstrumentedScan(int threads) {
+// function of the constants above — the thread count must not show. With a
+// warehouse dir, the same canonical stream is also recorded columnar.
+RunOutput RunInstrumentedScan(int threads,
+                              const std::string& warehouse_dir = "") {
   simnet::Internet net(simnet::PaperPopulationSpec(kPopulation), kWorldSeed);
   net.SetFaultSpec(simnet::DefaultFaultSpec(1.0));
 
@@ -69,8 +81,25 @@ RunOutput RunInstrumentedScan(int threads) {
   options.trace = &trace_sink;
   options.metrics = &metrics;
 
+  std::unique_ptr<warehouse::WarehouseWriter> warehouse_writer;
+  if (!warehouse_dir.empty()) {
+    std::string error;
+    warehouse_writer = warehouse::WarehouseWriter::Create(warehouse_dir,
+                                                          &error);
+    if (warehouse_writer == nullptr) {
+      std::fprintf(stderr, "scanstats: %s\n", error.c_str());
+      std::exit(1);
+    }
+    options.store = warehouse_writer.get();
+  }
+
   RunOutput out;
   out.result = scanner::RunShardedDailyScans(net, kDays, kScanSeed, options);
+  if (warehouse_writer != nullptr && !warehouse_writer->ok()) {
+    std::fprintf(stderr, "scanstats: warehouse: %s\n",
+                 warehouse_writer->error().c_str());
+    std::exit(1);
+  }
   out.store = store_stream.str();
   out.trace = trace_stream.str();
 
@@ -201,6 +230,52 @@ bool WriteFileOrComplain(const std::string& path, const std::string& data) {
   return out.good();
 }
 
+// Cross-checks the just-recorded warehouse against the live run and prints
+// its footprint. Fails (false) on any divergence from the text path.
+bool ReportWarehouse(const std::string& dir, const RunOutput& run) {
+  std::string error;
+  const auto wh = warehouse::Warehouse::Open(dir, &error);
+  if (!wh.has_value()) {
+    std::fprintf(stderr, "scanstats: %s\n", error.c_str());
+    return false;
+  }
+  std::ostringstream text_out;
+  if (!warehouse::WarehouseToText(*wh, text_out, nullptr, &error)) {
+    std::fprintf(stderr, "scanstats: warehouse export: %s\n", error.c_str());
+    return false;
+  }
+  if (text_out.str() != run.store) {
+    std::fprintf(stderr, "scanstats: warehouse text export differs from the "
+                         "live observation store\n");
+    return false;
+  }
+  simnet::Internet net(simnet::PaperPopulationSpec(kPopulation), kWorldSeed);
+  net.SetFaultSpec(simnet::DefaultFaultSpec(1.0));
+  scanner::DailyScanResult folded;
+  if (!warehouse::FoldDailyScans(*wh, net, {}, &folded, &error)) {
+    std::fprintf(stderr, "scanstats: warehouse fold: %s\n", error.c_str());
+    return false;
+  }
+  if (folded.core_domains != run.result.core_domains ||
+      folded.stek_spans.AllSpans() != run.result.stek_spans.AllSpans() ||
+      folded.ecdhe_spans.AllSpans() != run.result.ecdhe_spans.AllSpans() ||
+      folded.dhe_spans.AllSpans() != run.result.dhe_spans.AllSpans()) {
+    std::fprintf(stderr, "scanstats: warehouse fold does not match the "
+                         "engine aggregates\n");
+    return false;
+  }
+  std::printf("wrote warehouse to %s: %llu rows in %zu day segments, "
+              "%llu bytes (%.1f%% of the text store); export and fold "
+              "verified against the live run\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(wh->TotalRows()),
+              wh->ObservationSegments().size(),
+              static_cast<unsigned long long>(wh->TotalBytes()),
+              100.0 * static_cast<double>(wh->TotalBytes()) /
+                  static_cast<double>(run.store.size()));
+  return true;
+}
+
 // --- selftest ---------------------------------------------------------------
 
 bool CheckTraceSchema(const std::string& trace, std::string& error) {
@@ -296,14 +371,23 @@ int main(int argc, char** argv) {
     return SelfTest();
   }
 
+  std::string warehouse_dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--warehouse") == 0) warehouse_dir = argv[i + 1];
+  }
+
   const int threads = scanner::ScanThreadsFromEnv();
-  const RunOutput run = RunInstrumentedScan(threads);
+  const RunOutput run = RunInstrumentedScan(threads, warehouse_dir);
   obs::MetricsSnapshot snapshot;
   if (!obs::ParseSnapshot(run.metrics_json, snapshot)) {
     std::fprintf(stderr, "scanstats: metrics snapshot failed to parse\n");
     return 1;
   }
   PrintReport(run, snapshot, threads);
+
+  if (!warehouse_dir.empty() && !ReportWarehouse(warehouse_dir, run)) {
+    return 1;
+  }
 
   const std::string metrics_path = obs::MetricsPathFromEnv();
   if (!metrics_path.empty()) {

@@ -39,9 +39,36 @@ run_config "plain" "${repo}/build"
 echo "== observability: scanstats --selftest =="
 "${repo}/build/examples/scanstats" --selftest
 
+# Warehouse gate: the columnar store must be byte-identical at 1/2/8
+# threads, round-trip the text store exactly, and reproduce the engine's
+# aggregates through the incremental fold (tlsharm-import); the query layer
+# must count/group deterministically (obsq); and a figure bench recorded
+# into a warehouse and replayed from it must print the same numbers as the
+# live scan (the world-build timing line is the only nondeterminism).
+echo "== warehouse: tlsharm-import --selftest =="
+"${repo}/build/examples/tlsharm-import" --selftest
+echo "== warehouse: obsq --selftest =="
+"${repo}/build/examples/obsq" --selftest
+
+echo "== warehouse: figure-bench record/replay parity =="
+whdir="$(mktemp -d)"
+trap 'rm -rf "${whdir}"' EXIT
+bench="${repo}/build/bench/bench_fig3_fig4_fig5_longevity"
+TLSHARM_POPULATION=1500 TLSHARM_DAYS=6 "${bench}" \
+  > "${whdir}/live.txt"
+TLSHARM_POPULATION=1500 TLSHARM_DAYS=6 "${bench}" \
+  --warehouse "${whdir}/wh" > "${whdir}/record.txt" 2>/dev/null
+TLSHARM_POPULATION=1500 TLSHARM_DAYS=6 "${bench}" \
+  --warehouse "${whdir}/wh" > "${whdir}/replay.txt" 2>/dev/null
+diff <(grep -v "built in" "${whdir}/live.txt") \
+     <(grep -v "built in" "${whdir}/record.txt")
+diff <(grep -v "built in" "${whdir}/live.txt") \
+     <(grep -v "built in" "${whdir}/replay.txt")
+echo "record and replay match the live scan"
+
 run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
 run_config "tsan" "${repo}/build-tsan" \
   --filter 'CryptoVectors|ParallelDeterminism|Sharded|Telemetry' \
   -DTLSHARM_SANITIZE=thread
 
-echo "All checks passed (plain + observability + sanitized + tsan)."
+echo "All checks passed (plain + observability + warehouse + sanitized + tsan)."

@@ -63,7 +63,72 @@ std::vector<std::pair<DomainIndex, int>> SpanTracker::AllSpans() const {
   for (const auto& [domain, state] : domains_) {
     out.emplace_back(domain, MaxSpanDays(domain));
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+void SpanTracker::EncodeState(Bytes& out) const {
+  AppendVarint(out, static_cast<std::uint64_t>(horizon_));
+  AppendVarint(out, domains_.size());
+  // Emit domains sorted so the encoding is a pure function of the tracked
+  // state, not of unordered_map iteration order.
+  std::vector<DomainIndex> order;
+  order.reserve(domains_.size());
+  for (const auto& [domain, state] : domains_) order.push_back(domain);
+  std::sort(order.begin(), order.end());
+  for (const DomainIndex domain : order) {
+    const DomainState& state = domains_.at(domain);
+    AppendVarint(out, domain);
+    AppendVarint(out, static_cast<std::uint64_t>(state.best));
+    AppendVarint(out, static_cast<std::uint64_t>(state.days_observed));
+    // last_day_counted is -1 until the first observation; bias it by one
+    // so the varint stays unsigned.
+    AppendVarint(out, static_cast<std::uint64_t>(state.last_day_counted + 1));
+    AppendVarint(out, state.live.size());
+    for (const Entry& entry : state.live) {
+      AppendVarint(out, entry.id);
+      AppendVarint(out, entry.first);
+      AppendVarint(out, entry.last);
+    }
+  }
+}
+
+bool SpanTracker::DecodeState(ByteView in, std::size_t& off) {
+  std::uint64_t horizon = 0, count = 0;
+  if (!ReadVarint(in, off, horizon) || !ReadVarint(in, off, count)) {
+    return false;
+  }
+  if (horizon > 0xffff || count > in.size()) return false;
+  horizon_ = static_cast<int>(horizon);
+  domains_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t domain = 0, best = 0, days = 0, last_counted = 0, live = 0;
+    if (!ReadVarint(in, off, domain) || !ReadVarint(in, off, best) ||
+        !ReadVarint(in, off, days) || !ReadVarint(in, off, last_counted) ||
+        !ReadVarint(in, off, live)) {
+      return false;
+    }
+    if (domain > 0xffffffffull || best > 0xffff || days > 0xffff ||
+        last_counted > 0x10000 || live > in.size()) {
+      return false;
+    }
+    DomainState& state = domains_[static_cast<DomainIndex>(domain)];
+    state.best = static_cast<int>(best);
+    state.days_observed = static_cast<int>(days);
+    state.last_day_counted = static_cast<int>(last_counted) - 1;
+    state.live.reserve(static_cast<std::size_t>(live));
+    for (std::uint64_t e = 0; e < live; ++e) {
+      std::uint64_t id = 0, first = 0, last = 0;
+      if (!ReadVarint(in, off, id) || !ReadVarint(in, off, first) ||
+          !ReadVarint(in, off, last)) {
+        return false;
+      }
+      if (first > 0xffff || last > 0xffff || first > last) return false;
+      state.live.push_back(Entry{id, static_cast<std::uint16_t>(first),
+                                 static_cast<std::uint16_t>(last)});
+    }
+  }
+  return true;
 }
 
 }  // namespace tlsharm::analysis

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "scanner/observation.h"
+#include "util/bytes.h"
 
 namespace tlsharm::analysis {
 
@@ -38,8 +39,19 @@ class SpanTracker {
   // Number of days on which the domain presented any secret.
   int DaysObserved(DomainIndex domain) const;
 
-  // The per-domain maximum spans for every observed domain.
+  // The per-domain maximum spans for every observed domain, sorted by
+  // DomainIndex. The internal map is unordered, so without the sort the
+  // output order would vary across standard libraries — and every report
+  // built on it would stop being byte-stable.
   std::vector<std::pair<DomainIndex, int>> AllSpans() const;
+
+  // Serializes the full tracker state (varint-encoded, domains in index
+  // order) so the warehouse's incremental fold can checkpoint mid-study
+  // and resume from day k without re-reading days 0..k-1.
+  void EncodeState(Bytes& out) const;
+  // Restores a tracker from EncodeState bytes starting at `off`; advances
+  // `off` past the state. False on malformed input (tracker unspecified).
+  bool DecodeState(ByteView in, std::size_t& off);
 
  private:
   struct Entry {

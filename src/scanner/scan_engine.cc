@@ -90,6 +90,13 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   const int max_shards = std::max(1, options.threads);
   const bool tracing = options.trace != nullptr;
 
+  // Both store backends (legacy text sink + streaming StoreWriter) receive
+  // the identical canonical stream; `storing` gates all staging work.
+  MultiStoreWriter store;
+  store.Add(options.sink);
+  store.Add(options.store);
+  const bool storing = !store.Empty();
+
   // Per-shard metric registries (single-writer, no locks); merged into
   // options.metrics in shard order after the last day. Counters add, so
   // the merged totals do not depend on how targets were sharded.
@@ -180,13 +187,13 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           StageTrace(trace_staged, static_cast<std::size_t>(k), day,
                      2 * i + 1, "main", "dhe", id, when + kHour, dhe_probe);
         }
-        if (options.sink != nullptr) {
+        if (storing) {
           staged.Append(static_cast<std::size_t>(k), day, record.main);
           staged.Append(static_cast<std::size_t>(k), day, record.dhe);
         }
       }
     });
-    if (options.sink != nullptr) staged.Flush(*options.sink);
+    if (storing) staged.Flush(store);
     if (tracing) trace_staged.Flush(*options.trace);
 
     // --- canonical merge: aggregate + collect the requeue list -----------
@@ -231,15 +238,18 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                        2 * n + i, "requeue", p.dhe ? "dhe" : "main", p.id,
                        at, probe);
           }
-          if (options.sink != nullptr) {
+          if (storing) {
             requeue_staged.Append(static_cast<std::size_t>(k), day,
                                   requeued[i]);
           }
         }
       });
-      if (options.sink != nullptr) requeue_staged.Flush(*options.sink);
+      if (storing) requeue_staged.Flush(store);
       if (tracing) requeue_trace.Flush(*options.trace);
     }
+    // The day's last observation has been appended: let streaming backends
+    // flush (the warehouse closes the day's columnar segment here).
+    if (storing) store.EndDay(day);
     for (std::size_t i = 0; i < pending_count; ++i) {
       ProbeFailure failure = pending[i].failure;
       if (options.robustness.requeue_failures) {
@@ -281,6 +291,8 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
       }
     }
   }
+
+  if (storing) store.Finish();
 
   for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
     const auto& info = net.GetDomain(id);

@@ -49,6 +49,12 @@ struct ScanEngineOptions {
   // observation in canonical order (main/DHE interleaved per target, then
   // the requeue pass in pending order).
   ObservationWriter* sink = nullptr;
+  // Optional streaming store backend (text file, columnar warehouse, ...).
+  // Same canonical observation stream as `sink`, plus per-day EndDay and
+  // end-of-study Finish hooks — this is how the warehouse closes one
+  // columnar segment per completed virtual day. Both may be set at once;
+  // the engine fans out to each.
+  StoreWriter* store = nullptr;
   // Optional telemetry; both default off and neither changes a single byte
   // of the scan's observations. `metrics` receives the merged per-shard
   // probe counters, engine-level scan/requeue/loss counters, and an

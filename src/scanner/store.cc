@@ -12,16 +12,6 @@ constexpr int kTrusted = 4;
 constexpr int kSessionIdSet = 8;
 constexpr int kTicketIssued = 16;
 
-int FlagsOf(const HandshakeObservation& obs) {
-  int flags = 0;
-  if (obs.connected) flags |= kConnected;
-  if (obs.handshake_ok) flags |= kHandshakeOk;
-  if (obs.trusted) flags |= kTrusted;
-  if (obs.session_id_set) flags |= kSessionIdSet;
-  if (obs.ticket_issued) flags |= kTicketIssued;
-  return flags;
-}
-
 // Legacy nine-field lines predate the failure taxonomy; reconstruct the
 // closest class the flags still distinguish.
 ProbeFailure DeriveFailure(const HandshakeObservation& obs) {
@@ -54,12 +44,7 @@ bool ParseLine(const std::string& line, StoredObservation& out) {
   out.day = static_cast<int>(fields[0]);
   HandshakeObservation& obs = out.observation;
   obs.domain = static_cast<DomainIndex>(fields[1]);
-  const int flags = static_cast<int>(fields[2]);
-  obs.connected = flags & kConnected;
-  obs.handshake_ok = flags & kHandshakeOk;
-  obs.trusted = flags & kTrusted;
-  obs.session_id_set = flags & kSessionIdSet;
-  obs.ticket_issued = flags & kTicketIssued;
+  UnpackObservationFlags(static_cast<int>(fields[2]), obs);
   obs.suite = static_cast<tls::CipherSuite>(fields[3]);
   obs.kex_group = static_cast<std::uint16_t>(fields[4]);
   obs.kex_value = fields[5];
@@ -79,8 +64,26 @@ bool ParseLine(const std::string& line, StoredObservation& out) {
 
 }  // namespace
 
+int PackObservationFlags(const HandshakeObservation& obs) {
+  int flags = 0;
+  if (obs.connected) flags |= kConnected;
+  if (obs.handshake_ok) flags |= kHandshakeOk;
+  if (obs.trusted) flags |= kTrusted;
+  if (obs.session_id_set) flags |= kSessionIdSet;
+  if (obs.ticket_issued) flags |= kTicketIssued;
+  return flags;
+}
+
+void UnpackObservationFlags(int flags, HandshakeObservation& obs) {
+  obs.connected = flags & kConnected;
+  obs.handshake_ok = flags & kHandshakeOk;
+  obs.trusted = flags & kTrusted;
+  obs.session_id_set = flags & kSessionIdSet;
+  obs.ticket_issued = flags & kTicketIssued;
+}
+
 void ObservationWriter::Write(int day, const HandshakeObservation& obs) {
-  out_ << day << '|' << obs.domain << '|' << FlagsOf(obs) << '|'
+  out_ << day << '|' << obs.domain << '|' << PackObservationFlags(obs) << '|'
        << static_cast<std::uint16_t>(obs.suite) << '|' << obs.kex_group
        << '|' << obs.kex_value << '|' << obs.session_id << '|' << obs.stek_id
        << '|' << obs.ticket_lifetime_hint << '|'
@@ -128,11 +131,11 @@ void ShardedObservationBuffer::Append(std::size_t shard, int day,
   shards_[shard].push_back(StoredObservation{day, obs});
 }
 
-std::size_t ShardedObservationBuffer::Flush(ObservationWriter& writer) {
+std::size_t ShardedObservationBuffer::Flush(StoreWriter& writer) {
   std::size_t written = 0;
   for (auto& shard : shards_) {
     for (const StoredObservation& stored : shard) {
-      writer.Write(stored.day, stored.observation);
+      writer.Append(stored.day, stored.observation);
       ++written;
     }
     shard.clear();

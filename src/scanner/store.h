@@ -25,11 +25,70 @@ struct StoredObservation {
   HandshakeObservation observation;
 };
 
-class ObservationWriter {
+// The store's five observation flag bits, shared by the text format and the
+// warehouse's columnar format so the two encodings can never drift.
+inline constexpr int kObservationFlagBits = 5;
+inline constexpr int kObservationFlagsMax = (1 << kObservationFlagBits) - 1;
+int PackObservationFlags(const HandshakeObservation& observation);
+void UnpackObservationFlags(int flags, HandshakeObservation& observation);
+
+// Streaming observation sink: the scan engines push each observation the
+// moment the day's canonical merge reaches it, and signal day boundaries,
+// so a backend can flush incrementally (a text backend streams lines, the
+// warehouse backend closes one columnar segment per day) instead of any
+// caller accumulating the whole study in memory first.
+//
+// Contract (what the engines guarantee, and what backends may rely on):
+//   * Append days are non-decreasing; within a day, observations arrive in
+//     canonical order (main pass in permutation order, then the requeue
+//     pass) — identical for any thread count.
+//   * EndDay(day) is called exactly once per scanned day, after the day's
+//     last Append.
+//   * Finish() is called once, after the last EndDay.
+class StoreWriter {
+ public:
+  virtual ~StoreWriter() = default;
+
+  virtual void Append(int day, const HandshakeObservation& observation) = 0;
+  // A scan day completed; all its observations have been appended.
+  virtual void EndDay(int day) { (void)day; }
+  // The study completed; flush any buffered state.
+  virtual void Finish() {}
+};
+
+// Fans one observation stream out to several StoreWriters — how a scan
+// writes the text store and the warehouse in a single pass.
+class MultiStoreWriter : public StoreWriter {
+ public:
+  void Add(StoreWriter* writer) {
+    if (writer != nullptr) writers_.push_back(writer);
+  }
+  bool Empty() const { return writers_.empty(); }
+
+  void Append(int day, const HandshakeObservation& observation) override {
+    for (StoreWriter* w : writers_) w->Append(day, observation);
+  }
+  void EndDay(int day) override {
+    for (StoreWriter* w : writers_) w->EndDay(day);
+  }
+  void Finish() override {
+    for (StoreWriter* w : writers_) w->Finish();
+  }
+
+ private:
+  std::vector<StoreWriter*> writers_;
+};
+
+// The line-based text backend. Streams one '|'-separated line per
+// observation straight to `out` — nothing is buffered beyond the ostream.
+class ObservationWriter : public StoreWriter {
  public:
   explicit ObservationWriter(std::ostream& out) : out_(out) {}
 
   void Write(int day, const HandshakeObservation& observation);
+  void Append(int day, const HandshakeObservation& observation) override {
+    Write(day, observation);
+  }
   std::size_t Written() const { return written_; }
 
  private:
@@ -78,7 +137,7 @@ class ShardedObservationBuffer {
 
   // Writes every buffered observation in shard order and clears the
   // buffers. Returns the number of observations written.
-  std::size_t Flush(ObservationWriter& writer);
+  std::size_t Flush(StoreWriter& writer);
 
   // Observations currently staged across all shards.
   std::size_t Buffered() const;

@@ -55,6 +55,31 @@ bool ConstantTimeEqual(ByteView a, ByteView b) {
   return acc == 0;
 }
 
+void AppendVarint(Bytes& dst, std::uint64_t n) {
+  while (n >= 0x80) {
+    dst.push_back(static_cast<std::uint8_t>(n) | 0x80);
+    n >>= 7;
+  }
+  dst.push_back(static_cast<std::uint8_t>(n));
+}
+
+bool ReadVarint(ByteView b, std::size_t& off, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (off >= b.size()) return false;
+    const std::uint8_t byte = b[off++];
+    // The tenth byte holds the single remaining bit; anything else would
+    // push past 64 bits.
+    if (shift == 63 && (byte & 0xfe) != 0) return false;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
 int Compare(ByteView a, ByteView b) {
   const std::size_t n = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < n; ++i) {

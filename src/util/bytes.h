@@ -48,4 +48,15 @@ bool ConstantTimeEqual(ByteView a, ByteView b);
 // Lexicographic ordering helper so Bytes can key std::map deterministically.
 int Compare(ByteView a, ByteView b);
 
+// LEB128-style unsigned varint, the integer encoding of the columnar
+// observation warehouse (src/warehouse): 7 value bits per byte, high bit =
+// continuation, least-significant group first. 0 encodes in one byte; a
+// full 64-bit value takes ten.
+void AppendVarint(Bytes& dst, std::uint64_t n);
+
+// Decodes a varint starting at `b[off]`, advancing `off` past it. Returns
+// false (leaving `off` unspecified) on truncation, on more than ten bytes,
+// or on a non-minimal final byte that would overflow 64 bits.
+bool ReadVarint(ByteView b, std::size_t& off, std::uint64_t& out);
+
 }  // namespace tlsharm

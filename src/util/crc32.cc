@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace tlsharm {
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320.
+constexpr std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32Update(std::uint32_t state, ByteView data) {
+  for (const std::uint8_t byte : data) {
+    state = (state >> 8) ^ kTable[(state ^ byte) & 0xffu];
+  }
+  return state;
+}
+
+std::uint32_t Crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t Crc32(ByteView data) {
+  return Crc32Final(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace tlsharm

@@ -1,0 +1,105 @@
+// Incremental aggregation over the warehouse: folds stored observations
+// day by day into the exact aggregate state RunDailyScans maintains while
+// scanning live, so every daily-scan figure (Figs 3-5, 8; Tables 2-4) can
+// be computed from the warehouse in one streaming pass — and, with
+// checkpoints, from only the days recorded since the last fold.
+//
+// Why the fold reproduces the engine bit for bit: the engine's two probe
+// passes are distinguishable from the stored suite alone. The main pass
+// offers kEcdheAndStatic and can never negotiate the DHE suite; the DHE
+// pass negotiates exactly kDheWithAes128CbcSha256 when it succeeds. Failed
+// probes (handshake_ok == false) aggregate to nothing in either pass. So
+// dispatching each stored observation on its suite replays the engine's
+// aggregate_main / aggregate_dhe exactly, in the same canonical order the
+// store preserved. The only engine output that is NOT reconstructible is
+// the per-day loss ledger (requeue recovery is invisible once merged), so
+// FoldDailyScans leaves DailyScanResult::loss empty — no figure consumes
+// it from a stored study.
+#pragma once
+
+#include <string>
+
+#include "analysis/spans.h"
+#include "scanner/experiments.h"
+#include "warehouse/warehouse.h"
+
+namespace tlsharm::warehouse {
+
+class ScanFold {
+ public:
+  // Replays one stored observation of `day`. Days must be non-decreasing
+  // across calls and >= NextDay()'s predecessor; callers fold whole days
+  // and then CompleteDay().
+  void Fold(int day, const scanner::HandshakeObservation& obs);
+
+  // Marks `day` fully folded; NextDay() becomes day + 1.
+  void CompleteDay(int day);
+
+  // First day this fold still needs (0 for a fresh fold).
+  int NextDay() const { return next_day_; }
+
+  // Materializes the engine-equivalent result (loss left empty). Core
+  // domain accounting needs the simulated Internet's domain roster, same
+  // as the live engine's final pass.
+  scanner::DailyScanResult Finish(const simnet::Internet& net) const;
+
+  // Checkpoint codec: EncodeState is deterministic (domains in index
+  // order); DecodeState restores an equivalent fold or returns false on
+  // malformed input.
+  void EncodeState(Bytes& out) const;
+  bool DecodeState(ByteView in, std::size_t& off);
+
+  // Direct access to the folded span trackers, for reports that need the
+  // distributions without the core-domain accounting (obsq spans).
+  const analysis::SpanTracker& StekSpans() const { return stek_spans_; }
+  const analysis::SpanTracker& EcdheSpans() const { return ecdhe_spans_; }
+  const analysis::SpanTracker& DheSpans() const { return dhe_spans_; }
+
+ private:
+  int next_day_ = 0;
+  analysis::SpanTracker stek_spans_{8};
+  analysis::SpanTracker ecdhe_spans_{8};
+  analysis::SpanTracker dhe_spans_{8};
+  // Grow-on-demand, indexed by DomainIndex (same flags the engine keeps).
+  std::vector<std::uint8_t> ever_ticket_;
+  std::vector<std::uint8_t> ever_ecdhe_;
+  std::vector<std::uint8_t> ever_dhe_;
+  std::vector<std::uint8_t> ever_trusted_;
+
+  void Mark(std::vector<std::uint8_t>& flags, scanner::DomainIndex domain);
+};
+
+// Checkpoint files: <dir>/ckpt-<day>.bin holds the fold state after day
+// `day` completed ("TLWC" | version | state | CRC-32 trailer).
+std::string CheckpointFileName(int day);
+bool WriteCheckpoint(const std::string& dir, int day, const ScanFold& fold,
+                     std::string* error);
+// False when the file is missing or malformed (fold unspecified then).
+bool ReadCheckpoint(const std::string& dir, int day, ScanFold* fold,
+                    std::string* error);
+
+struct FoldOptions {
+  // Resume from the newest valid checkpoint instead of refolding day 0.
+  bool use_checkpoints = true;
+  // Write/refresh a checkpoint after each folded day.
+  bool write_checkpoints = false;
+};
+
+// Statistics of one FoldDailyScans call, for tooling and benches.
+struct FoldStats {
+  int days_total = 0;     // observation segments in the warehouse
+  int days_folded = 0;    // segments actually read this call
+  int resumed_from = 0;   // first day folded (0 = cold fold)
+  std::uint64_t rows_folded = 0;
+};
+
+// Folds the warehouse's observation segments into `out` (engine-equivalent
+// except `loss`). With checkpoints enabled, only days newer than the best
+// checkpoint are read. False + `error` on corrupt segments; checkpoints
+// that fail to load are ignored (cold refold), never an error.
+bool FoldDailyScans(const Warehouse& warehouse, const simnet::Internet& net,
+                    const FoldOptions& options,
+                    scanner::DailyScanResult* out, std::string* error,
+                    FoldStats* stats = nullptr);
+
+}  // namespace tlsharm::warehouse

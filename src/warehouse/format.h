@@ -1,0 +1,77 @@
+// On-disk constants of the columnar observation warehouse.
+//
+// A warehouse is a directory:
+//
+//   MANIFEST             text index: format version + one line per segment
+//                        (kind, day/experiment, file name, rows, bytes,
+//                        whole-file CRC-32)
+//   obs-<day>.seg        one columnar segment per scanned day
+//   exp-<kind>.seg       one columnar table per recorded lifetime
+//                        experiment ("session_id", "ticket")
+//   ckpt-<day>.bin       optional incremental-fold checkpoints (fold.h)
+//
+// Segment layout (all integers varint unless noted; see util/bytes.h):
+//
+//   magic "TLWH" | version u8 | kind u8
+//   kind-specific header varints
+//   column_count
+//   per column: id u8 | payload_length | payload CRC-32 (4B BE) | payload
+//   segment CRC-32 (4B BE) over every preceding byte
+//
+// Observation segments (kind 0) carry header {day, rows} and nine columns:
+// the domain column is dictionary-interned (sorted unique domain ids,
+// delta-varint encoded, then one dictionary index per row), flags and
+// failure-class are one byte per row, and the remaining numeric columns
+// are plain varints. Lifetime segments (kind 1) carry header {experiment,
+// rows, trusted_https, indicated, resumed_1s} and three columns with the
+// domain column delta-encoded (ascending by construction).
+//
+// Decoders verify, in order: size, magic, version, segment CRC, then
+// structure — so any bit flip is caught by a checksum before field
+// validation, and a version bump is rejected explicitly. Every varint read
+// is bounds-checked; no decoder ever trusts a length field.
+#pragma once
+
+#include <cstdint>
+
+namespace tlsharm::warehouse {
+
+inline constexpr char kSegmentMagic[4] = {'T', 'L', 'W', 'H'};
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+inline constexpr std::uint8_t kKindObservations = 0;
+inline constexpr std::uint8_t kKindLifetime = 1;
+
+// Observation-segment column ids, in file order.
+enum ObsColumn : std::uint8_t {
+  kColDomain = 0,
+  kColFlags = 1,
+  kColFailure = 2,
+  kColSuite = 3,
+  kColKexGroup = 4,
+  kColKexValue = 5,
+  kColSessionId = 6,
+  kColStekId = 7,
+  kColHint = 8,
+};
+inline constexpr int kObsColumnCount = 9;
+
+// Lifetime-segment column ids, in file order.
+enum LifetimeColumn : std::uint8_t {
+  kColLifetimeDomain = 0,
+  kColLifetimeDelay = 1,
+  kColLifetimeHint = 2,
+};
+inline constexpr int kLifetimeColumnCount = 3;
+
+// Experiment ids for lifetime segments.
+inline constexpr std::uint8_t kExperimentSessionId = 0;
+inline constexpr std::uint8_t kExperimentTicket = 1;
+
+inline constexpr char kManifestName[] = "MANIFEST";
+inline constexpr char kManifestHeader[] = "tlsharm-warehouse 1";
+
+// Checkpoint files (fold.h): magic | version | payload | CRC-32 trailer.
+inline constexpr char kCheckpointMagic[4] = {'T', 'L', 'W', 'C'};
+
+}  // namespace tlsharm::warehouse

@@ -1,0 +1,61 @@
+#include "warehouse/import.h"
+
+#include <istream>
+#include <ostream>
+
+namespace tlsharm::warehouse {
+
+bool TextToWarehouse(std::istream& text, const std::string& dir,
+                     ImportStats* stats, std::string* error) {
+  auto writer = WarehouseWriter::Create(dir, error);
+  if (writer == nullptr) return false;
+
+  scanner::ObservationReader reader(text);
+  while (auto stored = reader.Next()) {
+    writer->Append(stored->day, stored->observation);
+    if (!writer->ok()) {
+      if (error != nullptr) *error = writer->error();
+      return false;
+    }
+  }
+  writer->Finish();
+  if (!writer->ok()) {
+    if (error != nullptr) *error = writer->error();
+    return false;
+  }
+  if (stats != nullptr) {
+    stats->rows = writer->RowsWritten();
+    stats->corrupt_lines = reader.Corrupt();
+    stats->warehouse_bytes = writer->BytesWritten();
+    std::string open_error;
+    if (const auto wh = Warehouse::Open(dir, &open_error)) {
+      stats->days = wh->ObservationSegments().size();
+    }
+  }
+  return true;
+}
+
+bool WarehouseToText(const Warehouse& warehouse, std::ostream& text,
+                     ImportStats* stats, std::string* error) {
+  scanner::ObservationWriter writer(text);
+  if (!warehouse.ForEachObservation(
+          0, 0x7fffffff,
+          [&](const scanner::StoredObservation& stored) {
+            writer.Write(stored.day, stored.observation);
+          },
+          error)) {
+    return false;
+  }
+  if (!text) {
+    if (error != nullptr) *error = "text output stream failed";
+    return false;
+  }
+  if (stats != nullptr) {
+    stats->rows = writer.Written();
+    stats->days = warehouse.ObservationSegments().size();
+    stats->warehouse_bytes = warehouse.TotalBytes();
+  }
+  return true;
+}
+
+}  // namespace tlsharm::warehouse

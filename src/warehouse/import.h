@@ -1,0 +1,36 @@
+// Legacy text store <-> warehouse conversion. Both directions stream:
+// text import feeds ObservationReader lines straight into a
+// WarehouseWriter (one segment per day, auto-flushed on day change), and
+// export replays the warehouse through the same ObservationWriter the
+// scanner uses — so for a canonical store, text -> warehouse -> text is
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "warehouse/warehouse.h"
+
+namespace tlsharm::warehouse {
+
+struct ImportStats {
+  std::uint64_t rows = 0;
+  std::uint64_t days = 0;           // observation segments written
+  std::uint64_t corrupt_lines = 0;  // malformed text lines skipped
+  std::uint64_t text_bytes = 0;     // bytes consumed / produced
+  std::uint64_t warehouse_bytes = 0;
+};
+
+// Converts a text store (one observation per line, store.h format) into a
+// warehouse at `dir`, replacing its previous contents. Text days must be
+// non-decreasing (they are, for any store a scan engine wrote). False +
+// `error` on I/O failure or day-order violations.
+bool TextToWarehouse(std::istream& text, const std::string& dir,
+                     ImportStats* stats, std::string* error);
+
+// Streams every warehoused observation back out as text-store lines.
+bool WarehouseToText(const Warehouse& warehouse, std::ostream& text,
+                     ImportStats* stats, std::string* error);
+
+}  // namespace tlsharm::warehouse

@@ -1,0 +1,117 @@
+#include "warehouse/query.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tlsharm::warehouse {
+
+std::optional<SecretKind> ParseSecretKind(const std::string& name) {
+  if (name == "stek") return SecretKind::kStek;
+  if (name == "kex") return SecretKind::kKex;
+  if (name == "session_id") return SecretKind::kSessionId;
+  return std::nullopt;
+}
+
+const char* ToString(SecretKind kind) {
+  switch (kind) {
+    case SecretKind::kStek: return "stek";
+    case SecretKind::kKex: return "kex";
+    case SecretKind::kSessionId: return "session_id";
+  }
+  return "?";
+}
+
+std::optional<GroupKey> ParseGroupKey(const std::string& name) {
+  if (name == "day") return GroupKey::kDay;
+  if (name == "failure") return GroupKey::kFailure;
+  if (name == "suite") return GroupKey::kSuite;
+  if (name == "domain") return GroupKey::kDomain;
+  if (name == "kex_group") return GroupKey::kKexGroup;
+  return std::nullopt;
+}
+
+const char* ToString(GroupKey key) {
+  switch (key) {
+    case GroupKey::kDay: return "day";
+    case GroupKey::kFailure: return "failure";
+    case GroupKey::kSuite: return "suite";
+    case GroupKey::kDomain: return "domain";
+    case GroupKey::kKexGroup: return "kex_group";
+  }
+  return "?";
+}
+
+bool ObsFilter::Matches(const scanner::StoredObservation& stored) const {
+  if (stored.day < day_min || stored.day > day_max) return false;
+  const scanner::HandshakeObservation& obs = stored.observation;
+  if (domain.has_value() && obs.domain != *domain) return false;
+  if (failure.has_value() && obs.failure != *failure) return false;
+  if (has_secret.has_value()) {
+    scanner::SecretId secret = scanner::kNoSecret;
+    switch (*has_secret) {
+      case SecretKind::kStek: secret = obs.stek_id; break;
+      case SecretKind::kKex: secret = obs.kex_value; break;
+      case SecretKind::kSessionId: secret = obs.session_id; break;
+    }
+    if (secret == scanner::kNoSecret) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t KeyOf(GroupKey key, const scanner::StoredObservation& stored) {
+  switch (key) {
+    case GroupKey::kDay:
+      return static_cast<std::uint64_t>(stored.day);
+    case GroupKey::kFailure:
+      return static_cast<std::uint64_t>(stored.observation.failure);
+    case GroupKey::kSuite:
+      return static_cast<std::uint64_t>(stored.observation.suite);
+    case GroupKey::kDomain:
+      return stored.observation.domain;
+    case GroupKey::kKexGroup:
+      return stored.observation.kex_group;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool CountObservations(const Warehouse& warehouse, const ObsFilter& filter,
+                       std::uint64_t* count, std::string* error) {
+  std::uint64_t matched = 0;
+  if (!warehouse.ForEachObservation(
+          filter.day_min, filter.day_max,
+          [&](const scanner::StoredObservation& stored) {
+            if (filter.Matches(stored)) ++matched;
+          },
+          error)) {
+    return false;
+  }
+  *count = matched;
+  return true;
+}
+
+bool GroupCountObservations(const Warehouse& warehouse,
+                            const ObsFilter& filter, GroupKey key,
+                            std::vector<GroupCount>* out,
+                            std::string* error) {
+  std::map<std::uint64_t, std::uint64_t> groups;  // ordered => sorted output
+  if (!warehouse.ForEachObservation(
+          filter.day_min, filter.day_max,
+          [&](const scanner::StoredObservation& stored) {
+            if (filter.Matches(stored)) ++groups[KeyOf(key, stored)];
+          },
+          error)) {
+    return false;
+  }
+  out->clear();
+  out->reserve(groups.size());
+  for (const auto& [value, count] : groups) {
+    out->push_back({value, count});
+  }
+  return true;
+}
+
+}  // namespace tlsharm::warehouse

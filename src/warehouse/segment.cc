@@ -1,0 +1,503 @@
+#include "warehouse/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "scanner/store.h"
+#include "util/crc32.h"
+#include "warehouse/format.h"
+
+namespace tlsharm::warehouse {
+namespace {
+
+using scanner::HandshakeObservation;
+
+void Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Appends one column: id, payload length, payload CRC, payload.
+void EmitColumn(Bytes& out, std::uint8_t id, const Bytes& payload) {
+  out.push_back(id);
+  AppendVarint(out, payload.size());
+  AppendUint(out, Crc32(payload), 4);
+  Append(out, payload);
+}
+
+void EmitPrefix(Bytes& out, std::uint8_t kind) {
+  for (const char c : kSegmentMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  out.push_back(kFormatVersion);
+  out.push_back(kind);
+}
+
+void EmitTrailer(Bytes& out) { AppendUint(out, Crc32(out), 4); }
+
+// Validates size, magic, version and the trailing segment CRC; on success
+// returns the body (everything between the kind byte and the trailer) and
+// the kind byte. This runs BEFORE any structural parsing, so a flipped bit
+// anywhere in the file surfaces as a checksum mismatch, not as whatever
+// the corrupted length fields would make a parser do.
+bool CheckEnvelope(ByteView segment, std::uint8_t* kind, ByteView* body,
+                   std::string* error) {
+  constexpr std::size_t kMinSize = 4 + 1 + 1 + 4;  // magic+version+kind+crc
+  if (segment.size() < kMinSize) {
+    Fail(error, "segment truncated (" + std::to_string(segment.size()) +
+                    " bytes)");
+    return false;
+  }
+  if (std::memcmp(segment.data(), kSegmentMagic, 4) != 0) {
+    Fail(error, "bad segment magic");
+    return false;
+  }
+  if (segment[4] != kFormatVersion) {
+    Fail(error, "unsupported warehouse format version " +
+                    std::to_string(segment[4]) + " (expected " +
+                    std::to_string(kFormatVersion) + ")");
+    return false;
+  }
+  const std::size_t body_end = segment.size() - 4;
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(ReadUint(segment, body_end, 4));
+  if (Crc32(segment.subspan(0, body_end)) != stored) {
+    Fail(error, "segment checksum mismatch");
+    return false;
+  }
+  *kind = segment[5];
+  *body = segment.subspan(6, body_end - 6);
+  return true;
+}
+
+// Reads one column header + payload out of `body` at `off`, enforcing the
+// expected id and the per-column CRC.
+bool ReadColumn(ByteView body, std::size_t& off, std::uint8_t expected_id,
+                ByteView* payload, std::string* error) {
+  const std::string label = "column " + std::to_string(expected_id);
+  if (off >= body.size()) {
+    Fail(error, label + " missing");
+    return false;
+  }
+  if (body[off] != expected_id) {
+    Fail(error, label + " has unexpected id " + std::to_string(body[off]));
+    return false;
+  }
+  ++off;
+  std::uint64_t length = 0;
+  if (!ReadVarint(body, off, length) || off + 4 > body.size() ||
+      length > body.size() - off - 4) {
+    Fail(error, label + " length out of bounds");
+    return false;
+  }
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(ReadUint(body, off, 4));
+  off += 4;
+  *payload = body.subspan(off, static_cast<std::size_t>(length));
+  off += static_cast<std::size_t>(length);
+  if (Crc32(*payload) != stored) {
+    Fail(error, label + " checksum mismatch");
+    return false;
+  }
+  return true;
+}
+
+bool ColumnConsumed(ByteView payload, std::size_t off, std::uint8_t id,
+                    std::string* error) {
+  if (off != payload.size()) {
+    Fail(error,
+         "column " + std::to_string(id) + " has trailing bytes");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes EncodeObservationSegment(int day,
+                               const std::vector<HandshakeObservation>& rows) {
+  Bytes out;
+  EmitPrefix(out, kKindObservations);
+  AppendVarint(out, static_cast<std::uint64_t>(day));
+  AppendVarint(out, rows.size());
+  AppendVarint(out, kObsColumnCount);
+
+  // Domain dictionary: the sorted unique domain ids, delta-encoded (first
+  // absolute, then gaps); each row then stores its dictionary index. Daily
+  // scans hit the same domains twice or more (main + DHE + requeue), so
+  // interning pays even before the delta encoding does.
+  std::vector<scanner::DomainIndex> dict;
+  dict.reserve(rows.size());
+  for (const auto& row : rows) dict.push_back(row.domain);
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  const auto dict_index = [&dict](scanner::DomainIndex domain) {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(dict.begin(), dict.end(), domain) - dict.begin());
+  };
+
+  Bytes col;
+  col.reserve(rows.size() * 2);
+
+  AppendVarint(col, dict.size());
+  scanner::DomainIndex prev = 0;
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    AppendVarint(col, i == 0 ? dict[i] : dict[i] - prev);
+    prev = dict[i];
+  }
+  for (const auto& row : rows) AppendVarint(col, dict_index(row.domain));
+  EmitColumn(out, kColDomain, col);
+
+  col.clear();
+  for (const auto& row : rows) {
+    col.push_back(
+        static_cast<std::uint8_t>(scanner::PackObservationFlags(row)));
+  }
+  EmitColumn(out, kColFlags, col);
+
+  col.clear();
+  for (const auto& row : rows) {
+    col.push_back(static_cast<std::uint8_t>(row.failure));
+  }
+  EmitColumn(out, kColFailure, col);
+
+  col.clear();
+  for (const auto& row : rows) {
+    AppendVarint(col, static_cast<std::uint16_t>(row.suite));
+  }
+  EmitColumn(out, kColSuite, col);
+
+  col.clear();
+  for (const auto& row : rows) AppendVarint(col, row.kex_group);
+  EmitColumn(out, kColKexGroup, col);
+
+  col.clear();
+  for (const auto& row : rows) AppendVarint(col, row.kex_value);
+  EmitColumn(out, kColKexValue, col);
+
+  col.clear();
+  for (const auto& row : rows) AppendVarint(col, row.session_id);
+  EmitColumn(out, kColSessionId, col);
+
+  col.clear();
+  for (const auto& row : rows) AppendVarint(col, row.stek_id);
+  EmitColumn(out, kColStekId, col);
+
+  col.clear();
+  for (const auto& row : rows) AppendVarint(col, row.ticket_lifetime_hint);
+  EmitColumn(out, kColHint, col);
+
+  EmitTrailer(out);
+  return out;
+}
+
+bool DecodeObservationSegment(ByteView segment, int* day,
+                              std::vector<HandshakeObservation>* rows,
+                              std::string* error) {
+  std::uint8_t kind = 0;
+  ByteView body;
+  if (!CheckEnvelope(segment, &kind, &body, error)) return false;
+  if (kind != kKindObservations) {
+    Fail(error, "not an observation segment (kind " + std::to_string(kind) +
+                    ")");
+    return false;
+  }
+
+  std::size_t off = 0;
+  std::uint64_t day64 = 0, row_count = 0, column_count = 0;
+  if (!ReadVarint(body, off, day64) || !ReadVarint(body, off, row_count) ||
+      !ReadVarint(body, off, column_count)) {
+    Fail(error, "segment header truncated");
+    return false;
+  }
+  if (day64 > 0xffff) {
+    Fail(error, "implausible day " + std::to_string(day64));
+    return false;
+  }
+  if (column_count != kObsColumnCount) {
+    Fail(error, "expected " + std::to_string(kObsColumnCount) +
+                    " columns, found " + std::to_string(column_count));
+    return false;
+  }
+  // Each row occupies at least one byte in the flags column alone.
+  if (row_count > body.size()) {
+    Fail(error, "row count exceeds segment size");
+    return false;
+  }
+  const std::size_t n = static_cast<std::size_t>(row_count);
+
+  ByteView cols[kObsColumnCount];
+  for (int c = 0; c < kObsColumnCount; ++c) {
+    if (!ReadColumn(body, off, static_cast<std::uint8_t>(c), &cols[c],
+                    error)) {
+      return false;
+    }
+  }
+  if (off != body.size()) {
+    Fail(error, "trailing bytes after last column");
+    return false;
+  }
+
+  rows->assign(n, HandshakeObservation{});
+
+  // Domain dictionary + per-row indices.
+  {
+    ByteView col = cols[kColDomain];
+    std::size_t pos = 0;
+    std::uint64_t dict_count = 0;
+    if (!ReadVarint(col, pos, dict_count) || dict_count > col.size()) {
+      Fail(error, "domain dictionary truncated");
+      return false;
+    }
+    std::vector<scanner::DomainIndex> dict;
+    dict.reserve(static_cast<std::size_t>(dict_count));
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < dict_count; ++i) {
+      std::uint64_t value = 0;
+      if (!ReadVarint(col, pos, value)) {
+        Fail(error, "domain dictionary truncated");
+        return false;
+      }
+      const std::uint64_t domain = i == 0 ? value : prev + value;
+      if (domain > 0xffffffffull || (i != 0 && value == 0)) {
+        Fail(error, "domain dictionary not strictly increasing");
+        return false;
+      }
+      dict.push_back(static_cast<scanner::DomainIndex>(domain));
+      prev = domain;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t index = 0;
+      if (!ReadVarint(col, pos, index) || index >= dict.size()) {
+        Fail(error, "domain index out of dictionary range");
+        return false;
+      }
+      (*rows)[i].domain = dict[static_cast<std::size_t>(index)];
+    }
+    if (!ColumnConsumed(col, pos, kColDomain, error)) return false;
+  }
+
+  if (cols[kColFlags].size() != n) {
+    Fail(error, "flags column row mismatch");
+    return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t flags = cols[kColFlags][i];
+    if (flags > scanner::kObservationFlagsMax) {
+      Fail(error, "flags value out of range");
+      return false;
+    }
+    scanner::UnpackObservationFlags(flags, (*rows)[i]);
+  }
+
+  if (cols[kColFailure].size() != n) {
+    Fail(error, "failure column row mismatch");
+    return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t failure = cols[kColFailure][i];
+    if (failure >= scanner::kProbeFailureClasses) {
+      Fail(error, "failure class out of range");
+      return false;
+    }
+    (*rows)[i].failure = static_cast<scanner::ProbeFailure>(failure);
+  }
+
+  // The varint-coded numeric columns.
+  const auto read_u64_column =
+      [&](ObsColumn id, std::uint64_t max,
+          const std::function<void(HandshakeObservation&, std::uint64_t)>&
+              assign) -> bool {
+    ByteView col = cols[id];
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t value = 0;
+      if (!ReadVarint(col, pos, value) || value > max) {
+        Fail(error, "column " + std::to_string(id) + " value invalid");
+        return false;
+      }
+      assign((*rows)[i], value);
+    }
+    return ColumnConsumed(col, pos, id, error);
+  };
+
+  if (!read_u64_column(kColSuite, 0xffff,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.suite = static_cast<tls::CipherSuite>(v);
+                       }) ||
+      !read_u64_column(kColKexGroup, 0xffff,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.kex_group = static_cast<std::uint16_t>(v);
+                       }) ||
+      !read_u64_column(kColKexValue, ~0ull,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.kex_value = v;
+                       }) ||
+      !read_u64_column(kColSessionId, ~0ull,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.session_id = v;
+                       }) ||
+      !read_u64_column(kColStekId, ~0ull,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.stek_id = v;
+                       }) ||
+      !read_u64_column(kColHint, 0xffffffffull,
+                       [](HandshakeObservation& o, std::uint64_t v) {
+                         o.ticket_lifetime_hint =
+                             static_cast<std::uint32_t>(v);
+                       })) {
+    return false;
+  }
+
+  *day = static_cast<int>(day64);
+  return true;
+}
+
+Bytes EncodeLifetimeSegment(std::uint8_t experiment,
+                            const scanner::ResumptionLifetimeResult& result) {
+  Bytes out;
+  EmitPrefix(out, kKindLifetime);
+  AppendVarint(out, experiment);
+  AppendVarint(out, result.lifetimes.size());
+  AppendVarint(out, result.trusted_https);
+  AppendVarint(out, result.indicated);
+  AppendVarint(out, result.resumed_1s);
+  AppendVarint(out, kLifetimeColumnCount);
+
+  Bytes col;
+  // Domains ascend strictly (the experiment walks ids in order, at most
+  // one measurement each), so deltas stay small.
+  scanner::DomainIndex prev = 0;
+  for (std::size_t i = 0; i < result.lifetimes.size(); ++i) {
+    const scanner::DomainIndex domain = result.lifetimes[i].domain;
+    AppendVarint(col, i == 0 ? domain : domain - prev);
+    prev = domain;
+  }
+  EmitColumn(out, kColLifetimeDomain, col);
+
+  col.clear();
+  for (const auto& m : result.lifetimes) {
+    AppendVarint(col, static_cast<std::uint64_t>(m.max_delay));
+  }
+  EmitColumn(out, kColLifetimeDelay, col);
+
+  col.clear();
+  for (const auto& m : result.lifetimes) AppendVarint(col, m.lifetime_hint);
+  EmitColumn(out, kColLifetimeHint, col);
+
+  EmitTrailer(out);
+  return out;
+}
+
+bool DecodeLifetimeSegment(ByteView segment, std::uint8_t* experiment,
+                           scanner::ResumptionLifetimeResult* result,
+                           std::string* error) {
+  std::uint8_t kind = 0;
+  ByteView body;
+  if (!CheckEnvelope(segment, &kind, &body, error)) return false;
+  if (kind != kKindLifetime) {
+    Fail(error,
+         "not a lifetime segment (kind " + std::to_string(kind) + ")");
+    return false;
+  }
+
+  std::size_t off = 0;
+  std::uint64_t exp = 0, row_count = 0, trusted = 0, indicated = 0,
+                resumed = 0, column_count = 0;
+  if (!ReadVarint(body, off, exp) || !ReadVarint(body, off, row_count) ||
+      !ReadVarint(body, off, trusted) || !ReadVarint(body, off, indicated) ||
+      !ReadVarint(body, off, resumed) ||
+      !ReadVarint(body, off, column_count)) {
+    Fail(error, "segment header truncated");
+    return false;
+  }
+  if (exp > kExperimentTicket) {
+    Fail(error, "unknown experiment id " + std::to_string(exp));
+    return false;
+  }
+  if (column_count != kLifetimeColumnCount) {
+    Fail(error, "expected " + std::to_string(kLifetimeColumnCount) +
+                    " columns, found " + std::to_string(column_count));
+    return false;
+  }
+  if (row_count > body.size()) {
+    Fail(error, "row count exceeds segment size");
+    return false;
+  }
+  const std::size_t n = static_cast<std::size_t>(row_count);
+
+  ByteView cols[kLifetimeColumnCount];
+  for (int c = 0; c < kLifetimeColumnCount; ++c) {
+    if (!ReadColumn(body, off, static_cast<std::uint8_t>(c), &cols[c],
+                    error)) {
+      return false;
+    }
+  }
+  if (off != body.size()) {
+    Fail(error, "trailing bytes after last column");
+    return false;
+  }
+
+  result->trusted_https = static_cast<std::size_t>(trusted);
+  result->indicated = static_cast<std::size_t>(indicated);
+  result->resumed_1s = static_cast<std::size_t>(resumed);
+  result->lifetimes.assign(n, scanner::LifetimeMeasurement{});
+
+  {
+    ByteView col = cols[kColLifetimeDomain];
+    std::size_t pos = 0;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t value = 0;
+      if (!ReadVarint(col, pos, value)) {
+        Fail(error, "lifetime domain column truncated");
+        return false;
+      }
+      const std::uint64_t domain = i == 0 ? value : prev + value;
+      if (domain > 0xffffffffull || (i != 0 && value == 0)) {
+        Fail(error, "lifetime domains not strictly increasing");
+        return false;
+      }
+      result->lifetimes[i].domain = static_cast<scanner::DomainIndex>(domain);
+      prev = domain;
+    }
+    if (!ColumnConsumed(col, pos, kColLifetimeDomain, error)) return false;
+  }
+  {
+    ByteView col = cols[kColLifetimeDelay];
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t value = 0;
+      if (!ReadVarint(col, pos, value) || value > 0x7fffffffffffffffull) {
+        Fail(error, "lifetime delay column invalid");
+        return false;
+      }
+      result->lifetimes[i].max_delay = static_cast<SimTime>(value);
+    }
+    if (!ColumnConsumed(col, pos, kColLifetimeDelay, error)) return false;
+  }
+  {
+    ByteView col = cols[kColLifetimeHint];
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t value = 0;
+      if (!ReadVarint(col, pos, value) || value > 0xffffffffull) {
+        Fail(error, "lifetime hint column invalid");
+        return false;
+      }
+      result->lifetimes[i].lifetime_hint = static_cast<std::uint32_t>(value);
+    }
+    if (!ColumnConsumed(col, pos, kColLifetimeHint, error)) return false;
+  }
+
+  *experiment = static_cast<std::uint8_t>(exp);
+  return true;
+}
+
+bool PeekSegmentKind(ByteView segment, std::uint8_t* kind,
+                     std::string* error) {
+  ByteView body;
+  return CheckEnvelope(segment, kind, &body, error);
+}
+
+}  // namespace tlsharm::warehouse

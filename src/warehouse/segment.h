@@ -1,0 +1,42 @@
+// Columnar segment codec for the observation warehouse (see format.h for
+// the byte layout). Encoding is a pure function of the rows, so segments
+// written from any thread count — or re-encoded from a text store — are
+// byte-identical; decoding validates checksums before structure and never
+// trusts a length field.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scanner/experiments.h"
+#include "scanner/observation.h"
+#include "util/bytes.h"
+
+namespace tlsharm::warehouse {
+
+// Encodes one day of observations (canonical scan order preserved).
+Bytes EncodeObservationSegment(
+    int day, const std::vector<scanner::HandshakeObservation>& rows);
+
+// Decodes an observation segment. On success fills `day` and `rows` and
+// returns true; on any corruption, truncation or version mismatch returns
+// false with a diagnostic in `error` (never crashes on hostile input).
+bool DecodeObservationSegment(ByteView segment, int* day,
+                              std::vector<scanner::HandshakeObservation>* rows,
+                              std::string* error);
+
+// Encodes a resumption-lifetime experiment result (Figures 1 & 2).
+// `experiment` is kExperimentSessionId or kExperimentTicket.
+Bytes EncodeLifetimeSegment(std::uint8_t experiment,
+                            const scanner::ResumptionLifetimeResult& result);
+
+bool DecodeLifetimeSegment(ByteView segment, std::uint8_t* experiment,
+                           scanner::ResumptionLifetimeResult* result,
+                           std::string* error);
+
+// The segment's kind byte (format.h) without a full decode; false (with
+// `error`) if the prefix or the trailing segment CRC is invalid.
+bool PeekSegmentKind(ByteView segment, std::uint8_t* kind,
+                     std::string* error);
+
+}  // namespace tlsharm::warehouse

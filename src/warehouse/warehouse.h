@@ -1,0 +1,142 @@
+// The observation warehouse: a directory of day-partitioned columnar
+// segments plus an index MANIFEST (format.h documents the layout). This is
+// the canonical substrate between the scanner and all analysis — scan
+// once, store compactly, re-query cheaply and incrementally.
+//
+// WarehouseWriter is a scanner::StoreWriter: attach it to the scan engines
+// via ScanEngineOptions::store and each virtual day's observations become
+// one columnar segment the moment the day completes (EndDay). Since the
+// engines deliver the canonical observation stream, warehouse bytes are
+// identical for any thread count. Lifetime-experiment results (Figures
+// 1-2) are stored alongside as experiment tables.
+//
+// Warehouse (the reader) streams observations back in canonical order,
+// optionally restricted to a day range — the partition pruning that makes
+// "re-query day k..n" cheap. Every read validates the manifest CRC of the
+// file and the per-column / per-segment checksums before decoding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/experiments.h"
+#include "scanner/store.h"
+
+namespace tlsharm::warehouse {
+
+struct SegmentInfo {
+  int day = 0;             // observation segments
+  std::string kind;        // experiment tables: "session_id" | "ticket"
+  std::string file;        // name within the warehouse directory
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;   // CRC-32 of the whole file
+};
+
+// Experiment-kind names <-> segment experiment ids (format.h).
+const char* ExperimentKindName(std::uint8_t experiment);
+std::optional<std::uint8_t> ExperimentKindId(const std::string& kind);
+
+class WarehouseWriter : public scanner::StoreWriter {
+ public:
+  // Creates (or resets) the warehouse directory: a stale MANIFEST and any
+  // previous segment/checkpoint files are removed so a recording never
+  // mixes studies. Returns nullptr with `error` set when the directory
+  // cannot be prepared.
+  static std::unique_ptr<WarehouseWriter> Create(const std::string& dir,
+                                                 std::string* error);
+
+  // scanner::StoreWriter: buffers the current day's rows, writes one
+  // segment per completed day. Append days must be non-decreasing.
+  void Append(int day, const scanner::HandshakeObservation& obs) override;
+  void EndDay(int day) override;
+  void Finish() override;  // flushes a pending day; idempotent
+
+  // Stores a lifetime-experiment table (kind "session_id" or "ticket"),
+  // replacing any previous table of the same kind.
+  bool WriteLifetime(const std::string& kind,
+                     const scanner::ResumptionLifetimeResult& result);
+
+  // I/O or contract violations latch: once ok() is false, the warehouse on
+  // disk must not be trusted and error() says why.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::uint64_t RowsWritten() const { return rows_written_; }
+  std::uint64_t BytesWritten() const { return bytes_written_; }
+
+  ~WarehouseWriter() override;
+
+ private:
+  explicit WarehouseWriter(std::string dir);
+
+  void FlushDay();
+  // Writes the segment and fills info->bytes / info->crc from the bytes.
+  bool WriteSegmentFile(const std::string& name, const Bytes& bytes,
+                        SegmentInfo* info);
+  bool WriteManifest();
+  void Latch(const std::string& message);
+
+  std::string dir_;
+  int current_day_ = -1;  // day being buffered; -1 = none yet
+  std::vector<scanner::HandshakeObservation> pending_;
+  std::vector<SegmentInfo> obs_segments_;
+  std::vector<SegmentInfo> experiments_;
+  std::uint64_t rows_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+class Warehouse {
+ public:
+  // Opens an existing warehouse by parsing its MANIFEST (segment files are
+  // validated lazily, on read). nullopt with `error` set on failure.
+  static std::optional<Warehouse> Open(const std::string& dir,
+                                       std::string* error);
+
+  const std::string& Directory() const { return dir_; }
+  const std::vector<SegmentInfo>& ObservationSegments() const {
+    return obs_segments_;
+  }
+  const std::vector<SegmentInfo>& Experiments() const {
+    return experiments_;
+  }
+
+  // Days covered: observation segments are day-ordered; DayCount is
+  // last day + 1 (0 when empty).
+  int DayCount() const;
+  std::uint64_t TotalRows() const;
+  std::uint64_t TotalBytes() const;  // segment files, manifest excluded
+
+  // Streams every stored observation with day in [day_min, day_max], in
+  // canonical order (day-ascending, scan order within a day). Segments
+  // outside the range are never read from disk. False + `error` on any
+  // corruption; the visit stops at the first bad segment.
+  bool ForEachObservation(
+      int day_min, int day_max,
+      const std::function<void(const scanner::StoredObservation&)>& visit,
+      std::string* error) const;
+
+  bool HasExperiment(const std::string& kind) const;
+  bool ReadExperiment(const std::string& kind,
+                      scanner::ResumptionLifetimeResult* result,
+                      std::string* error) const;
+
+ private:
+  Warehouse() = default;
+
+  std::string dir_;
+  std::vector<SegmentInfo> obs_segments_;
+  std::vector<SegmentInfo> experiments_;
+};
+
+// Reads a whole file into `out`; false + `error` when unreadable.
+bool ReadWarehouseFile(const std::string& path, Bytes* out,
+                       std::string* error);
+
+}  // namespace tlsharm::warehouse

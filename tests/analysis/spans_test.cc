@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace tlsharm::analysis {
 namespace {
 
@@ -107,6 +109,22 @@ TEST(SpanTrackerTest, AllSpansEnumeratesEveryDomain) {
   ASSERT_EQ(spans.size(), 2u);
   EXPECT_EQ(spans[0], (std::pair<DomainIndex, int>{1, 1}));
   EXPECT_EQ(spans[1], (std::pair<DomainIndex, int>{2, 5}));
+}
+
+TEST(SpanTrackerTest, AllSpansIsSortedByDomainIndex) {
+  // Regression: the tracker's map is unordered, so AllSpans must sort by
+  // domain itself — reports and byte-equality checks built on it depend on
+  // a stable order, and insertion order is an adversarial case for
+  // hash-map iteration.
+  SpanTracker tracker;
+  for (const DomainIndex domain : {7, 3, 11, 1, 5, 2}) {
+    tracker.Observe(domain, 0x9, 0);
+  }
+  const auto spans = tracker.AllSpans();
+  ASSERT_EQ(spans.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(spans.begin(), spans.end()));
+  EXPECT_EQ(spans.front().first, 1u);
+  EXPECT_EQ(spans.back().first, 11u);
 }
 
 // Property sweep: for any rotation period P, measured span == P (except a

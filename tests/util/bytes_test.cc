@@ -56,5 +56,70 @@ TEST(BytesTest, CompareOrdering) {
   EXPECT_GT(Compare(ToBytes("abc"), ToBytes("ab")), 0);
 }
 
+TEST(VarintTest, KnownEncodings) {
+  const struct {
+    std::uint64_t value;
+    Bytes encoded;
+  } cases[] = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7f}},
+      {128, {0x80, 0x01}},
+      {300, {0xac, 0x02}},
+      {0xffffffffffffffffULL,
+       {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+  };
+  for (const auto& c : cases) {
+    Bytes out;
+    AppendVarint(out, c.value);
+    EXPECT_EQ(out, c.encoded) << c.value;
+    std::size_t off = 0;
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(ReadVarint(out, off, decoded)) << c.value;
+    EXPECT_EQ(decoded, c.value);
+    EXPECT_EQ(off, out.size());
+  }
+}
+
+TEST(VarintTest, RoundTripsAcrossTheRange) {
+  Bytes out;
+  std::vector<std::uint64_t> values;
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(1ULL << shift);
+    values.push_back((1ULL << shift) - 1);
+  }
+  for (const std::uint64_t v : values) AppendVarint(out, v);
+  std::size_t off = 0;
+  for (const std::uint64_t v : values) {
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(ReadVarint(out, off, decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(off, out.size());
+}
+
+TEST(VarintTest, TruncationIsRejected) {
+  Bytes out;
+  AppendVarint(out, 0x123456789abcdefULL);
+  for (std::size_t len = 0; len < out.size(); ++len) {
+    std::size_t off = 0;
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(ReadVarint(ByteView(out.data(), len), off, decoded)) << len;
+  }
+}
+
+TEST(VarintTest, OverlongAndOverflowingEncodingsAreRejected) {
+  // Eleven continuation bytes: more than a 64-bit varint can ever need.
+  const Bytes too_long(11, 0x80);
+  std::size_t off = 0;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(ReadVarint(too_long, off, decoded));
+  // Ten bytes whose final group would push past 64 bits.
+  const Bytes overflow = {0xff, 0xff, 0xff, 0xff, 0xff,
+                          0xff, 0xff, 0xff, 0xff, 0x02};
+  off = 0;
+  EXPECT_FALSE(ReadVarint(overflow, off, decoded));
+}
+
 }  // namespace
 }  // namespace tlsharm

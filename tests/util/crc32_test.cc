@@ -1,0 +1,44 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace tlsharm {
+namespace {
+
+TEST(Crc32Test, KnownAnswerVectors) {
+  // The standard IEEE 802.3 check value plus a few fixed points.
+  EXPECT_EQ(Crc32(ToBytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(Crc32(ToBytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32(ToBytes("a")), 0xe8b7be43u);
+  EXPECT_EQ(Crc32(ToBytes("abc")), 0x352441c2u);
+  EXPECT_EQ(Crc32(Bytes(32, 0x00)), 0x190a55adu);
+  EXPECT_EQ(Crc32(Bytes(32, 0xff)), 0xff6cab0bu);
+}
+
+TEST(Crc32Test, StreamingMatchesWholeBuffer) {
+  const Bytes data = ToBytes("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t whole = Crc32(data);
+  // Any chunking must produce the same digest.
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = Crc32Init();
+    state = Crc32Update(state, ByteView(data.data(), split));
+    state = Crc32Update(
+        state, ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(Crc32Final(state), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, EveryBitFlipChangesTheDigest) {
+  const Bytes data = ToBytes("segment payload bytes");
+  const std::uint32_t clean = Crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = data;
+      flipped[i] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(Crc32(flipped), clean) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm

@@ -1,0 +1,198 @@
+// The incremental fold's core claim: folding a warehouse recorded by the
+// scan engine reproduces the engine's own aggregates exactly — spans,
+// core-domain accounting, everything except the (non-reconstructible)
+// loss ledger — and resuming from a checkpoint changes nothing but the
+// number of days re-read.
+#include "warehouse/fold.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scanner/scan_engine.h"
+
+namespace tlsharm::warehouse {
+namespace {
+
+constexpr int kDays = 4;
+constexpr std::uint64_t kWorldSeed = 4242;
+constexpr std::uint64_t kScanSeed = 777;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "warehouse_fold_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Records a seeded faulty study into `dir` and returns the engine's own
+// result for comparison.
+scanner::DailyScanResult RecordStudy(simnet::Internet& net,
+                                     const std::string& dir) {
+  std::string error;
+  auto writer = WarehouseWriter::Create(dir, &error);
+  EXPECT_NE(writer, nullptr) << error;
+  scanner::ScanEngineOptions options;
+  options.robustness.retry.max_attempts = 3;
+  options.store = writer.get();
+  const auto result =
+      scanner::RunShardedDailyScans(net, kDays, kScanSeed, options);
+  EXPECT_TRUE(writer->ok()) << writer->error();
+  return result;
+}
+
+#define MAKE_WORLD(net)                                            \
+  simnet::Internet net(simnet::PaperPopulationSpec(500), kWorldSeed); \
+  net.SetFaultSpec(simnet::DefaultFaultSpec(1.0))
+
+void ExpectFoldMatchesEngine(const scanner::DailyScanResult& engine,
+                             const scanner::DailyScanResult& folded) {
+  EXPECT_EQ(folded.core_domains, engine.core_domains);
+  EXPECT_EQ(folded.core_ever_ticket, engine.core_ever_ticket);
+  EXPECT_EQ(folded.core_ever_ecdhe, engine.core_ever_ecdhe);
+  EXPECT_EQ(folded.core_ever_dhe_connect, engine.core_ever_dhe_connect);
+  EXPECT_EQ(folded.core_any_mechanism, engine.core_any_mechanism);
+  EXPECT_EQ(folded.stek_spans.AllSpans(), engine.stek_spans.AllSpans());
+  EXPECT_EQ(folded.ecdhe_spans.AllSpans(), engine.ecdhe_spans.AllSpans());
+  EXPECT_EQ(folded.dhe_spans.AllSpans(), engine.dhe_spans.AllSpans());
+  EXPECT_TRUE(folded.loss.empty());  // not reconstructible from the store
+}
+
+TEST(ScanFoldTest, FoldReproducesEngineAggregates) {
+  MAKE_WORLD(net);
+  const std::string dir = FreshDir("parity");
+  const auto engine = RecordStudy(net, dir);
+  ASSERT_FALSE(engine.core_domains.empty());
+
+  std::string error;
+  const auto wh = Warehouse::Open(dir, &error);
+  ASSERT_TRUE(wh.has_value()) << error;
+  ASSERT_EQ(wh->DayCount(), kDays);
+
+  scanner::DailyScanResult folded;
+  FoldStats stats;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, {}, &folded, &error, &stats)) << error;
+  EXPECT_EQ(stats.days_folded, kDays);
+  EXPECT_EQ(stats.resumed_from, 0);
+  ExpectFoldMatchesEngine(engine, folded);
+}
+
+TEST(ScanFoldTest, CheckpointResumeFoldsOnlyNewDays) {
+  MAKE_WORLD(net);
+  const std::string dir = FreshDir("resume");
+  const auto engine = RecordStudy(net, dir);
+
+  std::string error;
+  const auto wh = Warehouse::Open(dir, &error);
+  ASSERT_TRUE(wh.has_value()) << error;
+
+  // First fold writes a checkpoint per day...
+  scanner::DailyScanResult cold;
+  FoldOptions write_options;
+  write_options.use_checkpoints = false;
+  write_options.write_checkpoints = true;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, write_options, &cold, &error))
+      << error;
+  for (int day = 0; day < kDays; ++day) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + CheckpointFileName(day)))
+        << "missing checkpoint for day " << day;
+  }
+
+  // ...so the next fold reads zero segments and still agrees.
+  scanner::DailyScanResult warm;
+  FoldStats stats;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, {}, &warm, &error, &stats)) << error;
+  EXPECT_EQ(stats.days_folded, 0);
+  EXPECT_EQ(stats.resumed_from, kDays);
+  ExpectFoldMatchesEngine(engine, warm);
+
+  // With the last checkpoint gone, exactly one day is re-read.
+  std::filesystem::remove(dir + "/" + CheckpointFileName(kDays - 1));
+  scanner::DailyScanResult partial;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, {}, &partial, &error, &stats))
+      << error;
+  EXPECT_EQ(stats.days_folded, 1);
+  EXPECT_EQ(stats.resumed_from, kDays - 1);
+  ExpectFoldMatchesEngine(engine, partial);
+}
+
+TEST(ScanFoldTest, CorruptCheckpointTriggersColdRefoldNotFailure) {
+  MAKE_WORLD(net);
+  const std::string dir = FreshDir("corrupt");
+  const auto engine = RecordStudy(net, dir);
+
+  std::string error;
+  const auto wh = Warehouse::Open(dir, &error);
+  ASSERT_TRUE(wh.has_value()) << error;
+  scanner::DailyScanResult cold;
+  FoldOptions write_options;
+  write_options.use_checkpoints = false;
+  write_options.write_checkpoints = true;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, write_options, &cold, &error))
+      << error;
+
+  // Flip a byte in every checkpoint: all must be rejected, the fold must
+  // fall back to day 0 and still match.
+  for (int day = 0; day < kDays; ++day) {
+    const std::string path = dir + "/" + CheckpointFileName(day);
+    Bytes bytes;
+    ASSERT_TRUE(ReadWarehouseFile(path, &bytes, &error)) << error;
+    bytes[bytes.size() / 2] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  scanner::DailyScanResult refolded;
+  FoldStats stats;
+  ASSERT_TRUE(FoldDailyScans(*wh, net, {}, &refolded, &error, &stats))
+      << error;
+  EXPECT_EQ(stats.resumed_from, 0);
+  EXPECT_EQ(stats.days_folded, kDays);
+  ExpectFoldMatchesEngine(engine, refolded);
+}
+
+TEST(ScanFoldTest, StateRoundTripsThroughEncodeDecode) {
+  ScanFold fold;
+  scanner::HandshakeObservation obs;
+  obs.domain = 17;
+  obs.connected = true;
+  obs.handshake_ok = true;
+  obs.trusted = true;
+  obs.failure = scanner::ProbeFailure::kNone;
+  obs.suite = tls::CipherSuite::kEcdheWithAes128CbcSha256;
+  obs.kex_value = 0xfeed;
+  fold.Fold(0, obs);
+  fold.CompleteDay(0);
+  obs.domain = 4;
+  obs.suite = tls::CipherSuite::kDheWithAes128CbcSha256;
+  obs.kex_value = 0xbeef;
+  fold.Fold(1, obs);
+  fold.CompleteDay(1);
+
+  Bytes encoded;
+  fold.EncodeState(encoded);
+  ScanFold decoded;
+  std::size_t off = 0;
+  ASSERT_TRUE(decoded.DecodeState(encoded, off));
+  EXPECT_EQ(off, encoded.size());
+  EXPECT_EQ(decoded.NextDay(), 2);
+
+  Bytes re_encoded;
+  decoded.EncodeState(re_encoded);
+  EXPECT_EQ(re_encoded, encoded);
+
+  // Truncated state never quietly decodes to a full-length parse.
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    ScanFold partial;
+    std::size_t pos = 0;
+    if (partial.DecodeState(ByteView(encoded.data(), len), pos)) {
+      // A prefix can only "decode" by consuming less than the real state;
+      // ReadCheckpoint rejects that via its full-consumption check.
+      EXPECT_LT(pos, encoded.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm::warehouse

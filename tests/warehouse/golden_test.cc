@@ -1,0 +1,145 @@
+// Golden coverage for the warehouse binary format: fixed inputs must
+// encode to the exact checked-in hex dumps, and the dumps must decode back
+// to the inputs. If either fails, the on-disk format changed — bump
+// kFormatVersion and regenerate (run this binary with
+// TLSHARM_UPDATE_GOLDENS=1) instead of silently shifting bytes under
+// existing warehouses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/hex.h"
+#include "warehouse/format.h"
+#include "warehouse/segment.h"
+
+namespace tlsharm::warehouse {
+namespace {
+
+using scanner::HandshakeObservation;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(TLSHARM_TESTDATA_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+// Hex dump, 32 byte-pairs per line — diffable, greppable, committed.
+std::string HexDump(const Bytes& bytes) {
+  const std::string hex = HexEncode(bytes);
+  std::string out;
+  for (std::size_t i = 0; i < hex.size(); i += 64) {
+    out += hex.substr(i, 64);
+    out += '\n';
+  }
+  return out;
+}
+
+void CheckGolden(const std::string& name, const Bytes& bytes) {
+  const std::string dump = HexDump(bytes);
+  if (std::getenv("TLSHARM_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(FixturePath(name), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot update " << name;
+    out << dump;
+    return;
+  }
+  EXPECT_EQ(dump, ReadFixture(name))
+      << name << " drifted: the serialized warehouse format changed without "
+      << "a version bump";
+}
+
+std::vector<HandshakeObservation> GoldenRows() {
+  std::vector<HandshakeObservation> rows;
+  HandshakeObservation ok;
+  ok.domain = 4;
+  ok.connected = true;
+  ok.handshake_ok = true;
+  ok.trusted = true;
+  ok.failure = scanner::ProbeFailure::kNone;
+  ok.suite = tls::CipherSuite::kEcdheWithAes128CbcSha256;
+  ok.kex_group = 23;
+  ok.kex_value = 0x1122334455667788ull;
+  ok.session_id_set = true;
+  ok.session_id = 0xabcdef01ull;
+  ok.ticket_issued = true;
+  ok.ticket_lifetime_hint = 7200;
+  ok.stek_id = 0x0123456789abcdefull;
+  rows.push_back(ok);
+
+  HandshakeObservation dhe = ok;
+  dhe.domain = 2;
+  dhe.suite = tls::CipherSuite::kDheWithAes128CbcSha256;
+  dhe.kex_group = 14;
+  dhe.kex_value = 0x99;
+  dhe.session_id_set = false;
+  dhe.session_id = scanner::kNoSecret;
+  dhe.ticket_issued = false;
+  dhe.ticket_lifetime_hint = 0;
+  dhe.stek_id = scanner::kNoSecret;
+  rows.push_back(dhe);
+
+  HandshakeObservation failed;
+  failed.domain = 4;  // repeat: exercises the dictionary
+  failed.connected = true;
+  failed.handshake_ok = false;
+  failed.failure = scanner::ProbeFailure::kReset;
+  rows.push_back(failed);
+
+  HandshakeObservation dark;
+  dark.domain = 9;
+  dark.failure = scanner::ProbeFailure::kNoHttps;
+  rows.push_back(dark);
+  return rows;
+}
+
+TEST(WarehouseGoldenTest, ObservationSegmentMatchesGoldenBytes) {
+  CheckGolden("obs_segment.hex", EncodeObservationSegment(2, GoldenRows()));
+}
+
+TEST(WarehouseGoldenTest, EmptyObservationSegmentMatchesGoldenBytes) {
+  CheckGolden("obs_segment_empty.hex", EncodeObservationSegment(0, {}));
+}
+
+TEST(WarehouseGoldenTest, LifetimeSegmentMatchesGoldenBytes) {
+  scanner::ResumptionLifetimeResult result;
+  result.trusted_https = 12;
+  result.indicated = 9;
+  result.resumed_1s = 7;
+  result.lifetimes.push_back({1, 5 * kMinute, 0});
+  result.lifetimes.push_back({6, 2 * kHour, 7200});
+  result.lifetimes.push_back({7, 24 * kHour, 86400});
+  CheckGolden("exp_segment.hex",
+              EncodeLifetimeSegment(kExperimentTicket, result));
+}
+
+TEST(WarehouseGoldenTest, GoldenObservationSegmentDecodes) {
+  std::string hex = ReadFixture("obs_segment.hex");
+  hex.erase(std::remove(hex.begin(), hex.end(), '\n'), hex.end());
+  const auto bytes = HexDecode(hex);
+  ASSERT_TRUE(bytes.has_value()) << "fixture is not valid hex";
+
+  int day = -1;
+  std::vector<HandshakeObservation> rows;
+  std::string error;
+  ASSERT_TRUE(DecodeObservationSegment(*bytes, &day, &rows, &error)) << error;
+  EXPECT_EQ(day, 2);
+  const auto expected = GoldenRows();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].domain, expected[i].domain) << "row " << i;
+    EXPECT_EQ(rows[i].failure, expected[i].failure) << "row " << i;
+    EXPECT_EQ(rows[i].kex_value, expected[i].kex_value) << "row " << i;
+    EXPECT_EQ(rows[i].stek_id, expected[i].stek_id) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm::warehouse

@@ -1,0 +1,119 @@
+// Decoder robustness: a warehouse segment mangled in ANY way — truncated
+// at every prefix length, any single bit flipped, or re-stamped with a
+// future format version — must be rejected cleanly with a diagnostic,
+// never crash or return garbage. Run under ASan/UBSan by scripts/check.sh,
+// this is the fuzz-shaped gate for the binary format.
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+#include "warehouse/format.h"
+#include "warehouse/segment.h"
+
+namespace tlsharm::warehouse {
+namespace {
+
+using scanner::HandshakeObservation;
+
+Bytes SampleSegment() {
+  std::vector<HandshakeObservation> rows;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    HandshakeObservation obs;
+    obs.domain = static_cast<scanner::DomainIndex>((i * 5) % 9);
+    obs.connected = true;
+    obs.handshake_ok = true;
+    obs.trusted = true;
+    obs.failure = scanner::ProbeFailure::kNone;
+    obs.suite = tls::CipherSuite::kEcdheWithAes128CbcSha256;
+    obs.kex_group = 23;
+    obs.kex_value = i * 31 + 1;
+    obs.session_id_set = true;
+    obs.session_id = i + 7;
+    obs.ticket_issued = (i % 2) == 0;
+    obs.ticket_lifetime_hint = obs.ticket_issued ? 600 : 0;
+    obs.stek_id = obs.ticket_issued ? i + 40 : scanner::kNoSecret;
+    rows.push_back(obs);
+  }
+  return EncodeObservationSegment(7, rows);
+}
+
+bool Decodes(ByteView segment, std::string* error) {
+  int day = 0;
+  std::vector<HandshakeObservation> rows;
+  return DecodeObservationSegment(segment, &day, &rows, error);
+}
+
+TEST(SegmentRobustnessTest, EveryTruncationIsRejected) {
+  const Bytes segment = SampleSegment();
+  std::string error;
+  ASSERT_TRUE(Decodes(segment, &error)) << error;
+  for (std::size_t len = 0; len < segment.size(); ++len) {
+    error.clear();
+    EXPECT_FALSE(Decodes(ByteView(segment.data(), len), &error))
+        << "decoded a " << len << "-byte prefix of a " << segment.size()
+        << "-byte segment";
+    EXPECT_FALSE(error.empty()) << "no diagnostic at prefix " << len;
+  }
+}
+
+TEST(SegmentRobustnessTest, EveryBitFlipIsRejected) {
+  const Bytes segment = SampleSegment();
+  for (std::size_t byte = 0; byte < segment.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mangled = segment;
+      mangled[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      std::string error;
+      EXPECT_FALSE(Decodes(mangled, &error))
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+TEST(SegmentRobustnessTest, VersionBumpIsRejectedExplicitly) {
+  // A well-formed segment from a hypothetical future format: version byte
+  // bumped AND the segment CRC recomputed, so only the version check can
+  // catch it.
+  Bytes future = SampleSegment();
+  future[4] = kFormatVersion + 1;
+  const std::size_t body = future.size() - 4;
+  const std::uint32_t crc = Crc32(ByteView(future.data(), body));
+  for (int i = 0; i < 4; ++i) {
+    future[body + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  std::string error;
+  EXPECT_FALSE(Decodes(future, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SegmentRobustnessTest, LifetimeTruncationAndFlipsAreRejected) {
+  scanner::ResumptionLifetimeResult result;
+  result.trusted_https = 10;
+  result.indicated = 8;
+  result.resumed_1s = 6;
+  for (scanner::DomainIndex d = 0; d < 6; ++d) {
+    result.lifetimes.push_back({d * 3, (d + 1) * kMinute, d * 60});
+  }
+  const Bytes segment = EncodeLifetimeSegment(kExperimentSessionId, result);
+
+  std::uint8_t experiment = 0;
+  scanner::ResumptionLifetimeResult decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeLifetimeSegment(segment, &experiment, &decoded, &error))
+      << error;
+
+  for (std::size_t len = 0; len < segment.size(); ++len) {
+    EXPECT_FALSE(DecodeLifetimeSegment(ByteView(segment.data(), len),
+                                       &experiment, &decoded, &error))
+        << "decoded a truncated lifetime segment at " << len;
+  }
+  for (std::size_t byte = 0; byte < segment.size(); ++byte) {
+    Bytes mangled = segment;
+    mangled[byte] ^= 0x40;
+    EXPECT_FALSE(
+        DecodeLifetimeSegment(mangled, &experiment, &decoded, &error))
+        << "byte " << byte << " corrupted undetected";
+  }
+}
+
+}  // namespace
+}  // namespace tlsharm::warehouse

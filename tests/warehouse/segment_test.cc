@@ -1,0 +1,167 @@
+// Columnar segment codec round-trips: every stored field survives
+// encode -> decode for observation and lifetime segments, encoding is a
+// pure function of the rows, and the envelope peek agrees with the kind.
+#include "warehouse/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "tls/constants.h"
+#include "warehouse/format.h"
+
+namespace tlsharm::warehouse {
+namespace {
+
+using scanner::HandshakeObservation;
+
+HandshakeObservation MakeObservation(scanner::DomainIndex domain,
+                                     std::uint64_t salt) {
+  HandshakeObservation obs;
+  obs.domain = domain;
+  obs.connected = true;
+  obs.handshake_ok = (salt % 3) != 0;
+  obs.trusted = obs.handshake_ok && (salt % 5) != 0;
+  obs.failure = obs.handshake_ok ? scanner::ProbeFailure::kNone
+                                 : scanner::ProbeFailure::kTimeout;
+  obs.suite = (salt % 2) == 0 ? tls::CipherSuite::kEcdheWithAes128CbcSha256
+                              : tls::CipherSuite::kDheWithAes128CbcSha256;
+  obs.kex_group = static_cast<std::uint16_t>(salt * 7 % 0xffff);
+  obs.kex_value = salt * 0x9e3779b97f4a7c15ull + 1;
+  obs.session_id_set = (salt % 2) == 0;
+  obs.session_id = obs.session_id_set ? salt + 100 : scanner::kNoSecret;
+  obs.ticket_issued = (salt % 4) == 0;
+  obs.ticket_lifetime_hint = obs.ticket_issued ? 7200 : 0;
+  obs.stek_id = obs.ticket_issued ? salt + 999 : scanner::kNoSecret;
+  return obs;
+}
+
+void ExpectSameObservation(const HandshakeObservation& a,
+                           const HandshakeObservation& b) {
+  EXPECT_EQ(a.domain, b.domain);
+  EXPECT_EQ(a.connected, b.connected);
+  EXPECT_EQ(a.handshake_ok, b.handshake_ok);
+  EXPECT_EQ(a.trusted, b.trusted);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.suite, b.suite);
+  EXPECT_EQ(a.kex_group, b.kex_group);
+  EXPECT_EQ(a.kex_value, b.kex_value);
+  EXPECT_EQ(a.session_id_set, b.session_id_set);
+  EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_EQ(a.ticket_issued, b.ticket_issued);
+  EXPECT_EQ(a.ticket_lifetime_hint, b.ticket_lifetime_hint);
+  EXPECT_EQ(a.stek_id, b.stek_id);
+}
+
+TEST(SegmentCodecTest, ObservationSegmentRoundTrips) {
+  std::vector<HandshakeObservation> rows;
+  // Repeated domains (dictionary must intern), out-of-order domains
+  // (canonical scan order is by permutation, not index), extreme values.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    rows.push_back(MakeObservation(static_cast<scanner::DomainIndex>(
+                                       (i * 37) % 13),
+                                   i));
+  }
+  rows.push_back(MakeObservation(0xffffffffu, 3));
+  rows.back().kex_value = ~0ull;
+  rows.back().session_id = ~0ull;
+  rows.back().stek_id = ~0ull;
+  rows.back().ticket_lifetime_hint = 0xffffffffu;
+
+  const Bytes segment = EncodeObservationSegment(12, rows);
+  ASSERT_FALSE(segment.empty());
+
+  int day = -1;
+  std::vector<HandshakeObservation> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeObservationSegment(segment, &day, &decoded, &error))
+      << error;
+  EXPECT_EQ(day, 12);
+  ASSERT_EQ(decoded.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ExpectSameObservation(rows[i], decoded[i]);
+  }
+}
+
+TEST(SegmentCodecTest, EmptySegmentRoundTrips) {
+  const Bytes segment = EncodeObservationSegment(3, {});
+  int day = -1;
+  std::vector<HandshakeObservation> decoded{MakeObservation(1, 1)};
+  std::string error;
+  ASSERT_TRUE(DecodeObservationSegment(segment, &day, &decoded, &error))
+      << error;
+  EXPECT_EQ(day, 3);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SegmentCodecTest, EncodingIsDeterministic) {
+  std::vector<HandshakeObservation> rows;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rows.push_back(MakeObservation(static_cast<scanner::DomainIndex>(i % 7),
+                                   i));
+  }
+  EXPECT_EQ(EncodeObservationSegment(5, rows),
+            EncodeObservationSegment(5, rows));
+}
+
+TEST(SegmentCodecTest, LifetimeSegmentRoundTrips) {
+  scanner::ResumptionLifetimeResult result;
+  result.trusted_https = 420;
+  result.indicated = 300;
+  result.resumed_1s = 250;
+  for (scanner::DomainIndex d = 3; d < 100; d += 7) {
+    scanner::LifetimeMeasurement m;
+    m.domain = d;
+    m.max_delay = static_cast<SimTime>(d) * kMinute;
+    m.lifetime_hint = d * 60;
+    result.lifetimes.push_back(m);
+  }
+
+  const Bytes segment = EncodeLifetimeSegment(kExperimentTicket, result);
+  std::uint8_t experiment = 0xff;
+  scanner::ResumptionLifetimeResult decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeLifetimeSegment(segment, &experiment, &decoded, &error))
+      << error;
+  EXPECT_EQ(experiment, kExperimentTicket);
+  EXPECT_EQ(decoded.trusted_https, result.trusted_https);
+  EXPECT_EQ(decoded.indicated, result.indicated);
+  EXPECT_EQ(decoded.resumed_1s, result.resumed_1s);
+  ASSERT_EQ(decoded.lifetimes.size(), result.lifetimes.size());
+  for (std::size_t i = 0; i < result.lifetimes.size(); ++i) {
+    EXPECT_EQ(decoded.lifetimes[i].domain, result.lifetimes[i].domain);
+    EXPECT_EQ(decoded.lifetimes[i].max_delay, result.lifetimes[i].max_delay);
+    EXPECT_EQ(decoded.lifetimes[i].lifetime_hint,
+              result.lifetimes[i].lifetime_hint);
+  }
+}
+
+TEST(SegmentCodecTest, PeekReportsTheKind) {
+  std::uint8_t kind = 0xff;
+  std::string error;
+  ASSERT_TRUE(
+      PeekSegmentKind(EncodeObservationSegment(0, {}), &kind, &error))
+      << error;
+  EXPECT_EQ(kind, kKindObservations);
+  ASSERT_TRUE(PeekSegmentKind(
+      EncodeLifetimeSegment(kExperimentSessionId, {}), &kind, &error))
+      << error;
+  EXPECT_EQ(kind, kKindLifetime);
+}
+
+TEST(SegmentCodecTest, KindMismatchIsRejected) {
+  int day = 0;
+  std::vector<HandshakeObservation> rows;
+  std::string error;
+  EXPECT_FALSE(DecodeObservationSegment(
+      EncodeLifetimeSegment(kExperimentTicket, {}), &day, &rows, &error));
+  EXPECT_NE(error.find("not an observation segment"), std::string::npos)
+      << error;
+
+  std::uint8_t experiment = 0;
+  scanner::ResumptionLifetimeResult result;
+  EXPECT_FALSE(DecodeLifetimeSegment(EncodeObservationSegment(0, {}),
+                                     &experiment, &result, &error));
+  EXPECT_NE(error.find("not a lifetime segment"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace tlsharm::warehouse
