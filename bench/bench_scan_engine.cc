@@ -9,9 +9,12 @@
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common.h"
+#include "obs/fleet.h"
 #include "obs/metrics.h"
+#include "scanner/prober.h"
 #include "scanner/scan_engine.h"
 
 using namespace tlsharm;
@@ -35,6 +38,64 @@ scanner::DailyScanResult RunOnce(bench::World& world, int threads,
       *world.net, world.days, bench::StudySeed() + 301, options);
   elapsed_ms = MsSince(start);
   return result;
+}
+
+// Resumption-heavy scenario. The plain daily scan never resumes, so its
+// metrics always show resume.attempts = 0 / fleet.session.hits = 0 and the
+// resumption crypto (ticket decrypt, abbreviated-handshake PRF, session
+// cache lookups) goes unmeasured. Here day 0 stores a session per domain,
+// then every later day replays each stored session over both resumption
+// paths (session ID and ticket) before the cache/STEK state expires.
+struct ResumeScenarioResult {
+  std::uint64_t resumes = 0;
+  std::uint64_t accepted = 0;
+  double us_per_resume = 0;
+  std::string metrics_json;
+};
+
+ResumeScenarioResult RunResumptionScenario(std::size_t population, int days) {
+  simnet::Internet net(simnet::PaperPopulationSpec(population),
+                       bench::StudySeed() + 977);
+  scanner::Prober prober(net, bench::StudySeed() + 978);
+  obs::MetricsRegistry metrics;
+  prober.SetMetrics(&metrics);
+
+  scanner::ProbeOptions options;
+  options.want_full_result = true;
+
+  ResumeScenarioResult r;
+  std::vector<scanner::StoredSession> sessions;
+  const SimTime day0 = scanner::ScanDayStart(0);
+  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
+    const scanner::ProbeResult result = prober.Probe(id, day0, options);
+    if (result.session.valid) sessions.push_back(result.session);
+  }
+
+  // Replay each stored session at a ladder of ages, from seconds to days —
+  // the same shape as the paper's lifetime sweeps, so short offsets land
+  // accepted resumptions (cache hits, ticket decrypts) and long ones land
+  // rejections (full-handshake fallback).
+  std::vector<SimTime> offsets = {30, 5 * 60, 3600, 6 * 3600};
+  for (int day = 1; day < days; ++day) {
+    offsets.push_back(static_cast<SimTime>(day) * kDay);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  SimTime last = day0;
+  for (const SimTime offset : offsets) {
+    last = day0 + offset;
+    for (const scanner::StoredSession& session : sessions) {
+      r.accepted += prober.TryResumeId(session, session.domain, last) ? 1 : 0;
+      r.accepted +=
+          prober.TryResumeTicket(session, session.domain, last + 1) ? 1 : 0;
+      r.resumes += 2;
+    }
+  }
+  const double elapsed_us = MsSince(start) * 1000.0;
+  r.us_per_resume =
+      r.resumes == 0 ? 0 : elapsed_us / static_cast<double>(r.resumes);
+  obs::CollectFleetMetrics(net, last, metrics);
+  r.metrics_json = metrics.SnapshotJson();
+  return r;
 }
 
 }  // namespace
@@ -95,6 +156,25 @@ int main() {
   bench::PrintRow("speedup", "-", speedup_str);
   bench::PrintRow("results identical", "yes", matches ? "yes" : "NO");
 
+  // Absolute throughput of the production (sharded) configuration.
+  const double us_per_probe =
+      probes > 0 ? parallel_ms * 1000.0 / static_cast<double>(probes) : 0;
+  const double probes_per_sec =
+      parallel_ms > 0 ? static_cast<double>(probes) * 1000.0 / parallel_ms : 0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f us", us_per_probe);
+  bench::PrintRow("us per probe (sharded)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.0f", probes_per_sec);
+  bench::PrintRow("probes per second (sharded)", "-", buf);
+
+  const ResumeScenarioResult resume =
+      RunResumptionScenario(world.population, world.days);
+  std::snprintf(buf, sizeof(buf), "%.1f us (%llu resumes, %llu accepted)",
+                resume.us_per_resume,
+                static_cast<unsigned long long>(resume.resumes),
+                static_cast<unsigned long long>(resume.accepted));
+  bench::PrintRow("resumption-heavy: us per resume", "-", buf);
+
   bench::JsonReport report("scan");
   report.Add("population", static_cast<std::uint64_t>(world.population));
   report.Add("days", world.days);
@@ -104,9 +184,15 @@ int main() {
   report.Add("serial_ms", serial_ms);
   report.Add("parallel_ms", parallel_ms);
   report.Add("speedup", speedup);
+  report.Add("us_per_probe", us_per_probe);
+  report.Add("probes_per_sec", probes_per_sec);
+  report.Add("resume_count", resume.resumes);
+  report.Add("resume_accepted", resume.accepted);
+  report.Add("resume_us_per_probe", resume.us_per_resume);
   report.AddString("deterministic", matches ? "yes" : "no");
   report.AddString("metrics_deterministic", metrics_match ? "yes" : "no");
   report.AddRaw("metrics", metrics_json);
+  report.AddRaw("resume_metrics", resume.metrics_json);
   const std::string path = report.Write();
   std::printf("\nwrote %s\n", path.c_str());
   return matches ? 0 : 1;

@@ -66,9 +66,29 @@ diff <(grep -v "built in" "${whdir}/live.txt") \
      <(grep -v "built in" "${whdir}/replay.txt")
 echo "record and replay match the live scan"
 
-run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
-run_config "tsan" "${repo}/build-tsan" \
-  --filter 'CryptoVectors|ParallelDeterminism|Sharded|Telemetry' \
-  -DTLSHARM_SANITIZE=thread
+# Perf-correctness gate: the optimized crypto paths (windowed modexp,
+# midstate HMAC/PRF, cross-probe memoization) must be observably identical
+# to the naive reference implementations. Run the instrumented study both
+# ways and diff every deterministic line of telemetry, then let
+# bench_crypto's built-in differential harness cross-check each path pair
+# (including a probe-loop observation digest).
+echo "== perf-correctness: reference vs optimized crypto =="
+TLSHARM_REFERENCE_CRYPTO=1 "${repo}/build/examples/scanstats" \
+  > "${whdir}/stats-ref.txt"
+"${repo}/build/examples/scanstats" > "${whdir}/stats-opt.txt"
+diff <(grep -v "built in" "${whdir}/stats-ref.txt") \
+     <(grep -v "built in" "${whdir}/stats-opt.txt")
+echo "reference and optimized crypto produce identical scan telemetry"
+echo "== perf-correctness: bench_crypto --selftest =="
+"${repo}/build/bench/bench_crypto" --selftest
 
-echo "All checks passed (plain + observability + warehouse + sanitized + tsan)."
+run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
+echo "== sanitized: bench_crypto --selftest (ASan + UBSan) =="
+"${repo}/build-asan/bench/bench_crypto" --selftest
+run_config "tsan" "${repo}/build-tsan" \
+  --filter 'CryptoVectors|Differential|ParallelDeterminism|Sharded|Telemetry' \
+  -DTLSHARM_SANITIZE=thread
+echo "== tsan: bench_crypto --selftest =="
+"${repo}/build-tsan/bench/bench_crypto" --selftest
+
+echo "All checks passed (plain + observability + warehouse + perf-correctness + sanitized + tsan)."

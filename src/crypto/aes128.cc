@@ -174,7 +174,11 @@ void Aes128::DecryptBlock(const std::uint8_t* in, std::uint8_t* out) const {
 
 Bytes Aes128CbcEncrypt(const Aes128Key& key, const AesBlock& iv,
                        ByteView plaintext) {
-  const Aes128 cipher(key);
+  return Aes128CbcEncrypt(Aes128(key), iv, plaintext);
+}
+
+Bytes Aes128CbcEncrypt(const Aes128& cipher, const AesBlock& iv,
+                       ByteView plaintext) {
   const std::size_t pad =
       kAesBlockSize - (plaintext.size() % kAesBlockSize);
   Bytes padded(plaintext.begin(), plaintext.end());
@@ -195,10 +199,14 @@ Bytes Aes128CbcEncrypt(const Aes128Key& key, const AesBlock& iv,
 
 std::optional<Bytes> Aes128CbcDecrypt(const Aes128Key& key, const AesBlock& iv,
                                       ByteView ciphertext) {
+  return Aes128CbcDecrypt(Aes128(key), iv, ciphertext);
+}
+
+std::optional<Bytes> Aes128CbcDecrypt(const Aes128& cipher, const AesBlock& iv,
+                                      ByteView ciphertext) {
   if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
     return std::nullopt;
   }
-  const Aes128 cipher(key);
   Bytes out(ciphertext.size());
   AesBlock chain = iv;
   for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {

@@ -42,6 +42,14 @@ Bytes Aes128CbcEncrypt(const Aes128Key& key, const AesBlock& iv,
 std::optional<Bytes> Aes128CbcDecrypt(const Aes128Key& key, const AesBlock& iv,
                                       ByteView ciphertext);
 
+// Same modes over an already-expanded cipher context, so callers that
+// encrypt many payloads under one key (a STEK epoch) pay the key schedule
+// once instead of per call. Identical output to the key-taking overloads.
+Bytes Aes128CbcEncrypt(const Aes128& cipher, const AesBlock& iv,
+                       ByteView plaintext);
+std::optional<Bytes> Aes128CbcDecrypt(const Aes128& cipher, const AesBlock& iv,
+                                      ByteView ciphertext);
+
 // Helpers to adapt Bytes-typed key/IV material (asserts on size mismatch).
 Aes128Key ToAesKey(ByteView b);
 AesBlock ToAesBlock(ByteView b);

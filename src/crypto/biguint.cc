@@ -1,11 +1,21 @@
 #include "crypto/biguint.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
+
+#include "crypto/tuning.h"
 
 namespace tlsharm::crypto {
 
 using u128 = unsigned __int128;
+
+namespace {
+// Scratch buffers for moduli up to this many limbs live on the stack; the
+// shipped groups use 1 (sim61) or 4 (sim256) limbs, so the heap fallback
+// only triggers for outsized test moduli.
+constexpr std::size_t kStackLimbs = 64;
+}  // namespace
 
 void BigUInt::Normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
@@ -209,10 +219,37 @@ Montgomery::Montgomery(const BigUInt& modulus) : n_(modulus) {
   t64_ = t;
 }
 
+std::uint64_t Montgomery::MontMul64(std::uint64_t a, std::uint64_t b) const {
+  // One-limb REDC: r = a*b*R^{-1} mod n with R = 2^64. The low 64 bits of
+  // t + m*n are zero by construction, so the carry out of them is 1 exactly
+  // when low64(t) is nonzero.
+  const std::uint64_t n = n_.limbs_[0];
+  const u128 t = static_cast<u128>(a) * b;
+  const std::uint64_t m = static_cast<std::uint64_t>(t) * n0inv_;
+  const u128 mn = static_cast<u128>(m) * n;
+  u128 r = (t >> 64) + (mn >> 64) +
+           (static_cast<std::uint64_t>(t) != 0 ? 1 : 0);
+  if (r >= n) r -= n;
+  return static_cast<std::uint64_t>(r);
+}
+
 void Montgomery::MontMul(const std::uint64_t* a, const std::uint64_t* b,
                          std::uint64_t* out) const {
-  // CIOS: t has k_+2 limbs.
-  std::vector<std::uint64_t> t(k_ + 2, 0);
+  if (k_ == 1) {
+    out[0] = MontMul64(a[0], b[0]);
+    return;
+  }
+  // CIOS: t has k_+2 limbs. Stack scratch keeps the per-multiply cost free
+  // of allocations (this is the exponentiation inner loop).
+  std::uint64_t t_stack[kStackLimbs + 2];
+  std::vector<std::uint64_t> t_heap;
+  std::uint64_t* t = t_stack;
+  if (k_ > kStackLimbs) {
+    t_heap.assign(k_ + 2, 0);
+    t = t_heap.data();
+  } else {
+    std::fill(t, t + k_ + 2, 0);
+  }
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
     std::uint64_t carry = 0;
@@ -338,7 +375,47 @@ std::uint64_t Montgomery::PowModU64(std::uint64_t base,
   return result;
 }
 
-BigUInt Montgomery::PowMod(const BigUInt& base, const BigUInt& exp) const {
+std::uint64_t Montgomery::PowModU64Windowed(std::uint64_t base,
+                                            const BigUInt& exp) const {
+  const std::uint64_t n = n_.limbs_[0];
+  const std::uint64_t one_m = r_mod_n_.Limb(0);  // 1 in Montgomery domain
+  const std::uint64_t b = MontMul64(base % n, rr_.Limb(0));
+  std::uint64_t table[8];  // b^1, b^3, ..., b^15 (Montgomery domain)
+  table[0] = b;
+  const std::uint64_t sq = MontMul64(b, b);
+  for (int i = 1; i < 8; ++i) table[i] = MontMul64(table[i - 1], sq);
+  // Inline bit access: BigUInt::Bit is an out-of-line call, too slow to
+  // invoke once per exponent bit on this sub-microsecond path.
+  const auto bit = [&exp](std::size_t j) {
+    return (exp.Limb(j >> 6) >> (j & 63)) & 1;
+  };
+  std::uint64_t acc = one_m;
+  bool started = false;
+  std::size_t i = exp.BitLength();
+  while (i > 0) {
+    if (!bit(i - 1)) {
+      if (started) acc = MontMul64(acc, acc);
+      --i;
+      continue;
+    }
+    // Window [i-1 .. l] ending at a set bit, so the digit is odd.
+    std::size_t l = i >= 4 ? i - 4 : 0;
+    while (!bit(l)) ++l;
+    int digit = 0;
+    for (std::size_t j = i; j-- > l;) {
+      if (started) acc = MontMul64(acc, acc);
+      digit = (digit << 1) | static_cast<int>(bit(j));
+    }
+    acc = started ? MontMul64(acc, table[digit >> 1])
+                  : table[digit >> 1];
+    started = true;
+    i = l;
+  }
+  return MontMul64(started ? acc : one_m, 1);  // out of the Montgomery domain
+}
+
+BigUInt Montgomery::PowModReference(const BigUInt& base,
+                                    const BigUInt& exp) const {
   if (k_ == 1) {
     const std::uint64_t b =
         base.LimbCount() <= 1 ? base.Limb(0)
@@ -354,6 +431,250 @@ BigUInt Montgomery::PowMod(const BigUInt& base, const BigUInt& exp) const {
     if (exp.Bit(i)) result = MontMulBig(result, base_m);
   }
   return FromMont(result);
+}
+
+BigUInt Montgomery::PowMod(const BigUInt& base, const BigUInt& exp) const {
+  if (ReferenceCryptoEnabled()) return PowModReference(base, exp);
+  if (k_ == 1) {
+    const std::uint64_t b =
+        base.LimbCount() <= 1 ? base.Limb(0) : Reduce(base).Limb(0);
+    return BigUInt::FromU64(PowModU64Windowed(b, exp));
+  }
+  if (BigUInt::Compare(base, n_) < 0) {
+    return PowModWindowed(PrecomputeOddPowers(base), exp);
+  }
+  return PowModWindowed(PrecomputeOddPowers(Reduce(base)), exp);
+}
+
+// --- windowed exponentiation ------------------------------------------------
+//
+// All table entries and accumulators below are k_-limb values in the
+// Montgomery domain. MontMul tolerates out aliasing an input (it reads
+// operand limbs before the final copy-out), so squarings run in place.
+
+void Montgomery::ToMontLimbs(const BigUInt& a, std::uint64_t* out) const {
+  std::uint64_t stack[2 * kStackLimbs];
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* buf = stack;
+  if (k_ > kStackLimbs) {
+    heap.assign(2 * k_, 0);
+    buf = heap.data();
+  }
+  std::uint64_t* al = buf;
+  std::uint64_t* rl = buf + k_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    al[i] = a.Limb(i);
+    rl[i] = rr_.Limb(i);
+  }
+  MontMul(al, rl, out);
+}
+
+BigUInt Montgomery::FromMontLimbs(const std::uint64_t* a) const {
+  std::uint64_t stack[2 * kStackLimbs];
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* buf = stack;
+  if (k_ > kStackLimbs) {
+    heap.assign(2 * k_, 0);
+    buf = heap.data();
+  }
+  std::uint64_t* one = buf;
+  std::uint64_t* out = buf + k_;
+  std::fill(one, one + k_, 0);
+  one[0] = 1;
+  MontMul(a, one, out);
+  BigUInt r;
+  r.limbs_.assign(out, out + k_);
+  r.Normalize();
+  return r;
+}
+
+Montgomery::OddPowers Montgomery::PrecomputeOddPowers(
+    const BigUInt& base) const {
+  OddPowers t;
+  t.limbs_.assign(8 * k_, 0);
+  std::uint64_t sq_stack[kStackLimbs];
+  std::vector<std::uint64_t> sq_heap;
+  std::uint64_t* sq = sq_stack;
+  if (k_ > kStackLimbs) {
+    sq_heap.assign(k_, 0);
+    sq = sq_heap.data();
+  }
+  ToMontLimbs(base, t.limbs_.data());             // base^1
+  MontMul(t.limbs_.data(), t.limbs_.data(), sq);  // base^2
+  for (std::size_t i = 1; i < 8; ++i) {           // base^(2i+1)
+    MontMul(&t.limbs_[(i - 1) * k_], sq, &t.limbs_[i * k_]);
+  }
+  return t;
+}
+
+Montgomery::WindowTable Montgomery::PrecomputeWindowTable(
+    const BigUInt& base) const {
+  WindowTable t;
+  t.limbs_.assign(15 * k_, 0);
+  ToMontLimbs(base, t.limbs_.data());  // base^1
+  for (std::size_t d = 2; d <= 15; ++d) {
+    MontMul(&t.limbs_[(d - 2) * k_], t.limbs_.data(),
+            &t.limbs_[(d - 1) * k_]);
+  }
+  return t;
+}
+
+Montgomery::FixedBaseTable Montgomery::PrecomputeFixedBase(
+    const BigUInt& base, std::size_t max_exp_bits) const {
+  FixedBaseTable t;
+  t.windows_ = (max_exp_bits + 3) / 4;
+  t.limbs_.assign(t.windows_ * 15 * k_, 0);
+  std::uint64_t cur_stack[kStackLimbs];
+  std::vector<std::uint64_t> cur_heap;
+  std::uint64_t* cur = cur_stack;
+  if (k_ > kStackLimbs) {
+    cur_heap.assign(k_, 0);
+    cur = cur_heap.data();
+  }
+  ToMontLimbs(base, cur);  // base^(16^0)
+  for (std::size_t w = 0; w < t.windows_; ++w) {
+    std::uint64_t* window = &t.limbs_[w * 15 * k_];
+    std::copy(cur, cur + k_, window);  // d = 1
+    for (std::size_t d = 2; d <= 15; ++d) {
+      MontMul(&window[(d - 2) * k_], cur, &window[(d - 1) * k_]);
+    }
+    if (w + 1 < t.windows_) {
+      MontMul(&window[14 * k_], cur, cur);  // base^(16^(w+1))
+    }
+  }
+  return t;
+}
+
+BigUInt Montgomery::PowModWindowed(const OddPowers& table,
+                                   const BigUInt& exp) const {
+  assert(table.limbs_.size() == 8 * k_);
+  std::uint64_t acc_stack[kStackLimbs];
+  std::vector<std::uint64_t> acc_heap;
+  std::uint64_t* acc = acc_stack;
+  if (k_ > kStackLimbs) {
+    acc_heap.assign(k_, 0);
+    acc = acc_heap.data();
+  }
+  bool started = false;
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(exp.BitLength()) - 1;
+  while (i >= 0) {
+    if (!exp.Bit(static_cast<std::size_t>(i))) {
+      MontMul(acc, acc, acc);  // started is implied: the top bit is set
+      --i;
+      continue;
+    }
+    // Widest window [i, l] with an odd value (bit l set), at most 4 bits.
+    std::ptrdiff_t l = i >= 3 ? i - 3 : 0;
+    while (!exp.Bit(static_cast<std::size_t>(l))) ++l;
+    int digit = 0;
+    for (std::ptrdiff_t j = i; j >= l; --j) {
+      digit = (digit << 1) | (exp.Bit(static_cast<std::size_t>(j)) ? 1 : 0);
+    }
+    const std::uint64_t* entry = &table.limbs_[(digit >> 1) * k_];
+    if (started) {
+      for (std::ptrdiff_t j = i; j >= l; --j) MontMul(acc, acc, acc);
+      MontMul(acc, entry, acc);
+    } else {
+      std::copy(entry, entry + k_, acc);
+      started = true;
+    }
+    i = l - 1;
+  }
+  if (!started) {
+    for (std::size_t j = 0; j < k_; ++j) acc[j] = r_mod_n_.Limb(j);
+  }
+  return FromMontLimbs(acc);
+}
+
+BigUInt Montgomery::PowModFixedBase(const FixedBaseTable& table,
+                                    const BigUInt& exp) const {
+  assert(exp.BitLength() <= table.MaxExpBits());
+  const std::size_t windows = (exp.BitLength() + 3) / 4;
+  if (k_ == 1) {
+    std::uint64_t acc64 = 0;
+    bool started64 = false;
+    for (std::size_t i = 0; i < windows; ++i) {
+      const int d = Nibble(exp, i);
+      if (d == 0) continue;
+      const std::uint64_t entry =
+          table.limbs_[i * 15 + static_cast<std::size_t>(d) - 1];
+      acc64 = started64 ? MontMul64(acc64, entry) : entry;
+      started64 = true;
+    }
+    if (!started64) acc64 = r_mod_n_.Limb(0);
+    return BigUInt::FromU64(MontMul64(acc64, 1));
+  }
+  std::uint64_t acc_stack[kStackLimbs];
+  std::vector<std::uint64_t> acc_heap;
+  std::uint64_t* acc = acc_stack;
+  if (k_ > kStackLimbs) {
+    acc_heap.assign(k_, 0);
+    acc = acc_heap.data();
+  }
+  bool started = false;
+  for (std::size_t i = 0; i < windows; ++i) {
+    const int d = Nibble(exp, i);
+    if (d == 0) continue;
+    const std::uint64_t* entry =
+        &table.limbs_[(i * 15 + static_cast<std::size_t>(d) - 1) * k_];
+    if (started) {
+      MontMul(acc, entry, acc);
+    } else {
+      std::copy(entry, entry + k_, acc);
+      started = true;
+    }
+  }
+  if (!started) {
+    for (std::size_t j = 0; j < k_; ++j) acc[j] = r_mod_n_.Limb(j);
+  }
+  return FromMontLimbs(acc);
+}
+
+BigUInt Montgomery::PowModDouble(const WindowTable& a, const BigUInt& ea,
+                                 const WindowTable& b,
+                                 const BigUInt& eb) const {
+  assert(a.limbs_.size() == 15 * k_ && b.limbs_.size() == 15 * k_);
+  std::uint64_t acc_stack[kStackLimbs];
+  std::vector<std::uint64_t> acc_heap;
+  std::uint64_t* acc = acc_stack;
+  if (k_ > kStackLimbs) {
+    acc_heap.assign(k_, 0);
+    acc = acc_heap.data();
+  }
+  bool started = false;
+  const std::size_t windows =
+      (std::max(ea.BitLength(), eb.BitLength()) + 3) / 4;
+  for (std::size_t i = windows; i-- > 0;) {
+    if (started) {
+      for (int s = 0; s < 4; ++s) MontMul(acc, acc, acc);
+    }
+    const int da = Nibble(ea, i);
+    if (da != 0) {
+      const std::uint64_t* entry =
+          &a.limbs_[(static_cast<std::size_t>(da) - 1) * k_];
+      if (started) {
+        MontMul(acc, entry, acc);
+      } else {
+        std::copy(entry, entry + k_, acc);
+        started = true;
+      }
+    }
+    const int db = Nibble(eb, i);
+    if (db != 0) {
+      const std::uint64_t* entry =
+          &b.limbs_[(static_cast<std::size_t>(db) - 1) * k_];
+      if (started) {
+        MontMul(acc, entry, acc);
+      } else {
+        std::copy(entry, entry + k_, acc);
+        started = true;
+      }
+    }
+  }
+  if (!started) {
+    for (std::size_t j = 0; j < k_; ++j) acc[j] = r_mod_n_.Limb(j);
+  }
+  return FromMontLimbs(acc);
 }
 
 BigUInt Montgomery::Reduce(const BigUInt& a) const {

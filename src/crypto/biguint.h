@@ -59,8 +59,58 @@ class BigUInt {
 
 // Montgomery context over an odd modulus n. All public operations take and
 // return values in the ordinary (non-Montgomery) domain.
+//
+// Exponentiation runs one of two ways. The reference path (PowModReference,
+// selected globally by crypto::ReferenceCryptoEnabled()) is the original
+// MSB-first square-and-multiply ladder, kept verbatim as the differential
+// baseline. The optimized path uses w=4 windowing: a sliding window over a
+// precomputed odd-powers table for one-off bases, and — for bases that are
+// fixed for the lifetime of a group (DH generators, Schnorr subgroup
+// generators) — caller-cached tables that eliminate the squaring chain
+// (FixedBaseTable) or share it between two exponents (Shamir's trick via
+// WindowTable). Both paths compute the same mathematical function, so
+// their outputs are byte-identical.
 class Montgomery {
  public:
+  // Precomputed odd powers base^1, base^3, ..., base^15 in the Montgomery
+  // domain: the table behind sliding-window (w=4) exponentiation.
+  class OddPowers {
+   public:
+    bool Empty() const { return limbs_.empty(); }
+
+   private:
+    friend class Montgomery;
+    std::vector<std::uint64_t> limbs_;  // 8 entries x k limbs
+  };
+
+  // Full window table base^1 .. base^15 (Montgomery domain), for fixed-
+  // window exponentiation where every digit needs a table entry — in
+  // particular Shamir's double exponentiation, which interleaves two
+  // exponents over one shared squaring chain.
+  class WindowTable {
+   public:
+    bool Empty() const { return limbs_.empty(); }
+
+   private:
+    friend class Montgomery;
+    std::vector<std::uint64_t> limbs_;  // 15 entries x k limbs
+  };
+
+  // Positional table for a constant base: entry (i, d) holds
+  // base^(d * 16^i) in the Montgomery domain, so base^e is a product of
+  // one entry per nonzero exponent nibble — no squarings at all.
+  class FixedBaseTable {
+   public:
+    bool Empty() const { return limbs_.empty(); }
+    // Largest exponent bit length the table covers.
+    std::size_t MaxExpBits() const { return 4 * windows_; }
+
+   private:
+    friend class Montgomery;
+    std::size_t windows_ = 0;
+    std::vector<std::uint64_t> limbs_;  // windows x 15 entries x k limbs
+  };
+
   explicit Montgomery(const BigUInt& modulus);
 
   const BigUInt& Modulus() const { return n_; }
@@ -71,17 +121,41 @@ class Montgomery {
   BigUInt AddMod(const BigUInt& a, const BigUInt& b) const;
   // (a - b) mod n; a, b < n.
   BigUInt SubMod(const BigUInt& a, const BigUInt& b) const;
-  // base^exp mod n; base < n.
+  // base^exp mod n. Dispatches to PowModReference when the global
+  // reference-crypto flag is on, else to the sliding-window path.
   BigUInt PowMod(const BigUInt& base, const BigUInt& exp) const;
+  // The original square-and-multiply ladder (naive baseline).
+  BigUInt PowModReference(const BigUInt& base, const BigUInt& exp) const;
   // Reduces an arbitrary-size value mod n by processing 64-bit digits.
   BigUInt Reduce(const BigUInt& a) const;
   // Reduces a big-endian byte string mod n (hash-to-scalar).
   BigUInt ReduceBytes(ByteView b) const;
 
+  // Table construction; base must be < n (Reduce() it first otherwise).
+  OddPowers PrecomputeOddPowers(const BigUInt& base) const;
+  WindowTable PrecomputeWindowTable(const BigUInt& base) const;
+  FixedBaseTable PrecomputeFixedBase(const BigUInt& base,
+                                     std::size_t max_exp_bits) const;
+
+  // base^exp via a precomputed table. The table must come from this
+  // Montgomery instance. PowModFixedBase requires
+  // exp.BitLength() <= table.MaxExpBits().
+  BigUInt PowModWindowed(const OddPowers& table, const BigUInt& exp) const;
+  BigUInt PowModFixedBase(const FixedBaseTable& table,
+                          const BigUInt& exp) const;
+  // a^ea * b^eb mod n with one shared squaring chain (Shamir/Straus).
+  BigUInt PowModDouble(const WindowTable& a, const BigUInt& ea,
+                       const WindowTable& b, const BigUInt& eb) const;
+
  private:
   // Single-limb fast paths (the 61-bit simulation groups): native
   // __int128 arithmetic, no allocation.
   std::uint64_t PowModU64(std::uint64_t base, const BigUInt& exp) const;
+  // Its optimized counterpart: sliding-window (w=4) exponentiation with an
+  // on-stack odd-powers table, entirely in u64 Montgomery arithmetic.
+  std::uint64_t PowModU64Windowed(std::uint64_t base, const BigUInt& exp) const;
+  // Montgomery product of single-limb values a, b < n (REDC).
+  std::uint64_t MontMul64(std::uint64_t a, std::uint64_t b) const;
 
   // Core CIOS Montgomery multiply of two k-limb mont-domain values.
   void MontMul(const std::uint64_t* a, const std::uint64_t* b,
@@ -91,6 +165,14 @@ class Montgomery {
   BigUInt ToMont(const BigUInt& a) const;
   BigUInt FromMont(const BigUInt& a) const;
   BigUInt CondSub(BigUInt a) const;  // a in [0, 2n) -> a mod n
+
+  // Limb-buffer helpers for the windowed paths (all k_ limbs wide, values
+  // in the Montgomery domain unless noted).
+  void ToMontLimbs(const BigUInt& a, std::uint64_t* out) const;
+  BigUInt FromMontLimbs(const std::uint64_t* a) const;
+  static int Nibble(const BigUInt& e, std::size_t i) {
+    return static_cast<int>((e.Limb(i / 16) >> (4 * (i % 16))) & 0xF);
+  }
 
   BigUInt n_;
   std::size_t k_ = 0;          // limb count of n

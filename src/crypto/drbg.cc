@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "crypto/tuning.h"
+
 namespace tlsharm::crypto {
 
 Drbg::Drbg(ByteView seed_material)
@@ -9,15 +11,43 @@ Drbg::Drbg(ByteView seed_material)
   Update(seed_material);
 }
 
+HmacSha256& Drbg::KeyedHmac() {
+  if (!hmac_keyed_) {
+    hmac_.SetKey(key_);
+    hmac_keyed_ = true;
+  }
+  return hmac_;
+}
+
 void Drbg::Update(ByteView provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  Bytes data = Concat({v_, Bytes{0x00}, provided});
-  key_ = HmacSha256Bytes(key_, data);
-  v_ = HmacSha256Bytes(key_, v_);
-  if (!provided.empty()) {
-    data = Concat({v_, Bytes{0x01}, provided});
+  if (ReferenceCryptoEnabled()) {
+    Bytes data = Concat({v_, Bytes{0x00}, provided});
     key_ = HmacSha256Bytes(key_, data);
     v_ = HmacSha256Bytes(key_, v_);
+    if (!provided.empty()) {
+      data = Concat({v_, Bytes{0x01}, provided});
+      key_ = HmacSha256Bytes(key_, data);
+      v_ = HmacSha256Bytes(key_, v_);
+    }
+    hmac_keyed_ = false;  // key_ changed without re-keying hmac_
+    return;
+  }
+  const std::uint8_t rounds = provided.empty() ? 1 : 2;
+  for (std::uint8_t round = 0; round < rounds; ++round) {
+    HmacSha256& hmac = KeyedHmac();
+    hmac.Reset();
+    hmac.Update(v_);
+    const std::uint8_t sep[1] = {round};
+    hmac.Update(ByteView(sep, 1));
+    hmac.Update(provided);
+    const Sha256Digest k = hmac.Finish();
+    key_.assign(k.begin(), k.end());
+    hmac_.SetKey(key_);
+    hmac_.Update(v_);
+    const Sha256Digest v = hmac_.Finish();
+    v_.assign(v.begin(), v.end());
+    hmac_.Reset();
   }
 }
 
@@ -26,8 +56,21 @@ void Drbg::Reseed(ByteView seed_material) { Update(seed_material); }
 Bytes Drbg::Generate(std::size_t n) {
   Bytes out;
   out.reserve(n);
+  if (ReferenceCryptoEnabled()) {
+    while (out.size() < n) {
+      v_ = HmacSha256Bytes(key_, v_);
+      const std::size_t take = std::min(v_.size(), n - out.size());
+      out.insert(out.end(), v_.begin(), v_.begin() + take);
+    }
+    Update({});
+    return out;
+  }
+  HmacSha256& hmac = KeyedHmac();
   while (out.size() < n) {
-    v_ = HmacSha256Bytes(key_, v_);
+    hmac.Reset();
+    hmac.Update(v_);
+    const Sha256Digest v = hmac.Finish();
+    v_.assign(v.begin(), v.end());
     const std::size_t take = std::min(v_.size(), n - out.size());
     out.insert(out.end(), v_.begin(), v_.begin() + take);
   }

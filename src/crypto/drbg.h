@@ -27,9 +27,16 @@ class Drbg {
 
  private:
   void Update(ByteView provided);
+  // Returns the keyed context, (re)keying it with key_ first if a
+  // reference-mode call changed the key behind its back.
+  HmacSha256& KeyedHmac();
 
   Bytes key_;  // K, 32 bytes
   Bytes v_;    // V, 32 bytes
+  // Midstate-cached HMAC keyed with key_ (optimized path): Generate's
+  // V = HMAC(K, V) chain reuses it instead of rehashing K per call.
+  HmacSha256 hmac_;
+  bool hmac_keyed_ = false;
 };
 
 }  // namespace tlsharm::crypto

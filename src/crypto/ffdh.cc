@@ -1,5 +1,7 @@
 #include "crypto/ffdh.h"
 
+#include "crypto/tuning.h"
+
 namespace tlsharm::crypto {
 
 const FfdhParams& FfdhSim61Params() {
@@ -30,6 +32,7 @@ FfdhGroup::FfdhGroup(const FfdhParams& params)
       q_(BigUInt::FromHex(params.q_hex)),
       g_(BigUInt::FromU64(params.g)),
       mont_p_(p_),
+      g_table_(mont_p_.PrecomputeFixedBase(g_, q_.BitLength())),
       value_width_((p_.BitLength() + 7) / 8) {}
 
 KexKeyPair FfdhGroup::GenerateKeyPair(Drbg& drbg) const {
@@ -46,7 +49,9 @@ KexKeyPair FfdhGroup::GenerateKeyPair(Drbg& drbg) const {
     x = BigUInt::FromBytes(raw);
     if (BigUInt::Compare(x, two) >= 0 && BigUInt::Compare(x, q_) < 0) break;
   }
-  const BigUInt pub = mont_p_.PowMod(g_, x);
+  const BigUInt pub = ReferenceCryptoEnabled()
+                          ? mont_p_.PowMod(g_, x)
+                          : mont_p_.PowModFixedBase(g_table_, x);
   return KexKeyPair{.private_key = x.ToBytes(q_width),
                     .public_value = pub.ToBytes(value_width_)};
 }

@@ -45,6 +45,10 @@ class FfdhGroup final : public KexGroup {
   BigUInt q_;
   BigUInt g_;
   Montgomery mont_p_;
+  // Generator-powers table: private exponents live in [2, q), so the table
+  // covers q's bit length and keygen needs no squarings at all. Built once
+  // at group construction, immutable afterwards (thread-safe to share).
+  Montgomery::FixedBaseTable g_table_;
   std::size_t value_width_;
 };
 

@@ -2,39 +2,75 @@
 
 #include <cstring>
 
-namespace tlsharm::crypto {
+#include "crypto/tuning.h"
 
-HmacSha256::HmacSha256(ByteView key) {
+namespace tlsharm::crypto {
+namespace {
+
+// Expands `key` to one block (hashing it down first if longer, per the
+// RFC) and XORs in the pad byte.
+std::array<std::uint8_t, kSha256BlockSize> PadKey(ByteView key,
+                                                  std::uint8_t pad) {
   std::array<std::uint8_t, kSha256BlockSize> block_key{};
   if (key.size() > kSha256BlockSize) {
     const Sha256Digest hashed = Sha256Hash(key);
     std::memcpy(block_key.data(), hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
-  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
-    ipad_key_[i] = block_key[i] ^ 0x36;
-    opad_key_[i] = block_key[i] ^ 0x5c;
-  }
-  Reset();
+  for (auto& b : block_key) b ^= pad;
+  return block_key;
 }
 
-void HmacSha256::Reset() {
-  inner_.Reset();
-  inner_.Update(ByteView(ipad_key_.data(), ipad_key_.size()));
+}  // namespace
+
+void HmacSha256::SetKey(ByteView key) {
+  const auto ipad_key = PadKey(key, 0x36);
+  const auto opad_key = PadKey(key, 0x5c);
+  inner_mid_.Reset();
+  inner_mid_.Update(ByteView(ipad_key.data(), ipad_key.size()));
+  outer_mid_.Reset();
+  outer_mid_.Update(ByteView(opad_key.data(), opad_key.size()));
+  inner_ = inner_mid_;
 }
+
+void HmacSha256::Reset() { inner_ = inner_mid_; }
 
 void HmacSha256::Update(ByteView data) { inner_.Update(data); }
 
 Sha256Digest HmacSha256::Finish() {
   const Sha256Digest inner_digest = inner_.Finish();
+  Sha256 outer = outer_mid_;
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest ReferenceHmacSha256Mac(ByteView key, ByteView data) {
+  std::array<std::uint8_t, kSha256BlockSize> block_key{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest hashed = Sha256Hash(key);
+    std::memcpy(block_key.data(), hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, kSha256BlockSize> ipad_key;
+  std::array<std::uint8_t, kSha256BlockSize> opad_key;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad_key[i] = block_key[i] ^ 0x36;
+    opad_key[i] = block_key[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ByteView(ipad_key.data(), ipad_key.size()));
+  inner.Update(data);
+  const Sha256Digest inner_digest = inner.Finish();
   Sha256 outer;
-  outer.Update(ByteView(opad_key_.data(), opad_key_.size()));
+  outer.Update(ByteView(opad_key.data(), opad_key.size()));
   outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
   return outer.Finish();
 }
 
 Sha256Digest HmacSha256Mac(ByteView key, ByteView data) {
+  if (ReferenceCryptoEnabled()) return ReferenceHmacSha256Mac(key, data);
   HmacSha256 ctx(key);
   ctx.Update(data);
   return ctx.Finish();

@@ -2,6 +2,15 @@
 //
 // Used for session-ticket integrity (RFC 5077 recommends HMAC-SHA-256 with a
 // 256-bit key), record MACs, the TLS 1.2 PRF and the HMAC-DRBG.
+//
+// The context precomputes the SHA-256 midstates reached after compressing
+// the ipad and opad key blocks, once per key. Each message then clones the
+// inner midstate instead of rehashing the key block, and Finish() clones the
+// outer midstate instead of rebuilding the outer hash — so a context that
+// MACs many messages under one key (the PRF's A(i) chain, the DRBG, ticket
+// MACs) pays the key schedule exactly once. ReferenceHmacSha256Mac keeps
+// the naive construction as the differential-test baseline; both produce
+// identical bytes for every (key, message).
 #pragma once
 
 #include "crypto/sha256.h"
@@ -11,22 +20,32 @@ namespace tlsharm::crypto {
 
 class HmacSha256 {
  public:
-  explicit HmacSha256(ByteView key);
+  // An unkeyed context (equivalent to an empty key); call SetKey before use
+  // for anything else.
+  HmacSha256() { SetKey({}); }
+  explicit HmacSha256(ByteView key) { SetKey(key); }
+
+  // Re-keys the context, recomputing both midstates, and resets it.
+  void SetKey(ByteView key);
 
   void Update(ByteView data);
   Sha256Digest Finish();
 
-  // Restarts with the same key.
+  // Restarts with the same key (midstate clone; no key-block rehash).
   void Reset();
 
  private:
-  std::array<std::uint8_t, kSha256BlockSize> ipad_key_;
-  std::array<std::uint8_t, kSha256BlockSize> opad_key_;
-  Sha256 inner_;
+  Sha256 inner_mid_;  // state after compressing key ^ ipad
+  Sha256 outer_mid_;  // state after compressing key ^ opad
+  Sha256 inner_;      // working copy for the current message
 };
 
 // One-shot convenience.
 Sha256Digest HmacSha256Mac(ByteView key, ByteView data);
 Bytes HmacSha256Bytes(ByteView key, ByteView data);
+
+// The pre-optimization construction (fresh key-block hashing per call),
+// kept as the reference implementation for differential tests.
+Sha256Digest ReferenceHmacSha256Mac(ByteView key, ByteView data);
 
 }  // namespace tlsharm::crypto

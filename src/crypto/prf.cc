@@ -1,16 +1,18 @@
 #include "crypto/prf.h"
 
+#include <string>
+#include <unordered_map>
+
 #include "crypto/hmac.h"
+#include "crypto/tuning.h"
 
 namespace tlsharm::crypto {
+namespace {
 
-Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
-               std::size_t out_len) {
-  // P_SHA256(secret, label || seed): A(0) = label||seed,
-  // A(i) = HMAC(secret, A(i-1)), output = HMAC(secret, A(i) || label||seed).
-  const Bytes label_seed = Concat({ByteView(
-      reinterpret_cast<const std::uint8_t*>(label.data()), label.size()),
-      seed});
+// The original P_SHA256: a fresh HMAC instantiation (and key-block hash)
+// per call. Kept as the naive baseline for the differential harness.
+Bytes Tls12PrfReference(ByteView secret, ByteView label_seed,
+                        std::size_t out_len) {
   Bytes out;
   out.reserve(out_len);
   Bytes a = HmacSha256Bytes(secret, label_seed);
@@ -20,6 +22,63 @@ Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
     out.insert(out.end(), chunk.begin(), chunk.begin() + take);
     a = HmacSha256Bytes(secret, a);
   }
+  return out;
+}
+
+}  // namespace
+
+Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
+               std::size_t out_len) {
+  // P_SHA256(secret, label || seed): A(0) = label||seed,
+  // A(i) = HMAC(secret, A(i-1)), output = HMAC(secret, A(i) || label||seed).
+  const Bytes label_seed = Concat({ByteView(
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size()),
+      seed});
+  if (ReferenceCryptoEnabled()) {
+    return Tls12PrfReference(secret, label_seed, out_len);
+  }
+  // Cross-call memoization. The PRF is a pure function, and the simulated
+  // client and terminator each derive the same master secret and key block
+  // from the same inputs within one process — the second derivation is a
+  // cache hit. Purity means cache state can never change an output, so
+  // results stay byte-identical at any thread count; the cache is
+  // thread-local (no synchronization) and bounded (cleared when full).
+  thread_local std::unordered_map<std::string, Bytes> memo;
+  std::string memo_key;
+  memo_key.reserve(secret.size() + label_seed.size() + 6);
+  const auto append_field = [&memo_key](const std::uint8_t* p, std::size_t n) {
+    memo_key.push_back(static_cast<char>(n >> 8));
+    memo_key.push_back(static_cast<char>(n));
+    if (n > 0) memo_key.append(reinterpret_cast<const char*>(p), n);
+  };
+  append_field(secret.data(), secret.size());
+  append_field(label_seed.data(), label_seed.size());
+  memo_key.push_back(static_cast<char>(out_len >> 8));
+  memo_key.push_back(static_cast<char>(out_len));
+  if (const auto it = memo.find(memo_key); it != memo.end()) {
+    return it->second;
+  }
+  // One keyed context for the whole A(i) chain: the ipad/opad midstates are
+  // computed once and cloned per HMAC invocation.
+  HmacSha256 hmac(secret);
+  Bytes out;
+  out.reserve(out_len);
+  hmac.Update(label_seed);
+  Sha256Digest a = hmac.Finish();
+  for (;;) {
+    hmac.Reset();
+    hmac.Update(ByteView(a.data(), a.size()));
+    hmac.Update(label_seed);
+    const Sha256Digest chunk = hmac.Finish();
+    const std::size_t take = std::min(chunk.size(), out_len - out.size());
+    out.insert(out.end(), chunk.begin(), chunk.begin() + take);
+    if (out.size() >= out_len) break;
+    hmac.Reset();
+    hmac.Update(ByteView(a.data(), a.size()));
+    a = hmac.Finish();
+  }
+  if (memo.size() >= 4096) memo.clear();
+  memo.emplace(std::move(memo_key), out);
   return out;
 }
 

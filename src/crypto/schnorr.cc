@@ -1,6 +1,7 @@
 #include "crypto/schnorr.h"
 
 #include "crypto/sha256.h"
+#include "crypto/tuning.h"
 
 namespace tlsharm::crypto {
 
@@ -10,8 +11,17 @@ SchnorrScheme::SchnorrScheme(const FfdhParams& params)
       h_(BigUInt::FromU64(params.g * params.g)),
       mont_p_(p_),
       mont_q_(q_),
+      h_table_(mont_p_.PrecomputeFixedBase(h_, q_.BitLength())),
+      h_window_(mont_p_.PrecomputeWindowTable(h_)),
       p_width_((p_.BitLength() + 7) / 8),
       q_width_((q_.BitLength() + 7) / 8) {}
+
+BigUInt SchnorrScheme::FixedBasePow(const BigUInt& e) const {
+  if (ReferenceCryptoEnabled() || e.BitLength() > h_table_.MaxExpBits()) {
+    return mont_p_.PowMod(h_, e);
+  }
+  return mont_p_.PowModFixedBase(h_table_, e);
+}
 
 BigUInt SchnorrScheme::HashToScalar(ByteView r_bytes, ByteView message) const {
   Sha256 hash;
@@ -28,7 +38,7 @@ SchnorrKeyPair SchnorrScheme::GenerateKeyPair(Drbg& drbg) const {
     x = BigUInt::FromBytes(drbg.Generate(q_width_));
     x = mont_q_.Reduce(x);
   } while (BigUInt::Compare(x, one) <= 0);
-  const BigUInt y = mont_p_.PowMod(h_, x);
+  const BigUInt y = FixedBasePow(x);
   return SchnorrKeyPair{.private_key = x.ToBytes(q_width_),
                         .public_key = y.ToBytes(p_width_)};
 }
@@ -42,7 +52,7 @@ SchnorrSignature SchnorrScheme::Sign(ByteView private_key, ByteView message,
     do {
       k = mont_q_.Reduce(BigUInt::FromBytes(drbg.Generate(q_width_)));
     } while (k.IsZero());
-    const BigUInt r = mont_p_.PowMod(h_, k);
+    const BigUInt r = FixedBasePow(k);
     e = HashToScalar(r.ToBytes(p_width_), message);
   } while (e.IsZero());
   // s = k + e*x mod q
@@ -66,9 +76,18 @@ bool SchnorrScheme::Verify(ByteView public_key, ByteView message,
   if (e.IsZero() || BigUInt::Compare(e, q_) >= 0) return false;
   if (BigUInt::Compare(s, q_) >= 0) return false;
   // r' = h^s * y^(q - e) mod p  (y has order q, so y^(q-e) = y^{-e}).
-  const BigUInt r1 = mont_p_.PowMod(h_, s);
-  const BigUInt r2 = mont_p_.PowMod(y, BigUInt::Sub(q_, e));
-  const BigUInt r = mont_p_.MulMod(r1, r2);
+  BigUInt r;
+  if (ReferenceCryptoEnabled()) {
+    const BigUInt r1 = mont_p_.PowMod(h_, s);
+    const BigUInt r2 = mont_p_.PowMod(y, BigUInt::Sub(q_, e));
+    r = mont_p_.MulMod(r1, r2);
+  } else {
+    // Shamir's trick: both exponents ride one squaring chain, with the
+    // cached h window table and a per-call table for y.
+    const Montgomery::WindowTable y_window =
+        mont_p_.PrecomputeWindowTable(y);
+    r = mont_p_.PowModDouble(h_window_, s, y_window, BigUInt::Sub(q_, e));
+  }
   const BigUInt e_check = HashToScalar(r.ToBytes(p_width_), message);
   return e_check == e;
 }
@@ -88,7 +107,7 @@ std::optional<SchnorrSignature> SchnorrScheme::ParseSignature(
 
 Bytes SchnorrScheme::DhPublic(ByteView private_scalar) const {
   const BigUInt b = BigUInt::FromBytes(private_scalar);
-  return mont_p_.PowMod(h_, b).ToBytes(p_width_);
+  return FixedBasePow(b).ToBytes(p_width_);
 }
 
 std::optional<Bytes> SchnorrScheme::DhShared(ByteView private_scalar,

@@ -56,12 +56,21 @@ class SchnorrScheme {
 
  private:
   BigUInt HashToScalar(ByteView r_bytes, ByteView message) const;
+  // h^e via the cached generator table, falling back to a generic powmod
+  // for exponents wider than the table (DhPublic accepts raw bytes).
+  BigUInt FixedBasePow(const BigUInt& e) const;
 
   BigUInt p_;
   BigUInt q_;
   BigUInt h_;  // subgroup generator
   Montgomery mont_p_;
   Montgomery mont_q_;
+  // Cached powers of h, built once per scheme (immutable, thread-safe):
+  // the positional table serves keygen/signing/DH (exponents < q, zero
+  // squarings), the window table is the h side of verification's Shamir
+  // double exponentiation h^s * y^(q-e).
+  Montgomery::FixedBaseTable h_table_;
+  Montgomery::WindowTable h_window_;
   std::size_t p_width_;
   std::size_t q_width_;
 };

@@ -1,0 +1,30 @@
+#include "crypto/tuning.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tlsharm::crypto {
+namespace {
+
+bool EnvDefault() {
+  const char* env = std::getenv("TLSHARM_REFERENCE_CRYPTO");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& Flag() {
+  static std::atomic<bool> flag{EnvDefault()};
+  return flag;
+}
+
+}  // namespace
+
+bool ReferenceCryptoEnabled() {
+  return Flag().load(std::memory_order_relaxed);
+}
+
+void SetReferenceCrypto(bool reference) {
+  Flag().store(reference, std::memory_order_relaxed);
+}
+
+}  // namespace tlsharm::crypto

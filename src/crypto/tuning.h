@@ -1,0 +1,27 @@
+// Runtime selection between the optimized crypto hot paths and the naive
+// reference implementations they replaced.
+//
+// Every optimization in this library (windowed Montgomery exponentiation,
+// fixed-base generator tables, HMAC midstate caching, memoized AES key
+// schedules) is required to be output-identical to the reference path: the
+// flag exists so the differential-test harness and scripts/check.sh can run
+// the same binary both ways and diff the bytes, and so bench_crypto can time
+// old-vs-new in one process.
+//
+// Selection order: SetReferenceCrypto() overrides everything; otherwise the
+// TLSHARM_REFERENCE_CRYPTO environment variable (any non-empty value other
+// than "0") enables the reference paths; default is optimized.
+#pragma once
+
+namespace tlsharm::crypto {
+
+// True when the naive reference implementations should be used.
+bool ReferenceCryptoEnabled();
+
+// Programmatic override (benches/tests toggling in-process). Thread
+// caveat: flip only while no other thread is running crypto — the flag is
+// a plain relaxed atomic and the two paths share no state, so a mid-flight
+// flip is benign for correctness but makes timings meaningless.
+void SetReferenceCrypto(bool reference);
+
+}  // namespace tlsharm::crypto

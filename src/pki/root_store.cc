@@ -1,6 +1,37 @@
 #include "pki/root_store.h"
 
+#include "crypto/tuning.h"
+
 namespace tlsharm::pki {
+
+bool SignatureVerifyCache::VerifyCert(SignatureScheme scheme_id,
+                                      ByteView public_key, ByteView tbs,
+                                      ByteView signature) {
+  crypto::Sha256 h;
+  const std::uint8_t id = static_cast<std::uint8_t>(scheme_id);
+  h.Update(ByteView(&id, 1));
+  const auto add = [&h](ByteView field) {
+    std::uint8_t len[4] = {static_cast<std::uint8_t>(field.size() >> 24),
+                           static_cast<std::uint8_t>(field.size() >> 16),
+                           static_cast<std::uint8_t>(field.size() >> 8),
+                           static_cast<std::uint8_t>(field.size())};
+    h.Update(ByteView(len, 4));
+    h.Update(field);
+  };
+  add(public_key);
+  add(tbs);
+  add(signature);
+  const crypto::Sha256Digest key = h.Finish();
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const auto& scheme = GetScheme(scheme_id);
+  const auto sig = scheme.ParseSignature(signature);
+  const bool ok = sig.has_value() && scheme.Verify(public_key, tbs, *sig);
+  cache_.emplace(key, ok);
+  return ok;
+}
 
 const char* ToString(VerifyStatus status) {
   switch (status) {
@@ -31,6 +62,20 @@ bool RootStore::IsTrustedRoot(const std::string& name,
 
 VerifyStatus RootStore::Verify(const CertificateChain& chain,
                                const std::string& host, SimTime now) const {
+  return Verify(chain, host, now, nullptr);
+}
+
+VerifyStatus RootStore::Verify(const CertificateChain& chain,
+                               const std::string& host, SimTime now,
+                               SignatureVerifyCache* cache) const {
+  if (crypto::ReferenceCryptoEnabled()) cache = nullptr;
+  const auto check_sig = [cache](SignatureScheme scheme_id, ByteView pubkey,
+                                 ByteView tbs, ByteView signature) {
+    if (cache) return cache->VerifyCert(scheme_id, pubkey, tbs, signature);
+    const auto& scheme = GetScheme(scheme_id);
+    const auto sig = scheme.ParseSignature(signature);
+    return sig.has_value() && scheme.Verify(pubkey, tbs, *sig);
+  };
   if (chain.empty()) return VerifyStatus::kEmptyChain;
   if (!CertificateCoversHost(chain.front(), host)) {
     return VerifyStatus::kNameMismatch;
@@ -48,9 +93,8 @@ VerifyStatus RootStore::Verify(const CertificateChain& chain,
       if (cert.data.issuer != issuer.data.subject_cn) {
         return VerifyStatus::kBadSignature;
       }
-      const auto& scheme = GetScheme(issuer.data.scheme);
-      const auto sig = scheme.ParseSignature(cert.signature);
-      if (!sig || !scheme.Verify(issuer.data.public_key, tbs, *sig)) {
+      if (!check_sig(issuer.data.scheme, issuer.data.public_key, tbs,
+                     cert.signature)) {
         return VerifyStatus::kBadSignature;
       }
     } else {
@@ -58,9 +102,8 @@ VerifyStatus RootStore::Verify(const CertificateChain& chain,
       // is itself a self-signed root in the store, or its issuer is.
       const auto it = roots_.find(cert.data.issuer);
       if (it == roots_.end()) return VerifyStatus::kUntrustedRoot;
-      const auto& scheme = GetScheme(it->second.scheme);
-      const auto sig = scheme.ParseSignature(cert.signature);
-      if (!sig || !scheme.Verify(it->second.public_key, tbs, *sig)) {
+      if (!check_sig(it->second.scheme, it->second.public_key, tbs,
+                     cert.signature)) {
         return VerifyStatus::kBadSignature;
       }
     }

@@ -10,9 +10,32 @@
 #include <map>
 #include <string>
 
+#include "crypto/sha256.h"
 #include "pki/certificate.h"
 
 namespace tlsharm::pki {
+
+// Memoizes certificate-signature checks. The verdict for a given
+// (scheme, issuer key, TBS bytes, signature) tuple never changes, so a
+// chain already verified for one host resolves by map lookup when the same
+// intermediates/leaf reappear under another host or on a later scan day —
+// the dominant cost of RootStore::Verify is the Schnorr exponentiations.
+// Keys are SHA-256 over the length-prefixed inputs, so memoization is exact
+// and independent of probe order. Not thread-safe: use one per scan thread
+// (each Prober owns one).
+class SignatureVerifyCache {
+ public:
+  // Parse+verify `signature` over `tbs` under `public_key`, memoized.
+  bool VerifyCert(SignatureScheme scheme, ByteView public_key, ByteView tbs,
+                  ByteView signature);
+
+  std::size_t Size() const { return cache_.size(); }
+  std::uint64_t Hits() const { return hits_; }
+
+ private:
+  std::map<crypto::Sha256Digest, bool> cache_;
+  std::uint64_t hits_ = 0;
+};
 
 enum class VerifyStatus {
   kOk,
@@ -35,9 +58,14 @@ class RootStore {
 
   bool IsTrustedRoot(const std::string& name, ByteView public_key) const;
 
-  // Verifies `chain` (leaf first) for `host` at time `now`.
+  // Verifies `chain` (leaf first) for `host` at time `now`. The overload
+  // taking a SignatureVerifyCache memoizes the per-certificate signature
+  // checks through it (ignored in reference-crypto mode or when null);
+  // verdicts are identical either way.
   VerifyStatus Verify(const CertificateChain& chain, const std::string& host,
                       SimTime now) const;
+  VerifyStatus Verify(const CertificateChain& chain, const std::string& host,
+                      SimTime now, SignatureVerifyCache* cache) const;
 
   std::size_t Size() const { return roots_.size(); }
 

@@ -129,7 +129,8 @@ bool Prober::ChainTrusted(const pki::CertificateChain& chain,
   const auto it = trust_cache_.find(key);
   if (it != trust_cache_.end()) return it->second;
   const bool trusted =
-      net_.NssRootStore().Verify(chain, host, now) == pki::VerifyStatus::kOk;
+      net_.NssRootStore().Verify(chain, host, now, &verify_cache_) ==
+      pki::VerifyStatus::kOk;
   trust_cache_.emplace(std::move(key), trusted);
   return trusted;
 }

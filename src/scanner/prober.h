@@ -21,6 +21,7 @@
 
 #include "crypto/drbg.h"
 #include "obs/metrics.h"
+#include "pki/root_store.h"
 #include "scanner/observation.h"
 #include "simnet/internet.h"
 #include "tls/client.h"
@@ -163,6 +164,11 @@ class Prober {
   // pair — fingerprint bytes, a NUL separator, then the host name — so two
   // distinct pairs can never share a cache slot.
   std::unordered_map<std::string, bool> trust_cache_;
+  // Memoized per-certificate signature checks, shared across hosts: when a
+  // new (fingerprint, host) pair presents a chain whose certificates were
+  // already verified under another host, the Schnorr exponentiations are
+  // skipped. Probers are single-threaded, so no locking.
+  pki::SignatureVerifyCache verify_cache_;
 };
 
 }  // namespace tlsharm::scanner

@@ -4,6 +4,7 @@
 
 #include "crypto/prf.h"
 #include "crypto/sha256.h"
+#include "crypto/tuning.h"
 #include "tls/keys.h"
 #include "tls/messages.h"
 #include "tls/record.h"
@@ -265,11 +266,19 @@ Bytes TerminatorConnection::HandleClientHello(
   transcript_.Add(tls::HandshakeType::kServerHello, sh_body);
   tls::AppendHandshake(flight, tls::HandshakeType::kServerHello, sh_body);
 
-  tls::CertificateMsg cert_msg;
-  cert_msg.chain = credential_->chain;
-  const Bytes cert_body = cert_msg.Serialize();
-  transcript_.Add(tls::HandshakeType::kCertificate, cert_body);
-  tls::AppendHandshake(flight, tls::HandshakeType::kCertificate, cert_body);
+  // The Certificate message depends only on the (static) chain, so the
+  // serialization cached by AddCredential is reused across handshakes.
+  // Reference mode re-serializes per handshake (the pre-cache behavior).
+  Bytes cert_body_storage;
+  const Bytes* cert_body = &credential_->cert_msg_body;
+  if (cert_body->empty() || crypto::ReferenceCryptoEnabled()) {
+    tls::CertificateMsg cert_msg;
+    cert_msg.chain = credential_->chain;
+    cert_body_storage = cert_msg.Serialize();
+    cert_body = &cert_body_storage;
+  }
+  transcript_.Add(tls::HandshakeType::kCertificate, *cert_body);
+  tls::AppendHandshake(flight, tls::HandshakeType::kCertificate, *cert_body);
 
   if (tls::IsForwardSecret(static_cast<tls::CipherSuite>(suite))) {
     kex_group_ =
@@ -410,6 +419,11 @@ SslTerminator::SslTerminator(std::string id, ServerConfig config,
 }
 
 std::size_t SslTerminator::AddCredential(Credential credential) {
+  if (credential.cert_msg_body.empty()) {
+    tls::CertificateMsg cert_msg;
+    cert_msg.chain = credential.chain;
+    credential.cert_msg_body = cert_msg.Serialize();
+  }
   credentials_.push_back(std::move(credential));
   return credentials_.size() - 1;
 }

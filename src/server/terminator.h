@@ -31,6 +31,11 @@ namespace tlsharm::server {
 struct Credential {
   pki::CertificateChain chain;
   Bytes private_key;  // Schnorr private key matching chain[0]
+  // Serialized Certificate handshake message, filled in by AddCredential.
+  // The chain is static for the credential's lifetime, so the terminator
+  // serializes it once instead of per handshake; empty means "serialize on
+  // demand" (hand-built credentials, reference mode).
+  Bytes cert_msg_body;
 };
 
 class SslTerminator {

@@ -4,6 +4,7 @@
 
 #include "crypto/aes128.h"
 #include "crypto/hmac.h"
+#include "crypto/tuning.h"
 #include "tls/wire.h"
 
 namespace tlsharm::tls {
@@ -17,8 +18,33 @@ constexpr std::size_t kMacSize = 32;
 constexpr std::uint8_t kSChannelMagic[4] = {0x30, 0x82, 0x53, 0x43};
 constexpr std::size_t kGuidSize = 16;
 
+// Seal/Open crypto, routed through the STEK's cached schedules when present.
+// Reference mode (and hand-built Steks without caches) re-expands the key
+// material per call; both paths produce identical bytes.
+
 Bytes MacOver(const Stek& stek, ByteView header_and_ct) {
+  if (stek.mac && !crypto::ReferenceCryptoEnabled()) {
+    crypto::HmacSha256 hmac = *stek.mac;  // clone of the keyed midstates
+    hmac.Update(header_and_ct);
+    const crypto::Sha256Digest d = hmac.Finish();
+    return Bytes(d.begin(), d.end());
+  }
   return crypto::HmacSha256Bytes(stek.mac_key, header_and_ct);
+}
+
+Bytes CbcEncrypt(const Stek& stek, const crypto::AesBlock& iv, ByteView pt) {
+  if (stek.aes && !crypto::ReferenceCryptoEnabled()) {
+    return crypto::Aes128CbcEncrypt(*stek.aes, iv, pt);
+  }
+  return crypto::Aes128CbcEncrypt(crypto::ToAesKey(stek.aes_key), iv, pt);
+}
+
+std::optional<Bytes> CbcDecrypt(const Stek& stek, const crypto::AesBlock& iv,
+                                ByteView ct) {
+  if (stek.aes && !crypto::ReferenceCryptoEnabled()) {
+    return crypto::Aes128CbcDecrypt(*stek.aes, iv, ct);
+  }
+  return crypto::Aes128CbcDecrypt(crypto::ToAesKey(stek.aes_key), iv, ct);
 }
 
 // ---------------------------------------------------------------------------
@@ -31,9 +57,8 @@ Bytes SealRfc(const Stek& stek, const TicketState& state, crypto::Drbg& drbg,
   out.resize(key_name_size);  // defensive: exact width on the wire
   const Bytes iv = drbg.Generate(kIvSize);
   Append(out, iv);
-  const Bytes ct = crypto::Aes128CbcEncrypt(crypto::ToAesKey(stek.aes_key),
-                                            crypto::ToAesBlock(iv),
-                                            state.Serialize());
+  const Bytes ct =
+      CbcEncrypt(stek, crypto::ToAesBlock(iv), state.Serialize());
   if (mbedtls_len_field) AppendUint(out, ct.size(), 2);
   Append(out, ct);
   Append(out, MacOver(stek, out));
@@ -64,8 +89,7 @@ std::optional<TicketState> OpenRfc(const Stek& stek, ByteView ticket,
         ReadUint(ticket, key_name_size + kIvSize, 2);
     if (declared != ct.size()) return std::nullopt;
   }
-  const auto pt = crypto::Aes128CbcDecrypt(crypto::ToAesKey(stek.aes_key),
-                                           crypto::ToAesBlock(iv), ct);
+  const auto pt = CbcDecrypt(stek, crypto::ToAesBlock(iv), ct);
   if (!pt) return std::nullopt;
   return TicketState::Parse(*pt);
 }
@@ -123,9 +147,8 @@ class SChannelCodecImpl final : public TicketCodec {
     Append(out, guid);
     const Bytes iv = drbg.Generate(kIvSize);
     Append(out, iv);
-    const Bytes ct = crypto::Aes128CbcEncrypt(crypto::ToAesKey(stek.aes_key),
-                                              crypto::ToAesBlock(iv),
-                                              state.Serialize());
+    const Bytes ct =
+        CbcEncrypt(stek, crypto::ToAesBlock(iv), state.Serialize());
     Append(out, ct);
     // Patch the total length (including the MAC yet to be appended) before
     // MACing so the MAC covers the final wire bytes.
@@ -152,8 +175,7 @@ class SChannelCodecImpl final : public TicketCodec {
     }
     const ByteView iv(ticket.data() + 4 + 2 + 2 + kGuidSize, kIvSize);
     const ByteView ct(ticket.data() + header, body_len - header);
-    const auto pt = crypto::Aes128CbcDecrypt(crypto::ToAesKey(stek.aes_key),
-                                             crypto::ToAesBlock(iv), ct);
+    const auto pt = CbcDecrypt(stek, crypto::ToAesBlock(iv), ct);
     if (!pt) return std::nullopt;
     return TicketState::Parse(*pt);
   }
@@ -176,11 +198,17 @@ class SChannelCodecImpl final : public TicketCodec {
 }  // namespace
 
 Stek Stek::Generate(crypto::Drbg& drbg, std::size_t key_name_size) {
-  return Stek{
-      .key_name = drbg.Generate(key_name_size),
-      .aes_key = drbg.Generate(crypto::kAes128KeySize),
-      .mac_key = drbg.Generate(32),
-  };
+  Stek stek;
+  stek.key_name = drbg.Generate(key_name_size);
+  stek.aes_key = drbg.Generate(crypto::kAes128KeySize);
+  stek.mac_key = drbg.Generate(32);
+  stek.PrecomputeSchedules();
+  return stek;
+}
+
+void Stek::PrecomputeSchedules() {
+  aes = std::make_shared<const crypto::Aes128>(crypto::ToAesKey(aes_key));
+  mac = std::make_shared<const crypto::HmacSha256>(mac_key);
 }
 
 Bytes TicketState::Serialize() const {

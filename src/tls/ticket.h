@@ -16,7 +16,9 @@
 #include <memory>
 #include <optional>
 
+#include "crypto/aes128.h"
 #include "crypto/drbg.h"
+#include "crypto/hmac.h"
 #include "tls/constants.h"
 #include "util/bytes.h"
 #include "util/sim_clock.h"
@@ -32,7 +34,18 @@ struct Stek {
   Bytes aes_key;   // 16 bytes
   Bytes mac_key;   // 32 bytes
 
+  // Per-epoch cached schedules: the expanded AES key and the HMAC midstate
+  // prototype, built once at generation so every Seal/Open under this STEK
+  // skips the key schedule. Both are pure functions of the key bytes —
+  // nullptr (hand-built Steks) or reference mode falls back to expanding
+  // from aes_key/mac_key with identical output.
+  std::shared_ptr<const crypto::Aes128> aes;
+  std::shared_ptr<const crypto::HmacSha256> mac;
+
   static Stek Generate(crypto::Drbg& drbg, std::size_t key_name_size = 16);
+
+  // (Re)builds the cached schedules from the current key bytes.
+  void PrecomputeSchedules();
 };
 
 // Plaintext session state carried inside a ticket.

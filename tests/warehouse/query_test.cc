@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 namespace tlsharm::warehouse {
@@ -15,7 +17,10 @@ using scanner::HandshakeObservation;
 class QueryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "warehouse_query_test";
+    // Unique per process: ctest runs each TEST as its own process in
+    // parallel, and a shared fixture path races against the other cases.
+    dir_ = ::testing::TempDir() + "warehouse_query_test_" +
+           std::to_string(::getpid());
     std::filesystem::remove_all(dir_);
     std::string error;
     auto writer = WarehouseWriter::Create(dir_, &error);
@@ -40,6 +45,8 @@ class QueryTest : public ::testing::Test {
     ASSERT_TRUE(wh.has_value()) << error;
     warehouse_.emplace(std::move(*wh));
   }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
 
   static HandshakeObservation Success(scanner::DomainIndex domain,
                                       bool ticket) {
