@@ -4,12 +4,21 @@
 // the service-group probes, and prints a survey report: secret longevity
 // distributions, the largest shared-secret groups, and the domains with the
 // worst combined vulnerability windows.
+//
+// With `--campaign <dir>` the week runs as a crash-safe campaign: every
+// scanned day is journaled and committed durably into <dir> (RUNLOG,
+// store.txt, warehouse/, state files). If the process dies mid-study,
+// `--campaign <dir> --resume` restores the committed days from disk and
+// scans only the remainder — the report and the on-disk artifacts come out
+// byte-identical to an uninterrupted run.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 
 #include "analysis/vuln.h"
+#include "campaign/campaign.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scanner/scan_engine.h"
@@ -18,9 +27,34 @@
 
 using namespace tlsharm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string campaign_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
+      campaign_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--campaign <dir> [--resume]]\n"
+                   "  --campaign <dir>  journal the scan into <dir> so a\n"
+                   "                    crashed study can be continued\n"
+                   "  --resume          continue the campaign in <dir> from\n"
+                   "                    its last committed day\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (resume && campaign_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --campaign <dir>\n");
+    return 2;
+  }
+
   std::printf("== fleet_survey: one-week HTTPS crypto-shortcut survey ==\n");
-  simnet::Internet net(simnet::PaperPopulationSpec(6000), 424242);
+  constexpr std::uint64_t kWorldSeed = 424242;
+  constexpr std::size_t kPopulation = 6000;
+  simnet::Internet net(simnet::PaperPopulationSpec(kPopulation), kWorldSeed);
   const int days = 7;
   std::printf("population: %zu domains, %zu terminators\n",
               net.DomainCount(), net.TerminatorCount());
@@ -66,7 +100,62 @@ int main() {
   std::printf("\n");
 
   // --- longevity scan.
-  const auto scan = scanner::RunShardedDailyScans(net, days, 1, engine);
+  scanner::DailyScanResult scan;
+  if (!campaign_dir.empty()) {
+    // Campaign mode: the journaled, crash-safe path. Threads, metrics and
+    // robustness carry over; the probe trace does not (it is per-process
+    // telemetry, not a committed artifact).
+    if (engine.trace != nullptr) {
+      std::fprintf(stderr,
+                   "note: TLSHARM_TRACE is ignored in --campaign mode\n");
+      engine.trace = nullptr;
+      trace_sink.reset();
+    }
+    campaign::CampaignSpec spec;
+    spec.dir = campaign_dir;
+    spec.days = days;
+    spec.seed = 1;
+    spec.threads = engine.threads;
+    spec.robustness = engine.robustness;
+    spec.resume = resume;
+    // The same world must back a resumed journal; TLSHARM_FAULTS shapes
+    // observations, so it is part of the world's identity.
+    spec.world_digest = kWorldSeed ^
+                        (static_cast<std::uint64_t>(kPopulation) << 20) ^
+                        (faults.enabled ? 0x0fau : 0u);
+    spec.metrics = engine.metrics;
+    campaign::CampaignResult result;
+    std::string error;
+    if (!campaign::RunCampaign(net, spec, &result, &error)) {
+      std::fprintf(stderr, "campaign failed: %s\n", error.c_str());
+      return 1;
+    }
+    scan = std::move(result.scan);
+    if (result.recovery.resumed) {
+      std::printf("campaign: resumed %s — %d committed day(s) restored, "
+                  "%d rescanned",
+                  campaign_dir.c_str(), result.recovery.days_replayed,
+                  days - result.first_scanned_day);
+      if (result.recovery.store_tail_truncated > 0 ||
+          result.recovery.stale_segments_removed > 0 ||
+          result.recovery.tmp_files_removed > 0) {
+        std::printf(" (repaired: %llu store bytes cut, %llu stale "
+                    "segment(s), %llu temp file(s))",
+                    static_cast<unsigned long long>(
+                        result.recovery.store_tail_truncated),
+                    static_cast<unsigned long long>(
+                        result.recovery.stale_segments_removed),
+                    static_cast<unsigned long long>(
+                        result.recovery.tmp_files_removed));
+      }
+      std::printf("\n");
+    } else {
+      std::printf("campaign: journaled %d day(s) into %s\n", days,
+                  campaign_dir.c_str());
+    }
+  } else {
+    scan = scanner::RunShardedDailyScans(net, days, 1, engine);
+  }
   if (engine.metrics != nullptr) {
     std::ofstream out(metrics_path, std::ios::binary);
     if (out) {

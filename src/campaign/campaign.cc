@@ -1,0 +1,425 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scanner/runlog.h"
+#include "util/crc32.h"
+#include "util/durable.h"
+
+namespace tlsharm::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kStateMagic[4] = {'T', 'L', 'R', 'S'};
+constexpr std::uint8_t kStateVersion = 1;
+
+std::uint64_t Fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+ByteView AsBytes(const std::string& s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+bool ReadFileBytes(const std::string& path, Bytes* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string data = content.str();
+  out->assign(data.begin(), data.end());
+  return true;
+}
+
+// --- campaign state file ("TLRS" | version | body | CRC-32) ---------------
+
+Bytes EncodeState(int day, const scanner::ScanAggregates& aggregates,
+                  const std::vector<scanner::DayLoss>& loss,
+                  const std::string& metrics_json) {
+  Bytes out;
+  out.insert(out.end(), kStateMagic, kStateMagic + 4);
+  out.push_back(kStateVersion);
+  AppendVarint(out, static_cast<std::uint64_t>(day));
+  aggregates.EncodeState(out);
+  AppendVarint(out, loss.size());
+  for (const scanner::DayLoss& d : loss) {
+    AppendVarint(out, d.scheduled);
+    AppendVarint(out, d.recovered);
+    AppendVarint(out, d.lost);
+    for (const std::size_t n : d.lost_by_class) AppendVarint(out, n);
+  }
+  AppendVarint(out, metrics_json.size());
+  Append(out, AsBytes(metrics_json));
+  const std::uint32_t crc = Crc32(out);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(crc >> shift));
+  }
+  return out;
+}
+
+bool DecodeState(ByteView bytes, int expected_day,
+                 scanner::ScanResumeState* out, std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (bytes.size() < 9) return fail("state file truncated");
+  if (!std::equal(kStateMagic, kStateMagic + 4, bytes.begin())) {
+    return fail("bad state magic");
+  }
+  const std::size_t body = bytes.size() - 4;
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < 4; ++i) stored = (stored << 8) | bytes[body + i];
+  if (Crc32(ByteView(bytes.data(), body)) != stored) {
+    return fail("state checksum mismatch");
+  }
+  if (bytes[4] != kStateVersion) return fail("unsupported state version");
+  const ByteView view(bytes.data(), body);
+  std::size_t off = 5;
+  std::uint64_t day = 0;
+  if (!ReadVarint(view, off, day) ||
+      day != static_cast<std::uint64_t>(expected_day)) {
+    return fail("state day disagrees with the journal");
+  }
+  scanner::ScanResumeState state;
+  if (!state.aggregates.DecodeState(view, off)) {
+    return fail("malformed aggregate state");
+  }
+  if (state.aggregates.NextDay() != expected_day + 1) {
+    return fail("aggregate state does not cover the committed days");
+  }
+  std::uint64_t loss_count = 0;
+  if (!ReadVarint(view, off, loss_count) ||
+      loss_count != static_cast<std::uint64_t>(expected_day) + 1) {
+    return fail("loss ledger does not cover the committed days");
+  }
+  state.loss.resize(static_cast<std::size_t>(loss_count));
+  for (scanner::DayLoss& d : state.loss) {
+    std::uint64_t scheduled = 0, recovered = 0, lost = 0;
+    if (!ReadVarint(view, off, scheduled) ||
+        !ReadVarint(view, off, recovered) || !ReadVarint(view, off, lost)) {
+      return fail("malformed loss ledger");
+    }
+    d.scheduled = static_cast<std::size_t>(scheduled);
+    d.recovered = static_cast<std::size_t>(recovered);
+    d.lost = static_cast<std::size_t>(lost);
+    for (std::size_t& n : d.lost_by_class) {
+      std::uint64_t v = 0;
+      if (!ReadVarint(view, off, v)) return fail("malformed loss ledger");
+      n = static_cast<std::size_t>(v);
+    }
+  }
+  std::uint64_t json_len = 0;
+  if (!ReadVarint(view, off, json_len) || view.size() - off != json_len) {
+    return fail("malformed metrics snapshot");
+  }
+  state.metrics_json.assign(reinterpret_cast<const char*>(view.data() + off),
+                            static_cast<std::size_t>(json_len));
+  *out = std::move(state);
+  return true;
+}
+
+// --- per-day commit hooks -------------------------------------------------
+
+class CommitDriver : public scanner::CampaignHooks {
+ public:
+  CommitDriver(std::string dir, std::string warehouse_dir,
+               scanner::RunLog* journal, scanner::TextStoreFile* store,
+               warehouse::WarehouseWriter* warehouse)
+      : dir_(std::move(dir)),
+        warehouse_dir_(std::move(warehouse_dir)),
+        journal_(journal),
+        store_(store),
+        warehouse_(warehouse) {}
+
+  bool OnDayStarted(int day) override {
+    return journal_->DayStarted(day, &error_);
+  }
+
+  bool OnDayCommitted(int day, const scanner::ScanAggregates& aggregates,
+                      const std::vector<scanner::DayLoss>& loss,
+                      const std::string& metrics_json) override {
+    // The engine already ran EndDay on both store backends, so the day's
+    // observations are durable; a latched backend error means they are
+    // not, and committing would journal a lie.
+    if (!store_->Ok()) {
+      error_ = store_->Error();
+      return false;
+    }
+    if (!warehouse_->ok()) {
+      error_ = warehouse_->error();
+      return false;
+    }
+    if (!scanner::WriteCheckpoint(warehouse_dir_, day, aggregates, &error_)) {
+      return false;
+    }
+    const Bytes state = EncodeState(day, aggregates, loss, metrics_json);
+    if (!DurableWriteFile(dir_ + "/" + StateFileName(day), state, &error_)) {
+      return false;
+    }
+    const std::string metrics_line = metrics_json + "\n";
+    if (!DurableWriteFile(dir_ + "/" + kMetricsName, AsBytes(metrics_line),
+                          &error_)) {
+      return false;
+    }
+
+    scanner::DayDigests digests;
+    digests.store_bytes = store_->CommittedBytes();
+    digests.store_crc = store_->CommittedCrc();
+    digests.warehouse_rows = warehouse_->RowsWritten();
+    digests.warehouse_segments = warehouse_->SegmentsWritten();
+    digests.manifest_crc = warehouse_->ManifestCrc();
+    digests.state_bytes = state.size();
+    digests.state_crc = Crc32(state);
+    if (!journal_->DayCommitted(day, digests, &error_)) return false;
+
+    // Only now is the predecessor state dead. Removal is not itself a
+    // durability barrier: if it does not survive a crash, the resume sweep
+    // deletes the stale file again.
+    if (day > 0) {
+      std::error_code ec;
+      fs::remove(dir_ + "/" + StateFileName(day - 1), ec);
+    }
+    last_metrics_json_ = metrics_json;
+    return true;
+  }
+
+  const std::string& Error() const { return error_; }
+  const std::string& LastMetricsJson() const { return last_metrics_json_; }
+
+ private:
+  std::string dir_;
+  std::string warehouse_dir_;
+  scanner::RunLog* journal_;
+  scanner::TextStoreFile* store_;
+  warehouse::WarehouseWriter* warehouse_;
+  std::string error_;
+  std::string last_metrics_json_;
+};
+
+// Removes campaign-root debris: orphaned `*.tmp` from interrupted commits
+// and state files for any day but `keep_day` (-1 keeps none).
+void SweepCampaignRoot(const std::string& dir, int keep_day,
+                       RecoveryStats* stats) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+      ++stats->tmp_files_removed;
+      continue;
+    }
+    if (name.rfind("state-", 0) == 0 &&
+        name != StateFileName(std::max(keep_day, 0)) &&
+        name.size() > 10 && name.compare(name.size() - 4, 4, ".bin") == 0) {
+      if (keep_day >= 0 && name == StateFileName(keep_day)) continue;
+      fs::remove(entry.path(), ec);
+      ++stats->stale_states_removed;
+    }
+  }
+  if (keep_day < 0) {
+    fs::remove(dir + "/" + kMetricsName, ec);
+  }
+}
+
+}  // namespace
+
+std::string StateFileName(int day) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "state-%05d.bin", day);
+  return buf;
+}
+
+std::uint64_t CampaignConfigDigest(const CampaignSpec& spec) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  hash = Fnv1a(hash, 0x544c52ull);  // "TLR" tag
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(spec.days));
+  hash = Fnv1a(hash, spec.seed);
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(
+                         spec.robustness.retry.max_attempts));
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(
+                         spec.robustness.retry.base_backoff));
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(
+                         spec.robustness.retry.max_backoff));
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(
+                         spec.robustness.retry.attempt_timeout));
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(spec.robustness.retry.budget));
+  hash = Fnv1a(hash, spec.robustness.requeue_failures ? 1 : 0);
+  hash = Fnv1a(hash, static_cast<std::uint64_t>(
+                         spec.robustness.requeue_delay));
+  hash = Fnv1a(hash, spec.world_digest);
+  return hash;
+}
+
+void AddRecoveryMetrics(const RecoveryStats& stats,
+                        obs::MetricsRegistry& registry) {
+  registry.GetCounter("campaign.recovery.resumed")
+      .Add(stats.resumed ? 1 : 0);
+  registry.GetCounter("campaign.recovery.days_replayed")
+      .Add(static_cast<std::uint64_t>(stats.days_replayed));
+  registry.GetCounter("campaign.recovery.store_tail_bytes")
+      .Add(stats.store_tail_truncated);
+  registry.GetCounter("campaign.recovery.tmp_files_removed")
+      .Add(stats.tmp_files_removed);
+  registry.GetCounter("campaign.recovery.stale_segments_removed")
+      .Add(stats.stale_segments_removed);
+  registry.GetCounter("campaign.recovery.stale_checkpoints_removed")
+      .Add(stats.stale_checkpoints_removed);
+  registry.GetCounter("campaign.recovery.stale_states_removed")
+      .Add(stats.stale_states_removed);
+}
+
+bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
+                 CampaignResult* out, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (spec.days <= 0) return fail("campaign needs at least one day");
+
+  std::error_code ec;
+  fs::create_directories(spec.dir, ec);
+  if (ec) {
+    return fail("cannot create " + spec.dir + ": " + ec.message());
+  }
+  const std::string runlog_path = spec.dir + "/" + kRunLogName;
+  const std::string store_path = spec.dir + "/" + kStoreName;
+  const std::string warehouse_dir = spec.dir + "/" + kWarehouseDirName;
+  const std::uint64_t digest = CampaignConfigDigest(spec);
+
+  scanner::RunLog journal;
+  scanner::TextStoreFile store;
+  std::unique_ptr<warehouse::WarehouseWriter> wh;
+  scanner::ScanResumeState resume_state;
+  RecoveryStats recovery;
+  int start_day = 0;
+
+  scanner::RunLogContents contents;
+  bool have_journal = false;
+  if (spec.resume && fs::exists(runlog_path, ec)) {
+    std::string journal_error;
+    if (!scanner::RunLog::Load(runlog_path, &contents, &journal_error)) {
+      // A journal that exists but cannot be decoded means the campaign's
+      // history is gone; silently restarting would overwrite data the
+      // operator may want to inspect.
+      return fail(journal_error);
+    }
+    have_journal = true;
+  }
+
+  if (have_journal) {
+    recovery.resumed = true;
+    if (contents.config_digest != digest) {
+      return fail(runlog_path +
+                  ": journal belongs to a different campaign configuration");
+    }
+    if (contents.days != spec.days) {
+      return fail(runlog_path + ": journal records a " +
+                  std::to_string(contents.days) + "-day study, spec says " +
+                  std::to_string(spec.days));
+    }
+    const int last = contents.LastCommitted();
+    if (last >= 0) {
+      const scanner::DayDigests& committed = contents.committed.back().digests;
+      // State first: it proves the committed prefix is reconstructible
+      // before anything on disk gets truncated or deleted.
+      Bytes state_bytes;
+      const std::string state_path = spec.dir + "/" + StateFileName(last);
+      if (!ReadFileBytes(state_path, &state_bytes, error)) return false;
+      if (state_bytes.size() != committed.state_bytes ||
+          Crc32(state_bytes) != committed.state_crc) {
+        return fail(state_path + ": does not match the journal's digest");
+      }
+      std::string state_error;
+      if (!DecodeState(state_bytes, last, &resume_state, &state_error)) {
+        return fail(state_path + ": " + state_error);
+      }
+      if (!store.Resume(store_path, committed.store_bytes,
+                        committed.store_crc, &recovery.store_tail_truncated,
+                        error)) {
+        return false;
+      }
+      warehouse::RecoverySweep sweep;
+      wh = warehouse::WarehouseWriter::Resume(warehouse_dir, last, &sweep,
+                                              error);
+      if (wh == nullptr) return false;
+      recovery.tmp_files_removed += sweep.tmp_files_removed;
+      recovery.stale_segments_removed += sweep.stale_segments_removed;
+      recovery.stale_checkpoints_removed += sweep.stale_checkpoints_removed;
+      if (wh->RowsWritten() != committed.warehouse_rows ||
+          wh->SegmentsWritten() != committed.warehouse_segments ||
+          wh->ManifestCrc() != committed.manifest_crc) {
+        return fail(warehouse_dir +
+                    ": reconciled warehouse does not match the journal");
+      }
+      SweepCampaignRoot(spec.dir, last, &recovery);
+      if (!journal.Reopen(runlog_path, contents, error)) return false;
+      start_day = last + 1;
+      recovery.days_replayed = last + 1;
+    } else {
+      // Journal exists but no day ever committed: every artifact is
+      // uncommitted debris — start the study over under the same journal.
+      SweepCampaignRoot(spec.dir, -1, &recovery);
+      if (!journal.Reopen(runlog_path, contents, error)) return false;
+      if (!store.Create(store_path, error)) return false;
+      warehouse::RecoverySweep sweep;
+      wh = warehouse::WarehouseWriter::Create(warehouse_dir, error, &sweep);
+      if (wh == nullptr) return false;
+      recovery.tmp_files_removed += sweep.tmp_files_removed;
+    }
+  } else {
+    SweepCampaignRoot(spec.dir, -1, &recovery);
+    if (!journal.Start(runlog_path, digest, spec.days, error)) return false;
+    if (!store.Create(store_path, error)) return false;
+    warehouse::RecoverySweep sweep;
+    wh = warehouse::WarehouseWriter::Create(warehouse_dir, error, &sweep);
+    if (wh == nullptr) return false;
+    recovery.tmp_files_removed += sweep.tmp_files_removed;
+  }
+
+  CommitDriver driver(spec.dir, warehouse_dir, &journal, &store, wh.get());
+  scanner::MultiStoreWriter backends;
+  backends.Add(&store);
+  backends.Add(wh.get());
+
+  scanner::ScanEngineOptions engine;
+  engine.threads = spec.threads;
+  engine.robustness = spec.robustness;
+  engine.blacklist = spec.blacklist;
+  engine.store = &backends;
+  engine.metrics = spec.metrics;
+  engine.start_day = start_day;
+  engine.resume = start_day > 0 ? &resume_state : nullptr;
+  engine.hooks = &driver;
+
+  CampaignResult result;
+  result.scan = scanner::RunShardedDailyScans(net, spec.days, spec.seed,
+                                              engine);
+  if (!driver.Error().empty()) return fail(driver.Error());
+  if (!store.Ok()) return fail(store.Error());
+  if (!wh->ok()) return fail(wh->error());
+
+  result.metrics_json = start_day >= spec.days
+                            ? resume_state.metrics_json
+                            : driver.LastMetricsJson();
+  result.recovery = recovery;
+  result.first_scanned_day = start_day;
+  result.barriers_passed = CrashPointsPassed();
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace tlsharm::campaign

@@ -31,6 +31,16 @@ void Histogram::MergeFrom(const Histogram& other) {
   count_ += other.count_;
 }
 
+void Histogram::MergeFrom(const HistogramSnapshot& other) {
+  assert(bounds_ == other.bounds);
+  assert(counts_.size() == other.counts.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts[i];
+  }
+  sum_ += other.sum;
+  count_ += other.count;
+}
+
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
@@ -60,6 +70,18 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   }
   for (const auto& [name, histogram] : other.histograms_) {
     GetHistogram(name, histogram.Bounds()).MergeFrom(histogram);
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    GetCounter(name).Add(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    GetGauge(name).Max(value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    GetHistogram(name, histogram.bounds).MergeFrom(histogram);
   }
 }
 

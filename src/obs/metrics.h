@@ -49,6 +49,8 @@ class Gauge {
   std::int64_t value_ = 0;
 };
 
+struct HistogramSnapshot;
+
 // Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
 // order, with an implicit +inf overflow bucket (counts has bounds.size()+1
 // entries). Buckets are fixed at creation so shard registries always agree
@@ -67,6 +69,9 @@ class Histogram {
 
   // Adds another histogram with identical bounds (asserted).
   void MergeFrom(const Histogram& other);
+  // Adds a serialized histogram back in (bounds must match); how the
+  // campaign resume path restores counts from a committed snapshot.
+  void MergeFrom(const HistogramSnapshot& other);
 
  private:
   std::vector<std::int64_t> bounds_;
@@ -115,6 +120,10 @@ class MetricsRegistry {
   // Folds `other` in: counters and histograms add, gauges take the max.
   // Commutative and associative, so shard merge order cannot matter.
   void MergeFrom(const MetricsRegistry& other);
+  // Folds a parsed snapshot back in with the same merge semantics — the
+  // inverse of SnapshotJson() that lets a resumed campaign continue its
+  // counters exactly where the last committed day left them.
+  void MergeFrom(const MetricsSnapshot& snapshot);
 
   bool Empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();

@@ -89,6 +89,10 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                      const ScanEngineOptions& options) {
   const int max_shards = std::max(1, options.threads);
   const bool tracing = options.trace != nullptr;
+  const bool hooked = options.hooks != nullptr;
+  // Hooks need cumulative snapshots even when the caller passed no
+  // registry, so metering is internal whenever either consumer exists.
+  const bool metering = options.metrics != nullptr || hooked;
 
   // Both store backends (legacy text sink + streaming StoreWriter) receive
   // the identical canonical stream; `storing` gates all staging work.
@@ -97,11 +101,13 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   store.Add(options.store);
   const bool storing = !store.Empty();
 
-  // Per-shard metric registries (single-writer, no locks); merged into
-  // options.metrics in shard order after the last day. Counters add, so
-  // the merged totals do not depend on how targets were sharded.
+  // Per-shard metric registries (single-writer, no locks); merged with the
+  // engine-level registry into options.metrics in shard order after the
+  // last day. Counters add, so the merged totals do not depend on how
+  // targets were sharded.
   std::vector<obs::MetricsRegistry> shard_metrics(
-      options.metrics != nullptr ? static_cast<std::size_t>(max_shards) : 0);
+      metering ? static_cast<std::size_t>(max_shards) : 0);
+  obs::MetricsRegistry engine_metrics;
 
   // One prober per worker, every one seeded IDENTICALLY: outcomes are pure
   // in (seed, domain, time, options), so it does not matter which worker
@@ -113,7 +119,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   for (int k = 0; k < max_shards; ++k) {
     probers.emplace_back(net, seed);
     probers.back().SetRetryPolicy(options.robustness.retry);
-    if (options.metrics != nullptr) {
+    if (metering) {
       probers.back().SetMetrics(&shard_metrics[static_cast<std::size_t>(k)]);
     }
     probers.back().SetAttemptLogging(tracing);
@@ -125,11 +131,37 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                                 : no_rules);
   const std::vector<std::uint8_t>* mask_ptr = mask.empty() ? nullptr : &mask;
 
-  DailyScanResult result;
-  std::vector<std::uint8_t> ever_ticket(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_ecdhe(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_dhe(net.DomainCount(), 0);
-  std::vector<std::uint8_t> ever_trusted(net.DomainCount(), 0);
+  // The aggregate state IS the shared fold (scanner/aggregates.h): the
+  // engine folds each observation the moment the canonical merge reaches
+  // it — suite dispatch inside Fold() reproduces the old main/DHE
+  // aggregation exactly (see the aggregates.h header proof). A resumed
+  // campaign restores the committed prefix instead of rescanning it.
+  ScanAggregates agg;
+  std::vector<DayLoss> loss;
+  obs::MetricsSnapshot resumed_metrics;
+  bool have_resumed_metrics = false;
+  const int start_day = std::max(0, options.start_day);
+  if (options.resume != nullptr) {
+    agg = options.resume->aggregates;
+    loss = options.resume->loss;
+    if (metering && !options.resume->metrics_json.empty()) {
+      have_resumed_metrics =
+          obs::ParseSnapshot(options.resume->metrics_json, resumed_metrics);
+    }
+  }
+
+  // Cumulative scan-metrics snapshot through the current day: resumed base
+  // + engine counters + every shard registry. Merging is commutative, so
+  // the rendered bytes are identical at any thread count.
+  const auto cumulative_metrics_json = [&]() {
+    obs::MetricsRegistry scratch;
+    if (have_resumed_metrics) scratch.MergeFrom(resumed_metrics);
+    scratch.MergeFrom(engine_metrics);
+    for (const obs::MetricsRegistry& shard : shard_metrics) {
+      scratch.MergeFrom(shard);
+    }
+    return scratch.SnapshotJson();
+  };
 
   ProbeOptions main_options;
   main_options.ciphers = CipherSelection::kEcdheAndStatic;
@@ -137,28 +169,12 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   dhe_options.ciphers = CipherSelection::kDheOnly;
   dhe_options.kex_only = true;  // only the DHE value matters here
 
-  // Aggregation runs on the merge thread only, in canonical order.
-  const auto aggregate_main = [&](const HandshakeObservation& obs, int day) {
-    if (!obs.handshake_ok) return;
-    if (obs.trusted) ever_trusted[obs.domain] = 1;
-    if (obs.ticket_issued) {
-      ever_ticket[obs.domain] = 1;
-      result.stek_spans.Observe(obs.domain, obs.stek_id, day);
+  bool aborted = false;
+  for (int day = start_day; day < days && !aborted; ++day) {
+    if (hooked && !options.hooks->OnDayStarted(day)) {
+      aborted = true;
+      break;
     }
-    if (obs.suite == tls::CipherSuite::kEcdheWithAes128CbcSha256 &&
-        obs.kex_value != kNoSecret) {
-      ever_ecdhe[obs.domain] = 1;
-      result.ecdhe_spans.Observe(obs.domain, obs.kex_value, day);
-    }
-  };
-  const auto aggregate_dhe = [&](const HandshakeObservation& obs, int day) {
-    if (obs.handshake_ok && obs.kex_value != kNoSecret) {
-      ever_dhe[obs.domain] = 1;
-      result.dhe_spans.Observe(obs.domain, obs.kex_value, day);
-    }
-  };
-
-  for (int day = 0; day < days; ++day) {
     const SimTime when = ScanDayStart(day);
     const std::vector<simnet::DomainId> targets =
         CollectScanTargets(net, day, seed, mask_ptr, /*https_only=*/true);
@@ -201,11 +217,11 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     std::vector<PendingProbe> pending;
     for (std::size_t i = 0; i < n; ++i) {
       day_loss.scheduled += 2;
-      aggregate_main(records[i].main, day);
+      agg.Fold(day, records[i].main);
       if (IsTransportFailure(records[i].main.failure)) {
         pending.push_back({targets[i], false, records[i].main.failure});
       }
-      aggregate_dhe(records[i].dhe, day);
+      agg.Fold(day, records[i].dhe);
       if (IsTransportFailure(records[i].dhe.failure)) {
         pending.push_back({targets[i], true, records[i].dhe.failure});
       }
@@ -253,11 +269,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     for (std::size_t i = 0; i < pending_count; ++i) {
       ProbeFailure failure = pending[i].failure;
       if (options.robustness.requeue_failures) {
-        if (pending[i].dhe) {
-          aggregate_dhe(requeued[i], day);
-        } else {
-          aggregate_main(requeued[i], day);
-        }
+        agg.Fold(day, requeued[i]);
         failure = requeued[i].failure;
       }
       if (IsTransportFailure(failure)) {
@@ -267,12 +279,12 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
         ++day_loss.recovered;
       }
     }
-    result.loss.push_back(day_loss);
+    loss.push_back(day_loss);
 
     // Engine-level counters, bumped on the merge thread only (canonical
     // order; no shard involvement, so trivially thread-count independent).
-    if (options.metrics != nullptr) {
-      obs::MetricsRegistry& reg = *options.metrics;
+    if (metering) {
+      obs::MetricsRegistry& reg = engine_metrics;
       reg.GetCounter("scan.days").Add(1);
       reg.GetCounter("scan.targets").Add(n);
       reg.GetCounter("scan.probes.scheduled").Add(day_loss.scheduled);
@@ -290,25 +302,27 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
         reg.GetCounter(name).Add(lost);
       }
     }
+
+    agg.CompleteDay(day);
+    if (hooked &&
+        !options.hooks->OnDayCommitted(day, agg, loss,
+                                       cumulative_metrics_json())) {
+      aborted = true;
+    }
   }
 
   if (storing) store.Finish();
 
-  for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
-    const auto& info = net.GetDomain(id);
-    if (!info.stable || !info.https || !ever_trusted[id]) continue;
-    result.core_domains.push_back(id);
-    result.core_ever_ticket += ever_ticket[id];
-    result.core_ever_ecdhe += ever_ecdhe[id];
-    result.core_ever_dhe_connect += ever_dhe[id];
-    if (ever_ticket[id] || ever_ecdhe[id] || ever_dhe[id]) {
-      ++result.core_any_mechanism;
-    }
-  }
+  DailyScanResult result = agg.Finish(net);
+  result.loss = std::move(loss);
 
   if (options.metrics != nullptr) {
-    // Canonical shard order; merging is commutative anyway (counters and
-    // histogram buckets add), so the totals cannot depend on sharding.
+    // Canonical order — resumed base, engine counters, then each shard;
+    // merging is commutative anyway (counters and histogram buckets add),
+    // so the totals cannot depend on sharding or on where a resume split
+    // the study.
+    if (have_resumed_metrics) options.metrics->MergeFrom(resumed_metrics);
+    options.metrics->MergeFrom(engine_metrics);
     for (const obs::MetricsRegistry& shard : shard_metrics) {
       options.metrics->MergeFrom(shard);
     }

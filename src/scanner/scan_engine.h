@@ -26,9 +26,12 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scanner/aggregates.h"
 #include "scanner/experiments.h"
 #include "scanner/schedule.h"
 #include "scanner/store.h"
@@ -38,6 +41,39 @@ namespace tlsharm::scanner {
 // When the daily pass starts: 06:00 virtual on each study day (the same
 // epoch RunDailyScans has used since the serial scanner).
 inline SimTime ScanDayStart(int day) { return day * kDay + 6 * kHour; }
+
+// The state a resumed campaign restores into the engine so a run that
+// skips already-committed days finishes with the identical DailyScanResult
+// and metrics a crash-free run would have produced. Skipping is sound
+// because probe outcomes are pure functions of (seed, domain, time,
+// options) and server state is derived from virtual time, never from probe
+// arrival order — re-probing a committed day could not change any later
+// day's observations.
+struct ScanResumeState {
+  ScanAggregates aggregates;   // folded state of days [0, start_day)
+  std::vector<DayLoss> loss;   // those days' loss ledger, in day order
+  // Cumulative scan-metrics snapshot (RenderSnapshot JSON) through the
+  // last committed day; "" when the campaign ran without metering.
+  std::string metrics_json;
+};
+
+// Day-granular commit callbacks for the campaign layer (journal + durable
+// state writes). Both run on the merge thread, in canonical order, so any
+// crash barriers they pass are deterministic at every thread count.
+// Returning false aborts the study after the current day boundary — how a
+// campaign driver surfaces an I/O failure out of the engine loop.
+class CampaignHooks {
+ public:
+  virtual ~CampaignHooks() = default;
+  // Before the day's first probe (and before any of its store output).
+  virtual bool OnDayStarted(int day) = 0;
+  // After the day's observations are fully appended, EndDay'd on the store
+  // backends, and folded into `aggregates`; `loss` holds days [0, day] and
+  // `metrics_json` the cumulative scan-metrics snapshot through this day.
+  virtual bool OnDayCommitted(int day, const ScanAggregates& aggregates,
+                              const std::vector<DayLoss>& loss,
+                              const std::string& metrics_json) = 0;
+};
 
 struct ScanEngineOptions {
   // Worker shards per day. 1 = inline serial (no threads spawned).
@@ -63,6 +99,16 @@ struct ScanEngineOptions {
   // Both outputs are byte-identical for any `threads` value.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  // Campaign resume: scan only days [start_day, days), restoring the
+  // committed prefix from `resume` (required whenever start_day > 0). The
+  // engine then behaves — result, store stream, metrics — as if it had
+  // scanned every day itself.
+  int start_day = 0;
+  const ScanResumeState* resume = nullptr;
+  // Optional per-day commit callbacks (see CampaignHooks). Setting hooks
+  // enables internal metering even when `metrics` is null, so committed
+  // snapshots are always available to the campaign layer.
+  CampaignHooks* hooks = nullptr;
 };
 
 // Worker count from the TLSHARM_THREADS environment knob (1..64,

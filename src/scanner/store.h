@@ -96,6 +96,64 @@ class ObservationWriter : public StoreWriter {
   std::size_t written_ = 0;
 };
 
+// Durable file-backed text store. Appended lines stage in memory until
+// EndDay, which writes the day's block, fsyncs, and passes one crash
+// barrier (util/durable.h) — so the on-disk file grows by whole committed
+// days plus, after a crash, at most one torn tail. The writer tracks the
+// committed prefix as (bytes, streaming CRC-32); the campaign journal
+// records both at each day commit, and Resume() restores exactly that
+// prefix (truncate + verify) so a resumed run's CRC chain continues
+// bit-identically.
+class TextStoreFile : public StoreWriter {
+ public:
+  TextStoreFile();
+  ~TextStoreFile() override;
+  TextStoreFile(const TextStoreFile&) = delete;
+  TextStoreFile& operator=(const TextStoreFile&) = delete;
+
+  // Starts a fresh store file (truncating any previous one).
+  bool Create(const std::string& path, std::string* error);
+
+  // Reopens after a crash using the journal's committed digests: truncates
+  // the file to `committed_bytes`, verifies the surviving prefix's CRC,
+  // and positions for append. `truncated` (optional) reports how many
+  // uncommitted tail bytes were cut.
+  bool Resume(const std::string& path, std::uint64_t committed_bytes,
+              std::uint32_t committed_crc, std::uint64_t* truncated,
+              std::string* error);
+
+  // Journal-less reopen for standalone tooling: a torn final line (no
+  // trailing newline — the signature of a crash mid-write) is truncated
+  // away rather than rejected; `torn_lines` reports 0 or 1 so callers can
+  // surface it through the store-corruption counter.
+  bool Reopen(const std::string& path, std::size_t* torn_lines,
+              std::string* error);
+
+  void Append(int day, const HandshakeObservation& observation) override;
+  void EndDay(int day) override;
+  void Finish() override;
+
+  // I/O failures latch (StoreWriter's interface cannot return them);
+  // campaign drivers check Ok() after each EndDay.
+  bool Ok() const { return error_.empty(); }
+  const std::string& Error() const { return error_; }
+
+  // The durable prefix: bytes and finalized CRC-32 through the last EndDay.
+  std::uint64_t CommittedBytes() const { return committed_bytes_; }
+  std::uint32_t CommittedCrc() const;
+
+ private:
+  bool OpenFd(const std::string& path, bool truncate, std::string* error);
+  void Close();
+
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;          // current day's uncommitted lines
+  std::uint64_t committed_bytes_ = 0;
+  std::uint32_t crc_state_ = 0;  // streaming state over the committed prefix
+  std::string error_;
+};
+
 class ObservationReader {
  public:
   explicit ObservationReader(std::istream& in) : in_(in) {}

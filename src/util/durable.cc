@@ -1,0 +1,105 @@
+#include "util/durable.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tlsharm {
+namespace {
+
+std::atomic<std::uint64_t> g_barriers{0};
+
+// TLSHARM_CRASH_AFTER, parsed once. 0 = crash injection off.
+std::uint64_t CrashAfter() {
+  static const std::uint64_t target = [] {
+    const char* env = std::getenv("TLSHARM_CRASH_AFTER");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    return (end != nullptr && *end == '\0') ? static_cast<std::uint64_t>(value)
+                                            : std::uint64_t{0};
+  }();
+  return target;
+}
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void CrashPoint() {
+  const std::uint64_t n = g_barriers.fetch_add(1) + 1;
+  const std::uint64_t target = CrashAfter();
+  if (target != 0 && n == target) {
+    // Fail-stop: no atexit handlers, no buffered-stream flushes. Everything
+    // not yet write()n to the kernel is lost, exactly like kill -9.
+    _exit(137);
+  }
+}
+
+std::uint64_t CrashPointsPassed() { return g_barriers.load(); }
+
+bool FsyncFd(int fd, std::string* error) {
+  if (::fsync(fd) == 0) return true;
+  if (error != nullptr) *error = Errno("fsync fd for", "descriptor");
+  return false;
+}
+
+bool FsyncParentDir(const std::string& path, std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("cannot open directory", dir);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok && error != nullptr) *error = Errno("cannot fsync directory", dir);
+  ::close(fd);
+  return ok;
+}
+
+bool DurableWriteFile(const std::string& path, ByteView bytes,
+                      std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("cannot create", tmp);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("cannot write", tmp);
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    if (error != nullptr) *error = Errno("cannot fsync", tmp);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  CrashPoint();  // temp durable, target untouched -> orphaned *.tmp
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = Errno("cannot rename over", path);
+    return false;
+  }
+  CrashPoint();  // renamed, directory entry not yet synced
+  if (!FsyncParentDir(path, error)) return false;
+  CrashPoint();  // fully durable
+  return true;
+}
+
+}  // namespace tlsharm

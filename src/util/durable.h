@@ -1,0 +1,54 @@
+// Durable file commits and deterministic crash injection — the shared
+// foundation of the crash-safe campaign layer (scanner/runlog.h,
+// campaign/campaign.h).
+//
+// Every persistent artifact the campaign relies on (warehouse segments and
+// MANIFEST, fold checkpoints, campaign state, the run journal) is committed
+// with the same discipline: write the full contents to `<path>.tmp`, fsync
+// the temp file, rename it over `path`, then fsync the containing
+// directory. A fail-stop crash at any instant therefore leaves `path`
+// holding either the previous complete contents or the new complete
+// contents — never a torn mixture — plus at worst one orphaned `*.tmp`
+// file, which recovery sweeps.
+//
+// Crash injection: TLSHARM_CRASH_AFTER=<n> makes the process _exit(137) at
+// the n-th durability barrier it passes (1-based). Barriers are placed
+// inside DurableWriteFile (after the temp fsync, after the rename, and
+// after the directory fsync) and at the other commit points the campaign
+// layer marks explicitly via CrashPoint(). All barriers execute on the
+// scan engine's merge thread, so for a fixed workload the n-th barrier is
+// the same program state at any thread count — the property the
+// crash-recovery ladder test relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace tlsharm {
+
+// Passes one durability barrier: bumps the process-wide barrier counter
+// and, when TLSHARM_CRASH_AFTER is set and the counter reaches it,
+// terminates the process immediately with _exit(137) — no stream flushing,
+// no destructors, like a kill -9 at that instant.
+void CrashPoint();
+
+// Barriers passed so far in this process (0 when crash injection is off —
+// the counter always runs, so harnesses can size their kill ladder).
+std::uint64_t CrashPointsPassed();
+
+// Atomically replaces `path` with `bytes` using the temp+fsync+rename+
+// dir-fsync discipline above. False + `error` on I/O failure; `path` then
+// still holds its previous contents.
+bool DurableWriteFile(const std::string& path, ByteView bytes,
+                      std::string* error);
+
+// fsyncs the directory containing `path` so a completed rename survives a
+// power cut. False + `error` when the directory cannot be opened/synced.
+bool FsyncParentDir(const std::string& path, std::string* error);
+
+// fsyncs one open descriptor; false on failure (errno in `error`).
+bool FsyncFd(int fd, std::string* error);
+
+}  // namespace tlsharm

@@ -1,82 +1,33 @@
 // Incremental aggregation over the warehouse: folds stored observations
-// day by day into the exact aggregate state RunDailyScans maintains while
-// scanning live, so every daily-scan figure (Figs 3-5, 8; Tables 2-4) can
-// be computed from the warehouse in one streaming pass — and, with
-// checkpoints, from only the days recorded since the last fold.
+// day by day into the exact aggregate state the scan engine maintains
+// while scanning live, so every daily-scan figure (Figs 3-5, 8; Tables
+// 2-4) can be computed from the warehouse in one streaming pass — and,
+// with checkpoints, from only the days recorded since the last fold.
 //
-// Why the fold reproduces the engine bit for bit: the engine's two probe
-// passes are distinguishable from the stored suite alone. The main pass
-// offers kEcdheAndStatic and can never negotiate the DHE suite; the DHE
-// pass negotiates exactly kDheWithAes128CbcSha256 when it succeeds. Failed
-// probes (handshake_ok == false) aggregate to nothing in either pass. So
-// dispatching each stored observation on its suite replays the engine's
-// aggregate_main / aggregate_dhe exactly, in the same canonical order the
-// store preserved. The only engine output that is NOT reconstructible is
-// the per-day loss ledger (requeue recovery is invisible once merged), so
-// FoldDailyScans leaves DailyScanResult::loss empty — no figure consumes
-// it from a stored study.
+// The fold state IS the engine's aggregate state: both are
+// scanner::ScanAggregates (scanner/aggregates.h), which documents why the
+// suite-dispatch replay reproduces the engine's two probe passes bit for
+// bit. The only engine output that is NOT reconstructible from stored
+// observations is the per-day loss ledger (requeue recovery is invisible
+// once merged), so FoldDailyScans leaves DailyScanResult::loss empty — no
+// figure consumes it from a stored study; the campaign journal
+// (scanner/runlog.h) carries it for resumed scans instead.
 #pragma once
 
 #include <string>
 
-#include "analysis/spans.h"
-#include "scanner/experiments.h"
+#include "scanner/aggregates.h"
 #include "warehouse/warehouse.h"
 
 namespace tlsharm::warehouse {
 
-class ScanFold {
- public:
-  // Replays one stored observation of `day`. Days must be non-decreasing
-  // across calls and >= NextDay()'s predecessor; callers fold whole days
-  // and then CompleteDay().
-  void Fold(int day, const scanner::HandshakeObservation& obs);
-
-  // Marks `day` fully folded; NextDay() becomes day + 1.
-  void CompleteDay(int day);
-
-  // First day this fold still needs (0 for a fresh fold).
-  int NextDay() const { return next_day_; }
-
-  // Materializes the engine-equivalent result (loss left empty). Core
-  // domain accounting needs the simulated Internet's domain roster, same
-  // as the live engine's final pass.
-  scanner::DailyScanResult Finish(const simnet::Internet& net) const;
-
-  // Checkpoint codec: EncodeState is deterministic (domains in index
-  // order); DecodeState restores an equivalent fold or returns false on
-  // malformed input.
-  void EncodeState(Bytes& out) const;
-  bool DecodeState(ByteView in, std::size_t& off);
-
-  // Direct access to the folded span trackers, for reports that need the
-  // distributions without the core-domain accounting (obsq spans).
-  const analysis::SpanTracker& StekSpans() const { return stek_spans_; }
-  const analysis::SpanTracker& EcdheSpans() const { return ecdhe_spans_; }
-  const analysis::SpanTracker& DheSpans() const { return dhe_spans_; }
-
- private:
-  int next_day_ = 0;
-  analysis::SpanTracker stek_spans_{8};
-  analysis::SpanTracker ecdhe_spans_{8};
-  analysis::SpanTracker dhe_spans_{8};
-  // Grow-on-demand, indexed by DomainIndex (same flags the engine keeps).
-  std::vector<std::uint8_t> ever_ticket_;
-  std::vector<std::uint8_t> ever_ecdhe_;
-  std::vector<std::uint8_t> ever_dhe_;
-  std::vector<std::uint8_t> ever_trusted_;
-
-  void Mark(std::vector<std::uint8_t>& flags, scanner::DomainIndex domain);
-};
-
-// Checkpoint files: <dir>/ckpt-<day>.bin holds the fold state after day
-// `day` completed ("TLWC" | version | state | CRC-32 trailer).
-std::string CheckpointFileName(int day);
-bool WriteCheckpoint(const std::string& dir, int day, const ScanFold& fold,
-                     std::string* error);
-// False when the file is missing or malformed (fold unspecified then).
-bool ReadCheckpoint(const std::string& dir, int day, ScanFold* fold,
-                    std::string* error);
+// The fold state and checkpoint codec now live in the scanner layer so the
+// engine, the fold, and the campaign resume path share one implementation;
+// these aliases keep the warehouse-side API stable.
+using ScanFold = scanner::ScanAggregates;
+using scanner::CheckpointFileName;
+using scanner::ReadCheckpoint;
+using scanner::WriteCheckpoint;
 
 struct FoldOptions {
   // Resume from the newest valid checkpoint instead of refolding day 0.

@@ -71,7 +71,9 @@ inline constexpr std::uint8_t kExperimentTicket = 1;
 inline constexpr char kManifestName[] = "MANIFEST";
 inline constexpr char kManifestHeader[] = "tlsharm-warehouse 1";
 
-// Checkpoint files (fold.h): magic | version | payload | CRC-32 trailer.
-inline constexpr char kCheckpointMagic[4] = {'T', 'L', 'W', 'C'};
+// Checkpoint files (ckpt-<day>.bin) are "TLWC" | version | payload |
+// CRC-32 trailer; their codec lives with the shared aggregate state in
+// scanner/aggregates.h so the engine, the fold, and the campaign resume
+// path write identical bytes.
 
 }  // namespace tlsharm::warehouse

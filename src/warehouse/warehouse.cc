@@ -9,6 +9,7 @@
 #include "warehouse/format.h"
 #include "warehouse/segment.h"
 #include "util/crc32.h"
+#include "util/durable.h"
 
 namespace tlsharm::warehouse {
 namespace {
@@ -40,6 +41,16 @@ bool IsWarehouseFile(const std::string& name) {
          HasPrefixSuffix(name, "ckpt-", ".bin");
 }
 
+// An interrupted atomic commit (util/durable.h) leaves `<owned file>.tmp`.
+bool IsOrphanedTmp(const std::string& name) {
+  constexpr std::string_view kTmp = ".tmp";
+  if (name.size() <= kTmp.size() ||
+      name.compare(name.size() - kTmp.size(), kTmp.size(), kTmp) != 0) {
+    return false;
+  }
+  return IsWarehouseFile(name.substr(0, name.size() - kTmp.size()));
+}
+
 bool ParseU64(std::string_view text, std::uint64_t* out) {
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), *out);
@@ -56,6 +67,18 @@ bool ParseHex32(std::string_view text, std::uint32_t* out) {
   }
   *out = static_cast<std::uint32_t>(value);
   return true;
+}
+
+// Day index of an "obs-<day>.seg" / "ckpt-<day>.bin" name, or -1.
+int ParseDayFile(const std::string& name, std::string_view prefix,
+                 std::string_view suffix) {
+  if (!HasPrefixSuffix(name, prefix, suffix)) return -1;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  std::uint64_t day = 0;
+  if (!ParseU64(digits, &day) || day > 0xffff) return -1;
+  return static_cast<int>(day);
 }
 
 std::string RenderManifestLine(const SegmentInfo& info, bool experiment) {
@@ -109,7 +132,7 @@ WarehouseWriter::WarehouseWriter(std::string dir) : dir_(std::move(dir)) {}
 WarehouseWriter::~WarehouseWriter() = default;
 
 std::unique_ptr<WarehouseWriter> WarehouseWriter::Create(
-    const std::string& dir, std::string* error) {
+    const std::string& dir, std::string* error, RecoverySweep* sweep) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -118,13 +141,81 @@ std::unique_ptr<WarehouseWriter> WarehouseWriter::Create(
     }
     return nullptr;
   }
-  // Reset: a recording must never mix with a previous study's segments.
+  // Reset: a recording must never mix with a previous study's segments —
+  // nor with a crashed commit's orphaned temp files.
+  RecoverySweep swept;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
-    if (IsWarehouseFile(name)) fs::remove(entry.path(), ec);
+    if (IsOrphanedTmp(name)) {
+      fs::remove(entry.path(), ec);
+      ++swept.tmp_files_removed;
+    } else if (IsWarehouseFile(name)) {
+      fs::remove(entry.path(), ec);
+    }
   }
+  if (sweep != nullptr) *sweep = swept;
   return std::unique_ptr<WarehouseWriter>(new WarehouseWriter(dir));
+}
+
+std::unique_ptr<WarehouseWriter> WarehouseWriter::Resume(
+    const std::string& dir, int last_day, RecoverySweep* sweep,
+    std::string* error) {
+  std::optional<Warehouse> existing = Warehouse::Open(dir, error);
+  if (!existing.has_value()) return nullptr;
+
+  // Verify the committed prefix BEFORE deleting anything: a resume that
+  // cannot trust the surviving segments must fail loudly, not truncate.
+  std::unique_ptr<WarehouseWriter> writer(new WarehouseWriter(dir));
+  for (const SegmentInfo& info : existing->ObservationSegments()) {
+    if (info.day > last_day) continue;
+    const std::string path = dir + "/" + info.file;
+    Bytes bytes;
+    if (!ReadWarehouseFile(path, &bytes, error)) return nullptr;
+    if (bytes.size() != info.bytes || Crc32(bytes) != info.crc) {
+      if (error != nullptr) {
+        *error = path + ": committed segment does not match manifest";
+      }
+      return nullptr;
+    }
+    writer->obs_segments_.push_back(info);
+    writer->rows_written_ += info.rows;
+    writer->bytes_written_ += info.bytes;
+  }
+
+  RecoverySweep swept;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (IsOrphanedTmp(name)) {
+      fs::remove(entry.path(), ec);
+      ++swept.tmp_files_removed;
+      continue;
+    }
+    const int obs_day = ParseDayFile(name, "obs-", ".seg");
+    if (obs_day > last_day ||
+        (obs_day < 0 && HasPrefixSuffix(name, "exp-", ".seg"))) {
+      // A partially recorded day the journal never committed, or an
+      // experiment table (rewritten when the resumed study finishes).
+      fs::remove(entry.path(), ec);
+      ++swept.stale_segments_removed;
+      continue;
+    }
+    const int ckpt_day = ParseDayFile(name, "ckpt-", ".bin");
+    if (ckpt_day > last_day) {
+      fs::remove(entry.path(), ec);
+      ++swept.stale_checkpoints_removed;
+    }
+  }
+  if (sweep != nullptr) *sweep = swept;
+
+  // Re-index exactly the committed prefix, durably.
+  if (!writer->WriteManifest()) {
+    if (error != nullptr) *error = writer->error();
+    return nullptr;
+  }
+  return writer;
 }
 
 void WarehouseWriter::Latch(const std::string& message) {
@@ -230,16 +321,11 @@ bool WarehouseWriter::WriteSegmentFile(const std::string& name,
   info->bytes = bytes.size();
   info->crc = Crc32(bytes);
   const std::string path = dir_ + "/" + name;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out ||
-      !out.write(reinterpret_cast<const char*>(bytes.data()),
-                 static_cast<std::streamsize>(bytes.size()))) {
-    Latch("cannot write " + path);
-    return false;
-  }
-  out.close();
-  if (!out) {
-    Latch("cannot write " + path);
+  std::string write_error;
+  // Atomic temp+fsync+rename commit: a crash leaves either no segment or
+  // the complete one, never a torn file the manifest could point at.
+  if (!DurableWriteFile(path, bytes, &write_error)) {
+    Latch("cannot write " + path + ": " + write_error);
     return false;
   }
   bytes_written_ += bytes.size();
@@ -257,11 +343,15 @@ bool WarehouseWriter::WriteManifest() {
     manifest << RenderManifestLine(info, /*experiment=*/true) << "\n";
   }
   const std::string path = dir_ + "/" + kManifestName;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out || !(out << manifest.str())) {
-    Latch("cannot write " + path);
+  const std::string text = manifest.str();
+  const ByteView bytes(reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size());
+  std::string write_error;
+  if (!DurableWriteFile(path, bytes, &write_error)) {
+    Latch("cannot write " + path + ": " + write_error);
     return false;
   }
+  manifest_crc_ = Crc32(bytes);
   return true;
 }
 

@@ -41,13 +41,40 @@ struct SegmentInfo {
 const char* ExperimentKindName(std::uint8_t experiment);
 std::optional<std::uint8_t> ExperimentKindId(const std::string& kind);
 
+// What a writer swept while preparing its directory — orphaned temp files
+// from interrupted atomic commits, plus (on resume) segments and fold
+// checkpoints beyond the last committed day. Surfaced as the
+// campaign.recovery.* counters so operators can see a crash left debris.
+struct RecoverySweep {
+  std::uint64_t tmp_files_removed = 0;
+  std::uint64_t stale_segments_removed = 0;
+  std::uint64_t stale_checkpoints_removed = 0;
+};
+
 class WarehouseWriter : public scanner::StoreWriter {
  public:
-  // Creates (or resets) the warehouse directory: a stale MANIFEST and any
-  // previous segment/checkpoint files are removed so a recording never
-  // mixes studies. Returns nullptr with `error` set when the directory
-  // cannot be prepared.
+  // Creates (or resets) the warehouse directory: a stale MANIFEST, any
+  // previous segment/checkpoint files, and orphaned `*.tmp` files from an
+  // interrupted commit are removed so a recording never mixes studies.
+  // Returns nullptr with `error` set when the directory cannot be
+  // prepared. `sweep` (optional) reports what was cleaned.
   static std::unique_ptr<WarehouseWriter> Create(const std::string& dir,
+                                                 std::string* error,
+                                                 RecoverySweep* sweep =
+                                                     nullptr);
+
+  // Reopens an existing warehouse for a resumed campaign, reconciling the
+  // directory with the journal's last committed day: observation segments
+  // beyond `last_day` (a partially recorded day the journal never
+  // committed), every experiment table (rewritten deterministically when
+  // the study finishes), stale fold checkpoints, and orphaned `*.tmp`
+  // files are deleted, and the MANIFEST is rewritten durably to index
+  // exactly the committed prefix. Appending then continues at
+  // `last_day + 1`. Kept segment files are verified against their
+  // manifest size/CRC before anything is deleted.
+  static std::unique_ptr<WarehouseWriter> Resume(const std::string& dir,
+                                                 int last_day,
+                                                 RecoverySweep* sweep,
                                                  std::string* error);
 
   // scanner::StoreWriter: buffers the current day's rows, writes one
@@ -68,6 +95,11 @@ class WarehouseWriter : public scanner::StoreWriter {
 
   std::uint64_t RowsWritten() const { return rows_written_; }
   std::uint64_t BytesWritten() const { return bytes_written_; }
+  // Committed observation segments so far (one per ended day).
+  std::uint64_t SegmentsWritten() const { return obs_segments_.size(); }
+  // CRC-32 of the MANIFEST bytes last written — the digest the campaign
+  // journal records at each day commit and re-verifies on resume.
+  std::uint32_t ManifestCrc() const { return manifest_crc_; }
 
   ~WarehouseWriter() override;
 
@@ -88,6 +120,7 @@ class WarehouseWriter : public scanner::StoreWriter {
   std::vector<SegmentInfo> experiments_;
   std::uint64_t rows_written_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint32_t manifest_crc_ = 0;
   bool ok_ = true;
   std::string error_;
 };

@@ -1,0 +1,232 @@
+// The crash-injection ladder: kill a scan campaign at every class of
+// durability barrier, resume it, and require the campaign directory to be
+// BYTE-IDENTICAL to a crash-free golden run — at several thread counts,
+// and through a double crash. This is the end-to-end proof of the
+// journal's claim: a fail-stop crash at any instant loses at most the
+// in-flight day, and a resume reconstructs exactly the run that would
+// have been.
+//
+// The ladder drives crash_campaign_runner (same build directory) via
+// TLSHARM_CRASH_AFTER=<n>, which _exit(137)s the process at the n-th
+// durability barrier (util/durable.h). All barriers run on the engine's
+// merge thread, so barrier n is the same program state at any thread
+// count. Barrier layout per study day (engine + campaign commit order):
+//
+//   +1..3   journal day-started       (DurableWriteFile: fsync/rename/dir)
+//   +4      text store day block      (fsync barrier in EndDay)
+//   +5..7   warehouse segment write
+//   +8..10  warehouse MANIFEST update
+//   +11..13 fold checkpoint write
+//   +14..16 campaign state write
+//   +17..19 metrics.json write
+//   +20..22 journal day-committed
+//
+// preceded by 3 barriers for the initial journal write and followed by 3
+// for the final manifest rewrite in Finish().
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kDays = 3;
+constexpr int kPopulation = 300;
+constexpr std::uint64_t kSeed = 7;
+
+struct RunOutcome {
+  int exit_code = -1;
+  std::string output;
+};
+
+std::string RunnerPath() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  EXPECT_GT(n, 0);
+  buf[n] = '\0';
+  return fs::path(buf).parent_path() / "crash_campaign_runner";
+}
+
+// Runs the campaign runner; `crash_after` > 0 arms the injection knob.
+RunOutcome RunCampaign(const std::string& dir, int threads, bool resume,
+                       long crash_after) {
+  std::string cmd;
+  if (crash_after > 0) {
+    cmd += "TLSHARM_CRASH_AFTER=" + std::to_string(crash_after) + " ";
+  }
+  cmd += RunnerPath() + " " + dir + " " + std::to_string(kDays) + " " +
+         std::to_string(kPopulation) + " " + std::to_string(kSeed) + " " +
+         std::to_string(threads) + " " + (resume ? "1" : "0") + " 2>&1";
+  RunOutcome outcome;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return outcome;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+    outcome.output += chunk;
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    outcome.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    outcome.exit_code = 128 + WTERMSIG(status);
+  }
+  return outcome;
+}
+
+std::uint64_t ParseField(const std::string& output, const std::string& key) {
+  const std::size_t at = output.find(key + "=");
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << output;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(output.c_str() + at + key.size() + 1, nullptr, 10);
+}
+
+// Every regular file under `dir`, relative path -> exact bytes.
+std::map<std::string, std::string> SnapshotTree(const std::string& dir) {
+  std::map<std::string, std::string> tree;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    tree[fs::relative(entry.path(), dir).string()] = bytes.str();
+  }
+  return tree;
+}
+
+void ExpectTreesEqual(const std::map<std::string, std::string>& golden,
+                      const std::map<std::string, std::string>& resumed,
+                      const std::string& label) {
+  for (const auto& [name, bytes] : golden) {
+    const auto it = resumed.find(name);
+    ASSERT_NE(it, resumed.end()) << label << ": missing file " << name;
+    EXPECT_EQ(it->second, bytes) << label << ": " << name << " differs";
+  }
+  for (const auto& [name, bytes] : resumed) {
+    EXPECT_TRUE(golden.count(name)) << label << ": extra file " << name;
+  }
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("tlsharm-crash-" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+
+    const std::string golden_dir = Dir("golden");
+    const RunOutcome golden = RunCampaign(golden_dir, 1, false, 0);
+    ASSERT_EQ(golden.exit_code, 0) << golden.output;
+    golden_barriers_ = ParseField(golden.output, "barriers");
+    ASSERT_GT(golden_barriers_, 20u);
+    golden_tree_ = SnapshotTree(golden_dir);
+    ASSERT_TRUE(golden_tree_.count("RUNLOG"));
+    ASSERT_TRUE(golden_tree_.count("store.txt"));
+    ASSERT_TRUE(golden_tree_.count("warehouse/MANIFEST"));
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Dir(const std::string& name) { return root_ / name; }
+
+  // Crash at barrier `n` (any thread count), resume, compare to golden.
+  void CrashResumeCompare(const std::string& name, long n, int crash_threads,
+                          int resume_threads) {
+    const std::string dir = Dir(name);
+    const RunOutcome crashed = RunCampaign(dir, crash_threads, false, n);
+    ASSERT_EQ(crashed.exit_code, 137)
+        << name << " at barrier " << n << ": " << crashed.output;
+    const RunOutcome resumed = RunCampaign(dir, resume_threads, true, 0);
+    ASSERT_EQ(resumed.exit_code, 0)
+        << name << " resume after barrier " << n << ": " << resumed.output;
+    ExpectTreesEqual(golden_tree_, SnapshotTree(dir),
+                     name + "@" + std::to_string(n));
+  }
+
+  fs::path root_;
+  std::uint64_t golden_barriers_ = 0;
+  std::map<std::string, std::string> golden_tree_;
+};
+
+TEST_F(CrashRecoveryTest, LadderCoversEveryCommitClassByteIdentically) {
+  // One kill inside each barrier class of a mid-study day (see the layout
+  // table above), plus the first barrier (initial journal write), a
+  // mid-study point, and the very last barrier (final manifest rewrite).
+  const std::uint64_t per_day = (golden_barriers_ - 6) / kDays;
+  ASSERT_EQ(golden_barriers_, 6 + per_day * kDays)
+      << "barrier layout changed; update the ladder offsets";
+  const std::uint64_t day1 = 3 + per_day;  // base of study day 1
+  std::set<long> ladder = {1, static_cast<long>(golden_barriers_ / 2),
+                           static_cast<long>(golden_barriers_)};
+  for (const std::uint64_t offset : {1u, 4u, 5u, 8u, 11u, 14u, 17u, 20u}) {
+    ASSERT_LT(offset, per_day);
+    ladder.insert(static_cast<long>(day1 + offset));
+  }
+  ASSERT_GE(ladder.size(), 8u);
+  int i = 0;
+  for (const long n : ladder) {
+    CrashResumeCompare("ladder" + std::to_string(i++), n, 1, 1);
+  }
+}
+
+TEST_F(CrashRecoveryTest, ResumeIsByteIdenticalAcrossThreadCounts) {
+  // Crash an 8-thread run, resume with 2 threads: still byte-identical to
+  // the single-threaded golden run.
+  const long mid = static_cast<long>(golden_barriers_ / 2);
+  CrashResumeCompare("threads", mid, 8, 2);
+}
+
+TEST_F(CrashRecoveryTest, SurvivesADoubleCrash) {
+  const std::string dir = Dir("double");
+  const long first = static_cast<long>(golden_barriers_ / 2);
+  const RunOutcome crashed = RunCampaign(dir, 2, false, first);
+  ASSERT_EQ(crashed.exit_code, 137) << crashed.output;
+  // The second crash hits during recovery/rescan of the in-flight day.
+  const RunOutcome crashed_again = RunCampaign(dir, 2, true, 5);
+  ASSERT_EQ(crashed_again.exit_code, 137) << crashed_again.output;
+  const RunOutcome resumed = RunCampaign(dir, 2, true, 0);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  ExpectTreesEqual(golden_tree_, SnapshotTree(dir), "double-crash");
+}
+
+TEST_F(CrashRecoveryTest, ResumingACompletedCampaignChangesNothing) {
+  const std::string dir = Dir("complete");
+  const RunOutcome full = RunCampaign(dir, 2, false, 0);
+  ASSERT_EQ(full.exit_code, 0) << full.output;
+  const RunOutcome again = RunCampaign(dir, 2, true, 0);
+  ASSERT_EQ(again.exit_code, 0) << again.output;
+  EXPECT_EQ(ParseField(again.output, "replayed"),
+            static_cast<std::uint64_t>(kDays));
+  ExpectTreesEqual(golden_tree_, SnapshotTree(dir), "re-resume");
+}
+
+TEST_F(CrashRecoveryTest, ResumeRepairsCrashDebrisAndReportsIt) {
+  // Kill inside the day-1 warehouse MANIFEST update: the day's store block
+  // and segment are durable but the day never committed, so resume must
+  // truncate the store tail and drop the partial segment.
+  const std::uint64_t per_day = (golden_barriers_ - 6) / kDays;
+  const long n = static_cast<long>(3 + per_day + 9);
+  const std::string dir = Dir("debris");
+  const RunOutcome crashed = RunCampaign(dir, 1, false, n);
+  ASSERT_EQ(crashed.exit_code, 137) << crashed.output;
+  const RunOutcome resumed = RunCampaign(dir, 1, true, 0);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(ParseField(resumed.output, "replayed"), 1u);   // day 0 restored
+  EXPECT_GT(ParseField(resumed.output, "store_tail"), 0u); // day 1 block cut
+  EXPECT_GT(ParseField(resumed.output, "stale_seg"), 0u);  // day 1 segment
+  ExpectTreesEqual(golden_tree_, SnapshotTree(dir), "debris");
+}
+
+}  // namespace
