@@ -1,0 +1,193 @@
+// bench_prof: what the wall-clock performance plane itself costs, and
+// where a scan's wall time actually goes.
+//
+// Four measurements, all landing in BENCH_prof.json:
+//
+//   1. Disabled-path span cost — the price every instrumented call site
+//      pays when TLSHARM_PROF is off (one relaxed atomic load + branch).
+//      This is the number the "profiling is free when off" claim rests on;
+//      scripts/check.sh budgets its whole-scan projection (warn > 1%,
+//      fail > 5%).
+//   2. Enabled-path span cost — clock reads + thread-local buffer write.
+//   3. Off-vs-on scan overhead — the same daily-scan study interleaved
+//      with profiling off and on (min-of-reps), cross-checking that the
+//      merged metrics snapshot is byte-identical either way (the
+//      two-plane isolation contract).
+//   4. The hotspot table from the profiled run: top spans by self time
+//      plus the attribution share — how much of root wall time named
+//      spans claim. The ≥90% gate makes "we know where the time goes"
+//      a tested property, not a hope.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/prof_report.h"
+#include "scanner/scan_engine.h"
+
+using namespace tlsharm;
+
+namespace {
+
+const obs::ProfSite kBenchSite("bench.prof.site");
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Cost of one ProfScope at an instrumented site, in ns, averaged over
+// `iters` constructions in a tight loop. Valid for both the disabled path
+// (atomic load + branch) and the enabled path (two clock reads + buffer
+// write) — whichever state the plane is in when called.
+double SpanCostNs(std::uint64_t iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    obs::ProfScope span(kBenchSite);
+  }
+  return MsSince(start) * 1e6 / static_cast<double>(iters);
+}
+
+struct ScanRun {
+  double ms = 0;
+  std::uint64_t probes = 0;
+  std::string metrics_json;
+};
+
+ScanRun RunScan(const bench::World& world, int threads) {
+  ScanRun run;
+  auto net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), bench::StudySeed());
+  obs::MetricsRegistry metrics;
+  scanner::ScanEngineOptions options;
+  options.threads = threads;
+  options.metrics = &metrics;
+  const auto start = std::chrono::steady_clock::now();
+  const scanner::DailyScanResult result = scanner::RunShardedDailyScans(
+      *net, world.days, bench::StudySeed() + 501, options);
+  run.ms = MsSince(start);
+  for (const auto& day : result.loss) run.probes += day.scheduled;
+  run.metrics_json = metrics.SnapshotJson();
+  return run;
+}
+
+int Reps() {
+  if (const char* env = std::getenv("TLSHARM_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps >= 1 && reps <= 20) return reps;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int main() {
+  bench::World world = bench::BuildWorld("performance-plane overhead");
+  world.net.reset();  // every run builds its own world
+  int threads = scanner::ScanThreadsFromEnv();
+  if (threads <= 1) threads = 8;
+  const int reps = Reps();
+
+  // Span-site micro costs. The disabled path is what every site in the
+  // scan/crypto/durable hot paths pays in a production (unprofiled) run.
+  obs::SetProfilingEnabled(false);
+  const double disabled_ns = SpanCostNs(20'000'000);
+  obs::SetProfilingEnabled(true);
+  obs::SetProfTraceEnabled(false);
+  obs::ProfReset();
+  const double enabled_ns = SpanCostNs(2'000'000);
+  obs::SetProfilingEnabled(false);
+  obs::ProfReset();
+
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2f ns", disabled_ns);
+  bench::PrintRow("span site cost, profiling off", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ns", enabled_ns);
+  bench::PrintRow("span site cost, profiling on", "-", buf);
+
+  // Off-vs-on scan overhead, interleaved min-of-reps (same discipline as
+  // bench_recovery: the minimum is the run least disturbed by scheduling
+  // noise, which matters for a single-digit-percent effect).
+  ScanRun off, on;
+  obs::ProfSnapshot snap;
+  bool metrics_match = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::SetProfilingEnabled(false);
+    const ScanRun off_rep = RunScan(world, threads);
+    if (rep == 0 || off_rep.ms < off.ms) off = off_rep;
+
+    obs::SetProfilingEnabled(true);
+    obs::ProfReset();
+    const ScanRun on_rep = RunScan(world, threads);
+    obs::SetProfilingEnabled(false);
+    if (rep == 0 || on_rep.ms < on.ms) on = on_rep;
+    if (rep == 0) snap = obs::ProfSnapshotNow();
+    metrics_match = metrics_match && off_rep.metrics_json == on_rep.metrics_json;
+  }
+
+  const double enabled_overhead_pct =
+      off.ms > 0 ? (on.ms - off.ms) * 100.0 / off.ms : 0;
+  // Projected cost of the instrumentation when profiling is OFF: every
+  // span the profiled run recorded was, in the production configuration, a
+  // disabled-path check. (Direct measurement is impossible — the sites are
+  // compiled in — so the projection is the honest number: span volume from
+  // a real run times the measured per-site cost.)
+  std::uint64_t spans_recorded = 0;
+  for (const auto& s : snap.spans) spans_recorded += s.count;
+  const double disabled_overhead_pct =
+      off.ms > 0 ? static_cast<double>(spans_recorded) * disabled_ns /
+                       (off.ms * 1e6) * 100.0
+                 : 0;
+  const double spans_per_probe =
+      off.probes > 0
+          ? static_cast<double>(spans_recorded) / static_cast<double>(off.probes)
+          : 0;
+  const double attributed_pct = obs::ProfAttributedPct(snap);
+  const bool attribution_ok = attributed_pct >= 90.0;
+
+  std::printf("scan: %llu probes over %d days, %d threads, %d reps\n",
+              static_cast<unsigned long long>(off.probes), world.days,
+              threads, reps);
+  std::snprintf(buf, sizeof(buf), "%.1f ms", off.ms);
+  bench::PrintRow("scan wall time, profiling off", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ms", on.ms);
+  bench::PrintRow("scan wall time, profiling on", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f%%", enabled_overhead_pct);
+  bench::PrintRow("enabled-profiling overhead", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f (%llu spans)", spans_per_probe,
+                static_cast<unsigned long long>(spans_recorded));
+  bench::PrintRow("spans per probe (profiled run)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.4f%%", disabled_overhead_pct);
+  bench::PrintRow("disabled-path overhead (projected)", "<1%", buf);
+  bench::PrintRow("metrics identical off vs on", "yes",
+                  metrics_match ? "yes" : "NO");
+  std::snprintf(buf, sizeof(buf), "%.1f%%", attributed_pct);
+  bench::PrintRow("root wall time attributed to spans", ">=90%", buf);
+
+  std::printf("\n%s", obs::RenderProfReport(snap).c_str());
+
+  bench::JsonReport report("prof");
+  report.Add("population", static_cast<std::uint64_t>(world.population));
+  report.Add("days", world.days);
+  report.Add("threads", threads);
+  report.Add("probes", off.probes);
+  report.Add("disabled_span_ns", disabled_ns);
+  report.Add("enabled_span_ns", enabled_ns);
+  report.Add("scan_off_ms", off.ms);
+  report.Add("scan_on_ms", on.ms);
+  report.Add("enabled_overhead_pct", enabled_overhead_pct);
+  report.Add("spans_recorded", spans_recorded);
+  report.Add("spans_per_probe", spans_per_probe);
+  report.Add("disabled_overhead_pct", disabled_overhead_pct);
+  report.Add("attributed_pct", attributed_pct);
+  report.AddString("attribution_ok", attribution_ok ? "yes" : "no");
+  report.AddString("metrics_deterministic", metrics_match ? "yes" : "no");
+  report.AddRaw("hotspots", obs::RenderHotspotJson(snap, 12));
+  const std::string path = report.Write();
+  std::printf("\nwrote %s\n", path.c_str());
+  return metrics_match && attribution_ok ? 0 : 1;
+}

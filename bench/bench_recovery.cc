@@ -24,6 +24,8 @@
 #include "campaign/campaign.h"
 #include "common.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/prof_report.h"
 #include "scanner/scan_engine.h"
 #include "scanner/store.h"
 #include "util/durable.h"
@@ -179,6 +181,59 @@ int main() {
       SameScan(bare, restored.scan);
   std::filesystem::remove_all(dir);
 
+  // Cross-check against the performance plane: a profiled campaign run
+  // measures the commit barrier directly (campaign.commit.day wraps steps
+  // 3–5 of the commit protocol; durable.fsync wraps every fsync inside
+  // it). The profiler's per-day commit cost and the subtraction-based
+  // commit_ms_per_day above are independent timing sources for the same
+  // machinery, so they must roughly agree — a cheap tripwire against
+  // either measurement silently drifting into nonsense.
+  double prof_commit_ms_per_day = 0, prof_fsync_ms = 0;
+  std::uint64_t prof_commit_days = 0, prof_fsyncs = 0;
+  {
+    const std::string prof_dir = dir + "-prof";
+    std::filesystem::remove_all(prof_dir);
+    world.net = FreshWorld(world);
+    campaign::CampaignSpec prof_spec = spec;
+    prof_spec.dir = prof_dir;
+    prof_spec.resume = false;
+    obs::SetProfilingEnabled(true);
+    obs::ProfReset();
+    campaign::CampaignResult prof_result;
+    if (!campaign::RunCampaign(*world.net, prof_spec, &prof_result, &error)) {
+      std::fprintf(stderr, "profiled campaign failed: %s\n", error.c_str());
+      return 1;
+    }
+    const obs::ProfSnapshot snap = obs::ProfSnapshotNow();
+    obs::SetProfilingEnabled(false);
+    obs::ProfReset();
+    std::filesystem::remove_all(prof_dir);
+    for (const obs::ProfSpanStats& span : snap.spans) {
+      if (span.name == "campaign.commit.day") {
+        prof_commit_days = span.count;
+        prof_commit_ms_per_day = span.count > 0
+            ? static_cast<double>(span.total_ns) / 1e6 /
+                  static_cast<double>(span.count)
+            : 0;
+      } else if (span.name == "durable.fsync") {
+        prof_fsyncs = span.count;
+        prof_fsync_ms = static_cast<double>(span.total_ns) / 1e6;
+      }
+    }
+  }
+  const double commit_ms_per_day = (campaign_ms - bare_ms) / world.days;
+  // Structural checks always hold: one commit span per committed day, and
+  // a durable commit necessarily fsyncs. The ratio check only engages when
+  // the subtraction-based number is large enough to be meaningful — below
+  // ~1 ms/day it is dominated by scan-time noise between the two runs.
+  bool timing_sources_agree =
+      prof_commit_days == static_cast<std::uint64_t>(world.days) &&
+      prof_fsyncs > 0;
+  if (timing_sources_agree && commit_ms_per_day > 1.0) {
+    const double ratio = prof_commit_ms_per_day / commit_ms_per_day;
+    timing_sources_agree = ratio >= 0.2 && ratio <= 5.0;
+  }
+
   const double per_probe_bare =
       probes > 0 ? bare_ms * 1000.0 / static_cast<double>(probes) : 0;
   const double per_probe_campaign =
@@ -200,9 +255,14 @@ int main() {
   // The overhead is a fixed per-day commit cost (journal rewrites, fsyncs,
   // checkpoint + state encode), so it amortizes as the population grows —
   // report it in absolute terms too.
-  std::snprintf(buf, sizeof(buf), "%.1f ms",
-                (campaign_ms - bare_ms) / world.days);
+  std::snprintf(buf, sizeof(buf), "%.1f ms", commit_ms_per_day);
   bench::PrintRow("commit cost per day (absolute)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f ms (%llu fsyncs, %.2f ms)",
+                prof_commit_ms_per_day,
+                static_cast<unsigned long long>(prof_fsyncs), prof_fsync_ms);
+  bench::PrintRow("commit cost per day (profiler)", "-", buf);
+  bench::PrintRow("timing sources agree", "yes",
+                  timing_sources_agree ? "yes" : "NO");
   std::snprintf(buf, sizeof(buf), "%.1f ms (%d days)", restore_ms,
                 restored.recovery.days_replayed);
   bench::PrintRow("restore latency (resume, no rescan)", "-", buf);
@@ -224,11 +284,16 @@ int main() {
   report.Add("us_per_probe_bare", per_probe_bare);
   report.Add("us_per_probe_campaign", per_probe_campaign);
   report.Add("journal_overhead_pct", overhead_pct);
-  report.Add("commit_ms_per_day", (campaign_ms - bare_ms) / world.days);
+  report.Add("commit_ms_per_day", commit_ms_per_day);
+  report.Add("prof_commit_ms_per_day", prof_commit_ms_per_day);
+  report.Add("prof_fsyncs", prof_fsyncs);
+  report.Add("prof_fsync_ms", prof_fsync_ms);
+  report.AddString("timing_sources_agree",
+                   timing_sources_agree ? "yes" : "no");
   report.Add("restore_ms", restore_ms);
   report.Add("restore_ms_per_day", restore_ms / world.days);
   report.AddString("deterministic", matches && restore_ok ? "yes" : "no");
   const std::string path = report.Write();
   std::printf("\nwrote %s\n", path.c_str());
-  return matches && restore_ok ? 0 : 1;
+  return matches && restore_ok && timing_sources_agree ? 0 : 1;
 }

@@ -5,7 +5,10 @@
 // TLSHARM_THREADS workers (default 8) — reports the speedup, and
 // cross-checks that the two runs produced the same aggregates (the
 // engine's determinism contract; the byte-level version is enforced by
-// ParallelDeterminismTest). Results land in BENCH_scan.json.
+// ParallelDeterminismTest). A third, profiled run (obs/prof.h) breaks the
+// sharded configuration's wall time down by phase — probe, merge,
+// store-write — so throughput regressions point at a phase, not just a
+// total. Results land in BENCH_scan.json.
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -14,6 +17,8 @@
 #include "common.h"
 #include "obs/fleet.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/prof_report.h"
 #include "scanner/prober.h"
 #include "scanner/scan_engine.h"
 
@@ -98,6 +103,44 @@ ResumeScenarioResult RunResumptionScenario(std::size_t population, int days) {
   return r;
 }
 
+// Wall time spent in the named scan phases, summed from a profiled run's
+// snapshot. Probe time is per-worker (it overlaps across shards); merge and
+// store-write run on the merge thread, so those are straight wall time.
+struct PhaseBreakdown {
+  double probe_ms = 0;
+  double merge_ms = 0;
+  double store_ms = 0;
+};
+
+PhaseBreakdown MeasurePhases(bench::World& world, int threads) {
+  world.net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), bench::StudySeed());
+  obs::SetProfilingEnabled(true);
+  obs::ProfReset();
+  scanner::ScanEngineOptions options;
+  options.threads = threads;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  scanner::RunShardedDailyScans(*world.net, world.days,
+                                bench::StudySeed() + 301, options);
+  const obs::ProfSnapshot snap = obs::ProfSnapshotNow();
+  obs::SetProfilingEnabled(false);
+  obs::ProfReset();
+
+  PhaseBreakdown phases;
+  for (const obs::ProfSpanStats& span : snap.spans) {
+    const double ms = static_cast<double>(span.total_ns) / 1e6;
+    if (span.name.rfind("scan.probe.", 0) == 0) {
+      phases.probe_ms += ms;
+    } else if (span.name == "scan.merge") {
+      phases.merge_ms += ms;
+    } else if (span.name.rfind("scan.store.", 0) == 0) {
+      phases.store_ms += ms;
+    }
+  }
+  return phases;
+}
+
 }  // namespace
 
 int main() {
@@ -142,10 +185,13 @@ int main() {
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("daily scans: %llu probes over %d days (%u hardware threads)\n",
               static_cast<unsigned long long>(probes), world.days, cores);
+  const char* speedup_note =
+      cores < 2 ? "single hardware thread: sharding can only show its "
+                  "overhead here, not speedup; expect ~1.0x or slightly "
+                  "below, scaling with cores elsewhere"
+                : "";
   if (cores < 2) {
-    std::printf("NOTE: single-core machine — the sharded run can only show "
-                "overhead here,\nnot speedup; the speedup field scales with "
-                "available cores.\n");
+    std::printf("WARNING: %s.\n", speedup_note);
   }
   bench::PrintRow("serial (1 thread)",
                   "-", std::to_string(static_cast<long long>(serial_ms)) + " ms");
@@ -167,6 +213,17 @@ int main() {
   std::snprintf(buf, sizeof(buf), "%.0f", probes_per_sec);
   bench::PrintRow("probes per second (sharded)", "-", buf);
 
+  // Per-phase wall-time breakdown from a profiled rerun of the sharded
+  // configuration: where a throughput regression should send you looking.
+  const PhaseBreakdown phases = MeasurePhases(world, threads);
+  std::snprintf(buf, sizeof(buf), "%.1f ms (across %d shards)",
+                phases.probe_ms, threads);
+  bench::PrintRow("phase: probe (summed worker time)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ms", phases.merge_ms);
+  bench::PrintRow("phase: merge (merge thread)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ms", phases.store_ms);
+  bench::PrintRow("phase: store write (merge thread)", "-", buf);
+
   const ResumeScenarioResult resume =
       RunResumptionScenario(world.population, world.days);
   std::snprintf(buf, sizeof(buf), "%.1f us (%llu resumes, %llu accepted)",
@@ -184,6 +241,10 @@ int main() {
   report.Add("serial_ms", serial_ms);
   report.Add("parallel_ms", parallel_ms);
   report.Add("speedup", speedup);
+  report.AddString("speedup_note", speedup_note);
+  report.Add("phase_probe_ms", phases.probe_ms);
+  report.Add("phase_merge_ms", phases.merge_ms);
+  report.Add("phase_store_ms", phases.store_ms);
   report.Add("us_per_probe", us_per_probe);
   report.Add("probes_per_sec", probes_per_sec);
   report.Add("resume_count", resume.resumes);

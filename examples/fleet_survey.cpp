@@ -11,8 +11,19 @@
 // `--campaign <dir> --resume` restores the committed days from disk and
 // scans only the remainder — the report and the on-disk artifacts come out
 // byte-identical to an uninterrupted run.
+//
+// `--progress` prints an opt-in heartbeat to STDERR after each committed
+// day — day counter, probes/sec, wall-clock ETA — for long campaigns.
+// stdout and every artifact stay byte-identical with or without it.
+//
+// TLSHARM_POPULATION / TLSHARM_DAYS resize the survey (defaults 6000 / 7);
+// TLSHARM_PROF=1 enables the wall-clock performance plane, and
+// TLSHARM_PROF_TRACE=<path> additionally writes a Chrome trace-event JSON
+// there at exit (load it in Perfetto; one track per worker shard).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -20,6 +31,7 @@
 #include "analysis/vuln.h"
 #include "campaign/campaign.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "scanner/scan_engine.h"
 #include "simnet/internet.h"
@@ -27,21 +39,78 @@
 
 using namespace tlsharm;
 
+namespace {
+
+// Env-sized survey: TLSHARM_POPULATION (>= 100) and TLSHARM_DAYS (1..63)
+// override the defaults so a 2-day profiling campaign or a large soak run
+// doesn't need a recompile.
+std::size_t PopulationFromEnv(std::size_t fallback) {
+  if (const char* env = std::getenv("TLSHARM_POPULATION")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 100) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+int DaysFromEnv(int fallback) {
+  if (const char* env = std::getenv("TLSHARM_DAYS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 63) return parsed;
+  }
+  return fallback;
+}
+
+// The --progress heartbeat: one stderr line per committed day with a
+// wall-clock probes/sec and ETA. Wall time stays on stderr only — nothing
+// here may reach stdout or a durable artifact.
+class ProgressMeter {
+ public:
+  ProgressMeter() : start_(std::chrono::steady_clock::now()) {}
+
+  void Report(const scanner::ScanProgress& p) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(p.total_probes) / elapsed
+                            : 0.0;
+    const int done = p.day + 1;
+    const int remaining = p.days - done;
+    // Days are near-uniform cost, so a per-day average is a fair ETA.
+    const double eta = done > 0 ? elapsed / done * remaining : 0.0;
+    std::fprintf(stderr,
+                 "progress: day %d/%d  %llu probes  %.0f probes/s  "
+                 "eta %.1fs\n",
+                 done, p.days,
+                 static_cast<unsigned long long>(p.total_probes), rate, eta);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string campaign_dir;
   bool resume = false;
+  bool progress = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
       campaign_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--campaign <dir> [--resume]]\n"
+                   "usage: %s [--campaign <dir> [--resume]] [--progress]\n"
                    "  --campaign <dir>  journal the scan into <dir> so a\n"
                    "                    crashed study can be continued\n"
                    "  --resume          continue the campaign in <dir> from\n"
-                   "                    its last committed day\n",
+                   "                    its last committed day\n"
+                   "  --progress        per-day heartbeat (day, probes/sec,\n"
+                   "                    ETA) on stderr; artifacts unchanged\n",
                    argv[0]);
       return 2;
     }
@@ -53,9 +122,9 @@ int main(int argc, char** argv) {
 
   std::printf("== fleet_survey: one-week HTTPS crypto-shortcut survey ==\n");
   constexpr std::uint64_t kWorldSeed = 424242;
-  constexpr std::size_t kPopulation = 6000;
+  const std::size_t kPopulation = PopulationFromEnv(6000);
   simnet::Internet net(simnet::PaperPopulationSpec(kPopulation), kWorldSeed);
-  const int days = 7;
+  const int days = DaysFromEnv(7);
   std::printf("population: %zu domains, %zu terminators\n",
               net.DomainCount(), net.TerminatorCount());
 
@@ -97,6 +166,12 @@ int main(int argc, char** argv) {
                    trace_path.c_str());
     }
   }
+  ProgressMeter meter;
+  if (progress) {
+    engine.progress = [&meter](const scanner::ScanProgress& p) {
+      meter.Report(p);
+    };
+  }
   std::printf("\n");
 
   // --- longevity scan.
@@ -124,6 +199,7 @@ int main(int argc, char** argv) {
                         (static_cast<std::uint64_t>(kPopulation) << 20) ^
                         (faults.enabled ? 0x0fau : 0u);
     spec.metrics = engine.metrics;
+    spec.progress = engine.progress;
     campaign::CampaignResult result;
     std::string error;
     if (!campaign::RunCampaign(net, spec, &result, &error)) {
@@ -240,5 +316,19 @@ int main(int argc, char** argv) {
   std::printf("\nEvery row above is a domain whose recorded traffic stays"
               " decryptable for at least a week\nafter the fact — exactly"
               " the exposure the paper quantifies at Internet scale.\n");
+
+  // Performance plane: if TLSHARM_PROF recorded this run and a trace path
+  // is set, write the Chrome trace now. stderr only — the survey's stdout
+  // is part of the deterministic surface the check gates diff.
+  const std::string prof_trace_path = obs::ProfTracePathFromEnv();
+  if (obs::ProfilingEnabled() && !prof_trace_path.empty()) {
+    std::string error;
+    if (!obs::ProfWriteChromeTrace(prof_trace_path, &error)) {
+      std::fprintf(stderr, "fleet_survey: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote Chrome trace to %s (load in Perfetto)\n",
+                 prof_trace_path.c_str());
+  }
   return 0;
 }

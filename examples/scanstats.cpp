@@ -18,6 +18,12 @@
 // aggregates. Any drift is a hard failure, so the report's store numbers
 // are certified warehouse-backed.
 //
+// `scanstats --prof` additionally enables the wall-clock performance
+// plane (obs/prof.h) for the run and appends its aggregated report — span
+// hotspots with p50/p95/p99, shard utilization, attribution — after the
+// deterministic telemetry. The profiling plane never changes a byte of the
+// normal report.
+//
 // `scanstats --selftest` instead verifies the observability contract and
 // exits non-zero on any violation: metrics snapshot, trace bytes, and store
 // bytes must be identical at 1, 2, and 8 threads; the snapshot must
@@ -34,6 +40,8 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/prof_report.h"
 #include "obs/trace.h"
 #include "scanner/scan_engine.h"
 #include "simnet/internet.h"
@@ -307,6 +315,7 @@ bool CheckTraceSchema(const std::string& trace, std::string& error) {
 
 int SelfTest() {
   std::printf("== scanstats --selftest: observability determinism gate ==\n");
+  obs::SetProfilingEnabled(false);
   const RunOutput base = RunInstrumentedScan(1);
   if (base.store.empty() || base.trace.empty()) {
     std::printf("FAIL: instrumented scan produced no output\n");
@@ -360,6 +369,33 @@ int SelfTest() {
     std::printf("FAIL: store reload reported corrupt lines\n");
     return 1;
   }
+
+  // Two-plane isolation: with the wall-clock performance plane recording,
+  // every deterministic artifact must still be byte-identical — at the
+  // serial baseline and at 8 threads (where prof adds per-shard tracks).
+  obs::SetProfilingEnabled(true);
+  for (const int threads : {1, 8}) {
+    obs::ProfReset();
+    const RunOutput prof_run = RunInstrumentedScan(threads);
+    if (prof_run.metrics_json != base.metrics_json ||
+        prof_run.trace != base.trace || prof_run.store != base.store) {
+      std::printf("FAIL: TLSHARM_PROF changed deterministic output at %d "
+                  "threads\n", threads);
+      obs::SetProfilingEnabled(false);
+      return 1;
+    }
+    const obs::ProfSnapshot snap = obs::ProfSnapshotNow();
+    if (snap.spans.empty() || snap.root_total_ns == 0) {
+      std::printf("FAIL: profiling enabled but no spans recorded at %d "
+                  "threads\n", threads);
+      obs::SetProfilingEnabled(false);
+      return 1;
+    }
+    std::printf("  %d threads + prof: artifacts unchanged, %zu span sites "
+                "recorded\n", threads, snap.spans.size());
+  }
+  obs::SetProfilingEnabled(false);
+
   std::printf("selftest PASSED\n");
   return 0;
 }
@@ -372,8 +408,16 @@ int main(int argc, char** argv) {
   }
 
   std::string warehouse_dir;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--warehouse") == 0) warehouse_dir = argv[i + 1];
+  bool prof = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--warehouse") == 0 && i + 1 < argc) {
+      warehouse_dir = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--prof") == 0) prof = true;
+  }
+  if (prof) {
+    obs::SetProfilingEnabled(true);
+    obs::ProfReset();
   }
 
   const int threads = scanner::ScanThreadsFromEnv();
@@ -398,6 +442,20 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     if (!WriteFileOrComplain(trace_path, run.trace)) return 1;
     std::printf("wrote probe trace to %s\n", trace_path.c_str());
+  }
+
+  if (prof) {
+    std::printf("\n%s", obs::RenderProfReport(obs::ProfSnapshotNow()).c_str());
+    const std::string prof_trace_path = obs::ProfTracePathFromEnv();
+    if (!prof_trace_path.empty()) {
+      std::string error;
+      if (!obs::ProfWriteChromeTrace(prof_trace_path, &error)) {
+        std::fprintf(stderr, "scanstats: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("wrote Chrome trace to %s (load in Perfetto)\n",
+                  prof_trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -66,6 +66,50 @@ diff <(grep -v "built in" "${whdir}/live.txt") \
      <(grep -v "built in" "${whdir}/replay.txt")
 echo "record and replay match the live scan"
 
+# Performance-plane gate (obs/prof.h). Three properties:
+#   1. Isolation — profiling must never leak into the deterministic plane:
+#      scanstats --selftest already cross-checks metrics/trace/store bytes
+#      prof-on vs prof-off at 1 and 8 threads; running the whole selftest
+#      under TLSHARM_PROF=1 additionally proves the env-seeded path, and a
+#      campaign run with profiling + the progress heartbeat must produce a
+#      byte-identical campaign directory.
+#   2. The tooling works — tlsharm-prof profiles a campaign, writes a
+#      Chrome trace, and reloads that trace file.
+#   3. Overhead budget — bench_prof's projected whole-scan cost of the
+#      disabled-path span checks: warn past 1%, fail past 5%.
+echo "== performance plane: scanstats --selftest under TLSHARM_PROF=1 =="
+TLSHARM_PROF=1 "${repo}/build/examples/scanstats" --selftest
+echo "== performance plane: campaign artifacts identical prof on/off =="
+TLSHARM_POPULATION=1200 TLSHARM_DAYS=2 "${repo}/build/examples/fleet_survey" \
+  --campaign "${whdir}/camp-plain" > /dev/null
+TLSHARM_POPULATION=1200 TLSHARM_DAYS=2 TLSHARM_PROF=1 \
+  "${repo}/build/examples/fleet_survey" \
+  --campaign "${whdir}/camp-prof" --progress > /dev/null 2>"${whdir}/heartbeat.txt"
+diff -r "${whdir}/camp-plain" "${whdir}/camp-prof"
+grep -q "progress: day" "${whdir}/heartbeat.txt"
+echo "campaign directories are byte-identical; progress heartbeat seen"
+echo "== performance plane: tlsharm-prof smoke (campaign + trace reload) =="
+TLSHARM_POPULATION=1200 TLSHARM_DAYS=2 TLSHARM_PROF_TRACE="${whdir}/trace.json" \
+  "${repo}/build/examples/tlsharm-prof" --campaign "${whdir}/camp-smoke" \
+  > "${whdir}/prof-report.txt"
+grep -q "attributed to named spans" "${whdir}/prof-report.txt"
+"${repo}/build/examples/tlsharm-prof" "${whdir}/trace.json" > /dev/null
+echo "== performance plane: disabled-path overhead budget =="
+(cd "${whdir}" && TLSHARM_POPULATION=4000 TLSHARM_DAYS=2 TLSHARM_BENCH_REPS=1 \
+  "${repo}/build/bench/bench_prof")
+prof_overhead="$(sed -n 's/.*"disabled_overhead_pct": \([0-9.]*\).*/\1/p' \
+  "${whdir}/BENCH_prof.json")"
+if awk -v o="${prof_overhead}" 'BEGIN { exit !(o > 5.0) }'; then
+  echo "FAIL: disabled-path profiling overhead ${prof_overhead}% exceeds" \
+       "the 5% hard ceiling"
+  exit 1
+elif awk -v o="${prof_overhead}" 'BEGIN { exit !(o > 1.0) }'; then
+  echo "WARN: disabled-path profiling overhead ${prof_overhead}% is past" \
+       "the 1% budget (re-run on a quiet machine before trusting it)"
+else
+  echo "disabled-path profiling overhead ${prof_overhead}% is within the 1% budget"
+fi
+
 # Perf-correctness gate: the optimized crypto paths (windowed modexp,
 # midstate HMAC/PRF, cross-probe memoization) must be observably identical
 # to the naive reference implementations. Run the instrumented study both
@@ -114,9 +158,13 @@ ctest --test-dir "${repo}/build-asan" --output-on-failure -R 'CrashRecovery'
 echo "== sanitized: bench_crypto --selftest (ASan + UBSan) =="
 "${repo}/build-asan/bench/bench_crypto" --selftest
 run_config "tsan" "${repo}/build-tsan" \
-  --filter 'CryptoVectors|Differential|ParallelDeterminism|Sharded|Telemetry' \
+  --filter 'CryptoVectors|Differential|ParallelDeterminism|Sharded|Telemetry|Prof' \
   -DTLSHARM_SANITIZE=thread
 echo "== tsan: bench_crypto --selftest =="
 "${repo}/build-tsan/bench/bench_crypto" --selftest
+# The profiling span path (thread-local buffers, registry mutex, the
+# relaxed enable flag) under TSan, driven by a real sharded scan.
+echo "== tsan: scanstats --selftest under TLSHARM_PROF=1 =="
+TLSHARM_PROF=1 "${repo}/build-tsan/examples/scanstats" --selftest
 
-echo "All checks passed (plain + observability + warehouse + perf-correctness + crash-recovery + sanitized + tsan)."
+echo "All checks passed (plain + observability + warehouse + performance-plane + perf-correctness + crash-recovery + sanitized + tsan)."

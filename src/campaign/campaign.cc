@@ -1,5 +1,7 @@
 #include "campaign/campaign.h"
 
+#include "obs/prof.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +13,16 @@
 #include "util/durable.h"
 
 namespace tlsharm::campaign {
+namespace {
+// Performance-plane sites for the per-day commit barrier (obs/prof.h).
+// "campaign.commit.day" wraps the whole OnDayCommitted critical section so
+// bench_recovery can cross-check the prof plane against its own
+// commit_ms_per_day measurement.
+const tlsharm::obs::ProfSite kProfCommitDay("campaign.commit.day");
+const tlsharm::obs::ProfSite kProfCheckpoint("campaign.checkpoint");
+const tlsharm::obs::ProfSite kProfStateWrite("campaign.state.write");
+const tlsharm::obs::ProfSite kProfJournalAppend("campaign.journal.append");
+}  // namespace
 namespace {
 
 namespace fs = std::filesystem;
@@ -151,6 +163,7 @@ class CommitDriver : public scanner::CampaignHooks {
   bool OnDayCommitted(int day, const scanner::ScanAggregates& aggregates,
                       const std::vector<scanner::DayLoss>& loss,
                       const std::string& metrics_json) override {
+    obs::ProfScope commit_span(kProfCommitDay);
     // The engine already ran EndDay on both store backends, so the day's
     // observations are durable; a latched backend error means they are
     // not, and committing would journal a lie.
@@ -162,17 +175,25 @@ class CommitDriver : public scanner::CampaignHooks {
       error_ = warehouse_->error();
       return false;
     }
-    if (!scanner::WriteCheckpoint(warehouse_dir_, day, aggregates, &error_)) {
-      return false;
+    {
+      obs::ProfScope span(kProfCheckpoint);
+      if (!scanner::WriteCheckpoint(warehouse_dir_, day, aggregates,
+                                    &error_)) {
+        return false;
+      }
     }
     const Bytes state = EncodeState(day, aggregates, loss, metrics_json);
-    if (!DurableWriteFile(dir_ + "/" + StateFileName(day), state, &error_)) {
-      return false;
-    }
-    const std::string metrics_line = metrics_json + "\n";
-    if (!DurableWriteFile(dir_ + "/" + kMetricsName, AsBytes(metrics_line),
-                          &error_)) {
-      return false;
+    {
+      obs::ProfScope span(kProfStateWrite);
+      if (!DurableWriteFile(dir_ + "/" + StateFileName(day), state,
+                            &error_)) {
+        return false;
+      }
+      const std::string metrics_line = metrics_json + "\n";
+      if (!DurableWriteFile(dir_ + "/" + kMetricsName, AsBytes(metrics_line),
+                            &error_)) {
+        return false;
+      }
     }
 
     scanner::DayDigests digests;
@@ -183,7 +204,10 @@ class CommitDriver : public scanner::CampaignHooks {
     digests.manifest_crc = warehouse_->ManifestCrc();
     digests.state_bytes = state.size();
     digests.state_crc = Crc32(state);
-    if (!journal_->DayCommitted(day, digests, &error_)) return false;
+    {
+      obs::ProfScope span(kProfJournalAppend);
+      if (!journal_->DayCommitted(day, digests, &error_)) return false;
+    }
 
     // Only now is the predecessor state dead. Removal is not itself a
     // durability barrier: if it does not survive a crash, the resume sweep
@@ -404,6 +428,7 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
   engine.start_day = start_day;
   engine.resume = start_day > 0 ? &resume_state : nullptr;
   engine.hooks = &driver;
+  engine.progress = spec.progress;
 
   CampaignResult result;
   result.scan = scanner::RunShardedDailyScans(net, spec.days, spec.seed,

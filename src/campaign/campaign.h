@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/metrics.h"
@@ -59,6 +60,10 @@ struct CampaignSpec {
   // attributable to committed days, so including them would break the
   // resumed-equals-uninterrupted guarantee.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional per-day progress heartbeat, forwarded verbatim to the scan
+  // engine (scanner::ScanProgress semantics: merge thread, informational
+  // only, no effect on any durable artifact).
+  std::function<void(const scanner::ScanProgress&)> progress;
 };
 
 // What recovery had to repair. Kept OUT of the campaign's durable metrics

@@ -1,8 +1,14 @@
 #include "crypto/ffdh.h"
 
 #include "crypto/tuning.h"
+#include "obs/prof.h"
 
 namespace tlsharm::crypto {
+namespace {
+// Histogram-only performance-plane sites (obs/prof.h).
+const obs::ProfSite kProfKeygen("crypto.ffdh.keygen", obs::kProfNoTrace);
+const obs::ProfSite kProfShared("crypto.ffdh.shared", obs::kProfNoTrace);
+}  // namespace
 
 const FfdhParams& FfdhSim61Params() {
   static const FfdhParams params{
@@ -36,6 +42,7 @@ FfdhGroup::FfdhGroup(const FfdhParams& params)
       value_width_((p_.BitLength() + 7) / 8) {}
 
 KexKeyPair FfdhGroup::GenerateKeyPair(Drbg& drbg) const {
+  obs::ProfScope prof_span(kProfKeygen);
   // x uniform in [2, q): rejection-sample q's bit width (mask the top byte
   // so the acceptance rate stays >= 50%).
   const std::size_t q_width = (q_.BitLength() + 7) / 8;
@@ -58,6 +65,7 @@ KexKeyPair FfdhGroup::GenerateKeyPair(Drbg& drbg) const {
 
 std::optional<Bytes> FfdhGroup::SharedSecret(ByteView private_key,
                                              ByteView peer_public) const {
+  obs::ProfScope prof_span(kProfShared);
   if (peer_public.size() != value_width_) return std::nullopt;
   const BigUInt peer = BigUInt::FromBytes(peer_public);
   const BigUInt one = BigUInt::FromU64(1);

@@ -3,9 +3,12 @@
 #include <cstring>
 
 #include "crypto/tuning.h"
+#include "obs/prof.h"
 
 namespace tlsharm::crypto {
 namespace {
+
+const obs::ProfSite kProfHmac("crypto.hmac", obs::kProfNoTrace);
 
 // Expands `key` to one block (hashing it down first if longer, per the
 // RFC) and XORs in the pad byte.
@@ -70,6 +73,7 @@ Sha256Digest ReferenceHmacSha256Mac(ByteView key, ByteView data) {
 }
 
 Sha256Digest HmacSha256Mac(ByteView key, ByteView data) {
+  obs::ProfScope prof_span(kProfHmac);
   if (ReferenceCryptoEnabled()) return ReferenceHmacSha256Mac(key, data);
   HmacSha256 ctx(key);
   ctx.Update(data);

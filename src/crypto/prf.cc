@@ -5,9 +5,14 @@
 
 #include "crypto/hmac.h"
 #include "crypto/tuning.h"
+#include "obs/prof.h"
 
 namespace tlsharm::crypto {
 namespace {
+
+// Histogram-only span sites (too hot for per-call trace events); file
+// scope so the disabled path pays no static-init guard.
+const obs::ProfSite kProfPrf("crypto.prf", obs::kProfNoTrace);
 
 // The original P_SHA256: a fresh HMAC instantiation (and key-block hash)
 // per call. Kept as the naive baseline for the differential harness.
@@ -29,6 +34,9 @@ Bytes Tls12PrfReference(ByteView secret, ByteView label_seed,
 
 Bytes Tls12Prf(ByteView secret, std::string_view label, ByteView seed,
                std::size_t out_len) {
+  // The span covers the reference and the memoized path alike so the
+  // tuning switch's effect is visible in the wall-clock report.
+  obs::ProfScope prof_span(kProfPrf);
   // P_SHA256(secret, label || seed): A(0) = label||seed,
   // A(i) = HMAC(secret, A(i-1)), output = HMAC(secret, A(i) || label||seed).
   const Bytes label_seed = Concat({ByteView(

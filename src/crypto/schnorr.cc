@@ -2,8 +2,14 @@
 
 #include "crypto/sha256.h"
 #include "crypto/tuning.h"
+#include "obs/prof.h"
 
 namespace tlsharm::crypto {
+namespace {
+// Histogram-only performance-plane sites (obs/prof.h).
+const obs::ProfSite kProfSign("crypto.sign", obs::kProfNoTrace);
+const obs::ProfSite kProfVerify("crypto.verify", obs::kProfNoTrace);
+}  // namespace
 
 SchnorrScheme::SchnorrScheme(const FfdhParams& params)
     : p_(BigUInt::FromHex(params.p_hex)),
@@ -45,6 +51,7 @@ SchnorrKeyPair SchnorrScheme::GenerateKeyPair(Drbg& drbg) const {
 
 SchnorrSignature SchnorrScheme::Sign(ByteView private_key, ByteView message,
                                      Drbg& drbg) const {
+  obs::ProfScope prof_span(kProfSign);
   const BigUInt x = BigUInt::FromBytes(private_key);
   BigUInt k, e;
   const BigUInt zero;
@@ -62,6 +69,7 @@ SchnorrSignature SchnorrScheme::Sign(ByteView private_key, ByteView message,
 
 bool SchnorrScheme::Verify(ByteView public_key, ByteView message,
                            const SchnorrSignature& sig) const {
+  obs::ProfScope prof_span(kProfVerify);
   if (public_key.size() != p_width_ || sig.e.size() != q_width_ ||
       sig.s.size() != q_width_) {
     return false;

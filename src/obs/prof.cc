@@ -1,0 +1,423 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tlsharm::obs {
+namespace {
+
+// Per-thread buffered trace events are capped so a pathological span storm
+// cannot exhaust memory; overflow is counted, never silently discarded.
+constexpr std::size_t kMaxTraceEventsPerThread = std::size_t{1} << 20;
+
+struct SiteInfo {
+  const char* name;
+  unsigned flags;
+};
+
+// Site registry. Sites register at static initialization (namespace-scope
+// ProfSite objects in instrumented files), but lazily-constructed tools and
+// tests may also register later, so growth stays mutex-guarded.
+struct SiteRegistry {
+  std::mutex mu;
+  std::vector<SiteInfo> sites;
+};
+
+SiteRegistry& Sites() {
+  static SiteRegistry* r = new SiteRegistry;  // leaked: outlives exit paths
+  return *r;
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, kProfBuckets> buckets{};
+};
+
+struct TraceEvent {
+  std::uint32_t site;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+struct OpenSpan {
+  std::uint32_t site;
+  unsigned flags;  // copied from the site so End never locks the registry
+  std::uint64_t start_ns;
+  std::uint64_t child_ns;  // total time of directly-enclosed spans
+};
+
+// One recording buffer per thread; single-writer, appended to the global
+// list on the owning thread's first span. Snapshot/reset walk the list
+// under the registry mutex, which is safe per the header's post-join
+// contract (the buffer's owner is no longer running).
+struct ThreadBuf {
+  std::vector<SpanAgg> aggs;  // indexed by site id; grown on demand
+  std::vector<TraceEvent> events;
+  std::vector<OpenSpan> stack;
+  int track = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t root_total_ns = 0;
+  std::uint64_t root_self_ns = 0;
+};
+
+struct BufRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::map<int, std::string> track_names;
+  std::map<int, ProfTrackStats> track_stats;
+};
+
+BufRegistry& Bufs() {
+  static BufRegistry* r = new BufRegistry;
+  return *r;
+}
+
+thread_local ThreadBuf* t_buf = nullptr;
+
+ThreadBuf& LocalBuf() {
+  if (t_buf == nullptr) {
+    auto owned = std::make_unique<ThreadBuf>();
+    t_buf = owned.get();
+    std::lock_guard<std::mutex> lock(Bufs().mu);
+    Bufs().bufs.push_back(std::move(owned));
+  }
+  return *t_buf;
+}
+
+int BucketIndex(std::uint64_t ns) {
+  int b = std::bit_width(ns | 1) - 1;
+  return b < kProfBuckets ? b : kProfBuckets - 1;
+}
+
+bool EnvTraceEnabled() {
+  const char* v = std::getenv("TLSHARM_PROF_TRACE");
+  return v != nullptr && v[0] != '\0';
+}
+
+bool EnvProfEnabled() {
+  const char* v = std::getenv("TLSHARM_PROF");
+  if (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0) return false;
+  return true;
+}
+
+std::atomic<bool> g_trace_enabled{EnvTraceEnabled()};
+
+// Fixed-point microseconds with three decimals ("123.456") via integer
+// math, so trace bytes are exact functions of the recorded nanoseconds —
+// no printf double-rounding in the golden-tested output.
+void AppendMicros(std::string& out, std::uint64_t ns) {
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += tmp;
+}
+
+// Span names are sourced from string literals in this codebase (plain
+// ASCII identifiers), but escape the JSON-critical bytes anyway so a
+// hostile name cannot corrupt the trace document.
+void AppendJsonString(std::string& out, const char* s) {
+  out += '"';
+  for (const char* p = s; *p != '\0'; ++p) {
+    unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char tmp[8];
+      std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+      out += tmp;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  out += '"';
+}
+
+// "cat" groups spans by subsystem in the Perfetto UI: the name prefix
+// before the first '.' ("scan.probe.main" -> "scan").
+std::string SpanCategory(const char* name) {
+  const char* dot = std::strchr(name, '.');
+  if (dot == nullptr) return name;
+  return std::string(name, static_cast<std::size_t>(dot - name));
+}
+
+}  // namespace
+
+namespace prof_internal {
+
+std::atomic<bool> g_enabled{EnvProfEnabled()};
+
+void BeginSpanAt(const ProfSite& site, std::uint64_t now_ns) {
+  ThreadBuf& buf = LocalBuf();
+  buf.stack.push_back(OpenSpan{site.id, site.flags, now_ns, 0});
+}
+
+void EndSpanAt(std::uint64_t now_ns) {
+  ThreadBuf& buf = LocalBuf();
+  if (buf.stack.empty()) return;  // unmatched End: tolerate, never crash
+  OpenSpan open = buf.stack.back();
+  buf.stack.pop_back();
+  std::uint64_t dur =
+      now_ns >= open.start_ns ? now_ns - open.start_ns : 0;
+  std::uint64_t self = dur >= open.child_ns ? dur - open.child_ns : 0;
+
+  if (open.site >= buf.aggs.size()) buf.aggs.resize(open.site + 1);
+  SpanAgg& agg = buf.aggs[open.site];
+  if (agg.count == 0 || dur < agg.min_ns) agg.min_ns = dur;
+  if (dur > agg.max_ns) agg.max_ns = dur;
+  agg.count += 1;
+  agg.total_ns += dur;
+  agg.self_ns += self;
+  agg.buckets[BucketIndex(dur)] += 1;
+
+  if (!buf.stack.empty()) {
+    buf.stack.back().child_ns += dur;
+  } else {
+    buf.root_total_ns += dur;
+    buf.root_self_ns += self;
+  }
+  if ((open.flags & kProfNoTrace) == 0 &&
+      g_trace_enabled.load(std::memory_order_relaxed)) {
+    if (buf.events.size() < kMaxTraceEventsPerThread) {
+      buf.events.push_back(TraceEvent{open.site, open.start_ns, dur});
+    } else {
+      buf.dropped += 1;
+    }
+  }
+}
+
+}  // namespace prof_internal
+
+ProfSite::ProfSite(const char* name, unsigned site_flags) : flags(site_flags) {
+  SiteRegistry& reg = Sites();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  id = static_cast<std::uint32_t>(reg.sites.size());
+  reg.sites.push_back(SiteInfo{name, site_flags});
+}
+
+void SetProfilingEnabled(bool enabled) {
+  prof_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfTraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetProfTraceEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::string ProfTracePathFromEnv() {
+  const char* v = std::getenv("TLSHARM_PROF_TRACE");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+std::uint64_t ProfNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ProfSetThreadTrack(int track, const char* name) {
+  if (!ProfilingEnabled()) return;
+  LocalBuf().track = track;
+  std::lock_guard<std::mutex> lock(Bufs().mu);
+  Bufs().track_names[track] = name;
+}
+
+void ProfRecordShardStall(int track, std::uint64_t busy_ns,
+                          std::uint64_t stall_ns) {
+  if (!ProfilingEnabled()) return;
+  std::lock_guard<std::mutex> lock(Bufs().mu);
+  ProfTrackStats& t = Bufs().track_stats[track];
+  t.track = track;
+  t.days += 1;
+  t.busy_ns += busy_ns;
+  t.stall_ns += stall_ns;
+}
+
+ProfSnapshot ProfSnapshotNow() {
+  ProfSnapshot snap;
+  std::vector<SiteInfo> sites;
+  {
+    std::lock_guard<std::mutex> lock(Sites().mu);
+    sites = Sites().sites;
+  }
+  std::vector<SpanAgg> merged(sites.size());
+  {
+    std::lock_guard<std::mutex> lock(Bufs().mu);
+    for (const auto& buf : Bufs().bufs) {
+      snap.dropped_events += buf->dropped;
+      snap.root_total_ns += buf->root_total_ns;
+      snap.root_self_ns += buf->root_self_ns;
+      for (std::size_t i = 0; i < buf->aggs.size() && i < merged.size();
+           ++i) {
+        const SpanAgg& a = buf->aggs[i];
+        if (a.count == 0) continue;
+        SpanAgg& m = merged[i];
+        if (m.count == 0 || a.min_ns < m.min_ns) m.min_ns = a.min_ns;
+        if (a.max_ns > m.max_ns) m.max_ns = a.max_ns;
+        m.count += a.count;
+        m.total_ns += a.total_ns;
+        m.self_ns += a.self_ns;
+        for (int b = 0; b < kProfBuckets; ++b) m.buckets[b] += a.buckets[b];
+      }
+    }
+    for (const auto& [track, stats] : Bufs().track_stats) {
+      ProfTrackStats t = stats;
+      auto it = Bufs().track_names.find(track);
+      if (it != Bufs().track_names.end()) t.name = it->second;
+      snap.tracks.push_back(std::move(t));
+    }
+  }
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].count == 0) continue;
+    ProfSpanStats s;
+    s.name = sites[i].name;
+    s.flags = sites[i].flags;
+    s.count = merged[i].count;
+    s.total_ns = merged[i].total_ns;
+    s.self_ns = merged[i].self_ns;
+    s.min_ns = merged[i].min_ns;
+    s.max_ns = merged[i].max_ns;
+    s.buckets = merged[i].buckets;
+    snap.spans.push_back(std::move(s));
+  }
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const ProfSpanStats& a, const ProfSpanStats& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void ProfReset() {
+  std::lock_guard<std::mutex> lock(Bufs().mu);
+  for (auto& buf : Bufs().bufs) {
+    buf->aggs.clear();
+    buf->events.clear();
+    buf->stack.clear();
+    buf->dropped = 0;
+    buf->root_total_ns = 0;
+    buf->root_self_ns = 0;
+  }
+  Bufs().track_stats.clear();
+}
+
+std::size_t ProfTraceEventCount() {
+  std::lock_guard<std::mutex> lock(Bufs().mu);
+  std::size_t n = 0;
+  for (const auto& buf : Bufs().bufs) n += buf->events.size();
+  return n;
+}
+
+std::string ProfChromeTraceJson() {
+  std::vector<SiteInfo> sites;
+  {
+    std::lock_guard<std::mutex> lock(Sites().mu);
+    sites = Sites().sites;
+  }
+
+  struct FlatEvent {
+    int tid;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint32_t site;
+  };
+  std::vector<FlatEvent> events;
+  std::map<int, std::string> tracks;
+  {
+    std::lock_guard<std::mutex> lock(Bufs().mu);
+    tracks = Bufs().track_names;
+    for (const auto& buf : Bufs().bufs) {
+      for (const TraceEvent& e : buf->events) {
+        events.push_back(FlatEvent{buf->track, e.start_ns, e.dur_ns, e.site});
+      }
+      if (!buf->events.empty() && tracks.find(buf->track) == tracks.end()) {
+        tracks[buf->track] = buf->track == 0 ? "main" : "thread";
+      }
+    }
+  }
+  // Stable order: by track, then start, then longest-first so an enclosing
+  // span precedes its children when start times tie.
+  std::sort(events.begin(), events.end(),
+            [](const FlatEvent& a, const FlatEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.site < b.site;
+            });
+  std::uint64_t epoch = 0;
+  if (!events.empty()) {
+    epoch = events.front().start_ns;
+    for (const FlatEvent& e : events) epoch = std::min(epoch, e.start_ns);
+  }
+
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [track, name] : tracks) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(out, name.c_str());
+    out += "}}";
+  }
+  if (first) {
+    // Even an empty trace names the process so Perfetto shows a track.
+    first = false;
+    out +=
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"tlsharm\"}}";
+  }
+  for (const FlatEvent& e : events) {
+    const char* name =
+        e.site < sites.size() ? sites[e.site].name : "unknown";
+    out += ",\n{\"name\":";
+    AppendJsonString(out, name);
+    out += ",\"cat\":";
+    AppendJsonString(out, SpanCategory(name).c_str());
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    AppendMicros(out, e.start_ns - epoch);
+    out += ",\"dur\":";
+    AppendMicros(out, e.dur_ns);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool ProfWriteChromeTrace(const std::string& path, std::string* error) {
+  std::string json = ProfChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  int closed = std::fclose(f);
+  if (wrote != json.size() || closed != 0) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tlsharm::obs

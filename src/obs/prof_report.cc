@@ -1,0 +1,521 @@
+#include "obs/prof_report.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/table.h"
+
+namespace tlsharm::obs {
+namespace {
+
+int BucketIndex(std::uint64_t ns) {
+  int b = std::bit_width(ns | 1) - 1;
+  return b < kProfBuckets ? b : kProfBuckets - 1;
+}
+
+double Ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+double Us(double ns) { return ns / 1e3; }
+
+// ---- Chrome trace parsing ------------------------------------------------
+//
+// The deterministic plane's obs::ParseJson is deliberately an integer-only
+// subset (floats are rejected so telemetry snapshots can round-trip
+// exactly); Chrome trace ts/dur are fractional microseconds, so the trace
+// loader carries its own minimal scanner for the schema ProfChromeTraceJson
+// emits. Fractions are re-read with integer math (µs.3dp -> ns), which
+// round-trips our own writer losslessly.
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string* error;
+
+  bool Fail(const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  }
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\r' ||
+                            s[i] == '\t')) {
+      ++i;
+    }
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i >= s.size() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+bool ParseString(Cursor& c, std::string* out) {
+  if (!c.Eat('"')) return c.Fail("expected string");
+  out->clear();
+  while (c.i < c.s.size()) {
+    char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.i >= c.s.size()) break;
+      char esc = c.s[c.i++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (c.i + 4 > c.s.size()) return c.Fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = c.s[c.i++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return c.Fail("bad \\u escape");
+            }
+          }
+          out->push_back(static_cast<char>(v & 0xFF));
+          break;
+        }
+        default:
+          return c.Fail("bad escape");
+      }
+    } else {
+      out->push_back(ch);
+    }
+  }
+  return c.Fail("unterminated string");
+}
+
+// Number -> nanoseconds assuming the field is microseconds with at most
+// three decimals (ts/dur); plain integers (pid/tid) read the same way and
+// are divided back down by the caller.
+bool ParseNumberNs(Cursor& c, std::uint64_t* ns, bool* negative) {
+  c.SkipWs();
+  *negative = false;
+  if (c.i < c.s.size() && c.s[c.i] == '-') {
+    *negative = true;
+    ++c.i;
+  }
+  if (c.i >= c.s.size() || !std::isdigit(static_cast<unsigned char>(c.s[c.i])))
+    return c.Fail("expected number");
+  std::uint64_t whole = 0;
+  while (c.i < c.s.size() &&
+         std::isdigit(static_cast<unsigned char>(c.s[c.i]))) {
+    whole = whole * 10 + static_cast<std::uint64_t>(c.s[c.i] - '0');
+    ++c.i;
+  }
+  std::uint64_t frac = 0;
+  int frac_digits = 0;
+  if (c.i < c.s.size() && c.s[c.i] == '.') {
+    ++c.i;
+    while (c.i < c.s.size() &&
+           std::isdigit(static_cast<unsigned char>(c.s[c.i]))) {
+      if (frac_digits < 3) {
+        frac = frac * 10 + static_cast<std::uint64_t>(c.s[c.i] - '0');
+        ++frac_digits;
+      }
+      ++c.i;
+    }
+  }
+  while (frac_digits < 3) {
+    frac *= 10;
+    ++frac_digits;
+  }
+  *ns = whole * 1000 + frac;
+  return true;
+}
+
+bool SkipValue(Cursor& c);
+
+bool SkipObject(Cursor& c) {
+  if (!c.Eat('{')) return c.Fail("expected object");
+  if (c.Eat('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!ParseString(c, &key)) return false;
+    if (!c.Eat(':')) return c.Fail("expected ':'");
+    if (!SkipValue(c)) return false;
+    if (c.Eat(',')) continue;
+    if (c.Eat('}')) return true;
+    return c.Fail("expected ',' or '}'");
+  }
+}
+
+bool SkipArray(Cursor& c) {
+  if (!c.Eat('[')) return c.Fail("expected array");
+  if (c.Eat(']')) return true;
+  for (;;) {
+    if (!SkipValue(c)) return false;
+    if (c.Eat(',')) continue;
+    if (c.Eat(']')) return true;
+    return c.Fail("expected ',' or ']'");
+  }
+}
+
+bool SkipValue(Cursor& c) {
+  c.SkipWs();
+  if (c.i >= c.s.size()) return c.Fail("unexpected end");
+  char ch = c.s[c.i];
+  if (ch == '"') {
+    std::string tmp;
+    return ParseString(c, &tmp);
+  }
+  if (ch == '{') return SkipObject(c);
+  if (ch == '[') return SkipArray(c);
+  if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+    std::uint64_t tmp;
+    bool neg;
+    return ParseNumberNs(c, &tmp, &neg);
+  }
+  // true/false/null
+  static const char* kWords[] = {"true", "false", "null"};
+  for (const char* w : kWords) {
+    std::size_t n = std::char_traits<char>::length(w);
+    if (c.s.substr(c.i, n) == w) {
+      c.i += n;
+      return true;
+    }
+  }
+  return c.Fail("unexpected token");
+}
+
+struct RawEvent {
+  std::string name;
+  std::string ph;
+  int tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::string args_name;
+  bool has_dur = false;
+};
+
+bool ParseEventObject(Cursor& c, RawEvent* ev) {
+  if (!c.Eat('{')) return c.Fail("expected event object");
+  if (c.Eat('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!ParseString(c, &key)) return false;
+    if (!c.Eat(':')) return c.Fail("expected ':'");
+    if (key == "name" || key == "ph" || key == "cat") {
+      std::string v;
+      if (!ParseString(c, &v)) return false;
+      if (key == "name") {
+        ev->name = v;
+      } else if (key == "ph") {
+        ev->ph = v;
+      }
+    } else if (key == "tid" || key == "pid") {
+      std::uint64_t v;
+      bool neg;
+      if (!ParseNumberNs(c, &v, &neg)) return false;
+      if (key == "tid") {
+        int tid = static_cast<int>(v / 1000);
+        ev->tid = neg ? -tid : tid;
+      }
+    } else if (key == "ts" || key == "dur") {
+      std::uint64_t v;
+      bool neg;
+      if (!ParseNumberNs(c, &v, &neg)) return false;
+      if (neg) return c.Fail("negative " + key);
+      if (key == "ts") {
+        ev->ts_ns = v;
+      } else {
+        ev->dur_ns = v;
+        ev->has_dur = true;
+      }
+    } else if (key == "args") {
+      // Look one level deep for {"name": "..."} (thread_name metadata).
+      if (!c.Eat('{')) return c.Fail("expected args object");
+      if (!c.Eat('}')) {
+        for (;;) {
+          std::string akey;
+          if (!ParseString(c, &akey)) return false;
+          if (!c.Eat(':')) return c.Fail("expected ':'");
+          if (akey == "name" && c.Peek('"')) {
+            if (!ParseString(c, &ev->args_name)) return false;
+          } else {
+            if (!SkipValue(c)) return false;
+          }
+          if (c.Eat(',')) continue;
+          if (c.Eat('}')) break;
+          return c.Fail("expected ',' or '}' in args");
+        }
+      }
+    } else {
+      if (!SkipValue(c)) return false;
+    }
+    if (c.Eat(',')) continue;
+    if (c.Eat('}')) return true;
+    return c.Fail("expected ',' or '}' in event");
+  }
+}
+
+}  // namespace
+
+double ProfQuantileNs(const ProfSpanStats& s, double q) {
+  if (s.count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(s.min_ns);
+  if (q >= 1.0) return static_cast<double>(s.max_ns);
+  double rank = q * static_cast<double>(s.count - 1);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kProfBuckets; ++i) {
+    std::uint64_t c = s.buckets[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      double lo = i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << i);
+      double hi = static_cast<double>(std::uint64_t{1} << (i + 1));
+      double frac = (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, static_cast<double>(s.min_ns));
+      v = std::min(v, static_cast<double>(s.max_ns));
+      return v;
+    }
+    cum += c;
+  }
+  return static_cast<double>(s.max_ns);
+}
+
+double ProfAttributedPct(const ProfSnapshot& snap) {
+  if (snap.root_total_ns == 0) return 100.0;
+  return 100.0 * (1.0 - static_cast<double>(snap.root_self_ns) /
+                            static_cast<double>(snap.root_total_ns));
+}
+
+std::string RenderProfReport(const ProfSnapshot& snap) {
+  std::string out;
+  out += "wall-clock performance plane (TLSHARM_PROF)\n\n";
+
+  std::vector<const ProfSpanStats*> by_self;
+  by_self.reserve(snap.spans.size());
+  for (const auto& s : snap.spans) by_self.push_back(&s);
+  std::sort(by_self.begin(), by_self.end(),
+            [](const ProfSpanStats* a, const ProfSpanStats* b) {
+              if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+              return a->name < b->name;
+            });
+
+  double root_total = static_cast<double>(snap.root_total_ns);
+  TextTable spans({"span", "count", "total ms", "self ms", "self %",
+                   "p50 us", "p95 us", "p99 us"});
+  for (const ProfSpanStats* s : by_self) {
+    double self_pct =
+        root_total > 0.0
+            ? 100.0 * static_cast<double>(s->self_ns) / root_total
+            : 0.0;
+    spans.AddRow({s->name, FormatCount(s->count),
+                  FormatDouble(Ms(s->total_ns), 3),
+                  FormatDouble(Ms(s->self_ns), 3), FormatDouble(self_pct, 1),
+                  FormatDouble(Us(ProfQuantileNs(*s, 0.50)), 1),
+                  FormatDouble(Us(ProfQuantileNs(*s, 0.95)), 1),
+                  FormatDouble(Us(ProfQuantileNs(*s, 0.99)), 1)});
+  }
+  out += spans.Render();
+
+  if (!snap.tracks.empty()) {
+    out += "\nshard utilization (merge-barrier stalls)\n";
+    TextTable tracks(
+        {"track", "name", "days", "busy ms", "stall ms", "util %"});
+    for (const auto& t : snap.tracks) {
+      double denom = static_cast<double>(t.busy_ns + t.stall_ns);
+      double util = denom > 0.0
+                        ? 100.0 * static_cast<double>(t.busy_ns) / denom
+                        : 0.0;
+      tracks.AddRow({std::to_string(t.track), t.name,
+                     FormatCount(t.days), FormatDouble(Ms(t.busy_ns), 3),
+                     FormatDouble(Ms(t.stall_ns), 3),
+                     FormatDouble(util, 1)});
+    }
+    out += tracks.Render();
+  }
+
+  out += "\nroot wall time " + FormatDouble(Ms(snap.root_total_ns), 3) +
+         " ms, attributed to named spans: " +
+         FormatDouble(ProfAttributedPct(snap), 1) + "%\n";
+  if (snap.dropped_events > 0) {
+    out += "WARNING: " + FormatCount(snap.dropped_events) +
+           " trace events dropped (per-thread buffer cap)\n";
+  }
+  return out;
+}
+
+std::string RenderHotspotJson(const ProfSnapshot& snap, int max_rows) {
+  std::vector<const ProfSpanStats*> by_self;
+  by_self.reserve(snap.spans.size());
+  for (const auto& s : snap.spans) by_self.push_back(&s);
+  std::sort(by_self.begin(), by_self.end(),
+            [](const ProfSpanStats* a, const ProfSpanStats* b) {
+              if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+              return a->name < b->name;
+            });
+  if (max_rows >= 0 && by_self.size() > static_cast<std::size_t>(max_rows))
+    by_self.resize(static_cast<std::size_t>(max_rows));
+
+  std::string out = "[";
+  bool first = true;
+  for (const ProfSpanStats* s : by_self) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"span\": \"" + s->name + "\"";
+    out += ", \"count\": " + std::to_string(s->count);
+    out += ", \"total_ns\": " + std::to_string(s->total_ns);
+    out += ", \"self_ns\": " + std::to_string(s->self_ns);
+    out += ", \"p50_ns\": " +
+           std::to_string(
+               static_cast<std::uint64_t>(ProfQuantileNs(*s, 0.50)));
+    out += ", \"p95_ns\": " +
+           std::to_string(
+               static_cast<std::uint64_t>(ProfQuantileNs(*s, 0.95)));
+    out += ", \"p99_ns\": " +
+           std::to_string(
+               static_cast<std::uint64_t>(ProfQuantileNs(*s, 0.99)));
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+bool LoadChromeTrace(std::string_view json, ProfSnapshot* out,
+                     std::string* error) {
+  *out = ProfSnapshot{};
+  Cursor c{json, 0, error};
+  if (!c.Eat('{')) return c.Fail("expected top-level object");
+
+  std::vector<RawEvent> events;
+  std::map<int, std::string> track_names;
+
+  bool saw_events = false;
+  if (!c.Eat('}')) {
+    for (;;) {
+      std::string key;
+      if (!ParseString(c, &key)) return false;
+      if (!c.Eat(':')) return c.Fail("expected ':'");
+      if (key == "traceEvents") {
+        saw_events = true;
+        if (!c.Eat('[')) return c.Fail("expected traceEvents array");
+        if (!c.Eat(']')) {
+          for (;;) {
+            RawEvent ev;
+            if (!ParseEventObject(c, &ev)) return false;
+            if (ev.ph == "M") {
+              if (ev.name == "thread_name" && !ev.args_name.empty()) {
+                track_names[ev.tid] = ev.args_name;
+              }
+            } else if (ev.ph == "X" && ev.has_dur) {
+              events.push_back(std::move(ev));
+            }
+            if (c.Eat(',')) continue;
+            if (c.Eat(']')) break;
+            return c.Fail("expected ',' or ']' in traceEvents");
+          }
+        }
+      } else {
+        if (!SkipValue(c)) return false;
+      }
+      if (c.Eat(',')) continue;
+      if (c.Eat('}')) break;
+      return c.Fail("expected ',' or '}' at top level");
+    }
+  }
+  if (!saw_events) return c.Fail("no traceEvents array");
+
+  // Re-nest each tid's complete events by interval containment to recover
+  // self-time (parent self = dur minus directly-enclosed children).
+  std::sort(events.begin(), events.end(),
+            [](const RawEvent& a, const RawEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+
+  struct Agg {
+    std::uint64_t count = 0, total = 0, self = 0, min = 0, max = 0;
+    std::array<std::uint64_t, kProfBuckets> buckets{};
+  };
+  std::map<std::string, Agg> aggs;
+  std::map<int, std::uint64_t> root_per_tid;
+
+  struct Open {
+    const RawEvent* ev;
+    std::uint64_t end_ns;
+    std::uint64_t child_ns = 0;
+  };
+  std::vector<Open> stack;
+  int cur_tid = 0;
+
+  auto finalize = [&](const Open& o) {
+    std::uint64_t dur = o.ev->dur_ns;
+    std::uint64_t self = dur >= o.child_ns ? dur - o.child_ns : 0;
+    Agg& a = aggs[o.ev->name];
+    if (a.count == 0 || dur < a.min) a.min = dur;
+    if (dur > a.max) a.max = dur;
+    a.count += 1;
+    a.total += dur;
+    a.self += self;
+    a.buckets[BucketIndex(dur)] += 1;
+  };
+
+  auto drain = [&](std::uint64_t upto_ns, bool all) {
+    while (!stack.empty() &&
+           (all || stack.back().end_ns <= upto_ns)) {
+      Open o = stack.back();
+      stack.pop_back();
+      finalize(o);
+      if (stack.empty()) {
+        out->root_total_ns += o.ev->dur_ns;
+        std::uint64_t self =
+            o.ev->dur_ns >= o.child_ns ? o.ev->dur_ns - o.child_ns : 0;
+        out->root_self_ns += self;
+        root_per_tid[cur_tid] += o.ev->dur_ns;
+      } else {
+        stack.back().child_ns += o.ev->dur_ns;
+      }
+    }
+  };
+
+  for (const RawEvent& ev : events) {
+    if (!stack.empty() && ev.tid != cur_tid) drain(0, true);
+    cur_tid = ev.tid;
+    drain(ev.ts_ns, false);
+    stack.push_back(Open{&ev, ev.ts_ns + ev.dur_ns, 0});
+  }
+  drain(0, true);
+
+  for (auto& [name, a] : aggs) {
+    ProfSpanStats s;
+    s.name = name;
+    s.count = a.count;
+    s.total_ns = a.total;
+    s.self_ns = a.self;
+    s.min_ns = a.min;
+    s.max_ns = a.max;
+    s.buckets = a.buckets;
+    out->spans.push_back(std::move(s));
+  }
+  for (const auto& [tid, root_ns] : root_per_tid) {
+    ProfTrackStats t;
+    t.track = tid;
+    auto it = track_names.find(tid);
+    t.name = it != track_names.end() ? it->second : "thread";
+    t.busy_ns = root_ns;
+    out->tracks.push_back(std::move(t));
+  }
+  return true;
+}
+
+}  // namespace tlsharm::obs

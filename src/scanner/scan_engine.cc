@@ -1,15 +1,35 @@
 #include "scanner/scan_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/fleet.h"
+#include "obs/prof.h"
 
 namespace tlsharm::scanner {
 namespace {
+
+// Performance-plane span sites (wall-clock only; see obs/prof.h for the
+// isolation contract). Namespace-scope so the disabled hot path pays one
+// relaxed load and no static-init guard.
+const obs::ProfSite kProfDay("scan.day");
+const obs::ProfSite kProfTargets("scan.targets");
+const obs::ProfSite kProfShard("scan.shard");
+const obs::ProfSite kProfProbeMain("scan.probe.main");
+const obs::ProfSite kProfProbeDhe("scan.probe.dhe");
+const obs::ProfSite kProfProbeRequeue("scan.probe.requeue");
+const obs::ProfSite kProfJoinMain("scan.join.main");
+const obs::ProfSite kProfJoinRequeue("scan.join.requeue");
+const obs::ProfSite kProfMerge("scan.merge");
+const obs::ProfSite kProfStoreAppend("scan.store.append");
+const obs::ProfSite kProfTraceFlush("scan.trace.flush");
+const obs::ProfSite kProfStoreEndDay("scan.store.endday");
+const obs::ProfSite kProfStoreFinish("scan.store.finish");
+const obs::ProfSite kProfFleetCollect("scan.fleet.collect");
 
 // The pair of observations the main pass produces per target.
 struct Record {
@@ -169,15 +189,22 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   dhe_options.ciphers = CipherSelection::kDheOnly;
   dhe_options.kex_only = true;  // only the DHE value matters here
 
+  if (obs::ProfilingEnabled()) obs::ProfSetThreadTrack(0, "main");
+
   bool aborted = false;
+  std::uint64_t total_probes = 0;
   for (int day = start_day; day < days && !aborted; ++day) {
+    obs::ProfScope day_span(kProfDay);
     if (hooked && !options.hooks->OnDayStarted(day)) {
       aborted = true;
       break;
     }
     const SimTime when = ScanDayStart(day);
-    const std::vector<simnet::DomainId> targets =
-        CollectScanTargets(net, day, seed, mask_ptr, /*https_only=*/true);
+    const std::vector<simnet::DomainId> targets = [&] {
+      obs::ProfScope span(kProfTargets);
+      return CollectScanTargets(net, day, seed, mask_ptr,
+                                /*https_only=*/true);
+    }();
     const std::size_t n = targets.size();
     const int shards = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(max_shards), std::max<std::size_t>(n, 1)));
@@ -186,44 +213,95 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     std::vector<Record> records(n);
     ShardedObservationBuffer staged(static_cast<std::size_t>(shards));
     obs::ShardedTraceBuffer trace_staged(static_cast<std::size_t>(shards));
-    RunSharded(shards, [&](int k) {
-      Prober& prober = probers[static_cast<std::size_t>(k)];
-      const std::size_t hi = ShardLo(n, shards, k + 1);
-      for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
-        const simnet::DomainId id = targets[i];
-        Record& record = records[i];
-        const ProbeResult main_probe = prober.Probe(id, when, main_options);
-        record.main = main_probe.observation;
-        const ProbeResult dhe_probe =
-            prober.Probe(id, when + kHour, dhe_options);
-        record.dhe = dhe_probe.observation;
-        if (tracing) {
-          StageTrace(trace_staged, static_cast<std::size_t>(k), day, 2 * i,
-                     "main", "main", id, when, main_probe);
-          StageTrace(trace_staged, static_cast<std::size_t>(k), day,
-                     2 * i + 1, "main", "dhe", id, when + kHour, dhe_probe);
+    // Shard utilization accounting (performance plane only): each worker
+    // times its own loop; the merge thread turns the difference against
+    // the barrier wall time into per-shard merge-stall.
+    std::vector<std::uint64_t> shard_busy_ns(
+        static_cast<std::size_t>(shards), 0);
+    const std::uint64_t main_join_start =
+        obs::ProfilingEnabled() ? obs::ProfNowNs() : 0;
+    {
+      obs::ProfScope join_span(kProfJoinMain);
+      RunSharded(shards, [&](int k) {
+        const bool prof = obs::ProfilingEnabled();
+        std::uint64_t busy_start = 0;
+        if (prof) {
+          if (shards > 1) {
+            char tname[24];
+            std::snprintf(tname, sizeof(tname), "shard-%d", k);
+            obs::ProfSetThreadTrack(k + 1, tname);
+          }
+          busy_start = obs::ProfNowNs();
         }
-        if (storing) {
-          staged.Append(static_cast<std::size_t>(k), day, record.main);
-          staged.Append(static_cast<std::size_t>(k), day, record.dhe);
+        {
+          obs::ProfScope shard_span(kProfShard);
+          Prober& prober = probers[static_cast<std::size_t>(k)];
+          const std::size_t hi = ShardLo(n, shards, k + 1);
+          for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
+            const simnet::DomainId id = targets[i];
+            Record& record = records[i];
+            const ProbeResult main_probe = [&] {
+              obs::ProfScope span(kProfProbeMain);
+              return prober.Probe(id, when, main_options);
+            }();
+            record.main = main_probe.observation;
+            const ProbeResult dhe_probe = [&] {
+              obs::ProfScope span(kProfProbeDhe);
+              return prober.Probe(id, when + kHour, dhe_options);
+            }();
+            record.dhe = dhe_probe.observation;
+            if (tracing) {
+              StageTrace(trace_staged, static_cast<std::size_t>(k), day,
+                         2 * i, "main", "main", id, when, main_probe);
+              StageTrace(trace_staged, static_cast<std::size_t>(k), day,
+                         2 * i + 1, "main", "dhe", id, when + kHour,
+                         dhe_probe);
+            }
+            if (storing) {
+              staged.Append(static_cast<std::size_t>(k), day, record.main);
+              staged.Append(static_cast<std::size_t>(k), day, record.dhe);
+            }
+          }
         }
+        if (prof) {
+          shard_busy_ns[static_cast<std::size_t>(k)] =
+              obs::ProfNowNs() - busy_start;
+        }
+      });
+    }
+    if (obs::ProfilingEnabled()) {
+      const std::uint64_t join_wall = obs::ProfNowNs() - main_join_start;
+      for (int k = 0; k < shards; ++k) {
+        const std::uint64_t busy =
+            shard_busy_ns[static_cast<std::size_t>(k)];
+        obs::ProfRecordShardStall(shards > 1 ? k + 1 : 0, busy,
+                                  join_wall > busy ? join_wall - busy : 0);
       }
-    });
-    if (storing) staged.Flush(store);
-    if (tracing) trace_staged.Flush(*options.trace);
+    }
+    if (storing) {
+      obs::ProfScope span(kProfStoreAppend);
+      staged.Flush(store);
+    }
+    if (tracing) {
+      obs::ProfScope span(kProfTraceFlush);
+      trace_staged.Flush(*options.trace);
+    }
 
     // --- canonical merge: aggregate + collect the requeue list -----------
     DayLoss day_loss;
     std::vector<PendingProbe> pending;
-    for (std::size_t i = 0; i < n; ++i) {
-      day_loss.scheduled += 2;
-      agg.Fold(day, records[i].main);
-      if (IsTransportFailure(records[i].main.failure)) {
-        pending.push_back({targets[i], false, records[i].main.failure});
-      }
-      agg.Fold(day, records[i].dhe);
-      if (IsTransportFailure(records[i].dhe.failure)) {
-        pending.push_back({targets[i], true, records[i].dhe.failure});
+    {
+      obs::ProfScope merge_span(kProfMerge);
+      for (std::size_t i = 0; i < n; ++i) {
+        day_loss.scheduled += 2;
+        agg.Fold(day, records[i].main);
+        if (IsTransportFailure(records[i].main.failure)) {
+          pending.push_back({targets[i], false, records[i].main.failure});
+        }
+        agg.Fold(day, records[i].dhe);
+        if (IsTransportFailure(records[i].dhe.failure)) {
+          pending.push_back({targets[i], true, records[i].dhe.failure});
+        }
       }
     }
 
@@ -238,34 +316,56 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           static_cast<std::size_t>(requeue_shards));
       obs::ShardedTraceBuffer requeue_trace(
           static_cast<std::size_t>(requeue_shards));
-      RunSharded(requeue_shards, [&](int k) {
-        Prober& prober = probers[static_cast<std::size_t>(k)];
-        const std::size_t hi = ShardLo(pending_count, requeue_shards, k + 1);
-        for (std::size_t i = ShardLo(pending_count, requeue_shards, k);
-             i < hi; ++i) {
-          const PendingProbe& p = pending[i];
-          const SimTime at = p.dhe ? again + kHour : again;
-          const ProbeResult probe =
-              prober.Probe(p.id, at, p.dhe ? dhe_options : main_options);
-          requeued[i] = probe.observation;
-          if (tracing) {
-            // Requeue seqs continue after the day's 2n main-pass probes.
-            StageTrace(requeue_trace, static_cast<std::size_t>(k), day,
-                       2 * n + i, "requeue", p.dhe ? "dhe" : "main", p.id,
-                       at, probe);
+      {
+        obs::ProfScope join_span(kProfJoinRequeue);
+        RunSharded(requeue_shards, [&](int k) {
+          if (obs::ProfilingEnabled() && requeue_shards > 1) {
+            char tname[24];
+            std::snprintf(tname, sizeof(tname), "shard-%d", k);
+            obs::ProfSetThreadTrack(k + 1, tname);
           }
-          if (storing) {
-            requeue_staged.Append(static_cast<std::size_t>(k), day,
-                                  requeued[i]);
+          obs::ProfScope shard_span(kProfShard);
+          Prober& prober = probers[static_cast<std::size_t>(k)];
+          const std::size_t hi =
+              ShardLo(pending_count, requeue_shards, k + 1);
+          for (std::size_t i = ShardLo(pending_count, requeue_shards, k);
+               i < hi; ++i) {
+            const PendingProbe& p = pending[i];
+            const SimTime at = p.dhe ? again + kHour : again;
+            const ProbeResult probe = [&] {
+              obs::ProfScope span(kProfProbeRequeue);
+              return prober.Probe(p.id, at,
+                                  p.dhe ? dhe_options : main_options);
+            }();
+            requeued[i] = probe.observation;
+            if (tracing) {
+              // Requeue seqs continue after the day's 2n main-pass probes.
+              StageTrace(requeue_trace, static_cast<std::size_t>(k), day,
+                         2 * n + i, "requeue", p.dhe ? "dhe" : "main", p.id,
+                         at, probe);
+            }
+            if (storing) {
+              requeue_staged.Append(static_cast<std::size_t>(k), day,
+                                    requeued[i]);
+            }
           }
-        }
-      });
-      if (storing) requeue_staged.Flush(store);
-      if (tracing) requeue_trace.Flush(*options.trace);
+        });
+      }
+      if (storing) {
+        obs::ProfScope span(kProfStoreAppend);
+        requeue_staged.Flush(store);
+      }
+      if (tracing) {
+        obs::ProfScope span(kProfTraceFlush);
+        requeue_trace.Flush(*options.trace);
+      }
     }
     // The day's last observation has been appended: let streaming backends
     // flush (the warehouse closes the day's columnar segment here).
-    if (storing) store.EndDay(day);
+    if (storing) {
+      obs::ProfScope span(kProfStoreEndDay);
+      store.EndDay(day);
+    }
     for (std::size_t i = 0; i < pending_count; ++i) {
       ProbeFailure failure = pending[i].failure;
       if (options.robustness.requeue_failures) {
@@ -309,9 +409,28 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                        cumulative_metrics_json())) {
       aborted = true;
     }
+
+    if (options.progress) {
+      const std::uint64_t day_probes =
+          static_cast<std::uint64_t>(day_loss.scheduled) +
+          (options.robustness.requeue_failures
+               ? static_cast<std::uint64_t>(pending_count)
+               : 0);
+      total_probes += day_probes;
+      ScanProgress p;
+      p.day = day;
+      p.days = days;
+      p.targets = n;
+      p.day_probes = day_probes;
+      p.total_probes = total_probes;
+      options.progress(p);
+    }
   }
 
-  if (storing) store.Finish();
+  if (storing) {
+    obs::ProfScope span(kProfStoreFinish);
+    store.Finish();
+  }
 
   DailyScanResult result = agg.Finish(net);
   result.loss = std::move(loss);
@@ -326,6 +445,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     for (const obs::MetricsRegistry& shard : shard_metrics) {
       options.metrics->MergeFrom(shard);
     }
+    obs::ProfScope span(kProfFleetCollect);
     obs::CollectFleetMetrics(net, ScanDayStart(days), *options.metrics);
   }
   return result;

@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,18 @@ class CampaignHooks {
                               const std::string& metrics_json) = 0;
 };
 
+// One per-day progress sample for long-campaign heartbeats
+// (fleet_survey --progress). Delivered on the merge thread after the day's
+// commit hooks ran; consumers may only write to stderr-style side channels
+// — nothing here may feed a deterministic artifact.
+struct ScanProgress {
+  int day = 0;                     // day just committed (0-based)
+  int days = 0;                    // total study days
+  std::uint64_t targets = 0;       // domains scanned this day
+  std::uint64_t day_probes = 0;    // probes executed this day (incl requeue)
+  std::uint64_t total_probes = 0;  // cumulative probes this run
+};
+
 struct ScanEngineOptions {
   // Worker shards per day. 1 = inline serial (no threads spawned).
   int threads = 1;
@@ -109,6 +123,10 @@ struct ScanEngineOptions {
   // enables internal metering even when `metrics` is null, so committed
   // snapshots are always available to the campaign layer.
   CampaignHooks* hooks = nullptr;
+  // Optional per-day progress heartbeat (see ScanProgress). Informational
+  // only; the engine's output contract is unchanged whether or not this is
+  // set.
+  std::function<void(const ScanProgress&)> progress;
 };
 
 // Worker count from the TLSHARM_THREADS environment knob (1..64,

@@ -8,8 +8,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/prof.h"
+
 namespace tlsharm {
 namespace {
+
+// Performance-plane sites: "durable.fsync" wraps every fsync this file
+// issues (file and directory alike), so the prof plane's commit-latency
+// totals cover the text store's day blocks, the campaign's state writes
+// and the journal. Wall-clock only — see obs/prof.h.
+const obs::ProfSite kProfFsync("durable.fsync", obs::kProfNoTrace);
+const obs::ProfSite kProfDurableWrite("durable.write");
 
 std::atomic<std::uint64_t> g_barriers{0};
 
@@ -45,6 +54,7 @@ void CrashPoint() {
 std::uint64_t CrashPointsPassed() { return g_barriers.load(); }
 
 bool FsyncFd(int fd, std::string* error) {
+  obs::ProfScope prof_span(kProfFsync);
   if (::fsync(fd) == 0) return true;
   if (error != nullptr) *error = Errno("fsync fd for", "descriptor");
   return false;
@@ -60,7 +70,11 @@ bool FsyncParentDir(const std::string& path, std::string* error) {
     if (error != nullptr) *error = Errno("cannot open directory", dir);
     return false;
   }
-  const bool ok = ::fsync(fd) == 0;
+  bool ok;
+  {
+    obs::ProfScope prof_span(kProfFsync);
+    ok = ::fsync(fd) == 0;
+  }
   if (!ok && error != nullptr) *error = Errno("cannot fsync directory", dir);
   ::close(fd);
   return ok;
@@ -68,6 +82,7 @@ bool FsyncParentDir(const std::string& path, std::string* error) {
 
 bool DurableWriteFile(const std::string& path, ByteView bytes,
                       std::string* error) {
+  obs::ProfScope prof_span(kProfDurableWrite);
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -85,10 +100,13 @@ bool DurableWriteFile(const std::string& path, ByteView bytes,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    if (error != nullptr) *error = Errno("cannot fsync", tmp);
-    ::close(fd);
-    return false;
+  {
+    obs::ProfScope fsync_span(kProfFsync);
+    if (::fsync(fd) != 0) {
+      if (error != nullptr) *error = Errno("cannot fsync", tmp);
+      ::close(fd);
+      return false;
+    }
   }
   ::close(fd);
   CrashPoint();  // temp durable, target untouched -> orphaned *.tmp

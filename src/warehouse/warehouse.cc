@@ -1,5 +1,7 @@
 #include "warehouse/warehouse.h"
 
+#include "obs/prof.h"
+
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
@@ -12,6 +14,12 @@
 #include "util/durable.h"
 
 namespace tlsharm::warehouse {
+namespace {
+// Performance-plane sites (obs/prof.h): columnar encode vs durable write
+// of each day's observation segment.
+const obs::ProfSite kProfSegmentEncode("warehouse.segment.encode");
+const obs::ProfSite kProfSegmentCommit("warehouse.segment.commit");
+}  // namespace
 namespace {
 
 namespace fs = std::filesystem;
@@ -270,11 +278,15 @@ void WarehouseWriter::EndDay(int day) {
 
 void WarehouseWriter::FlushDay() {
   if (!ok_ || current_day_ == -1) return;
-  const Bytes segment = EncodeObservationSegment(current_day_, pending_);
+  const Bytes segment = [&] {
+    obs::ProfScope span(kProfSegmentEncode);
+    return EncodeObservationSegment(current_day_, pending_);
+  }();
   SegmentInfo info;
   info.day = current_day_;
   info.file = ObsFileName(current_day_);
   info.rows = pending_.size();
+  obs::ProfScope commit_span(kProfSegmentCommit);
   if (WriteSegmentFile(info.file, segment, &info)) {
     obs_segments_.push_back(std::move(info));
     rows_written_ += pending_.size();

@@ -22,6 +22,37 @@ TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape(std::string("nul\x01", 4)), "nul\\u0001");
 }
 
+TEST(JsonEscapeTest, EscapesEveryControlByteAndRoundTrips) {
+  // The JSONL trace may carry any byte an SNI or probe error string picked
+  // up; the full control range 0x00..0x1f must come out as an escape (the
+  // short forms or \u00XX) and survive a parse round-trip, NUL included.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string raw = "a";
+    raw.push_back(static_cast<char>(c));
+    raw += "b";
+    const std::string escaped = JsonEscape(raw);
+    EXPECT_EQ(escaped[1], '\\') << "byte 0x" << std::hex << c;
+    std::string doc;
+    AppendJsonString(doc, raw);
+    JsonValue value;
+    ASSERT_TRUE(ParseJson(doc, value)) << "byte 0x" << std::hex << c;
+    EXPECT_EQ(value.string, raw) << "byte 0x" << std::hex << c;
+  }
+}
+
+TEST(JsonEscapeTest, PassesInvalidUtf8BytesThrough) {
+  // The trace treats strings as bytes: lone continuation bytes, overlong
+  // starts and 0xff are not escaped (they are not controls) and must
+  // round-trip unmodified rather than be "repaired".
+  const std::string raw = "\x80\xbf\xc0\xfe\xff" "tail";
+  EXPECT_EQ(JsonEscape(raw), raw);
+  std::string doc;
+  AppendJsonString(doc, raw);
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(doc, value));
+  EXPECT_EQ(value.string, raw);
+}
+
 TEST(JsonEscapeTest, AppendJsonStringWrapsInQuotes) {
   std::string out = "x:";
   AppendJsonString(out, "a\"b");
