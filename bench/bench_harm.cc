@@ -1,0 +1,173 @@
+// bench_harm: the cost of the adversary plane, end to end.
+//
+// Three numbers gate the record-now-decrypt-later pipeline:
+//   * capture overhead — a full daily-scan campaign with the recorder
+//     attached vs without, min-of-reps, as a percentage of probe
+//     throughput (the recorder must stay under 5%);
+//   * fold cost — µs per archived connection to ingest the archive into
+//     the HarmEngine and seal the secret timelines;
+//   * sweep cost — ms per study day to produce every (profile, vector)
+//     harm curve across all candidate compromise times.
+// Results land in BENCH_harm.json; the capture-vs-plain scans are also
+// cross-checked for identical aggregates (recording must never perturb
+// the scan).
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "adversary/replay.h"
+#include "attack/record.h"
+#include "common.h"
+#include "scanner/scan_engine.h"
+
+using namespace tlsharm;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Reps() {
+  if (const char* env = std::getenv("TLSHARM_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps >= 1 && reps <= 20) return reps;
+  }
+  return 3;
+}
+
+struct ScanRun {
+  double ms = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t core_domains = 0;
+};
+
+// One full campaign on a fresh, identically seeded world; `capture`
+// optionally attaches the recorder.
+ScanRun RunScan(const bench::World& world, int threads,
+                attack::CaptureBufferSink* capture) {
+  ScanRun run;
+  auto net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), bench::StudySeed());
+  scanner::ScanEngineOptions options;
+  options.threads = threads;
+  options.capture = capture;
+  const auto start = std::chrono::steady_clock::now();
+  const scanner::DailyScanResult result = scanner::RunShardedDailyScans(
+      *net, world.days, bench::StudySeed() + 701, options);
+  run.ms = MsSince(start);
+  for (const auto& day : result.loss) run.probes += day.scheduled;
+  run.core_domains = result.core_domains.size();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::World world = bench::BuildWorld("adversary plane cost");
+  world.net.reset();  // every scan run builds its own world
+  int threads = scanner::ScanThreadsFromEnv();
+  if (threads <= 1) threads = 8;
+  const int reps = Reps();
+
+  // Capture overhead: min-of-reps plain vs min-of-reps recording. The
+  // recorder's sink is in-memory, so the delta is the recording plane
+  // itself (SummarizeCapture + staging + canonical merge), not disk.
+  double plain_ms = 0;
+  double capture_ms = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t records = 0;
+  bool aggregates_match = true;
+  attack::CaptureBufferSink archive;  // last rep's archive feeds the fold
+  for (int rep = 0; rep < reps; ++rep) {
+    const ScanRun plain = RunScan(world, threads, nullptr);
+    attack::CaptureBufferSink sink;
+    const ScanRun recorded = RunScan(world, threads, &sink);
+    if (rep == 0 || plain.ms < plain_ms) plain_ms = plain.ms;
+    if (rep == 0 || recorded.ms < capture_ms) capture_ms = recorded.ms;
+    probes = plain.probes;
+    records = sink.Records().size();
+    aggregates_match = aggregates_match &&
+                       plain.probes == recorded.probes &&
+                       plain.core_domains == recorded.core_domains;
+    if (rep + 1 == reps) archive = std::move(sink);
+  }
+  const double overhead_pct =
+      plain_ms > 0 ? (capture_ms - plain_ms) * 100.0 / plain_ms : 0;
+
+  // Fold: archive -> sealed HarmEngine (timelines, interned fingerprints).
+  auto net = std::make_unique<simnet::Internet>(
+      simnet::PaperPopulationSpec(world.population), bench::StudySeed());
+  double fold_ms = 0;
+  double sweep_ms = 0;
+  std::size_t curve_count = 0;
+  std::size_t point_count = 0;
+  adversary::HarmEngine engine(*net);
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < archive.Records().size(); ++i) {
+      engine.Ingest(archive.Days()[i], archive.Records()[i]);
+    }
+    engine.Seal();
+    fold_ms = MsSince(start);
+  }
+  const double fold_us_per_connection =
+      records > 0 ? fold_ms * 1000.0 / static_cast<double>(records) : 0;
+
+  // Sweep: every (profile, vector) curve over all candidate times.
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<adversary::HarmCurve> curves = engine.Sweep();
+    sweep_ms = MsSince(start);
+    curve_count = curves.size();
+    for (const adversary::HarmCurve& curve : curves) {
+      point_count += curve.points.size();
+    }
+  }
+  const double sweep_ms_per_day =
+      world.days > 0 ? sweep_ms / static_cast<double>(world.days) : 0;
+
+  char buf[96];
+  std::printf("capture overhead (%d reps, %d threads, %llu probes)\n", reps,
+              threads, static_cast<unsigned long long>(probes));
+  std::snprintf(buf, sizeof(buf), "%.1f ms", plain_ms);
+  bench::PrintRow("scan without recorder (min)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ms (%llu records)", capture_ms,
+                static_cast<unsigned long long>(records));
+  bench::PrintRow("scan with recorder (min)", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f%%", overhead_pct);
+  bench::PrintRow("recorder overhead", "<5%", buf);
+  bench::PrintRow("scan aggregates unperturbed", "yes",
+                  aggregates_match ? "yes" : "NO");
+  std::snprintf(buf, sizeof(buf), "%.1f ms (%.2f us/connection)", fold_ms,
+                fold_us_per_connection);
+  bench::PrintRow("archive fold + seal", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.1f ms (%zu curves, %zu points)",
+                sweep_ms, curve_count, point_count);
+  bench::PrintRow("full harm-curve sweep", "-", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f ms/day", sweep_ms_per_day);
+  bench::PrintRow("sweep per study day", "-", buf);
+
+  bench::JsonReport report("harm");
+  report.Add("population", static_cast<std::uint64_t>(world.population));
+  report.Add("days", world.days);
+  report.Add("threads", threads);
+  report.Add("reps", reps);
+  report.Add("probes", probes);
+  report.Add("records", records);
+  report.Add("scan_plain_ms", plain_ms);
+  report.Add("scan_capture_ms", capture_ms);
+  report.Add("capture_overhead_pct", overhead_pct);
+  report.Add("fold_ms", fold_ms);
+  report.Add("fold_us_per_connection", fold_us_per_connection);
+  report.Add("curve_sweep_ms", sweep_ms);
+  report.Add("curve_sweep_ms_per_day", sweep_ms_per_day);
+  report.Add("curves", static_cast<std::uint64_t>(curve_count));
+  report.Add("curve_points", static_cast<std::uint64_t>(point_count));
+  report.AddString("scan_unperturbed", aggregates_match ? "yes" : "no");
+  const std::string path = report.Write();
+  std::printf("\nwrote %s\n", path.c_str());
+  return aggregates_match ? 0 : 1;
+}

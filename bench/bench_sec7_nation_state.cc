@@ -2,6 +2,7 @@
 // provider's STEK — measured against the simulated Google and Yandex, and
 // demonstrated end-to-end with a real capture-then-decrypt.
 #include <set>
+#include <string>
 
 #include "attack/decrypt.h"
 #include "common.h"
@@ -116,7 +117,9 @@ int main() {
                                         stolen);
   const auto decrypted = decryptor.Decrypt(parsed);
   PrintRow("captured connection decrypted with stolen STEK", "(attack works)",
-           decrypted.ok ? "yes" : ("no: " + decrypted.failure));
+           decrypted.ok
+               ? "yes"
+               : (std::string("no: ") + attack::ToString(decrypted.failure)));
   if (decrypted.ok && !decrypted.client_plaintext.empty()) {
     std::printf("  recovered request: %s\n",
                 ToString(decrypted.client_plaintext[0]).c_str());

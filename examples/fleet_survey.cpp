@@ -12,6 +12,10 @@
 // scans only the remainder — the report and the on-disk artifacts come out
 // byte-identical to an uninterrupted run.
 //
+// `--record` (campaign mode) additionally streams every tapped connection
+// into the day-partitioned capture tape at <dir>/capture — the archive
+// `tlsharm-harm` sweeps into record-now-decrypt-later harm curves.
+//
 // `--progress` prints an opt-in heartbeat to STDERR after each committed
 // day — day counter, probes/sec, wall-clock ETA — for long campaigns.
 // stdout and every artifact stay byte-identical with or without it.
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   std::string campaign_dir;
   bool resume = false;
   bool progress = false;
+  bool record = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--campaign") == 0 && i + 1 < argc) {
       campaign_dir = argv[++i];
@@ -102,13 +107,18 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress = true;
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      record = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--campaign <dir> [--resume]] [--progress]\n"
+                   "usage: %s [--campaign <dir> [--resume] [--record]] "
+                   "[--progress]\n"
                    "  --campaign <dir>  journal the scan into <dir> so a\n"
                    "                    crashed study can be continued\n"
                    "  --resume          continue the campaign in <dir> from\n"
                    "                    its last committed day\n"
+                   "  --record          also archive every tapped connection\n"
+                   "                    into <dir>/capture for tlsharm-harm\n"
                    "  --progress        per-day heartbeat (day, probes/sec,\n"
                    "                    ETA) on stderr; artifacts unchanged\n",
                    argv[0]);
@@ -117,6 +127,10 @@ int main(int argc, char** argv) {
   }
   if (resume && campaign_dir.empty()) {
     std::fprintf(stderr, "--resume requires --campaign <dir>\n");
+    return 2;
+  }
+  if (record && campaign_dir.empty()) {
+    std::fprintf(stderr, "--record requires --campaign <dir>\n");
     return 2;
   }
 
@@ -193,6 +207,7 @@ int main(int argc, char** argv) {
     spec.threads = engine.threads;
     spec.robustness = engine.robustness;
     spec.resume = resume;
+    spec.record_captures = record;
     // The same world must back a resumed journal; TLSHARM_FAULTS shapes
     // observations, so it is part of the world's identity.
     spec.world_digest = kWorldSeed ^
@@ -228,6 +243,12 @@ int main(int argc, char** argv) {
     } else {
       std::printf("campaign: journaled %d day(s) into %s\n", days,
                   campaign_dir.c_str());
+    }
+    if (record) {
+      std::printf("capture tape: %s/capture (sweep it with tlsharm-harm "
+                  "curve %s %llu)\n",
+                  campaign_dir.c_str(), campaign_dir.c_str(),
+                  static_cast<unsigned long long>(kWorldSeed));
     }
   } else {
     scan = scanner::RunShardedDailyScans(net, days, 1, engine);

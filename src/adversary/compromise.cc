@@ -1,0 +1,160 @@
+#include "adversary/compromise.h"
+
+#include <set>
+#include <utility>
+
+namespace tlsharm::adversary {
+namespace {
+
+// Terminators serving the profile's domains, ascending id (deterministic
+// theft order). "" matches every operator.
+std::vector<simnet::TerminatorId> FleetOf(const simnet::Internet& net,
+                                          const std::string& profile) {
+  std::set<simnet::TerminatorId> fleet;
+  const std::size_t domains = net.DomainCount();
+  for (std::size_t d = 0; d < domains; ++d) {
+    const simnet::DomainInfo& info =
+        net.GetDomain(static_cast<simnet::DomainId>(d));
+    if (!profile.empty() && info.operator_name != profile) continue;
+    fleet.insert(info.endpoints.begin(), info.endpoints.end());
+  }
+  return {fleet.begin(), fleet.end()};
+}
+
+}  // namespace
+
+const char* ToString(CompromiseVector vector) {
+  switch (vector) {
+    case CompromiseVector::kStek:
+      return "stek";
+    case CompromiseVector::kSessionCache:
+      return "session_cache";
+    case CompromiseVector::kDh:
+      return "dh";
+  }
+  return "?";
+}
+
+CompromisedSecrets TakeSnapshot(simnet::Internet& net,
+                                const CompromiseSpec& spec) {
+  CompromisedSecrets out;
+  out.spec = spec;
+  // Shared state is stolen once: terminators that install the same manager
+  // object hold the same secret (that sharing IS the service group).
+  std::set<const void*> seen;
+  std::set<std::pair<const void*, std::uint16_t>> seen_kex;
+  for (const simnet::TerminatorId tid : FleetOf(net, spec.profile)) {
+    server::SslTerminator& term = net.Terminator(tid);
+    switch (spec.vector) {
+      case CompromiseVector::kStek: {
+        server::StekManager& steks = term.Steks();
+        if (!seen.insert(&steks).second) break;
+        out.steks.push_back(
+            StolenStek{steks.Codec(), steks.StealCurrentKey(spec.at)});
+        break;
+      }
+      case CompromiseVector::kSessionCache: {
+        server::SessionCache& cache = term.Cache();
+        if (!seen.insert(&cache).second) break;
+        if (!term.Config().session_cache.enabled) break;
+        const SimTime lifetime = cache.Lifetime();
+        for (const auto& [id, session] : cache.Dump()) {
+          // The dump may hold entries the lazy sweep has not evicted yet;
+          // an entry is only usable at T while the server would still
+          // honour it.
+          if (session.created <= spec.at &&
+              spec.at < session.created + lifetime) {
+            out.cache_dump.emplace(id, session);
+          }
+        }
+        break;
+      }
+      case CompromiseVector::kDh: {
+        const server::ServerConfig& config = term.Config();
+        const server::KexCache& kex = term.Kex();
+        const std::pair<crypto::NamedGroup, const server::KexReusePolicy*>
+            slots[] = {{config.dhe_group, &config.dhe_reuse},
+                       {config.ecdhe_group, &config.ecdhe_reuse}};
+        for (const auto& [group, policy] : slots) {
+          if (!policy->reuse) continue;  // fresh per handshake: nothing kept
+          // Dedup per (cache, group): sharers derive the identical pair.
+          if (!seen_kex.insert({&kex, static_cast<std::uint16_t>(group)})
+                   .second) {
+            continue;
+          }
+          // Reused pairs are epoch-derived, so the drbg is never drawn
+          // from on this path; any instance satisfies the signature.
+          crypto::Drbg unused(ToBytes("adversary-snapshot"));
+          crypto::KexKeyPair pair =
+              kex.GetKeyPair(group, *policy, spec.at, unused);
+          out.kex_pairs.push_back(StolenKexPair{group,
+                                                std::move(pair.private_key),
+                                                std::move(pair.public_value)});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ReplayOutcome ReplaySnapshot(const CompromisedSecrets& secrets,
+                             const attack::CaptureRecord& record) {
+  using attack::DecryptFailureClass;
+  ReplayOutcome out;
+  const attack::ParsedCapture capture = attack::ReconstructCapture(record);
+  if (!capture.valid) {
+    out.failure = DecryptFailureClass::kCaptureInvalid;
+    return out;
+  }
+  const auto succeed = [&out](attack::DecryptedSession session) {
+    out.ok = true;
+    out.failure = DecryptFailureClass::kNone;
+    out.master_secret = std::move(session.master_secret);
+  };
+  switch (secrets.spec.vector) {
+    case CompromiseVector::kStek: {
+      for (const StolenStek& stolen : secrets.steks) {
+        attack::DecryptedSession session =
+            attack::StekDecryptor(stolen.codec, stolen.stek).Decrypt(capture);
+        if (session.ok) {
+          succeed(std::move(session));
+          return out;
+        }
+      }
+      out.failure = capture.RelevantTicket().empty()
+                        ? DecryptFailureClass::kNoTicket
+                        : DecryptFailureClass::kWrongStek;
+      return out;
+    }
+    case CompromiseVector::kSessionCache: {
+      attack::DecryptedSession session =
+          attack::CacheDecryptor(secrets.cache_dump).Decrypt(capture);
+      if (session.ok) {
+        succeed(std::move(session));
+      } else {
+        out.failure = session.failure;
+      }
+      return out;
+    }
+    case CompromiseVector::kDh: {
+      for (const StolenKexPair& stolen : secrets.kex_pairs) {
+        attack::DecryptedSession session =
+            attack::DhDecryptor(stolen.group, stolen.private_key,
+                                stolen.public_value)
+                .Decrypt(capture);
+        if (session.ok) {
+          succeed(std::move(session));
+          return out;
+        }
+      }
+      out.failure = capture.server_kex.has_value()
+                        ? DecryptFailureClass::kKexMismatch
+                        : DecryptFailureClass::kNoKex;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace tlsharm::adversary

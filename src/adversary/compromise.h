@@ -1,0 +1,91 @@
+// The compromise model: which fleet secret falls into the adversary's
+// hands, from whom, and at what virtual time.
+//
+// A CompromiseSpec names one of the paper's three vectors (§6.1–§6.3), an
+// operator profile (the fleet whose secret is stolen), and a virtual
+// compromise time T. TakeSnapshot then steals the corresponding live
+// secrets from the simulated Internet — the issuing STEKs, the session
+// cache contents still alive at T, or the reused (EC)DHE pairs in use at
+// T — deduplicating shared state so a fleet-wide key is stolen once.
+//
+// Accuracy caveats (why the harm-curve sweep in replay.h derives timelines
+// from the capture archive instead of snapshotting every T):
+//   * StekManager prunes retired epochs one day behind the newest query
+//     time, so StealCurrentKey(T) is only faithful for T within a day of
+//     the fleet's watermark (in practice: at or near the end of the scan).
+//   * A SessionCache dump reflects evictions and restart flushes that
+//     happened up to the moment of the steal, not the historical state.
+//   * Reused KEX pairs are derived by epoch, so those ARE exact at any T.
+// Snapshots are therefore the ground-truth cross-check at end-of-study T
+// and the `explain` tool's evidence, while curves come from the archive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/decrypt.h"
+#include "attack/record.h"
+#include "simnet/internet.h"
+
+namespace tlsharm::adversary {
+
+enum class CompromiseVector : std::uint8_t {
+  kStek = 0,          // session-ticket encryption key theft (§6.1)
+  kSessionCache = 1,  // server session-cache dump (§6.2)
+  kDh = 2,            // reused (EC)DHE private value theft (§6.3)
+};
+inline constexpr int kCompromiseVectorCount = 3;
+
+const char* ToString(CompromiseVector vector);
+
+struct CompromiseSpec {
+  CompromiseVector vector = CompromiseVector::kStek;
+  // Operator profile whose fleet is compromised (simnet operator_name);
+  // "" compromises every operator at once (a global passive adversary).
+  std::string profile;
+  // Virtual compromise time T.
+  SimTime at = 0;
+};
+
+struct StolenStek {
+  tls::TicketCodecKind codec = tls::TicketCodecKind::kRfc5077;
+  tls::Stek stek;
+};
+
+struct StolenKexPair {
+  crypto::NamedGroup group = crypto::NamedGroup::kSimEc61;
+  Bytes private_key;
+  Bytes public_value;
+};
+
+// Everything one TakeSnapshot stole. Only the member matching spec.vector
+// is populated.
+struct CompromisedSecrets {
+  CompromiseSpec spec;
+  std::vector<StolenStek> steks;
+  std::map<Bytes, server::CachedSession> cache_dump;  // live entries at T
+  std::vector<StolenKexPair> kex_pairs;
+};
+
+// Steals the spec'd secret from every terminator serving the profile's
+// domains, deduplicating shared managers/caches (a fleet-shared key is one
+// theft). Non-const net: advancing a StekManager to T applies scheduled
+// rotations, exactly as a connection at T would.
+CompromisedSecrets TakeSnapshot(simnet::Internet& net,
+                                const CompromiseSpec& spec);
+
+// One archived connection replayed against the stolen secrets with the
+// real decryptors (attack/decrypt.h) over ReconstructCapture.
+struct ReplayOutcome {
+  bool ok = false;
+  attack::DecryptFailureClass failure =
+      attack::DecryptFailureClass::kCaptureInvalid;
+  Bytes master_secret;  // set when ok
+};
+
+ReplayOutcome ReplaySnapshot(const CompromisedSecrets& secrets,
+                             const attack::CaptureRecord& record);
+
+}  // namespace tlsharm::adversary

@@ -2,8 +2,47 @@
 
 namespace tlsharm::attack {
 
+const char* ToString(CaptureParseFail fail) {
+  switch (fail) {
+    case CaptureParseFail::kNone:
+      return "none";
+    case CaptureParseFail::kEmptyLog:
+      return "empty_log";
+    case CaptureParseFail::kBadFraming:
+      return "bad_framing";
+    case CaptureParseFail::kBadClientHello:
+      return "bad_client_hello";
+    case CaptureParseFail::kBadServerHello:
+      return "bad_server_hello";
+    case CaptureParseFail::kBadServerKex:
+      return "bad_server_kex";
+    case CaptureParseFail::kBadClientKex:
+      return "bad_client_kex";
+    case CaptureParseFail::kBadTicket:
+      return "bad_ticket";
+    case CaptureParseFail::kUnknownMessage:
+      return "unknown_message";
+    case CaptureParseFail::kIncomplete:
+      return "incomplete";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Marks the capture invalid with a reason. Returning `out` through this
+// helper keeps every bail-out path from forgetting the taxonomy bit.
+ParsedCapture Fail(ParsedCapture out, CaptureParseFail why) {
+  out.valid = false;
+  out.parse_fail = why;
+  return out;
+}
+
+}  // namespace
+
 ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log) {
   ParsedCapture out;
+  if (log.empty()) return Fail(std::move(out), CaptureParseFail::kEmptyLog);
   bool client_finished = false;
   bool server_finished = false;
   bool saw_client_hello = false;
@@ -18,19 +57,27 @@ ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log) {
       continue;
     }
     const auto msgs = tls::ParseFlight(exchange.bytes);
-    if (!msgs) return out;  // malformed mid-handshake: give up
+    if (!msgs) {
+      // Malformed mid-handshake: the flight's length framing is broken, so
+      // nothing after this point can be trusted.
+      return Fail(std::move(out), CaptureParseFail::kBadFraming);
+    }
     for (const tls::HandshakeMessage& msg : *msgs) {
       switch (msg.type) {
         case tls::HandshakeType::kClientHello: {
           const auto ch = tls::ClientHello::Parse(msg.body);
-          if (!ch) return out;
+          if (!ch) {
+            return Fail(std::move(out), CaptureParseFail::kBadClientHello);
+          }
           out.client_hello = *ch;
           saw_client_hello = true;
           break;
         }
         case tls::HandshakeType::kServerHello: {
           const auto sh = tls::ServerHello::Parse(msg.body);
-          if (!sh) return out;
+          if (!sh) {
+            return Fail(std::move(out), CaptureParseFail::kBadServerHello);
+          }
           out.server_hello = *sh;
           saw_server_hello = true;
           break;
@@ -40,7 +87,9 @@ ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log) {
           break;
         case tls::HandshakeType::kServerKeyExchange: {
           const auto ske = tls::ServerKeyExchange::Parse(msg.body);
-          if (!ske) return out;
+          if (!ske) {
+            return Fail(std::move(out), CaptureParseFail::kBadServerKex);
+          }
           out.server_kex = *ske;
           break;
         }
@@ -48,25 +97,35 @@ ParsedCapture ParseCapture(const std::vector<CapturedExchange>& log) {
           break;
         case tls::HandshakeType::kClientKeyExchange: {
           const auto cke = tls::ClientKeyExchange::Parse(msg.body);
-          if (!cke) return out;
+          if (!cke) {
+            return Fail(std::move(out), CaptureParseFail::kBadClientKex);
+          }
           out.client_kex = *cke;
           break;
         }
         case tls::HandshakeType::kNewSessionTicket: {
           const auto nst = tls::NewSessionTicket::Parse(msg.body);
-          if (!nst) return out;
+          if (!nst) {
+            return Fail(std::move(out), CaptureParseFail::kBadTicket);
+          }
           out.new_session_ticket = *nst;
           break;
         }
         case tls::HandshakeType::kFinished:
           (exchange.from_client ? client_finished : server_finished) = true;
           break;
+        default:
+          // A type byte no TLS 1.2 handshake uses: a bit flip landed on the
+          // message header. Refusing the whole capture beats misparsing.
+          return Fail(std::move(out), CaptureParseFail::kUnknownMessage);
       }
     }
   }
   out.abbreviated = !saw_certificate;
   out.valid = saw_client_hello && saw_server_hello && client_finished &&
               server_finished;
+  out.parse_fail =
+      out.valid ? CaptureParseFail::kNone : CaptureParseFail::kIncomplete;
   return out;
 }
 

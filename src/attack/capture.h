@@ -9,6 +9,7 @@
 // uses any endpoint secret.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -42,9 +43,29 @@ class PassiveCapture final : public tls::WireTap {
   std::vector<CapturedExchange> log_;
 };
 
+// Why a captured byte stream failed to parse into a complete handshake.
+// Fault injection corrupts and truncates flights on the wire, so the
+// parser must classify every malformed capture instead of misparsing it.
+enum class CaptureParseFail : std::uint8_t {
+  kNone = 0,           // parsed cleanly, capture is valid
+  kEmptyLog = 1,       // nothing on the wire at all
+  kBadFraming = 2,     // a mid-handshake flight failed length framing
+  kBadClientHello = 3,
+  kBadServerHello = 4,
+  kBadServerKex = 5,
+  kBadClientKex = 6,
+  kBadTicket = 7,
+  kUnknownMessage = 8,  // handshake type byte outside the protocol
+  kIncomplete = 9,      // framing OK but the handshake never finished
+};
+inline constexpr int kCaptureParseFailCount = 10;
+
+const char* ToString(CaptureParseFail fail);
+
 // Everything a passive observer can parse out of one connection.
 struct ParsedCapture {
   bool valid = false;
+  CaptureParseFail parse_fail = CaptureParseFail::kNone;
 
   tls::ClientHello client_hello;
   tls::ServerHello server_hello;

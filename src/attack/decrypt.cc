@@ -5,11 +5,37 @@
 
 namespace tlsharm::attack {
 
+const char* ToString(DecryptFailureClass fail) {
+  switch (fail) {
+    case DecryptFailureClass::kNone:
+      return "none";
+    case DecryptFailureClass::kCaptureInvalid:
+      return "capture_invalid";
+    case DecryptFailureClass::kNoTicket:
+      return "no_ticket";
+    case DecryptFailureClass::kWrongStek:
+      return "wrong_stek";
+    case DecryptFailureClass::kNoSessionId:
+      return "no_session_id";
+    case DecryptFailureClass::kCacheMiss:
+      return "cache_miss";
+    case DecryptFailureClass::kNoKex:
+      return "no_kex";
+    case DecryptFailureClass::kKexMismatch:
+      return "kex_mismatch";
+    case DecryptFailureClass::kDegenerateClient:
+      return "degenerate_client";
+    case DecryptFailureClass::kRecordCorrupt:
+      return "record_corrupt";
+  }
+  return "unknown";
+}
+
 DecryptedSession DecryptWithMasterSecret(const ParsedCapture& capture,
                                          ByteView master_secret) {
   DecryptedSession out;
   if (!capture.valid) {
-    out.failure = "capture incomplete";
+    out.failure = DecryptFailureClass::kCaptureInvalid;
     return out;
   }
   out.master_secret = Bytes(master_secret.begin(), master_secret.end());
@@ -20,7 +46,7 @@ DecryptedSession DecryptWithMasterSecret(const ParsedCapture& capture,
     const auto pt = tls::UnprotectRecord(
         out.keys, tls::Direction::kClientToServer, seq++, record);
     if (!pt) {
-      out.failure = "client record failed to decrypt (wrong secret?)";
+      out.failure = DecryptFailureClass::kRecordCorrupt;
       return out;
     }
     out.client_plaintext.push_back(*pt);
@@ -30,7 +56,7 @@ DecryptedSession DecryptWithMasterSecret(const ParsedCapture& capture,
     const auto pt = tls::UnprotectRecord(
         out.keys, tls::Direction::kServerToClient, seq++, record);
     if (!pt) {
-      out.failure = "server record failed to decrypt (wrong secret?)";
+      out.failure = DecryptFailureClass::kRecordCorrupt;
       return out;
     }
     out.server_plaintext.push_back(*pt);
@@ -43,12 +69,12 @@ DecryptedSession StekDecryptor::Decrypt(const ParsedCapture& capture) const {
   DecryptedSession out;
   const Bytes ticket = capture.RelevantTicket();
   if (ticket.empty()) {
-    out.failure = "no session ticket on the wire";
+    out.failure = DecryptFailureClass::kNoTicket;
     return out;
   }
   const auto state = tls::GetTicketCodec(codec_).Open(stek_, ticket);
   if (!state) {
-    out.failure = "ticket not sealed under the stolen STEK";
+    out.failure = DecryptFailureClass::kWrongStek;
     return out;
   }
   return DecryptWithMasterSecret(capture, state->master_secret);
@@ -65,12 +91,12 @@ DecryptedSession CacheDecryptor::Decrypt(const ParsedCapture& capture) const {
   DecryptedSession out;
   const Bytes& session_id = capture.server_hello.session_id;
   if (session_id.empty()) {
-    out.failure = "connection carried no session ID";
+    out.failure = DecryptFailureClass::kNoSessionId;
     return out;
   }
   const auto it = master_by_session_id_.find(session_id);
   if (it == master_by_session_id_.end()) {
-    out.failure = "session ID not present in the dumped cache";
+    out.failure = DecryptFailureClass::kCacheMiss;
     return out;
   }
   return DecryptWithMasterSecret(capture, it->second);
@@ -79,18 +105,18 @@ DecryptedSession CacheDecryptor::Decrypt(const ParsedCapture& capture) const {
 DecryptedSession DhDecryptor::Decrypt(const ParsedCapture& capture) const {
   DecryptedSession out;
   if (!capture.server_kex || !capture.client_kex) {
-    out.failure = "no ephemeral key exchange on the wire";
+    out.failure = DecryptFailureClass::kNoKex;
     return out;
   }
   if (capture.server_kex->public_value != public_) {
-    out.failure = "server used a different ephemeral value";
+    out.failure = DecryptFailureClass::kKexMismatch;
     return out;
   }
   const auto& group = crypto::GetKexGroup(group_);
   const auto premaster =
       group.SharedSecret(private_, capture.client_kex->public_value);
   if (!premaster) {
-    out.failure = "degenerate client value";
+    out.failure = DecryptFailureClass::kDegenerateClient;
     return out;
   }
   const Bytes master = crypto::DeriveMasterSecret(

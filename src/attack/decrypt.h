@@ -12,8 +12,8 @@
 // session keys → plaintext of every recorded application record.
 #pragma once
 
+#include <cstdint>
 #include <map>
-#include <string>
 #include <vector>
 
 #include "attack/capture.h"
@@ -24,9 +24,29 @@
 
 namespace tlsharm::attack {
 
+// Why a captured connection survived the compromise — a closed taxonomy so
+// the adversary engine can aggregate survivor classes into harm curves
+// instead of string-matching free-form reasons.
+enum class DecryptFailureClass : std::uint8_t {
+  kNone = 0,             // decryption succeeded
+  kCaptureInvalid = 1,   // capture incomplete or corrupted (see parse_fail)
+  kNoTicket = 2,         // no session ticket on the wire
+  kWrongStek = 3,        // ticket sealed under a different (rotated) STEK
+  kNoSessionId = 4,      // connection carried no session ID
+  kCacheMiss = 5,        // session ID absent from the dumped cache (evicted)
+  kNoKex = 6,            // no ephemeral key exchange on the wire
+  kKexMismatch = 7,      // server used a different (rotated) ephemeral value
+  kDegenerateClient = 8, // client public value yields no shared secret
+  kRecordCorrupt = 9,    // keys recovered but a record failed to open
+};
+inline constexpr int kDecryptFailureClassCount = 10;
+
+const char* ToString(DecryptFailureClass fail);
+
 struct DecryptedSession {
   bool ok = false;
-  std::string failure;  // why decryption was not possible
+  // Why decryption was not possible (kNone when ok).
+  DecryptFailureClass failure = DecryptFailureClass::kNone;
 
   Bytes master_secret;
   tls::SessionKeys keys;

@@ -1,0 +1,74 @@
+#include "attack/record.h"
+
+namespace tlsharm::attack {
+
+CaptureRecord SummarizeCapture(std::uint32_t domain, SimTime time,
+                               std::uint32_t endpoint,
+                               const std::vector<CapturedExchange>& log) {
+  CaptureRecord out;
+  out.domain = domain;
+  out.time = time;
+  out.endpoint = endpoint;
+  for (const CapturedExchange& exchange : log) {
+    out.wire_bytes += exchange.bytes.size();
+  }
+
+  const ParsedCapture parsed = ParseCapture(log);
+  out.valid = parsed.valid;
+  out.parse_fail = parsed.parse_fail;
+  if (!parsed.valid) return out;
+
+  out.abbreviated = parsed.abbreviated;
+  out.suite = parsed.server_hello.cipher_suite;
+  out.client_random = parsed.client_hello.random;
+  out.server_random = parsed.server_hello.random;
+  out.session_id = parsed.server_hello.session_id;
+  out.ticket = parsed.RelevantTicket();
+  if (parsed.new_session_ticket) {
+    out.ticket_lifetime_hint = parsed.new_session_ticket->lifetime_hint_seconds;
+  }
+  if (parsed.server_kex) {
+    out.kex_group = static_cast<std::uint16_t>(parsed.server_kex->group);
+    out.server_kex = parsed.server_kex->public_value;
+  }
+  if (parsed.client_kex) out.client_kex = parsed.client_kex->public_value;
+
+  out.client_records = static_cast<std::uint32_t>(parsed.client_records.size());
+  out.server_records = static_cast<std::uint32_t>(parsed.server_records.size());
+  for (const Bytes& record : parsed.client_records) {
+    out.client_record_bytes += record.size();
+  }
+  for (const Bytes& record : parsed.server_records) {
+    out.server_record_bytes += record.size();
+  }
+  return out;
+}
+
+ParsedCapture ReconstructCapture(const CaptureRecord& record) {
+  ParsedCapture out;
+  out.valid = record.valid;
+  out.parse_fail = record.parse_fail;
+  if (!record.valid) return out;
+  out.abbreviated = record.abbreviated;
+  out.client_hello.random = record.client_random;
+  // The record keeps only the relevant ticket; presenting it in the
+  // ClientHello slot makes RelevantTicket() find it either way.
+  out.client_hello.session_ticket = record.ticket;
+  out.server_hello.random = record.server_random;
+  out.server_hello.session_id = record.session_id;
+  out.server_hello.cipher_suite = record.suite;
+  if (!record.server_kex.empty()) {
+    tls::ServerKeyExchange ske;
+    ske.group = record.kex_group;
+    ske.public_value = record.server_kex;
+    out.server_kex = ske;
+  }
+  if (!record.client_kex.empty()) {
+    tls::ClientKeyExchange cke;
+    cke.public_value = record.client_kex;
+    out.client_kex = cke;
+  }
+  return out;
+}
+
+}  // namespace tlsharm::attack

@@ -1,0 +1,95 @@
+// The adversary's recording plane: one compact CaptureRecord per tapped
+// connection — everything a passive observer keeps from the wire that a
+// later compromise could act on (hello randoms, session ID, ticket blob,
+// key-exchange values, record byte counts), plus the parse-failure
+// taxonomy for fault-injected flights.
+//
+// Records deliberately drop the protected application payload: the paper's
+// question is *which* connections become decryptable, and key recovery is
+// decided entirely by the handshake metadata. ReconstructCapture rebuilds
+// a ParsedCapture from a record so the real decryptors (decrypt.h) run
+// unchanged against the archive; with no stored records, a reconstructed
+// decrypt succeeds exactly when the key material is recovered.
+//
+// CaptureSink is the streaming contract between the scan engine and any
+// archive backend (the in-memory buffer here, the columnar tape in
+// warehouse/capture.h), mirroring scanner::StoreWriter: Append days
+// non-decreasing in canonical order, EndDay once per day, Finish last.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/capture.h"
+#include "util/sim_clock.h"
+
+namespace tlsharm::attack {
+
+struct CaptureRecord {
+  std::uint32_t domain = 0;   // scanner DomainIndex
+  SimTime time = 0;           // when the connection was recorded
+  std::uint32_t endpoint = 0; // terminator instance that served it
+
+  bool valid = false;
+  CaptureParseFail parse_fail = CaptureParseFail::kNone;
+  bool abbreviated = false;
+  std::uint16_t suite = 0;
+
+  Bytes client_random;
+  Bytes server_random;
+  Bytes session_id;           // ServerHello session ID ("" when none)
+  Bytes ticket;               // RelevantTicket(): presented or issued
+  std::uint32_t ticket_lifetime_hint = 0;
+  std::uint16_t kex_group = 0;
+  Bytes server_kex;           // server's ephemeral public value
+  Bytes client_kex;           // client's ephemeral public value
+
+  // Traffic volume the adversary buffered for this connection.
+  std::uint64_t wire_bytes = 0;         // everything, handshake included
+  std::uint32_t client_records = 0;     // protected app records per side
+  std::uint32_t server_records = 0;
+  std::uint64_t client_record_bytes = 0;
+  std::uint64_t server_record_bytes = 0;
+
+  bool operator==(const CaptureRecord&) const = default;
+};
+
+// Parses the tapped byte log and folds it into a record.
+CaptureRecord SummarizeCapture(std::uint32_t domain, SimTime time,
+                               std::uint32_t endpoint,
+                               const std::vector<CapturedExchange>& log);
+
+// Rebuilds the decryptor-facing view of a record. The protected records
+// are not stored, so client/server_records stay empty — DecryptedSession
+// then reports key recovery (ok + master secret) without plaintext.
+ParsedCapture ReconstructCapture(const CaptureRecord& record);
+
+// Streaming archive contract (see header comment for the call protocol).
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  virtual void Append(int day, const CaptureRecord& record) = 0;
+  virtual void EndDay(int day) = 0;
+  virtual void Finish() = 0;
+};
+
+// Keeps every record in memory — the "live" side of the live-vs-replayed
+// harm-curve identity check, and the simplest test double.
+class CaptureBufferSink final : public CaptureSink {
+ public:
+  void Append(int day, const CaptureRecord& record) override {
+    records_.push_back(record);
+    days_.push_back(day);
+  }
+  void EndDay(int) override {}
+  void Finish() override {}
+
+  const std::vector<CaptureRecord>& Records() const { return records_; }
+  const std::vector<int>& Days() const { return days_; }
+
+ private:
+  std::vector<CaptureRecord> records_;
+  std::vector<int> days_;
+};
+
+}  // namespace tlsharm::attack

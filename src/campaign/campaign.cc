@@ -11,6 +11,7 @@
 #include "scanner/runlog.h"
 #include "util/crc32.h"
 #include "util/durable.h"
+#include "warehouse/capture.h"
 
 namespace tlsharm::campaign {
 namespace {
@@ -149,12 +150,14 @@ class CommitDriver : public scanner::CampaignHooks {
  public:
   CommitDriver(std::string dir, std::string warehouse_dir,
                scanner::RunLog* journal, scanner::TextStoreFile* store,
-               warehouse::WarehouseWriter* warehouse)
+               warehouse::WarehouseWriter* warehouse,
+               warehouse::CaptureTapeWriter* tape)
       : dir_(std::move(dir)),
         warehouse_dir_(std::move(warehouse_dir)),
         journal_(journal),
         store_(store),
-        warehouse_(warehouse) {}
+        warehouse_(warehouse),
+        tape_(tape) {}
 
   bool OnDayStarted(int day) override {
     return journal_->DayStarted(day, &error_);
@@ -173,6 +176,12 @@ class CommitDriver : public scanner::CampaignHooks {
     }
     if (!warehouse_->ok()) {
       error_ = warehouse_->error();
+      return false;
+    }
+    // The capture tape commits its day segment at the same engine boundary
+    // as the warehouse; a latched tape error likewise vetoes the commit.
+    if (tape_ != nullptr && !tape_->ok()) {
+      error_ = tape_->error();
       return false;
     }
     {
@@ -229,6 +238,7 @@ class CommitDriver : public scanner::CampaignHooks {
   scanner::RunLog* journal_;
   scanner::TextStoreFile* store_;
   warehouse::WarehouseWriter* warehouse_;
+  warehouse::CaptureTapeWriter* tape_;
   std::string error_;
   std::string last_metrics_json_;
 };
@@ -322,14 +332,38 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
   const std::string runlog_path = spec.dir + "/" + kRunLogName;
   const std::string store_path = spec.dir + "/" + kStoreName;
   const std::string warehouse_dir = spec.dir + "/" + kWarehouseDirName;
+  const std::string capture_dir = spec.dir + "/" + kCaptureTapeDirName;
   const std::uint64_t digest = CampaignConfigDigest(spec);
 
   scanner::RunLog journal;
   scanner::TextStoreFile store;
   std::unique_ptr<warehouse::WarehouseWriter> wh;
+  std::unique_ptr<warehouse::CaptureTapeWriter> tape;
   scanner::ScanResumeState resume_state;
   RecoveryStats recovery;
   int start_day = 0;
+
+  // The capture tape is self-journaling (its own MANIFEST); the campaign
+  // only decides create vs. resume here and lets the tape reconcile.
+  const auto open_tape = [&](int last_committed) -> bool {
+    if (!spec.record_captures) {
+      // A stale tape from an earlier recorded run of this directory would
+      // otherwise masquerade as this study's archive.
+      std::error_code tape_ec;
+      fs::remove_all(capture_dir, tape_ec);
+      return true;
+    }
+    warehouse::RecoverySweep sweep;
+    if (last_committed >= 0 && fs::exists(capture_dir + "/MANIFEST")) {
+      tape = warehouse::CaptureTapeWriter::Resume(capture_dir, last_committed,
+                                                  &sweep, error);
+    } else {
+      tape = warehouse::CaptureTapeWriter::Create(capture_dir, error, &sweep);
+    }
+    recovery.tmp_files_removed += sweep.tmp_files_removed;
+    recovery.stale_segments_removed += sweep.stale_segments_removed;
+    return tape != nullptr;
+  };
 
   scanner::RunLogContents contents;
   bool have_journal = false;
@@ -389,6 +423,7 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
         return fail(warehouse_dir +
                     ": reconciled warehouse does not match the journal");
       }
+      if (!open_tape(last)) return false;
       SweepCampaignRoot(spec.dir, last, &recovery);
       if (!journal.Reopen(runlog_path, contents, error)) return false;
       start_day = last + 1;
@@ -403,6 +438,7 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
       wh = warehouse::WarehouseWriter::Create(warehouse_dir, error, &sweep);
       if (wh == nullptr) return false;
       recovery.tmp_files_removed += sweep.tmp_files_removed;
+      if (!open_tape(-1)) return false;
     }
   } else {
     SweepCampaignRoot(spec.dir, -1, &recovery);
@@ -412,9 +448,11 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
     wh = warehouse::WarehouseWriter::Create(warehouse_dir, error, &sweep);
     if (wh == nullptr) return false;
     recovery.tmp_files_removed += sweep.tmp_files_removed;
+    if (!open_tape(-1)) return false;
   }
 
-  CommitDriver driver(spec.dir, warehouse_dir, &journal, &store, wh.get());
+  CommitDriver driver(spec.dir, warehouse_dir, &journal, &store, wh.get(),
+                      tape.get());
   scanner::MultiStoreWriter backends;
   backends.Add(&store);
   backends.Add(wh.get());
@@ -424,6 +462,7 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
   engine.robustness = spec.robustness;
   engine.blacklist = spec.blacklist;
   engine.store = &backends;
+  engine.capture = tape.get();
   engine.metrics = spec.metrics;
   engine.start_day = start_day;
   engine.resume = start_day > 0 ? &resume_state : nullptr;
@@ -436,6 +475,7 @@ bool RunCampaign(simnet::Internet& net, const CampaignSpec& spec,
   if (!driver.Error().empty()) return fail(driver.Error());
   if (!store.Ok()) return fail(store.Error());
   if (!wh->ok()) return fail(wh->error());
+  if (tape != nullptr && !tape->ok()) return fail(tape->error());
 
   result.metrics_json = start_day >= spec.days
                             ? resume_state.metrics_json

@@ -54,6 +54,16 @@ struct CampaignSpec {
   // false: start fresh, resetting any previous campaign in `dir`.
   // true: resume from the journal if one exists (fresh start otherwise).
   bool resume = false;
+  // Optional adversary recorder: when true, every probe connection is
+  // tapped (attack::PassiveCapture) and each committed day adds one
+  // columnar capture segment under dir/capture (warehouse/capture.h).
+  // Deliberately OUTSIDE the config digest — recording never changes an
+  // observation, so a study may be re-run with the tape on or off. The
+  // tape reconciles itself on resume via its own manifest: segments past
+  // the journal's last committed day are dropped before appends continue.
+  // Enabling it mid-campaign (resume of a tapeless run) starts the tape at
+  // the resume day.
+  bool record_captures = false;
   // Optional live registry: receives the campaign's scan metrics plus the
   // end-of-study fleet sweep (obs/fleet.h). The durable metrics.json
   // deliberately excludes the fleet sweep — live-object totals are not
@@ -108,6 +118,7 @@ void AddRecoveryMetrics(const RecoveryStats& stats,
 inline constexpr char kRunLogName[] = "RUNLOG";
 inline constexpr char kStoreName[] = "store.txt";
 inline constexpr char kWarehouseDirName[] = "warehouse";
+inline constexpr char kCaptureTapeDirName[] = "capture";
 inline constexpr char kMetricsName[] = "metrics.json";
 std::string StateFileName(int day);
 

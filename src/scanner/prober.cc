@@ -168,8 +168,21 @@ ProbeResult Prober::ProbeOnce(simnet::DomainId domain, SimTime now,
 
   tls::TlsClient client(config);
   crypto::Drbg drbg = AttemptDrbg(domain, now, OptionsSalt(options));
-  const tls::HandshakeResult hs =
-      client.Handshake(*outcome.connection, now, drbg);
+  // With recording on, the connection is driven through a passive tap and
+  // summarized into a CaptureRecord whatever the handshake outcome — the
+  // adversary's buffer keeps malformed and aborted exchanges too.
+  attack::PassiveCapture tap;
+  tls::ServerConnection* wire = outcome.connection.get();
+  std::optional<tls::TappedConnection> tapped;
+  if (record_captures_) {
+    tapped.emplace(*outcome.connection, tap);
+    wire = &*tapped;
+  }
+  const tls::HandshakeResult hs = client.Handshake(*wire, now, drbg);
+  if (record_captures_) {
+    result.captures.push_back(attack::SummarizeCapture(
+        domain, now, net_.EndpointFor(domain, now), tap.Log()));
+  }
   if (!hs.ok) {
     obs.failure = FailureFromHandshake(hs.error_class);
     return result;
@@ -206,12 +219,20 @@ ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
   const int max_attempts = std::max(1, retry_.max_attempts);
   ProbeResult result;
   std::vector<ProbeAttempt> attempt_log;
+  std::vector<attack::CaptureRecord> captures;
   SimTime elapsed = 0;
   int attempt = 0;
   for (;;) {
     ++attempt;
     const SimTime start = now + elapsed;
     result = ProbeOnce(domain, start, options);
+    // The adversary records every attempt that reached the wire, retried
+    // or not — a retry is one more connection in the buffer.
+    if (record_captures_ && !result.captures.empty()) {
+      captures.insert(captures.end(),
+                      std::make_move_iterator(result.captures.begin()),
+                      std::make_move_iterator(result.captures.end()));
+    }
     const ProbeFailure failure = result.observation.failure;
     const SimTime cost = AttemptCost(failure, retry_);
     if (!IsTransportFailure(failure) || attempt >= max_attempts) {
@@ -234,6 +255,7 @@ ProbeResult Prober::Probe(simnet::DomainId domain, SimTime now,
   result.observation.attempts = static_cast<std::uint8_t>(
       std::min(attempt, 255));
   result.attempt_log = std::move(attempt_log);
+  result.captures = std::move(captures);
   if (metrics_ != nullptr) {
     m_.probes->Add(1);
     m_.attempts->Add(attempt);

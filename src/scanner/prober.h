@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attack/record.h"
 #include "crypto/drbg.h"
 #include "obs/metrics.h"
 #include "pki/root_store.h"
@@ -86,6 +87,11 @@ struct ProbeResult {
   // Per-attempt timeline; filled only when attempt logging is enabled
   // (SetAttemptLogging), so the hot path pays nothing by default.
   std::vector<ProbeAttempt> attempt_log;
+  // Adversary recordings, one per attempt that opened a connection; filled
+  // only when capture recording is enabled (SetCaptureRecording). Each is
+  // a pure function of (seed, domain, attempt time, options) like the
+  // observation itself, so recordings are thread-count independent.
+  std::vector<attack::CaptureRecord> captures;
 };
 
 // Cached handles into a MetricsRegistry so the per-probe hot path bumps
@@ -135,6 +141,11 @@ class Prober {
   void SetMetrics(obs::MetricsRegistry* registry);
   // Fills ProbeResult::attempt_log on every probe (off by default).
   void SetAttemptLogging(bool enabled) { log_attempts_ = enabled; }
+  // Taps every connection through attack::PassiveCapture and fills
+  // ProbeResult::captures (off by default; the hot path then never
+  // touches the tap).
+  void SetCaptureRecording(bool enabled) { record_captures_ = enabled; }
+  bool CaptureRecording() const { return record_captures_; }
 
  private:
   ProbeResult ProbeOnce(simnet::DomainId domain, SimTime now,
@@ -160,6 +171,7 @@ class Prober {
   obs::MetricsRegistry* metrics_ = nullptr;
   ProberMetricHandles m_{};
   bool log_attempts_ = false;
+  bool record_captures_ = false;
   // Memoized chain verification keyed by the full (leaf fingerprint, host)
   // pair — fingerprint bytes, a NUL separator, then the host name — so two
   // distinct pairs can never share a cache slot.

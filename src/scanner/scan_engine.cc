@@ -26,6 +26,9 @@ const obs::ProfSite kProfJoinMain("scan.join.main");
 const obs::ProfSite kProfJoinRequeue("scan.join.requeue");
 const obs::ProfSite kProfMerge("scan.merge");
 const obs::ProfSite kProfStoreAppend("scan.store.append");
+const obs::ProfSite kProfCaptureFlush("scan.capture.flush");
+const obs::ProfSite kProfCaptureEndDay("scan.capture.endday");
+const obs::ProfSite kProfCaptureFinish("scan.capture.finish");
 const obs::ProfSite kProfTraceFlush("scan.trace.flush");
 const obs::ProfSite kProfStoreEndDay("scan.store.endday");
 const obs::ProfSite kProfStoreFinish("scan.store.finish");
@@ -120,6 +123,9 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   store.Add(options.sink);
   store.Add(options.store);
   const bool storing = !store.Empty();
+  // The adversary recorder follows the same staging discipline as the
+  // store: per-shard buffers, flushed in shard order on the merge thread.
+  const bool capturing = options.capture != nullptr;
 
   // Per-shard metric registries (single-writer, no locks); merged with the
   // engine-level registry into options.metrics in shard order after the
@@ -143,6 +149,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
       probers.back().SetMetrics(&shard_metrics[static_cast<std::size_t>(k)]);
     }
     probers.back().SetAttemptLogging(tracing);
+    probers.back().SetCaptureRecording(capturing);
   }
 
   const Blacklist no_rules;
@@ -212,6 +219,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     // --- main pass: shard the target list, probe into per-index slots ----
     std::vector<Record> records(n);
     ShardedObservationBuffer staged(static_cast<std::size_t>(shards));
+    ShardedCaptureBuffer capture_staged(static_cast<std::size_t>(shards));
     obs::ShardedTraceBuffer trace_staged(static_cast<std::size_t>(shards));
     // Shard utilization accounting (performance plane only): each worker
     // times its own loop; the merge thread turns the difference against
@@ -240,12 +248,12 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
             const simnet::DomainId id = targets[i];
             Record& record = records[i];
-            const ProbeResult main_probe = [&] {
+            ProbeResult main_probe = [&] {
               obs::ProfScope span(kProfProbeMain);
               return prober.Probe(id, when, main_options);
             }();
             record.main = main_probe.observation;
-            const ProbeResult dhe_probe = [&] {
+            ProbeResult dhe_probe = [&] {
               obs::ProfScope span(kProfProbeDhe);
               return prober.Probe(id, when + kHour, dhe_options);
             }();
@@ -260,6 +268,18 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
             if (storing) {
               staged.Append(static_cast<std::size_t>(k), day, record.main);
               staged.Append(static_cast<std::size_t>(k), day, record.dhe);
+            }
+            if (capturing) {
+              // Canonical capture order matches the observation stream:
+              // the main probe's attempts, then the DHE probe's.
+              for (attack::CaptureRecord& rec : main_probe.captures) {
+                capture_staged.Append(static_cast<std::size_t>(k), day,
+                                      std::move(rec));
+              }
+              for (attack::CaptureRecord& rec : dhe_probe.captures) {
+                capture_staged.Append(static_cast<std::size_t>(k), day,
+                                      std::move(rec));
+              }
             }
           }
         }
@@ -281,6 +301,11 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     if (storing) {
       obs::ProfScope span(kProfStoreAppend);
       staged.Flush(store);
+    }
+    std::uint64_t day_captures = 0;
+    if (capturing) {
+      obs::ProfScope span(kProfCaptureFlush);
+      day_captures += capture_staged.Flush(*options.capture);
     }
     if (tracing) {
       obs::ProfScope span(kProfTraceFlush);
@@ -314,6 +339,8 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           static_cast<std::size_t>(max_shards), pending_count));
       ShardedObservationBuffer requeue_staged(
           static_cast<std::size_t>(requeue_shards));
+      ShardedCaptureBuffer requeue_captures(
+          static_cast<std::size_t>(requeue_shards));
       obs::ShardedTraceBuffer requeue_trace(
           static_cast<std::size_t>(requeue_shards));
       {
@@ -332,7 +359,7 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                i < hi; ++i) {
             const PendingProbe& p = pending[i];
             const SimTime at = p.dhe ? again + kHour : again;
-            const ProbeResult probe = [&] {
+            ProbeResult probe = [&] {
               obs::ProfScope span(kProfProbeRequeue);
               return prober.Probe(p.id, at,
                                   p.dhe ? dhe_options : main_options);
@@ -348,12 +375,22 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
               requeue_staged.Append(static_cast<std::size_t>(k), day,
                                     requeued[i]);
             }
+            if (capturing) {
+              for (attack::CaptureRecord& rec : probe.captures) {
+                requeue_captures.Append(static_cast<std::size_t>(k), day,
+                                        std::move(rec));
+              }
+            }
           }
         });
       }
       if (storing) {
         obs::ProfScope span(kProfStoreAppend);
         requeue_staged.Flush(store);
+      }
+      if (capturing) {
+        obs::ProfScope span(kProfCaptureFlush);
+        day_captures += requeue_captures.Flush(*options.capture);
       }
       if (tracing) {
         obs::ProfScope span(kProfTraceFlush);
@@ -365,6 +402,12 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
     if (storing) {
       obs::ProfScope span(kProfStoreEndDay);
       store.EndDay(day);
+    }
+    // Same boundary for the capture tape: its day segment commits here, on
+    // the merge thread, before the campaign's commit hooks observe the day.
+    if (capturing) {
+      obs::ProfScope span(kProfCaptureEndDay);
+      options.capture->EndDay(day);
     }
     for (std::size_t i = 0; i < pending_count; ++i) {
       ProbeFailure failure = pending[i].failure;
@@ -393,6 +436,9 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
           .Observe(static_cast<std::int64_t>(pending_count));
       reg.GetCounter("scan.lost").Add(day_loss.lost);
       reg.GetCounter("scan.recovered").Add(day_loss.recovered);
+      if (capturing) {
+        reg.GetCounter("scan.capture.records").Add(day_captures);
+      }
       for (int c = 0; c < kProbeFailureClasses; ++c) {
         const std::size_t lost =
             day_loss.lost_by_class[static_cast<std::size_t>(c)];
@@ -430,6 +476,10 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
   if (storing) {
     obs::ProfScope span(kProfStoreFinish);
     store.Finish();
+  }
+  if (capturing) {
+    obs::ProfScope span(kProfCaptureFinish);
+    options.capture->Finish();
   }
 
   DailyScanResult result = agg.Finish(net);

@@ -105,6 +105,15 @@ struct ScanEngineOptions {
   // columnar segment per completed virtual day. Both may be set at once;
   // the engine fans out to each.
   StoreWriter* store = nullptr;
+  // Optional adversary recorder (attack::CaptureSink — e.g. the columnar
+  // capture tape, warehouse/capture.h). When set, every probe connection is
+  // tapped through attack::PassiveCapture and its CaptureRecord summary is
+  // delivered in the SAME canonical order as the observation stream (main
+  // pass in permutation order — main then DHE per target — then the
+  // requeue pass), with EndDay/Finish mirroring the StoreWriter contract.
+  // Capture bytes are therefore identical at any thread count. Recording
+  // never changes an observation: the tap only mirrors wire flights.
+  attack::CaptureSink* capture = nullptr;
   // Optional telemetry; both default off and neither changes a single byte
   // of the scan's observations. `metrics` receives the merged per-shard
   // probe counters, engine-level scan/requeue/loss counters, and an

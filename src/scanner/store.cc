@@ -339,4 +339,27 @@ std::size_t ShardedObservationBuffer::Buffered() const {
   return total;
 }
 
+void ShardedCaptureBuffer::Append(std::size_t shard, int day,
+                                  attack::CaptureRecord record) {
+  shards_[shard].push_back(StagedCapture{day, std::move(record)});
+}
+
+std::size_t ShardedCaptureBuffer::Flush(attack::CaptureSink& sink) {
+  std::size_t delivered = 0;
+  for (auto& shard : shards_) {
+    for (const StagedCapture& staged : shard) {
+      sink.Append(staged.day, staged.record);
+      ++delivered;
+    }
+    shard.clear();
+  }
+  return delivered;
+}
+
+std::size_t ShardedCaptureBuffer::Buffered() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
+}
+
 }  // namespace tlsharm::scanner

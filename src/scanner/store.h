@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/record.h"
 #include "scanner/observation.h"
 
 namespace tlsharm::scanner {
@@ -202,6 +203,36 @@ class ShardedObservationBuffer {
 
  private:
   std::vector<std::vector<StoredObservation>> shards_;
+};
+
+// Per-shard staging for adversary capture records, the tape-side twin of
+// ShardedObservationBuffer: one writer per shard, Flush drains shards in
+// index order into an attack::CaptureSink, so the tape sees the canonical
+// permutation order at any thread count.
+class ShardedCaptureBuffer {
+ public:
+  explicit ShardedCaptureBuffer(std::size_t shards) : shards_(shards) {}
+
+  std::size_t ShardCount() const { return shards_.size(); }
+
+  // Appends one record to `shard` (single writer per shard; distinct
+  // shards may append concurrently). Takes the record by value so workers
+  // can move the probe's recordings in without a copy.
+  void Append(std::size_t shard, int day, attack::CaptureRecord record);
+
+  // Streams every staged record into `sink` in shard order and clears the
+  // buffers. Returns the number of records delivered.
+  std::size_t Flush(attack::CaptureSink& sink);
+
+  // Records currently staged across all shards.
+  std::size_t Buffered() const;
+
+ private:
+  struct StagedCapture {
+    int day = 0;
+    attack::CaptureRecord record;
+  };
+  std::vector<std::vector<StagedCapture>> shards_;
 };
 
 }  // namespace tlsharm::scanner

@@ -43,6 +43,7 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       m.next_restart =
           static_cast<SimTime>(SplitMix64(phase_state) %
                                static_cast<std::uint64_t>(restart_every));
+      m.first_restart = m.next_restart;
     }
     terminator_ips_.push_back(static_cast<std::uint32_t>(tid) + 0x0a000000);
     return tid;
@@ -660,6 +661,13 @@ server::SslTerminator& Internet::Terminator(TerminatorId id) {
 
 std::uint32_t Internet::IpOf(TerminatorId id) const {
   return terminator_ips_[id];
+}
+
+Internet::RestartSchedule Internet::RestartScheduleOf(TerminatorId id) const {
+  const Maintenance& m = maintenance_[id];
+  // Both fields are construction-time constants (only next_restart mutates,
+  // under the maintenance mutex), so no locking is needed here.
+  return RestartSchedule{m.first_restart, m.restart_every};
 }
 
 std::vector<DomainId> Internet::DomainsOnIp(std::uint32_t ip) const {

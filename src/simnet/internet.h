@@ -104,6 +104,18 @@ class Internet {
   // IP address (opaque id) of a terminator; co-located domains share it.
   std::uint32_t IpOf(TerminatorId id) const;
 
+  // The terminator's process-restart timetable, fixed at construction:
+  // restarts happen at first + k * every for k = 0, 1, ... (every == 0
+  // means the process never restarts). This is the schedule the adversary
+  // engine replays to model session-cache flushes from the capture archive
+  // alone — the live `next_restart` cursor advances lazily with probe
+  // traffic, so it is NOT a safe source for offline timeline modeling.
+  struct RestartSchedule {
+    SimTime first = 0;
+    SimTime every = 0;  // 0 = never restarts
+  };
+  RestartSchedule RestartScheduleOf(TerminatorId id) const;
+
   // Domains whose A records include an endpoint with this IP.
   std::vector<DomainId> DomainsOnIp(std::uint32_t ip) const;
   std::vector<DomainId> DomainsInAs(std::uint32_t as_number) const;
@@ -122,6 +134,7 @@ class Internet {
   // the deterministic scan output.
   struct Maintenance {
     SimTime restart_every = 0;
+    SimTime first_restart = 0;  // construction-time phase, never mutated
     SimTime next_restart = 0;
     std::vector<SimTime> forced_stek_rotations;   // absolute times, sorted
     std::vector<SimTime> forced_kex_rotations;

@@ -1,0 +1,111 @@
+// The capture tape: the adversary's day-partitioned archive of recorded
+// connections (attack::CaptureRecord), stored as columnar segments with
+// the same envelope, dictionary and checksum machinery as the observation
+// warehouse (format.h kind 2).
+//
+// CaptureTapeWriter is an attack::CaptureSink: attach it to the scan
+// engine via ScanEngineOptions::capture and each virtual day's records
+// become one "capture-<day>.seg" the moment the day ends. The engine
+// delivers records in canonical order, so tape bytes are identical at any
+// TLSHARM_THREADS. The tape directory carries its own MANIFEST (header
+// "tlsharm-capture-tape 1", `cap day=...` lines) and the same durable
+// commit discipline as the warehouse: atomic temp+fsync+rename, orphaned
+// *.tmp swept on Create, Resume verifying kept segments before dropping
+// anything past the last committed day.
+//
+// CaptureTape (the reader) streams records back in canonical order with
+// day-range partition pruning, validating manifest size/CRC and every
+// per-column/per-segment checksum before a record is surfaced.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/record.h"
+#include "warehouse/warehouse.h"
+
+namespace tlsharm::warehouse {
+
+// Columnar codec for one day's records (format.h documents the layout).
+Bytes EncodeCaptureSegment(int day,
+                           const std::vector<attack::CaptureRecord>& rows);
+bool DecodeCaptureSegment(ByteView segment, int* day,
+                          std::vector<attack::CaptureRecord>* rows,
+                          std::string* error);
+
+class CaptureTapeWriter final : public attack::CaptureSink {
+ public:
+  // Creates (or resets) the tape directory; sweeps previous segments and
+  // orphaned temp files. nullptr + `error` when the directory cannot be
+  // prepared.
+  static std::unique_ptr<CaptureTapeWriter> Create(const std::string& dir,
+                                                   std::string* error,
+                                                   RecoverySweep* sweep =
+                                                       nullptr);
+
+  // Reopens a tape for a resumed campaign: verifies kept segments against
+  // the manifest, drops everything past `last_day`, rewrites the MANIFEST
+  // durably, then appends continue at `last_day + 1`.
+  static std::unique_ptr<CaptureTapeWriter> Resume(const std::string& dir,
+                                                   int last_day,
+                                                   RecoverySweep* sweep,
+                                                   std::string* error);
+
+  // attack::CaptureSink (Append days non-decreasing, canonical order).
+  void Append(int day, const attack::CaptureRecord& record) override;
+  void EndDay(int day) override;
+  void Finish() override;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  std::uint64_t RowsWritten() const { return rows_written_; }
+  std::uint64_t BytesWritten() const { return bytes_written_; }
+  std::uint32_t ManifestCrc() const { return manifest_crc_; }
+
+ private:
+  explicit CaptureTapeWriter(std::string dir);
+
+  void FlushDay();
+  bool WriteManifest();
+  void Latch(const std::string& message);
+
+  std::string dir_;
+  int current_day_ = -1;  // day being buffered; -1 = none yet
+  std::vector<attack::CaptureRecord> pending_;
+  std::vector<SegmentInfo> segments_;
+  std::uint64_t rows_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint32_t manifest_crc_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+class CaptureTape {
+ public:
+  static std::optional<CaptureTape> Open(const std::string& dir,
+                                         std::string* error);
+
+  const std::string& Directory() const { return dir_; }
+  const std::vector<SegmentInfo>& Segments() const { return segments_; }
+  int DayCount() const;
+  std::uint64_t TotalRows() const;
+
+  // Streams every record with day in [day_min, day_max] in canonical
+  // order; segments outside the range are never read from disk. False +
+  // `error` on corruption (stops at the first bad segment).
+  bool ForEachCapture(
+      int day_min, int day_max,
+      const std::function<void(int day, const attack::CaptureRecord&)>& visit,
+      std::string* error) const;
+
+ private:
+  CaptureTape() = default;
+
+  std::string dir_;
+  std::vector<SegmentInfo> segments_;
+};
+
+}  // namespace tlsharm::warehouse

@@ -41,6 +41,7 @@ inline constexpr std::uint8_t kFormatVersion = 1;
 
 inline constexpr std::uint8_t kKindObservations = 0;
 inline constexpr std::uint8_t kKindLifetime = 1;
+inline constexpr std::uint8_t kKindCapture = 2;
 
 // Observation-segment column ids, in file order.
 enum ObsColumn : std::uint8_t {
@@ -64,12 +65,43 @@ enum LifetimeColumn : std::uint8_t {
 };
 inline constexpr int kLifetimeColumnCount = 3;
 
+// Capture-segment column ids, in file order (kind 2; capture.h). Carry
+// header {day, rows}. The domain column is dictionary-interned like the
+// observation segment's; the byte-string columns (randoms, session ID,
+// ticket, kex values) are varint-length-prefixed per row; the traffic
+// column packs five varints per row (wire bytes, record counts and bytes
+// per direction).
+enum CaptureColumn : std::uint8_t {
+  kCapColDomain = 0,
+  kCapColTime = 1,
+  kCapColEndpoint = 2,
+  kCapColFlags = 3,      // bit 0 valid, bit 1 abbreviated
+  kCapColParseFail = 4,
+  kCapColSuite = 5,
+  kCapColKexGroup = 6,
+  kCapColHint = 7,
+  kCapColClientRandom = 8,
+  kCapColServerRandom = 9,
+  kCapColSessionId = 10,
+  kCapColTicket = 11,
+  kCapColServerKex = 12,
+  kCapColClientKex = 13,
+  kCapColTraffic = 14,
+};
+inline constexpr int kCaptureColumnCount = 15;
+
 // Experiment ids for lifetime segments.
 inline constexpr std::uint8_t kExperimentSessionId = 0;
 inline constexpr std::uint8_t kExperimentTicket = 1;
 
 inline constexpr char kManifestName[] = "MANIFEST";
 inline constexpr char kManifestHeader[] = "tlsharm-warehouse 1";
+
+// The capture tape (capture.h) is its own directory of capture segments
+// ("capture-<day>.seg") with the same MANIFEST file name but a distinct
+// header line, so a tape can never be mistaken for an observation
+// warehouse (or vice versa).
+inline constexpr char kCaptureManifestHeader[] = "tlsharm-capture-tape 1";
 
 // Checkpoint files (ckpt-<day>.bin) are "TLWC" | version | payload |
 // CRC-32 trailer; their codec lives with the shared aggregate state in

@@ -1,11 +1,11 @@
 #include "warehouse/segment.h"
 
 #include <algorithm>
-#include <cstring>
 #include <functional>
 
 #include "scanner/store.h"
 #include "util/crc32.h"
+#include "warehouse/codec_util.h"
 #include "warehouse/format.h"
 
 namespace tlsharm::warehouse {
@@ -13,104 +13,15 @@ namespace {
 
 using scanner::HandshakeObservation;
 
-void Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-}
-
-// Appends one column: id, payload length, payload CRC, payload.
-void EmitColumn(Bytes& out, std::uint8_t id, const Bytes& payload) {
-  out.push_back(id);
-  AppendVarint(out, payload.size());
-  AppendUint(out, Crc32(payload), 4);
-  Append(out, payload);
-}
-
-void EmitPrefix(Bytes& out, std::uint8_t kind) {
-  for (const char c : kSegmentMagic) {
-    out.push_back(static_cast<std::uint8_t>(c));
-  }
-  out.push_back(kFormatVersion);
-  out.push_back(kind);
-}
-
-void EmitTrailer(Bytes& out) { AppendUint(out, Crc32(out), 4); }
-
-// Validates size, magic, version and the trailing segment CRC; on success
-// returns the body (everything between the kind byte and the trailer) and
-// the kind byte. This runs BEFORE any structural parsing, so a flipped bit
-// anywhere in the file surfaces as a checksum mismatch, not as whatever
-// the corrupted length fields would make a parser do.
-bool CheckEnvelope(ByteView segment, std::uint8_t* kind, ByteView* body,
-                   std::string* error) {
-  constexpr std::size_t kMinSize = 4 + 1 + 1 + 4;  // magic+version+kind+crc
-  if (segment.size() < kMinSize) {
-    Fail(error, "segment truncated (" + std::to_string(segment.size()) +
-                    " bytes)");
-    return false;
-  }
-  if (std::memcmp(segment.data(), kSegmentMagic, 4) != 0) {
-    Fail(error, "bad segment magic");
-    return false;
-  }
-  if (segment[4] != kFormatVersion) {
-    Fail(error, "unsupported warehouse format version " +
-                    std::to_string(segment[4]) + " (expected " +
-                    std::to_string(kFormatVersion) + ")");
-    return false;
-  }
-  const std::size_t body_end = segment.size() - 4;
-  const std::uint32_t stored =
-      static_cast<std::uint32_t>(ReadUint(segment, body_end, 4));
-  if (Crc32(segment.subspan(0, body_end)) != stored) {
-    Fail(error, "segment checksum mismatch");
-    return false;
-  }
-  *kind = segment[5];
-  *body = segment.subspan(6, body_end - 6);
-  return true;
-}
-
-// Reads one column header + payload out of `body` at `off`, enforcing the
-// expected id and the per-column CRC.
-bool ReadColumn(ByteView body, std::size_t& off, std::uint8_t expected_id,
-                ByteView* payload, std::string* error) {
-  const std::string label = "column " + std::to_string(expected_id);
-  if (off >= body.size()) {
-    Fail(error, label + " missing");
-    return false;
-  }
-  if (body[off] != expected_id) {
-    Fail(error, label + " has unexpected id " + std::to_string(body[off]));
-    return false;
-  }
-  ++off;
-  std::uint64_t length = 0;
-  if (!ReadVarint(body, off, length) || off + 4 > body.size() ||
-      length > body.size() - off - 4) {
-    Fail(error, label + " length out of bounds");
-    return false;
-  }
-  const std::uint32_t stored =
-      static_cast<std::uint32_t>(ReadUint(body, off, 4));
-  off += 4;
-  *payload = body.subspan(off, static_cast<std::size_t>(length));
-  off += static_cast<std::size_t>(length);
-  if (Crc32(*payload) != stored) {
-    Fail(error, label + " checksum mismatch");
-    return false;
-  }
-  return true;
-}
-
-bool ColumnConsumed(ByteView payload, std::size_t off, std::uint8_t id,
-                    std::string* error) {
-  if (off != payload.size()) {
-    Fail(error,
-         "column " + std::to_string(id) + " has trailing bytes");
-    return false;
-  }
-  return true;
-}
+// The envelope and column framing helpers are shared with the capture
+// codec (codec_util.h).
+using codec::CheckEnvelope;
+using codec::ColumnConsumed;
+using codec::EmitColumn;
+using codec::EmitPrefix;
+using codec::EmitTrailer;
+using codec::Fail;
+using codec::ReadColumn;
 
 }  // namespace
 

@@ -90,7 +90,61 @@ TEST_F(CaptureTest, AbbreviatedHandshakeDetected) {
 }
 
 TEST_F(CaptureTest, EmptyLogIsInvalid) {
-  EXPECT_FALSE(ParseCapture({}).valid);
+  const ParsedCapture parsed = ParseCapture({});
+  EXPECT_FALSE(parsed.valid);
+  EXPECT_EQ(parsed.parse_fail, CaptureParseFail::kEmptyLog);
+}
+
+TEST_F(CaptureTest, ValidCaptureReportsNoParseFail) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  auto conn = term->NewConnection(100);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  tls::TlsClient client(ClientFor(pki_, "victim.com"));
+  ASSERT_TRUE(client.Handshake(tapped, 100, drbg_).ok);
+  const ParsedCapture parsed = ParseCapture(capture.Log());
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_EQ(parsed.parse_fail, CaptureParseFail::kNone);
+}
+
+// Corpus-style corruption battery: every truncation of every handshake
+// flight and a single-bit flip at every bit position must yield either a
+// still-valid parse (flips can land in don't-care bytes like the ticket
+// blob or a random) or valid=false with a non-kNone taxonomy reason —
+// never a crash, never a "valid" capture with parse_fail set.
+TEST_F(CaptureTest, CorruptionCorpusClassifiesEveryMutation) {
+  auto term = MakeTerminator(pki_, {"victim.com"}, server::ServerConfig{});
+  auto conn = term->NewConnection(100);
+  PassiveCapture capture;
+  tls::TappedConnection tapped(*conn, capture);
+  tls::TlsClient client(ClientFor(pki_, "victim.com"));
+  ASSERT_TRUE(client.Handshake(tapped, 100, drbg_).ok);
+  const std::vector<CapturedExchange> log = capture.Log();
+  ASSERT_GE(log.size(), 2u);
+
+  auto check = [](const ParsedCapture& parsed) {
+    if (parsed.valid) {
+      EXPECT_EQ(parsed.parse_fail, CaptureParseFail::kNone);
+    } else {
+      EXPECT_NE(parsed.parse_fail, CaptureParseFail::kNone);
+    }
+  };
+
+  for (std::size_t e = 0; e < log.size(); ++e) {
+    // Every truncation of this exchange's bytes.
+    for (std::size_t keep = 0; keep < log[e].bytes.size(); ++keep) {
+      std::vector<CapturedExchange> mutated = log;
+      mutated[e].bytes.resize(keep);
+      if (keep == 0) mutated.erase(mutated.begin() + e);
+      check(ParseCapture(mutated));
+    }
+    // Every single-bit flip.
+    for (std::size_t bit = 0; bit < log[e].bytes.size() * 8; ++bit) {
+      std::vector<CapturedExchange> mutated = log;
+      mutated[e].bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      check(ParseCapture(mutated));
+    }
+  }
 }
 
 TEST_F(CaptureTest, TruncatedHandshakeIsInvalid) {

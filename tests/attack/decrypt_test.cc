@@ -55,13 +55,13 @@ TEST_F(DecryptTest, StolenStekDecryptsRecordedConnection) {
   const tls::Stek stolen = term->Steks().StealCurrentKey(30 * kDay);
   const StekDecryptor decryptor(term->Config().tickets.codec, stolen);
   const DecryptedSession session = decryptor.Decrypt(capture);
-  ASSERT_TRUE(session.ok) << session.failure;
+  ASSERT_TRUE(session.ok) << ToString(session.failure);
   EXPECT_EQ(session.master_secret, hs.master_secret);
   ASSERT_EQ(session.client_plaintext.size(), 1u);
-  EXPECT_EQ(ToString(session.client_plaintext[0]),
+  EXPECT_EQ(tlsharm::ToString(session.client_plaintext[0]),
             "POST /login user=alice&pw=hunter2");
   ASSERT_EQ(session.server_plaintext.size(), 1u);
-  EXPECT_EQ(ToString(session.server_plaintext[0]),
+  EXPECT_EQ(tlsharm::ToString(session.server_plaintext[0]),
             "HTTP/1.1 200 OK\r\n\r\naccount balance: $12,345");
 }
 
@@ -103,7 +103,7 @@ TEST_F(DecryptTest, StekAlsoOpensTicketResumedConnections) {
   const tls::Stek stolen = term->Steks().StealCurrentKey(30 * kDay);
   const StekDecryptor decryptor(term->Config().tickets.codec, stolen);
   const DecryptedSession session = decryptor.Decrypt(capture);
-  ASSERT_TRUE(session.ok) << session.failure;
+  ASSERT_TRUE(session.ok) << ToString(session.failure);
   EXPECT_EQ(session.client_plaintext.size(), 1u);
 }
 
@@ -119,7 +119,7 @@ TEST_F(DecryptTest, DumpedSessionCacheDecryptsWhileEntryLives) {
   // Attacker dumps the cache within the lifetime window.
   const CacheDecryptor decryptor(term->Cache().Dump());
   const DecryptedSession session = decryptor.Decrypt(capture);
-  ASSERT_TRUE(session.ok) << session.failure;
+  ASSERT_TRUE(session.ok) << ToString(session.failure);
   EXPECT_EQ(session.master_secret, hs.master_secret);
   EXPECT_EQ(session.client_plaintext.size(), 1u);
 }
@@ -154,7 +154,7 @@ TEST_F(DecryptTest, StolenReusedEcdheValueDecrypts) {
   const DhDecryptor decryptor(config.ecdhe_group, pair.private_key,
                               pair.public_value);
   const DecryptedSession session = decryptor.Decrypt(capture);
-  ASSERT_TRUE(session.ok) << session.failure;
+  ASSERT_TRUE(session.ok) << ToString(session.failure);
   EXPECT_EQ(session.master_secret, hs.master_secret);
   EXPECT_EQ(session.client_plaintext.size(), 1u);
 }
@@ -186,7 +186,7 @@ TEST_F(DecryptTest, WrongStekFailsCleanly) {
                                 tls::Stek::Generate(other));
   const DecryptedSession session = decryptor.Decrypt(capture);
   EXPECT_FALSE(session.ok);
-  EXPECT_FALSE(session.failure.empty());
+  EXPECT_EQ(session.failure, DecryptFailureClass::kWrongStek);
 }
 
 TEST_F(DecryptTest, StaticSuiteConnectionHasNoDhToAttackButNoPfsEither) {
