@@ -2,7 +2,7 @@
 // paper-vs-measured row printing, and scaling helpers.
 //
 // Every bench accepts two environment knobs:
-//   TLSHARM_POPULATION — simulated Top-N list size (default 60,000)
+//   TLSHARM_POPULATION — simulated Top-N list size (default 20,000)
 //   TLSHARM_DAYS       — study length in days (default 63, the paper's 9
 //                        weeks)
 // Absolute paper counts are compared after scaling by population/1M.
@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -31,6 +32,25 @@ inline int StudyDays() {
 }
 
 inline std::uint64_t StudySeed() { return 20160302; }
+
+// Peak resident set size (VmHWM — the process high-water mark) in MiB from
+// /proc/self/status; 0.0 when unavailable. Monotonic over the process
+// lifetime: sampling after a phase reports the peak of everything run so
+// far, which is exactly the bound a memory gate wants.
+inline double ReadPeakRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      mb = std::atof(line + 6) / 1024.0;  // the kernel reports kB
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
 
 struct World {
   std::unique_ptr<simnet::Internet> net;

@@ -111,7 +111,9 @@ std::map<std::string, std::set<simnet::TerminatorId>> FleetsOf(
 
 const std::string& OperatorOf(const simnet::Internet& net,
                               std::uint32_t domain) {
-  return net.GetDomain(static_cast<simnet::DomainId>(domain)).operator_name;
+  // The interned accessor: GetDomain returns a materialized value, so a
+  // reference into it would dangle.
+  return net.DomainOperator(static_cast<simnet::DomainId>(domain));
 }
 
 // The biggest profile whose whole fleet shares ONE interval-rotated STEK

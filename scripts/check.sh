@@ -178,9 +178,41 @@ else
   echo "capture recording overhead ${cap_overhead}% is within the 5% budget"
 fi
 
+# Memory-budget gate (million-domain readiness at CI scale). A 64k-domain,
+# 2-day lazy-fleet scan through `bench_scan_engine --memcheck`, gated on
+# the process VmHWM it reports. The budget math (DESIGN.md §Scaling): the
+# blueprint columns are ~tens of bytes per domain, the derived working set
+# is capped by the fleet budget (default 384 MiB, and a 64k fleet doesn't
+# come near it), and the scan path buffers O(batch), not O(day) — so peak
+# RSS at this scale sits around 150 MB. Warn past 256 MB (allocator or
+# layout drift worth a look), fail past 512 MB (something is accumulating
+# per-domain or per-day state again — the exact regression this gate
+# exists to catch).
+echo "== memory budget: bench_scan_engine --memcheck (64k domains, lazy) =="
+memline="$("${repo}/build/bench/bench_scan_engine" --memcheck)"
+echo "${memline}"
+peak_mb="$(sed -n 's/.*peak_rss_mb=\([0-9.]*\).*/\1/p' <<<"${memline}")"
+if awk -v m="${peak_mb}" 'BEGIN { exit !(m > 512.0) }'; then
+  echo "FAIL: peak RSS ${peak_mb} MB exceeds the 512 MB hard ceiling for a" \
+       "64k-domain lazy-fleet scan"
+  exit 1
+elif awk -v m="${peak_mb}" 'BEGIN { exit !(m > 256.0) }'; then
+  echo "WARN: peak RSS ${peak_mb} MB is past the 256 MB budget for a" \
+       "64k-domain lazy-fleet scan (investigate before trusting this run)"
+else
+  echo "peak RSS ${peak_mb} MB is within the 256 MB budget"
+fi
+
 run_config "sanitized" "${repo}/build-asan" -DTLSHARM_SANITIZE=ON
 echo "== crash recovery: injection ladder (ASan + UBSan) =="
 ctest --test-dir "${repo}/build-asan" --output-on-failure -R 'CrashRecovery'
+# The lazy-fleet equivalence battery by name, so a filtered invocation can
+# never silently skip the tentpole contract: derive-on-demand + eviction +
+# rebuild must produce byte-identical artifacts, with ASan watching the
+# evict/rebuild lifetimes (a stale reference into an evicted terminator is
+# exactly the bug class this pairing catches).
+echo "== memory-bounded fleet: equivalence battery (ASan + UBSan) =="
+ctest --test-dir "${repo}/build-asan" --output-on-failure -R 'FleetEquivalence'
 echo "== sanitized: bench_crypto --selftest (ASan + UBSan) =="
 "${repo}/build-asan/bench/bench_crypto" --selftest
 echo "== sanitized: tlsharm-harm --selftest (ASan + UBSan) =="

@@ -13,10 +13,12 @@ std::vector<simnet::TerminatorId> FleetOf(const simnet::Internet& net,
   std::set<simnet::TerminatorId> fleet;
   const std::size_t domains = net.DomainCount();
   for (std::size_t d = 0; d < domains; ++d) {
-    const simnet::DomainInfo& info =
-        net.GetDomain(static_cast<simnet::DomainId>(d));
-    if (!profile.empty() && info.operator_name != profile) continue;
-    fleet.insert(info.endpoints.begin(), info.endpoints.end());
+    const auto id = static_cast<simnet::DomainId>(d);
+    if (!profile.empty() && net.DomainOperator(id) != profile) continue;
+    const std::size_t endpoints = net.DomainEndpointCount(id);
+    for (std::size_t e = 0; e < endpoints; ++e) {
+      fleet.insert(net.DomainEndpoint(id, e));
+    }
   }
   return {fleet.begin(), fleet.end()};
 }
@@ -40,23 +42,25 @@ CompromisedSecrets TakeSnapshot(simnet::Internet& net,
   CompromisedSecrets out;
   out.spec = spec;
   // Shared state is stolen once: terminators that install the same manager
-  // object hold the same secret (that sharing IS the service group).
+  // object hold the same secret (that sharing IS the service group). The
+  // secret stores are resident regardless of fleet mode, so the sweep never
+  // materializes a terminator — a million-domain lazy fleet snapshots in
+  // bounded memory.
   std::set<const void*> seen;
   std::set<std::pair<const void*, std::uint16_t>> seen_kex;
   for (const simnet::TerminatorId tid : FleetOf(net, spec.profile)) {
-    server::SslTerminator& term = net.Terminator(tid);
     switch (spec.vector) {
       case CompromiseVector::kStek: {
-        server::StekManager& steks = term.Steks();
+        server::StekManager& steks = net.SteksOf(tid);
         if (!seen.insert(&steks).second) break;
         out.steks.push_back(
             StolenStek{steks.Codec(), steks.StealCurrentKey(spec.at)});
         break;
       }
       case CompromiseVector::kSessionCache: {
-        server::SessionCache& cache = term.Cache();
+        server::SessionCache& cache = net.CacheOf(tid);
         if (!seen.insert(&cache).second) break;
-        if (!term.Config().session_cache.enabled) break;
+        if (!net.TerminatorConfigOf(tid).session_cache.enabled) break;
         const SimTime lifetime = cache.Lifetime();
         for (const auto& [id, session] : cache.Dump()) {
           // The dump may hold entries the lazy sweep has not evicted yet;
@@ -70,8 +74,8 @@ CompromisedSecrets TakeSnapshot(simnet::Internet& net,
         break;
       }
       case CompromiseVector::kDh: {
-        const server::ServerConfig& config = term.Config();
-        const server::KexCache& kex = term.Kex();
+        const server::ServerConfig& config = net.TerminatorConfigOf(tid);
+        const server::KexCache& kex = net.KexOf(tid);
         const std::pair<crypto::NamedGroup, const server::KexReusePolicy*>
             slots[] = {{config.dhe_group, &config.dhe_reuse},
                        {config.ecdhe_group, &config.ecdhe_reuse}};

@@ -46,7 +46,7 @@ const HarmEngine::EndpointMeta& HarmEngine::MetaOf(std::uint32_t endpoint) {
   const auto it = endpoint_meta_.find(endpoint);
   if (it != endpoint_meta_.end()) return it->second;
   const server::ServerConfig& config =
-      net_.Terminator(static_cast<simnet::TerminatorId>(endpoint)).Config();
+      net_.TerminatorConfigOf(static_cast<simnet::TerminatorId>(endpoint));
   EndpointMeta meta;
   meta.codec = config.tickets.codec;
   meta.cacheable = config.session_cache.enabled &&
@@ -65,7 +65,7 @@ std::uint32_t HarmEngine::ProfileOf(std::uint32_t domain) {
   const auto it = domain_profile_.find(domain);
   if (it != domain_profile_.end()) return it->second;
   const std::string& name =
-      net_.GetDomain(static_cast<simnet::DomainId>(domain)).operator_name;
+      net_.DomainOperator(static_cast<simnet::DomainId>(domain));
   const auto [pit, inserted] = profile_ids_.emplace(
       name, static_cast<std::uint32_t>(profile_names_.size()));
   if (inserted) {

@@ -40,10 +40,11 @@ void CollectFleetMetrics(simnet::Internet& net, SimTime now,
   Counter& kex_reused = registry.GetCounter("fleet.kex.reused");
   Counter& kex_fresh = registry.GetCounter("fleet.kex.fresh");
 
+  // The sweep reads the resident secret stores directly: they are live in
+  // every fleet mode, so an end-of-study pass over a million-domain lazy
+  // fleet never materializes (or pays for) a single terminator object.
   for (simnet::TerminatorId id = 0; id < net.TerminatorCount(); ++id) {
-    server::SslTerminator& terminator = net.Terminator(id);
-
-    server::StekManager& steks = terminator.Steks();
+    server::StekManager& steks = net.SteksOf(id);
     if (seen_steks.insert(&steks).second) {
       stek_managers.Add();
       stek_rotations.Add(steks.Rotations());
@@ -51,7 +52,7 @@ void CollectFleetMetrics(simnet::Internet& net, SimTime now,
       stek_age.Observe(now - steks.IssuingEpochStart(now));
     }
 
-    server::SessionCache& cache = terminator.Cache();
+    server::SessionCache& cache = net.CacheOf(id);
     if (seen_caches.insert(&cache).second) {
       session_caches.Add();
       session_inserts.Add(cache.Inserts());
@@ -59,7 +60,7 @@ void CollectFleetMetrics(simnet::Internet& net, SimTime now,
       session_hits.Add(cache.Hits());
     }
 
-    server::KexCache& kex = terminator.Kex();
+    server::KexCache& kex = net.KexOf(id);
     if (seen_kex.insert(&kex).second) {
       kex_caches.Add();
       kex_reused.Add(kex.ReusedServed());

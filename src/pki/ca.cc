@@ -12,7 +12,7 @@ CertificateAuthority::CertificateAuthority(std::string name,
 Certificate CertificateAuthority::Issue(CertificateData data,
                                         crypto::Drbg& drbg) const {
   data.issuer = name_;
-  data.serial = next_serial_++;
+  if (data.serial == 0) data.serial = next_serial_++;
   Certificate cert;
   cert.data = std::move(data);
   const Bytes tbs = SerializeTbs(cert.data);
@@ -38,9 +38,10 @@ Certificate CertificateAuthority::IssueLeaf(const std::string& subject_cn,
                                             std::vector<std::string> sans,
                                             ByteView public_key,
                                             SimTime not_before,
-                                            SimTime not_after,
-                                            crypto::Drbg& drbg) const {
+                                            SimTime not_after, crypto::Drbg& drbg,
+                                            std::uint64_t serial) const {
   CertificateData data;
+  data.serial = serial;
   data.subject_cn = subject_cn;
   data.sans = std::move(sans);
   data.not_before = not_before;

@@ -31,10 +31,14 @@ class CertificateAuthority {
                          crypto::Drbg& drbg) const;
 
   // Issues a leaf certificate binding `public_key` to the given names.
+  // `serial` 0 draws from the CA's sequential counter; callers that issue
+  // concurrently or out of order (lazy fleet materialization) pass an
+  // explicit nonzero serial so the certificate bytes are a pure function
+  // of the call's inputs.
   Certificate IssueLeaf(const std::string& subject_cn,
                         std::vector<std::string> sans, ByteView public_key,
                         SimTime not_before, SimTime not_after,
-                        crypto::Drbg& drbg) const;
+                        crypto::Drbg& drbg, std::uint64_t serial = 0) const;
 
   // Issues a CA certificate to a subordinate authority.
   Certificate IssueCaCertificate(const CertificateAuthority& subordinate,

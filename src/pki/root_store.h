@@ -31,6 +31,9 @@ class SignatureVerifyCache {
 
   std::size_t Size() const { return cache_.size(); }
   std::uint64_t Hits() const { return hits_; }
+  // Drops all memoized verdicts (hit statistics persist). Entries are pure
+  // functions of the key, so callers may clear to bound memory at any time.
+  void Clear() { cache_.clear(); }
 
  private:
   std::map<crypto::Sha256Digest, bool> cache_;

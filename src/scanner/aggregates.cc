@@ -95,8 +95,12 @@ DailyScanResult ScanAggregates::Finish(const simnet::Internet& net) const {
     return id < flags.size() && flags[id] != 0;
   };
   for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
-    const auto& info = net.GetDomain(id);
-    if (!info.stable || !info.https || !ever(ever_trusted_, id)) continue;
+    // Column accessors: Finish sweeps the whole population, and a
+    // million-domain sweep must not materialize a DomainInfo per row.
+    if (!net.DomainStable(id) || !net.DomainHttps(id) ||
+        !ever(ever_trusted_, id)) {
+      continue;
+    }
     result.core_domains.push_back(id);
     result.core_ever_ticket += ever(ever_ticket_, id) ? 1 : 0;
     result.core_ever_ecdhe += ever(ever_ecdhe_, id) ? 1 : 0;

@@ -62,6 +62,11 @@ std::uint64_t ResumeSalt(bool offer_id, bool offer_ticket) {
   return salt;
 }
 
+// Trust-cache entry cap. Sized so a full cache stays in the tens of MB at
+// million-domain populations; on overflow both memo caches are cleared and
+// re-warm (see the header note on why that cannot change observations).
+constexpr std::size_t kTrustCacheCap = 1u << 18;
+
 }  // namespace
 
 Prober::Prober(simnet::Internet& net, std::uint64_t seed)
@@ -92,8 +97,10 @@ void Prober::SetMetrics(obs::MetricsRegistry* registry) {
 }
 
 crypto::Drbg Prober::AttemptDrbg(simnet::DomainId domain, SimTime when,
-                                 std::uint64_t salt) const {
-  Bytes s = ToBytes("probe");
+                                 std::uint64_t salt) {
+  static constexpr char kLabel[] = "probe";
+  Bytes& s = drbg_seed_;
+  s.assign(kLabel, kLabel + sizeof(kLabel) - 1);
   AppendUint(s, seed_, 8);
   AppendUint(s, domain, 4);
   AppendUint(s, static_cast<std::uint64_t>(when), 8);
@@ -101,37 +108,45 @@ crypto::Drbg Prober::AttemptDrbg(simnet::DomainId domain, SimTime when,
   return crypto::Drbg(s);
 }
 
-std::vector<tls::CipherSuite> Prober::SuitesFor(
-    CipherSelection selection) const {
+void Prober::AssignSuites(CipherSelection selection,
+                          std::vector<tls::CipherSuite>* out) const {
+  out->clear();
   switch (selection) {
     case CipherSelection::kDefault:
-      return {tls::CipherSuite::kEcdheWithAes128CbcSha256,
-              tls::CipherSuite::kDheWithAes128CbcSha256,
-              tls::CipherSuite::kStaticWithAes128CbcSha256};
+      out->push_back(tls::CipherSuite::kEcdheWithAes128CbcSha256);
+      out->push_back(tls::CipherSuite::kDheWithAes128CbcSha256);
+      out->push_back(tls::CipherSuite::kStaticWithAes128CbcSha256);
+      return;
     case CipherSelection::kDheOnly:
-      return {tls::CipherSuite::kDheWithAes128CbcSha256};
+      out->push_back(tls::CipherSuite::kDheWithAes128CbcSha256);
+      return;
     case CipherSelection::kEcdheOnly:
-      return {tls::CipherSuite::kEcdheWithAes128CbcSha256};
+      out->push_back(tls::CipherSuite::kEcdheWithAes128CbcSha256);
+      return;
     case CipherSelection::kEcdheAndStatic:
-      return {tls::CipherSuite::kEcdheWithAes128CbcSha256,
-              tls::CipherSuite::kStaticWithAes128CbcSha256};
+      out->push_back(tls::CipherSuite::kEcdheWithAes128CbcSha256);
+      out->push_back(tls::CipherSuite::kStaticWithAes128CbcSha256);
+      return;
   }
-  return {};
 }
 
 bool Prober::ChainTrusted(const pki::CertificateChain& chain,
                           const std::string& host, SimTime now) {
   if (chain.empty()) return false;
   const Bytes fp = chain.front().Fingerprint();
-  std::string key(fp.begin(), fp.end());
-  key.push_back('\0');
-  key += host;
-  const auto it = trust_cache_.find(key);
+  trust_key_.assign(fp.begin(), fp.end());
+  trust_key_.push_back('\0');
+  trust_key_ += host;
+  const auto it = trust_cache_.find(trust_key_);
   if (it != trust_cache_.end()) return it->second;
   const bool trusted =
       net_.NssRootStore().Verify(chain, host, now, &verify_cache_) ==
       pki::VerifyStatus::kOk;
-  trust_cache_.emplace(std::move(key), trusted);
+  if (trust_cache_.size() >= kTrustCacheCap) {
+    trust_cache_.clear();
+    verify_cache_.Clear();
+  }
+  trust_cache_.emplace(trust_key_, trusted);
   return trusted;
 }
 
@@ -160,13 +175,16 @@ ProbeResult Prober::ProbeOnce(simnet::DomainId domain, SimTime now,
   }
   obs.connected = true;
 
-  tls::ClientConfig config;
-  config.offered_suites = SuitesFor(options.ciphers);
+  // Reused scratch config: only capacities survive from the previous probe
+  // (every field is reassigned here), so each probe still sees a value
+  // config while the steady-state path stages it without allocating.
+  tls::ClientConfig& config = probe_config_;
+  AssignSuites(options.ciphers, &config.offered_suites);
   config.offer_session_ticket = options.offer_session_ticket;
-  config.server_name = net_.GetDomain(domain).name;
+  net_.AssignDomainName(domain, &config.server_name);
   config.kex_probe_only = options.kex_only;
 
-  tls::TlsClient client(config);
+  tls::TlsClient client(&config);
   crypto::Drbg drbg = AttemptDrbg(domain, now, OptionsSalt(options));
   // With recording on, the connection is driven through a passive tap and
   // summarized into a CaptureRecord whatever the handshake outcome — the
@@ -281,13 +299,15 @@ bool Prober::RunResume(const StoredSession& session, simnet::DomainId domain,
     if (outcome.connection == nullptr) {
       failure = FailureFromConnect(outcome.status);
     } else {
-      tls::ClientConfig config;
-      config.server_name = net_.GetDomain(domain).name;
+      tls::ClientConfig& config = resume_config_;
+      net_.AssignDomainName(domain, &config.server_name);
       config.resume_master_secret = session.master_secret;
+      config.resume_session_id.clear();
+      config.resume_ticket.clear();
       if (offer_id) config.resume_session_id = session.session_id;
       if (offer_ticket) config.resume_ticket = session.ticket;
 
-      tls::TlsClient client(config);
+      tls::TlsClient client(&config);
       crypto::Drbg drbg =
           AttemptDrbg(domain, when, ResumeSalt(offer_id, offer_ticket));
       const tls::HandshakeResult hs =

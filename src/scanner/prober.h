@@ -152,7 +152,10 @@ class Prober {
                         const ProbeOptions& options);
   bool ChainTrusted(const pki::CertificateChain& chain,
                     const std::string& host, SimTime now);
-  std::vector<tls::CipherSuite> SuitesFor(CipherSelection selection) const;
+  // Writes the offered-suite list for `selection` into `out`, reusing its
+  // capacity (the hot path never reallocates the vector after warm-up).
+  void AssignSuites(CipherSelection selection,
+                    std::vector<tls::CipherSuite>* out) const;
   bool RunResume(const StoredSession& session, simnet::DomainId domain,
                  SimTime now, bool offer_id, bool offer_ticket);
   // Deterministic backoff jitter in [0, base_backoff], a pure function of
@@ -162,8 +165,9 @@ class Prober {
   // domain, attempt time, options salt). Attempts of one probe are at
   // least a second apart, so the time distinguishes them; the salt
   // distinguishes same-instant probes with different wire options.
+  // Non-const: builds the seed material in drbg_seed_ scratch.
   crypto::Drbg AttemptDrbg(simnet::DomainId domain, SimTime when,
-                           std::uint64_t salt) const;
+                           std::uint64_t salt);
 
   simnet::Internet& net_;
   std::uint64_t seed_;
@@ -172,9 +176,21 @@ class Prober {
   ProberMetricHandles m_{};
   bool log_attempts_ = false;
   bool record_captures_ = false;
+  // Reusable per-probe scratch. A probe's client config is semantically a
+  // fresh value each time, but its buffers (SNI string, suite vector,
+  // resumption byte strings, DRBG seed material) keep their capacity across
+  // probes, so the steady-state hot path performs no heap allocation to
+  // stage a connection. TlsClient borrows these in place (pointer ctor).
+  tls::ClientConfig probe_config_;
+  tls::ClientConfig resume_config_;
+  Bytes drbg_seed_;
+  std::string trust_key_;
   // Memoized chain verification keyed by the full (leaf fingerprint, host)
   // pair — fingerprint bytes, a NUL separator, then the host name — so two
-  // distinct pairs can never share a cache slot.
+  // distinct pairs can never share a cache slot. Bounded: at the cap the
+  // map is cleared and re-warmed (verdicts are pure functions of the key,
+  // so eviction affects only speed, never observations). A million-domain
+  // population would otherwise grow this without limit.
   std::unordered_map<std::string, bool> trust_cache_;
   // Memoized per-certificate signature checks, shared across hosts: when a
   // new (fingerprint, host) pair presents a chain whose certificates were

@@ -107,10 +107,22 @@ int ScanThreadsFromEnv() {
   return 1;
 }
 
+std::size_t ScanBatchFromEnv() {
+  if (const char* env = std::getenv("TLSHARM_SCAN_BATCH")) {
+    const long batch = std::atol(env);
+    if (batch >= 1 && batch <= (1L << 24)) {
+      return static_cast<std::size_t>(batch);
+    }
+  }
+  return 65536;
+}
+
 DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                      std::uint64_t seed,
                                      const ScanEngineOptions& options) {
   const int max_shards = std::max(1, options.threads);
+  const std::size_t batch =
+      options.batch_size != 0 ? options.batch_size : ScanBatchFromEnv();
   const bool tracing = options.trace != nullptr;
   const bool hooked = options.hooks != nullptr;
   // Hooks need cumulative snapshots even when the caller passed no
@@ -213,119 +225,138 @@ DailyScanResult RunShardedDailyScans(simnet::Internet& net, int days,
                                 /*https_only=*/true);
     }();
     const std::size_t n = targets.size();
-    const int shards = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(max_shards), std::max<std::size_t>(n, 1)));
 
-    // --- main pass: shard the target list, probe into per-index slots ----
-    std::vector<Record> records(n);
-    ShardedObservationBuffer staged(static_cast<std::size_t>(shards));
-    ShardedCaptureBuffer capture_staged(static_cast<std::size_t>(shards));
-    obs::ShardedTraceBuffer trace_staged(static_cast<std::size_t>(shards));
-    // Shard utilization accounting (performance plane only): each worker
-    // times its own loop; the merge thread turns the difference against
-    // the barrier wall time into per-shard merge-stall.
-    std::vector<std::uint64_t> shard_busy_ns(
-        static_cast<std::size_t>(shards), 0);
-    const std::uint64_t main_join_start =
-        obs::ProfilingEnabled() ? obs::ProfNowNs() : 0;
-    {
-      obs::ProfScope join_span(kProfJoinMain);
-      RunSharded(shards, [&](int k) {
-        const bool prof = obs::ProfilingEnabled();
-        std::uint64_t busy_start = 0;
-        if (prof) {
-          if (shards > 1) {
-            char tname[24];
-            std::snprintf(tname, sizeof(tname), "shard-%d", k);
-            obs::ProfSetThreadTrack(k + 1, tname);
-          }
-          busy_start = obs::ProfNowNs();
-        }
-        {
-          obs::ProfScope shard_span(kProfShard);
-          Prober& prober = probers[static_cast<std::size_t>(k)];
-          const std::size_t hi = ShardLo(n, shards, k + 1);
-          for (std::size_t i = ShardLo(n, shards, k); i < hi; ++i) {
-            const simnet::DomainId id = targets[i];
-            Record& record = records[i];
-            ProbeResult main_probe = [&] {
-              obs::ProfScope span(kProfProbeMain);
-              return prober.Probe(id, when, main_options);
-            }();
-            record.main = main_probe.observation;
-            ProbeResult dhe_probe = [&] {
-              obs::ProfScope span(kProfProbeDhe);
-              return prober.Probe(id, when + kHour, dhe_options);
-            }();
-            record.dhe = dhe_probe.observation;
-            if (tracing) {
-              StageTrace(trace_staged, static_cast<std::size_t>(k), day,
-                         2 * i, "main", "main", id, when, main_probe);
-              StageTrace(trace_staged, static_cast<std::size_t>(k), day,
-                         2 * i + 1, "main", "dhe", id, when + kHour,
-                         dhe_probe);
-            }
-            if (storing) {
-              staged.Append(static_cast<std::size_t>(k), day, record.main);
-              staged.Append(static_cast<std::size_t>(k), day, record.dhe);
-            }
-            if (capturing) {
-              // Canonical capture order matches the observation stream:
-              // the main probe's attempts, then the DHE probe's.
-              for (attack::CaptureRecord& rec : main_probe.captures) {
-                capture_staged.Append(static_cast<std::size_t>(k), day,
-                                      std::move(rec));
-              }
-              for (attack::CaptureRecord& rec : dhe_probe.captures) {
-                capture_staged.Append(static_cast<std::size_t>(k), day,
-                                      std::move(rec));
-              }
-            }
-          }
-        }
-        if (prof) {
-          shard_busy_ns[static_cast<std::size_t>(k)] =
-              obs::ProfNowNs() - busy_start;
-        }
-      });
-    }
-    if (obs::ProfilingEnabled()) {
-      const std::uint64_t join_wall = obs::ProfNowNs() - main_join_start;
-      for (int k = 0; k < shards; ++k) {
-        const std::uint64_t busy =
-            shard_busy_ns[static_cast<std::size_t>(k)];
-        obs::ProfRecordShardStall(shards > 1 ? k + 1 : 0, busy,
-                                  join_wall > busy ? join_wall - busy : 0);
-      }
-    }
-    if (storing) {
-      obs::ProfScope span(kProfStoreAppend);
-      staged.Flush(store);
-    }
-    std::uint64_t day_captures = 0;
-    if (capturing) {
-      obs::ProfScope span(kProfCaptureFlush);
-      day_captures += capture_staged.Flush(*options.capture);
-    }
-    if (tracing) {
-      obs::ProfScope span(kProfTraceFlush);
-      trace_staged.Flush(*options.trace);
-    }
-
-    // --- canonical merge: aggregate + collect the requeue list -----------
+    // --- main pass: batched — shard, probe, flush, fold per batch --------
+    // Staging state (probe records, observation/capture/trace buffers) is
+    // sized by the batch, never the day: a million-target day peaks at
+    // O(batch_size) scan-engine memory. Batches walk the target list in
+    // canonical order and each flush drains complete batches in shard
+    // order, so the concatenated stream — and therefore every downstream
+    // byte — is identical to the unbatched engine's.
     DayLoss day_loss;
     std::vector<PendingProbe> pending;
-    {
-      obs::ProfScope merge_span(kProfMerge);
-      for (std::size_t i = 0; i < n; ++i) {
-        day_loss.scheduled += 2;
-        agg.Fold(day, records[i].main);
-        if (IsTransportFailure(records[i].main.failure)) {
-          pending.push_back({targets[i], false, records[i].main.failure});
+    std::vector<Record> records(
+        std::min(batch, std::max<std::size_t>(n, 1)));
+    ShardedObservationBuffer staged(static_cast<std::size_t>(max_shards));
+    ShardedCaptureBuffer capture_staged(static_cast<std::size_t>(max_shards));
+    obs::ShardedTraceBuffer trace_staged(static_cast<std::size_t>(max_shards));
+    std::uint64_t day_captures = 0;
+    for (std::size_t lo = 0; lo < n; lo += batch) {
+      const std::size_t batch_hi = std::min(n, lo + batch);
+      const std::size_t bn = batch_hi - lo;
+      const int shards = static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(max_shards), bn));
+      // Shard utilization accounting (performance plane only): each worker
+      // times its own loop; the merge thread turns the difference against
+      // the barrier wall time into per-shard merge-stall.
+      std::vector<std::uint64_t> shard_busy_ns(
+          static_cast<std::size_t>(shards), 0);
+      const std::uint64_t main_join_start =
+          obs::ProfilingEnabled() ? obs::ProfNowNs() : 0;
+      {
+        obs::ProfScope join_span(kProfJoinMain);
+        RunSharded(shards, [&](int k) {
+          const bool prof = obs::ProfilingEnabled();
+          std::uint64_t busy_start = 0;
+          if (prof) {
+            if (shards > 1) {
+              char tname[24];
+              std::snprintf(tname, sizeof(tname), "shard-%d", k);
+              obs::ProfSetThreadTrack(k + 1, tname);
+            }
+            busy_start = obs::ProfNowNs();
+          }
+          {
+            obs::ProfScope shard_span(kProfShard);
+            Prober& prober = probers[static_cast<std::size_t>(k)];
+            const std::size_t hi = ShardLo(bn, shards, k + 1);
+            for (std::size_t b = ShardLo(bn, shards, k); b < hi; ++b) {
+              // `i` is the target's canonical index within the DAY — trace
+              // seqs must not depend on how the day was batched.
+              const std::size_t i = lo + b;
+              const simnet::DomainId id = targets[i];
+              Record& record = records[b];
+              ProbeResult main_probe = [&] {
+                obs::ProfScope span(kProfProbeMain);
+                return prober.Probe(id, when, main_options);
+              }();
+              record.main = main_probe.observation;
+              ProbeResult dhe_probe = [&] {
+                obs::ProfScope span(kProfProbeDhe);
+                return prober.Probe(id, when + kHour, dhe_options);
+              }();
+              record.dhe = dhe_probe.observation;
+              if (tracing) {
+                StageTrace(trace_staged, static_cast<std::size_t>(k), day,
+                           2 * i, "main", "main", id, when, main_probe);
+                StageTrace(trace_staged, static_cast<std::size_t>(k), day,
+                           2 * i + 1, "main", "dhe", id, when + kHour,
+                           dhe_probe);
+              }
+              if (storing) {
+                staged.Append(static_cast<std::size_t>(k), day, record.main);
+                staged.Append(static_cast<std::size_t>(k), day, record.dhe);
+              }
+              if (capturing) {
+                // Canonical capture order matches the observation stream:
+                // the main probe's attempts, then the DHE probe's.
+                for (attack::CaptureRecord& rec : main_probe.captures) {
+                  capture_staged.Append(static_cast<std::size_t>(k), day,
+                                        std::move(rec));
+                }
+                for (attack::CaptureRecord& rec : dhe_probe.captures) {
+                  capture_staged.Append(static_cast<std::size_t>(k), day,
+                                        std::move(rec));
+                }
+              }
+            }
+          }
+          if (prof) {
+            shard_busy_ns[static_cast<std::size_t>(k)] =
+                obs::ProfNowNs() - busy_start;
+          }
+        });
+      }
+      if (obs::ProfilingEnabled()) {
+        const std::uint64_t join_wall = obs::ProfNowNs() - main_join_start;
+        for (int k = 0; k < shards; ++k) {
+          const std::uint64_t busy =
+              shard_busy_ns[static_cast<std::size_t>(k)];
+          obs::ProfRecordShardStall(shards > 1 ? k + 1 : 0, busy,
+                                    join_wall > busy ? join_wall - busy : 0);
         }
-        agg.Fold(day, records[i].dhe);
-        if (IsTransportFailure(records[i].dhe.failure)) {
-          pending.push_back({targets[i], true, records[i].dhe.failure});
+      }
+      if (storing) {
+        obs::ProfScope span(kProfStoreAppend);
+        staged.Flush(store);
+      }
+      if (capturing) {
+        obs::ProfScope span(kProfCaptureFlush);
+        day_captures += capture_staged.Flush(*options.capture);
+      }
+      if (tracing) {
+        obs::ProfScope span(kProfTraceFlush);
+        trace_staged.Flush(*options.trace);
+      }
+
+      // --- canonical merge: aggregate + collect the requeue list ---------
+      // Runs per batch on the merge thread, in day order, so the fold and
+      // the requeue list are the same as the unbatched engine's. The
+      // requeue tail is the one day-scale buffer left: it is bounded by
+      // the day's transport failures, not its population.
+      {
+        obs::ProfScope merge_span(kProfMerge);
+        for (std::size_t b = 0; b < bn; ++b) {
+          const std::size_t i = lo + b;
+          day_loss.scheduled += 2;
+          agg.Fold(day, records[b].main);
+          if (IsTransportFailure(records[b].main.failure)) {
+            pending.push_back({targets[i], false, records[b].main.failure});
+          }
+          agg.Fold(day, records[b].dhe);
+          if (IsTransportFailure(records[b].dhe.failure)) {
+            pending.push_back({targets[i], true, records[b].dhe.failure});
+          }
         }
       }
     }

@@ -92,6 +92,16 @@ struct ScanProgress {
 struct ScanEngineOptions {
   // Worker shards per day. 1 = inline serial (no threads spawned).
   int threads = 1;
+  // Main-pass batch size: the day's target list is processed in contiguous
+  // batches of this many targets, each sharded, probed, flushed and folded
+  // before the next begins. Staging memory is therefore O(batch_size), not
+  // O(targets) — what lets a million-domain day run in bounded RAM. The
+  // canonical output stream is unaffected: batches are consumed in
+  // permutation order and flushed batch-by-batch in shard order, which
+  // concatenates to exactly the unbatched stream, so every artifact is
+  // byte-identical for ANY batch size (and any thread count).
+  // 0 = the TLSHARM_SCAN_BATCH environment knob, default 65536.
+  std::size_t batch_size = 0;
   ScanRobustness robustness;
   // Optional exclusion rules; nullptr scans everything listed.
   const Blacklist* blacklist = nullptr;
@@ -141,6 +151,10 @@ struct ScanEngineOptions {
 // Worker count from the TLSHARM_THREADS environment knob (1..64,
 // default 1).
 int ScanThreadsFromEnv();
+
+// Main-pass batch size from the TLSHARM_SCAN_BATCH environment knob
+// (1..2^24, default 65536).
+std::size_t ScanBatchFromEnv();
 
 // Runs the paper's daily scans (main ECDHE+static probe plus DHE-only
 // probe per listed HTTPS domain per day, with retries and an end-of-pass

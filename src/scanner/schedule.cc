@@ -60,12 +60,23 @@ bool Blacklist::Excluded(const simnet::DomainInfo& info) const {
   return domains_.count(info.name) != 0;
 }
 
+bool Blacklist::Excluded(const simnet::Internet& net,
+                         simnet::DomainId id) const {
+  if (as_numbers_.count(net.DomainAs(id)) != 0) return true;
+  if (domains_.empty()) return false;
+  // Regenerate the name into reusable scratch; capacity survives across
+  // calls so steady state allocates nothing.
+  thread_local std::string scratch;
+  net.AssignDomainName(id, &scratch);
+  return domains_.count(scratch) != 0;
+}
+
 std::vector<std::uint8_t> BuildExclusionMask(const simnet::Internet& net,
                                              const Blacklist& blacklist) {
   if (blacklist.RuleCount() == 0) return {};
   std::vector<std::uint8_t> mask(net.DomainCount(), 0);
   for (simnet::DomainId id = 0; id < net.DomainCount(); ++id) {
-    if (blacklist.Excluded(net.GetDomain(id))) mask[id] = 1;
+    if (blacklist.Excluded(net, id)) mask[id] = 1;
   }
   return mask;
 }
@@ -79,7 +90,7 @@ std::vector<simnet::DomainId> CollectScanTargets(
     const auto id = static_cast<simnet::DomainId>(perm.At(i));
     if (!net.InTopListOnDay(id, day)) continue;
     if (exclusion_mask != nullptr && (*exclusion_mask)[id] != 0) continue;
-    if (https_only && !net.GetDomain(id).https) continue;
+    if (https_only && !net.DomainHttps(id)) continue;
     targets.push_back(id);
   }
   return targets;

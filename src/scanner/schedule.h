@@ -46,6 +46,10 @@ class Blacklist {
   void ExcludeAs(std::uint32_t as_number);
 
   bool Excluded(const simnet::DomainInfo& info) const;
+  // Column-accessor form: consults the interned name/AS columns so the scan
+  // loop never assembles a DomainInfo (name string + endpoint vector) per
+  // visit.
+  bool Excluded(const simnet::Internet& net, simnet::DomainId id) const;
   std::size_t RuleCount() const {
     return domains_.size() + as_numbers_.size();
   }
@@ -91,7 +95,7 @@ void ForEachScanTarget(const simnet::Internet& net, int day,
   for (std::uint64_t i = 0; i < perm.Size(); ++i) {
     const auto id = static_cast<simnet::DomainId>(perm.At(i));
     if (!net.InTopListOnDay(id, day)) continue;
-    if (check_blacklist && blacklist.Excluded(net.GetDomain(id))) continue;
+    if (check_blacklist && blacklist.Excluded(net, id)) continue;
     visit(id);
   }
 }

@@ -71,6 +71,44 @@ bool ParseLine(const std::string& line, StoredObservation& out) {
   return true;
 }
 
+// Chunk threshold for TextStoreFile's streaming writes: staged lines are
+// written out (without fsync) whenever they reach this size, so staging
+// memory is O(chunk), not O(day).
+constexpr std::size_t kStoreChunkBytes = std::size_t{1} << 20;
+
+void AppendDecimal(std::string& out, std::uint64_t value) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, end);
+}
+
+// Formats one store line into `out` (appending). The single definition of
+// the on-disk text format — the ostream writer renders through it too, so
+// the two paths cannot drift.
+void AppendObservationLine(std::string& out, int day,
+                           const HandshakeObservation& obs) {
+  AppendDecimal(out, static_cast<std::uint64_t>(day));
+  out.push_back('|');
+  AppendDecimal(out, obs.domain);
+  out.push_back('|');
+  AppendDecimal(out, static_cast<std::uint64_t>(PackObservationFlags(obs)));
+  out.push_back('|');
+  AppendDecimal(out, static_cast<std::uint16_t>(obs.suite));
+  out.push_back('|');
+  AppendDecimal(out, obs.kex_group);
+  out.push_back('|');
+  AppendDecimal(out, obs.kex_value);
+  out.push_back('|');
+  AppendDecimal(out, obs.session_id);
+  out.push_back('|');
+  AppendDecimal(out, obs.stek_id);
+  out.push_back('|');
+  AppendDecimal(out, obs.ticket_lifetime_hint);
+  out.push_back('|');
+  AppendDecimal(out, static_cast<std::uint64_t>(obs.failure));
+  out.push_back('\n');
+}
+
 }  // namespace
 
 int PackObservationFlags(const HandshakeObservation& obs) {
@@ -92,11 +130,10 @@ void UnpackObservationFlags(int flags, HandshakeObservation& obs) {
 }
 
 void ObservationWriter::Write(int day, const HandshakeObservation& obs) {
-  out_ << day << '|' << obs.domain << '|' << PackObservationFlags(obs) << '|'
-       << static_cast<std::uint16_t>(obs.suite) << '|' << obs.kex_group
-       << '|' << obs.kex_value << '|' << obs.session_id << '|' << obs.stek_id
-       << '|' << obs.ticket_lifetime_hint << '|'
-       << static_cast<int>(obs.failure) << '\n';
+  thread_local std::string line;
+  line.clear();
+  AppendObservationLine(line, day, obs);
+  out_ << line;
   ++written_;
 }
 
@@ -170,7 +207,8 @@ ByteView AsBytes(const std::string& s) {
 
 }  // namespace
 
-TextStoreFile::TextStoreFile() : crc_state_(Crc32Init()) {}
+TextStoreFile::TextStoreFile()
+    : crc_state_(Crc32Init()), day_crc_state_(Crc32Init()) {}
 
 TextStoreFile::~TextStoreFile() { Close(); }
 
@@ -202,6 +240,8 @@ bool TextStoreFile::Create(const std::string& path, std::string* error) {
   buffer_.clear();
   committed_bytes_ = 0;
   crc_state_ = Crc32Init();
+  day_crc_state_ = crc_state_;
+  day_bytes_ = 0;
   error_.clear();
   return true;
 }
@@ -247,6 +287,8 @@ bool TextStoreFile::Resume(const std::string& path,
   buffer_.clear();
   committed_bytes_ = committed_bytes;
   crc_state_ = state;
+  day_crc_state_ = state;
+  day_bytes_ = 0;
   error_.clear();
   return true;
 }
@@ -274,37 +316,53 @@ bool TextStoreFile::Reopen(const std::string& path, std::size_t* torn_lines,
   committed_bytes_ = keep;
   crc_state_ = Crc32Update(Crc32Init(),
                            ByteView(AsBytes(contents).data(), keep));
+  day_crc_state_ = crc_state_;
+  day_bytes_ = 0;
   error_.clear();
   return true;
 }
 
 void TextStoreFile::Append(int day, const HandshakeObservation& obs) {
-  std::ostringstream line;
-  ObservationWriter writer(line);
-  writer.Write(day, obs);
-  buffer_ += line.str();
+  AppendObservationLine(buffer_, day, obs);
+  if (buffer_.size() >= kStoreChunkBytes) FlushChunk();
+}
+
+void TextStoreFile::FlushChunk() {
+  if (!error_.empty() || buffer_.empty()) return;
+  if (fd_ < 0) {
+    error_ = "store file not open";
+    return;
+  }
+  std::string err;
+  if (!WriteAll(fd_, buffer_.data(), buffer_.size(), &err)) {
+    error_ = path_ + ": " + err;
+    return;
+  }
+  day_crc_state_ = Crc32Update(day_crc_state_, AsBytes(buffer_));
+  day_bytes_ += buffer_.size();
+  buffer_.clear();
 }
 
 void TextStoreFile::EndDay(int) {
+  FlushChunk();
   if (!error_.empty()) return;
   if (fd_ < 0) {
     error_ = "store file not open";
     return;
   }
   std::string err;
-  if (!WriteAll(fd_, buffer_.data(), buffer_.size(), &err) ||
-      !FsyncFd(fd_, &err)) {
+  if (!FsyncFd(fd_, &err)) {
     error_ = path_ + ": " + err;
     return;
   }
   CrashPoint();  // the day's store block is durable
-  crc_state_ = Crc32Update(crc_state_, AsBytes(buffer_));
-  committed_bytes_ += buffer_.size();
-  buffer_.clear();
+  crc_state_ = day_crc_state_;
+  committed_bytes_ += day_bytes_;
+  day_bytes_ = 0;
 }
 
 void TextStoreFile::Finish() {
-  if (error_.empty() && fd_ >= 0 && !buffer_.empty()) {
+  if (error_.empty() && fd_ >= 0 && (!buffer_.empty() || day_bytes_ != 0)) {
     // Engines end every day before finishing; anything still staged means
     // a misuse, but flush it rather than drop it.
     EndDay(0);

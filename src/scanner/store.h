@@ -97,14 +97,18 @@ class ObservationWriter : public StoreWriter {
   std::size_t written_ = 0;
 };
 
-// Durable file-backed text store. Appended lines stage in memory until
-// EndDay, which writes the day's block, fsyncs, and passes one crash
-// barrier (util/durable.h) — so the on-disk file grows by whole committed
-// days plus, after a crash, at most one torn tail. The writer tracks the
-// committed prefix as (bytes, streaming CRC-32); the campaign journal
-// records both at each day commit, and Resume() restores exactly that
-// prefix (truncate + verify) so a resumed run's CRC chain continues
-// bit-identically.
+// Durable file-backed text store. Appended lines stage in a small chunk
+// buffer that is streamed to the file whenever it fills (so a
+// million-domain day holds at most one chunk in memory, not the day);
+// EndDay flushes the tail, fsyncs, and passes one crash barrier
+// (util/durable.h). Durability is still day-granular: the committed prefix
+// (bytes, streaming CRC-32) only advances at EndDay, the campaign journal
+// records it at each day commit, and Resume() restores exactly that prefix
+// (truncate + verify) so a resumed run's CRC chain continues
+// bit-identically — any chunks of an uncommitted day are cut by the
+// truncate. Only the journal-less Reopen() can observe a partial day after
+// a crash (complete lines of the torn day now reach the disk before its
+// commit); journaled campaigns never do.
 class TextStoreFile : public StoreWriter {
  public:
   TextStoreFile();
@@ -146,12 +150,20 @@ class TextStoreFile : public StoreWriter {
  private:
   bool OpenFd(const std::string& path, bool truncate, std::string* error);
   void Close();
+  // Streams the staged chunk to the file (no fsync) and folds it into the
+  // current day's CRC state.
+  void FlushChunk();
 
   int fd_ = -1;
   std::string path_;
-  std::string buffer_;          // current day's uncommitted lines
+  std::string buffer_;          // staged lines awaiting the next chunk write
   std::uint64_t committed_bytes_ = 0;
   std::uint32_t crc_state_ = 0;  // streaming state over the committed prefix
+  // Streaming state over committed prefix + this day's flushed chunks, and
+  // how many uncommitted bytes those chunks hold; promoted into the
+  // committed pair at EndDay.
+  std::uint32_t day_crc_state_ = 0;
+  std::uint64_t day_bytes_ = 0;
   std::string error_;
 };
 

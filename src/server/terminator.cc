@@ -36,8 +36,9 @@ class Transcript {
 // lived (cache, STEKs, KEX values) belongs to the terminator.
 class TerminatorConnection final : public tls::ServerConnection {
  public:
-  TerminatorConnection(SslTerminator& server, SimTime now)
-      : server_(server), now_(now) {}
+  TerminatorConnection(SslTerminator& server, SimTime now,
+                       std::shared_ptr<SslTerminator> pin = nullptr)
+      : server_(server), now_(now), pin_(std::move(pin)) {}
 
   // The connection's private randomness stream, derived once the
   // ClientHello is known: a pure function of (terminator identity, time,
@@ -79,6 +80,10 @@ class TerminatorConnection final : public tls::ServerConnection {
 
   SslTerminator& server_;
   SimTime now_;
+  // Keeps an evictable terminator alive for the connection's lifetime
+  // (lazy fleets); null when the owner guarantees the reference outlives
+  // the connection.
+  std::shared_ptr<SslTerminator> pin_;
   std::optional<crypto::Drbg> drbg_;  // set in HandleClientHello
   State state_ = State::kAwaitClientHello;
   std::string error_;
@@ -404,19 +409,38 @@ Bytes TerminatorConnection::OnApplicationRecord(ByteView record) {
 
 // ---------------------------------------------------------------------------
 
+SharedSecretState SslTerminator::MakeSharedSecretState(
+    const std::string& id, const ServerConfig& config, std::uint64_t seed) {
+  Bytes stek_seed = ToBytes(id + "/stek");
+  AppendUint(stek_seed, seed, 8);
+  Bytes kex_seed = ToBytes(id + "/kex");
+  AppendUint(kex_seed, seed, 8);
+  SharedSecretState state;
+  state.cache = std::make_shared<SessionCache>(config.session_cache.lifetime,
+                                               config.session_cache.capacity);
+  state.steks = std::make_shared<StekManager>(config.stek,
+                                              config.tickets.codec, stek_seed);
+  state.kex = std::make_shared<KexCache>(kex_seed);
+  return state;
+}
+
 SslTerminator::SslTerminator(std::string id, ServerConfig config,
                              std::uint64_t seed)
     : id_(std::move(id)), config_(std::move(config)), seed_(seed) {
-  Bytes stek_seed = ToBytes(id_ + "/stek");
-  AppendUint(stek_seed, seed, 8);
-  Bytes kex_seed = ToBytes(id_ + "/kex");
-  AppendUint(kex_seed, seed, 8);
-  session_cache_ = std::make_shared<SessionCache>(
-      config_.session_cache.lifetime, config_.session_cache.capacity);
-  stek_manager_ = std::make_shared<StekManager>(
-      config_.stek, config_.tickets.codec, stek_seed);
-  kex_cache_ = std::make_shared<KexCache>(kex_seed);
+  SharedSecretState state = MakeSharedSecretState(id_, config_, seed);
+  session_cache_ = std::move(state.cache);
+  stek_manager_ = std::move(state.steks);
+  kex_cache_ = std::move(state.kex);
 }
+
+SslTerminator::SslTerminator(std::string id, ServerConfig config,
+                             std::uint64_t seed, SharedSecretState state)
+    : id_(std::move(id)),
+      config_(std::move(config)),
+      seed_(seed),
+      session_cache_(std::move(state.cache)),
+      stek_manager_(std::move(state.steks)),
+      kex_cache_(std::move(state.kex)) {}
 
 std::size_t SslTerminator::AddCredential(Credential credential) {
   if (credential.cert_msg_body.empty()) {
@@ -424,12 +448,17 @@ std::size_t SslTerminator::AddCredential(Credential credential) {
     cert_msg.chain = credential.chain;
     credential.cert_msg_body = cert_msg.Serialize();
   }
+  provisioned_bytes_ += credential.cert_msg_body.size() +
+                        credential.private_key.size() +
+                        credential.chain.size() * 256 + 128;
   credentials_.push_back(std::move(credential));
   return credentials_.size() - 1;
 }
 
 void SslTerminator::MapDomain(const std::string& domain, std::size_t index) {
   domain_map_.emplace_back(domain, index);
+  domain_index_.emplace(domain, index);
+  provisioned_bytes_ += 2 * domain.size() + 128;
 }
 
 void SslTerminator::SetSessionCache(std::shared_ptr<SessionCache> cache) {
@@ -447,9 +476,10 @@ void SslTerminator::SetKexCache(std::shared_ptr<KexCache> kex_cache) {
 const Credential& SslTerminator::CredentialForSni(
     const std::string& sni) const {
   if (!sni.empty()) {
-    for (const auto& [domain, index] : domain_map_) {
-      if (domain == sni) return credentials_[index];
-    }
+    // Exact SNI match through the hash index (duplicate mappings keep the
+    // first insertion, matching the old first-match linear scan).
+    const auto it = domain_index_.find(sni);
+    if (it != domain_index_.end()) return credentials_[it->second];
     // Fall back to any credential whose chain covers the name.
     for (const auto& credential : credentials_) {
       if (pki::CertificateCoversHost(credential.chain.front(), sni)) {
@@ -471,18 +501,23 @@ std::unique_ptr<tls::ServerConnection> SslTerminator::NewConnection(
   return std::make_unique<TerminatorConnection>(*this, now);
 }
 
+std::unique_ptr<tls::ServerConnection> SslTerminator::NewConnection(
+    SimTime now, std::shared_ptr<SslTerminator> self) {
+  return std::make_unique<TerminatorConnection>(*this, now, std::move(self));
+}
+
 Credential MakeCredential(const pki::CertificateAuthority& issuer,
                           const std::vector<std::string>& domains,
                           pki::SignatureScheme scheme, SimTime not_before,
                           SimTime not_after,
                           const pki::CertificateChain& issuer_chain,
-                          crypto::Drbg& drbg) {
+                          crypto::Drbg& drbg, std::uint64_t serial) {
   const auto& sig_scheme = pki::GetScheme(scheme);
   const crypto::SchnorrKeyPair key = sig_scheme.GenerateKeyPair(drbg);
   std::vector<std::string> sans(domains.begin() + 1, domains.end());
   const pki::Certificate leaf =
       issuer.IssueLeaf(domains.front(), std::move(sans), key.public_key,
-                       not_before, not_after, drbg);
+                       not_before, not_after, drbg, serial);
   Credential credential;
   credential.chain.push_back(leaf);
   for (const auto& cert : issuer_chain) credential.chain.push_back(cert);

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/drbg.h"
@@ -38,11 +39,37 @@ struct Credential {
   Bytes cert_msg_body;
 };
 
+// The three long-lived secret stores of a terminator, bundled so fleet
+// owners (simnet::Internet) can create them once per sharing group and
+// install the same objects on every member — including members that are
+// materialized lazily, long after the group was formed.
+struct SharedSecretState {
+  std::shared_ptr<SessionCache> cache;
+  std::shared_ptr<StekManager> steks;
+  std::shared_ptr<KexCache> kex;
+};
+
 class SslTerminator {
  public:
   // `id` names the terminator (diagnostics, grouping); `seed` derives its
   // deterministic randomness stream.
   SslTerminator(std::string id, ServerConfig config, std::uint64_t seed);
+
+  // Like the plain constructor, but installs pre-made secret state instead
+  // of creating private instances. This is what makes terminators pure
+  // functions of (id, config, seed): the only order-dependent mutable
+  // state (the session cache and its shared friends) lives outside the
+  // object, so a terminator can be dropped and re-derived at any time
+  // without losing resumable sessions.
+  SslTerminator(std::string id, ServerConfig config, std::uint64_t seed,
+                SharedSecretState state);
+
+  // The secret state the plain constructor would create for (id, config,
+  // seed) — the canonical derivation (id + "/stek", id + "/kex" seed
+  // material) shared by both construction paths.
+  static SharedSecretState MakeSharedSecretState(const std::string& id,
+                                                 const ServerConfig& config,
+                                                 std::uint64_t seed);
 
   const std::string& Id() const { return id_; }
   const ServerConfig& Config() const { return config_; }
@@ -72,8 +99,17 @@ class SslTerminator {
   // and regenerates per-process STEKs.
   void Restart(SimTime now);
 
-  // Opens a new server-side connection at simulated time `now`.
+  // Opens a new server-side connection at simulated time `now`. When the
+  // terminator lives in an evictable working set, pass `self` so the
+  // connection pins the object alive past eviction.
   std::unique_ptr<tls::ServerConnection> NewConnection(SimTime now);
+  std::unique_ptr<tls::ServerConnection> NewConnection(
+      SimTime now, std::shared_ptr<SslTerminator> self);
+
+  // Approximate resident cost of the provisioning tables (credentials +
+  // SNI map) in bytes — the working-set accounting unit for lazy fleets.
+  // The secret stores are excluded: they are shared and never evicted.
+  std::uint64_t ProvisionedBytes() const { return provisioned_bytes_; }
 
   // Application payload served to established connections.
   void SetResponseBody(std::string body) { response_body_ = std::move(body); }
@@ -91,7 +127,13 @@ class SslTerminator {
   // function of its inputs, independent of probe ordering.
   std::uint64_t seed_;
   std::vector<Credential> credentials_;
+  // SNI routing: exact matches through the hash index (terminators serving
+  // tens of thousands of SAN names must not pay a linear scan per
+  // handshake); the insertion-ordered list keeps the "first mapped wins"
+  // default and the CertificateCoversHost fallback order.
   std::vector<std::pair<std::string, std::size_t>> domain_map_;
+  std::unordered_map<std::string, std::size_t> domain_index_;
+  std::uint64_t provisioned_bytes_ = 0;
   std::shared_ptr<SessionCache> session_cache_;
   std::shared_ptr<StekManager> stek_manager_;
   std::shared_ptr<KexCache> kex_cache_;
@@ -99,12 +141,15 @@ class SslTerminator {
 };
 
 // Helper used by simnet and tests: builds a credential for `domains` (leaf
-// with SANs) issued by `issuer`.
+// with SANs) issued by `issuer`. `serial` 0 uses the CA's sequential
+// counter; pass a nonzero serial when credentials are issued out of order
+// (lazy fleet materialization) so the certificate is a pure function of
+// (issuer, domains, drbg, serial).
 Credential MakeCredential(const pki::CertificateAuthority& issuer,
                           const std::vector<std::string>& domains,
                           pki::SignatureScheme scheme, SimTime not_before,
                           SimTime not_after,
                           const pki::CertificateChain& issuer_chain,
-                          crypto::Drbg& drbg);
+                          crypto::Drbg& drbg, std::uint64_t serial = 0);
 
 }  // namespace tlsharm::server

@@ -76,24 +76,28 @@ std::string_view ToString(FaultKind kind) {
 FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
     : spec_(std::move(spec)), seed_(seed) {}
 
-const FaultProfile& FaultInjector::ProfileFor(const DomainInfo& domain) const {
-  const auto op = spec_.operator_overrides.find(domain.operator_name);
+const FaultProfile& FaultInjector::ResolveProfile(
+    const std::string& operator_name, std::uint32_t as_number) const {
+  const auto op = spec_.operator_overrides.find(operator_name);
   if (op != spec_.operator_overrides.end()) return op->second;
-  const auto as = spec_.as_overrides.find(domain.as_number);
+  const auto as = spec_.as_overrides.find(as_number);
   if (as != spec_.as_overrides.end()) return as->second;
   return spec_.base;
 }
 
-bool FaultInjector::InOutage(const DomainInfo& domain, SimTime now) const {
-  const FaultProfile& profile = ProfileFor(domain);
+const FaultProfile& FaultInjector::ProfileFor(const DomainInfo& domain) const {
+  return ResolveProfile(domain.operator_name, domain.as_number);
+}
+
+bool FaultInjector::InOutage(std::uint64_t name_hash,
+                             const FaultProfile& profile, SimTime now) const {
   if (profile.outage_rate <= 0 || profile.outage_period <= 0 ||
       profile.outage_duration <= 0 || now < 0) {
     return false;
   }
   const auto period = static_cast<std::uint64_t>(profile.outage_period);
   const std::uint64_t window = static_cast<std::uint64_t>(now) / period;
-  const std::uint64_t h =
-      Mix(seed_ ^ kOutageSalt, StableHash64(domain.name) ^ window);
+  const std::uint64_t h = Mix(seed_ ^ kOutageSalt, name_hash ^ window);
   if (UnitDraw(h) >= profile.outage_rate) return false;
   // The dark interval starts at a deterministic offset inside the period.
   const auto duration = static_cast<std::uint64_t>(
@@ -106,20 +110,23 @@ bool FaultInjector::InOutage(const DomainInfo& domain, SimTime now) const {
   return t >= start && t < start + duration;
 }
 
-FaultDecision FaultInjector::Decide(const DomainInfo& domain,
+bool FaultInjector::InOutage(const DomainInfo& domain, SimTime now) const {
+  return InOutage(StableHash64(domain.name), ProfileFor(domain), now);
+}
+
+FaultDecision FaultInjector::Decide(std::uint64_t name_hash,
+                                    const FaultProfile& profile,
                                     SimTime now) const {
   FaultDecision decision;
   if (!spec_.enabled) return decision;
-  if (InOutage(domain, now)) {
+  if (InOutage(name_hash, profile, now)) {
     decision.kind = FaultKind::kOutage;
     injected_[static_cast<std::size_t>(decision.kind)].fetch_add(
         1, std::memory_order_relaxed);
     return decision;
   }
-  const FaultProfile& profile = ProfileFor(domain);
   std::uint64_t h = Mix(seed_ ^ kConnectSalt,
-                        StableHash64(domain.name) ^
-                            static_cast<std::uint64_t>(now));
+                        name_hash ^ static_cast<std::uint64_t>(now));
   const double u = UnitDraw(h);
   double threshold = profile.refuse_rate;
   if (u < threshold) {
@@ -139,6 +146,12 @@ FaultDecision FaultInjector::Decide(const DomainInfo& domain,
         1, std::memory_order_relaxed);
   }
   return decision;
+}
+
+FaultDecision FaultInjector::Decide(const DomainInfo& domain,
+                                    SimTime now) const {
+  if (!spec_.enabled) return {};
+  return Decide(StableHash64(domain.name), ProfileFor(domain), now);
 }
 
 Bytes FaultyConnection::OnClientFlight(ByteView flight) {

@@ -99,11 +99,25 @@ class FaultInjector {
   // the same instant share one fate, and the whole study replays.
   FaultDecision Decide(const DomainInfo& domain, SimTime now) const;
 
+  // Hot-path variant: every decision depends on the domain only through
+  // StableHash64(name) and its resolved profile, so callers that keep both
+  // precomputed (the scan engine's Internet does, per domain) skip the
+  // per-connect string hash and override-map lookups. Bit-identical to
+  // Decide(domain, now).
+  FaultDecision Decide(std::uint64_t name_hash, const FaultProfile& profile,
+                       SimTime now) const;
+
   // Whether the domain sits inside one of its dark windows at `now`.
   bool InOutage(const DomainInfo& domain, SimTime now) const;
+  bool InOutage(std::uint64_t name_hash, const FaultProfile& profile,
+                SimTime now) const;
 
   // Profile resolution: operator override > AS override > base.
   const FaultProfile& ProfileFor(const DomainInfo& domain) const;
+  // Field-wise resolution for callers without a materialized DomainInfo.
+  // The returned reference lives as long as the injector.
+  const FaultProfile& ResolveProfile(const std::string& operator_name,
+                                     std::uint32_t as_number) const;
 
   // Faults of `kind` decided so far (cumulative over the injector's
   // lifetime). Counted with relaxed atomics so concurrent scan shards never

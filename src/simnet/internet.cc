@@ -2,40 +2,123 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <cstdlib>
+#include <string_view>
 #include <unordered_set>
 
 namespace tlsharm::simnet {
+namespace {
+
+constexpr SimTime kCertNotBefore = -180 * kDay;
+constexpr SimTime kCertNotAfter = 3650 * kDay;
+// Default lazy working-set budget. ~384 MiB holds tens of thousands of
+// provisioned terminators — far more than one scan shard touches between
+// evictions — while a million-domain world stays bounded.
+constexpr std::uint64_t kDefaultFleetBudgetMb = 384;
+
+void AppendNum(std::string* out, std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+// CA material outlives construction: lazy fleets issue certificates on
+// demand, long after the blueprint pass. The DRBG member only feeds
+// construction-time draws (CA keypairs, the intermediate's certificate);
+// per-credential issuance uses derived DRBGs and explicit serials so it is
+// order-free and thread-safe.
+struct Internet::Pki {
+  crypto::Drbg ca_drbg{ToBytes("simnet ca")};
+  pki::CertificateAuthority root;
+  pki::CertificateAuthority trusted_int;
+  pki::CertificateAuthority untrusted_ca;
+  pki::CertificateChain trusted_chain;
+  pki::CertificateChain untrusted_chain;  // untrusted CA signs directly
+
+  Pki()
+      : root("SimNSS Root CA", pki::SignatureScheme::kSchnorrSim61, ca_drbg),
+        trusted_int("SimDV Intermediate CA",
+                    pki::SignatureScheme::kSchnorrSim61, ca_drbg),
+        untrusted_ca("SelfSign CA", pki::SignatureScheme::kSchnorrSim61,
+                     ca_drbg) {
+    trusted_chain = {root.IssueCaCertificate(trusted_int, -365 * kDay,
+                                             3650 * kDay, ca_drbg)};
+  }
+};
+
+Internet::~Internet() = default;
+
+std::uint16_t Internet::InternOperator(const std::string& name) {
+  for (std::size_t i = 0; i < operator_names_.size(); ++i) {
+    if (operator_names_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  operator_names_.push_back(name);
+  return static_cast<std::uint16_t>(operator_names_.size() - 1);
+}
+
+DomainId Internet::AddDomainRow(std::uint8_t kind, std::uint32_t num,
+                                std::uint64_t hash, int rank, std::uint16_t op,
+                                std::uint32_t as_number, std::uint8_t flags,
+                                double presence, TerminatorId endpoint_lo,
+                                std::uint16_t endpoint_count) {
+  const DomainId id = static_cast<DomainId>(table_.flags.size());
+  table_.name_hash.push_back(hash);
+  table_.rank.push_back(static_cast<std::uint32_t>(rank));
+  table_.as_number.push_back(as_number);
+  table_.flags.push_back(flags);
+  table_.presence.push_back(presence);
+  table_.endpoint_lo.push_back(endpoint_lo);
+  table_.endpoint_count.push_back(endpoint_count);
+  table_.op.push_back(op);
+  table_.name_kind.push_back(kind);
+  table_.name_num.push_back(num);
+  return id;
+}
 
 Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
-    : seed_(seed) {
+    : pki_(std::make_unique<Pki>()), seed_(seed) {
+  // Resolve the fleet mode and working-set budget.
+  FleetMode mode = spec.fleet_mode;
+  if (mode == FleetMode::kFromEnv) {
+    const char* env = std::getenv("TLSHARM_FLEET");
+    mode = (env != nullptr && std::string_view(env) == "lazy")
+               ? FleetMode::kLazy
+               : FleetMode::kMaterialized;
+  }
+  lazy_ = mode == FleetMode::kLazy;
+  std::uint64_t budget_mb = spec.fleet_budget_mb;
+  if (budget_mb == 0) {
+    const char* env = std::getenv("TLSHARM_FLEET_BUDGET_MB");
+    if (env != nullptr) budget_mb = std::strtoull(env, nullptr, 10);
+    if (budget_mb == 0) budget_mb = kDefaultFleetBudgetMb;
+  }
+  budget_bytes_ = budget_mb << 20;
+
   Rng rng(seed);
-  crypto::Drbg ca_drbg(ToBytes("simnet ca"));
+  root_store_.AddRoot(pki_->root.Name(), pki_->root.Scheme(),
+                      pki_->root.PublicKey());
 
-  // --- PKI ---------------------------------------------------------------
-  pki::CertificateAuthority root("SimNSS Root CA",
-                                 pki::SignatureScheme::kSchnorrSim61,
-                                 ca_drbg);
-  pki::CertificateAuthority trusted_int(
-      "SimDV Intermediate CA", pki::SignatureScheme::kSchnorrSim61, ca_drbg);
-  pki::CertificateAuthority untrusted_ca(
-      "SelfSign CA", pki::SignatureScheme::kSchnorrSim61, ca_drbg);
-  root_store_.AddRoot(root.Name(), root.Scheme(), root.PublicKey());
-  pki::CertificateChain trusted_chain = {
-      root.IssueCaCertificate(trusted_int, -365 * kDay, 3650 * kDay, ca_drbg)};
-  pki::CertificateChain untrusted_chain = {};  // untrusted CA signs directly
+  // ==== blueprint pass =====================================================
+  // Everything below fixes the population — every Rng draw, every rank,
+  // every terminator's config and maintenance calendar, every credential's
+  // (domains, serial) — without building a single terminator. The draw
+  // sequence matches the original materializing constructor exactly;
+  // certificate issuance moved onto derived per-credential DRBGs, which is
+  // what makes terminators order-free pure functions of the blueprint.
 
-  const SimTime cert_not_before = -180 * kDay;
-  const SimTime cert_not_after = 3650 * kDay;
-
-  // --- helpers -------------------------------------------------------------
-  auto new_terminator = [&](const std::string& id,
-                            const server::ServerConfig& config,
+  auto new_terminator = [&](std::string id, const server::ServerConfig& config,
                             SimTime restart_every,
-                            std::uint64_t restart_phase_seed)
-      -> TerminatorId {
-    const TerminatorId tid = static_cast<TerminatorId>(terminators_.size());
-    terminators_.push_back(std::make_unique<server::SslTerminator>(
+                            std::uint64_t restart_phase_seed) -> TerminatorId {
+    const TerminatorId tid = static_cast<TerminatorId>(term_meta_.size());
+    shared_.push_back(server::SslTerminator::MakeSharedSecretState(
         id, config, seed ^ StableHash64(id)));
+    TermMeta meta;
+    meta.id = std::move(id);
+    meta.config = config;
+    term_meta_.push_back(std::move(meta));
     Maintenance& m = maintenance_.emplace_back();
     m.restart_every = restart_every;
     if (restart_every > 0) {
@@ -45,82 +128,113 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
                                static_cast<std::uint64_t>(restart_every));
       m.first_restart = m.next_restart;
     }
-    terminator_ips_.push_back(static_cast<std::uint32_t>(tid) + 0x0a000000);
     return tid;
   };
 
-  auto add_domain = [&](DomainInfo info) -> DomainId {
-    const DomainId id = static_cast<DomainId>(domains_.size());
-    by_name_[info.name] = id;
-    for (const TerminatorId t : info.endpoints) {
-      by_ip_.emplace(terminator_ips_[t], id);
+  // Records one future credential for `tid`. A terminator's plans must be
+  // contiguous in cred_plans_ (TermMeta stores a slice).
+  auto add_plan = [&](TerminatorId tid, DomainId domain_lo, std::uint16_t count,
+                      bool trusted) {
+    TermMeta& meta = term_meta_[tid];
+    if (meta.plan_count == 0) {
+      meta.plan_lo = static_cast<std::uint32_t>(cred_plans_.size());
     }
-    by_as_.emplace(info.as_number, id);
-    domains_.push_back(std::move(info));
-    return id;
+    assert(meta.plan_lo + meta.plan_count == cred_plans_.size());
+    cred_plans_.push_back(CredPlan{domain_lo, count, trusted});
+    ++meta.plan_count;
   };
 
-  // Provisions `domain_names` on a group of terminators with the sharing
-  // flags of `op`, and registers the domains.
-  auto provision_group = [&](const std::vector<std::string>& domain_names,
+  // Regenerates the name a row (kind, num, op) will carry — used here only
+  // to precompute the name hash the runtime paths key on.
+  std::string scratch_name;
+  auto row_name = [&](std::uint8_t kind, std::uint32_t num,
+                      std::uint16_t op) -> const std::string& {
+    scratch_name.clear();
+    switch (static_cast<NameKind>(kind)) {
+      case kNamed:
+        scratch_name = operator_names_[op];
+        break;
+      case kSite:
+        scratch_name = "site";
+        AppendNum(&scratch_name, num);
+        scratch_name += '.';
+        scratch_name += operator_names_[op];
+        scratch_name += ".sim";
+        break;
+      case kWww:
+        scratch_name = "www";
+        AppendNum(&scratch_name, num);
+        scratch_name += '.';
+        scratch_name += operator_names_[op];
+        scratch_name += ".sim";
+        break;
+      case kSelf:
+        scratch_name = "self";
+        AppendNum(&scratch_name, num);
+        scratch_name += ".untrusted.sim";
+        break;
+      case kPlain:
+        scratch_name = "plain";
+        AppendNum(&scratch_name, num);
+        scratch_name += ".nohttps.sim";
+        break;
+      case kTransient:
+        scratch_name = "t";
+        AppendNum(&scratch_name, num);
+        scratch_name += ".transient.sim";
+        break;
+    }
+    return scratch_name;
+  };
+
+  // Provisions HTTPS domains (name pattern `kind` with ordinals `nums`, all
+  // operated by `op_index`) on a group of terminators with the given
+  // sharing flags, recording credential plans and population rows.
+  auto provision_group = [&](std::uint8_t kind,
+                             const std::vector<std::uint32_t>& nums,
                              const std::vector<TerminatorId>& fleet,
-                             const server::ServerConfig& config,
-                             bool share_cache, bool share_stek,
-                             bool share_kex, int domains_per_cert,
-                             bool trusted, std::uint32_t as_number,
-                             const std::string& op_name, int& rank_cursor,
+                             bool share_cache, bool share_stek, bool share_kex,
+                             int domains_per_cert, bool trusted,
+                             std::uint32_t as_number, std::uint16_t op_index,
                              const std::vector<int>* explicit_ranks,
                              bool stable, double presence_prob,
                              double mx_google_fraction, Rng& local_rng) {
-    (void)config;
     // Share secret state across the fleet as configured.
     if (fleet.size() > 1) {
-      auto& first = *terminators_[fleet[0]];
       for (std::size_t i = 1; i < fleet.size(); ++i) {
-        auto& t = *terminators_[fleet[i]];
-        if (share_cache) t.SetSessionCache(first.SharedCache());
-        if (share_stek) t.SetStekManager(first.SharedSteks());
-        if (share_kex) t.SetKexCache(first.SharedKex());
+        if (share_cache) shared_[fleet[i]].cache = shared_[fleet[0]].cache;
+        if (share_stek) shared_[fleet[i]].steks = shared_[fleet[0]].steks;
+        if (share_kex) shared_[fleet[i]].kex = shared_[fleet[0]].kex;
       }
     }
-    // Issue certificates in SAN batches and map domains onto every
-    // terminator in the fleet.
-    for (std::size_t base = 0; base < domain_names.size();
-         base += static_cast<std::size_t>(domains_per_cert)) {
-      const std::size_t end = std::min(
-          domain_names.size(), base + static_cast<std::size_t>(domains_per_cert));
-      const std::vector<std::string> batch(domain_names.begin() + base,
-                                           domain_names.begin() + end);
-      for (const TerminatorId tid : fleet) {
-        server::Credential credential = server::MakeCredential(
-            trusted ? trusted_int : untrusted_ca, batch,
-            pki::SignatureScheme::kSchnorrSim61, cert_not_before,
-            cert_not_after, trusted ? trusted_chain : untrusted_chain,
-            ca_drbg);
-        const std::size_t idx =
-            terminators_[tid]->AddCredential(std::move(credential));
-        for (const auto& name : batch) {
-          terminators_[tid]->MapDomain(name, idx);
-        }
+    // Endpoint ranges are contiguous by construction; the columnar table
+    // depends on it.
+    for (std::size_t i = 1; i < fleet.size(); ++i) {
+      assert(fleet[i] == fleet[0] + i);
+      (void)i;
+    }
+    // Credential plans: one SAN certificate per batch per terminator.
+    const DomainId base_id = static_cast<DomainId>(table_.flags.size());
+    for (const TerminatorId tid : fleet) {
+      for (std::size_t base = 0; base < nums.size();
+           base += static_cast<std::size_t>(domains_per_cert)) {
+        const std::size_t end = std::min(
+            nums.size(), base + static_cast<std::size_t>(domains_per_cert));
+        add_plan(tid, base_id + static_cast<DomainId>(base),
+                 static_cast<std::uint16_t>(end - base), trusted);
       }
     }
-    for (std::size_t i = 0; i < domain_names.size(); ++i) {
-      DomainInfo info;
-      info.name = domain_names[i];
-      // Auto-ranked domains get 0 here; a post-pass spreads them
-      // uniformly over the full rank range (Figure 4 needs realistic
-      // rank tiers), while named domains keep their paper ranks.
-      info.rank = explicit_ranks != nullptr ? (*explicit_ranks)[i] : 0;
-      (void)rank_cursor;
-      info.operator_name = op_name;
-      info.as_number = as_number;
-      info.endpoints.assign(fleet.begin(), fleet.end());
-      info.https = true;
-      info.trusted_cert = trusted;
-      info.stable = stable;
-      info.presence_prob = presence_prob;
-      info.mx_google = local_rng.Bernoulli(mx_google_fraction);
-      add_domain(std::move(info));
+    for (std::size_t i = 0; i < nums.size(); ++i) {
+      const std::uint64_t hash = StableHash64(row_name(kind, nums[i], op_index));
+      std::uint8_t flags = kHttps;
+      if (trusted) flags |= kTrusted;
+      if (stable) flags |= kStable;
+      if (local_rng.Bernoulli(mx_google_fraction)) flags |= kMxGoogle;
+      AddDomainRow(kind, nums[i], hash,
+                   explicit_ranks != nullptr ? (*explicit_ranks)[i] : 0,
+                   op_index, as_number, flags, presence_prob,
+                   fleet.empty() ? 0 : fleet.front(),
+                   static_cast<std::uint16_t>(fleet.size()));
     }
   };
 
@@ -136,15 +250,14 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       (spec.https_fraction - spec.trusted_fraction));
   const double scale = static_cast<double>(n) / 1'000'000.0;
 
-  int rank_cursor = 1;
   std::size_t trusted_used = 0;
   // Cross-operator STEK pools (see OperatorSpec::stek_pool).
   std::map<std::string, std::shared_ptr<server::StekManager>> stek_pools;
 
   // --- named domains -------------------------------------------------------
   for (const auto& named : spec.named_domains) {
-    const std::string term_id = "term/" + named.domain;
-    const TerminatorId tid = new_terminator(term_id, named.config, 0,
+    const TerminatorId tid = new_terminator("term/" + named.domain,
+                                            named.config, 0,
                                             StableHash64(named.domain));
     auto& maint = maintenance_[tid];
     for (const int day : named.stek_rotation_days) {
@@ -162,24 +275,23 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
               maint.forced_kex_rotations.end());
     const std::vector<int> ranks = {named.rank};
     Rng domain_rng = rng.Fork("named/" + named.domain);
-    provision_group({named.domain}, {tid}, named.config,
+    provision_group(kNamed, {0}, {tid},
                     /*share_cache=*/false, /*share_stek=*/false,
                     /*share_kex=*/false, /*domains_per_cert=*/1,
                     /*trusted=*/true,
                     /*as_number=*/static_cast<std::uint32_t>(
                         20000 + StableHash64(named.domain) % 40000),
-                    named.domain, rank_cursor, &ranks, /*stable=*/true,
+                    InternOperator(named.domain), &ranks, /*stable=*/true,
                     /*presence_prob=*/1.0, /*mx_google=*/0.0, domain_rng);
     ++trusted_used;
   }
-  rank_cursor = 1000;  // synthetic domains rank below the named head
 
   // --- named groups --------------------------------------------------------
   for (const auto& group : spec.named_groups) {
     const int count = std::max(
         group.min_domains,
         static_cast<int>(group.domains_per_million * scale));
-    const std::string base = group.operator_name;
+    const std::string& base = group.operator_name;
     const int n_terms = std::max(1, group.terminators);
     std::vector<TerminatorId> fleet;
     for (int t = 0; t < n_terms; ++t) {
@@ -197,31 +309,28 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
     // STEK/KEX sharing spans the whole group; caches are per-terminator
     // unless share_cache.
     for (std::size_t t = 1; t < fleet.size(); ++t) {
-      auto& first = *terminators_[fleet[0]];
-      auto& term = *terminators_[fleet[t]];
-      if (group.share_stek) term.SetStekManager(first.SharedSteks());
-      if (group.share_kex) term.SetKexCache(first.SharedKex());
-      if (group.share_cache) term.SetSessionCache(first.SharedCache());
+      if (group.share_stek) shared_[fleet[t]].steks = shared_[fleet[0]].steks;
+      if (group.share_kex) shared_[fleet[t]].kex = shared_[fleet[0]].kex;
+      if (group.share_cache) shared_[fleet[t]].cache = shared_[fleet[0]].cache;
     }
     Rng group_rng = rng.Fork("group/" + base);
     const std::uint32_t as_number =
         static_cast<std::uint32_t>(30000 + StableHash64(base) % 30000);
+    const std::uint16_t op_index = InternOperator(base);
     // Partition domains across the fleet's terminators.
     for (int t = 0; t < n_terms; ++t) {
-      std::vector<std::string> names;
+      std::vector<std::uint32_t> nums;
       for (int i = t; i < count; i += n_terms) {
-        names.push_back("site" + std::to_string(i) + "." + base + ".sim");
+        nums.push_back(static_cast<std::uint32_t>(i));
       }
-      if (names.empty()) continue;
-      provision_group(names, {fleet[static_cast<std::size_t>(t)]},
-                      group.config, false, false, false,
+      if (nums.empty()) continue;
+      provision_group(kSite, nums, {fleet[static_cast<std::size_t>(t)]},
+                      false, false, false,
                       /*domains_per_cert=*/std::max<int>(1, count / 4),
-                      /*trusted=*/true, as_number, base, rank_cursor,
-                      nullptr, /*stable=*/true, /*presence_prob=*/1.0, 0.0,
-                      group_rng);
+                      /*trusted=*/true, as_number, op_index, nullptr,
+                      /*stable=*/true, /*presence_prob=*/1.0, 0.0, group_rng);
     }
     trusted_used += static_cast<std::size_t>(count);
-    rank_cursor += count;
   }
 
   // --- archetype operators ---------------------------------------------------
@@ -304,19 +413,19 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       // pool (one synchronized key file for the whole organization).
       if (!op.stek_pool.empty()) {
         auto [it, inserted] = stek_pools.try_emplace(
-            op.stek_pool, terminators_[all_terminators[0]]->SharedSteks());
+            op.stek_pool, shared_[all_terminators[0]].steks);
         for (const TerminatorId tid : all_terminators) {
-          terminators_[tid]->SetStekManager(it->second);
+          shared_[tid].steks = it->second;
         }
       } else if (op.share_stek_across_fleet && all_terminators.size() > 1) {
-        auto shared = terminators_[all_terminators[0]]->SharedSteks();
+        auto shared_steks = shared_[all_terminators[0]].steks;
         for (std::size_t i = 1; i < all_terminators.size(); ++i) {
-          terminators_[all_terminators[i]]->SetStekManager(shared);
+          shared_[all_terminators[i]].steks = shared_steks;
         }
       }
 
-      // Domain names for this instance, spread across sub-fleets.
-      std::vector<std::vector<std::string>> names(
+      // Domain ordinals for this instance, spread across sub-fleets.
+      std::vector<std::vector<std::uint32_t>> nums(
           static_cast<std::size_t>(subfleets));
       // Optional weighted split (CloudFlare's ~2:1 cache groups).
       std::vector<double> cumulative;
@@ -339,20 +448,20 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
           sf = 0;
           while (sf + 1 < cumulative.size() && f > cumulative[sf]) ++sf;
         }
-        names[sf].push_back("www" + std::to_string(i) + "." + inst_name +
-                            ".sim");
+        nums[sf].push_back(static_cast<std::uint32_t>(i));
       }
+      const std::uint16_t op_index = InternOperator(inst_name);
       for (int sf = 0; sf < subfleets; ++sf) {
-        if (names[static_cast<std::size_t>(sf)].empty()) continue;
+        if (nums[static_cast<std::size_t>(sf)].empty()) continue;
         // Cache/KEX sharing stays within the sub-fleet; STEK sharing was
         // handled instance-wide above.
-        provision_group(names[static_cast<std::size_t>(sf)],
-                        fleets[static_cast<std::size_t>(sf)], config,
+        provision_group(kWww, nums[static_cast<std::size_t>(sf)],
+                        fleets[static_cast<std::size_t>(sf)],
                         op.share_cache_across_fleet,
                         /*share_stek=*/false,
                         op.share_kex_across_fleet,
                         std::max(1, op.domains_per_cert), /*trusted=*/true,
-                        as_number, inst_name, rank_cursor, nullptr,
+                        as_number, op_index, nullptr,
                         /*stable=*/true, 1.0, op.mx_google_fraction, op_rng);
       }
       produced += want;
@@ -363,6 +472,7 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
   // --- HTTPS-but-untrusted stable domains ----------------------------------
   {
     Rng untrusted_rng = rng.Fork("untrusted");
+    const std::uint16_t op_index = InternOperator("untrusted-host");
     const std::size_t per_term = 16;
     std::size_t made = 0;
     int batch = 0;
@@ -374,15 +484,14 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       const TerminatorId tid = new_terminator(
           "term/untrusted-" + std::to_string(batch), config, 7 * kDay,
           StableHash64("untrusted") + static_cast<std::uint64_t>(batch));
-      std::vector<std::string> names;
+      std::vector<std::uint32_t> nums;
       for (std::size_t i = 0; i < count; ++i) {
-        names.push_back("self" + std::to_string(made + i) + ".untrusted.sim");
+        nums.push_back(static_cast<std::uint32_t>(made + i));
       }
-      provision_group(names, {tid}, config, false, false, false, 4,
+      provision_group(kSelf, nums, {tid}, false, false, false, 4,
                       /*trusted=*/false,
                       static_cast<std::uint32_t>(60000 + batch % 128),
-                      "untrusted-host", rank_cursor, nullptr, true, 1.0, 0.0,
-                      untrusted_rng);
+                      op_index, nullptr, true, 1.0, 0.0, untrusted_rng);
       made += count;
       ++batch;
     }
@@ -390,23 +499,20 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
 
   // --- non-HTTPS stable domains ---------------------------------------------
   {
-    const std::size_t https_total = domains_.size();
-    (void)https_total;
     const std::size_t no_https = stable_count > trusted_used +
                                         https_untrusted_target
                                      ? stable_count - trusted_used -
                                            https_untrusted_target
                                      : 0;
+    const std::uint16_t op_index = InternOperator("no-https");
     for (std::size_t i = 0; i < no_https; ++i) {
-      DomainInfo info;
-      info.name = "plain" + std::to_string(i) + ".nohttps.sim";
-      info.rank = 0;
-      info.mx_google = (StableHash64(info.name) % 100) < 9;
-      info.operator_name = "no-https";
-      info.as_number = static_cast<std::uint32_t>(70000 + i % 512);
-      info.https = false;
-      info.stable = true;
-      add_domain(std::move(info));
+      const std::uint64_t hash = StableHash64(
+          row_name(kPlain, static_cast<std::uint32_t>(i), op_index));
+      std::uint8_t flags = kStable;
+      if (hash % 100 < 9) flags |= kMxGoogle;
+      AddDomainRow(kPlain, static_cast<std::uint32_t>(i), hash, 0, op_index,
+                   static_cast<std::uint32_t>(70000 + i % 512), flags, 1.0, 0,
+                   0);
     }
   }
 
@@ -419,6 +525,7 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
     TerminatorId current_term = 0;
     std::size_t on_current = per_term;
     int batch = 0;
+    const std::uint16_t op_index = InternOperator("transient-host");
     // Behaviour templates for the churning tail, mirroring the stable
     // cohort's implementation mix so single-day metrics stay calibrated.
     std::vector<server::ServerConfig> templates;
@@ -463,16 +570,12 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
       const double presence = spec.churn.transient_max_presence * u;
       const bool https = churn_rng.Bernoulli(0.55);
       const bool trusted = https && churn_rng.Bernoulli(0.62);
-      DomainInfo info;
-      info.name = "t" + std::to_string(i) + ".transient.sim";
-      info.rank = 0;
-      info.operator_name = "transient-host";
-      info.as_number = static_cast<std::uint32_t>(80000 + i % 1024);
-      info.https = https;
-      info.trusted_cert = trusted;
-      info.stable = false;
-      info.presence_prob = presence;
-      info.mx_google = churn_rng.Bernoulli(0.09);
+      std::uint8_t flags = 0;
+      if (https) flags |= kHttps;
+      if (trusted) flags |= kTrusted;
+      if (churn_rng.Bernoulli(0.09)) flags |= kMxGoogle;
+      TerminatorId endpoint_lo = 0;
+      std::uint16_t endpoint_count = 0;
       if (https) {
         if (on_current == per_term) {
           server::ServerConfig config =
@@ -490,21 +593,16 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
           on_current = 0;
         }
         ++on_current;
-        server::Credential credential = server::MakeCredential(
-            trusted ? trusted_int : untrusted_ca, {info.name},
-            pki::SignatureScheme::kSchnorrSim61, cert_not_before,
-            cert_not_after, trusted ? trusted_chain : untrusted_chain,
-            ca_drbg);
-        const std::size_t idx = terminators_[current_term]->AddCredential(
-            std::move(credential));
-        terminators_[current_term]->MapDomain(info.name, idx);
-        info.endpoints = {current_term};
-        by_ip_.emplace(terminator_ips_[current_term],
-                       static_cast<DomainId>(domains_.size()));
+        add_plan(current_term, static_cast<DomainId>(table_.flags.size()), 1,
+                 trusted);
+        endpoint_lo = current_term;
+        endpoint_count = 1;
       }
-      by_as_.emplace(info.as_number, static_cast<DomainId>(domains_.size()));
-      by_name_[info.name] = static_cast<DomainId>(domains_.size());
-      domains_.push_back(std::move(info));
+      const std::uint64_t hash = StableHash64(
+          row_name(kTransient, static_cast<std::uint32_t>(i), op_index));
+      AddDomainRow(kTransient, static_cast<std::uint32_t>(i), hash, 0,
+                   op_index, static_cast<std::uint32_t>(80000 + i % 1024),
+                   flags, presence, endpoint_lo, endpoint_count);
     }
   }
 
@@ -515,9 +613,9 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
   {
     std::unordered_set<int> taken;
     std::vector<DomainId> unranked;
-    for (DomainId id = 0; id < domains_.size(); ++id) {
-      if (domains_[id].rank > 0) {
-        taken.insert(domains_[id].rank);
+    for (DomainId id = 0; id < table_.rank.size(); ++id) {
+      if (table_.rank[id] > 0) {
+        taken.insert(static_cast<int>(table_.rank[id]));
       } else {
         unranked.push_back(id);
       }
@@ -530,72 +628,245 @@ Internet::Internet(const PopulationSpec& spec, std::uint64_t seed)
     int next_rank = 1;
     for (const DomainId id : unranked) {
       while (taken.count(next_rank) != 0) ++next_rank;
-      domains_[id].rank = next_rank++;
+      table_.rank[id] = static_cast<std::uint32_t>(next_rank++);
     }
   }
 
   RegisterSchedules();
+
+  // ==== fleet materialization ==============================================
+  slots_.resize(term_meta_.size());
+  if (!lazy_) {
+    for (TerminatorId tid = 0; tid < term_meta_.size(); ++tid) {
+      slots_[tid] = BuildTerminator(tid);
+      resident_bytes_ += slots_[tid]->ProvisionedBytes();
+    }
+    materializations_.store(term_meta_.size(), std::memory_order_relaxed);
+  }
 }
 
 void Internet::RegisterSchedules() {
   // Hand every terminator's maintenance calendar to its (possibly shared)
   // STEK manager and KEX cache. Shared managers accumulate the schedules of
-  // every sharing terminator, mirroring the old lazy per-terminator
-  // application — but time-indexed, so concurrent probes observe the same
-  // key epochs regardless of arrival order.
-  for (TerminatorId tid = 0; tid < terminators_.size(); ++tid) {
+  // every sharing terminator — time-indexed, so concurrent probes observe
+  // the same key epochs regardless of arrival order, and independent of
+  // whether the terminator object itself is currently materialized.
+  for (TerminatorId tid = 0; tid < term_meta_.size(); ++tid) {
     const Maintenance& m = maintenance_[tid];
-    server::SslTerminator& term = *terminators_[tid];
     for (const SimTime t : m.forced_stek_rotations) {
-      term.Steks().ScheduleForcedRotation(t);
+      shared_[tid].steks->ScheduleForcedRotation(t);
     }
     for (const SimTime t : m.forced_kex_rotations) {
-      term.Kex().ScheduleClearAt(t);
+      shared_[tid].kex->ScheduleClearAt(t);
     }
     if (m.restart_every > 0) {
-      term.Steks().ScheduleRestarts(m.next_restart, m.restart_every);
-      term.Kex().SchedulePeriodicClear(m.next_restart, m.restart_every);
+      shared_[tid].steks->ScheduleRestarts(m.next_restart, m.restart_every);
+      shared_[tid].kex->SchedulePeriodicClear(m.next_restart, m.restart_every);
     }
   }
 }
 
+std::shared_ptr<server::SslTerminator> Internet::BuildTerminator(
+    TerminatorId id) const {
+  const TermMeta& meta = term_meta_[id];
+  auto term = std::make_shared<server::SslTerminator>(
+      meta.id, meta.config, seed_ ^ StableHash64(meta.id), shared_[id]);
+  std::vector<std::string> batch;
+  for (std::uint32_t k = 0; k < meta.plan_count; ++k) {
+    const std::uint32_t global = meta.plan_lo + k;
+    const CredPlan& plan = cred_plans_[global];
+    batch.clear();
+    for (std::uint32_t d = 0; d < plan.count; ++d) {
+      batch.push_back(DomainName(plan.domain_lo + d));
+    }
+    // Per-credential DRBG and serial: issuance is a pure function of the
+    // blueprint, so terminators can be (re)built in any order, on any
+    // thread, and still present bit-identical certificates.
+    Bytes material = ToBytes("cred/");
+    Append(material, ToBytes(meta.id));
+    AppendUint(material, seed_, 8);
+    AppendUint(material, global, 8);
+    crypto::Drbg drbg(material);
+    server::Credential credential = server::MakeCredential(
+        plan.trusted ? pki_->trusted_int : pki_->untrusted_ca, batch,
+        pki::SignatureScheme::kSchnorrSim61, kCertNotBefore, kCertNotAfter,
+        plan.trusted ? pki_->trusted_chain : pki_->untrusted_chain, drbg,
+        /*serial=*/static_cast<std::uint64_t>(global) + 1);
+    const std::size_t idx = term->AddCredential(std::move(credential));
+    for (std::uint32_t d = 0; d < plan.count; ++d) {
+      term->MapDomain(batch[d], idx);
+    }
+  }
+  return term;
+}
+
+std::shared_ptr<server::SslTerminator> Internet::Materialize(TerminatorId id) {
+  if (!lazy_) return slots_[id];
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    if (slots_[id] != nullptr) return slots_[id];
+  }
+  // Build outside fleet_mu_; the stripe lock stops duplicate builds of the
+  // same terminator from racing.
+  std::lock_guard<std::mutex> stripe(build_mu_[id % kBuildStripes]);
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    if (slots_[id] != nullptr) return slots_[id];
+  }
+  auto term = BuildTerminator(id);
+  const std::uint64_t bytes = term->ProvisionedBytes();
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  slots_[id] = term;
+  resident_bytes_ += bytes;
+  materializations_.fetch_add(1, std::memory_order_relaxed);
+  EvictOverBudget(id);
+  return term;
+}
+
+void Internet::EvictOverBudget(TerminatorId keep) {
+  // fleet_mu_ held. Round-robin eviction: which terminators are resident at
+  // any instant depends on probe arrival order, but since terminators are
+  // pure functions of the blueprint (and the shared secret stores never
+  // leave), eviction order cannot perturb a single observed byte.
+  const std::size_t n = slots_.size();
+  std::size_t scanned = 0;
+  while (resident_bytes_ > budget_bytes_ && scanned < n) {
+    const std::size_t victim = evict_cursor_;
+    evict_cursor_ = (evict_cursor_ + 1) % n;
+    ++scanned;
+    if (victim == keep || slots_[victim] == nullptr) continue;
+    resident_bytes_ -= slots_[victim]->ProvisionedBytes();
+    slots_[victim].reset();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Internet::FleetStats Internet::Fleet() const {
+  FleetStats stats;
+  stats.lazy = lazy_;
+  stats.budget_bytes = budget_bytes_;
+  stats.materializations = materializations_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  stats.resident_bytes = resident_bytes_;
+  for (const auto& slot : slots_) {
+    if (slot != nullptr) ++stats.resident;
+  }
+  return stats;
+}
+
+void Internet::AssignDomainName(DomainId id, std::string* out) const {
+  out->clear();
+  const std::uint32_t num = table_.name_num[id];
+  switch (static_cast<NameKind>(table_.name_kind[id])) {
+    case kNamed:
+      out->append(operator_names_[table_.op[id]]);
+      return;
+    case kSite:
+      out->append("site");
+      AppendNum(out, num);
+      out->push_back('.');
+      out->append(operator_names_[table_.op[id]]);
+      out->append(".sim");
+      return;
+    case kWww:
+      out->append("www");
+      AppendNum(out, num);
+      out->push_back('.');
+      out->append(operator_names_[table_.op[id]]);
+      out->append(".sim");
+      return;
+    case kSelf:
+      out->append("self");
+      AppendNum(out, num);
+      out->append(".untrusted.sim");
+      return;
+    case kPlain:
+      out->append("plain");
+      AppendNum(out, num);
+      out->append(".nohttps.sim");
+      return;
+    case kTransient:
+      out->push_back('t');
+      AppendNum(out, num);
+      out->append(".transient.sim");
+      return;
+  }
+}
+
+std::string Internet::DomainName(DomainId id) const {
+  std::string out;
+  AssignDomainName(id, &out);
+  return out;
+}
+
+DomainInfo Internet::GetDomain(DomainId id) const {
+  DomainInfo info;
+  info.name = DomainName(id);
+  info.rank = static_cast<int>(table_.rank[id]);
+  info.operator_name = operator_names_[table_.op[id]];
+  info.as_number = table_.as_number[id];
+  const TerminatorId lo = table_.endpoint_lo[id];
+  const std::uint16_t count = table_.endpoint_count[id];
+  info.endpoints.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    info.endpoints.push_back(lo + i);
+  }
+  const std::uint8_t flags = table_.flags[id];
+  info.https = (flags & kHttps) != 0;
+  info.trusted_cert = (flags & kTrusted) != 0;
+  info.stable = (flags & kStable) != 0;
+  info.mx_google = (flags & kMxGoogle) != 0;
+  info.presence_prob = table_.presence[id];
+  return info;
+}
+
 std::optional<DomainId> Internet::FindDomain(const std::string& name) const {
-  const auto it = by_name_.find(name);
-  if (it == by_name_.end()) return std::nullopt;
-  return it->second;
+  // Cold path (tests, analysis entry points): a name index would cost tens
+  // of megabytes at a million domains for no hot-path benefit, so resolve
+  // by hash scan + verify instead.
+  const std::uint64_t hash = StableHash64(name);
+  std::string candidate;
+  for (DomainId id = 0; id < table_.name_hash.size(); ++id) {
+    if (table_.name_hash[id] != hash) continue;
+    AssignDomainName(id, &candidate);
+    if (candidate == name) return id;
+  }
+  return std::nullopt;
 }
 
 bool Internet::InTopListOnDay(DomainId id, int day) const {
-  const DomainInfo& d = domains_[id];
-  if (d.stable) return true;
+  if ((table_.flags[id] & kStable) != 0) return true;
   // Deterministic per (domain, day) presence draw.
-  std::uint64_t state = seed_ ^ StableHash64(d.name) ^
+  std::uint64_t state = seed_ ^ table_.name_hash[id] ^
                         (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
                                                      day + 1));
   const double u =
       static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
-  return u < d.presence_prob;
+  return u < table_.presence[id];
 }
 
 TerminatorId Internet::EndpointFor(DomainId id, SimTime now) const {
-  const DomainInfo& d = domains_[id];
-  assert(!d.endpoints.empty());
-  if (d.endpoints.size() == 1) return d.endpoints[0];
+  const std::uint16_t count = table_.endpoint_count[id];
+  assert(count > 0);
+  const TerminatorId lo = table_.endpoint_lo[id];
+  if (count == 1) return lo;
   const int day = static_cast<int>(now / kDay);
-  std::uint64_t state = seed_ ^ StableHash64(d.name) ^
+  std::uint64_t state = seed_ ^ table_.name_hash[id] ^
                         (0xbf58476d1ce4e5b9ULL *
                          static_cast<std::uint64_t>(day + 7));
   std::uint64_t pick = SplitMix64(state);
   // 5% of connections land off-affinity (poorly configured LB).
   std::uint64_t conn_state = state ^ static_cast<std::uint64_t>(now);
   if (SplitMix64(conn_state) % 100 < 5) pick = SplitMix64(conn_state);
-  return d.endpoints[pick % d.endpoints.size()];
+  return lo + static_cast<TerminatorId>(pick % count);
 }
 
 void Internet::ApplyMaintenance(TerminatorId id, SimTime now) {
   // STEK rotations and KEX clears are schedule-driven inside the managers;
   // the only remaining lazy effect of a restart is flushing the session
-  // cache (resumable state does not survive the process).
+  // cache (resumable state does not survive the process). The cache is
+  // resident shared state, so no terminator materialization is needed.
   Maintenance& m = maintenance_[id];
   if (m.restart_every <= 0) return;
   std::lock_guard<std::mutex> lock(m.mu);
@@ -607,20 +878,20 @@ void Internet::ApplyMaintenance(TerminatorId id, SimTime now) {
       1;
   const SimTime last_restart =
       m.next_restart + static_cast<SimTime>(periods - 1) * m.restart_every;
-  terminators_[id]->Cache().Clear();
+  shared_[id].cache->Clear();
   m.next_restart = last_restart + m.restart_every;
 }
 
 Internet::ConnectOutcome Internet::ConnectDetailed(DomainId id, SimTime now) {
   ConnectOutcome out;
-  const DomainInfo& d = domains_[id];
-  if (!d.https || d.endpoints.empty()) {
+  if ((table_.flags[id] & kHttps) == 0 || table_.endpoint_count[id] == 0) {
     out.status = ConnectStatus::kNoHttps;
     return out;
   }
   FaultDecision fault;
   if (FaultsEnabled()) {
-    fault = fault_injector_->Decide(d, now);
+    fault = fault_injector_->Decide(table_.name_hash[id],
+                                    *fault_profile_of_[id], now);
     switch (fault.kind) {
       case FaultKind::kOutage:
         out.status = ConnectStatus::kOutage;
@@ -637,7 +908,12 @@ Internet::ConnectOutcome Internet::ConnectDetailed(DomainId id, SimTime now) {
   }
   const TerminatorId tid = EndpointFor(id, now);
   ApplyMaintenance(tid, now);
-  out.connection = terminators_[tid]->NewConnection(now);
+  if (lazy_) {
+    auto term = Materialize(tid);
+    out.connection = term->NewConnection(now, std::move(term));
+  } else {
+    out.connection = slots_[tid]->NewConnection(now);
+  }
   if (fault.kind != FaultKind::kNone) {
     out.connection =
         std::make_unique<FaultyConnection>(std::move(out.connection), fault);
@@ -653,14 +929,30 @@ std::unique_ptr<tls::ServerConnection> Internet::Connect(DomainId id,
 
 void Internet::SetFaultSpec(const FaultSpec& spec) {
   fault_injector_ = std::make_unique<FaultInjector>(spec, seed_);
+  // Resolve each domain's profile once; the references stay valid as long
+  // as the injector lives.
+  fault_profile_of_.resize(DomainCount());
+  for (DomainId id = 0; id < DomainCount(); ++id) {
+    fault_profile_of_[id] = &fault_injector_->ResolveProfile(
+        operator_names_[table_.op[id]], table_.as_number[id]);
+  }
 }
 
 server::SslTerminator& Internet::Terminator(TerminatorId id) {
-  return *terminators_[id];
+  if (!lazy_) return *slots_[id];
+  // Lazy mode: the reference is only guaranteed alive until the next
+  // materialization triggers eviction — callers that hold it across probes
+  // must use TerminatorHandle instead.
+  return *Materialize(id);
+}
+
+std::shared_ptr<server::SslTerminator> Internet::TerminatorHandle(
+    TerminatorId id) {
+  return Materialize(id);
 }
 
 std::uint32_t Internet::IpOf(TerminatorId id) const {
-  return terminator_ips_[id];
+  return static_cast<std::uint32_t>(id) + 0x0a000000;
 }
 
 Internet::RestartSchedule Internet::RestartScheduleOf(TerminatorId id) const {
@@ -670,22 +962,57 @@ Internet::RestartSchedule Internet::RestartScheduleOf(TerminatorId id) const {
   return RestartSchedule{m.first_restart, m.restart_every};
 }
 
-std::vector<DomainId> Internet::DomainsOnIp(std::uint32_t ip) const {
+void Internet::EnsureTopologyIndex() const {
+  std::call_once(topo_once_, [&] {
+    ip_index_.reserve(term_meta_.size());
+    as_index_.reserve(DomainCount());
+    for (DomainId id = 0; id < DomainCount(); ++id) {
+      const TerminatorId lo = table_.endpoint_lo[id];
+      const std::uint16_t count = table_.endpoint_count[id];
+      for (std::uint16_t i = 0; i < count; ++i) {
+        ip_index_.emplace_back(IpOf(lo + i), id);
+      }
+      as_index_.emplace_back(table_.as_number[id], id);
+    }
+    // stable_sort keeps equal keys in generation order — ascending domain
+    // id, the order the old insertion-ordered multimap yielded.
+    std::stable_sort(ip_index_.begin(), ip_index_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::stable_sort(as_index_.begin(), as_index_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  });
+}
+
+namespace {
+
+std::vector<DomainId> RangeLookup(
+    const std::vector<std::pair<std::uint32_t, DomainId>>& index,
+    std::uint32_t key) {
   std::vector<DomainId> out;
-  const auto [lo, hi] = by_ip_.equal_range(ip);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  auto it = std::lower_bound(index.begin(), index.end(), key,
+                             [](const auto& entry, std::uint32_t k) {
+                               return entry.first < k;
+                             });
+  for (; it != index.end() && it->first == key; ++it) {
+    out.push_back(it->second);
+  }
   return out;
+}
+
+}  // namespace
+
+std::vector<DomainId> Internet::DomainsOnIp(std::uint32_t ip) const {
+  EnsureTopologyIndex();
+  return RangeLookup(ip_index_, ip);
 }
 
 std::vector<DomainId> Internet::DomainsInAs(std::uint32_t as_number) const {
-  std::vector<DomainId> out;
-  const auto [lo, hi] = by_as_.equal_range(as_number);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  return out;
-}
-
-bool Internet::MxPointsAtGoogle(DomainId id) const {
-  return domains_[id].mx_google;
+  EnsureTopologyIndex();
+  return RangeLookup(as_index_, as_number);
 }
 
 }  // namespace tlsharm::simnet

@@ -6,10 +6,24 @@
 // real Internet: resolve a domain, open a connection, run TLS. Everything
 // the scanner can observe comes out of real handshakes against the
 // terminator fleet.
+//
+// Scaling (DESIGN.md "Scaling" has the full contract): construction is a
+// BLUEPRINT pass — it fixes every random draw (ranks, configs, churn,
+// reuse coins) and lays the population out as a struct-of-arrays table
+// (one small column per attribute, names regenerated from compact
+// patterns) instead of per-domain heap objects. Terminators are pure
+// functions of (world seed, terminator id): their secret stores are
+// derived once at construction and stay resident (the session cache is
+// the only order-dependent mutable state in the system), while the
+// expensive part — credentials, SNI maps — is materialized on demand in
+// FleetMode::kLazy into a bounded working set and evicted freely. A
+// million-domain world therefore costs megabytes until it is probed, and
+// a bounded budget thereafter.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -47,12 +61,44 @@ class Internet {
  public:
   // Builds the world; deterministic in (spec, seed).
   Internet(const PopulationSpec& spec, std::uint64_t seed);
+  ~Internet();
 
   // --- population --------------------------------------------------------
-  std::size_t DomainCount() const { return domains_.size(); }
-  const DomainInfo& GetDomain(DomainId id) const { return domains_[id]; }
+  std::size_t DomainCount() const { return table_.flags.size(); }
+  // Materializes the full record for `id`. The table is columnar, so this
+  // assembles name/endpoints/operator strings per call — analysis-path
+  // convenience, not a hot-path accessor (the scanner uses the column
+  // accessors below).
+  DomainInfo GetDomain(DomainId id) const;
   std::optional<DomainId> FindDomain(const std::string& name) const;
   const pki::RootStore& NssRootStore() const { return root_store_; }
+
+  // Column accessors: O(1), no allocation.
+  bool DomainHttps(DomainId id) const { return (table_.flags[id] & kHttps) != 0; }
+  bool DomainTrusted(DomainId id) const {
+    return (table_.flags[id] & kTrusted) != 0;
+  }
+  bool DomainStable(DomainId id) const {
+    return (table_.flags[id] & kStable) != 0;
+  }
+  int DomainRank(DomainId id) const { return table_.rank[id]; }
+  std::uint32_t DomainAs(DomainId id) const { return table_.as_number[id]; }
+  std::uint64_t DomainNameHash(DomainId id) const {
+    return table_.name_hash[id];
+  }
+  std::size_t DomainEndpointCount(DomainId id) const {
+    return table_.endpoint_count[id];
+  }
+  TerminatorId DomainEndpoint(DomainId id, std::size_t i) const {
+    return table_.endpoint_lo[id] + static_cast<TerminatorId>(i);
+  }
+  const std::string& DomainOperator(DomainId id) const {
+    return operator_names_[table_.op[id]];
+  }
+  // Regenerates the domain's name into `out` (capacity reuse across calls
+  // — the per-probe SNI path), or as a fresh string.
+  void AssignDomainName(DomainId id, std::string* out) const;
+  std::string DomainName(DomainId id) const;
 
   // Domains present in the simulated Top-N list on `day` (0-based).
   bool InTopListOnDay(DomainId id, int day) const;
@@ -97,9 +143,42 @@ class Internet {
   // The terminator Connect would use at `now` (for topology queries).
   TerminatorId EndpointFor(DomainId id, SimTime now) const;
 
-  // Direct terminator access (attack module, tests).
+  // Direct terminator access (attack module, tests). In lazy mode this
+  // materializes the terminator; the reference stays valid while the
+  // Internet lives ONLY in materialized mode — lazy-fleet callers that
+  // outlive the call must hold TerminatorHandle instead.
   server::SslTerminator& Terminator(TerminatorId id);
-  std::size_t TerminatorCount() const { return terminators_.size(); }
+  // Pinning accessor: the shared_ptr keeps a lazily materialized
+  // terminator alive across evictions.
+  std::shared_ptr<server::SslTerminator> TerminatorHandle(TerminatorId id);
+  std::size_t TerminatorCount() const { return term_meta_.size(); }
+
+  // Resident per-terminator state — live regardless of fleet mode and of
+  // whether the terminator object itself is materialized. These are the
+  // accessors the fleet sweep (obs/fleet.cc) and the adversary engine use
+  // so an end-of-study pass over a million-domain fleet never forces
+  // materialization.
+  server::SessionCache& CacheOf(TerminatorId id) { return *shared_[id].cache; }
+  server::StekManager& SteksOf(TerminatorId id) { return *shared_[id].steks; }
+  server::KexCache& KexOf(TerminatorId id) { return *shared_[id].kex; }
+  const server::ServerConfig& TerminatorConfigOf(TerminatorId id) const {
+    return term_meta_[id].config;
+  }
+  const std::string& TerminatorIdOf(TerminatorId id) const {
+    return term_meta_[id].id;
+  }
+
+  // Lazy-fleet observability: how many terminators are currently
+  // materialized, bytes they hold, and cumulative (re)materializations.
+  struct FleetStats {
+    bool lazy = false;
+    std::size_t resident = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t budget_bytes = 0;
+    std::uint64_t materializations = 0;
+    std::uint64_t evictions = 0;
+  };
+  FleetStats Fleet() const;
 
   // IP address (opaque id) of a terminator; co-located domains share it.
   std::uint32_t IpOf(TerminatorId id) const;
@@ -121,9 +200,60 @@ class Internet {
   std::vector<DomainId> DomainsInAs(std::uint32_t as_number) const;
 
   // MX lookup: true when mail for the domain is handled by Google (§7.2).
-  bool MxPointsAtGoogle(DomainId id) const;
+  bool MxPointsAtGoogle(DomainId id) const {
+    return (table_.flags[id] & kMxGoogle) != 0;
+  }
 
  private:
+  // --- columnar population table -----------------------------------------
+  // Domain names follow six generator patterns, all derivable from the
+  // domain's interned operator name plus a small ordinal. Regeneration is
+  // what keeps a million-domain table at a few dozen bytes per domain
+  // instead of a heap string each.
+  enum NameKind : std::uint8_t {
+    kNamed = 0,   // the operator intern IS the name (hand-named domains)
+    kSite,        // "site{num}.{operator}.sim"  (named service groups)
+    kWww,         // "www{num}.{operator}.sim"   (operator archetypes)
+    kSelf,        // "self{num}.untrusted.sim"
+    kPlain,       // "plain{num}.nohttps.sim"
+    kTransient,   // "t{num}.transient.sim"
+  };
+  enum Flag : std::uint8_t {
+    kHttps = 1,
+    kTrusted = 2,
+    kStable = 4,
+    kMxGoogle = 8,
+  };
+  struct DomainTable {
+    std::vector<std::uint64_t> name_hash;   // StableHash64(name), precomputed
+    std::vector<std::uint32_t> rank;
+    std::vector<std::uint32_t> as_number;
+    std::vector<std::uint8_t> flags;
+    std::vector<double> presence;           // daily presence probability
+    std::vector<TerminatorId> endpoint_lo;  // endpoints are a contiguous
+    std::vector<std::uint16_t> endpoint_count;  // ... terminator-id range
+    std::vector<std::uint16_t> op;          // index into operator_names_
+    std::vector<std::uint8_t> name_kind;
+    std::vector<std::uint32_t> name_num;
+  };
+
+  // --- terminator blueprint ----------------------------------------------
+  // One SAN certificate to issue when the terminator materializes: the
+  // credential covers domains [domain_lo, domain_lo + count) in table
+  // order. Credential randomness is a derived DRBG of (terminator id,
+  // world seed, ordinal), so materialization order is irrelevant.
+  struct CredPlan {
+    DomainId domain_lo = 0;
+    std::uint16_t count = 0;
+    bool trusted = true;
+  };
+  struct TermMeta {
+    std::string id;
+    server::ServerConfig config;
+    std::uint32_t plan_lo = 0;    // slice of cred_plans_
+    std::uint32_t plan_count = 0;
+  };
+
   // Maintenance bookkeeping per terminator. STEK rotations, KEX clears and
   // their restart-driven counterparts are registered as schedules inside
   // the managers themselves at construction (they apply events
@@ -146,16 +276,67 @@ class Internet {
   // KEX caches once every terminator (and shared-state swap) exists.
   void RegisterSchedules();
 
-  std::vector<DomainInfo> domains_;
-  std::vector<std::unique_ptr<server::SslTerminator>> terminators_;
+  std::uint16_t InternOperator(const std::string& name);
+  DomainId AddDomainRow(std::uint8_t kind, std::uint32_t num,
+                        std::uint64_t hash, int rank, std::uint16_t op,
+                        std::uint32_t as_number, std::uint8_t flags,
+                        double presence, TerminatorId endpoint_lo,
+                        std::uint16_t endpoint_count);
+
+  // Builds (or fetches) the terminator object. Materialized mode resolves
+  // to a plain slot read; lazy mode derives the terminator — credentials
+  // and all — from the blueprint under a striped lock, charges it against
+  // the byte budget, and evicts round-robin past it.
+  std::shared_ptr<server::SslTerminator> Materialize(TerminatorId id);
+  std::shared_ptr<server::SslTerminator> BuildTerminator(TerminatorId id) const;
+  void EvictOverBudget(TerminatorId keep);  // fleet_mu_ held
+
+  // Lazily built topology index (analysis paths only).
+  void EnsureTopologyIndex() const;
+
+  DomainTable table_;
+  std::vector<std::string> operator_names_;   // interned, kept small
+
+  std::vector<TermMeta> term_meta_;
+  std::vector<CredPlan> cred_plans_;
+  std::vector<server::SharedSecretState> shared_;  // resident secret state
   std::deque<Maintenance> maintenance_;  // deque: Maintenance is immovable
-  std::vector<std::uint32_t> terminator_ips_;
-  std::map<std::string, DomainId> by_name_;
-  std::multimap<std::uint32_t, DomainId> by_ip_;
-  std::multimap<std::uint32_t, DomainId> by_as_;
+
+  // Terminator working set. Materialized mode fills every slot at
+  // construction and never touches the locks again; lazy mode populates on
+  // demand. Slots are atomic shared_ptrs guarded by striped mutexes for
+  // the build path; readers take a shared_ptr copy (their pin).
+  bool lazy_ = false;
+  std::uint64_t budget_bytes_ = 0;
+  std::vector<std::shared_ptr<server::SslTerminator>> slots_;
+  mutable std::mutex fleet_mu_;
+  // Build stripes: serialize duplicate builds of one terminator without
+  // holding fleet_mu_ through credential issuance.
+  static constexpr std::size_t kBuildStripes = 64;
+  mutable std::array<std::mutex, kBuildStripes> build_mu_;
+  std::uint64_t resident_bytes_ = 0;
+  std::size_t evict_cursor_ = 0;
+  std::atomic<std::uint64_t> materializations_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  // CA material kept for on-demand credential issuance (lazy fleets issue
+  // certificates long after construction).
+  struct Pki;
+  std::unique_ptr<Pki> pki_;
+
   pki::RootStore root_store_;
   std::uint64_t seed_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  // Per-domain resolved fault profile (rebuilt by SetFaultSpec): the
+  // connect path pays no override-map lookups.
+  std::vector<const FaultProfile*> fault_profile_of_;
+
+  // Sorted (key, domain) topology indexes, built on first use — only the
+  // co-location analyses need them, and a million-domain scan should not
+  // pay their footprint up front.
+  mutable std::once_flag topo_once_;
+  mutable std::vector<std::pair<std::uint32_t, DomainId>> ip_index_;
+  mutable std::vector<std::pair<std::uint32_t, DomainId>> as_index_;
 };
 
 }  // namespace tlsharm::simnet

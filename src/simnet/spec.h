@@ -113,6 +113,19 @@ struct ChurnSpec {
   double transient_max_presence = 0.9;
 };
 
+// How the terminator fleet is held in memory (see DESIGN.md "Scaling").
+//   kMaterialized — every terminator (credentials included) is built at
+//     construction; Terminator() is a plain array access. The right mode
+//     for populations up to a few hundred thousand.
+//   kLazy — terminators are derived on demand from (seed, id) into a
+//     bounded working set and evicted deterministically-safely (they are
+//     pure functions of their identity; the only order-dependent state,
+//     the shared secret stores, always stays resident). Million-domain
+//     scans run here.
+//   kFromEnv — resolve from TLSHARM_FLEET ("lazy" | "materialized",
+//     default materialized).
+enum class FleetMode : std::uint8_t { kFromEnv = 0, kMaterialized, kLazy };
+
 struct PopulationSpec {
   // Size of the daily "Top N" list (the paper's 1,000,000).
   std::size_t top_list_size = 60000;
@@ -120,6 +133,12 @@ struct PopulationSpec {
   double https_fraction = 0.68;
   // Fraction of stable domains presenting a browser-trusted certificate.
   double trusted_fraction = 0.54;
+  // Terminator materialization strategy; never changes a single observed
+  // byte (FleetEquivalenceTest proves it), only memory/time trade-offs.
+  FleetMode fleet_mode = FleetMode::kFromEnv;
+  // Working-set budget for kLazy, in MiB (0 = TLSHARM_FLEET_BUDGET_MB or
+  // the built-in default). Accounting unit: SslTerminator::ProvisionedBytes.
+  std::size_t fleet_budget_mb = 0;
   ChurnSpec churn;
   std::vector<OperatorSpec> operators;
   std::vector<NamedGroupSpec> named_groups;

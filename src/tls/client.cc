@@ -52,13 +52,13 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
   // --- ClientHello -------------------------------------------------------
   ClientHello ch;
   ch.random = drbg.Generate(kRandomSize);
-  ch.session_id = config_.resume_session_id;
-  for (CipherSuite s : config_.offered_suites) {
+  ch.session_id = config_->resume_session_id;
+  for (CipherSuite s : config_->offered_suites) {
     ch.cipher_suites.push_back(static_cast<std::uint16_t>(s));
   }
-  ch.server_name = config_.server_name;
-  ch.offer_session_ticket = config_.offer_session_ticket;
-  ch.session_ticket = config_.resume_ticket;
+  ch.server_name = config_->server_name;
+  ch.offer_session_ticket = config_->offer_session_ticket;
+  ch.session_ticket = config_->resume_ticket;
   result.client_random = ch.random;
 
   const Bytes ch_body = ch.Serialize();
@@ -84,7 +84,7 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
   if (!sh) return Fail("bad ServerHello");
   if (sh->version != kVersionTls12) return Fail("version mismatch");
   bool offered = false;
-  for (CipherSuite s : config_.offered_suites) {
+  for (CipherSuite s : config_->offered_suites) {
     offered |= static_cast<std::uint16_t>(s) == sh->cipher_suite;
   }
   if (!offered || !IsKnownCipherSuite(sh->cipher_suite)) {
@@ -102,11 +102,11 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
 
   if (!full_handshake) {
     // --- Abbreviated (resumption) ---------------------------------------
-    if (config_.resume_master_secret.empty()) {
+    if (config_->resume_master_secret.empty()) {
       return Fail("server resumed but client has no session state");
     }
     result.resumed = true;
-    result.master_secret = config_.resume_master_secret;
+    result.master_secret = config_->resume_master_secret;
 
     // Optional reissued NewSessionTicket precedes the server Finished.
     if (idx < msgs->size() &&
@@ -137,10 +137,10 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
     // server echoing the offered session ID is ambiguous (RFC 5077 servers
     // echo it on ticket acceptance too); a reissued NewSessionTicket in the
     // abbreviated flight is the reliable ticket-resumption signal.
-    const bool id_echoed = !config_.resume_session_id.empty() &&
-                           sh->session_id == config_.resume_session_id;
+    const bool id_echoed = !config_->resume_session_id.empty() &&
+                           sh->session_id == config_->resume_session_id;
     result.resumed_via_ticket =
-        !config_.resume_ticket.empty() && (!id_echoed || result.ticket_issued);
+        !config_->resume_ticket.empty() && (!id_echoed || result.ticket_issued);
 
     result.keys = DeriveSessionKeys(result.master_secret,
                                     result.client_random,
@@ -168,11 +168,11 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
   transcript.Add(HandshakeType::kCertificate, (*msgs)[idx].body);
   ++idx;
   result.chain = cert_msg->chain;
-  if (config_.root_store != nullptr) {
-    result.chain_status = config_.root_store->Verify(
-        result.chain, config_.server_name, now);
+  if (config_->root_store != nullptr) {
+    result.chain_status = config_->root_store->Verify(
+        result.chain, config_->server_name, now);
     result.chain_trusted = result.chain_status == pki::VerifyStatus::kOk;
-    if (config_.require_trusted && !result.chain_trusted) {
+    if (config_->require_trusted && !result.chain_trusted) {
       return Fail(std::string("untrusted chain: ") +
                   pki::ToString(result.chain_status));
     }
@@ -182,7 +182,7 @@ HandshakeResult TlsClient::Handshake(ServerConnection& conn, SimTime now,
 
   Bytes premaster;
   Bytes cke_public;
-  const bool probe_only = config_.kex_probe_only;
+  const bool probe_only = config_->kex_probe_only;
   if (IsForwardSecret(result.suite)) {
     if (idx >= msgs->size() ||
         (*msgs)[idx].type != HandshakeType::kServerKeyExchange) {

@@ -8,6 +8,7 @@
 // scanner probe — the paper's modified-zgrab equivalent.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -109,7 +110,15 @@ struct HandshakeResult {
 
 class TlsClient {
  public:
-  explicit TlsClient(ClientConfig config) : config_(std::move(config)) {}
+  explicit TlsClient(ClientConfig config)
+      : owned_(std::move(config)), config_(&*owned_) {}
+
+  // Borrowing form: the client reads the caller's config in place. The
+  // scanner's hot path constructs one TlsClient per probe but reuses a
+  // single config object (and its string/vector buffers) across millions of
+  // probes; copying it here would reallocate every buffer per probe. The
+  // config must outlive the last Handshake call.
+  explicit TlsClient(const ClientConfig* config) : config_(config) {}
 
   // Runs the handshake to completion over `conn`.
   HandshakeResult Handshake(ServerConnection& conn, SimTime now,
@@ -123,7 +132,8 @@ class TlsClient {
                                         ByteView request, crypto::Drbg& drbg);
 
  private:
-  ClientConfig config_;
+  std::optional<ClientConfig> owned_;  // engaged only by the owning ctor
+  const ClientConfig* config_;
 };
 
 }  // namespace tlsharm::tls

@@ -43,7 +43,9 @@ ScanFixture& Fixture() {
 
 const std::string& OperatorOf(const simnet::Internet& net,
                               std::uint32_t domain) {
-  return net.GetDomain(static_cast<simnet::DomainId>(domain)).operator_name;
+  // The interned accessor: GetDomain returns a materialized value, so a
+  // reference into it would dangle.
+  return net.DomainOperator(static_cast<simnet::DomainId>(domain));
 }
 
 // A profile whose terminators all share one STEK manager, or "".
